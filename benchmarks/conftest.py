@@ -1,0 +1,103 @@
+"""Shared machinery for the figure benchmarks.
+
+Every paper figure has one bench module.  Running::
+
+    pytest benchmarks/ --benchmark-only
+
+executes each figure's full parameter sweep once (timed by
+pytest-benchmark), writes the regenerated table to
+``benchmarks/results/<figure>.txt`` / ``.csv``, and asserts the *shape*
+claims that must hold at any scale (who wins, orderings, monotonicity).
+
+Scale is controlled by ``REPRO_SCALE``; benches default to ``smoke`` so
+the whole suite finishes in a couple of minutes.  Set
+``REPRO_SCALE=default`` or ``paper`` for bigger grids (see
+``repro/bench/config.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.config import Scale, resolve_scale
+from repro.bench.experiments import get_figure
+from repro.bench.harness import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> Scale:
+    """Benchmarks default to smoke scale unless REPRO_SCALE says otherwise."""
+    return resolve_scale(os.environ.get("REPRO_SCALE", "smoke"))
+
+
+def save_table(table: ResultTable) -> None:
+    """Persist a regenerated figure table next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.to_text()
+    if table.metric != "accesses":
+        text += "\n\n" + table.to_text("accesses")
+    (RESULTS_DIR / f"{table.experiment}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{table.experiment}.csv").write_text(table.to_csv() + "\n")
+
+
+def run_figure(benchmark, figure_name: str) -> ResultTable:
+    """Execute one figure's sweep exactly once under the benchmark timer."""
+    scale = bench_scale()
+    experiment = get_figure(figure_name)
+    table = benchmark.pedantic(
+        lambda: experiment.run(scale), rounds=1, iterations=1
+    )
+    save_table(table)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Common shape assertions (the scale-independent claims)
+# ---------------------------------------------------------------------------
+
+def assert_bpa_never_worse_than_ta(table: ResultTable) -> None:
+    """Theorem 2 / Lemma 1, visible in every figure."""
+    for value in table.sweep_values:
+        assert table.value(value, "bpa", "execution_cost") <= table.value(
+            value, "ta", "execution_cost"
+        ) * (1 + 1e-9), f"BPA cost above TA at {table.sweep_name}={value}"
+        assert table.value(value, "bpa", "accesses") <= table.value(
+            value, "ta", "accesses"
+        ) + 1e-9
+
+
+def assert_bpa2_fewest_accesses(table: ResultTable) -> None:
+    """Theorem 7: BPA2 never does more accesses than BPA."""
+    for value in table.sweep_values:
+        assert table.value(value, "bpa2", "accesses") <= table.value(
+            value, "bpa", "accesses"
+        ) + 1e-9, f"BPA2 accesses above BPA at {table.sweep_name}={value}"
+
+
+def assert_series_nondecreasing(table: ResultTable, algorithm: str,
+                                metric: str | None = None) -> None:
+    """For k-sweeps on a fixed database the cost is exactly monotone."""
+    series = table.series(algorithm, metric)
+    for earlier, later in zip(series, series[1:]):
+        assert later >= earlier - 1e-9, (
+            f"{algorithm} {metric or table.metric} decreased along "
+            f"{table.sweep_name}: {series}"
+        )
+
+
+def assert_grows_with_sweep(table: ResultTable, algorithm: str,
+                            factor: float = 1.5) -> None:
+    """The last sweep point must cost noticeably more than the first."""
+    series = table.series(algorithm)
+    assert series[-1] >= series[0] * factor, (
+        f"{algorithm} did not grow along {table.sweep_name}: {series}"
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return bench_scale()

@@ -1,0 +1,48 @@
+"""Ablation: theta-approximation cost savings (extension, not in paper).
+
+Sweeps Fagin's approximation factor over TA, BPA and BPA2 on a uniform
+database and records how much of the exact cost each theta buys back.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+from repro.algorithms.base import get_algorithm
+from repro.datagen import UniformGenerator
+
+THETAS = (1.0, 1.05, 1.1, 1.25, 1.5, 2.0)
+
+
+def test_theta_sweep(benchmark):
+    scale = bench_scale()
+    database = UniformGenerator().generate(scale.n, scale.m, seed=scale.seed)
+
+    def sweep():
+        rows = []
+        for name in ("ta", "bpa", "bpa2"):
+            for theta in THETAS:
+                algorithm = get_algorithm(name, approximation=theta)
+                result = algorithm.run(database, scale.k)
+                rows.append((name, theta, result.tally.total))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"theta-approximation ablation (uniform, n={scale.n}, "
+        f"m={scale.m}, k={scale.k})",
+        f"{'algorithm':>10} {'theta':>6} {'accesses':>10} {'vs exact':>9}",
+    ]
+    exact = {name: acc for name, theta, acc in rows if theta == 1.0}
+    for name, theta, accesses in rows:
+        lines.append(
+            f"{name:>10} {theta:>6.2f} {accesses:>10,} "
+            f"{accesses / exact[name]:>8.0%}"
+        )
+    (RESULTS_DIR / "approximation.txt").write_text("\n".join(lines) + "\n")
+
+    for name, theta, accesses in rows:
+        assert accesses <= exact[name]
+    # theta=2 must save noticeably on a uniform database.
+    for name in ("ta", "bpa", "bpa2"):
+        theta2 = next(acc for nm, th, acc in rows if nm == name and th == 2.0)
+        assert theta2 < exact[name] * 0.7, name

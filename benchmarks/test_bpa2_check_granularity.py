@@ -1,0 +1,49 @@
+"""Ablation: BPA2 stop-rule granularity (per-round vs per-access).
+
+The paper's BPA2 evaluates the stopping rule once per round of direct
+accesses (like TA).  Checking after every single access can only stop
+earlier, at the price of m times more lambda evaluations.  This bench
+quantifies the (small) access savings.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+from repro.algorithms.base import get_algorithm
+from repro.datagen import CorrelatedGenerator, UniformGenerator
+
+
+def test_check_granularity(benchmark):
+    scale = bench_scale()
+    databases = {
+        "uniform": UniformGenerator().generate(scale.n, scale.m, seed=scale.seed),
+        "correlated(0.01)": CorrelatedGenerator(alpha=0.01).generate(
+            scale.n, scale.m, seed=scale.seed
+        ),
+    }
+
+    def sweep():
+        rows = []
+        for db_name, database in databases.items():
+            per_round = get_algorithm("bpa2").run(database, scale.k)
+            per_access = get_algorithm("bpa2", check_every_access=True).run(
+                database, scale.k
+            )
+            rows.append(
+                (db_name, per_round.tally.total, per_access.tally.total)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"BPA2 stop-check granularity (n={scale.n}, m={scale.m}, k={scale.k})",
+        f"{'database':>18} {'per-round acc':>14} {'per-access acc':>15}",
+    ]
+    for db_name, per_round, per_access in rows:
+        lines.append(f"{db_name:>18} {per_round:>14,} {per_access:>15,}")
+    (RESULTS_DIR / "bpa2_granularity.txt").write_text("\n".join(lines) + "\n")
+
+    for _db, per_round, per_access in rows:
+        assert per_access <= per_round
+        # The saving is bounded by one round's worth of work.
+        assert per_round - per_access <= scale.m * scale.m

@@ -1,0 +1,55 @@
+"""Section 6.2.4 headline claim: BPA ~ (m+6)/8 x and BPA2 ~ (m+1)/2 x
+cheaper than TA on the uniform database.
+
+The bench regenerates the factor table (measured vs paper prediction) and
+writes it to ``benchmarks/results/claims.txt``.  The assertions encode
+what a faithful reimplementation can guarantee (see EXPERIMENTS.md for
+the full deviation analysis):
+
+* BPA is never more expensive than TA at any m (Theorem 2 — always holds);
+* BPA2's cost advantage over TA grows with m and is substantial at the
+  top of the sweep (the (m+1)/2 *shape*);
+* the paper's exact BPA factor (m+6)/8 does NOT emerge on independent
+  uniform lists — best positions barely outrun the sorted cursor when
+  item positions are independent — so we assert the measured BPA factor
+  is ~1 rather than pretending otherwise.
+"""
+
+from benchmarks.conftest import RESULTS_DIR, bench_scale
+from repro.bench.experiments import get_figure, speedup_factors
+
+
+def test_claims_speedup_factors(benchmark):
+    scale = bench_scale()
+    table = benchmark.pedantic(
+        lambda: get_figure("fig3").run(scale), rounds=1, iterations=1
+    )
+    factors = speedup_factors(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        "Speedup over TA (execution cost), uniform database",
+        f"{'m':>4} {'BPA meas':>10} {'BPA paper':>10} "
+        f"{'BPA2 meas':>10} {'BPA2 paper':>11}",
+    ]
+    for m in table.sweep_values:
+        lines.append(
+            f"{int(m):>4} {factors['bpa_measured'][m]:>10.2f} "
+            f"{factors['bpa_paper'][m]:>10.2f} "
+            f"{factors['bpa2_measured'][m]:>10.2f} "
+            f"{factors['bpa2_paper'][m]:>11.2f}"
+        )
+    (RESULTS_DIR / "claims.txt").write_text("\n".join(lines) + "\n")
+
+    for m in table.sweep_values:
+        # Theorem 2: BPA never loses to TA.
+        assert factors["bpa_measured"][m] >= 1.0 - 1e-9
+    # BPA2's gain grows with m ...
+    first_m, last_m = table.sweep_values[0], table.sweep_values[-1]
+    assert factors["bpa2_measured"][last_m] > factors["bpa2_measured"][first_m]
+    # ... and is substantial at the top of the sweep.
+    assert factors["bpa2_measured"][last_m] > 1.5
+    # Deviation (documented): on independent lists BPA ~ TA, far from the
+    # paper's (m+6)/8.  If this ever starts matching the paper, update
+    # EXPERIMENTS.md.
+    assert factors["bpa_measured"][last_m] < factors["bpa_paper"][last_m]

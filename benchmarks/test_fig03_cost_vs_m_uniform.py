@@ -1,0 +1,21 @@
+"""Figure 3: execution cost vs number of lists, uniform database."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    assert_grows_with_sweep,
+    run_figure,
+)
+
+
+def test_fig03_cost_vs_m_uniform(benchmark):
+    table = run_figure(benchmark, "fig3")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)
+    # Cost explodes with m on independent data (paper Figure 3's shape).
+    assert_grows_with_sweep(table, "ta", factor=5.0)
+    # From m >= 6 on, BPA2's no-re-access property beats TA on cost even
+    # though direct accesses are charged at the random-access rate.
+    for m in table.sweep_values:
+        if m >= 6:
+            assert table.value(m, "bpa2") < table.value(m, "ta")

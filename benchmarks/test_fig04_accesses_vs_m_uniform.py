@@ -1,0 +1,19 @@
+"""Figure 4: number of accesses vs number of lists, uniform database."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    run_figure,
+)
+
+
+def test_fig04_accesses_vs_m_uniform(benchmark):
+    table = run_figure(benchmark, "fig4")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)
+    # The access gap between BPA2 and TA widens with m (paper: the gain
+    # factor grows roughly linearly in m).
+    first_m, last_m = table.sweep_values[0], table.sweep_values[-1]
+    gain_first = table.value(first_m, "ta") / table.value(first_m, "bpa2")
+    gain_last = table.value(last_m, "ta") / table.value(last_m, "bpa2")
+    assert gain_last > gain_first

@@ -1,0 +1,24 @@
+"""Figure 5: response time vs number of lists, uniform database.
+
+Absolute milliseconds are machine- and runtime-dependent (the paper used
+Java on a 2.4 GHz Pentium 4); the reproducible claim is the ordering —
+response time tracks the number of accesses, so BPA2 is fastest at large
+m — and the growth with m.
+"""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig05_time_vs_m_uniform(benchmark):
+    table = run_figure(benchmark, "fig5")
+    last_m = table.sweep_values[-1]
+    # Response time grows with m for every algorithm.
+    for algorithm in table.algorithms:
+        series = table.series(algorithm, "response_time_ms")
+        assert series[-1] > series[0]
+    # At the largest m, BPA2 (fewest accesses) is not the slowest.
+    times = {
+        a: table.value(last_m, a, "response_time_ms") for a in table.algorithms
+    }
+    assert times["bpa2"] < max(times.values()) * (1 + 1e-9)
+    assert times["bpa2"] < times["bpa"]

@@ -1,0 +1,15 @@
+"""Figure 6: execution cost vs number of lists, Gaussian database."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    assert_grows_with_sweep,
+    run_figure,
+)
+
+
+def test_fig06_cost_vs_m_gaussian(benchmark):
+    table = run_figure(benchmark, "fig6")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)
+    assert_grows_with_sweep(table, "ta", factor=5.0)

@@ -1,0 +1,19 @@
+"""Figure 7: number of accesses vs number of lists, Gaussian database."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    run_figure,
+)
+
+
+def test_fig07_accesses_vs_m_gaussian(benchmark):
+    table = run_figure(benchmark, "fig7")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)
+    # Paper Section 6.2.1: Gaussian results are qualitatively the same as
+    # uniform — BPA2's access gain grows with m here too.
+    first_m, last_m = table.sweep_values[0], table.sweep_values[-1]
+    gain_first = table.value(first_m, "ta") / table.value(first_m, "bpa2")
+    gain_last = table.value(last_m, "ta") / table.value(last_m, "bpa2")
+    assert gain_last > gain_first

@@ -1,0 +1,14 @@
+"""Figure 8: response time vs number of lists, Gaussian database."""
+
+from benchmarks.conftest import run_figure
+
+
+def test_fig08_time_vs_m_gaussian(benchmark):
+    table = run_figure(benchmark, "fig8")
+    for algorithm in table.algorithms:
+        series = table.series(algorithm, "response_time_ms")
+        assert series[-1] > series[0]
+    last_m = table.sweep_values[-1]
+    assert table.value(last_m, "bpa2", "response_time_ms") < table.value(
+        last_m, "bpa", "response_time_ms"
+    )

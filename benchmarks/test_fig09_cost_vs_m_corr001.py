@@ -1,0 +1,20 @@
+"""Figure 9: execution cost vs number of lists, correlated alpha=0.001."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    bench_scale,
+    run_figure,
+)
+
+
+def test_fig09_cost_vs_m_corr001(benchmark):
+    table = run_figure(benchmark, "fig9")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)
+    # Strongly correlated data stops early: every algorithm scans only a
+    # small prefix of the lists (the paper's Figure 9 y-axis is ~300x
+    # smaller than Figure 3's).
+    n = bench_scale().n
+    for m in table.sweep_values:
+        assert table.value(m, "ta", "stop_position") < n / 10

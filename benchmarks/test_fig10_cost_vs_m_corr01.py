@@ -1,0 +1,18 @@
+"""Figure 10: execution cost vs number of lists, correlated alpha=0.01."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    run_figure,
+)
+
+
+def test_fig10_cost_vs_m_corr01(benchmark):
+    table = run_figure(benchmark, "fig10")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)
+    # BPA2's no-re-access property shows up as a clear cost win on
+    # correlated data for m > 2.
+    for m in table.sweep_values:
+        if m > 2:
+            assert table.value(m, "bpa2") < table.value(m, "ta")

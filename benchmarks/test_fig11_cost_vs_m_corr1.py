@@ -1,0 +1,13 @@
+"""Figure 11: execution cost vs number of lists, correlated alpha=0.1."""
+
+from benchmarks.conftest import (
+    assert_bpa2_fewest_accesses,
+    assert_bpa_never_worse_than_ta,
+    run_figure,
+)
+
+
+def test_fig11_cost_vs_m_corr1(benchmark):
+    table = run_figure(benchmark, "fig11")
+    assert_bpa_never_worse_than_ta(table)
+    assert_bpa2_fewest_accesses(table)

@@ -1,0 +1,19 @@
+"""Figure 12: execution cost vs k, uniform database, m=8."""
+
+from benchmarks.conftest import (
+    assert_bpa_never_worse_than_ta,
+    assert_series_nondecreasing,
+    run_figure,
+)
+
+
+def test_fig12_cost_vs_k_uniform(benchmark):
+    table = run_figure(benchmark, "fig12")
+    assert_bpa_never_worse_than_ta(table)
+    # On one fixed database the stop position cannot shrink as k grows.
+    for algorithm in table.algorithms:
+        assert_series_nondecreasing(table, algorithm)
+    # Paper Section 6.2.2: the increase with k is very small on uniform
+    # data — far less than the 10x growth of k itself.
+    series = table.series("ta")
+    assert series[-1] < series[0] * 3

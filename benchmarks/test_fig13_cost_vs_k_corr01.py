@@ -1,0 +1,14 @@
+"""Figure 13: execution cost vs k, correlated alpha=0.01, m=8."""
+
+from benchmarks.conftest import (
+    assert_bpa_never_worse_than_ta,
+    assert_series_nondecreasing,
+    run_figure,
+)
+
+
+def test_fig13_cost_vs_k_corr01(benchmark):
+    table = run_figure(benchmark, "fig13")
+    assert_bpa_never_worse_than_ta(table)
+    for algorithm in table.algorithms:
+        assert_series_nondecreasing(table, algorithm)

@@ -1,0 +1,22 @@
+"""Figure 14: execution cost vs k, correlated alpha=0.001, m=8.
+
+Paper Section 6.2.2: on a *highly* correlated database k has a relatively
+larger impact than on a weakly correlated one, because so few items are
+seen before stopping that each extra answer forces a deeper scan.
+"""
+
+from benchmarks.conftest import (
+    assert_bpa_never_worse_than_ta,
+    assert_series_nondecreasing,
+    run_figure,
+)
+
+
+def test_fig14_cost_vs_k_corr001(benchmark):
+    table = run_figure(benchmark, "fig14")
+    assert_bpa_never_worse_than_ta(table)
+    for algorithm in table.algorithms:
+        assert_series_nondecreasing(table, algorithm)
+    # Relative growth here exceeds the uniform database's (Figure 12).
+    series = table.series("ta")
+    assert series[-1] > series[0]

@@ -1,0 +1,16 @@
+"""Figure 15: execution cost vs n, uniform database, m=8."""
+
+from benchmarks.conftest import (
+    assert_bpa_never_worse_than_ta,
+    assert_grows_with_sweep,
+    run_figure,
+)
+
+
+def test_fig15_cost_vs_n_uniform(benchmark):
+    table = run_figure(benchmark, "fig15")
+    assert_bpa_never_worse_than_ta(table)
+    # Paper Section 6.2.3: n has a considerable impact on uniform data
+    # (top-k items spread over deeper positions as lists grow).
+    assert_grows_with_sweep(table, "ta", factor=2.0)
+    assert_grows_with_sweep(table, "bpa2", factor=2.0)

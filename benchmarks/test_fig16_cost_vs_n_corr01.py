@@ -1,0 +1,16 @@
+"""Figure 16: execution cost vs n, correlated alpha=0.01, m=8."""
+
+from benchmarks.conftest import (
+    assert_bpa_never_worse_than_ta,
+    run_figure,
+)
+
+
+def test_fig16_cost_vs_n_corr01(benchmark):
+    table = run_figure(benchmark, "fig16")
+    assert_bpa_never_worse_than_ta(table)
+    # Paper Section 6.2.3: n matters much less on correlated data than on
+    # uniform — growth stays well below proportional to n (8x here).
+    series = table.series("ta")
+    n_growth = table.sweep_values[-1] / table.sweep_values[0]
+    assert series[-1] < series[0] * n_growth

@@ -1,0 +1,16 @@
+"""Figure 17: execution cost vs n, correlated alpha=0.0001, m=8."""
+
+from benchmarks.conftest import (
+    assert_bpa_never_worse_than_ta,
+    run_figure,
+)
+
+
+def test_fig17_cost_vs_n_corr0001(benchmark):
+    table = run_figure(benchmark, "fig17")
+    assert_bpa_never_worse_than_ta(table)
+    # Highly correlated data barely notices n (paper: "n has a smaller
+    # impact on a highly correlated database").
+    series = table.series("ta")
+    n_growth = table.sweep_values[-1] / table.sweep_values[0]
+    assert series[-1] < series[0] * n_growth

@@ -1,0 +1,38 @@
+"""Lemma 3 bench: databases where BPA beats TA by the (m-1) bound."""
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.algorithms.base import get_algorithm
+from repro.datagen.adversarial import bpa_favorable_database
+
+CASES = [(3, 10), (4, 10), (6, 10), (8, 10), (10, 10)]
+
+
+def test_lemma3_separation_across_m(benchmark):
+    def sweep():
+        rows = []
+        for m, u in CASES:
+            database, info = bpa_favorable_database(m, u)
+            ta = get_algorithm("ta").run(database, 3)
+            bpa = get_algorithm("bpa").run(database, 3)
+            rows.append((m, u, ta.stop_position, bpa.stop_position,
+                         ta.tally.total, bpa.tally.total))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        "Lemma 3 worst cases: TA vs BPA stop position",
+        f"{'m':>4} {'u':>4} {'TA stop':>8} {'BPA stop':>9} "
+        f"{'TA acc':>8} {'BPA acc':>8} {'ratio':>7} {'m-1':>5}",
+    ]
+    for m, u, ta_stop, bpa_stop, ta_acc, bpa_acc in rows:
+        lines.append(
+            f"{m:>4} {u:>4} {ta_stop:>8} {bpa_stop:>9} "
+            f"{ta_acc:>8} {bpa_acc:>8} {ta_stop / bpa_stop:>7.2f} {m - 1:>5}"
+        )
+    (RESULTS_DIR / "lemma3.txt").write_text("\n".join(lines) + "\n")
+
+    for m, _u, ta_stop, bpa_stop, ta_acc, bpa_acc in rows:
+        assert ta_stop / bpa_stop >= m - 1
+        assert ta_acc / bpa_acc >= m - 1

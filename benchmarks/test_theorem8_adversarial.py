@@ -1,0 +1,40 @@
+"""Theorem 8 bench: databases where BPA2 does ~(m-1)x fewer accesses."""
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.algorithms.base import get_algorithm
+from repro.datagen.adversarial import bpa2_favorable_database
+
+CASES = [(3, 10), (4, 10), (6, 10), (8, 10), (10, 10)]
+
+
+def test_theorem8_separation_across_m(benchmark):
+    def sweep():
+        rows = []
+        for m, u in CASES:
+            database, info = bpa2_favorable_database(m, u)
+            bpa = get_algorithm("bpa").run(database, 3)
+            bpa2 = get_algorithm("bpa2").run(database, 3)
+            rows.append((m, u, info.j, bpa.tally.total, bpa2.tally.total))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        "Theorem 8 worst cases: BPA vs BPA2 total accesses",
+        f"{'m':>4} {'u':>4} {'BPA acc':>9} {'BPA2 acc':>9} "
+        f"{'ratio':>7} {'predicted':>10}",
+    ]
+    for m, u, j, bpa_acc, bpa2_acc in rows:
+        predicted = j / (u + 1)
+        lines.append(
+            f"{m:>4} {u:>4} {bpa_acc:>9} {bpa2_acc:>9} "
+            f"{bpa_acc / bpa2_acc:>7.2f} {predicted:>10.2f}"
+        )
+    (RESULTS_DIR / "theorem8.txt").write_text("\n".join(lines) + "\n")
+
+    for m, u, j, bpa_acc, bpa2_acc in rows:
+        ratio = bpa_acc / bpa2_acc
+        assert abs(ratio - j / (u + 1)) < 1e-9
+        # With u=10 the ratio sits within 10% of the asymptotic (m-1).
+        assert ratio > (m - 1) * 0.85

@@ -1,0 +1,89 @@
+"""Keyword search: top-k documents by aggregate relevance.
+
+The paper's second motivating example: "to find the top-k documents
+whose aggregate rank is the highest wrt. some given keywords ... have
+for each keyword a ranked list of documents, and return the k documents
+whose aggregate rank in all lists are the highest."
+
+This example builds a tiny search engine over a synthetic corpus: each
+query keyword has a posting list of (document, tf-idf-like score) sorted
+by relevance, and a weighted-sum scoring function expresses that the
+first keyword matters more than the rest.  BPA answers the query while
+touching a fraction of the postings.
+
+Run:  python examples/document_retrieval.py
+"""
+
+import math
+import random
+
+from repro import (
+    BestPositionAlgorithm,
+    Database,
+    SortedList,
+    ThresholdAlgorithm,
+    WeightedSumScoring,
+)
+
+N_DOCS = 2_000
+KEYWORDS = ("database", "distributed", "query", "optimization")
+K = 5
+SEED = 2007
+
+
+def synth_relevance(rng: random.Random, keyword_index: int, doc: int) -> float:
+    """A tf-idf-flavoured synthetic relevance score in [0, ~10].
+
+    Each keyword has a few hundred highly relevant documents (those whose
+    id falls in the keyword's "topic band") and background noise for the
+    rest — giving realistic skew: a document relevant to one keyword is
+    often relevant to neighbouring topics too.
+    """
+    band_center = (keyword_index + 1) * N_DOCS // (len(KEYWORDS) + 1)
+    distance = abs(doc - band_center)
+    topical = 8.0 * math.exp(-distance / 150.0)
+    noise = rng.random()
+    return topical + noise
+
+
+def build_index() -> Database:
+    """One posting list per keyword over the same corpus."""
+    rng = random.Random(SEED)
+    rows = []
+    for keyword_index, _keyword in enumerate(KEYWORDS):
+        rows.append(
+            [synth_relevance(rng, keyword_index, doc) for doc in range(N_DOCS)]
+        )
+    labels = {doc: f"doc-{doc:05d}" for doc in range(N_DOCS)}
+    return Database.from_score_rows(rows, labels=labels)
+
+
+def main() -> None:
+    database = build_index()
+    print(f"corpus: {N_DOCS:,} documents, keywords: {', '.join(KEYWORDS)}")
+
+    # The first keyword is the user's main term; weight it 2x.
+    scoring = WeightedSumScoring([2.0, 1.0, 1.0, 1.0])
+
+    bpa = BestPositionAlgorithm().run(database, K, scoring)
+    ta = ThresholdAlgorithm().run(database, K, scoring)
+
+    print(f"\ntop-{K} documents for query {' '.join(KEYWORDS)!r} "
+          f"(first keyword weighted 2x):")
+    for rank, entry in enumerate(bpa.items, start=1):
+        per_keyword = database.local_scores(entry.item)
+        detail = ", ".join(
+            f"{kw}={score:.2f}" for kw, score in zip(KEYWORDS, per_keyword)
+        )
+        print(f"  {rank}. {database.label(entry.item)}  "
+              f"score={entry.score:.3f}  ({detail})")
+
+    touched = bpa.stop_position
+    print(f"\nBPA scanned {touched:,} of {N_DOCS:,} postings per list "
+          f"({100 * touched / N_DOCS:.1f}%) — {bpa.tally.total:,} accesses "
+          f"vs TA's {ta.tally.total:,} "
+          f"(naive scan would read all {len(KEYWORDS) * N_DOCS:,} postings).")
+
+
+if __name__ == "__main__":
+    main()

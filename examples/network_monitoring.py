@@ -1,0 +1,76 @@
+"""Network monitoring: top-k popular URLs across distributed monitors.
+
+The scenario from the paper's conclusion: a monitoring application
+watches the activity of users at several IP locations; each location
+maintains a list of accessed URLs ranked by access frequency, and the
+administrator asks "what are the top-k popular URLs overall?".
+
+Each monitor is a *list owner* in the distributed simulation.  URL hit
+counts are Zipf-distributed (heavy-tailed, like real web traffic) and
+mildly correlated across locations (popular sites are popular
+everywhere).  The example compares the message bill of distributed TA,
+BPA, BPA2 and TPUT — the metric that matters when monitors are remote.
+
+Run:  python examples/network_monitoring.py
+"""
+
+from repro import CorrelatedGenerator, Database, SortedList
+from repro.distributed import (
+    DistributedBPA,
+    DistributedBPA2,
+    DistributedTA,
+    DistributedTPUT,
+)
+
+N_URLS = 5_000
+N_MONITORS = 6
+K = 10
+SEED = 7
+
+
+def build_monitor_database() -> Database:
+    """Zipf-popular URLs with correlated popularity across monitors."""
+    # CorrelatedGenerator already produces Zipf(0.7) scores with
+    # positionally-correlated lists — exactly "popular everywhere, with
+    # local variation".  alpha=0.02 keeps a URL's rank within ~2% of n
+    # across monitors.
+    generator = CorrelatedGenerator(alpha=0.02)
+    database = generator.generate(N_URLS, N_MONITORS, seed=SEED)
+    labels = {item: f"https://site-{item:04d}.example/" for item in range(N_URLS)}
+    # Rebuild with labels and monitor names (Database is immutable).
+    lists = [
+        SortedList(
+            list(zip(lst.items(), lst.scores())),
+            name=f"monitor-{i + 1}",
+        )
+        for i, lst in enumerate(database.lists)
+    ]
+    return Database(lists, labels=labels)
+
+
+def main() -> None:
+    database = build_monitor_database()
+    print(f"{N_MONITORS} monitors, {N_URLS:,} URLs each, top-{K} query\n")
+
+    drivers = [DistributedTA(), DistributedBPA(), DistributedBPA2(), DistributedTPUT()]
+    print(f"{'driver':>10} {'messages':>10} {'bytes':>12} {'accesses':>10}")
+    results = {}
+    for driver in drivers:
+        result = driver.run(database, K)
+        results[driver.name] = result
+        net = result.extras["network"]
+        print(f"{driver.name:>10} {net['messages']:>10,} {net['bytes']:>12,} "
+              f"{result.tally.total:>10,}")
+
+    ta_msgs = results["dist-ta"].extras["network"]["messages"]
+    bpa2_msgs = results["dist-bpa2"].extras["network"]["messages"]
+    print(f"\nBPA2 sends {ta_msgs / bpa2_msgs:.1f}x fewer messages than "
+          f"distributed TA on this workload.")
+
+    print(f"\ntop-{K} URLs (aggregate Zipf popularity):")
+    for entry in results["dist-bpa2"].items:
+        print(f"  {database.label(entry.item):<36} score={entry.score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

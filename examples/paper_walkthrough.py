@@ -1,0 +1,80 @@
+"""Round-by-round walkthrough of the paper's Figure 1 example.
+
+Replays Examples 1-3 of the paper on the exact Figure 1 database,
+printing what each algorithm sees at every position — the TA threshold
+column of Figure 1(b) and the best positions / lambda of Example 3 —
+so you can follow the two stopping mechanisms side by side.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro import SUM, figure1_database
+from repro.core.best_position import BitArrayTracker
+
+K = 3
+
+
+def walkthrough() -> None:
+    database = figure1_database()
+    m, n = database.m, database.n
+    print("Figure 1 database (positions 1-10 as printed in the paper):\n")
+    header = "  ".join(f"{'L' + str(i + 1):<12}" for i in range(m))
+    print(f"pos  {header}")
+    for position in range(1, 11):
+        cells = []
+        for lst in database.lists:
+            entry = lst.entry_at(position)
+            cells.append(f"{database.label(entry.item)}:{entry.score:<5g}   ")
+        print(f"{position:>3}  " + "  ".join(f"{c:<12}" for c in cells))
+
+    # --- TA's view -------------------------------------------------------
+    print("\nTA threshold per position (Figure 1b):")
+    overall = {
+        item: sum(lst.lookup(item)[0] for lst in database.lists)
+        for item in database.item_ids
+    }
+    top_scores = sorted(overall.values(), reverse=True)[:K]
+    seen: set[int] = set()
+    for position in range(1, n + 1):
+        threshold = sum(lst.score_at(position) for lst in database.lists)
+        for lst in database.lists:
+            seen.add(lst.item_at(position))
+        y = sorted((overall[item] for item in seen), reverse=True)[:K]
+        stop = len(y) == K and y[-1] >= threshold
+        print(f"  pos {position}: threshold={threshold:<5g} "
+              f"Y-scores={y}  {'<-- TA stops' if stop else ''}")
+        if stop:
+            break
+
+    # --- BPA's view ------------------------------------------------------
+    print("\nBPA best positions and lambda per round (Example 3):")
+    trackers = [BitArrayTracker(n) for _ in range(m)]
+    seen.clear()
+    for position in range(1, n + 1):
+        for index, lst in enumerate(database.lists):
+            item = lst.item_at(position)
+            seen.add(item)
+            for other_index, other in enumerate(database.lists):
+                score, pos = other.lookup(item)
+                trackers[other_index].mark(pos)
+        bps = [tracker.best_position for tracker in trackers]
+        lam = sum(
+            lst.score_at(bp) for lst, bp in zip(database.lists, bps)
+        )
+        y = sorted((overall[item] for item in seen), reverse=True)[:K]
+        stop = len(y) == K and y[-1] >= lam
+        print(f"  round {position}: best positions={bps} lambda={lam:<5g} "
+              f"Y-scores={y}  {'<-- BPA stops' if stop else ''}")
+        if stop:
+            break
+
+    print("\nPaper: TA stops at position 6, BPA at position 3 — "
+          f"(m-1) = {m - 1} times fewer sorted accesses on this database.")
+    print(f"top-{K}: " + ", ".join(
+        f"{database.label(item)}={score:g}"
+        for item, score in sorted(overall.items(), key=lambda kv: -kv[1])[:K]
+    ))
+
+
+if __name__ == "__main__":
+    walkthrough()

@@ -1,0 +1,96 @@
+"""Relational top-k: best restaurants by a monotonic score over attributes.
+
+The paper's first motivating example: "to find the top-k tuples in a
+relational table according to some scoring function over its attributes
+... it is sufficient to have a sorted (indexed) list of the values of
+each attribute involved in the scoring function."
+
+We synthesize a RESTAURANTS(food, service, value, proximity, price)
+table and query it through :class:`repro.relational.Table`, which builds
+one cached sorted index per attribute and runs BPA2 underneath.  Note
+``minimize=("price",)``: lower prices rank higher via a monotone flip of
+that index.
+
+Run:  python examples/relational_topk.py
+"""
+
+import random
+
+from repro.relational import Table
+
+N_RESTAURANTS = 3_000
+K = 5
+SEED = 13
+
+_ADJECTIVES = ("Golden", "Rusty", "Blue", "Urban", "Little", "Grand",
+               "Smoky", "Velvet", "Iron", "Sunny")
+_NOUNS = ("Fork", "Spoon", "Kettle", "Table", "Garden", "Harbor",
+          "Lantern", "Oven", "Cellar", "Terrace")
+
+
+def build_table() -> Table:
+    """A synthetic restaurants table.
+
+    Quality attributes (food/service) are correlated — well-run places
+    score high on both — while proximity and price are independent,
+    mirroring how real attribute indexes disagree.
+    """
+    rng = random.Random(SEED)
+    rows = []
+    for _ in range(N_RESTAURANTS):
+        quality = rng.gauss(3.0, 1.0)
+        rows.append({
+            "food": min(5.0, max(0.0, quality + rng.gauss(0, 0.5))),
+            "service": min(5.0, max(0.0, quality + rng.gauss(0, 0.7))),
+            "value": rng.uniform(0.0, 5.0),
+            "proximity": rng.uniform(0.0, 5.0),
+            "price": round(rng.uniform(8.0, 120.0), 2),
+        })
+    labels = {
+        rid: f"{rng.choice(_ADJECTIVES)} {rng.choice(_NOUNS)} #{rid}"
+        for rid in range(N_RESTAURANTS)
+    }
+    return Table("restaurants", {
+        column: [row[column] for row in rows] for column in rows[0]
+    }, labels=labels)
+
+
+def main() -> None:
+    table = build_table()
+    print(f"{table!r}\n")
+
+    # "Food lover on a budget who walks": food x3, proximity x2, and
+    # cheaper is better (price is minimized with a small weight).
+    result = table.topk(
+        K,
+        weights={"food": 3.0, "proximity": 2.0, "value": 1.0, "price": 0.02},
+        minimize=("price",),
+        algorithm="bpa2",
+    )
+
+    print(f"top-{K} restaurants (food x3, proximity x2, cheap preferred):")
+    for rank, row in enumerate(result.rows, start=1):
+        detail = ", ".join(
+            f"{column}={row.values[column]:.1f}" for column in result.columns
+        )
+        print(f"  {rank}. {row.label:<22} score={row.score:.2f}  ({detail})")
+
+    stats = result.stats
+    full_scan = table.n_rows * len(result.columns)
+    print(f"\nBPA2 answered with {stats.tally.total:,} index accesses "
+          f"(deepest index position touched: {stats.stop_position}); "
+          f"a full scan reads {full_scan:,} entries.")
+
+    # Re-running with another algorithm reuses the cached indexes.
+    naive = table.topk(
+        K,
+        weights={"food": 3.0, "proximity": 2.0, "value": 1.0, "price": 0.02},
+        minimize=("price",),
+        algorithm="naive",
+    )
+    assert [r.score for r in naive.rows] == [r.score for r in result.rows]
+    print("(verified identical to the full-scan answer)")
+
+
+if __name__ == "__main__":
+    main()

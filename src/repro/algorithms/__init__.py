@@ -1,0 +1,34 @@
+"""Top-k algorithms over sorted lists.
+
+Baselines from the literature (all implemented from scratch):
+
+* :class:`NaiveScan` — full scan of every list, O(m*n);
+* :class:`FaginsAlgorithm` (FA) — stop once k items were seen under sorted
+  access in *all* lists (Fagin 1999);
+* :class:`ThresholdAlgorithm` (TA) — stop once k seen items reach the
+  threshold built from the last scores seen under sorted access
+  (Fagin/Lotem/Naor 2001, Güntzer et al. 2001, Nepal/Ramakrishna 1999);
+* :class:`NoRandomAccess` (NRA) — sorted-access-only baseline with
+  lower/upper score bounds (extension; not part of the paper's
+  evaluation).
+
+The paper's own algorithms, BPA and BPA2, live in :mod:`repro.core`.
+"""
+
+from repro.algorithms.base import TopKAlgorithm, TopKBuffer, get_algorithm
+from repro.algorithms.fa import FaginsAlgorithm
+from repro.algorithms.naive import NaiveScan
+from repro.algorithms.nra import NoRandomAccess
+from repro.algorithms.quick_combine import QuickCombine
+from repro.algorithms.ta import ThresholdAlgorithm
+
+__all__ = [
+    "TopKAlgorithm",
+    "TopKBuffer",
+    "get_algorithm",
+    "NaiveScan",
+    "FaginsAlgorithm",
+    "ThresholdAlgorithm",
+    "NoRandomAccess",
+    "QuickCombine",
+]

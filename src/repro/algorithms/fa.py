@@ -1,0 +1,52 @@
+"""Fagin's Algorithm (FA).
+
+Phase 1: sorted access in parallel until at least ``k`` items have been
+seen under sorted access *in every list*.  Phase 2: random-access the
+missing local scores of every seen item, compute overall scores, return
+the k best.  (Fagin 1999; paper Section 3.1.)
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKAlgorithm, TopKBuffer, register
+from repro.lists.accessor import DatabaseAccessor
+from repro.types import ItemId
+
+
+@register
+class FaginsAlgorithm(TopKAlgorithm):
+    """FA: stop sorted access after k items are fully seen."""
+
+    name = "fa"
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m = accessor.m
+        n = accessor.n
+        # seen_in[item] = set of list indices where the item surfaced
+        # under *sorted* access (FA's phase-1 bookkeeping).
+        seen_in: dict[ItemId, set[int]] = {}
+        local: dict[ItemId, dict[int, float]] = {}
+        fully_seen = 0
+        position = 0
+
+        while fully_seen < k and position < n:
+            position += 1
+            for index, list_accessor in enumerate(accessor.accessors):
+                entry = list_accessor.sorted_next()
+                lists_with_item = seen_in.setdefault(entry.item, set())
+                if index not in lists_with_item:
+                    lists_with_item.add(index)
+                    local.setdefault(entry.item, {})[index] = entry.score
+                    if len(lists_with_item) == m:
+                        fully_seen += 1
+
+        # Phase 2: complete the picture with random accesses "as needed".
+        buffer = TopKBuffer(k)
+        for item, scores_by_list in local.items():
+            for index, list_accessor in enumerate(accessor.accessors):
+                if index not in scores_by_list:
+                    score, _position = list_accessor.random_lookup(item)
+                    scores_by_list[index] = score
+            ordered = [scores_by_list[index] for index in range(m)]
+            buffer.add(item, scoring(ordered))
+        return buffer.ranked(), position, position, {}

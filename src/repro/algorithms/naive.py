@@ -1,0 +1,58 @@
+"""The naive full-scan baseline.
+
+"A naive algorithm is to scan all lists from beginning to end and,
+maintain the local scores of each data item, compute the overall scores,
+and return the k highest scored data items.  However, this algorithm is
+executed in O(m*n)" — paper, Section 1.
+
+It is the correctness oracle for every other algorithm in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKAlgorithm, TopKBuffer, register
+from repro.lists.accessor import DatabaseAccessor
+from repro.lists.database import Database
+from repro.scoring import SUM, ScoringFunction
+from repro.types import ScoredItem
+
+
+@register
+class NaiveScan(TopKAlgorithm):
+    """Scan every list fully; exact but O(m*n)."""
+
+    name = "naive"
+    requires_monotonic = False  # correct for any scoring function
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m = accessor.m
+        n = accessor.n
+        local: dict[int, list[float]] = {}
+        for index, list_accessor in enumerate(accessor.accessors):
+            for _ in range(n):
+                entry = list_accessor.sorted_next()
+                local.setdefault(entry.item, [0.0] * m)[index] = entry.score
+        buffer = TopKBuffer(k)
+        for item, scores in local.items():
+            buffer.add(item, scoring(scores))
+        return buffer.ranked(), n, n, {}
+
+
+def brute_force_topk(
+    database: Database, k: int, scoring: ScoringFunction = SUM
+) -> tuple[ScoredItem, ...]:
+    """Unmetered exact top-k, for tests and oracles.
+
+    Unlike :class:`NaiveScan` this touches the lists directly (no access
+    accounting), so it is cheap to call in property-based tests.
+    """
+    totals: dict[int, list[float]] = {
+        item: [0.0] * database.m for item in database.item_ids
+    }
+    for index, sorted_list in enumerate(database.lists):
+        for entry in sorted_list.entries():
+            totals[entry.item][index] = entry.score
+    buffer = TopKBuffer(k)
+    for item, scores in totals.items():
+        buffer.add(item, scoring(scores))
+    return buffer.ranked()

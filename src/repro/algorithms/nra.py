@@ -1,0 +1,89 @@
+"""NRA — No Random Access (extension baseline, not in the paper's eval).
+
+For settings where random access is unavailable (e.g. web sources that
+only stream ranked results), NRA scans under sorted access only and keeps
+*score bounds* per seen item:
+
+* worst(d): scoring with unknown local scores floored at 0;
+* best(d):  scoring with unknown local scores replaced by the last score
+  seen under sorted access in that list (an upper bound by sortedness).
+
+It stops when the k-th best lower bound is at least the best upper bound
+of every other item, including the virtual not-yet-seen item whose upper
+bound is the TA threshold.  The returned *set* of items is exact; reported
+scores are the lower bounds (exact once an item has been seen in every
+list).  Requires non-negative local scores (the paper's problem setting).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKAlgorithm, register
+from repro.lists.accessor import DatabaseAccessor
+from repro.types import ItemId, Score, ScoredItem
+
+
+@register
+class NoRandomAccess(TopKAlgorithm):
+    """NRA: sorted access only, bound-based stopping."""
+
+    name = "nra"
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m = accessor.m
+        n = accessor.n
+        known: dict[ItemId, dict[int, Score]] = {}
+        last_scores: list[Score] = [0.0] * m
+        position = 0
+
+        while True:
+            position += 1
+            for index, list_accessor in enumerate(accessor.accessors):
+                entry = list_accessor.sorted_next()
+                last_scores[index] = entry.score
+                known.setdefault(entry.item, {})[index] = entry.score
+
+            stop, ranked = self._check_stop(known, last_scores, k, scoring, m)
+            if stop:
+                return ranked, position, position, {}
+            if position >= n:
+                # Everything seen; bounds are exact.
+                _stop, ranked = self._check_stop(
+                    known, last_scores, k, scoring, m, force=True
+                )
+                return ranked, position, position, {}
+
+    @staticmethod
+    def _check_stop(
+        known: dict[ItemId, dict[int, Score]],
+        last_scores: list[Score],
+        k: int,
+        scoring,
+        m: int,
+        *,
+        force: bool = False,
+    ) -> tuple[bool, tuple[ScoredItem, ...]]:
+        """Evaluate the NRA stop condition; returns (stop?, ranked top-k)."""
+        if len(known) < k and not force:
+            return False, ()
+        bounds: list[tuple[Score, Score, ItemId]] = []  # (worst, best, item)
+        for item, scores_by_list in known.items():
+            worst_vector = [scores_by_list.get(i, 0.0) for i in range(m)]
+            best_vector = [
+                scores_by_list.get(i, last_scores[i]) for i in range(m)
+            ]
+            bounds.append((scoring(worst_vector), scoring(best_vector), item))
+        # k best by (worst desc, item asc) — deterministic like TopKBuffer.
+        bounds.sort(key=lambda entry: (-entry[0], entry[2]))
+        top = bounds[:k]
+        rest = bounds[k:]
+        ranked = tuple(
+            ScoredItem(item=item, score=worst) for worst, _best, item in top
+        )
+        if force:
+            return True, ranked
+        kth_worst = top[-1][0]
+        best_unseen = scoring(list(last_scores))
+        best_rest = max((best for _worst, best, _item in rest), default=float("-inf"))
+        if kth_worst >= max(best_rest, best_unseen):
+            return True, ranked
+        return False, ranked

@@ -1,0 +1,124 @@
+"""Progressive top-k: stream answers without fixing k in advance.
+
+Many of the paper's motivating applications (interactive search, result
+pages, "give me more" UIs) do not know ``k`` up front.  This module
+turns the threshold machinery into a generator: items are emitted in
+non-increasing overall-score order the moment they *provably* cannot be
+beaten by anything unseen — i.e. as soon as their score reaches the
+current stopping value (TA's ``delta`` or BPA's ``lambda``).
+
+Because BPA's ``lambda`` is never above TA's ``delta`` (Lemma 1), the
+``mechanism="bpa"`` variant emits every answer at least as early — a
+direct, practical payoff of the paper's contribution beyond fixed-k
+queries.
+
+Usage::
+
+    for scored in progressive_topk(database):   # lazy; stop anytime
+        print(scored.item, scored.score)
+        if enough:
+            break
+
+The generator drives a metered accessor; pass ``tally_out`` to observe
+the access counts consumed so far.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.core.best_position import make_tracker
+from repro.errors import InvalidQueryError
+from repro.lists.accessor import DatabaseAccessor
+from repro.lists.database import Database
+from repro.scoring import SUM, ScoringFunction
+from repro.types import AccessTally, ItemId, Score, ScoredItem
+
+
+def progressive_topk(
+    database: Database,
+    scoring: ScoringFunction = SUM,
+    *,
+    mechanism: str = "bpa",
+    tally_out: AccessTally | None = None,
+) -> Iterator[ScoredItem]:
+    """Yield all items in descending overall-score order, lazily.
+
+    Args:
+        database: the sorted lists to query.
+        scoring: monotonic scoring function (default sum).
+        mechanism: ``"bpa"`` (default; emits earliest) or ``"ta"``.
+        tally_out: optional tally that is updated in place as accesses
+            happen, so callers can account the cost of the prefix they
+            actually consumed.
+    """
+    if mechanism not in ("ta", "bpa"):
+        raise InvalidQueryError(
+            f"mechanism must be 'ta' or 'bpa', got {mechanism!r}"
+        )
+    accessor = DatabaseAccessor(database)
+    m = accessor.m
+    n = accessor.n
+    overall: dict[ItemId, Score] = {}
+    # Max-heap of (negated score, item) for deterministic tie-breaking.
+    ready: list[tuple[float, ItemId]] = []
+    emitted: set[ItemId] = set()
+    use_bpa = mechanism == "bpa"
+    trackers = [make_tracker("bitarray", n) for _ in range(m)] if use_bpa else []
+    seen_scores: list[dict[int, Score]] = [{} for _ in range(m)]
+    last_scores: list[Score] = [0.0] * m
+
+    def note(list_index: int, position: int, score: Score) -> None:
+        if use_bpa:
+            trackers[list_index].mark(position)
+            seen_scores[list_index][position] = score
+
+    def sync_tally() -> None:
+        if tally_out is not None:
+            total = accessor.total_tally()
+            tally_out.sorted = total.sorted
+            tally_out.random = total.random
+            tally_out.direct = total.direct
+
+    for position in range(1, n + 1):
+        for index, list_accessor in enumerate(accessor.accessors):
+            entry = list_accessor.sorted_next()
+            last_scores[index] = entry.score
+            note(index, entry.position, entry.score)
+            if entry.item in overall:
+                continue
+            local: list[Score] = [0.0] * m
+            local[index] = entry.score
+            for other_index, other in enumerate(accessor.accessors):
+                if other_index == index:
+                    continue
+                score, pos = other.random_lookup(entry.item)
+                local[other_index] = score
+                note(other_index, pos, score)
+            total = scoring(local)
+            overall[entry.item] = total
+            heapq.heappush(ready, (-total, entry.item))
+
+        if use_bpa:
+            stop_value = scoring(
+                [seen_scores[i][trackers[i].best_position] for i in range(m)]
+            )
+        else:
+            stop_value = scoring(last_scores)
+
+        sync_tally()
+        while ready and -ready[0][0] >= stop_value:
+            neg_score, item = heapq.heappop(ready)
+            if item in emitted:
+                continue
+            emitted.add(item)
+            yield ScoredItem(item=item, score=-neg_score)
+
+    # Lists exhausted: everything is known; drain the rest in order.
+    sync_tally()
+    while ready:
+        neg_score, item = heapq.heappop(ready)
+        if item not in emitted:
+            emitted.add(item)
+            yield ScoredItem(item=item, score=-neg_score)

@@ -1,0 +1,112 @@
+"""Quick-Combine: TA with adaptive sorted-access scheduling.
+
+Güntzer, Kießling and Balke (paper reference [16]) observed that the
+threshold ``f(s_1, ..., s_m)`` shrinks fastest if sorted access is spent
+on the list whose scores are currently *dropping* fastest.  Instead of
+TA's strict parallel rounds, Quick-Combine performs one sorted access at
+a time on the list with the largest recent score decrease
+
+    delta_i = (s_i(p_i - d) - s_i(p_i)) / d
+
+over a lookahead window of ``d`` accesses, completes every newly seen
+item via random accesses, and applies the standard threshold stop test
+(which is valid for any access order: an unseen item is bounded by the
+last seen score of *every* list).
+
+This is an extension baseline, not part of the paper's evaluation; it is
+benchmarked against TA/BPA in ``benchmarks/test_quick_combine.py``.
+Random accesses are performed once per seen item (there is no
+round-structure forcing re-probes, so memoization is the natural
+accounting here).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import (
+    TopKAlgorithm,
+    TopKBuffer,
+    compute_overall,
+    register,
+)
+from repro.errors import InvalidQueryError
+from repro.types import ItemId, Score
+
+
+@register
+class QuickCombine(TopKAlgorithm):
+    """Adaptive-scheduling TA variant (Güntzer et al., ITCC 2001).
+
+    Args:
+        lookahead: window size ``d`` for the score-drop estimate (>= 1).
+            Each list is primed with ``lookahead + 1`` sorted accesses
+            before adaptive scheduling starts.
+    """
+
+    name = "qc"
+
+    def __init__(self, *, lookahead: int = 3) -> None:
+        if lookahead < 1:
+            raise InvalidQueryError(f"lookahead must be >= 1, got {lookahead}")
+        self._lookahead = lookahead
+
+    @property
+    def lookahead(self) -> int:
+        """The score-drop estimation window."""
+        return self._lookahead
+
+    def _execute(self, accessor, k, scoring):
+        m = accessor.m
+        n = accessor.n
+        buffer = TopKBuffer(k)
+        overall: dict[ItemId, Score] = {}
+        # history[i] = scores seen under sorted access in list i, in order.
+        history: list[list[Score]] = [[] for _ in range(m)]
+
+        def consume(index: int) -> None:
+            entry = accessor[index].sorted_next()
+            history[index].append(entry.score)
+            if entry.item not in overall:
+                score = compute_overall(
+                    accessor, entry.item, index, entry.score, scoring
+                )
+                overall[entry.item] = score
+                buffer.add(entry.item, score)
+
+        def threshold() -> Score:
+            return scoring([h[-1] for h in history])
+
+        def drop(index: int) -> float:
+            h = history[index]
+            window = min(self._lookahead, len(h) - 1)
+            if window == 0:
+                return 0.0
+            return (h[-1 - window] - h[-1]) / window
+
+        # Prime every list so drops are defined and the threshold exists.
+        priming = min(self._lookahead + 1, n)
+        for _ in range(priming):
+            for index in range(m):
+                consume(index)
+            if buffer.all_at_least(threshold()):
+                depth = max(len(h) for h in history)
+                return buffer.ranked(), depth, depth, {"depths": self._depths(history)}
+
+        # Adaptive phase: one sorted access at a time.
+        while True:
+            if buffer.all_at_least(threshold()):
+                break
+            candidates = [
+                index for index in range(m) if not accessor[index].exhausted
+            ]
+            if not candidates:
+                break  # everything seen; Y is exact
+            best = max(candidates, key=lambda index: (drop(index), -index))
+            consume(best)
+
+        depth = max(len(h) for h in history)
+        extras = {"depths": self._depths(history), "threshold": threshold()}
+        return buffer.ranked(), depth, depth, extras
+
+    @staticmethod
+    def _depths(history: list[list[Score]]) -> tuple[int, ...]:
+        return tuple(len(h) for h in history)

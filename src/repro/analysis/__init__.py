@@ -1,0 +1,34 @@
+"""Analytical models and execution tracing.
+
+Two tools that complement the measurements:
+
+* :mod:`repro.analysis.model` — closed-form predictions for uniform
+  databases: where TA stops (via the Irwin-Hall distribution of sums of
+  uniforms), how far BPA's best position can run ahead of the sorted
+  cursor (the coverage-gap model), and the execution cost implied by a
+  stop position.  These are used in EXPERIMENTS.md to explain *why* the
+  paper's uniform-database speedup for BPA does not emerge from a
+  faithful reimplementation.
+* :mod:`repro.analysis.trace` — instrumented per-round traces of TA and
+  BPA runs (thresholds, best positions, lambda, the running top-k), used
+  by the walkthrough example and by invariant tests (e.g. lambda <= delta
+  at every round, the heart of Lemma 1).
+"""
+
+from repro.analysis.model import (
+    expected_best_position_advance,
+    predicted_execution_cost,
+    predicted_ta_stop_position_uniform,
+    sum_of_uniforms_tail,
+)
+from repro.analysis.trace import RoundTrace, trace_bpa, trace_ta
+
+__all__ = [
+    "sum_of_uniforms_tail",
+    "predicted_ta_stop_position_uniform",
+    "expected_best_position_advance",
+    "predicted_execution_cost",
+    "RoundTrace",
+    "trace_ta",
+    "trace_bpa",
+]

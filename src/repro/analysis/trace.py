@@ -1,0 +1,119 @@
+"""Per-round execution traces for TA and BPA.
+
+A :class:`RoundTrace` captures everything the two stopping mechanisms
+look at after each parallel sorted-access round: TA's threshold
+``delta``, BPA's best positions and ``lambda``, and the running top-k
+scores.  Traces power the walkthrough example and make per-round
+invariants testable — most importantly the inequality at the heart of
+Lemma 1: ``lambda(p) <= delta(p)`` at every round.
+
+Tracing re-implements the scan loop (rather than instrumenting the
+production classes) so the production code stays lean; equivalence with
+the production algorithms is asserted by
+``tests/integration/test_analysis.py`` (same stop rounds, same answers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TopKBuffer
+from repro.core.best_position import make_tracker
+from repro.lists.database import Database
+from repro.scoring import SUM, ScoringFunction
+from repro.types import Score
+
+
+@dataclass(frozen=True, slots=True)
+class RoundTrace:
+    """State visible to the stopping rules after one round."""
+
+    position: int
+    threshold: Score  # TA's delta (or BPA's lambda, in BPA traces)
+    top_scores: tuple[Score, ...]  # the running Y, best first
+    best_positions: tuple[int, ...] = ()  # BPA only
+    stopped: bool = False
+
+
+def trace_ta(
+    database: Database, k: int, scoring: ScoringFunction = SUM
+) -> list[RoundTrace]:
+    """Round-by-round trace of TA on ``database``."""
+    m, n = database.m, database.n
+    buffer = TopKBuffer(k)
+    seen: set[int] = set()
+    rounds: list[RoundTrace] = []
+    for position in range(1, n + 1):
+        last_scores = []
+        for lst in database.lists:
+            entry = lst.entry_at(position)
+            last_scores.append(entry.score)
+            if entry.item not in seen:
+                seen.add(entry.item)
+                overall = scoring(
+                    [other.lookup(entry.item)[0] for other in database.lists]
+                )
+                buffer.add(entry.item, overall)
+        threshold = scoring(last_scores)
+        stopped = buffer.all_at_least(threshold)
+        rounds.append(
+            RoundTrace(
+                position=position,
+                threshold=threshold,
+                top_scores=tuple(e.score for e in buffer.ranked()),
+                stopped=stopped,
+            )
+        )
+        if stopped:
+            break
+    return rounds
+
+
+def trace_bpa(
+    database: Database, k: int, scoring: ScoringFunction = SUM
+) -> list[RoundTrace]:
+    """Round-by-round trace of BPA on ``database``."""
+    m, n = database.m, database.n
+    buffer = TopKBuffer(k)
+    seen: set[int] = set()
+    trackers = [make_tracker("bitarray", n) for _ in range(m)]
+    rounds: list[RoundTrace] = []
+    for position in range(1, n + 1):
+        for index, lst in enumerate(database.lists):
+            entry = lst.entry_at(position)
+            trackers[index].mark(entry.position)
+            if entry.item not in seen:
+                seen.add(entry.item)
+                local = []
+                for other_index, other in enumerate(database.lists):
+                    score, pos = other.lookup(entry.item)
+                    local.append(score)
+                    trackers[other_index].mark(pos)
+                buffer.add(entry.item, scoring(local))
+            else:
+                # Re-probes reveal (already-marked) positions; mirror the
+                # production algorithm's marking behaviour.
+                for other_index, other in enumerate(database.lists):
+                    if other_index != index:
+                        _score, pos = other.lookup(entry.item)
+                        trackers[other_index].mark(pos)
+        best_positions = tuple(t.best_position for t in trackers)
+        lam = scoring(
+            [
+                database.lists[i].score_at(bp)
+                for i, bp in enumerate(best_positions)
+            ]
+        )
+        stopped = buffer.all_at_least(lam)
+        rounds.append(
+            RoundTrace(
+                position=position,
+                threshold=lam,
+                top_scores=tuple(e.score for e in buffer.ranked()),
+                best_positions=best_positions,
+                stopped=stopped,
+            )
+        )
+        if stopped:
+            break
+    return rounds

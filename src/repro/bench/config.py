@@ -1,0 +1,96 @@
+"""Experimental defaults (paper Table 1) and scale presets.
+
+The paper runs every experiment at ``n = 100,000`` items per list.  A
+pure-Python per-access simulation makes the full grid slow, so the bench
+suite supports three scales selected by the ``REPRO_SCALE`` environment
+variable (or explicitly through the API):
+
+========  ==========================  ======================================
+scale     lists size                  intended use
+``smoke``  n = 2,000, short sweeps    CI / pytest-benchmark runs (seconds)
+``default`` n = 10,000, full sweeps   interactive runs (minutes)
+``paper``  n = 100,000, full sweeps   faithful paper grid (hours)
+========  ==========================  ======================================
+
+All *shape* conclusions (who wins, how gaps scale with m/k/n/alpha) are
+asserted at every scale; EXPERIMENTS.md records default-scale tables plus
+paper-scale spot checks.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PaperDefaults:
+    """Table 1 of the paper."""
+
+    n: int = 100_000
+    k: int = 20
+    m: int = 8
+    zipf_theta: float = 0.7
+
+
+PAPER_DEFAULTS = PaperDefaults()
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """One bench scale: base parameters and sweep grids."""
+
+    name: str
+    n: int
+    k: int
+    m: int
+    m_sweep: tuple[int, ...]
+    k_sweep: tuple[int, ...]
+    n_sweep: tuple[int, ...]
+    repeats: int = 1  # databases (seeds) per point; metrics are averaged
+    seed: int = 42
+
+    def scaled_note(self) -> str:
+        """One-line provenance string for report headers."""
+        return f"scale={self.name} (n={self.n}, k={self.k}, m={self.m})"
+
+
+SMOKE = Scale(
+    name="smoke",
+    n=2_000,
+    k=10,
+    m=5,
+    m_sweep=(2, 4, 6, 8),
+    k_sweep=(5, 10, 20, 40),
+    n_sweep=(500, 1_000, 2_000, 4_000),
+)
+
+DEFAULT = Scale(
+    name="default",
+    n=10_000,
+    k=20,
+    m=8,
+    m_sweep=(2, 4, 6, 8, 10, 12, 14, 16, 18),
+    k_sweep=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+    n_sweep=(2_500, 5_000, 7_500, 10_000, 12_500, 15_000, 17_500, 20_000),
+)
+
+PAPER = Scale(
+    name="paper",
+    n=100_000,
+    k=20,
+    m=8,
+    m_sweep=(2, 4, 6, 8, 10, 12, 14, 16, 18),
+    k_sweep=(10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+    n_sweep=(25_000, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000, 200_000),
+)
+
+_SCALES = {scale.name: scale for scale in (SMOKE, DEFAULT, PAPER)}
+
+
+def resolve_scale(name: str | None = None) -> Scale:
+    """Pick a scale: explicit name > ``REPRO_SCALE`` env > ``default``."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    if chosen not in _SCALES:
+        raise KeyError(f"unknown scale {chosen!r}; known: {sorted(_SCALES)}")
+    return _SCALES[chosen]

@@ -1,0 +1,180 @@
+"""The paper's figures as runnable experiments.
+
+Every figure of the evaluation section (Figures 3-17) is represented by
+one :class:`Experiment`.  The mapping (see DESIGN.md section 4):
+
+* Figures 3-5:   cost / accesses / time vs m, uniform database;
+* Figures 6-8:   cost / accesses / time vs m, Gaussian database;
+* Figures 9-11:  cost vs m, correlated (alpha = 0.001 / 0.01 / 0.1);
+* Figures 12-14: cost vs k (uniform, correlated 0.01, correlated 0.001);
+* Figures 15-17: cost vs n (uniform, correlated 0.01, correlated 0.0001).
+
+``get_figure("fig3")`` returns the experiment; ``run()`` produces the
+table.  The ``claims`` experiment computes the paper's headline speedup
+factors ((m+6)/8 for BPA, (m+1)/2 for BPA2).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment
+from repro.datagen.base import GeneratorSpec
+
+_UNIFORM = GeneratorSpec("uniform")
+_GAUSSIAN = GeneratorSpec("gaussian")
+
+
+def _correlated(alpha: float) -> GeneratorSpec:
+    return GeneratorSpec("correlated", {"alpha": alpha})
+
+
+_FIGURES: dict[str, Experiment] = {}
+
+
+def _define(experiment: Experiment) -> None:
+    _FIGURES[experiment.name] = experiment
+
+
+# --- Effect of the number of lists (Figures 3-11) --------------------------
+
+_define(Experiment(
+    name="fig3",
+    title="Execution cost vs number of lists (uniform database)",
+    sweep_name="m",
+    generator=_UNIFORM,
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig4",
+    title="Number of accesses vs number of lists (uniform database)",
+    sweep_name="m",
+    generator=_UNIFORM,
+    metric="accesses",
+))
+_define(Experiment(
+    name="fig5",
+    title="Response time vs number of lists (uniform database)",
+    sweep_name="m",
+    generator=_UNIFORM,
+    metric="response_time_ms",
+))
+_define(Experiment(
+    name="fig6",
+    title="Execution cost vs number of lists (Gaussian database)",
+    sweep_name="m",
+    generator=_GAUSSIAN,
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig7",
+    title="Number of accesses vs number of lists (Gaussian database)",
+    sweep_name="m",
+    generator=_GAUSSIAN,
+    metric="accesses",
+))
+_define(Experiment(
+    name="fig8",
+    title="Response time vs number of lists (Gaussian database)",
+    sweep_name="m",
+    generator=_GAUSSIAN,
+    metric="response_time_ms",
+))
+_define(Experiment(
+    name="fig9",
+    title="Execution cost vs number of lists (correlated, alpha=0.001)",
+    sweep_name="m",
+    generator=_correlated(0.001),
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig10",
+    title="Execution cost vs number of lists (correlated, alpha=0.01)",
+    sweep_name="m",
+    generator=_correlated(0.01),
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig11",
+    title="Execution cost vs number of lists (correlated, alpha=0.1)",
+    sweep_name="m",
+    generator=_correlated(0.1),
+    metric="execution_cost",
+))
+
+# --- Effect of k (Figures 12-14) --------------------------------------------
+
+_define(Experiment(
+    name="fig12",
+    title="Execution cost vs k (uniform database, m=8)",
+    sweep_name="k",
+    generator=_UNIFORM,
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig13",
+    title="Execution cost vs k (correlated, alpha=0.01, m=8)",
+    sweep_name="k",
+    generator=_correlated(0.01),
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig14",
+    title="Execution cost vs k (correlated, alpha=0.001, m=8)",
+    sweep_name="k",
+    generator=_correlated(0.001),
+    metric="execution_cost",
+))
+
+# --- Effect of n (Figures 15-17) --------------------------------------------
+
+_define(Experiment(
+    name="fig15",
+    title="Execution cost vs n (uniform database, m=8)",
+    sweep_name="n",
+    generator=_UNIFORM,
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig16",
+    title="Execution cost vs n (correlated, alpha=0.01, m=8)",
+    sweep_name="n",
+    generator=_correlated(0.01),
+    metric="execution_cost",
+))
+_define(Experiment(
+    name="fig17",
+    title="Execution cost vs n (correlated, alpha=0.0001, m=8)",
+    sweep_name="n",
+    generator=_correlated(0.0001),
+    metric="execution_cost",
+))
+
+
+def list_figures() -> list[str]:
+    """All experiment ids in definition order."""
+    return list(_FIGURES)
+
+
+def get_figure(name: str) -> Experiment:
+    """Fetch one figure experiment by id (e.g. ``"fig3"``)."""
+    if name not in _FIGURES:
+        raise KeyError(f"unknown figure {name!r}; known: {list(_FIGURES)}")
+    return _FIGURES[name]
+
+
+def speedup_factors(table) -> dict[str, dict[float, float]]:
+    """Headline-claim ratios from an m-sweep cost table.
+
+    Returns, per sweep value: measured TA/BPA and TA/BPA2 cost ratios plus
+    the paper's predicted factors (m+6)/8 and (m+1)/2.
+    """
+    out: dict[str, dict[float, float]] = {
+        "bpa_measured": {}, "bpa_paper": {},
+        "bpa2_measured": {}, "bpa2_paper": {},
+    }
+    for m in table.sweep_values:
+        ta_cost = table.value(m, "ta", "execution_cost")
+        out["bpa_measured"][m] = ta_cost / table.value(m, "bpa", "execution_cost")
+        out["bpa2_measured"][m] = ta_cost / table.value(m, "bpa2", "execution_cost")
+        out["bpa_paper"][m] = (m + 6) / 8
+        out["bpa2_paper"][m] = (m + 1) / 2
+    return out

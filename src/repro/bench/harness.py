@@ -1,0 +1,258 @@
+"""Sweep runner and result tables.
+
+An :class:`Experiment` is a declarative description of one paper figure:
+which parameter sweeps over which values, how the database is generated,
+which algorithms run, and which metrics matter.  Running it produces a
+:class:`ResultTable` that can be printed as an aligned text table (one
+series per algorithm, like the paper's plots) or exported to CSV.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.algorithms.base import get_algorithm
+from repro.bench.config import Scale
+from repro.datagen.base import GeneratorSpec
+from repro.lists.database import Database
+from repro.scoring import SUM
+from repro.types import CostModel
+
+#: Metric extractor signatures: (result, cost_model) -> float
+METRICS = ("execution_cost", "accesses", "response_time_ms", "stop_position")
+
+# Size-1 database cache: k-sweeps reuse one database across all k values,
+# so remembering the last (generator, n, m, seed) avoids pointless regen
+# without holding more than one database in memory.
+_LAST_DB: tuple[tuple, Database] | None = None
+
+
+def _generate_cached(spec: GeneratorSpec, n: int, m: int, seed: int) -> Database:
+    global _LAST_DB
+    key = (spec.describe(), n, m, seed)
+    if _LAST_DB is not None and _LAST_DB[0] == key:
+        return _LAST_DB[1]
+    database = spec.build().generate(n, m, seed=seed)
+    _LAST_DB = (key, database)
+    return database
+
+
+@dataclass(frozen=True, slots=True)
+class ResultRow:
+    """One (sweep value, algorithm) measurement, averaged over repeats."""
+
+    sweep_value: float
+    algorithm: str
+    execution_cost: float
+    accesses: float
+    response_time_ms: float
+    stop_position: float
+
+    def metric(self, name: str) -> float:
+        """Fetch a metric by name."""
+        return getattr(self, name)
+
+
+@dataclass
+class ResultTable:
+    """All measurements of one experiment run."""
+
+    experiment: str
+    title: str
+    sweep_name: str
+    metric: str
+    rows: list[ResultRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def algorithms(self) -> list[str]:
+        """Distinct algorithm names in first-seen order."""
+        seen: list[str] = []
+        for row in self.rows:
+            if row.algorithm not in seen:
+                seen.append(row.algorithm)
+        return seen
+
+    @property
+    def sweep_values(self) -> list[float]:
+        """Distinct sweep values in first-seen order."""
+        seen: list[float] = []
+        for row in self.rows:
+            if row.sweep_value not in seen:
+                seen.append(row.sweep_value)
+        return seen
+
+    def value(self, sweep_value: float, algorithm: str, metric: str | None = None) -> float:
+        """Look up one cell of the table."""
+        for row in self.rows:
+            if row.sweep_value == sweep_value and row.algorithm == algorithm:
+                return row.metric(metric or self.metric)
+        raise KeyError(f"no row for {self.sweep_name}={sweep_value}, {algorithm}")
+
+    def series(self, algorithm: str, metric: str | None = None) -> list[float]:
+        """The metric values of one algorithm across the sweep."""
+        return [
+            self.value(sweep_value, algorithm, metric)
+            for sweep_value in self.sweep_values
+        ]
+
+    def to_text(self, metric: str | None = None) -> str:
+        """Aligned text table: one row per sweep value, one column per algorithm."""
+        metric = metric or self.metric
+        algorithms = self.algorithms
+        header = [self.sweep_name] + algorithms
+        body: list[list[str]] = []
+        for sweep_value in self.sweep_values:
+            cells = [self._format_number(sweep_value)]
+            for algorithm in algorithms:
+                cells.append(
+                    self._format_number(self.value(sweep_value, algorithm, metric))
+                )
+            body.append(cells)
+        widths = [
+            max(len(header[col]), *(len(row[col]) for row in body)) + 2
+            if body
+            else len(header[col]) + 2
+            for col in range(len(header))
+        ]
+        lines = [f"== {self.experiment}: {self.title} [{metric}] =="]
+        lines.extend(f"   {note}" for note in self.notes)
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        for cells in body:
+            lines.append("".join(c.rjust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV export with every metric column."""
+        lines = ["sweep_name,sweep_value,algorithm," + ",".join(METRICS)]
+        for row in self.rows:
+            lines.append(
+                f"{self.sweep_name},{row.sweep_value},{row.algorithm},"
+                f"{row.execution_cost},{row.accesses},"
+                f"{row.response_time_ms},{row.stop_position}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """JSON export (experiment metadata + all rows, all metrics)."""
+        import json
+
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "sweep_name": self.sweep_name,
+                "metric": self.metric,
+                "notes": self.notes,
+                "rows": [
+                    {
+                        "sweep_value": row.sweep_value,
+                        "algorithm": row.algorithm,
+                        **{metric: row.metric(metric) for metric in METRICS},
+                    }
+                    for row in self.rows
+                ],
+            },
+            indent=2,
+        )
+
+    @staticmethod
+    def _format_number(value: float) -> str:
+        if value == int(value) and abs(value) < 1e15:
+            return f"{int(value):,}"
+        return f"{value:,.2f}"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Declarative description of one figure's experiment.
+
+    Args:
+        name: experiment id, e.g. ``"fig3"``.
+        title: human-readable description for reports.
+        sweep_name: which parameter varies (``m``, ``k``, ``n``).
+        generator: how databases are generated.
+        algorithms: algorithm names (resolved via the registry).
+        metric: headline metric of the figure.
+        sweep_values: explicit sweep override; defaults to the scale grid.
+    """
+
+    name: str
+    title: str
+    sweep_name: str
+    generator: GeneratorSpec
+    algorithms: tuple[str, ...] = ("ta", "bpa", "bpa2")
+    metric: str = "execution_cost"
+    sweep_values: tuple[float, ...] | None = None
+
+    def grid(self, scale: Scale) -> Sequence[float]:
+        """The sweep values for a given scale."""
+        if self.sweep_values is not None:
+            return self.sweep_values
+        if self.sweep_name == "m":
+            return scale.m_sweep
+        if self.sweep_name == "k":
+            return scale.k_sweep
+        if self.sweep_name == "n":
+            return scale.n_sweep
+        raise KeyError(f"no default grid for sweep {self.sweep_name!r}")
+
+    def run(
+        self,
+        scale: Scale,
+        *,
+        progress: Callable[[str], None] | None = None,
+    ) -> ResultTable:
+        """Execute the sweep and collect all metrics."""
+        table = ResultTable(
+            experiment=self.name,
+            title=self.title,
+            sweep_name=self.sweep_name,
+            metric=self.metric,
+            notes=[
+                f"database={self.generator.describe()}",
+                scale.scaled_note(),
+            ],
+        )
+        for sweep_value in self.grid(scale):
+            params = {"n": scale.n, "m": scale.m, "k": scale.k}
+            params[self.sweep_name] = int(sweep_value)
+            per_algo: dict[str, list[tuple[float, float, float, float]]] = {
+                algo: [] for algo in self.algorithms
+            }
+            for repeat in range(scale.repeats):
+                seed = scale.seed + repeat
+                database = _generate_cached(
+                    self.generator, params["n"], params["m"], seed
+                )
+                model = CostModel.for_database_size(params["n"])
+                for algo_name in self.algorithms:
+                    algorithm = get_algorithm(algo_name)
+                    started = time.perf_counter()
+                    result = algorithm.run(database, params["k"], SUM)
+                    elapsed_ms = (time.perf_counter() - started) * 1e3
+                    per_algo[algo_name].append(
+                        (
+                            model.execution_cost(result.tally),
+                            float(result.tally.total),
+                            elapsed_ms,
+                            float(result.stop_position),
+                        )
+                    )
+            for algo_name, samples in per_algo.items():
+                table.rows.append(
+                    ResultRow(
+                        sweep_value=sweep_value,
+                        algorithm=algo_name,
+                        execution_cost=statistics.mean(s[0] for s in samples),
+                        accesses=statistics.mean(s[1] for s in samples),
+                        response_time_ms=statistics.mean(s[2] for s in samples),
+                        stop_position=statistics.mean(s[3] for s in samples),
+                    )
+                )
+            if progress is not None:
+                progress(f"{self.name}: {self.sweep_name}={sweep_value} done")
+        return table

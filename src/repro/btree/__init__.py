@@ -1,0 +1,18 @@
+"""A from-scratch B+tree.
+
+The paper (Section 5.2.2) manages *seen positions* with a B+tree whose
+linked leaves allow the best-position pointer to advance in amortized
+O(1).  This package provides a complete, general-purpose B+tree:
+
+* :class:`BPlusTree` — ordered key/value map with ``insert``, ``delete``,
+  ``get``, range iteration and successor queries;
+* linked leaves exposed through :meth:`BPlusTree.leaf_cells`, which is what
+  the best-position tracker walks.
+
+The tree is also usable as an item → position index for
+:class:`repro.lists.sorted_list.SortedList` (see ``index_kind="btree"``).
+"""
+
+from repro.btree.tree import BPlusTree, LeafCell
+
+__all__ = ["BPlusTree", "LeafCell"]

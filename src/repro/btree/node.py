@@ -1,0 +1,101 @@
+"""Internal node structures of the B+tree.
+
+Two node kinds, as in a textbook B+tree:
+
+* :class:`LeafNode` stores keys with their values and links to the next
+  and previous leaves (the paper's linked list of cells);
+* :class:`InternalNode` stores separator keys and child pointers; child
+  ``i`` holds keys < ``keys[i]``, child ``i+1`` holds keys >= ``keys[i]``.
+
+Nodes are plain containers; all balancing logic lives in
+:mod:`repro.btree.tree`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Optional
+
+
+class Node:
+    """Common base for B+tree nodes."""
+
+    __slots__ = ("keys", "parent")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.parent: Optional[InternalNode] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class LeafNode(Node):
+    """A leaf holding ``keys`` and parallel ``values`` plus leaf links."""
+
+    __slots__ = ("values", "next", "prev")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: list[Any] = []
+        self.next: Optional[LeafNode] = None
+        self.prev: Optional[LeafNode] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def find(self, key: Any) -> int | None:
+        """Index of ``key`` in this leaf, or ``None`` if absent."""
+        idx = bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return idx
+        return None
+
+    def insert_at(self, idx: int, key: Any, value: Any) -> None:
+        self.keys.insert(idx, key)
+        self.values.insert(idx, value)
+
+    def remove_at(self, idx: int) -> None:
+        del self.keys[idx]
+        del self.values[idx]
+
+
+class InternalNode(Node):
+    """An internal node with ``len(children) == len(keys) + 1``."""
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def child_index_for(self, key: Any) -> int:
+        """Index of the child subtree that may contain ``key``.
+
+        Separator convention: keys equal to ``keys[i]`` live in child
+        ``i + 1`` (right-biased), which matches how splits promote the
+        first key of the new right sibling.
+        """
+        return bisect_right(self.keys, key)
+
+    def index_of_child(self, child: Node) -> int:
+        """Position of ``child`` in ``children`` (identity comparison)."""
+        for idx, candidate in enumerate(self.children):
+            if candidate is child:
+                return idx
+        raise ValueError("node is not a child of this internal node")
+
+    def insert_child(self, idx: int, key: Any, child: Node) -> None:
+        """Insert separator ``key`` at ``idx`` with ``child`` to its right."""
+        self.keys.insert(idx, key)
+        self.children.insert(idx + 1, child)
+        child.parent = self

@@ -1,0 +1,506 @@
+"""A complete in-memory B+tree.
+
+Keys may be any mutually comparable values (positions, item ids, strings).
+Values default to ``None`` so the tree doubles as an ordered set, which is
+how :class:`repro.core.best_position.BPlusTreeTracker` uses it.
+
+Implementation notes
+--------------------
+* ``order`` is the maximum number of children of an internal node; both
+  leaves and internal nodes hold at most ``order - 1`` keys and (root
+  excepted) at least ``(order - 1) // 2`` keys.
+* Separator convention is right-biased: a key equal to a separator lives in
+  the right subtree (see :meth:`repro.btree.node.InternalNode.child_index_for`).
+* Leaves form a doubly linked list, exposed as :class:`LeafCell` cursors so
+  callers can replicate the paper's ``bp := bp.next`` walk verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.btree.node import InternalNode, LeafNode, Node
+
+_MISSING = object()
+
+
+class LeafCell:
+    """A cursor to one `(key, value)` cell of a leaf.
+
+    Mirrors the paper's linked-list cells: ``cell.element`` is the stored
+    key and ``cell.next`` the following cell (or ``None`` at the end).
+    Cursors are positional snapshots; advancing through ``next`` always
+    reflects the tree's current state.
+    """
+
+    __slots__ = ("_leaf", "_index")
+
+    def __init__(self, leaf: LeafNode, index: int) -> None:
+        self._leaf = leaf
+        self._index = index
+
+    @property
+    def element(self) -> Any:
+        """The key stored in this cell."""
+        return self._leaf.keys[self._index]
+
+    @property
+    def value(self) -> Any:
+        """The value stored in this cell."""
+        return self._leaf.values[self._index]
+
+    @property
+    def next(self) -> Optional["LeafCell"]:
+        """The next cell in key order, or ``None`` if this is the last."""
+        if self._index + 1 < len(self._leaf.keys):
+            return LeafCell(self._leaf, self._index + 1)
+        leaf = self._leaf.next
+        while leaf is not None and not leaf.keys:
+            leaf = leaf.next
+        if leaf is None:
+            return None
+        return LeafCell(leaf, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LeafCell(element={self.element!r})"
+
+
+class BPlusTree:
+    """An ordered key/value map backed by a B+tree.
+
+    Args:
+        order: maximum number of children per internal node (>= 3).
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ValueError(f"B+tree order must be >= 3, got {order}")
+        self._order = order
+        self._max_keys = order - 1
+        self._min_keys = (order - 1) // 2
+        self._root: Node = LeafNode()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> int:
+        """Maximum number of children per internal node."""
+        return self._order
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __contains__(self, key: Any) -> bool:
+        return self._find_leaf(key).find(key) is not None
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> LeafNode:
+        node = self._root
+        while not node.is_leaf:
+            assert isinstance(node, InternalNode)
+            node = node.children[node.child_index_for(key)]
+        assert isinstance(node, LeafNode)
+        return node
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value stored under ``key``, or ``default`` if absent."""
+        leaf = self._find_leaf(key)
+        idx = leaf.find(key)
+        if idx is None:
+            return default
+        return leaf.values[idx]
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def min_key(self) -> Any:
+        """Smallest key in the tree; raises ``KeyError`` when empty."""
+        if not self._size:
+            raise KeyError("min_key() on empty B+tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key in the tree; raises ``KeyError`` when empty."""
+        if not self._size:
+            raise KeyError("max_key() on empty B+tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]  # type: ignore[attr-defined]
+        return node.keys[-1]
+
+    def successor(self, key: Any) -> Any:
+        """Smallest stored key strictly greater than ``key``.
+
+        Raises ``KeyError`` when no such key exists.
+        """
+        leaf = self._find_leaf(key)
+        for candidate in leaf.keys:
+            if candidate > key:
+                return candidate
+        nxt = leaf.next
+        while nxt is not None:
+            if nxt.keys:
+                return nxt.keys[0]
+            nxt = nxt.next
+        raise KeyError(f"no key greater than {key!r}")
+
+    def first_cell(self) -> Optional[LeafCell]:
+        """Cursor to the smallest key's cell, or ``None`` when empty."""
+        if not self._size:
+            return None
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        assert isinstance(node, LeafNode)
+        return LeafCell(node, 0)
+
+    def cell_for(self, key: Any) -> Optional[LeafCell]:
+        """Cursor to ``key``'s cell, or ``None`` if the key is absent."""
+        leaf = self._find_leaf(key)
+        idx = leaf.find(key)
+        if idx is None:
+            return None
+        return LeafCell(leaf, idx)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+
+    def _first_leaf(self) -> LeafNode:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+        assert isinstance(node, LeafNode)
+        return node
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All `(key, value)` pairs in ascending key order."""
+        leaf: Optional[LeafNode] = self._first_leaf()
+        while leaf is not None:
+            yield from zip(leaf.keys, leaf.values)
+            leaf = leaf.next
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in ascending order."""
+        for key, _value in self.items():
+            yield key
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.keys()
+
+    def range_items(
+        self, low: Any = None, high: Any = None, *, inclusive: bool = True
+    ) -> Iterator[tuple[Any, Any]]:
+        """`(key, value)` pairs with ``low <= key <= high``.
+
+        ``None`` bounds are open; ``inclusive=False`` makes the *high*
+        bound exclusive (the low bound is always inclusive).
+        """
+        if low is None:
+            leaf: Optional[LeafNode] = self._first_leaf()
+        else:
+            leaf = self._find_leaf(low)
+        while leaf is not None:
+            for key, value in zip(leaf.keys, leaf.values):
+                if low is not None and key < low:
+                    continue
+                if high is not None:
+                    if inclusive and key > high:
+                        return
+                    if not inclusive and key >= high:
+                        return
+                yield key, value
+            leaf = leaf.next
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any = None) -> bool:
+        """Insert ``key`` (replacing the value if present).
+
+        Returns ``True`` when a new key was added, ``False`` when an
+        existing key's value was replaced.
+        """
+        leaf = self._find_leaf(key)
+        idx = leaf.find(key)
+        if idx is not None:
+            leaf.values[idx] = value
+            return False
+        from bisect import bisect_left
+
+        leaf.insert_at(bisect_left(leaf.keys, key), key, value)
+        self._size += 1
+        if len(leaf.keys) > self._max_keys:
+            self._split_leaf(leaf)
+        return True
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self.insert(key, value)
+
+    def _split_leaf(self, leaf: LeafNode) -> None:
+        mid = len(leaf.keys) // 2
+        right = LeafNode()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        self._insert_into_parent(leaf, right.keys[0], right)
+
+    def _split_internal(self, node: InternalNode) -> None:
+        mid = len(node.keys) // 2
+        promoted = node.keys[mid]
+        right = InternalNode()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        for child in right.children:
+            child.parent = right
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._insert_into_parent(node, promoted, right)
+
+    def _insert_into_parent(self, left: Node, key: Any, right: Node) -> None:
+        parent = left.parent
+        if parent is None:
+            root = InternalNode()
+            root.keys = [key]
+            root.children = [left, right]
+            left.parent = root
+            right.parent = root
+            self._root = root
+            return
+        idx = parent.index_of_child(left)
+        parent.insert_child(idx, key, right)
+        if len(parent.keys) > self._max_keys:
+            self._split_internal(parent)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns ``True`` if it was present."""
+        leaf = self._find_leaf(key)
+        idx = leaf.find(key)
+        if idx is None:
+            return False
+        leaf.remove_at(idx)
+        self._size -= 1
+        if leaf.parent is not None and len(leaf.keys) < self._min_keys:
+            self._rebalance_leaf(leaf)
+        return True
+
+    def __delitem__(self, key: Any) -> None:
+        if not self.delete(key):
+            raise KeyError(key)
+
+    def pop(self, key: Any, default: Any = _MISSING) -> Any:
+        """Remove ``key`` and return its value (or ``default``)."""
+        leaf = self._find_leaf(key)
+        idx = leaf.find(key)
+        if idx is None:
+            if default is _MISSING:
+                raise KeyError(key)
+            return default
+        value = leaf.values[idx]
+        leaf.remove_at(idx)
+        self._size -= 1
+        if leaf.parent is not None and len(leaf.keys) < self._min_keys:
+            self._rebalance_leaf(leaf)
+        return value
+
+    def _siblings(self, node: Node) -> tuple[Optional[Node], Optional[Node], int]:
+        """Left sibling, right sibling and the node's child index."""
+        parent = node.parent
+        assert parent is not None
+        idx = parent.index_of_child(node)
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+        return left, right, idx
+
+    def _rebalance_leaf(self, leaf: LeafNode) -> None:
+        parent = leaf.parent
+        assert parent is not None
+        left, right, idx = self._siblings(leaf)
+
+        if isinstance(left, LeafNode) and len(left.keys) > self._min_keys:
+            # Borrow the largest entry of the left sibling.
+            leaf.insert_at(0, left.keys[-1], left.values[-1])
+            left.remove_at(len(left.keys) - 1)
+            parent.keys[idx - 1] = leaf.keys[0]
+            return
+        if isinstance(right, LeafNode) and len(right.keys) > self._min_keys:
+            # Borrow the smallest entry of the right sibling.
+            leaf.insert_at(len(leaf.keys), right.keys[0], right.values[0])
+            right.remove_at(0)
+            parent.keys[idx] = right.keys[0]
+            return
+
+        if isinstance(left, LeafNode):
+            self._merge_leaves(left, leaf, idx - 1)
+        else:
+            assert isinstance(right, LeafNode)
+            self._merge_leaves(leaf, right, idx)
+
+    def _merge_leaves(self, left: LeafNode, right: LeafNode, sep_idx: int) -> None:
+        """Fold ``right`` into ``left`` and drop separator ``sep_idx``."""
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.next = right.next
+        if right.next is not None:
+            right.next.prev = left
+        parent = left.parent
+        assert parent is not None
+        del parent.keys[sep_idx]
+        del parent.children[sep_idx + 1]
+        self._after_internal_shrink(parent)
+
+    def _after_internal_shrink(self, node: InternalNode) -> None:
+        if node.parent is None:
+            # Root: collapse when it has a single child left.
+            if not node.keys and len(node.children) == 1:
+                self._root = node.children[0]
+                self._root.parent = None
+            return
+        if len(node.keys) >= self._min_keys:
+            return
+        self._rebalance_internal(node)
+
+    def _rebalance_internal(self, node: InternalNode) -> None:
+        parent = node.parent
+        assert parent is not None
+        left, right, idx = self._siblings(node)
+
+        if isinstance(left, InternalNode) and len(left.keys) > self._min_keys:
+            # Rotate right through the parent separator.
+            node.keys.insert(0, parent.keys[idx - 1])
+            child = left.children.pop()
+            child.parent = node
+            node.children.insert(0, child)
+            parent.keys[idx - 1] = left.keys.pop()
+            return
+        if isinstance(right, InternalNode) and len(right.keys) > self._min_keys:
+            # Rotate left through the parent separator.
+            node.keys.append(parent.keys[idx])
+            child = right.children.pop(0)
+            child.parent = node
+            node.children.append(child)
+            parent.keys[idx] = right.keys.pop(0)
+            return
+
+        if isinstance(left, InternalNode):
+            self._merge_internals(left, node, idx - 1)
+        else:
+            assert isinstance(right, InternalNode)
+            self._merge_internals(node, right, idx)
+
+    def _merge_internals(
+        self, left: InternalNode, right: InternalNode, sep_idx: int
+    ) -> None:
+        parent = left.parent
+        assert parent is not None
+        left.keys.append(parent.keys[sep_idx])
+        left.keys.extend(right.keys)
+        for child in right.children:
+            child.parent = left
+        left.children.extend(right.children)
+        del parent.keys[sep_idx]
+        del parent.children[sep_idx + 1]
+        self._after_internal_shrink(parent)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def height(self) -> int:
+        """Number of levels (1 for a tree that is a single leaf)."""
+        levels = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[attr-defined]
+            levels += 1
+        return levels
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises ``AssertionError``.
+
+        Used by the test suite after random operation sequences.
+        """
+        leaves: list[LeafNode] = []
+        self._validate_node(self._root, None, None, leaves, is_root=True)
+
+        # Leaf-link chain must visit exactly the leaves found by descent.
+        chain: list[LeafNode] = []
+        leaf = self._first_leaf()
+        while leaf is not None:
+            chain.append(leaf)
+            if leaf.next is not None:
+                assert leaf.next.prev is leaf, "broken prev link"
+            leaf = leaf.next
+        assert [id(x) for x in chain] == [id(x) for x in leaves], "leaf chain mismatch"
+
+        total = sum(len(leaf.keys) for leaf in leaves)
+        assert total == self._size, f"size mismatch: {total} != {self._size}"
+
+        flattened = [key for leaf in leaves for key in leaf.keys]
+        assert flattened == sorted(flattened), "keys out of order"
+        assert len(set(flattened)) == len(flattened), "duplicate keys"
+
+    def _validate_node(
+        self,
+        node: Node,
+        low: Any,
+        high: Any,
+        leaves: list[LeafNode],
+        *,
+        is_root: bool,
+    ) -> int:
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        for key in node.keys:
+            if low is not None:
+                assert key >= low, "key below lower bound"
+            if high is not None:
+                assert key < high, "key above upper bound"
+        if node.is_leaf:
+            assert isinstance(node, LeafNode)
+            if not is_root:
+                assert len(node.keys) >= self._min_keys, "leaf underflow"
+            assert len(node.keys) <= self._max_keys, "leaf overflow"
+            leaves.append(node)
+            return 1
+        assert isinstance(node, InternalNode)
+        if not is_root:
+            assert len(node.keys) >= self._min_keys, "internal underflow"
+        assert len(node.keys) <= self._max_keys, "internal overflow"
+        assert len(node.children) == len(node.keys) + 1, "child count mismatch"
+        depths = set()
+        bounds = [low, *node.keys, high]
+        for i, child in enumerate(node.children):
+            assert child.parent is node, "broken parent pointer"
+            depths.add(
+                self._validate_node(
+                    child, bounds[i], bounds[i + 1], leaves, is_root=False
+                )
+            )
+        assert len(depths) == 1, "leaves at different depths"
+        return depths.pop() + 1

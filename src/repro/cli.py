@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-topk query --generator uniform --n 10000 --m 8 --k 20
+    repro-topk figure fig3
+    repro-topk figure all --scale smoke
+    repro-topk paper-examples
+    repro-topk adversarial --m 6 --u 5
+    repro-topk distributed --n 2000 --m 6 --k 10
+
+(Equivalently ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.algorithms.base import get_algorithm, known_algorithms
+from repro.bench.config import resolve_scale
+from repro.bench.experiments import get_figure, list_figures, speedup_factors
+from repro.datagen.adversarial import bpa2_favorable_database, bpa_favorable_database
+from repro.datagen.base import make_generator
+from repro.datagen.figures import figure1_database, figure2_database
+from repro.types import CostModel
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-topk",
+        description="Reproduction of 'Best Position Algorithms for Top-k Queries' (VLDB 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run one top-k query and report costs")
+    query.add_argument("--generator", default="uniform",
+                       choices=("uniform", "gaussian", "correlated"))
+    query.add_argument("--alpha", type=float, default=0.01,
+                       help="correlation parameter (correlated generator only)")
+    query.add_argument("--n", type=int, default=10_000)
+    query.add_argument("--m", type=int, default=8)
+    query.add_argument("--k", type=int, default=20)
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--algorithms", nargs="+", default=["ta", "bpa", "bpa2"])
+
+    figure = sub.add_parser("figure", help="reproduce a paper figure (or 'all')")
+    figure.add_argument("name", help=f"one of {list_figures()} or 'all'")
+    figure.add_argument("--scale", default=None,
+                        help="smoke | default | paper (or set REPRO_SCALE)")
+    figure.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    figure.add_argument("--out", default=None, metavar="DIR",
+                        help="also write <fig>.txt/.csv/.json under DIR")
+
+    sub.add_parser("paper-examples",
+                   help="replay the worked examples of Figures 1 and 2")
+
+    adversarial = sub.add_parser(
+        "adversarial", help="demonstrate the Lemma 3 / Theorem 8 worst cases"
+    )
+    adversarial.add_argument("--m", type=int, default=6)
+    adversarial.add_argument("--u", type=int, default=5)
+    adversarial.add_argument("--k", type=int, default=3)
+
+    trace = sub.add_parser(
+        "trace", help="round-by-round TA vs BPA trace on a small database"
+    )
+    trace.add_argument("--n", type=int, default=30)
+    trace.add_argument("--m", type=int, default=3)
+    trace.add_argument("--k", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.add_argument("--figure1", action="store_true",
+                       help="trace the paper's Figure 1 database instead")
+
+    distributed = sub.add_parser(
+        "distributed", help="compare message counts of the distributed drivers"
+    )
+    distributed.add_argument("--n", type=int, default=2_000)
+    distributed.add_argument("--m", type=int, default=6)
+    distributed.add_argument("--k", type=int, default=10)
+    distributed.add_argument("--seed", type=int, default=42)
+    distributed.add_argument("--generator", default="uniform",
+                             choices=("uniform", "gaussian", "correlated"))
+    distributed.add_argument("--alpha", type=float, default=0.01)
+
+    return parser
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    params = {"alpha": args.alpha} if args.generator == "correlated" else {}
+    generator = make_generator(args.generator, **params)
+    database = generator.generate(args.n, args.m, seed=args.seed)
+    model = CostModel.for_database_size(args.n)
+    print(f"database: {args.generator} n={args.n} m={args.m} k={args.k} seed={args.seed}")
+    print(f"{'algorithm':>10} {'stop':>8} {'sorted':>9} {'random':>9} "
+          f"{'direct':>9} {'cost':>14} {'time_ms':>9}")
+    for name in args.algorithms:
+        if name not in known_algorithms():
+            print(f"unknown algorithm {name!r}; known: {known_algorithms()}",
+                  file=sys.stderr)
+            return 2
+        algorithm = get_algorithm(name)
+        started = time.perf_counter()
+        result = algorithm.run(database, args.k)
+        elapsed = (time.perf_counter() - started) * 1e3
+        tally = result.tally
+        print(f"{name:>10} {result.stop_position:>8} {tally.sorted:>9} "
+              f"{tally.random:>9} {tally.direct:>9} "
+              f"{model.execution_cost(tally):>14,.0f} {elapsed:>9.1f}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scale = resolve_scale(args.scale)
+    names = list_figures() if args.name == "all" else [args.name]
+    out_dir = None
+    if args.out:
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        experiment = get_figure(name)
+        table = experiment.run(scale, progress=lambda msg: print(f"  .. {msg}", file=sys.stderr))
+        print(table.to_csv() if args.csv else table.to_text())
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(table.to_text() + "\n")
+            (out_dir / f"{name}.csv").write_text(table.to_csv() + "\n")
+            (out_dir / f"{name}.json").write_text(table.to_json() + "\n")
+        if experiment.sweep_name == "m" and not args.csv:
+            factors = speedup_factors(table)
+            print("   speedup vs TA (measured | paper prediction):")
+            for m in table.sweep_values:
+                print(
+                    f"     m={int(m):>2}:  BPA {factors['bpa_measured'][m]:5.2f} | "
+                    f"{factors['bpa_paper'][m]:5.2f}    "
+                    f"BPA2 {factors['bpa2_measured'][m]:5.2f} | "
+                    f"{factors['bpa2_paper'][m]:5.2f}"
+                )
+        print()
+    return 0
+
+
+def _cmd_paper_examples(_args: argparse.Namespace) -> int:
+    print("Figure 1 database, top-3, sum scoring (paper Examples 1-3):")
+    database = figure1_database()
+    for name in ("fa", "ta", "bpa", "bpa2"):
+        result = get_algorithm(name).run(database, 3)
+        answers = ", ".join(
+            f"{database.label(e.item)}={e.score:g}" for e in result.items
+        )
+        print(f"  {name:>5}: stops at position {result.stop_position}, "
+              f"accesses={result.tally.total} ({result.tally}) -> {answers}")
+    print("\nFigure 2 database, top-3 (paper Section 5.1 example):")
+    database = figure2_database()
+    for name in ("bpa", "bpa2"):
+        result = get_algorithm(name).run(database, 3)
+        print(f"  {name:>5}: stops at position {result.stop_position}, "
+              f"total accesses={result.tally.total}")
+    print("\nExpected from the paper: FA stops at 8, TA at 6, BPA at 3;"
+          " on Figure 2, BPA does 63 accesses vs BPA2's 36.")
+    return 0
+
+
+def _cmd_adversarial(args: argparse.Namespace) -> int:
+    database, info = bpa_favorable_database(args.m, args.u)
+    k = min(args.k, info.max_k)
+    ta = get_algorithm("ta").run(database, k)
+    bpa = get_algorithm("bpa").run(database, k)
+    print(f"Lemma 3 instance (m={args.m}, u={args.u}, n={info.n}):")
+    print(f"  TA  stops at {ta.stop_position} ({ta.tally.total} accesses)")
+    print(f"  BPA stops at {bpa.stop_position} ({bpa.tally.total} accesses)")
+    print(f"  ratio {ta.stop_position / bpa.stop_position:.2f} (m-1 = {args.m - 1})")
+    database, info = bpa2_favorable_database(args.m, args.u)
+    bpa = get_algorithm("bpa").run(database, k)
+    bpa2 = get_algorithm("bpa2").run(database, k)
+    print(f"Theorem 8 instance (m={args.m}, u={args.u}, n={info.n}):")
+    print(f"  BPA  : {bpa.tally.total} accesses")
+    print(f"  BPA2 : {bpa2.tally.total} accesses")
+    print(f"  ratio {bpa.tally.total / bpa2.tally.total:.2f} "
+          f"(prediction {info.j / (args.u + 1):.2f}, m-1 = {args.m - 1})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis import trace_bpa, trace_ta
+
+    if args.figure1:
+        database = figure1_database()
+    else:
+        database = make_generator("uniform").generate(
+            args.n, args.m, seed=args.seed
+        )
+    print(f"TA trace (n={database.n}, m={database.m}, k={args.k}):")
+    for round_trace in trace_ta(database, args.k):
+        marker = "  <-- stops" if round_trace.stopped else ""
+        top = ", ".join(f"{s:g}" for s in round_trace.top_scores)
+        print(f"  pos {round_trace.position:>3}: delta={round_trace.threshold:<10g} "
+              f"Y=[{top}]{marker}")
+    print(f"\nBPA trace:")
+    for round_trace in trace_bpa(database, args.k):
+        marker = "  <-- stops" if round_trace.stopped else ""
+        top = ", ".join(f"{s:g}" for s in round_trace.top_scores)
+        print(f"  pos {round_trace.position:>3}: lambda={round_trace.threshold:<10g} "
+              f"bp={list(round_trace.best_positions)} Y=[{top}]{marker}")
+    return 0
+
+
+def _cmd_distributed(args: argparse.Namespace) -> int:
+    from repro.distributed import (
+        DistributedBPA,
+        DistributedBPA2,
+        DistributedTA,
+        DistributedTPUT,
+    )
+
+    params = {"alpha": args.alpha} if args.generator == "correlated" else {}
+    generator = make_generator(args.generator, **params)
+    database = generator.generate(args.n, args.m, seed=args.seed)
+    print(f"database: {args.generator} n={args.n} m={args.m} k={args.k}")
+    print(f"{'driver':>10} {'messages':>10} {'bytes':>12} {'accesses':>10} {'stop':>7}")
+    for driver in (DistributedTA(), DistributedBPA(), DistributedBPA2(),
+                   DistributedTPUT()):
+        result = driver.run(database, args.k)
+        net = result.extras["network"]
+        print(f"{driver.name:>10} {net['messages']:>10,} {net['bytes']:>12,} "
+              f"{result.tally.total:>10,} {result.stop_position:>7}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "query": _cmd_query,
+        "figure": _cmd_figure,
+        "paper-examples": _cmd_paper_examples,
+        "adversarial": _cmd_adversarial,
+        "trace": _cmd_trace,
+        "distributed": _cmd_distributed,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

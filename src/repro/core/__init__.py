@@ -1,0 +1,30 @@
+"""The paper's contribution: BPA, BPA2 and best-position management.
+
+* :class:`BestPositionAlgorithm` (BPA, Section 4) — TA with a smarter
+  stopping rule built from *best positions*;
+* :class:`BestPositionAlgorithm2` (BPA2, Section 5) — replaces sorted
+  access with direct access at ``bp + 1`` so no list position is ever
+  read twice;
+* :mod:`repro.core.best_position` — the three seen-position managers of
+  Section 5.2 (naive reference, bit array, B+tree).
+"""
+
+from repro.core.best_position import (
+    BestPositionTracker,
+    BitArrayTracker,
+    BPlusTreeTracker,
+    NaiveTracker,
+    make_tracker,
+)
+from repro.core.bpa import BestPositionAlgorithm
+from repro.core.bpa2 import BestPositionAlgorithm2
+
+__all__ = [
+    "BestPositionAlgorithm",
+    "BestPositionAlgorithm2",
+    "BestPositionTracker",
+    "BitArrayTracker",
+    "BPlusTreeTracker",
+    "NaiveTracker",
+    "make_tracker",
+]

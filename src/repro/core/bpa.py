@@ -1,0 +1,130 @@
+"""BPA — the Best Position Algorithm (paper Section 4).
+
+BPA scans like TA (parallel sorted access + immediate random accesses)
+but the query originator additionally maintains, per list, the set of
+*seen positions* and their local scores.  The stopping value is the
+*best positions overall score*
+
+    lambda = f(s_1(bp_1), ..., s_m(bp_m))
+
+where ``bp_i`` is the greatest seen position of list ``i`` whose whole
+prefix ``1..bp_i`` has been seen.  Since every position up to ``bp_i``
+has been seen, no unseen item can beat ``lambda`` (Theorem 1), and since
+``bp_i >= `` the sorted-access cursor, ``lambda <= `` TA's threshold, so
+BPA stops at least as early as TA (Lemma 1) and up to ``m - 1`` times
+earlier (Lemma 3).
+
+Access accounting matches TA's (Lemma 2): ``m - 1`` random accesses per
+sorted access, repeated for already-seen items unless ``memoize=True``
+(an ablation, not the paper's BPA).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKAlgorithm, TopKBuffer, register
+from repro.core.best_position import make_tracker
+from repro.errors import InvalidQueryError
+from repro.lists.accessor import DatabaseAccessor
+from repro.types import ItemId, Position, Score
+
+
+@register
+class BestPositionAlgorithm(TopKAlgorithm):
+    """BPA with pluggable best-position management.
+
+    Args:
+        tracker: ``"bitarray"`` (paper's experimental choice, default),
+            ``"btree"`` or ``"naive"``.
+        memoize: skip the repeat random accesses for already-seen items
+            (engineering ablation; the paper's accounting keeps them).
+        approximation: Fagin-style theta-approximation applied to BPA's
+            stopping rule (stop once k items reach ``lambda / theta``).
+            Same guarantee as TA-theta since ``lambda`` bounds every
+            unseen item; requires non-negative scores.  ``1.0`` = exact.
+    """
+
+    name = "bpa"
+
+    def __init__(
+        self,
+        *,
+        tracker: str = "bitarray",
+        memoize: bool = False,
+        approximation: float = 1.0,
+    ) -> None:
+        if approximation < 1.0:
+            raise InvalidQueryError(
+                f"approximation factor must be >= 1, got {approximation}"
+            )
+        self._tracker_kind = tracker
+        self._memoize = memoize
+        self._theta = approximation
+
+    @property
+    def tracker_kind(self) -> str:
+        """Which best-position structure the query originator uses."""
+        return self._tracker_kind
+
+    @property
+    def approximation(self) -> float:
+        """The theta-approximation factor (1.0 = exact)."""
+        return self._theta
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m = accessor.m
+        n = accessor.n
+        buffer = TopKBuffer(k)
+        overall: dict[ItemId, Score] = {}
+        trackers = [make_tracker(self._tracker_kind, n) for _ in range(m)]
+        # The query originator maintains the seen positions *and their
+        # local scores* (paper, step 1), so lambda needs no extra access.
+        seen_scores: list[dict[Position, Score]] = [{} for _ in range(m)]
+        position = 0
+
+        def note(list_index: int, pos: Position, score: Score) -> None:
+            trackers[list_index].mark(pos)
+            seen_scores[list_index][pos] = score
+
+        while True:
+            position += 1
+            for index, list_accessor in enumerate(accessor.accessors):
+                entry = list_accessor.sorted_next()
+                note(index, entry.position, entry.score)
+                if entry.item in overall:
+                    if not self._memoize:
+                        # Keep the paper's ar = as*(m-1) accounting; the
+                        # probes still reveal (already-known) positions.
+                        for other_index, other in enumerate(accessor.accessors):
+                            if other_index != index:
+                                score, pos = other.random_lookup(entry.item)
+                                note(other_index, pos, score)
+                    continue
+                local_scores: list[Score] = [0.0] * m
+                local_scores[index] = entry.score
+                for other_index, other in enumerate(accessor.accessors):
+                    if other_index == index:
+                        continue
+                    score, pos = other.random_lookup(entry.item)
+                    local_scores[other_index] = score
+                    note(other_index, pos, score)
+                total = scoring(local_scores)
+                overall[entry.item] = total
+                buffer.add(entry.item, total)
+
+            best_scores = [
+                seen_scores[index][trackers[index].best_position]
+                for index in range(m)
+            ]
+            lam = scoring(best_scores)
+            if buffer.all_at_least(lam / self._theta):
+                extras = {
+                    "lambda": lam,
+                    "best_positions": tuple(t.best_position for t in trackers),
+                }
+                return buffer.ranked(), position, position, extras
+            if position >= n:
+                extras = {
+                    "lambda": lam,
+                    "best_positions": tuple(t.best_position for t in trackers),
+                }
+                return buffer.ranked(), position, position, extras

@@ -1,0 +1,36 @@
+"""Synthetic database generators (paper Section 6.1).
+
+Three families, matching the paper's experimental setup:
+
+* :class:`UniformGenerator` — independent U[0,1] scores (the default);
+* :class:`GaussianGenerator` — independent N(0,1) scores;
+* :class:`CorrelatedGenerator` — positions of an item across lists are
+  correlated (displacement drawn from ``U[1, n*alpha]``), scores follow a
+  Zipf law with ``theta = 0.7``.
+
+Plus the exact worked-example databases of the paper
+(:func:`figure1_database`, :func:`figure2_database`) and adversarial
+constructions realizing the paper's worst-case separations
+(:mod:`repro.datagen.adversarial`).
+"""
+
+from repro.datagen.base import DatabaseGenerator, GeneratorSpec, make_generator
+from repro.datagen.copula import GaussianCopulaGenerator
+from repro.datagen.correlated import CorrelatedGenerator
+from repro.datagen.figures import figure1_database, figure2_database
+from repro.datagen.gaussian import GaussianGenerator
+from repro.datagen.uniform import UniformGenerator
+from repro.datagen.zipf import zipf_scores
+
+__all__ = [
+    "DatabaseGenerator",
+    "GeneratorSpec",
+    "make_generator",
+    "UniformGenerator",
+    "GaussianGenerator",
+    "CorrelatedGenerator",
+    "GaussianCopulaGenerator",
+    "figure1_database",
+    "figure2_database",
+    "zipf_scores",
+]

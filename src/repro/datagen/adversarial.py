@@ -1,0 +1,227 @@
+"""Adversarial databases realizing the paper's worst-case separations.
+
+Two constructive families:
+
+* :func:`bpa_favorable_database` — the Lemma 3 family: TA stops at
+  position ``j + 1`` (with ``j = (m-1)*u``) while BPA stops at ``u``, so
+  BPA's sorted accesses are a factor ``(j+1)/u > m-1`` lower;
+* :func:`bpa2_favorable_database` — the Theorem 8 family (a
+  generalization of the paper's Figure 2 to any ``m >= 3`` and depth
+  ``u``): BPA performs ``j * m**2`` accesses but BPA2 only
+  ``(u+1) * m**2``, a factor ``j/(u+1) ≈ m-1``.
+
+Construction idea (shared):
+
+* positions ``1..u`` of every list hold *anchor* slots: each of the
+  ``m*u`` special items is anchored in exactly one list, so the scanning
+  algorithms discover exactly one fresh item per list per round;
+* each special item's remaining local scores sit in the *mid* region of
+  the other lists (filled perfectly, which is what lets BPA's best
+  position leap to the end of the mid region) except for one score in the
+  *tail* region beyond the stopping position (which is what keeps TA's
+  threshold high and prevents early termination);
+* scores follow a high plateau (``~2H``) over the anchor+mid region, then
+  drop (``<= 0.9H``), so every special item's overall score
+  (``~(m-1)*2H + tail``) sits strictly between the plateau threshold
+  (``2Hm``) and the post-plateau threshold — pinning the exact stop
+  rounds of TA, BPA and BPA2 independently of ``m``, ``u`` and ``k``.
+
+Every structural claim here is asserted empirically by
+``tests/integration/test_adversarial.py`` and the Lemma 3 / Theorem 8
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+
+_H = 1000.0
+_EPS = 1e-3
+
+
+@dataclass(frozen=True, slots=True)
+class AdversarialInfo:
+    """Expected behaviour of an adversarial database."""
+
+    m: int
+    u: int
+    j: int
+    n: int
+    max_k: int
+    expected_ta_stop: int
+    expected_bpa_stop: int
+    expected_bpa2_rounds: int
+
+    @property
+    def sorted_access_ratio(self) -> float:
+        """Predicted TA/BPA stop-position ratio (> m-1 for Lemma 3)."""
+        return self.expected_ta_stop / self.expected_bpa_stop
+
+
+def _plateau_scores(n: int, plateau_end: int, tail_start_score: float) -> list[float]:
+    """Strictly decreasing scores: ~2H through ``plateau_end``, then low."""
+    scores = []
+    for position in range(1, n + 1):
+        if position <= plateau_end:
+            scores.append(2.0 * _H + (plateau_end - position) * _EPS)
+        else:
+            scores.append(tail_start_score - (position - plateau_end - 1) * _EPS)
+    return scores
+
+
+def _mid_contributors(m: int, target_list: int) -> list[int]:
+    """Source lists whose anchored items place a mid score in ``target_list``.
+
+    Item anchored in list ``i`` keeps its tail in list ``(i+1) % m`` and
+    mids everywhere else, so list ``ell`` receives mids from every list
+    except ``ell`` itself and ``ell - 1`` (whose items tail here).
+    """
+    skip = {target_list, (target_list - 1) % m}
+    return [i for i in range(m) if i not in skip]
+
+
+def bpa_favorable_database(m: int, u: int) -> tuple[Database, AdversarialInfo]:
+    """A Lemma 3 instance: BPA stops ``(m-1)``+ times earlier than TA.
+
+    Args:
+        m: number of lists (>= 3; the separation is void at m=2).
+        u: BPA's stopping position; TA stops at ``(m-1)*u + 1``.
+
+    Layout of every list (positions):
+    ``[1..u]`` anchors, ``[u+1..j]`` mids (``j = (m-1)*u``),
+    ``[j+1..j+u]`` tails of the anchored items, ``[j+u+1..n]`` fillers.
+    After round ``u`` BPA has seen *all* of ``[1 .. j+u]`` in every list
+    (anchors via sorted access, mids/tails via the random probes of the
+    anchored items), so its best position jumps past ``j`` and the
+    stopping value collapses, while TA's threshold stays on the plateau
+    until position ``j + 1``.
+    """
+    if m < 3:
+        raise GenerationError("Lemma 3 construction needs m >= 3")
+    if u < 1:
+        raise GenerationError("need u >= 1")
+    j = (m - 1) * u
+    filler_count = max(2, m)
+    n = m * u + filler_count
+
+    # positions[list][item] = 1-based position; build per-list slots.
+    special = m * u  # items 0 .. special-1; item id = anchor_list * u + (p-1)
+    position_of = [[0] * (special + filler_count) for _ in range(m)]
+
+    # Anchors: item (i, p) at position p of list i.
+    for i in range(m):
+        for p in range(1, u + 1):
+            position_of[i][i * u + (p - 1)] = p
+
+    # Mids: list ell's slots [u+1 .. j] in contributor blocks of size u.
+    for ell in range(m):
+        for block, i in enumerate(_mid_contributors(m, ell)):
+            for p in range(1, u + 1):
+                item = i * u + (p - 1)
+                position_of[ell][item] = u + block * u + p
+
+    # Tails: item (i, p) tails in list (i+1) % m at position j + p.
+    for i in range(m):
+        for p in range(1, u + 1):
+            item = i * u + (p - 1)
+            position_of[(i + 1) % m][item] = j + p
+
+    # Fillers occupy [j+u+1 .. n] in every list.
+    for f in range(filler_count):
+        for ell in range(m):
+            position_of[ell][special + f] = j + u + 1 + f
+
+    scores = _plateau_scores(n, plateau_end=j, tail_start_score=0.9 * _H)
+    database = _assemble(position_of, scores, m, n)
+    info = AdversarialInfo(
+        m=m, u=u, j=j, n=n, max_k=m * u,
+        expected_ta_stop=j + 1,
+        expected_bpa_stop=u,
+        expected_bpa2_rounds=u,
+    )
+    return database, info
+
+
+def bpa2_favorable_database(m: int, u: int) -> tuple[Database, AdversarialInfo]:
+    """A Theorem 8 instance: BPA2 does ``~(m-1)x`` fewer accesses than BPA.
+
+    Generalizes the paper's Figure 2.  Layout of every list:
+    ``[1..u]`` anchors, ``[u+1..j-1]`` mids (``j = (m-1)*u + 1``),
+    position ``j`` holds a *blocker* item whose other positions all lie in
+    the tail, ``[j+1..n]`` tails.  The blockers keep position ``j`` unseen
+    until round ``j`` (BPA) / round ``u+1`` (BPA2, whose direct access
+    leaps straight from best position ``j-1`` to ``j``), which is exactly
+    the paper's proof scenario: BPA grinds through ``j`` sorted rounds
+    while BPA2 needs only ``u + 1`` direct rounds.
+    """
+    if m < 3:
+        raise GenerationError("Theorem 8 construction needs m >= 3")
+    if u < 1:
+        raise GenerationError("need u >= 1")
+    j = (m - 1) * u + 1
+    n = m * (u + 1)
+    special = m * u  # region items
+    blockers = m  # item ids special .. special+m-1
+
+    position_of = [[0] * (special + blockers) for _ in range(m)]
+
+    # Anchors.
+    for i in range(m):
+        for p in range(1, u + 1):
+            position_of[i][i * u + (p - 1)] = p
+
+    # Mids: list ell's slots [u+1 .. j-1] in contributor blocks.
+    for ell in range(m):
+        for block, i in enumerate(_mid_contributors(m, ell)):
+            for p in range(1, u + 1):
+                item = i * u + (p - 1)
+                position_of[ell][item] = u + block * u + p
+
+    # Region tails: item (i, p) tails in list (i+1) % m at position j + p.
+    for i in range(m):
+        for p in range(1, u + 1):
+            item = i * u + (p - 1)
+            position_of[(i + 1) % m][item] = j + p
+
+    # Blockers: blocker b sits at position j of list b and deep in the
+    # tail of every other list (each list hosts the m-1 foreign blockers
+    # at positions j+u+1 .. n, ordered by blocker id).
+    for b in range(m):
+        position_of[b][special + b] = j
+        for ell in range(m):
+            if ell == b:
+                continue
+            offset = sorted(x for x in range(m) if x != ell).index(b)
+            position_of[ell][special + b] = j + u + 1 + offset
+
+    scores = _plateau_scores(n, plateau_end=j - 1, tail_start_score=_H)
+    database = _assemble(position_of, scores, m, n)
+    info = AdversarialInfo(
+        m=m, u=u, j=j, n=n, max_k=m * u,
+        expected_ta_stop=j,
+        expected_bpa_stop=j,
+        expected_bpa2_rounds=u + 1,
+    )
+    return database, info
+
+
+def _assemble(
+    position_of: list[list[int]], scores: list[float], m: int, n: int
+) -> Database:
+    """Turn position tables + a shared score-by-position vector into lists."""
+    lists = []
+    for ell in range(m):
+        taken = position_of[ell]
+        if sorted(taken) != list(range(1, n + 1)):
+            raise GenerationError(
+                f"internal error: list {ell} positions are not a permutation"
+            )
+        entries = [
+            (item, scores[position - 1]) for item, position in enumerate(taken)
+        ]
+        lists.append(SortedList(entries, name=f"L{ell + 1}"))
+    return Database(lists)

@@ -1,0 +1,83 @@
+"""Generator protocol and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import GenerationError
+from repro.lists.database import Database
+
+
+@runtime_checkable
+class DatabaseGenerator(Protocol):
+    """Anything that can produce a database of ``m`` lists over ``n`` items."""
+
+    name: str
+
+    def generate(self, n: int, m: int, *, seed: int = 0) -> Database:
+        """Produce a database; identical arguments give identical output."""
+        ...
+
+
+def validate_shape(n: int, m: int) -> None:
+    """Reject degenerate shapes with a typed error."""
+    if n < 1:
+        raise GenerationError(f"need at least one item, got n={n}")
+    if m < 1:
+        raise GenerationError(f"need at least one list, got m={m}")
+
+
+def rng_from_seed(seed: int) -> np.random.Generator:
+    """A seeded NumPy generator; the single source of randomness."""
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratorSpec:
+    """A declarative generator description, used by the bench harness.
+
+    ``kind`` is one of ``"uniform"``, ``"gaussian"``, ``"correlated"``;
+    ``params`` carries kind-specific settings (e.g. ``alpha`` for the
+    correlated family).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def build(self) -> DatabaseGenerator:
+        """Instantiate the generator described by this spec."""
+        return make_generator(self.kind, **self.params)
+
+    def describe(self) -> str:
+        """Short human-readable description for report headers."""
+        if not self.params:
+            return self.kind
+        inner = ", ".join(f"{key}={value}" for key, value in self.params.items())
+        return f"{self.kind}({inner})"
+
+
+def make_generator(kind: str, **params) -> DatabaseGenerator:
+    """Instantiate a generator by name.
+
+    Supported kinds: ``uniform``, ``gaussian``, ``correlated``.
+    """
+    # Imported here to avoid circular imports at package load time.
+    from repro.datagen.copula import GaussianCopulaGenerator
+    from repro.datagen.correlated import CorrelatedGenerator
+    from repro.datagen.gaussian import GaussianGenerator
+    from repro.datagen.uniform import UniformGenerator
+
+    factories = {
+        "uniform": UniformGenerator,
+        "gaussian": GaussianGenerator,
+        "correlated": CorrelatedGenerator,
+        "copula": GaussianCopulaGenerator,
+    }
+    if kind not in factories:
+        raise GenerationError(
+            f"unknown generator kind {kind!r}; expected one of {sorted(factories)}"
+        )
+    return factories[kind](**params)

@@ -1,0 +1,99 @@
+"""The paper's worked-example databases, encoded verbatim.
+
+Figure 1 (Examples 1-3): the database over which FA stops at position 8,
+TA at position 6 and BPA at position 3 for a top-3 sum query.
+
+Figure 2 (Section 5.1): the database over which BPA performs 63 accesses
+and BPA2 only 36 for a top-3 sum query.
+
+The paper's figures print the first ten positions of each list; items
+``d11``, ``d13`` and ``d14`` each appear in only some of the printed
+prefixes, so the remaining tail positions (11 and 12, with scores strictly
+below the printed ones) are filled in here to make each list a complete
+permutation of the 12 items.  The tail items' overall scores (<= 38) are
+far below the top-3 (>= 66), so every stop position and access count from
+the paper is unchanged — the integration tests assert each of them.
+
+Item ``d<i>`` is encoded as item id ``i``.
+"""
+
+from __future__ import annotations
+
+from repro.lists.database import Database
+
+#: Items appearing in the paper's figures (note: no d10 or d12).
+FIGURE_ITEM_IDS = (1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 14)
+
+_FIGURE1_LISTS = [
+    # List 1: positions 1..12.
+    [
+        (1, 30.0), (4, 28.0), (9, 27.0), (3, 26.0), (7, 25.0), (8, 23.0),
+        (5, 17.0), (6, 14.0), (2, 11.0), (11, 10.0),
+        (13, 9.0), (14, 8.0),  # tail (not printed in the paper)
+    ],
+    # List 2.
+    [
+        (2, 28.0), (6, 27.0), (7, 25.0), (5, 24.0), (9, 23.0), (1, 21.0),
+        (8, 20.0), (3, 14.0), (4, 13.0), (14, 12.0),
+        (11, 11.0), (13, 10.0),  # tail
+    ],
+    # List 3.
+    [
+        (3, 30.0), (5, 29.0), (8, 28.0), (4, 25.0), (2, 24.0), (6, 19.0),
+        (13, 15.0), (1, 14.0), (9, 12.0), (7, 11.0),
+        (11, 10.0), (14, 9.0),  # tail
+    ],
+]
+
+_FIGURE2_LISTS = [
+    # List 1.
+    [
+        (1, 30.0), (4, 28.0), (9, 27.0), (3, 26.0), (7, 25.0), (8, 24.0),
+        (11, 17.0), (6, 14.0), (2, 11.0), (5, 10.0),
+        (13, 9.0), (14, 8.0),  # tail
+    ],
+    # List 2.
+    [
+        (2, 28.0), (6, 27.0), (7, 25.0), (5, 24.0), (9, 23.0), (1, 22.0),
+        (14, 20.0), (3, 14.0), (4, 13.0), (8, 12.0),
+        (11, 11.0), (13, 10.0),  # tail
+    ],
+    # List 3.
+    [
+        (3, 30.0), (5, 29.0), (8, 28.0), (4, 27.0), (2, 26.0), (6, 25.0),
+        (13, 15.0), (1, 13.0), (9, 12.0), (7, 11.0),
+        (11, 10.0), (14, 9.0),  # tail
+    ],
+]
+
+#: Overall sum scores printed in Figure 1 column (c).
+FIGURE1_OVERALL = {
+    1: 65.0, 2: 63.0, 3: 70.0, 4: 66.0, 5: 70.0,
+    6: 60.0, 7: 61.0, 8: 71.0, 9: 62.0,
+}
+
+#: TA thresholds printed in Figure 1 column (b) for positions 1..10.
+FIGURE1_THRESHOLDS = (88.0, 84.0, 80.0, 75.0, 72.0, 63.0, 52.0, 42.0, 36.0, 33.0)
+
+#: Overall sum scores printed in Figure 2's rightmost column.
+FIGURE2_OVERALL = {
+    1: 65.0, 2: 65.0, 3: 70.0, 4: 68.0, 5: 63.0,
+    6: 66.0, 7: 61.0, 8: 64.0, 9: 62.0,
+}
+
+#: Sum-of-local-scores column of Figure 2 for positions 1..10.
+FIGURE2_THRESHOLDS = (88.0, 84.0, 80.0, 77.0, 74.0, 71.0, 52.0, 41.0, 36.0, 33.0)
+
+
+def _labels() -> dict[int, str]:
+    return {item: f"d{item}" for item in FIGURE_ITEM_IDS}
+
+
+def figure1_database() -> Database:
+    """The Figure 1 database (FA stops at 8, TA at 6, BPA at 3; k=3, sum)."""
+    return Database.from_ranked_lists(_FIGURE1_LISTS, labels=_labels())
+
+
+def figure2_database() -> Database:
+    """The Figure 2 database (BPA: 63 accesses, BPA2: 36; k=3, sum)."""
+    return Database.from_ranked_lists(_FIGURE2_LISTS, labels=_labels())

@@ -1,0 +1,45 @@
+"""Gaussian database generator.
+
+"the scores of the data items in each list are Gaussian random numbers
+with a mean of 0 and a standard deviation of 1" — Section 6.1.  Note the
+paper's own problem definition asks for non-negative local scores; its
+Gaussian database violates that, which is harmless for the (monotonic)
+sum scoring used in the evaluation.  We reproduce the paper faithfully and
+keep the default ``mean=0, std=1``; pass ``shift_nonnegative=True`` to add
+a constant making all scores non-negative without changing any ranking.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.base import rng_from_seed, validate_shape
+from repro.lists.database import Database
+
+
+class GaussianGenerator:
+    """Independent N(mean, std^2) scores per item per list."""
+
+    name = "gaussian"
+
+    def __init__(
+        self, mean: float = 0.0, std: float = 1.0, *, shift_nonnegative: bool = False
+    ) -> None:
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        self._mean = mean
+        self._std = std
+        self._shift = shift_nonnegative
+
+    def generate(self, n: int, m: int, *, seed: int = 0) -> Database:
+        """An ``m``-list database with i.i.d. Gaussian scores."""
+        validate_shape(n, m)
+        rng = rng_from_seed(seed)
+        rows = rng.normal(self._mean, self._std, size=(m, n))
+        if self._shift:
+            rows = rows - rows.min()
+        return Database.from_score_rows(rows.tolist())
+
+    def __repr__(self) -> str:
+        return (
+            f"GaussianGenerator(mean={self._mean}, std={self._std}, "
+            f"shift_nonnegative={self._shift})"
+        )

@@ -1,0 +1,33 @@
+"""Uniform database generator (the paper's default setting).
+
+"the scores of the data items in each list are generated using a uniform
+random generator, and then the list is sorted" — Section 6.1.  Positions
+of an item in any two lists are independent.
+"""
+
+from __future__ import annotations
+
+from repro.datagen.base import rng_from_seed, validate_shape
+from repro.lists.database import Database
+
+
+class UniformGenerator:
+    """Independent U[low, high) scores per item per list."""
+
+    name = "uniform"
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if not high > low:
+            raise ValueError(f"need high > low, got [{low}, {high})")
+        self._low = low
+        self._high = high
+
+    def generate(self, n: int, m: int, *, seed: int = 0) -> Database:
+        """An ``m``-list database with i.i.d. uniform scores."""
+        validate_shape(n, m)
+        rng = rng_from_seed(seed)
+        rows = rng.uniform(self._low, self._high, size=(m, n))
+        return Database.from_score_rows(rows.tolist())
+
+    def __repr__(self) -> str:
+        return f"UniformGenerator(low={self._low}, high={self._high})"

@@ -1,0 +1,42 @@
+"""Zipf-law score vectors.
+
+"The Zipf law states that the score of an item in a ranked list is
+inversely proportional to its rank (position) in the list" — Section 6.1.
+The paper uses the generalized Zipf law with exponent ``theta = 0.7`` for
+its correlated databases: the score at rank ``r`` is ``C / r**theta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+PAPER_THETA = 0.7
+
+
+def zipf_scores(n: int, theta: float = PAPER_THETA, *, scale: float = 1.0) -> np.ndarray:
+    """Scores for ranks ``1..n``: ``scale / rank**theta`` (descending).
+
+    Args:
+        n: number of ranks.
+        theta: Zipf exponent (0 = all equal; 1 = classic Zipf).
+        scale: score of rank 1.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    if theta < 0:
+        raise ValueError(f"theta must be non-negative, got {theta}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return scale / np.power(ranks, theta)
+
+
+def zipf_frequencies(
+    n: int, theta: float = 1.0, *, total: int = 1_000_000
+) -> np.ndarray:
+    """Integer frequency counts following a Zipf law, summing to ~``total``.
+
+    A convenience for examples that model access frequencies (e.g. URL
+    hit counts in the paper's network-monitoring scenario).
+    """
+    weights = zipf_scores(n, theta)
+    weights = weights / weights.sum()
+    return np.maximum(1, np.round(weights * total)).astype(np.int64)

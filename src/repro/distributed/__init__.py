@@ -1,0 +1,38 @@
+"""Simulated distributed top-k query processing.
+
+The paper argues (Section 6.1, metric 2) that in a distributed system the
+number of messages between the query originator and the list owners is
+proportional to the number of list accesses, and that BPA2 additionally
+avoids shipping seen positions to the originator.  This package makes
+those arguments measurable:
+
+* :class:`SimulatedNetwork` — synchronous request/response transport that
+  counts messages and payload bytes;
+* :class:`ListOwnerNode` — one node per list, serving sorted / random /
+  direct accesses and (for BPA2) managing its best position locally;
+* coordinator-side drivers: :class:`DistributedTA`,
+  :class:`DistributedBPA`, :class:`DistributedBPA2` and the related-work
+  baseline :class:`DistributedTPUT` (Cao & Wang, PODC 2004).
+
+All drivers return a :class:`repro.types.TopKResult` whose ``extras``
+carry a :class:`NetworkStats` snapshot.
+"""
+
+from repro.distributed.network import NetworkStats, SimulatedNetwork
+from repro.distributed.nodes import ListOwnerNode
+from repro.distributed.algorithms import (
+    DistributedBPA,
+    DistributedBPA2,
+    DistributedTA,
+)
+from repro.distributed.tput import DistributedTPUT
+
+__all__ = [
+    "SimulatedNetwork",
+    "NetworkStats",
+    "ListOwnerNode",
+    "DistributedTA",
+    "DistributedBPA",
+    "DistributedBPA2",
+    "DistributedTPUT",
+]

@@ -1,0 +1,107 @@
+"""Synchronous message-passing transport with cost accounting.
+
+The simulation is deliberately simple — a blocking request/response RPC —
+because the paper's distributed metric is *how many* messages flow and
+how big they are, not their timing.  Every request and every response is
+one message; payload sizes are estimated with a fixed-width encoding
+(8 bytes per number, UTF-8 for strings), so "BPA ships positions, BPA2
+does not" shows up directly in the byte counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+
+def payload_size(value: Any) -> int:
+    """Estimated wire size of a payload value, in bytes.
+
+    Numbers cost 8 bytes, booleans/None 1, strings their UTF-8 length,
+    containers the sum of their elements (dict keys included).  This is a
+    stable, implementation-independent proxy for message size.
+    """
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, dict):
+        return sum(payload_size(k) + payload_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(payload_size(item) for item in value)
+    raise TypeError(f"unsupported payload type: {type(value).__name__}")
+
+
+@dataclass
+class NetworkStats:
+    """Message and byte counters, broken down by request kind."""
+
+    messages: int = 0
+    bytes: int = 0
+    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, kind: str, request_bytes: int, response_bytes: int) -> None:
+        """Account one request/response round trip (two messages)."""
+        self.messages += 2
+        self.bytes += request_bytes + response_bytes
+        self.by_kind[kind] += 2
+        self.bytes_by_kind[kind] += request_bytes + response_bytes
+
+    def record_one_way(self, kind: str, size: int) -> None:
+        """Account a single one-way message (e.g. a bulk phase response)."""
+        self.messages += 1
+        self.bytes += size
+        self.by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict copy for embedding into result extras."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "by_kind": dict(self.by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+        }
+
+
+class RequestHandler(Protocol):
+    """Anything addressable on the network (list owners)."""
+
+    def handle(self, kind: str, payload: dict) -> dict:
+        """Serve one request and return the response payload."""
+        ...
+
+
+class SimulatedNetwork:
+    """Blocking RPC fabric between the originator and list owners."""
+
+    def __init__(self) -> None:
+        self.stats = NetworkStats()
+        self._nodes: dict[str, RequestHandler] = {}
+
+    def register(self, address: str, node: RequestHandler) -> None:
+        """Attach a node under a unique address."""
+        if address in self._nodes:
+            raise ValueError(f"address already registered: {address}")
+        self._nodes[address] = node
+
+    def request(self, address: str, kind: str, payload: dict | None = None) -> dict:
+        """Send a request, deliver the response, account both messages."""
+        if address not in self._nodes:
+            raise KeyError(f"no node at address {address}")
+        payload = payload or {}
+        response = self._nodes[address].handle(kind, payload)
+        self.stats.record(
+            kind,
+            request_bytes=payload_size(kind) + payload_size(payload),
+            response_bytes=payload_size(response),
+        )
+        return response
+
+    def reset_stats(self) -> None:
+        """Zero all counters (e.g. between queries)."""
+        self.stats = NetworkStats()

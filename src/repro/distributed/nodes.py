@@ -1,0 +1,212 @@
+"""List-owner nodes.
+
+Each node owns one sorted list and serves the three access modes over the
+network.  For BPA-family queries it also maintains the list's best
+position locally (paper Section 5: "the best positions are managed by the
+list owners") and piggybacks the best-position local score onto responses
+whenever an access changed it — that is BPA2's step 3.
+
+Supported request kinds:
+
+========================  ====================================================
+``sorted_next``           next entry under sorted access
+``random_lookup``         ``{"item": id}`` → local score (+ position when
+                          ``include_position`` was enabled, as BPA needs)
+``direct_next``           entry at ``bp + 1`` (BPA2's direct access)
+``get_scores_above``      ``{"threshold": t}`` → all entries scoring >= t
+                          (TPUT phase 2 bulk fetch)
+``top``                   ``{"count": c}`` → the first c entries (TPUT
+                          phase 1 bulk fetch)
+``reset``                 clear per-query state
+========================  ====================================================
+
+Concurrent queries: every request may carry a ``"session"`` id.  Each
+session gets its own sorted-access cursor, access tally and best-position
+tracker, so interleaved queries against the same owner do not disturb
+each other (see :class:`_Session`).  Requests without a session id share
+the default session, preserving the single-query API.
+"""
+
+from __future__ import annotations
+
+from repro.core.best_position import BestPositionTracker, make_tracker
+from repro.errors import ProtocolError
+from repro.lists.accessor import ListAccessor
+from repro.lists.sorted_list import SortedList
+from repro.types import Position, Score
+
+#: Session id used when a request does not specify one.
+DEFAULT_SESSION = "default"
+
+
+class _Session:
+    """Per-query state at one owner: cursor/tally + best positions."""
+
+    __slots__ = ("accessor", "tracker")
+
+    def __init__(self, sorted_list: SortedList, tracker_kind: str) -> None:
+        self.accessor = ListAccessor(sorted_list)
+        self.tracker: BestPositionTracker = make_tracker(
+            tracker_kind, len(sorted_list)
+        )
+
+
+class ListOwnerNode:
+    """One list owner in the simulated distributed system.
+
+    Args:
+        sorted_list: the list this node owns.
+        tracker: best-position structure kind (``"bitarray"`` default).
+        include_position: ship item positions in ``random_lookup``
+            responses (BPA needs them at the originator; BPA2 does not,
+            which is exactly its communication saving).
+    """
+
+    def __init__(
+        self,
+        sorted_list: SortedList,
+        *,
+        tracker: str = "bitarray",
+        include_position: bool = False,
+    ) -> None:
+        self._list = sorted_list
+        self._tracker_kind = tracker
+        self._include_position = include_position
+        self._sessions: dict[str, _Session] = {}
+        self._session_for(DEFAULT_SESSION)
+
+    def _session_for(self, session_id: str) -> _Session:
+        session = self._sessions.get(session_id)
+        if session is None:
+            session = _Session(self._list, self._tracker_kind)
+            self._sessions[session_id] = session
+        return session
+
+    @property
+    def _accessor(self) -> ListAccessor:
+        # Default-session accessor; kept as the public single-query view.
+        return self._sessions[DEFAULT_SESSION].accessor
+
+    @property
+    def _tracker(self) -> BestPositionTracker:
+        return self._sessions[DEFAULT_SESSION].tracker
+
+    # ------------------------------------------------------------------
+    # Owner-side state (default-session views, used by the drivers)
+    # ------------------------------------------------------------------
+
+    @property
+    def accessor(self) -> ListAccessor:
+        """The metered accessor (for post-run access accounting)."""
+        return self._accessor
+
+    @property
+    def best_position(self) -> Position:
+        """The locally managed best position (default session)."""
+        return self._tracker.best_position
+
+    def best_position_score(self, session: str = DEFAULT_SESSION) -> Score:
+        """Local score at the best position (inf while nothing is seen)."""
+        bp = self._session_for(session).tracker.best_position
+        if bp == 0:
+            return float("inf")
+        return self._list.score_at(bp)
+
+    def session_tally(self, session: str):
+        """Access tally of one session (for per-query accounting)."""
+        return self._session_for(session).accessor.tally
+
+    @property
+    def active_sessions(self) -> tuple[str, ...]:
+        """Ids of all sessions this owner has seen."""
+        return tuple(self._sessions)
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, kind: str, payload: dict) -> dict:
+        """Serve one request (see module docstring for the protocol)."""
+        session = self._session_for(payload.get("session", DEFAULT_SESSION))
+        if kind == "sorted_next":
+            return self._sorted_next(session)
+        if kind == "random_lookup":
+            return self._random_lookup(session, payload["item"])
+        if kind == "direct_next":
+            return self._direct_next(session)
+        if kind == "top":
+            return self._top(session, payload["count"])
+        if kind == "get_scores_above":
+            return self._get_scores_above(session, payload["threshold"])
+        if kind == "reset":
+            self.reset(payload.get("session", DEFAULT_SESSION))
+            return {}
+        raise ProtocolError(f"unknown request kind: {kind!r}")
+
+    def reset(self, session_id: str = DEFAULT_SESSION) -> None:
+        """Clear one session's state (cursor, tally, best position)."""
+        self._sessions[session_id] = _Session(self._list, self._tracker_kind)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _sorted_next(self, session: _Session) -> dict:
+        entry = session.accessor.sorted_next()
+        old_bp = session.tracker.best_position
+        session.tracker.mark(entry.position)
+        response = {"item": entry.item, "score": entry.score}
+        if self._include_position:
+            response["position"] = entry.position
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _random_lookup(self, session: _Session, item: int) -> dict:
+        score, position = session.accessor.random_lookup(item)
+        old_bp = session.tracker.best_position
+        session.tracker.mark(position)
+        response: dict = {"score": score}
+        if self._include_position:
+            response["position"] = position
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _direct_next(self, session: _Session) -> dict:
+        position = session.tracker.best_position + 1
+        if position > len(session.accessor):
+            return {"exhausted": True}
+        entry = session.accessor.direct_at(position)
+        old_bp = session.tracker.best_position
+        session.tracker.mark(entry.position)
+        response = {"item": entry.item, "score": entry.score}
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _top(self, session: _Session, count: int) -> dict:
+        """TPUT phase 1: the first ``count`` entries in one message."""
+        count = min(count, len(session.accessor))
+        entries = []
+        for _ in range(count):
+            entry = session.accessor.sorted_next()
+            entries.append((entry.item, entry.score))
+        return {"entries": entries}
+
+    def _get_scores_above(self, session: _Session, threshold: float) -> dict:
+        """TPUT phase 2: every entry scoring at least ``threshold``.
+
+        Continues sorted access from the current cursor; entries already
+        shipped in phase 1 are not repeated.
+        """
+        entries = []
+        while not session.accessor.exhausted:
+            entry = session.accessor.sorted_next()
+            if entry.score < threshold:
+                break
+            entries.append((entry.item, entry.score))
+        return {"entries": entries}
+
+    def _piggyback(self, session: _Session, response: dict, old_bp: Position) -> None:
+        """Attach the best-position score when the access advanced it."""
+        new_bp = session.tracker.best_position
+        if new_bp != old_bp:
+            response["bp_score"] = self._list.score_at(new_bp)

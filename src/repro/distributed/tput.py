@@ -1,0 +1,122 @@
+"""TPUT — Three Phase Uniform Threshold (Cao & Wang, PODC 2004).
+
+The related-work baseline the paper compares against analytically
+(Section 7).  TPUT trades accesses for round trips: instead of one
+message per access, it uses three bulk phases:
+
+1. fetch the top-k of every list; the k-th best *partial* sum (missing
+   scores floored at 0) is the lower bound ``tau``;
+2. fetch from every list all entries scoring at least ``tau / m`` (the
+   "uniform threshold"); recompute the lower bound ``tau2``, prune every
+   item whose upper bound (missing scores capped at ``tau / m``) is below
+   ``tau2``;
+3. random-lookup the candidates' missing scores and return the exact
+   top-k.
+
+TPUT is defined for sum scoring; the driver rejects other scoring
+functions.  As the paper notes, TPUT is *not* instance optimal: a list
+holding many items just above the uniform threshold forces phase 2 to
+ship almost everything — ``tests/integration/test_tput.py`` reproduces
+exactly that pathology.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKBuffer
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.nodes import ListOwnerNode
+from repro.errors import InvalidQueryError, ScoringError
+from repro.lists.database import Database
+from repro.scoring import SUM, ScoringFunction, SumScoring
+from repro.types import AccessTally, ItemId, Score, TopKResult
+
+
+class DistributedTPUT:
+    """TPUT coordinator over the simulated network."""
+
+    name = "tput"
+
+    def run(
+        self, database: Database, k: int, scoring: ScoringFunction = SUM
+    ) -> TopKResult:
+        """Execute a top-k query with the three TPUT phases."""
+        if not 1 <= k <= database.n:
+            raise InvalidQueryError(f"k must be in 1..{database.n}, got {k}")
+        if not isinstance(scoring, SumScoring):
+            raise ScoringError(
+                "TPUT's uniform threshold tau/m is only valid for sum scoring"
+            )
+        network = SimulatedNetwork()
+        owners = [ListOwnerNode(lst) for lst in database.lists]
+        for index, owner in enumerate(owners):
+            network.register(f"owner/{index}", owner)
+
+        m = database.m
+        known: dict[ItemId, dict[int, Score]] = {}
+
+        def partial_sum(scores_by_list: dict[int, Score]) -> Score:
+            return sum(scores_by_list.values())
+
+        # ---- Phase 1: top-k from every list --------------------------------
+        for index in range(m):
+            response = network.request(f"owner/{index}", "top", {"count": k})
+            for item, score in response["entries"]:
+                known.setdefault(item, {})[index] = score
+        tau = self._kth_best(known.values(), k, partial_sum)
+
+        # ---- Phase 2: everything above the uniform threshold ---------------
+        uniform_threshold = tau / m
+        for index in range(m):
+            response = network.request(
+                f"owner/{index}", "get_scores_above", {"threshold": uniform_threshold}
+            )
+            for item, score in response["entries"]:
+                known.setdefault(item, {})[index] = score
+        tau2 = self._kth_best(known.values(), k, partial_sum)
+
+        candidates = []
+        for item, scores_by_list in known.items():
+            upper = partial_sum(scores_by_list) + uniform_threshold * (
+                m - len(scores_by_list)
+            )
+            if upper >= tau2:
+                candidates.append(item)
+
+        # ---- Phase 3: resolve candidates exactly ----------------------------
+        buffer = TopKBuffer(k)
+        for item in candidates:
+            scores_by_list = known[item]
+            for index in range(m):
+                if index not in scores_by_list:
+                    reply = network.request(
+                        f"owner/{index}", "random_lookup", {"item": item}
+                    )
+                    scores_by_list[index] = reply["score"]
+            buffer.add(item, sum(scores_by_list.values()))
+
+        tally = AccessTally()
+        for owner in owners:
+            tally = tally + owner.accessor.tally
+        deepest = max(owner.accessor.last_sorted_position for owner in owners)
+        extras = {
+            "network": network.stats.snapshot(),
+            "tau": tau,
+            "tau2": tau2,
+            "candidates": len(candidates),
+        }
+        return TopKResult(
+            items=buffer.ranked(),
+            tally=tally,
+            rounds=3,
+            stop_position=deepest,
+            algorithm=self.name,
+            extras=extras,
+        )
+
+    @staticmethod
+    def _kth_best(score_maps, k: int, partial_sum) -> Score:
+        """The k-th largest partial sum (0 when fewer than k items)."""
+        sums = sorted((partial_sum(sm) for sm in score_maps), reverse=True)
+        if len(sums) < k:
+            return 0.0
+        return sums[k - 1]

@@ -1,0 +1,24 @@
+"""Updatable sorted lists for continuous top-k monitoring.
+
+The paper's lists are static snapshots, but its motivating applications
+(network monitoring [8], data streams [22][24], sensor networks
+[27][28]) update scores continuously.  This package provides the
+substrate those applications need:
+
+* :class:`OrderStatisticTreap` — a deterministic, size-augmented
+  balanced tree with O(log n) ``insert`` / ``delete`` / ``rank`` /
+  ``select``;
+* :class:`DynamicSortedList` — a sorted list supporting O(log n) score
+  updates while exposing the same read API as
+  :class:`repro.lists.sorted_list.SortedList` (``entry_at``, ``lookup``,
+  ...), so TA/BPA/BPA2 run on it unchanged;
+* :class:`DynamicDatabase` — the matching database container.
+
+See ``examples/continuous_monitoring.py`` for the end-to-end scenario.
+"""
+
+from repro.dynamic.database import DynamicDatabase
+from repro.dynamic.dynamic_list import DynamicSortedList
+from repro.dynamic.treap import OrderStatisticTreap
+
+__all__ = ["OrderStatisticTreap", "DynamicSortedList", "DynamicDatabase"]

@@ -1,0 +1,142 @@
+"""A database of updatable lists.
+
+Mirrors :class:`repro.lists.database.Database` but over
+:class:`DynamicSortedList` instances, with mutation helpers that keep the
+item sets of all lists consistent (the paper's problem definition:
+every item appears once in every list).  Item membership is validated
+live rather than cached, so updates cannot leave the container stale.
+
+Algorithms take this container directly — it exposes the same read
+surface (``lists``, ``m``, ``n``, ``label``, ``local_scores``) the
+static database does.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.dynamic.dynamic_list import DynamicSortedList
+from repro.errors import InconsistentListsError
+from repro.types import ItemId, Score
+
+
+class DynamicDatabase:
+    """``m`` updatable sorted lists over one evolving item set."""
+
+    __slots__ = ("_lists", "_labels")
+
+    def __init__(
+        self,
+        lists: Sequence[DynamicSortedList],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+    ) -> None:
+        if not lists:
+            raise InconsistentListsError("a database needs at least one list")
+        reference = frozenset(lists[0].items())
+        for lst in lists[1:]:
+            if frozenset(lst.items()) != reference:
+                raise InconsistentListsError(
+                    "all lists must contain the same items "
+                    f"(list {lst.name or '?'} differs)"
+                )
+        self._lists = tuple(lists)
+        self._labels = dict(labels) if labels else {}
+
+    @classmethod
+    def from_score_rows(
+        cls,
+        score_rows: Sequence[Sequence[Score]],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+    ) -> "DynamicDatabase":
+        """Build from ``m`` dense score vectors (like the static Database)."""
+        lists = [
+            DynamicSortedList(
+                ((item, score) for item, score in enumerate(row)),
+                name=f"L{index + 1}",
+            )
+            for index, row in enumerate(score_rows)
+        ]
+        return cls(lists, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Read surface shared with the static Database
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of lists."""
+        return len(self._lists)
+
+    @property
+    def n(self) -> int:
+        """Number of items per list."""
+        return len(self._lists[0])
+
+    @property
+    def lists(self) -> tuple[DynamicSortedList, ...]:
+        """The underlying dynamic lists."""
+        return self._lists
+
+    @property
+    def item_ids(self) -> frozenset[ItemId]:
+        """The shared item id set (computed live)."""
+        return frozenset(self._lists[0].items())
+
+    def label(self, item: ItemId) -> str:
+        """Display label of ``item``."""
+        return self._labels.get(item, f"item {item}")
+
+    def local_scores(self, item: ItemId) -> tuple[Score, ...]:
+        """The item's local score in every list, in list order."""
+        return tuple(lst.lookup(item)[0] for lst in self._lists)
+
+    def positions(self, item: ItemId) -> tuple[int, ...]:
+        """The item's 1-based position in every list, in list order."""
+        return tuple(lst.lookup(item)[1] for lst in self._lists)
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __iter__(self):
+        return iter(self._lists)
+
+    def __getitem__(self, index: int) -> DynamicSortedList:
+        return self._lists[index]
+
+    # ------------------------------------------------------------------
+    # Consistent mutations
+    # ------------------------------------------------------------------
+
+    def update_score(self, list_index: int, item: ItemId, score: Score) -> None:
+        """Set the item's local score in one list."""
+        self._lists[list_index].update(item, score)
+
+    def apply_delta(self, list_index: int, item: ItemId, delta: Score) -> None:
+        """Adjust the item's local score in one list by ``delta``."""
+        self._lists[list_index].apply_delta(item, delta)
+
+    def insert_item(self, item: ItemId, scores: Sequence[Score]) -> None:
+        """Add a new item with one local score per list (all-or-nothing)."""
+        if len(scores) != self.m:
+            raise InconsistentListsError(
+                f"need {self.m} scores (one per list), got {len(scores)}"
+            )
+        inserted = []
+        try:
+            for lst, score in zip(self._lists, scores):
+                lst.insert(item, score)
+                inserted.append(lst)
+        except Exception:
+            for lst in inserted:
+                lst.remove(item)
+            raise
+
+    def remove_item(self, item: ItemId) -> None:
+        """Delete an item from every list."""
+        for lst in self._lists:
+            lst.remove(item)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DynamicDatabase m={self.m} n={self.n}>"

@@ -1,0 +1,192 @@
+"""A deterministic order-statistic treap.
+
+A treap keeps keys in binary-search-tree order and heap-orders nodes by
+a pseudo-random priority, giving expected O(log n) depth.  Priorities
+here are derived deterministically from the key's hash through a
+splitmix64-style mixer, so identical inputs always build identical trees
+(important for reproducible experiments; also means no reliance on a
+global RNG).
+
+Every node carries its subtree size, which turns the tree into an
+*order-statistic* structure:
+
+* ``rank(key)``   — 1-based position of ``key`` in sorted order;
+* ``select(r)``   — the key at 1-based position ``r``.
+
+Those two operations are exactly a sorted list's ``position_of`` and
+``entry_at``, which is how :class:`repro.dynamic.dynamic_list.DynamicSortedList`
+supports O(log n) updates while still serving the paper's access modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+def _mix(value: int) -> int:
+    """splitmix64 finalizer: a well-distributed 64-bit mix of ``value``."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+class _Node:
+    __slots__ = ("key", "priority", "size", "left", "right")
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+        self.priority = _mix(hash(key))
+        self.size = 1
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+    def refresh(self) -> None:
+        self.size = 1 + _size(self.left) + _size(self.right)
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+def _split(node: Optional[_Node], key: Any) -> tuple[Optional[_Node], Optional[_Node]]:
+    """Split into (< key, >= key) subtrees."""
+    if node is None:
+        return None, None
+    if node.key < key:
+        left, right = _split(node.right, key)
+        node.right = left
+        node.refresh()
+        return node, right
+    left, right = _split(node.left, key)
+    node.left = right
+    node.refresh()
+    return left, node
+
+
+def _merge(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    """Merge two treaps where every key in ``left`` < every key in ``right``."""
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority > right.priority:
+        left.right = _merge(left.right, right)
+        left.refresh()
+        return left
+    right.left = _merge(left, right.left)
+    right.refresh()
+    return right
+
+
+class OrderStatisticTreap:
+    """Ordered set with O(log n) rank/select, insert and delete."""
+
+    __slots__ = ("_root",)
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __contains__(self, key: Any) -> bool:
+        node = self._root
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                node = node.right
+            else:
+                return True
+        return False
+
+    def insert(self, key: Any) -> bool:
+        """Insert ``key``; returns False (no-op) if already present."""
+        if key in self:
+            return False
+        left, right = _split(self._root, key)
+        self._root = _merge(_merge(left, _Node(key)), right)
+        return True
+
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns False if absent."""
+        self._root, removed = self._delete(self._root, key)
+        return removed
+
+    @classmethod
+    def _delete(
+        cls, node: Optional[_Node], key: Any
+    ) -> tuple[Optional[_Node], bool]:
+        if node is None:
+            return None, False
+        if key < node.key:
+            node.left, removed = cls._delete(node.left, key)
+        elif node.key < key:
+            node.right, removed = cls._delete(node.right, key)
+        else:
+            return _merge(node.left, node.right), True
+        node.refresh()
+        return node, removed
+
+    def rank(self, key: Any) -> int:
+        """1-based position of ``key`` in sorted order; KeyError if absent."""
+        node = self._root
+        smaller = 0
+        while node is not None:
+            if key < node.key:
+                node = node.left
+            elif node.key < key:
+                smaller += _size(node.left) + 1
+                node = node.right
+            else:
+                return smaller + _size(node.left) + 1
+        raise KeyError(f"key not found: {key!r}")
+
+    def select(self, rank: int) -> Any:
+        """Key at 1-based position ``rank``; IndexError if out of range."""
+        if not 1 <= rank <= len(self):
+            raise IndexError(f"rank {rank} out of range 1..{len(self)}")
+        node = self._root
+        remaining = rank
+        while node is not None:
+            left_size = _size(node.left)
+            if remaining <= left_size:
+                node = node.left
+            elif remaining == left_size + 1:
+                return node.key
+            else:
+                remaining -= left_size + 1
+                node = node.right
+        raise AssertionError("unreachable: size bookkeeping is broken")
+
+    def __iter__(self) -> Iterator[Any]:
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key
+            node = node.right
+
+    def validate(self) -> None:
+        """Check BST order, heap order and size bookkeeping (tests)."""
+        keys = list(self)
+        assert keys == sorted(keys), "BST order violated"
+        assert len(keys) == len(self), "size bookkeeping broken"
+        self._validate_node(self._root)
+
+    def _validate_node(self, node: Optional[_Node]) -> int:
+        if node is None:
+            return 0
+        for child in (node.left, node.right):
+            if child is not None:
+                assert child.priority <= node.priority, "heap order violated"
+        size = 1 + self._validate_node(node.left) + self._validate_node(node.right)
+        assert node.size == size, "stale subtree size"
+        return size

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DatabaseError(ReproError):
+    """A database (set of sorted lists) is malformed."""
+
+
+class InconsistentListsError(DatabaseError):
+    """The lists of a database do not range over the same item set."""
+
+
+class DuplicateItemError(DatabaseError):
+    """An item appears more than once inside a single sorted list."""
+
+
+class UnknownItemError(DatabaseError, KeyError):
+    """A random access referenced an item that is not in the list."""
+
+
+class InvalidPositionError(DatabaseError, IndexError):
+    """A direct access referenced a position outside ``1..n``."""
+
+
+class ExhaustedListError(DatabaseError):
+    """A sorted access was attempted past the end of a list."""
+
+
+class ScoringError(ReproError):
+    """A scoring function was invalid for the requested operation."""
+
+
+class NonMonotonicScoringError(ScoringError):
+    """A scoring function violated the monotonicity requirement.
+
+    TA, BPA and BPA2 are only correct for monotonic scoring functions
+    (paper, Section 2); the library checks cheap necessary conditions and
+    raises this error when a violation is detected.
+    """
+
+
+class InvalidQueryError(ReproError):
+    """A top-k query had invalid parameters (e.g. ``k < 1`` or ``k > n``)."""
+
+
+class GenerationError(ReproError):
+    """A synthetic database generator received unsatisfiable parameters."""
+
+
+class DistributedError(ReproError):
+    """A failure in the simulated distributed execution layer."""
+
+
+class ProtocolError(DistributedError):
+    """A node received a message it cannot handle in its current state."""
+
+
+class StorageError(ReproError):
+    """A failure in the on-disk list storage layer."""
+
+
+class CorruptFileError(StorageError):
+    """A database file failed validation (bad magic, version or size)."""

@@ -1,0 +1,29 @@
+"""Sorted-list storage, the substrate every algorithm runs on.
+
+The paper models a database as ``m`` lists over the same ``n`` items, each
+sorted descending by local score, supporting *sorted*, *random* and (for
+BPA2) *direct* access.  This package provides:
+
+* :class:`repro.lists.sorted_list.SortedList` — one list with O(1) access
+  by position and by item;
+* :class:`repro.lists.database.Database` — the validated collection of
+  ``m`` lists;
+* :class:`repro.lists.accessor.ListAccessor` /
+  :class:`repro.lists.accessor.DatabaseAccessor` — counting wrappers that
+  meter every access, so execution costs are measured rather than
+  estimated;
+* :mod:`repro.lists.cost` — cost reports built from the access tallies.
+"""
+
+from repro.lists.accessor import DatabaseAccessor, ListAccessor
+from repro.lists.cost import CostReport
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+
+__all__ = [
+    "Database",
+    "SortedList",
+    "ListAccessor",
+    "DatabaseAccessor",
+    "CostReport",
+]

@@ -1,0 +1,120 @@
+"""Counting wrappers around sorted lists.
+
+Algorithms never touch :class:`repro.lists.sorted_list.SortedList`
+directly; they go through a :class:`ListAccessor`, which meters every
+sorted/random/direct access.  This keeps the paper's cost metrics honest —
+the counts in a :class:`repro.types.TopKResult` are what the algorithm
+actually did, not an after-the-fact estimate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExhaustedListError
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+from repro.types import AccessTally, ItemId, ListEntry, Position, Score
+
+
+class ListAccessor:
+    """Meters accesses against one sorted list.
+
+    Maintains the sorted-access cursor (the "last seen position" of
+    TA/BPA) and a per-list :class:`AccessTally`.
+    """
+
+    __slots__ = ("_list", "tally", "_cursor")
+
+    def __init__(self, sorted_list: SortedList) -> None:
+        self._list = sorted_list
+        self.tally = AccessTally()
+        self._cursor = 0  # last position read under sorted access
+
+    @property
+    def source(self) -> SortedList:
+        """The wrapped sorted list."""
+        return self._list
+
+    @property
+    def last_sorted_position(self) -> Position:
+        """Last position read under sorted access (0 before the first)."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether sorted access has consumed the whole list."""
+        return self._cursor >= len(self._list)
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    # ------------------------------------------------------------------
+    # The three metered access modes
+    # ------------------------------------------------------------------
+
+    def sorted_next(self) -> ListEntry:
+        """Sorted (sequential) access: read the next entry."""
+        if self.exhausted:
+            raise ExhaustedListError(
+                f"sorted access past the end of {self._list.name or 'list'}"
+            )
+        self._cursor += 1
+        self.tally.sorted += 1
+        return self._list.entry_at(self._cursor)
+
+    def random_lookup(self, item: ItemId) -> tuple[Score, Position]:
+        """Random access: local score and position of ``item``."""
+        self.tally.random += 1
+        return self._list.lookup(item)
+
+    def direct_at(self, position: Position) -> ListEntry:
+        """Direct access: the entry at a given 1-based position (BPA2)."""
+        self.tally.direct += 1
+        return self._list.entry_at(position)
+
+    def reset(self) -> None:
+        """Clear the tally and rewind the sorted-access cursor."""
+        self.tally = AccessTally()
+        self._cursor = 0
+
+
+class DatabaseAccessor:
+    """Bundle of one :class:`ListAccessor` per list of a database."""
+
+    __slots__ = ("_database", "accessors")
+
+    def __init__(self, database: Database) -> None:
+        self._database = database
+        self.accessors = tuple(ListAccessor(lst) for lst in database.lists)
+
+    @property
+    def database(self) -> Database:
+        """The wrapped database."""
+        return self._database
+
+    @property
+    def m(self) -> int:
+        """Number of lists."""
+        return len(self.accessors)
+
+    @property
+    def n(self) -> int:
+        """Number of items per list."""
+        return self._database.n
+
+    def __iter__(self):
+        return iter(self.accessors)
+
+    def __getitem__(self, index: int) -> ListAccessor:
+        return self.accessors[index]
+
+    def total_tally(self) -> AccessTally:
+        """Sum of the per-list tallies."""
+        total = AccessTally()
+        for accessor in self.accessors:
+            total = total + accessor.tally
+        return total
+
+    def reset(self) -> None:
+        """Reset every per-list accessor."""
+        for accessor in self.accessors:
+            accessor.reset()

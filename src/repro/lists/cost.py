@@ -1,0 +1,61 @@
+"""Cost reporting built on access tallies.
+
+The paper evaluates three metrics (Section 6.1):
+
+1. *execution cost* — ``as*cs + ar*cr`` with ``cs = 1``, ``cr = log2 n``,
+   and BPA2's direct accesses charged like random accesses;
+2. *number of accesses* — the total of all access modes, a proxy for the
+   message count in a distributed deployment;
+3. *response time* — wall-clock time.
+
+:class:`CostReport` packages the first two for a finished run;
+response time is measured by the bench harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import AccessTally, CostModel, TopKResult
+
+
+@dataclass(frozen=True, slots=True)
+class CostReport:
+    """Execution cost and access counts for one algorithm run."""
+
+    algorithm: str
+    tally: AccessTally
+    execution_cost: float
+    stop_position: int
+
+    @classmethod
+    def from_result(cls, result: TopKResult, model: CostModel) -> "CostReport":
+        """Build a report from a finished run under a cost model."""
+        return cls(
+            algorithm=result.algorithm,
+            tally=result.tally.copy(),
+            execution_cost=model.execution_cost(result.tally),
+            stop_position=result.stop_position,
+        )
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses (sorted + random + direct)."""
+        return self.tally.total
+
+    def speedup_over(self, other: "CostReport") -> float:
+        """How many times cheaper this run is than ``other``.
+
+        Values above 1 mean this run is cheaper.  Mirrors the paper's
+        "outperforms TA by a factor of ..." phrasing, i.e.
+        ``other.cost / self.cost``.
+        """
+        if self.execution_cost == 0:
+            return float("inf") if other.execution_cost > 0 else 1.0
+        return other.execution_cost / self.execution_cost
+
+    def access_ratio_over(self, other: "CostReport") -> float:
+        """``other.accesses / self.accesses`` (above 1 = fewer accesses)."""
+        if self.accesses == 0:
+            return float("inf") if other.accesses > 0 else 1.0
+        return other.accesses / self.accesses

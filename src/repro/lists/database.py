@@ -1,0 +1,150 @@
+"""A database = ``m`` sorted lists over one item set.
+
+Matches the paper's Section 2 problem definition: every item appears once
+and only once in each list, and each list is independently sorted by its
+local scores.  Construction validates these invariants and raises typed
+errors from :mod:`repro.errors` on violation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import InconsistentListsError
+from repro.lists.sorted_list import SortedList
+from repro.types import ItemId, Score
+
+
+class Database:
+    """An immutable collection of ``m`` sorted lists over ``n`` items.
+
+    Args:
+        lists: the sorted lists; all must contain exactly the same items.
+        labels: optional mapping from item id to a display label, used by
+            examples (e.g. URL strings, document titles).
+    """
+
+    __slots__ = ("_lists", "_labels", "_item_ids")
+
+    def __init__(
+        self,
+        lists: Sequence[SortedList],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+    ) -> None:
+        if not lists:
+            raise InconsistentListsError("a database needs at least one list")
+        reference = frozenset(lists[0].items())
+        for sorted_list in lists[1:]:
+            if frozenset(sorted_list.items()) != reference:
+                raise InconsistentListsError(
+                    "all lists of a database must contain the same items "
+                    f"(list {sorted_list.name or '?'} differs)"
+                )
+        self._lists: tuple[SortedList, ...] = tuple(lists)
+        self._labels = dict(labels) if labels else {}
+        self._item_ids: frozenset[ItemId] = reference
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_score_rows(
+        cls,
+        score_rows: Sequence[Sequence[Score]],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+        index_kind: str = "dict",
+    ) -> "Database":
+        """Build a database from ``m`` dense score vectors.
+
+        ``score_rows[i][d]`` is the local score of item ``d`` in list ``i``.
+        This is the most common entry point: generators produce an
+        ``(m, n)`` matrix of scores and hand it here.
+        """
+        lists = [
+            SortedList.from_scores(row, name=f"L{i + 1}", index_kind=index_kind)
+            for i, row in enumerate(score_rows)
+        ]
+        return cls(lists, labels=labels)
+
+    @classmethod
+    def from_ranked_lists(
+        cls,
+        ranked: Sequence[Sequence[tuple[ItemId, Score]]],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+        index_kind: str = "dict",
+    ) -> "Database":
+        """Build a database from explicit per-list rankings.
+
+        ``ranked[i]`` is the full `(item, score)` ranking of list ``i`` in
+        descending score order (any order is accepted; lists re-sort).
+        Used to encode the paper's Figure 1 / Figure 2 examples verbatim.
+        """
+        lists = [
+            SortedList(entries, name=f"L{i + 1}", index_kind=index_kind)
+            for i, entries in enumerate(ranked)
+        ]
+        return cls(lists, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of lists."""
+        return len(self._lists)
+
+    @property
+    def n(self) -> int:
+        """Number of items per list."""
+        return len(self._lists[0])
+
+    @property
+    def lists(self) -> tuple[SortedList, ...]:
+        """The underlying sorted lists."""
+        return self._lists
+
+    @property
+    def item_ids(self) -> frozenset[ItemId]:
+        """The shared item id set."""
+        return self._item_ids
+
+    def label(self, item: ItemId) -> str:
+        """Display label of ``item`` (falls back to ``"item <id>"``)."""
+        return self._labels.get(item, f"item {item}")
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __iter__(self) -> Iterator[SortedList]:
+        return iter(self._lists)
+
+    def __getitem__(self, index: int) -> SortedList:
+        return self._lists[index]
+
+    # ------------------------------------------------------------------
+    # Whole-database score helpers (used by tests and the naive baseline)
+    # ------------------------------------------------------------------
+
+    def local_scores(self, item: ItemId) -> tuple[Score, ...]:
+        """The item's local score in every list, in list order."""
+        return tuple(
+            sorted_list.lookup(item)[0] for sorted_list in self._lists
+        )
+
+    def positions(self, item: ItemId) -> tuple[int, ...]:
+        """The item's 1-based position in every list, in list order."""
+        return tuple(
+            sorted_list.lookup(item)[1] for sorted_list in self._lists
+        )
+
+    def iter_items(self) -> Iterable[ItemId]:
+        """All item ids in ascending order."""
+        return sorted(self._item_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Database m={self.m} n={self.n}>"

@@ -1,0 +1,25 @@
+"""Relational top-k: ranked retrieval over a table's attribute indexes.
+
+The paper's first motivating example: "to find the top-k tuples in a
+relational table according to some scoring function over its attributes
+... it is sufficient to have a sorted (indexed) list of the values of
+each attribute involved in the scoring function."
+
+:class:`Table` is a small column-oriented store that builds (and caches)
+one sorted index per attribute and answers weighted top-k queries with
+any algorithm in the library::
+
+    table = Table.from_rows("restaurants", rows)
+    result = table.topk(5, weights={"food": 3.0, "proximity": 2.0},
+                        minimize=("price",), algorithm="bpa2")
+    for row in result.rows:
+        print(row.id, row.score, row.values)
+
+``minimize`` flips a column (lower is better) with the monotone
+transform ``max(column) - value`` so it can participate in the same
+monotonic weighted sum.
+"""
+
+from repro.relational.table import Table, TableTopKResult, TopKRow
+
+__all__ = ["Table", "TableTopKResult", "TopKRow"]

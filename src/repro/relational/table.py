@@ -1,0 +1,230 @@
+"""Column-oriented table with attribute indexes and top-k queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.algorithms.base import get_algorithm
+from repro.errors import InvalidQueryError, ReproError
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+from repro.scoring import WeightedSumScoring
+from repro.types import Score, TopKResult
+
+
+class SchemaError(ReproError):
+    """A table was built or queried against a mismatched schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class TopKRow:
+    """One answer row: id, overall score and the queried attributes."""
+
+    id: int
+    score: Score
+    values: dict[str, float]
+    label: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class TableTopKResult:
+    """Answer rows plus the underlying algorithm statistics."""
+
+    rows: tuple[TopKRow, ...]
+    stats: TopKResult
+    columns: tuple[str, ...]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Table:
+    """An immutable column store with cached per-attribute indexes.
+
+    Args:
+        name: table name (for error messages and reprs).
+        columns: mapping column name -> numeric values; all columns must
+            have the same length.  Row ``i`` of every column belongs to
+            tuple id ``i``.
+        labels: optional row id -> display label.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Sequence[float]],
+        *,
+        labels: Mapping[int, str] | None = None,
+    ) -> None:
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        lengths = {column: len(values) for column, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise SchemaError(
+                f"table {name!r} has ragged columns: {lengths}"
+            )
+        self._name = name
+        self._columns: dict[str, tuple[float, ...]] = {}
+        for column, values in columns.items():
+            try:
+                self._columns[column] = tuple(float(v) for v in values)
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(
+                    f"column {column!r} of table {name!r} is not numeric"
+                ) from exc
+        self._labels = dict(labels) if labels else {}
+        self._n_rows = next(iter(lengths.values()))
+        # (column, flipped?) -> SortedList; built lazily, reused forever
+        # (the table is immutable, so indexes never go stale).
+        self._indexes: dict[tuple[str, bool], SortedList] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        rows: Iterable[Mapping[str, float]],
+        *,
+        labels: Mapping[int, str] | None = None,
+    ) -> "Table":
+        """Build from row dicts (all rows must share the same keys)."""
+        rows = list(rows)
+        if not rows:
+            raise SchemaError(f"table {name!r} needs at least one row")
+        schema = tuple(rows[0].keys())
+        columns: dict[str, list[float]] = {column: [] for column in schema}
+        for index, row in enumerate(rows):
+            if tuple(row.keys()) != schema:
+                raise SchemaError(
+                    f"row {index} of table {name!r} does not match the "
+                    f"schema {schema}"
+                )
+            for column in schema:
+                columns[column].append(row[column])
+        return cls(name, columns, labels=labels)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self._name
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples."""
+        return self._n_rows
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """All column names in definition order."""
+        return tuple(self._columns)
+
+    def column(self, name: str) -> tuple[float, ...]:
+        """The raw values of one column."""
+        if name not in self._columns:
+            raise SchemaError(
+                f"table {self._name!r} has no column {name!r}; "
+                f"known: {list(self._columns)}"
+            )
+        return self._columns[name]
+
+    def row(self, row_id: int) -> dict[str, float]:
+        """One tuple as a dict."""
+        if not 0 <= row_id < self._n_rows:
+            raise InvalidQueryError(
+                f"row id {row_id} out of range 0..{self._n_rows - 1}"
+            )
+        return {column: values[row_id] for column, values in self._columns.items()}
+
+    def label(self, row_id: int) -> str:
+        """Display label of a row."""
+        return self._labels.get(row_id, f"row {row_id}")
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Table {self._name!r}: {self._n_rows} rows x "
+            f"{len(self._columns)} columns>"
+        )
+
+    # ------------------------------------------------------------------
+    # Indexing and queries
+    # ------------------------------------------------------------------
+
+    def index_for(self, column: str, *, flipped: bool = False) -> SortedList:
+        """The (cached) sorted index of one column.
+
+        ``flipped=True`` indexes ``max(column) - value`` so that smaller
+        raw values rank first while scores stay non-negative.
+        """
+        key = (column, flipped)
+        if key not in self._indexes:
+            values = self.column(column)
+            if flipped:
+                top = max(values)
+                values = tuple(top - v for v in values)
+            self._indexes[key] = SortedList.from_scores(
+                values, name=f"{self._name}.{column}{'^-1' if flipped else ''}"
+            )
+        return self._indexes[key]
+
+    def topk(
+        self,
+        k: int,
+        weights: Mapping[str, float],
+        *,
+        minimize: Sequence[str] = (),
+        algorithm: str = "bpa2",
+        **algorithm_options,
+    ) -> TableTopKResult:
+        """Weighted top-k over the given attributes.
+
+        Args:
+            k: number of rows to return.
+            weights: column -> non-negative weight; only these columns
+                participate in the score.
+            minimize: columns (subset of ``weights``) where *smaller* raw
+                values are better; they are flipped monotonically.
+            algorithm: any registered algorithm name (default BPA2).
+            **algorithm_options: passed to the algorithm constructor
+                (e.g. ``tracker="btree"``, ``approximation=1.5``).
+        """
+        if not weights:
+            raise InvalidQueryError("topk needs at least one weighted column")
+        flip = set(minimize)
+        unknown_flips = flip - set(weights)
+        if unknown_flips:
+            raise InvalidQueryError(
+                f"minimize columns not in the weighted set: {sorted(unknown_flips)}"
+            )
+        ordered_columns = tuple(weights)
+        lists = [
+            self.index_for(column, flipped=column in flip)
+            for column in ordered_columns
+        ]
+        database = Database(lists, labels=self._labels)
+        scoring = WeightedSumScoring([weights[c] for c in ordered_columns])
+        runner = get_algorithm(algorithm, **algorithm_options)
+        stats = runner.run(database, k, scoring)
+        rows = tuple(
+            TopKRow(
+                id=entry.item,
+                score=entry.score,
+                values={c: self._columns[c][entry.item] for c in ordered_columns},
+                label=self.label(entry.item),
+            )
+            for entry in stats.items
+        )
+        return TableTopKResult(rows=rows, stats=stats, columns=ordered_columns)

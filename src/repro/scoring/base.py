@@ -1,0 +1,73 @@
+"""Scoring-function protocol and monotonicity verification."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import NonMonotonicScoringError
+from repro.types import Score
+
+
+@runtime_checkable
+class ScoringFunction(Protocol):
+    """Anything that aggregates ``m`` local scores into one overall score.
+
+    Implementations must be monotonic for TA/BPA/BPA2 to be correct.  The
+    ``name`` attribute is used in reports.
+    """
+
+    name: str
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        """Aggregate local scores (one per list, in list order)."""
+        ...
+
+
+def check_monotonic(
+    function: ScoringFunction,
+    arity: int,
+    *,
+    samples: int = 200,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> bool:
+    """Probe ``function`` for monotonicity violations.
+
+    Draws random score vectors and dominating perturbations; returns
+    ``False`` on the first violation found.  A ``True`` result is evidence,
+    not proof — monotonicity over the reals is undecidable by sampling —
+    but catches the common mistakes (e.g. weighted sums with negative
+    weights).
+    """
+    rng = random.Random(seed)
+    for _ in range(samples):
+        base = [rng.uniform(low, high) for _ in range(arity)]
+        bumped = list(base)
+        # Bump a random non-empty subset of coordinates upward.
+        k = rng.randint(1, arity)
+        for index in rng.sample(range(arity), k):
+            bumped[index] += rng.uniform(0.0, high - low) + 1e-12
+        if function(base) > function(bumped) + 1e-12:
+            return False
+    # Also probe the lattice corners for small arities.
+    if arity <= 6:
+        corners = list(itertools.product((low, high), repeat=arity))
+        for a in corners:
+            for b in corners:
+                if all(x <= y for x, y in zip(a, b)):
+                    if function(list(a)) > function(list(b)) + 1e-12:
+                        return False
+    return True
+
+
+def ensure_monotonic(function: ScoringFunction, arity: int, **kwargs) -> None:
+    """Raise :class:`NonMonotonicScoringError` if probing finds a violation."""
+    if not check_monotonic(function, arity, **kwargs):
+        name = getattr(function, "name", repr(function))
+        raise NonMonotonicScoringError(
+            f"scoring function {name} is not monotonic; "
+            "TA/BPA/BPA2 require monotonic aggregation (paper, Section 2)"
+        )

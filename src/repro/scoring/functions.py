@@ -1,0 +1,114 @@
+"""Stock monotonic scoring functions.
+
+All are monotonic over non-negative local scores (``ProductScoring``
+additionally requires non-negative inputs, which the paper's problem
+definition guarantees: local scores are non-negative reals).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ScoringError
+from repro.types import Score
+
+
+class SumScoring:
+    """``f(s1..sm) = s1 + ... + sm`` — the paper's evaluation default."""
+
+    name = "sum"
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        return math.fsum(scores)
+
+    def __repr__(self) -> str:
+        return "SumScoring()"
+
+
+class WeightedSumScoring:
+    """``f(s1..sm) = w1*s1 + ... + wm*sm`` with non-negative weights.
+
+    Negative weights would break monotonicity, so they are rejected at
+    construction time.
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        if not weights:
+            raise ScoringError("weighted sum needs at least one weight")
+        if any(w < 0 for w in weights):
+            raise ScoringError(
+                "weighted sum weights must be non-negative to stay monotonic"
+            )
+        self._weights = tuple(float(w) for w in weights)
+        self.name = f"wsum[{','.join(f'{w:g}' for w in self._weights)}]"
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        """The weight vector."""
+        return self._weights
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        if len(scores) != len(self._weights):
+            raise ScoringError(
+                f"expected {len(self._weights)} scores, got {len(scores)}"
+            )
+        return math.fsum(w * s for w, s in zip(self._weights, scores))
+
+    def __repr__(self) -> str:
+        return f"WeightedSumScoring({list(self._weights)!r})"
+
+
+class MinScoring:
+    """``f = min`` — the classic fuzzy-conjunction aggregation."""
+
+    name = "min"
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        return min(scores)
+
+    def __repr__(self) -> str:
+        return "MinScoring()"
+
+
+class MaxScoring:
+    """``f = max`` — fuzzy disjunction."""
+
+    name = "max"
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        return max(scores)
+
+    def __repr__(self) -> str:
+        return "MaxScoring()"
+
+
+class AverageScoring:
+    """``f = mean`` — same ranking as sum, different scale."""
+
+    name = "avg"
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        return math.fsum(scores) / len(scores)
+
+    def __repr__(self) -> str:
+        return "AverageScoring()"
+
+
+class ProductScoring:
+    """``f = s1 * ... * sm`` — monotonic for non-negative scores."""
+
+    name = "product"
+
+    def __call__(self, scores: Sequence[Score]) -> Score:
+        result = 1.0
+        for score in scores:
+            if score < 0:
+                raise ScoringError(
+                    "product scoring requires non-negative local scores"
+                )
+            result *= score
+        return result
+
+    def __repr__(self) -> str:
+        return "ProductScoring()"

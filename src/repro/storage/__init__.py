@@ -1,0 +1,32 @@
+"""On-disk sorted-list storage.
+
+The paper prices a random access at ``cr = log2(n)`` because it assumes
+a tree index over the items.  This package makes that cost model
+literal: lists are stored in a compact binary file where
+
+* *sorted/direct access* is one ``seek`` + fixed-size read into the
+  rank-ordered section, and
+* *random access* is a binary search over the item-ordered index
+  section — exactly ``log2(n)`` seeks.
+
+Usage::
+
+    from repro.storage import save_database, open_database
+
+    save_database(database, "lists.bptk")
+    with open_database("lists.bptk") as disk_db:
+        result = BestPositionAlgorithm2().run(disk_db, k=10)
+
+``DiskDatabase`` exposes the same read surface as the in-memory
+:class:`repro.lists.database.Database`, so every algorithm runs on it
+unchanged.
+"""
+
+from repro.storage.disk import (
+    DiskDatabase,
+    DiskSortedList,
+    open_database,
+    save_database,
+)
+
+__all__ = ["save_database", "open_database", "DiskDatabase", "DiskSortedList"]

@@ -1,0 +1,108 @@
+"""Differential-testing helpers for downstream users.
+
+Anyone extending the library — a new scoring function, a custom
+algorithm, a new generator — needs the same checks this repository runs
+internally.  This module packages them:
+
+* :func:`assert_algorithm_correct` — run an algorithm against the naive
+  oracle over a grid of generated databases;
+* :func:`assert_scoring_usable` — monotonicity probing plus an
+  end-to-end agreement check under the given scoring function;
+* :func:`standard_test_databases` — the grid itself (small uniform,
+  Gaussian, correlated and tie-heavy databases).
+
+Example::
+
+    from repro.testing import assert_algorithm_correct
+    assert_algorithm_correct(MyAlgorithm())
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.algorithms.base import TopKAlgorithm
+from repro.algorithms.naive import brute_force_topk
+from repro.datagen import (
+    CorrelatedGenerator,
+    GaussianCopulaGenerator,
+    GaussianGenerator,
+    UniformGenerator,
+)
+from repro.datagen.figures import figure1_database, figure2_database
+from repro.lists.database import Database
+from repro.scoring import SUM, ScoringFunction, ensure_monotonic
+
+
+def standard_test_databases(*, seed: int = 7) -> Iterable[tuple[str, Database]]:
+    """A labelled grid of small databases covering the usual regimes."""
+    yield "figure1", figure1_database()
+    yield "figure2", figure2_database()
+    yield "uniform-small", UniformGenerator().generate(40, 3, seed=seed)
+    yield "uniform-wide", UniformGenerator().generate(25, 6, seed=seed)
+    yield "gaussian", GaussianGenerator().generate(40, 3, seed=seed)
+    yield "correlated", CorrelatedGenerator(alpha=0.05).generate(40, 4, seed=seed)
+    yield "copula", GaussianCopulaGenerator(rho=0.8).generate(40, 3, seed=seed)
+    # Heavy ties: integer scores from a tiny domain.
+    tie_rows = [
+        [float((item * (list_index + 3)) % 4) for item in range(30)]
+        for list_index in range(3)
+    ]
+    yield "tie-heavy", Database.from_score_rows(tie_rows)
+    yield "single-list", Database.from_score_rows([[float(i) for i in range(20)]])
+
+
+def assert_algorithm_correct(
+    algorithm: TopKAlgorithm,
+    *,
+    scoring: ScoringFunction = SUM,
+    ks: Iterable[int] = (1, 3, 10),
+    seed: int = 7,
+    tolerance: float = 1e-9,
+) -> None:
+    """Check ``algorithm`` against the naive oracle on the standard grid.
+
+    Raises ``AssertionError`` naming the first failing configuration.
+    """
+    for label, database in standard_test_databases(seed=seed):
+        for k in ks:
+            if k > database.n:
+                continue
+            expected = [e.score for e in brute_force_topk(database, k, scoring)]
+            result = algorithm.run(database, k, scoring)
+            actual = list(result.scores)
+            ok = len(actual) == len(expected) and all(
+                math.isclose(a, b, rel_tol=0.0, abs_tol=tolerance)
+                for a, b in zip(actual, expected)
+            )
+            assert ok, (
+                f"{algorithm.name} wrong on {label} (k={k}): "
+                f"got {actual}, expected {expected}"
+            )
+
+
+def assert_scoring_usable(
+    scoring: ScoringFunction,
+    arity: int,
+    *,
+    seed: int = 7,
+) -> None:
+    """Probe a scoring function for monotonicity and end-to-end agreement.
+
+    Runs TA and BPA under ``scoring`` on an ``arity``-list database and
+    requires both to match the naive oracle.  Raises
+    :class:`repro.errors.NonMonotonicScoringError` or ``AssertionError``.
+    """
+    from repro.algorithms.base import get_algorithm
+
+    ensure_monotonic(scoring, arity)
+    database = UniformGenerator().generate(60, arity, seed=seed)
+    expected = [e.score for e in brute_force_topk(database, 5, scoring)]
+    for name in ("ta", "bpa", "bpa2"):
+        result = get_algorithm(name).run(database, 5, scoring)
+        actual = list(result.scores)
+        assert all(
+            math.isclose(a, b, rel_tol=0.0, abs_tol=1e-9)
+            for a, b in zip(actual, expected)
+        ), f"{name} disagrees with the oracle under {getattr(scoring, 'name', scoring)}"

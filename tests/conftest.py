@@ -1,0 +1,93 @@
+"""Shared fixtures, hypothesis strategies and tiny-scale helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.bench.config import Scale
+from repro.lists.database import Database
+
+# Hypothesis profile: the algorithm-level properties run whole query
+# executions per example, so keep example counts moderate and deadlines off.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ---------------------------------------------------------------------------
+# Database strategies
+# ---------------------------------------------------------------------------
+
+def score_matrices(
+    max_items: int = 24,
+    max_lists: int = 5,
+    *,
+    min_items: int = 1,
+    min_lists: int = 1,
+    tie_heavy: bool = False,
+):
+    """Strategy producing (m, n) integer score matrices as lists of rows.
+
+    ``tie_heavy`` draws scores from a tiny domain so equal local scores
+    (and equal overall scores) are common — the regime where tie-breaking
+    bugs live.
+    """
+    score = st.integers(0, 6) if tie_heavy else st.integers(0, 1000)
+
+    def rows(n: int):
+        return st.lists(
+            st.lists(score, min_size=n, max_size=n),
+            min_size=min_lists,
+            max_size=max_lists,
+        )
+
+    return st.integers(min_items, max_items).flatmap(rows)
+
+
+@st.composite
+def databases(draw, max_items: int = 24, max_lists: int = 5, tie_heavy: bool = False):
+    """Strategy producing a :class:`Database` and a valid ``k``."""
+    matrix = draw(score_matrices(max_items, max_lists, tie_heavy=tie_heavy))
+    database = Database.from_score_rows([[float(s) for s in row] for row in matrix])
+    k = draw(st.integers(1, database.n))
+    return database, k
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="session")
+def tiny_scale() -> Scale:
+    """A very small bench scale so harness tests run in milliseconds."""
+    return Scale(
+        name="tiny",
+        n=200,
+        k=5,
+        m=3,
+        m_sweep=(2, 3),
+        k_sweep=(2, 5),
+        n_sweep=(100, 200),
+        seed=1,
+    )
+
+
+@pytest.fixture()
+def simple_database() -> Database:
+    """A small deterministic 3-list database used across unit tests.
+
+    Scores are chosen so that every list has a distinct permutation and
+    the overall (sum) ranking is unambiguous.
+    """
+    rows = [
+        [9.0, 7.0, 5.0, 3.0, 1.0, 8.0],
+        [2.0, 9.0, 6.0, 4.0, 8.0, 1.0],
+        [5.0, 3.0, 9.0, 8.0, 2.0, 6.0],
+    ]
+    return Database.from_score_rows(rows)

@@ -1,0 +1,120 @@
+"""The Lemma 3 / Theorem 8 worst-case constructions, verified end to end."""
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.naive import brute_force_topk
+from repro.datagen.adversarial import (
+    bpa2_favorable_database,
+    bpa_favorable_database,
+)
+from repro.errors import GenerationError
+from repro.scoring import SUM
+
+LEMMA3_CASES = [(3, 2), (3, 5), (4, 3), (5, 4), (6, 2), (8, 3)]
+THEOREM8_CASES = [(3, 3), (4, 2), (5, 4), (6, 3)]
+
+
+class TestConstructionValidity:
+    @pytest.mark.parametrize("m,u", LEMMA3_CASES)
+    def test_lemma3_database_is_well_formed(self, m, u):
+        database, info = bpa_favorable_database(m, u)
+        assert database.m == m
+        assert database.n == info.n
+        items = database.item_ids
+        for lst in database.lists:
+            assert frozenset(lst.items()) == items
+            scores = lst.scores()
+            assert all(a > b for a, b in zip(scores, scores[1:]))
+
+    @pytest.mark.parametrize("m,u", THEOREM8_CASES)
+    def test_theorem8_database_is_well_formed(self, m, u):
+        database, info = bpa2_favorable_database(m, u)
+        assert database.m == m
+        assert database.n == m * (u + 1)
+
+    def test_rejects_m_below_3(self):
+        with pytest.raises(GenerationError):
+            bpa_favorable_database(2, 5)
+        with pytest.raises(GenerationError):
+            bpa2_favorable_database(2, 5)
+
+    def test_rejects_u_below_1(self):
+        with pytest.raises(GenerationError):
+            bpa_favorable_database(4, 0)
+        with pytest.raises(GenerationError):
+            bpa2_favorable_database(4, 0)
+
+
+class TestLemma3Separation:
+    @pytest.mark.parametrize("m,u", LEMMA3_CASES)
+    def test_stop_positions_match_prediction(self, m, u):
+        database, info = bpa_favorable_database(m, u)
+        k = min(3, info.max_k)
+        ta = get_algorithm("ta").run(database, k, SUM)
+        bpa = get_algorithm("bpa").run(database, k, SUM)
+        assert ta.stop_position == info.expected_ta_stop
+        assert bpa.stop_position == info.expected_bpa_stop
+
+    @pytest.mark.parametrize("m,u", LEMMA3_CASES)
+    def test_ratio_exceeds_m_minus_1(self, m, u):
+        database, info = bpa_favorable_database(m, u)
+        k = min(3, info.max_k)
+        ta = get_algorithm("ta").run(database, k, SUM)
+        bpa = get_algorithm("bpa").run(database, k, SUM)
+        assert ta.stop_position / bpa.stop_position >= m - 1
+        assert ta.tally.total / bpa.tally.total >= m - 1
+
+    @pytest.mark.parametrize("m,u", LEMMA3_CASES)
+    def test_answers_still_correct(self, m, u):
+        database, info = bpa_favorable_database(m, u)
+        k = min(3, info.max_k)
+        expected = [e.score for e in brute_force_topk(database, k, SUM)]
+        for name in ("ta", "bpa", "bpa2"):
+            result = get_algorithm(name).run(database, k, SUM)
+            assert list(result.scores) == pytest.approx(expected), name
+
+    def test_k_can_be_as_large_as_mu(self):
+        database, info = bpa_favorable_database(4, 3)
+        result = get_algorithm("bpa").run(database, info.max_k, SUM)
+        assert result.stop_position == info.expected_bpa_stop
+
+
+class TestTheorem8Separation:
+    @pytest.mark.parametrize("m,u", THEOREM8_CASES)
+    def test_access_ratio_matches_prediction(self, m, u):
+        database, info = bpa2_favorable_database(m, u)
+        k = min(3, info.max_k)
+        bpa = get_algorithm("bpa").run(database, k, SUM)
+        bpa2 = get_algorithm("bpa2").run(database, k, SUM)
+        assert bpa.stop_position == info.expected_ta_stop  # = j
+        assert bpa2.rounds == info.expected_bpa2_rounds  # = u + 1
+        assert bpa.tally.total == info.j * m * m
+        assert bpa2.tally.total == (u + 1) * m * m
+
+    @pytest.mark.parametrize("m,u", THEOREM8_CASES)
+    def test_ratio_approaches_m_minus_1(self, m, u):
+        database, info = bpa2_favorable_database(m, u)
+        k = min(3, info.max_k)
+        bpa = get_algorithm("bpa").run(database, k, SUM)
+        bpa2 = get_algorithm("bpa2").run(database, k, SUM)
+        ratio = bpa.tally.total / bpa2.tally.total
+        assert ratio == pytest.approx(info.j / (u + 1))
+
+    def test_figure2_scale_instance_matches_paper_numbers(self):
+        # m=3, u=3 reproduces the paper's Figure 2 accounting exactly:
+        # BPA 63 accesses, BPA2 36.
+        database, info = bpa2_favorable_database(3, 3)
+        bpa = get_algorithm("bpa").run(database, 3, SUM)
+        bpa2 = get_algorithm("bpa2").run(database, 3, SUM)
+        assert bpa.tally.total == 63
+        assert bpa2.tally.total == 36
+
+    @pytest.mark.parametrize("m,u", THEOREM8_CASES)
+    def test_answers_still_correct(self, m, u):
+        database, info = bpa2_favorable_database(m, u)
+        k = min(3, info.max_k)
+        expected = [e.score for e in brute_force_topk(database, k, SUM)]
+        for name in ("ta", "bpa", "bpa2"):
+            result = get_algorithm(name).run(database, k, SUM)
+            assert list(result.scores) == pytest.approx(expected), name

@@ -1,0 +1,181 @@
+"""Tests for the analytical models and execution traces."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.base import get_algorithm
+from repro.analysis import (
+    expected_best_position_advance,
+    predicted_execution_cost,
+    predicted_ta_stop_position_uniform,
+    sum_of_uniforms_tail,
+    trace_bpa,
+    trace_ta,
+)
+from repro.datagen import UniformGenerator
+from repro.datagen.figures import figure1_database
+from repro.scoring import SUM
+from repro.types import CostModel
+from tests.conftest import databases
+
+
+class TestIrwinHall:
+    def test_boundaries(self):
+        assert sum_of_uniforms_tail(3, 0.0) == 1.0
+        assert sum_of_uniforms_tail(3, -1.0) == 1.0
+        assert sum_of_uniforms_tail(3, 3.0) == 0.0
+
+    def test_m1_is_uniform_tail(self):
+        assert sum_of_uniforms_tail(1, 0.25) == pytest.approx(0.75)
+
+    def test_m2_triangle(self):
+        # P(U1 + U2 >= 1.5) = 0.125 for the triangular distribution.
+        assert sum_of_uniforms_tail(2, 1.5) == pytest.approx(0.125)
+
+    def test_symmetry_around_mean(self):
+        assert sum_of_uniforms_tail(5, 2.0) == pytest.approx(
+            1.0 - sum_of_uniforms_tail(5, 3.0), abs=1e-9
+        )
+
+    def test_large_m_uses_gaussian_smoothly(self):
+        # One standard deviation above the mean: the tail is ~15.9% both
+        # for the exact m=25 formula and the Gaussian branch at m=26.
+        exact_25 = sum_of_uniforms_tail(25, 12.5 + (25 / 12) ** 0.5)
+        approx_26 = sum_of_uniforms_tail(26, 13.0 + (26 / 12) ** 0.5)
+        assert exact_25 == pytest.approx(0.159, abs=0.02)
+        assert approx_26 == pytest.approx(0.159, abs=0.02)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            sum_of_uniforms_tail(0, 1.0)
+
+
+class TestStopPositionPrediction:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_matches_measurement_within_25_percent(self, m):
+        n, k = 4000, 10
+        predicted = predicted_ta_stop_position_uniform(n, m, k)
+        measured = (
+            get_algorithm("ta")
+            .run(UniformGenerator().generate(n, m, seed=5), k, SUM)
+            .stop_position
+        )
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+    def test_monotone_in_k(self):
+        stops = [
+            predicted_ta_stop_position_uniform(10_000, 4, k) for k in (1, 10, 100)
+        ]
+        assert stops == sorted(stops)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            predicted_ta_stop_position_uniform(100, 3, 0)
+
+
+class TestBestPositionAdvance:
+    def test_zero_cursor_no_advance(self):
+        assert expected_best_position_advance(1000, 8, 0) == pytest.approx(0.0)
+
+    def test_small_at_paper_operating_point(self):
+        # m=8, p/n=0.16: the model says ~2.4 positions — the quantitative
+        # reason BPA ~ TA on independent uniform data.
+        advance = expected_best_position_advance(100_000, 8, 16_000)
+        assert 1.0 < advance < 5.0
+
+    def test_explodes_near_the_end(self):
+        assert expected_best_position_advance(100, 8, 100) == float("inf")
+
+    def test_grows_with_m(self):
+        a4 = expected_best_position_advance(1000, 4, 300)
+        a12 = expected_best_position_advance(1000, 12, 300)
+        assert a12 > a4
+
+    def test_matches_measured_bpa_headstart(self):
+        n, m, k = 4000, 6, 10
+        database = UniformGenerator().generate(n, m, seed=11)
+        result = get_algorithm("bpa").run(database, k, SUM)
+        p = result.stop_position
+        measured_advance = max(result.extras["best_positions"]) - p
+        model_advance = expected_best_position_advance(n, m, p)
+        # Order-of-magnitude agreement: both must be tiny vs p.
+        assert measured_advance <= 10 * (model_advance + 1)
+        assert measured_advance < 0.05 * p
+
+    def test_rejects_bad_cursor(self):
+        with pytest.raises(ValueError):
+            expected_best_position_advance(100, 3, 200)
+
+
+class TestPredictedCost:
+    def test_matches_paper_accounting(self):
+        n, m, p = 1000, 4, 50
+        model = CostModel.paper(n)
+        expected = m * p * 1.0 + m * p * (m - 1) * model.random_cost
+        assert predicted_execution_cost(n, m, p) == pytest.approx(expected)
+
+    def test_matches_measured_ta_cost_exactly(self):
+        n, m, k = 2000, 4, 5
+        database = UniformGenerator().generate(n, m, seed=3)
+        result = get_algorithm("ta").run(database, k, SUM)
+        model = CostModel.paper(n)
+        assert predicted_execution_cost(
+            n, m, result.stop_position
+        ) == pytest.approx(result.execution_cost(model))
+
+
+class TestTraces:
+    def test_figure1_ta_trace(self):
+        trace = trace_ta(figure1_database(), 3)
+        assert trace[-1].position == 6
+        assert trace[-1].stopped
+        assert [r.threshold for r in trace] == [88, 84, 80, 75, 72, 63]
+
+    def test_figure1_bpa_trace(self):
+        trace = trace_bpa(figure1_database(), 3)
+        assert trace[-1].position == 3
+        assert trace[-1].stopped
+        assert trace[-1].best_positions == (9, 9, 6)
+        assert trace[-1].threshold == 43.0
+
+    @given(case=databases(max_items=18, max_lists=4))
+    @settings(max_examples=25)
+    def test_lambda_never_exceeds_delta(self, case):
+        """The per-round heart of Lemma 1: lambda(p) <= delta(p)."""
+        database, k = case
+        ta = trace_ta(database, k)
+        bpa = trace_bpa(database, k)
+        for bpa_round in bpa:
+            ta_round = ta[bpa_round.position - 1] if bpa_round.position <= len(ta) else None
+            if ta_round is not None:
+                assert bpa_round.threshold <= ta_round.threshold + 1e-9
+
+    @given(case=databases(max_items=18, max_lists=4))
+    @settings(max_examples=25)
+    def test_traces_agree_with_production_algorithms(self, case):
+        database, k = case
+        ta_trace = trace_ta(database, k)
+        bpa_trace = trace_bpa(database, k)
+        ta = get_algorithm("ta").run(database, k, SUM)
+        bpa = get_algorithm("bpa").run(database, k, SUM)
+        assert ta_trace[-1].position == ta.stop_position
+        assert bpa_trace[-1].position == bpa.stop_position
+        assert list(ta_trace[-1].top_scores) == pytest.approx(list(ta.scores))
+        assert list(bpa_trace[-1].top_scores) == pytest.approx(list(bpa.scores))
+
+    @given(case=databases(max_items=18, max_lists=4))
+    @settings(max_examples=25)
+    def test_best_positions_nondecreasing_along_trace(self, case):
+        database, k = case
+        previous = (0,) * database.m
+        for round_trace in trace_bpa(database, k):
+            assert all(
+                later >= earlier
+                for later, earlier in zip(round_trace.best_positions, previous)
+            )
+            previous = round_trace.best_positions
+
+    def test_ta_thresholds_nonincreasing(self, simple_database):
+        trace = trace_ta(simple_database, 2)
+        thresholds = [r.threshold for r in trace]
+        assert thresholds == sorted(thresholds, reverse=True)

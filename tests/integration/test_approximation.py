@@ -1,0 +1,88 @@
+"""Tests for the theta-approximation variants of TA, BPA and BPA2.
+
+Fagin's theta-approximation guarantee: if the algorithm stops once k
+items reach ``threshold / theta``, then every item it did NOT return has
+an overall score at most ``theta`` times the k-th returned score.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.base import get_algorithm
+from repro.datagen import UniformGenerator
+from repro.errors import InvalidQueryError
+from repro.scoring import SUM
+from tests.conftest import databases
+
+NAMES = ("ta", "bpa", "bpa2")
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_rejects_theta_below_one(self, name):
+        with pytest.raises(InvalidQueryError):
+            get_algorithm(name, approximation=0.5)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_exposes_factor(self, name):
+        assert get_algorithm(name, approximation=1.5).approximation == 1.5
+
+
+class TestExactWhenThetaIsOne:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_theta_one_is_the_exact_algorithm(self, simple_database, name):
+        exact = get_algorithm(name).run(simple_database, 2, SUM)
+        theta1 = get_algorithm(name, approximation=1.0).run(simple_database, 2, SUM)
+        assert theta1.tally == exact.tally
+        assert theta1.same_scores(exact)
+
+
+def _check_guarantee(database, k, result, theta):
+    """Every non-returned item scores <= theta * (k-th returned score)."""
+    returned = set(result.item_ids)
+    kth = min(result.scores)
+    for item in database.item_ids:
+        if item not in returned:
+            overall = sum(database.local_scores(item))
+            assert overall <= theta * kth + 1e-9
+    # Returned scores must be genuine overall scores.
+    for entry in result.items:
+        assert sum(database.local_scores(entry.item)) == pytest.approx(entry.score)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("name", NAMES)
+    @pytest.mark.parametrize("theta", [1.1, 1.5, 2.0])
+    @given(case=databases(max_items=20, max_lists=4))
+    @settings(max_examples=20)
+    def test_theta_guarantee_on_random_databases(self, case, name, theta):
+        database, k = case
+        result = get_algorithm(name, approximation=theta).run(database, k, SUM)
+        assert result.k == k
+        _check_guarantee(database, k, result, theta)
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_theta_guarantee_on_uniform(self, name):
+        database = UniformGenerator().generate(1500, 4, seed=9)
+        theta = 1.25
+        result = get_algorithm(name, approximation=theta).run(database, 10, SUM)
+        _check_guarantee(database, 10, result, theta)
+
+
+class TestCostSavings:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_larger_theta_never_costs_more(self, name):
+        database = UniformGenerator().generate(1500, 4, seed=10)
+        costs = []
+        for theta in (1.0, 1.2, 1.5, 2.0):
+            result = get_algorithm(name, approximation=theta).run(database, 10, SUM)
+            costs.append(result.tally.total)
+        assert costs == sorted(costs, reverse=True) or all(
+            later <= earlier for earlier, later in zip(costs, costs[1:])
+        )
+
+    def test_theta_2_saves_substantially_on_uniform(self):
+        database = UniformGenerator().generate(3000, 6, seed=11)
+        exact = get_algorithm("ta").run(database, 20, SUM)
+        approx = get_algorithm("ta", approximation=2.0).run(database, 20, SUM)
+        assert approx.tally.total < exact.tally.total * 0.5

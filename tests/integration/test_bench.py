@@ -1,0 +1,143 @@
+"""Integration tests for the bench harness and figure registry."""
+
+import pytest
+
+from repro.bench.config import PAPER_DEFAULTS, resolve_scale
+from repro.bench.experiments import get_figure, list_figures, speedup_factors
+from repro.bench.harness import Experiment, ResultRow, ResultTable
+from repro.datagen.base import GeneratorSpec
+
+
+class TestConfig:
+    def test_paper_defaults_match_table1(self):
+        assert PAPER_DEFAULTS.n == 100_000
+        assert PAPER_DEFAULTS.k == 20
+        assert PAPER_DEFAULTS.m == 8
+        assert PAPER_DEFAULTS.zipf_theta == 0.7
+
+    def test_resolve_scale_names(self):
+        assert resolve_scale("smoke").name == "smoke"
+        assert resolve_scale("paper").n == 100_000
+
+    def test_resolve_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert resolve_scale().name == "smoke"
+
+    def test_resolve_scale_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_scale("galactic")
+
+    def test_paper_scale_sweeps_match_figures(self):
+        scale = resolve_scale("paper")
+        assert scale.m_sweep == tuple(range(2, 19, 2))
+        assert scale.k_sweep == tuple(range(10, 101, 10))
+        assert scale.n_sweep == tuple(range(25_000, 200_001, 25_000))
+
+
+class TestFigureRegistry:
+    def test_every_paper_figure_is_defined(self):
+        expected = {f"fig{i}" for i in range(3, 18)}
+        assert expected <= set(list_figures())
+
+    def test_get_figure_unknown(self):
+        with pytest.raises(KeyError):
+            get_figure("fig99")
+
+    def test_metrics_match_paper_axes(self):
+        assert get_figure("fig3").metric == "execution_cost"
+        assert get_figure("fig4").metric == "accesses"
+        assert get_figure("fig5").metric == "response_time_ms"
+
+    def test_sweeps_match_paper_axes(self):
+        assert get_figure("fig3").sweep_name == "m"
+        assert get_figure("fig12").sweep_name == "k"
+        assert get_figure("fig15").sweep_name == "n"
+
+    def test_correlated_figures_use_paper_alphas(self):
+        assert get_figure("fig9").generator.params["alpha"] == 0.001
+        assert get_figure("fig10").generator.params["alpha"] == 0.01
+        assert get_figure("fig11").generator.params["alpha"] == 0.1
+        assert get_figure("fig17").generator.params["alpha"] == 0.0001
+
+
+class TestHarnessExecution:
+    @pytest.fixture(scope="class")
+    def table(self, request) -> ResultTable:
+        tiny = request.getfixturevalue("tiny_scale")
+        experiment = Experiment(
+            name="test-exp",
+            title="tiny uniform sweep",
+            sweep_name="m",
+            generator=GeneratorSpec("uniform"),
+        )
+        return experiment.run(tiny)
+
+    @pytest.fixture(scope="class")
+    def tiny_scale(self):
+        from repro.bench.config import Scale
+
+        return Scale(
+            name="tiny", n=200, k=5, m=3,
+            m_sweep=(2, 3), k_sweep=(2, 5), n_sweep=(100, 200), seed=1,
+        )
+
+    def test_rows_cover_grid_times_algorithms(self, table):
+        assert len(table.rows) == 2 * 3  # two m values, three algorithms
+
+    def test_series_and_value_lookups(self, table):
+        assert table.sweep_values == [2, 3]
+        assert table.algorithms == ["ta", "bpa", "bpa2"]
+        series = table.series("ta")
+        assert len(series) == 2
+        assert all(v > 0 for v in series)
+        assert table.value(2, "ta") == series[0]
+
+    def test_value_unknown_raises(self, table):
+        with pytest.raises(KeyError):
+            table.value(99, "ta")
+
+    def test_theorem2_visible_in_results(self, table):
+        for m in table.sweep_values:
+            assert table.value(m, "bpa") <= table.value(m, "ta") * (1 + 1e-9)
+
+    def test_all_metrics_populated(self, table):
+        for row in table.rows:
+            assert row.execution_cost > 0
+            assert row.accesses > 0
+            assert row.response_time_ms >= 0
+            assert row.stop_position > 0
+
+    def test_to_text_contains_header_and_values(self, table):
+        text = table.to_text()
+        assert "test-exp" in text
+        assert "ta" in text and "bpa2" in text
+        assert str(len(text.splitlines())) and len(text.splitlines()) >= 4
+
+    def test_to_csv_has_row_per_measurement(self, table):
+        lines = table.to_csv().splitlines()
+        assert lines[0].startswith("sweep_name,")
+        assert len(lines) == 1 + len(table.rows)
+
+    def test_k_sweep_reuses_database(self, tiny_scale):
+        experiment = Experiment(
+            name="ksweep", title="k sweep", sweep_name="k",
+            generator=GeneratorSpec("uniform"),
+        )
+        table = experiment.run(tiny_scale)
+        assert table.sweep_values == [2, 5]
+
+    def test_custom_sweep_values(self, tiny_scale):
+        experiment = Experiment(
+            name="custom", title="custom sweep", sweep_name="m",
+            generator=GeneratorSpec("uniform"), sweep_values=(2,),
+        )
+        table = experiment.run(tiny_scale)
+        assert table.sweep_values == [2]
+
+    def test_speedup_factors_structure(self, table):
+        factors = speedup_factors(table)
+        assert set(factors) == {
+            "bpa_measured", "bpa_paper", "bpa2_measured", "bpa2_paper"
+        }
+        assert factors["bpa_paper"][2] == pytest.approx(1.0)
+        assert factors["bpa2_paper"][3] == pytest.approx(2.0)

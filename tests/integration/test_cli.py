@@ -1,0 +1,103 @@
+"""CLI integration tests (direct invocation, no subprocess)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPaperExamples:
+    def test_reports_paper_stop_positions(self, capsys):
+        assert main(["paper-examples"]) == 0
+        out = capsys.readouterr().out
+        assert "fa: stops at position 8" in out
+        assert "ta: stops at position 6" in out
+        assert "bpa: stops at position 3" in out
+        assert "total accesses=63" in out
+        assert "total accesses=36" in out
+
+
+class TestQuery:
+    def test_runs_requested_algorithms(self, capsys):
+        code = main([
+            "query", "--n", "300", "--m", "3", "--k", "5",
+            "--algorithms", "ta", "bpa2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ta" in out
+        assert "bpa2" in out
+        assert "cost" in out
+
+    def test_unknown_algorithm_fails(self, capsys):
+        code = main([
+            "query", "--n", "100", "--m", "2", "--k", "2",
+            "--algorithms", "grover",
+        ])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_correlated_generator(self, capsys):
+        code = main([
+            "query", "--generator", "correlated", "--alpha", "0.05",
+            "--n", "200", "--m", "3", "--k", "4",
+        ])
+        assert code == 0
+
+
+class TestAdversarial:
+    def test_reports_ratios(self, capsys):
+        assert main(["adversarial", "--m", "4", "--u", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 3" in out
+        assert "Theorem 8" in out
+        assert "m-1 = 3" in out
+
+
+class TestFigure:
+    def test_runs_figure_at_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["figure", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out
+        assert "bpa2" in out
+
+    def test_csv_output(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["figure", "fig13", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("sweep_name,")
+
+    def test_out_dir_writes_three_formats(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["figure", "fig13", "--out", str(tmp_path / "results")]) == 0
+        base = tmp_path / "results"
+        assert (base / "fig13.txt").exists()
+        assert (base / "fig13.csv").exists()
+        assert (base / "fig13.json").exists()
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            main(["figure", "fig99"])
+
+
+class TestDistributed:
+    def test_reports_message_counts(self, capsys):
+        assert main(["distributed", "--n", "200", "--m", "3", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dist-ta", "dist-bpa", "dist-bpa2", "tput"):
+            assert name in out
+
+
+class TestTrace:
+    def test_figure1_trace(self, capsys):
+        assert main(["trace", "--figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "delta=63" in out
+        assert "lambda=43" in out
+        assert "bp=[9, 9, 6]" in out
+        assert out.count("<-- stops") == 2
+
+    def test_random_trace(self, capsys):
+        assert main(["trace", "--n", "40", "--m", "3", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TA trace" in out and "BPA trace" in out

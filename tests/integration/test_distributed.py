@@ -1,0 +1,234 @@
+"""Integration tests for the simulated distributed layer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.naive import brute_force_topk
+from repro.datagen import UniformGenerator
+from repro.distributed import (
+    DistributedBPA,
+    DistributedBPA2,
+    DistributedTA,
+    DistributedTPUT,
+)
+from repro.distributed.network import SimulatedNetwork, payload_size
+from repro.distributed.nodes import ListOwnerNode
+from repro.errors import InvalidQueryError, ProtocolError, ScoringError
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+from repro.scoring import MIN, SUM
+from tests.conftest import databases
+
+
+@pytest.fixture(scope="module")
+def uniform_db() -> Database:
+    return UniformGenerator().generate(400, 4, seed=17)
+
+
+class TestNetworkPrimitives:
+    def test_payload_size_numbers(self):
+        assert payload_size(3) == 8
+        assert payload_size(2.5) == 8
+        assert payload_size(None) == 1
+        assert payload_size(True) == 1
+
+    def test_payload_size_containers(self):
+        assert payload_size({"a": 1}) == 1 + 8
+        assert payload_size([1, 2, 3]) == 24
+        assert payload_size((1.0, "xy")) == 10
+
+    def test_payload_size_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            payload_size(object())
+
+    def test_network_counts_round_trips(self):
+        network = SimulatedNetwork()
+        owner = ListOwnerNode(SortedList([(0, 2.0), (1, 1.0)]))
+        network.register("owner/0", owner)
+        network.request("owner/0", "sorted_next")
+        assert network.stats.messages == 2
+        assert network.stats.by_kind["sorted_next"] == 2
+        assert network.stats.bytes > 0
+
+    def test_duplicate_registration_rejected(self):
+        network = SimulatedNetwork()
+        owner = ListOwnerNode(SortedList([(0, 1.0)]))
+        network.register("a", owner)
+        with pytest.raises(ValueError):
+            network.register("a", owner)
+
+    def test_unknown_address_rejected(self):
+        with pytest.raises(KeyError):
+            SimulatedNetwork().request("nowhere", "sorted_next")
+
+    def test_reset_stats(self):
+        network = SimulatedNetwork()
+        owner = ListOwnerNode(SortedList([(0, 1.0)]))
+        network.register("a", owner)
+        network.request("a", "sorted_next")
+        network.reset_stats()
+        assert network.stats.messages == 0
+
+
+class TestListOwnerNode:
+    @pytest.fixture()
+    def owner(self) -> ListOwnerNode:
+        return ListOwnerNode(
+            SortedList([(0, 5.0), (1, 4.0), (2, 3.0), (3, 2.0)]),
+            include_position=True,
+        )
+
+    def test_sorted_next_response(self, owner):
+        response = owner.handle("sorted_next", {})
+        assert response["item"] == 0
+        assert response["score"] == 5.0
+        assert response["position"] == 1
+        assert response["bp_score"] == 5.0  # bp advanced 0 -> 1
+
+    def test_random_lookup_response(self, owner):
+        response = owner.handle("random_lookup", {"item": 2})
+        assert response["score"] == 3.0
+        assert response["position"] == 3
+
+    def test_direct_next_walks_best_position(self, owner):
+        first = owner.handle("direct_next", {})
+        second = owner.handle("direct_next", {})
+        assert (first["item"], second["item"]) == (0, 1)
+        assert owner.best_position == 2
+
+    def test_direct_next_reports_exhaustion(self, owner):
+        for _ in range(4):
+            owner.handle("direct_next", {})
+        assert owner.handle("direct_next", {}) == {"exhausted": True}
+
+    def test_top_returns_prefix(self, owner):
+        response = owner.handle("top", {"count": 2})
+        assert response["entries"] == [(0, 5.0), (1, 4.0)]
+
+    def test_get_scores_above_continues_from_cursor(self, owner):
+        owner.handle("top", {"count": 1})
+        response = owner.handle("get_scores_above", {"threshold": 3.0})
+        assert response["entries"] == [(1, 4.0), (2, 3.0)]
+
+    def test_unknown_request_kind(self, owner):
+        with pytest.raises(ProtocolError):
+            owner.handle("drop_table", {})
+
+    def test_reset_clears_state(self, owner):
+        owner.handle("sorted_next", {})
+        owner.handle("reset", {})
+        assert owner.best_position == 0
+        assert owner.accessor.tally.total == 0
+
+    def test_best_position_score_inf_before_any_access(self, owner):
+        assert owner.best_position_score() == float("inf")
+
+
+class TestDriversMatchCentralized:
+    def test_dist_ta_matches_ta(self, uniform_db):
+        central = get_algorithm("ta").run(uniform_db, 10, SUM)
+        distributed = DistributedTA().run(uniform_db, 10, SUM)
+        assert distributed.same_scores(central)
+        assert distributed.tally == central.tally
+        assert distributed.stop_position == central.stop_position
+
+    def test_dist_bpa_matches_bpa(self, uniform_db):
+        central = get_algorithm("bpa").run(uniform_db, 10, SUM)
+        distributed = DistributedBPA().run(uniform_db, 10, SUM)
+        assert distributed.same_scores(central)
+        assert distributed.tally == central.tally
+        assert distributed.stop_position == central.stop_position
+
+    def test_dist_bpa2_matches_bpa2(self, uniform_db):
+        central = get_algorithm("bpa2").run(uniform_db, 10, SUM)
+        distributed = DistributedBPA2().run(uniform_db, 10, SUM)
+        assert distributed.same_scores(central)
+        assert distributed.tally == central.tally
+
+    def test_tput_matches_brute_force(self, uniform_db):
+        expected = [e.score for e in brute_force_topk(uniform_db, 10, SUM)]
+        result = DistributedTPUT().run(uniform_db, 10, SUM)
+        assert list(result.scores) == pytest.approx(expected)
+
+    @given(case=databases(max_items=16, max_lists=4))
+    @settings(max_examples=25)
+    def test_all_drivers_correct_on_random_databases(self, case):
+        database, k = case
+        expected = [e.score for e in brute_force_topk(database, k, SUM)]
+        for driver in (DistributedTA(), DistributedBPA(), DistributedBPA2(),
+                       DistributedTPUT()):
+            result = driver.run(database, k, SUM)
+            assert list(result.scores) == pytest.approx(expected), driver.name
+
+
+class TestCommunicationAccounting:
+    def test_messages_are_twice_accesses_for_rpc_drivers(self, uniform_db):
+        for driver in (DistributedTA(), DistributedBPA(), DistributedBPA2()):
+            result = driver.run(uniform_db, 5, SUM)
+            assert result.extras["network"]["messages"] == 2 * result.tally.total
+
+    def test_bpa_ships_more_bytes_than_ta(self, uniform_db):
+        """BPA transfers seen positions; TA does not (paper Section 5)."""
+        ta_bytes = DistributedTA().run(uniform_db, 5, SUM).extras["network"]["bytes"]
+        bpa_bytes = DistributedBPA().run(uniform_db, 5, SUM).extras["network"]["bytes"]
+        assert bpa_bytes > ta_bytes
+
+    def test_bpa2_uses_fewest_messages_of_rpc_drivers(self, uniform_db):
+        results = {
+            driver.name: driver.run(uniform_db, 5, SUM)
+            for driver in (DistributedTA(), DistributedBPA(), DistributedBPA2())
+        }
+        messages = {
+            name: r.extras["network"]["messages"] for name, r in results.items()
+        }
+        assert messages["dist-bpa2"] <= messages["dist-bpa"]
+        assert messages["dist-bpa2"] <= messages["dist-ta"]
+
+    def test_tput_uses_constant_round_trips(self, uniform_db):
+        result = DistributedTPUT().run(uniform_db, 5, SUM)
+        m = uniform_db.m
+        # Phases 1 and 2 are one round trip per owner; phase 3 adds one
+        # round trip per missing candidate score.
+        phase12 = 2 * (2 * m)
+        assert result.extras["network"]["by_kind"]["top"] == 2 * m
+        assert result.extras["network"]["by_kind"]["get_scores_above"] == 2 * m
+        assert result.extras["network"]["messages"] >= phase12
+        assert result.rounds == 3
+
+
+class TestTPUTBehaviour:
+    def test_rejects_non_sum_scoring(self, uniform_db):
+        with pytest.raises(ScoringError):
+            DistributedTPUT().run(uniform_db, 5, MIN)
+
+    def test_rejects_bad_k(self, uniform_db):
+        with pytest.raises(InvalidQueryError):
+            DistributedTPUT().run(uniform_db, 0, SUM)
+
+    def test_not_instance_optimal_pathology(self):
+        """The paper's Section 7 example: a flat list defeats TPUT.
+
+        One list holds many items just above the uniform threshold
+        tau/m, forcing phase 2 to ship nearly the whole list, while
+        BPA2 stops after a handful of accesses.
+        """
+        n = 300
+        # List 1: one clear winner (score 100), then tiny scores; after
+        # phase 1, tau = 100 and the uniform threshold is tau/m = 50.
+        list1 = [(0, 100.0)] + [(i, 1.0 - i * 1e-4) for i in range(1, n)]
+        # List 2: every other item scores ~96 — just above the uniform
+        # threshold — so phase 2 must ship the whole list.
+        list2 = [(i, 96.0 - i * 1e-4) for i in range(1, n)] + [(0, 90.0)]
+        database = Database.from_ranked_lists([list1, list2])
+        tput = DistributedTPUT().run(database, 1, SUM)
+        bpa2 = get_algorithm("bpa2").run(database, 1, SUM)
+        assert tput.items[0].item == 0
+        assert tput.tally.total > n  # fetched (almost) everything
+        assert bpa2.tally.total < n // 4  # adaptive algorithms stay cheap
+
+    def test_extras_report_phases(self, uniform_db):
+        result = DistributedTPUT().run(uniform_db, 5, SUM)
+        assert result.extras["tau"] > 0
+        assert result.extras["tau2"] >= result.extras["tau"]
+        assert result.extras["candidates"] >= 5

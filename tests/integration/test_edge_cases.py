@@ -1,0 +1,113 @@
+"""Explicit boundary coverage across all algorithms.
+
+These complement the hypothesis properties with named, deterministic
+corner cases: single-item databases, single lists, k = n, all-equal
+scores, negative scores (the Gaussian family), and huge score gaps.
+"""
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.naive import brute_force_topk
+from repro.lists.database import Database
+from repro.scoring import SUM
+
+ALL = ("naive", "fa", "ta", "bpa", "bpa2", "qc")
+EXACT = ("naive", "fa", "ta", "bpa", "bpa2", "qc")
+
+
+def _agree(database, k):
+    expected = [e.score for e in brute_force_topk(database, k, SUM)]
+    for name in EXACT:
+        result = get_algorithm(name).run(database, k, SUM)
+        assert list(result.scores) == pytest.approx(expected), name
+        assert result.k == k
+
+
+class TestSingleItem:
+    def test_n1_m1(self):
+        _agree(Database.from_score_rows([[5.0]]), 1)
+
+    def test_n1_many_lists(self):
+        _agree(Database.from_score_rows([[5.0], [2.0], [9.0]]), 1)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_stop_position_is_1(self, name):
+        database = Database.from_score_rows([[5.0], [2.0]])
+        result = get_algorithm(name).run(database, 1, SUM)
+        assert result.stop_position == 1
+
+
+class TestKEqualsN:
+    def test_small(self):
+        database = Database.from_score_rows(
+            [[3.0, 1.0, 2.0], [1.0, 3.0, 2.0]]
+        )
+        _agree(database, 3)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_returns_every_item(self, name):
+        database = Database.from_score_rows(
+            [[3.0, 1.0, 2.0, 5.0], [1.0, 3.0, 2.0, 0.5]]
+        )
+        result = get_algorithm(name).run(database, 4, SUM)
+        assert sorted(result.item_ids) == [0, 1, 2, 3]
+
+
+class TestDegenerateScores:
+    def test_all_scores_equal(self):
+        database = Database.from_score_rows([[7.0] * 6, [7.0] * 6])
+        _agree(database, 3)
+
+    @pytest.mark.parametrize("name", ("ta", "bpa"))
+    def test_all_equal_stops_in_k_rounds(self, name):
+        # Every item has the same overall score, so the threshold test
+        # passes as soon as Y is full.
+        database = Database.from_score_rows([[7.0] * 6, [7.0] * 6])
+        result = get_algorithm(name).run(database, 2, SUM)
+        assert result.stop_position == 2
+
+    def test_negative_scores(self):
+        # The Gaussian family produces negatives; sum stays monotonic.
+        database = Database.from_score_rows(
+            [[-1.0, -5.0, 2.0, 0.0], [-2.0, 1.0, -3.0, 0.5]]
+        )
+        _agree(database, 2)
+
+    def test_huge_gaps(self):
+        database = Database.from_score_rows(
+            [[1e12, 1.0, 0.5, 0.0], [1e-12, 1e12, 0.25, 0.125]]
+        )
+        _agree(database, 2)
+
+    def test_zero_scores_everywhere(self):
+        database = Database.from_score_rows([[0.0] * 5, [0.0] * 5])
+        _agree(database, 3)
+
+
+class TestReverseCorrelation:
+    def test_anti_correlated_lists(self):
+        # List 2 is list 1 reversed: the hardest case for early stopping,
+        # every algorithm must still be correct.
+        forward = [float(i) for i in range(20)]
+        database = Database.from_score_rows([forward, forward[::-1]])
+        _agree(database, 4)
+
+    @pytest.mark.parametrize("name", ("ta", "bpa"))
+    def test_anti_correlated_forces_deep_scan(self, name):
+        forward = [float(i) for i in range(40)]
+        database = Database.from_score_rows([forward, forward[::-1]])
+        result = get_algorithm(name).run(database, 1, SUM)
+        # Best overall is ~n-1 everywhere; threshold starts near 2(n-1)
+        # and the scan must go roughly half the list deep.
+        assert result.stop_position >= 10
+
+
+class TestRerunDeterminism:
+    @pytest.mark.parametrize("name", ALL)
+    def test_same_query_twice_identical(self, simple_database, name):
+        first = get_algorithm(name).run(simple_database, 3, SUM)
+        second = get_algorithm(name).run(simple_database, 3, SUM)
+        assert first.items == second.items
+        assert first.tally == second.tally
+        assert first.stop_position == second.stop_position

@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example must run and produce sane output."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "top-20 answers" in out
+        assert "bpa2" in out
+
+    def test_paper_walkthrough(self, capsys):
+        out = _run("paper_walkthrough.py", capsys)
+        assert "TA stops" in out or "<-- TA stops" in out
+        assert "<-- BPA stops" in out
+        assert "d8=71" in out
+
+    def test_document_retrieval(self, capsys):
+        out = _run("document_retrieval.py", capsys)
+        assert "top-5 documents" in out
+        assert "BPA scanned" in out
+
+    def test_relational_topk(self, capsys):
+        out = _run("relational_topk.py", capsys)
+        assert "top-5 restaurants" in out
+        assert "verified identical to the full-scan answer" in out
+
+    def test_network_monitoring(self, capsys):
+        out = _run("network_monitoring.py", capsys)
+        assert "dist-bpa2" in out
+        assert "fewer messages" in out
+
+    def test_continuous_monitoring(self, capsys):
+        out = _run("continuous_monitoring.py", capsys)
+        assert "epoch 6" in out
+        assert "bpa2 cost" in out
+
+    def test_progressive_search(self, capsys):
+        out = _run("progressive_search.py", capsys)
+        assert "page 3" in out
+        assert "theta=1.5" in out

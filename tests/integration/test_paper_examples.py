@@ -1,0 +1,179 @@
+"""Exact reproduction of the paper's worked examples (Figures 1 and 2).
+
+These are the strongest fidelity tests in the suite: every number below
+is printed in the paper (Sections 3-5), and the implementations must hit
+them exactly.
+"""
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.datagen.figures import (
+    FIGURE1_OVERALL,
+    FIGURE1_THRESHOLDS,
+    FIGURE2_OVERALL,
+    FIGURE2_THRESHOLDS,
+    figure1_database,
+    figure2_database,
+)
+from repro.scoring import SUM
+
+K = 3  # all worked examples use a top-3 query with sum scoring
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figure1_database()
+
+
+@pytest.fixture(scope="module")
+def fig2():
+    return figure2_database()
+
+
+class TestFigure1Data:
+    """The encoded database must match the printed figure."""
+
+    def test_shape(self, fig1):
+        assert fig1.m == 3
+        assert fig1.n == 12
+
+    @pytest.mark.parametrize(
+        "list_index,expected_prefix",
+        [
+            (0, [(1, 30), (4, 28), (9, 27), (3, 26), (7, 25),
+                 (8, 23), (5, 17), (6, 14), (2, 11), (11, 10)]),
+            (1, [(2, 28), (6, 27), (7, 25), (5, 24), (9, 23),
+                 (1, 21), (8, 20), (3, 14), (4, 13), (14, 12)]),
+            (2, [(3, 30), (5, 29), (8, 28), (4, 25), (2, 24),
+                 (6, 19), (13, 15), (1, 14), (9, 12), (7, 11)]),
+        ],
+    )
+    def test_printed_prefixes(self, fig1, list_index, expected_prefix):
+        lst = fig1.lists[list_index]
+        actual = [(lst.item_at(p), lst.score_at(p)) for p in range(1, 11)]
+        assert actual == [(i, float(s)) for i, s in expected_prefix]
+
+    def test_overall_scores_column(self, fig1):
+        for item, expected in FIGURE1_OVERALL.items():
+            assert sum(fig1.local_scores(item)) == expected
+
+    def test_threshold_column(self, fig1):
+        for position, expected in enumerate(FIGURE1_THRESHOLDS, start=1):
+            threshold = sum(lst.score_at(position) for lst in fig1.lists)
+            assert threshold == expected
+
+    def test_labels(self, fig1):
+        assert fig1.label(1) == "d1"
+        assert fig1.label(14) == "d14"
+
+
+class TestExample1FA:
+    """Example 1: FA stops at position 8."""
+
+    def test_fa_stops_at_8(self, fig1):
+        result = get_algorithm("fa").run(fig1, K, SUM)
+        assert result.stop_position == 8
+
+    def test_fa_answers(self, fig1):
+        result = get_algorithm("fa").run(fig1, K, SUM)
+        assert set(result.item_ids) == {8, 3, 5}
+        assert sorted(result.scores, reverse=True) == [71.0, 70.0, 70.0]
+
+
+class TestExample2TA:
+    """Example 2: TA stops at position 6 with 18 sorted + 36 random accesses."""
+
+    def test_ta_stops_at_6(self, fig1):
+        result = get_algorithm("ta").run(fig1, K, SUM)
+        assert result.stop_position == 6
+
+    def test_ta_access_counts(self, fig1):
+        result = get_algorithm("ta").run(fig1, K, SUM)
+        assert result.tally.sorted == 18  # 6 positions * 3 lists
+        assert result.tally.random == 36  # one (m-1)-probe per sorted access
+
+    def test_ta_threshold_at_stop_is_63(self, fig1):
+        result = get_algorithm("ta").run(fig1, K, SUM)
+        assert result.extras["threshold"] == 63.0
+
+    def test_ta_answers(self, fig1):
+        result = get_algorithm("ta").run(fig1, K, SUM)
+        assert set(result.item_ids) == {3, 5, 8}
+
+
+class TestExample3BPA:
+    """Example 3: BPA stops at position 3 (vs TA's 6 = (m-1)x later)."""
+
+    def test_bpa_stops_at_3(self, fig1):
+        result = get_algorithm("bpa").run(fig1, K, SUM)
+        assert result.stop_position == 3
+
+    def test_bpa_access_counts(self, fig1):
+        result = get_algorithm("bpa").run(fig1, K, SUM)
+        assert result.tally.sorted == 9  # 3 positions * 3 lists
+        assert result.tally.random == 18
+
+    def test_bpa_lambda_at_stop_is_43(self, fig1):
+        # Example 3: lambda = s1(9) + s2(9) + s3(6) = 11 + 13 + 19 = 43.
+        result = get_algorithm("bpa").run(fig1, K, SUM)
+        assert result.extras["lambda"] == 43.0
+
+    def test_bpa_best_positions_at_stop(self, fig1):
+        result = get_algorithm("bpa").run(fig1, K, SUM)
+        assert result.extras["best_positions"] == (9, 9, 6)
+
+    def test_bpa_is_m_minus_1_times_cheaper_than_ta(self, fig1):
+        ta = get_algorithm("ta").run(fig1, K, SUM)
+        bpa = get_algorithm("bpa").run(fig1, K, SUM)
+        assert ta.stop_position == (fig1.m - 1) * bpa.stop_position
+        assert ta.tally.total == (fig1.m - 1) * bpa.tally.total
+
+    def test_bpa_answers(self, fig1):
+        result = get_algorithm("bpa").run(fig1, K, SUM)
+        assert set(result.item_ids) == {3, 5, 8}
+
+
+class TestFigure2Data:
+    def test_overall_scores_column(self, fig2):
+        for item, expected in FIGURE2_OVERALL.items():
+            assert sum(fig2.local_scores(item)) == expected
+
+    def test_sum_column(self, fig2):
+        for position, expected in enumerate(FIGURE2_THRESHOLDS, start=1):
+            threshold = sum(lst.score_at(position) for lst in fig2.lists)
+            assert threshold == expected
+
+
+class TestSection51Example:
+    """Figure 2: BPA does 63 accesses, BPA2 only 36."""
+
+    def test_bpa_stops_at_7_with_63_accesses(self, fig2):
+        result = get_algorithm("bpa").run(fig2, K, SUM)
+        assert result.stop_position == 7
+        assert result.tally.sorted == 21  # 7 * 3
+        assert result.tally.random == 42  # 7 * 3 * 2
+        assert result.tally.total == 63
+
+    def test_bpa2_does_36_accesses(self, fig2):
+        result = get_algorithm("bpa2").run(fig2, K, SUM)
+        assert result.tally.direct == 12  # positions 1, 2, 3, 7 in each list
+        assert result.tally.random == 24
+        assert result.tally.total == 36
+
+    def test_bpa2_direct_positions_are_1_2_3_7(self, fig2):
+        result = get_algorithm("bpa2").run(fig2, K, SUM)
+        assert result.rounds == 4
+        assert result.stop_position == 7  # deepest direct access
+
+    def test_both_answers_match(self, fig2):
+        bpa = get_algorithm("bpa").run(fig2, K, SUM)
+        bpa2 = get_algorithm("bpa2").run(fig2, K, SUM)
+        assert set(bpa.item_ids) == {3, 4, 6}
+        assert bpa.same_scores(bpa2)
+
+    def test_access_ratio_is_about_m_minus_1(self, fig2):
+        bpa = get_algorithm("bpa").run(fig2, K, SUM)
+        bpa2 = get_algorithm("bpa2").run(fig2, K, SUM)
+        ratio = bpa.tally.total / bpa2.tally.total
+        assert ratio == pytest.approx(63 / 36)

@@ -1,0 +1,98 @@
+"""Tests for the progressive (streaming) top-k generator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.naive import brute_force_topk
+from repro.algorithms.progressive import progressive_topk
+from repro.datagen import UniformGenerator
+from repro.errors import InvalidQueryError
+from repro.scoring import MIN, SUM
+from repro.types import AccessTally
+from tests.conftest import databases
+
+
+class TestValidation:
+    def test_rejects_unknown_mechanism(self, simple_database):
+        with pytest.raises(InvalidQueryError):
+            next(progressive_topk(simple_database, mechanism="fa"))
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("mechanism", ["ta", "bpa"])
+    def test_full_drain_is_the_exact_ranking(self, simple_database, mechanism):
+        n = simple_database.n
+        expected = [e.score for e in brute_force_topk(simple_database, n, SUM)]
+        results = list(progressive_topk(simple_database, mechanism=mechanism))
+        assert len(results) == n
+        assert [r.score for r in results] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("mechanism", ["ta", "bpa"])
+    @given(case=databases(max_items=18, max_lists=4))
+    @settings(max_examples=25)
+    def test_any_prefix_matches_brute_force(self, case, mechanism):
+        database, k = case
+        expected = [e.score for e in brute_force_topk(database, k, SUM)]
+        prefix = list(
+            itertools.islice(progressive_topk(database, mechanism=mechanism), k)
+        )
+        assert [r.score for r in prefix] == pytest.approx(expected)
+
+    @given(case=databases(max_items=18, max_lists=4, tie_heavy=True))
+    @settings(max_examples=20)
+    def test_emission_order_is_nonincreasing(self, case):
+        database, _k = case
+        scores = [r.score for r in progressive_topk(database)]
+        assert all(a >= b - 1e-9 for a, b in zip(scores, scores[1:]))
+
+    def test_min_scoring(self, simple_database):
+        expected = [e.score for e in brute_force_topk(simple_database, 3, MIN)]
+        prefix = list(
+            itertools.islice(progressive_topk(simple_database, MIN), 3)
+        )
+        assert [r.score for r in prefix] == pytest.approx(expected)
+
+
+class TestLaziness:
+    def test_tally_grows_with_consumption(self):
+        database = UniformGenerator().generate(2000, 4, seed=6)
+        tally = AccessTally()
+        stream = progressive_topk(database, tally_out=tally)
+        next(stream)
+        after_one = tally.total
+        assert after_one > 0
+        for _ in range(20):
+            next(stream)
+        after_more = tally.total
+        assert after_more > after_one
+        # Far from a full scan.
+        assert after_more < database.n * database.m
+
+    def test_bpa_mechanism_emits_at_least_as_early_as_ta(self):
+        """Lemma 1, streaming form: BPA's prefix never costs more."""
+        database = UniformGenerator().generate(1000, 4, seed=7)
+        costs = {}
+        for mechanism in ("ta", "bpa"):
+            tally = AccessTally()
+            stream = progressive_topk(
+                database, mechanism=mechanism, tally_out=tally
+            )
+            for _ in range(10):
+                next(stream)
+            costs[mechanism] = tally.total
+        assert costs["bpa"] <= costs["ta"]
+
+    def test_figure1_first_answer_timing(self):
+        """On Figure 1 the top item (d8, 71) clears lambda at round 3."""
+        from repro.datagen.figures import figure1_database
+
+        database = figure1_database()
+        tally = AccessTally()
+        stream = progressive_topk(database, mechanism="bpa", tally_out=tally)
+        first = next(stream)
+        assert first.item == 8
+        assert first.score == 71.0
+        # 3 rounds * (3 sorted + 6 random) = 27 accesses, as in Example 3.
+        assert tally.total == 27

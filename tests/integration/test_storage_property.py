@@ -1,0 +1,63 @@
+"""Property test: the disk format round-trips arbitrary databases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import get_algorithm
+from repro.lists.database import Database
+from repro.scoring import SUM
+from repro.storage import open_database, save_database
+
+# Finite scores including negatives, tiny magnitudes and exact-integer
+# floats — everything the generators can produce.
+_scores = st.one_of(
+    st.integers(-1000, 1000).map(float),
+    st.floats(
+        min_value=-1e6,
+        max_value=1e6,
+        allow_nan=False,
+        allow_infinity=False,
+        width=64,
+    ),
+)
+
+
+@st.composite
+def _databases(draw):
+    n = draw(st.integers(1, 20))
+    m = draw(st.integers(1, 4))
+    rows = draw(
+        st.lists(
+            st.lists(_scores, min_size=n, max_size=n), min_size=m, max_size=m
+        )
+    )
+    return Database.from_score_rows(rows)
+
+
+@given(database=_databases())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_preserves_every_entry(database, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bptk") / "db.bptk"
+    save_database(database, path)
+    with open_database(path) as disk:
+        assert disk.m == database.m
+        assert disk.n == database.n
+        for mem_list, disk_list in zip(database.lists, disk.lists):
+            assert disk_list.items() == mem_list.items()
+            assert disk_list.scores() == mem_list.scores()
+            for item in mem_list.items():
+                assert disk_list.lookup(item) == mem_list.lookup(item)
+
+
+@given(database=_databases())
+@settings(max_examples=20, deadline=None)
+def test_queries_agree_across_media(database, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bptk") / "db.bptk"
+    save_database(database, path)
+    k = min(3, database.n)
+    memory_result = get_algorithm("bpa2").run(database, k, SUM)
+    with open_database(path) as disk:
+        disk_result = get_algorithm("bpa2").run(disk, k, SUM)
+    assert disk_result.same_scores(memory_result)
+    assert disk_result.tally == memory_result.tally

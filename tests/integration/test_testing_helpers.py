@@ -1,0 +1,92 @@
+"""The public differential-testing helpers must catch real bugs."""
+
+import json
+
+import pytest
+
+from repro.algorithms.base import TopKAlgorithm, TopKBuffer
+from repro.errors import NonMonotonicScoringError
+from repro.testing import (
+    assert_algorithm_correct,
+    assert_scoring_usable,
+    standard_test_databases,
+)
+
+
+class TestStandardDatabases:
+    def test_grid_covers_the_regimes(self):
+        labels = [label for label, _db in standard_test_databases()]
+        assert "figure1" in labels
+        assert "tie-heavy" in labels
+        assert "single-list" in labels
+        assert len(labels) >= 8
+
+    def test_databases_are_valid(self):
+        for label, database in standard_test_databases():
+            items = database.item_ids
+            for lst in database.lists:
+                assert frozenset(lst.items()) == items, label
+
+
+class _TruncatingAlgorithm(TopKAlgorithm):
+    """Deliberately wrong: stops after the first round, whatever happens."""
+
+    name = "broken"
+
+    def _execute(self, accessor, k, scoring):
+        buffer = TopKBuffer(k)
+        for index, list_accessor in enumerate(accessor.accessors):
+            entry = list_accessor.sorted_next()
+            buffer.add(entry.item, entry.score)
+        return buffer.ranked(), 1, 1, {}
+
+
+class TestAssertAlgorithmCorrect:
+    @pytest.mark.parametrize("name", ["ta", "bpa", "bpa2", "fa", "naive"])
+    def test_accepts_the_shipped_algorithms(self, name):
+        from repro.algorithms.base import get_algorithm
+
+        assert_algorithm_correct(get_algorithm(name))
+
+    def test_rejects_a_broken_algorithm(self):
+        with pytest.raises(AssertionError, match="broken"):
+            assert_algorithm_correct(_TruncatingAlgorithm())
+
+
+class _NegSum:
+    name = "negsum"
+
+    def __call__(self, scores):
+        return -sum(scores)
+
+
+class TestAssertScoringUsable:
+    def test_accepts_stock_functions(self):
+        from repro.scoring import MIN, SUM, WeightedSumScoring
+
+        assert_scoring_usable(SUM, 3)
+        assert_scoring_usable(MIN, 3)
+        assert_scoring_usable(WeightedSumScoring([1.0, 2.0, 0.5]), 3)
+
+    def test_rejects_non_monotonic(self):
+        with pytest.raises(NonMonotonicScoringError):
+            assert_scoring_usable(_NegSum(), 3)
+
+
+class TestResultTableJson:
+    def test_json_roundtrip(self, tiny_scale):
+        from repro.bench.harness import Experiment
+        from repro.datagen.base import GeneratorSpec
+
+        experiment = Experiment(
+            name="json-exp", title="json test", sweep_name="m",
+            generator=GeneratorSpec("uniform"), sweep_values=(2,),
+        )
+        table = experiment.run(tiny_scale)
+        payload = json.loads(table.to_json())
+        assert payload["experiment"] == "json-exp"
+        assert payload["sweep_name"] == "m"
+        assert len(payload["rows"]) == 3  # one per algorithm
+        for row in payload["rows"]:
+            assert row["execution_cost"] > 0
+            assert row["accesses"] > 0

@@ -1,0 +1,142 @@
+"""The paper's lemmas and theorems as executable properties.
+
+Each test runs whole algorithm executions over hypothesis-generated
+databases (including tie-heavy ones) and checks the corresponding claim
+from the paper.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.naive import brute_force_topk
+from repro.scoring import MAX, MIN, SUM
+from repro.types import CostModel
+from tests.conftest import databases
+
+
+@given(case=databases())
+def test_correctness_all_algorithms(case):
+    """Theorems 1 and 6 (+ TA/FA correctness): exact top-k score multiset."""
+    database, k = case
+    expected = [e.score for e in brute_force_topk(database, k, SUM)]
+    for name in ("fa", "ta", "bpa", "bpa2"):
+        result = get_algorithm(name).run(database, k, SUM)
+        assert list(result.scores) == pytest.approx(expected), name
+
+
+@given(case=databases(tie_heavy=True))
+def test_correctness_under_heavy_ties(case):
+    database, k = case
+    expected = [e.score for e in brute_force_topk(database, k, SUM)]
+    for name in ("fa", "ta", "bpa", "bpa2"):
+        result = get_algorithm(name).run(database, k, SUM)
+        assert list(result.scores) == pytest.approx(expected), name
+
+
+@given(case=databases())
+def test_correctness_min_max_scoring(case):
+    database, k = case
+    for scoring in (MIN, MAX):
+        expected = [e.score for e in brute_force_topk(database, k, scoring)]
+        for name in ("ta", "bpa", "bpa2"):
+            result = get_algorithm(name).run(database, k, scoring)
+            assert list(result.scores) == pytest.approx(expected), (
+                name,
+                scoring.name,
+            )
+
+
+@given(case=databases())
+def test_lemma1_bpa_sorted_accesses_at_most_ta(case):
+    """Lemma 1: BPA stops at least as early as TA."""
+    database, k = case
+    ta = get_algorithm("ta").run(database, k, SUM)
+    bpa = get_algorithm("bpa").run(database, k, SUM)
+    assert bpa.tally.sorted <= ta.tally.sorted
+    assert bpa.stop_position <= ta.stop_position
+
+
+@given(case=databases())
+def test_lemma2_random_accesses_proportional(case):
+    """Lemma 2: ar = as * (m-1) for both TA and BPA."""
+    database, k = case
+    m = database.m
+    for name in ("ta", "bpa"):
+        result = get_algorithm(name).run(database, k, SUM)
+        assert result.tally.random == result.tally.sorted * (m - 1), name
+
+
+@given(case=databases())
+def test_theorem2_bpa_cost_at_most_ta(case):
+    """Theorem 2: execution cost of BPA <= TA (paper cost model)."""
+    database, k = case
+    model = CostModel.paper(database.n)
+    ta = get_algorithm("ta").run(database, k, SUM)
+    bpa = get_algorithm("bpa").run(database, k, SUM)
+    assert bpa.execution_cost(model) <= ta.execution_cost(model)
+
+
+@given(case=databases())
+def test_theorem5_bpa2_never_reaccesses_a_position(case):
+    """Theorem 5: per list, accesses == distinct positions touched."""
+    database, k = case
+    result = get_algorithm("bpa2").run(database, k, SUM)
+    assert (
+        result.extras["per_list_accesses"]
+        == result.extras["per_list_distinct_positions"]
+    )
+    # Which also bounds the total by m * n:
+    assert result.tally.total <= database.m * database.n
+
+
+@given(case=databases())
+def test_theorem7_bpa2_accesses_at_most_bpa(case):
+    """Theorem 7: BPA2 performs no more list accesses than BPA."""
+    database, k = case
+    bpa = get_algorithm("bpa").run(database, k, SUM)
+    bpa2 = get_algorithm("bpa2").run(database, k, SUM)
+    assert bpa2.tally.total <= bpa.tally.total
+
+
+@given(case=databases())
+def test_fa_never_stops_later_than_naive_and_ta_not_later_than_fa(case):
+    """The classic dominance chain: TA <= FA <= naive in stop position."""
+    database, k = case
+    fa = get_algorithm("fa").run(database, k, SUM)
+    ta = get_algorithm("ta").run(database, k, SUM)
+    assert ta.stop_position <= fa.stop_position
+    assert fa.stop_position <= database.n
+
+
+@given(case=databases())
+def test_bpa_trackers_equivalent_end_to_end(case):
+    """Bit array, B+tree and naive trackers must be interchangeable."""
+    database, k = case
+    reference = get_algorithm("bpa", tracker="naive").run(database, k, SUM)
+    for tracker in ("bitarray", "btree"):
+        result = get_algorithm("bpa", tracker=tracker).run(database, k, SUM)
+        assert result.tally == reference.tally, tracker
+        assert result.stop_position == reference.stop_position
+        assert result.same_scores(reference)
+
+
+@given(case=databases())
+def test_memoized_ta_same_stop_fewer_accesses(case):
+    """The memoization ablation never changes the answer or stop position."""
+    database, k = case
+    plain = get_algorithm("ta").run(database, k, SUM)
+    memoized = get_algorithm("ta", memoize=True).run(database, k, SUM)
+    assert memoized.stop_position == plain.stop_position
+    assert memoized.tally.total <= plain.tally.total
+    assert memoized.same_scores(plain)
+
+
+@given(case=databases())
+@settings(max_examples=30)
+def test_nra_item_set_is_exact(case):
+    database, k = case
+    expected = sorted(e.score for e in brute_force_topk(database, k, SUM))
+    result = get_algorithm("nra").run(database, k, SUM)
+    exact = sorted(sum(database.local_scores(item)) for item in result.item_ids)
+    assert exact == pytest.approx(expected)

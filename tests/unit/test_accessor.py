@@ -1,0 +1,90 @@
+"""Unit tests for the metered accessors."""
+
+import pytest
+
+from repro.errors import ExhaustedListError
+from repro.lists.accessor import DatabaseAccessor, ListAccessor
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+from repro.types import AccessTally
+
+
+@pytest.fixture()
+def accessor() -> ListAccessor:
+    return ListAccessor(SortedList([(0, 3.0), (1, 2.0), (2, 1.0)], name="L1"))
+
+
+class TestListAccessor:
+    def test_sorted_next_walks_in_rank_order(self, accessor):
+        assert accessor.sorted_next().item == 0
+        assert accessor.sorted_next().item == 1
+        assert accessor.sorted_next().item == 2
+
+    def test_sorted_next_counts(self, accessor):
+        accessor.sorted_next()
+        accessor.sorted_next()
+        assert accessor.tally == AccessTally(sorted=2)
+
+    def test_cursor_tracks_last_position(self, accessor):
+        assert accessor.last_sorted_position == 0
+        accessor.sorted_next()
+        assert accessor.last_sorted_position == 1
+
+    def test_exhaustion_raises(self, accessor):
+        for _ in range(3):
+            accessor.sorted_next()
+        assert accessor.exhausted
+        with pytest.raises(ExhaustedListError):
+            accessor.sorted_next()
+
+    def test_random_lookup_counts_and_returns(self, accessor):
+        assert accessor.random_lookup(2) == (1.0, 3)
+        assert accessor.tally == AccessTally(random=1)
+
+    def test_direct_at_counts_and_returns(self, accessor):
+        entry = accessor.direct_at(2)
+        assert (entry.item, entry.score) == (1, 2.0)
+        assert accessor.tally == AccessTally(direct=1)
+
+    def test_direct_does_not_move_sorted_cursor(self, accessor):
+        accessor.direct_at(3)
+        assert accessor.last_sorted_position == 0
+        assert accessor.sorted_next().position == 1
+
+    def test_reset(self, accessor):
+        accessor.sorted_next()
+        accessor.random_lookup(0)
+        accessor.reset()
+        assert accessor.tally.total == 0
+        assert accessor.last_sorted_position == 0
+        assert accessor.sorted_next().position == 1
+
+    def test_len_and_source(self, accessor):
+        assert len(accessor) == 3
+        assert accessor.source.name == "L1"
+
+
+class TestDatabaseAccessor:
+    @pytest.fixture()
+    def database(self) -> Database:
+        return Database.from_score_rows([[1.0, 2.0], [2.0, 1.0], [1.5, 0.5]])
+
+    def test_one_accessor_per_list(self, database):
+        accessor = DatabaseAccessor(database)
+        assert accessor.m == 3
+        assert accessor.n == 2
+        assert len(list(accessor)) == 3
+
+    def test_total_tally_sums_lists(self, database):
+        accessor = DatabaseAccessor(database)
+        accessor[0].sorted_next()
+        accessor[1].random_lookup(0)
+        accessor[2].direct_at(1)
+        assert accessor.total_tally() == AccessTally(sorted=1, random=1, direct=1)
+
+    def test_reset_clears_all(self, database):
+        accessor = DatabaseAccessor(database)
+        for list_accessor in accessor:
+            list_accessor.sorted_next()
+        accessor.reset()
+        assert accessor.total_tally().total == 0

@@ -1,0 +1,219 @@
+"""Per-algorithm unit tests on small deterministic databases."""
+
+import pytest
+
+from repro.algorithms import (
+    FaginsAlgorithm,
+    NaiveScan,
+    NoRandomAccess,
+    ThresholdAlgorithm,
+)
+from repro.algorithms.base import get_algorithm, known_algorithms
+from repro.algorithms.naive import brute_force_topk
+from repro.core import BestPositionAlgorithm, BestPositionAlgorithm2
+from repro.errors import InvalidQueryError, NonMonotonicScoringError
+from repro.lists.database import Database
+from repro.scoring import MIN, SUM
+
+ALL_NAMES = ("naive", "fa", "ta", "bpa", "bpa2", "nra")
+
+
+class TestRegistry:
+    def test_known_algorithms(self):
+        for name in ALL_NAMES:
+            assert name in known_algorithms()
+
+    def test_get_algorithm_constructs(self):
+        assert isinstance(get_algorithm("ta"), ThresholdAlgorithm)
+        assert isinstance(get_algorithm("bpa"), BestPositionAlgorithm)
+        assert isinstance(get_algorithm("bpa2"), BestPositionAlgorithm2)
+        assert isinstance(get_algorithm("fa"), FaginsAlgorithm)
+        assert isinstance(get_algorithm("naive"), NaiveScan)
+        assert isinstance(get_algorithm("nra"), NoRandomAccess)
+
+    def test_get_algorithm_kwargs(self):
+        assert get_algorithm("ta", memoize=True).memoize
+
+    def test_get_algorithm_unknown(self):
+        with pytest.raises(KeyError):
+            get_algorithm("quantum-topk")
+
+
+class TestQueryValidation:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("k", [0, -1, 7])
+    def test_invalid_k_rejected(self, simple_database, name, k):
+        with pytest.raises(InvalidQueryError):
+            get_algorithm(name).run(simple_database, k)
+
+    def test_verify_scoring_catches_non_monotonic(self, simple_database):
+        class NegSum:
+            name = "negsum"
+
+            def __call__(self, scores):
+                return -sum(scores)
+
+        with pytest.raises(NonMonotonicScoringError):
+            ThresholdAlgorithm().run(simple_database, 2, NegSum(), verify_scoring=True)
+
+    def test_verify_scoring_accepts_sum(self, simple_database):
+        result = ThresholdAlgorithm().run(simple_database, 2, SUM, verify_scoring=True)
+        assert result.k == 2
+
+
+class TestAgreementOnSimpleDatabase:
+    @pytest.mark.parametrize("name", ("naive", "fa", "ta", "bpa", "bpa2"))
+    @pytest.mark.parametrize("k", [1, 2, 6])
+    def test_matches_brute_force(self, simple_database, name, k):
+        expected = [e.score for e in brute_force_topk(simple_database, k)]
+        result = get_algorithm(name).run(simple_database, k)
+        assert list(result.scores) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("k", [1, 2, 6])
+    def test_nra_item_set_matches_brute_force(self, simple_database, k):
+        # NRA reports lower-bound scores (exact only once an item is seen
+        # in every list), so compare the *exact* scores of its item set.
+        expected = sorted(e.score for e in brute_force_topk(simple_database, k))
+        result = get_algorithm("nra").run(simple_database, k)
+        exact = sorted(
+            sum(simple_database.local_scores(item)) for item in result.item_ids
+        )
+        assert exact == pytest.approx(expected)
+
+    @pytest.mark.parametrize("name", ("naive", "fa", "ta", "bpa", "bpa2"))
+    def test_min_scoring(self, simple_database, name):
+        expected = [e.score for e in brute_force_topk(simple_database, 2, MIN)]
+        result = get_algorithm(name).run(simple_database, 2, MIN)
+        assert list(result.scores) == pytest.approx(expected)
+
+
+class TestSingleList:
+    """m=1: every algorithm degenerates to reading the top of one list."""
+
+    @pytest.fixture()
+    def database(self) -> Database:
+        return Database.from_score_rows([[5.0, 9.0, 1.0, 7.0, 3.0]])
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_answers(self, database, name):
+        result = get_algorithm(name).run(database, 2)
+        assert list(result.scores) == [9.0, 7.0]
+
+    @pytest.mark.parametrize("name", ("ta", "bpa"))
+    def test_scan_depth_is_k(self, database, name):
+        result = get_algorithm(name).run(database, 2)
+        assert result.stop_position == 2
+        assert result.tally.sorted == 2
+        assert result.tally.random == 0
+
+
+class TestNaive:
+    def test_reads_everything(self, simple_database):
+        result = NaiveScan().run(simple_database, 1)
+        n, m = simple_database.n, simple_database.m
+        assert result.tally.sorted == n * m
+        assert result.tally.random == 0
+
+    def test_brute_force_matches_naive(self, simple_database):
+        naive = NaiveScan().run(simple_database, 4)
+        brute = brute_force_topk(simple_database, 4)
+        assert list(naive.scores) == [e.score for e in brute]
+        assert list(naive.item_ids) == [e.item for e in brute]
+
+
+class TestTA:
+    def test_random_accesses_are_sorted_times_m_minus_1(self, simple_database):
+        result = ThresholdAlgorithm().run(simple_database, 2)
+        m = simple_database.m
+        assert result.tally.random == result.tally.sorted * (m - 1)
+
+    def test_memoized_never_costs_more(self, simple_database):
+        plain = ThresholdAlgorithm().run(simple_database, 2)
+        memoized = ThresholdAlgorithm(memoize=True).run(simple_database, 2)
+        assert memoized.tally.total <= plain.tally.total
+        assert memoized.stop_position == plain.stop_position
+        assert memoized.same_scores(plain)
+
+    def test_threshold_reported_in_extras(self, simple_database):
+        result = ThresholdAlgorithm().run(simple_database, 2)
+        assert "threshold" in result.extras
+
+    def test_k_equals_n_terminates(self, simple_database):
+        result = ThresholdAlgorithm().run(simple_database, simple_database.n)
+        assert result.k == simple_database.n
+
+
+class TestFA:
+    def test_stops_when_k_items_seen_everywhere(self):
+        # Identical lists: after k rounds, the top-k items are seen in all
+        # lists, so FA stops at exactly position k.
+        rows = [[float(10 - i) for i in range(10)]] * 3
+        database = Database.from_score_rows(rows)
+        result = FaginsAlgorithm().run(database, 3)
+        assert result.stop_position == 3
+
+    def test_random_accesses_only_for_missing_scores(self, simple_database):
+        result = FaginsAlgorithm().run(simple_database, 1)
+        # FA's phase 2 fills only the gaps, never re-reads known scores.
+        assert result.tally.random < result.tally.sorted * simple_database.m
+
+
+class TestBPA:
+    @pytest.mark.parametrize("tracker", ("naive", "bitarray", "btree"))
+    def test_tracker_choice_changes_nothing(self, simple_database, tracker):
+        reference = BestPositionAlgorithm().run(simple_database, 2)
+        result = BestPositionAlgorithm(tracker=tracker).run(simple_database, 2)
+        assert result.same_scores(reference)
+        assert result.tally == reference.tally
+        assert result.stop_position == reference.stop_position
+
+    def test_extras_contain_lambda_and_best_positions(self, simple_database):
+        result = BestPositionAlgorithm().run(simple_database, 2)
+        assert "lambda" in result.extras
+        assert len(result.extras["best_positions"]) == simple_database.m
+
+    def test_random_accesses_are_sorted_times_m_minus_1(self, simple_database):
+        result = BestPositionAlgorithm().run(simple_database, 2)
+        m = simple_database.m
+        assert result.tally.random == result.tally.sorted * (m - 1)
+
+
+class TestBPA2:
+    def test_no_sorted_accesses(self, simple_database):
+        result = BestPositionAlgorithm2().run(simple_database, 2)
+        assert result.tally.sorted == 0
+        assert result.tally.direct > 0
+
+    def test_theorem5_accesses_equal_distinct_positions(self, simple_database):
+        result = BestPositionAlgorithm2().run(simple_database, 2)
+        assert (
+            result.extras["per_list_accesses"]
+            == result.extras["per_list_distinct_positions"]
+        )
+
+    def test_check_every_access_never_costs_more(self, simple_database):
+        per_round = BestPositionAlgorithm2().run(simple_database, 2)
+        per_access = BestPositionAlgorithm2(check_every_access=True).run(
+            simple_database, 2
+        )
+        assert per_access.tally.total <= per_round.tally.total
+        assert per_access.same_scores(per_round)
+
+    @pytest.mark.parametrize("tracker", ("naive", "bitarray", "btree"))
+    def test_tracker_choice_changes_nothing(self, simple_database, tracker):
+        reference = BestPositionAlgorithm2().run(simple_database, 2)
+        result = BestPositionAlgorithm2(tracker=tracker).run(simple_database, 2)
+        assert result.same_scores(reference)
+        assert result.tally == reference.tally
+
+
+class TestNRA:
+    def test_never_uses_random_access(self, simple_database):
+        result = NoRandomAccess().run(simple_database, 2)
+        assert result.tally.random == 0
+        assert result.tally.direct == 0
+
+    def test_correct_item_set(self, simple_database):
+        expected = {e.item for e in brute_force_topk(simple_database, 2)}
+        result = NoRandomAccess().run(simple_database, 2)
+        assert set(result.item_ids) == expected

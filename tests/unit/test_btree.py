@@ -1,0 +1,219 @@
+"""Unit tests for the B+tree substrate."""
+
+import pytest
+
+from repro.btree import BPlusTree
+
+
+class TestConstruction:
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_empty_tree(self):
+        tree = BPlusTree(order=4)
+        assert len(tree) == 0
+        assert not tree
+        assert 1 not in tree
+        assert tree.first_cell() is None
+        assert list(tree.items()) == []
+
+    def test_min_max_on_empty_raise(self):
+        tree = BPlusTree(order=4)
+        with pytest.raises(KeyError):
+            tree.min_key()
+        with pytest.raises(KeyError):
+            tree.max_key()
+
+
+class TestInsertLookup:
+    def test_insert_and_get(self):
+        tree = BPlusTree(order=4)
+        assert tree.insert(5, "five") is True
+        assert tree.get(5) == "five"
+        assert tree[5] == "five"
+        assert 5 in tree
+
+    def test_insert_replaces_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "old")
+        assert tree.insert(5, "new") is False
+        assert tree[5] == "new"
+        assert len(tree) == 1
+
+    def test_missing_key_get_returns_default(self):
+        tree = BPlusTree(order=4)
+        assert tree.get(1) is None
+        assert tree.get(1, "fallback") == "fallback"
+
+    def test_missing_key_getitem_raises(self):
+        tree = BPlusTree(order=4)
+        with pytest.raises(KeyError):
+            tree[42]
+
+    def test_many_inserts_split_and_stay_sorted(self):
+        tree = BPlusTree(order=4)
+        keys = [37, 2, 19, 44, 1, 99, 73, 5, 61, 28, 50, 3, 88, 12]
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert len(tree) == len(keys)
+        assert list(tree.keys()) == sorted(keys)
+        assert all(tree[key] == key * 10 for key in keys)
+        tree.validate()
+        assert tree.height() > 1
+
+    def test_setitem_syntax(self):
+        tree = BPlusTree(order=4)
+        tree[1] = "a"
+        assert tree[1] == "a"
+
+    def test_ascending_and_descending_insertion_orders(self):
+        for order_of_keys in (range(100), range(99, -1, -1)):
+            tree = BPlusTree(order=4)
+            for key in order_of_keys:
+                tree.insert(key)
+            assert list(tree.keys()) == list(range(100))
+            tree.validate()
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "fig", "date", "cherry", "banana"]:
+            tree.insert(word)
+        assert list(tree.keys()) == sorted(
+            ["pear", "apple", "fig", "date", "cherry", "banana"]
+        )
+
+
+class TestMinMaxSuccessor:
+    def _tree(self):
+        tree = BPlusTree(order=4)
+        for key in [10, 20, 30, 40, 50, 60, 70]:
+            tree.insert(key)
+        return tree
+
+    def test_min_max(self):
+        tree = self._tree()
+        assert tree.min_key() == 10
+        assert tree.max_key() == 70
+
+    def test_successor_of_present_key(self):
+        assert self._tree().successor(30) == 40
+
+    def test_successor_of_absent_key(self):
+        assert self._tree().successor(35) == 40
+
+    def test_successor_below_min(self):
+        assert self._tree().successor(-5) == 10
+
+    def test_successor_at_max_raises(self):
+        with pytest.raises(KeyError):
+            self._tree().successor(70)
+
+
+class TestLeafCells:
+    def test_first_cell_walk_visits_all_keys(self):
+        tree = BPlusTree(order=4)
+        for key in range(25):
+            tree.insert(key)
+        cell = tree.first_cell()
+        seen = []
+        while cell is not None:
+            seen.append(cell.element)
+            cell = cell.next
+        assert seen == list(range(25))
+
+    def test_cell_for_present_and_absent(self):
+        tree = BPlusTree(order=4)
+        tree.insert(7, "seven")
+        cell = tree.cell_for(7)
+        assert cell is not None
+        assert cell.element == 7
+        assert cell.value == "seven"
+        assert tree.cell_for(8) is None
+
+    def test_cell_next_is_none_at_end(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1)
+        assert tree.cell_for(1).next is None
+
+
+class TestRangeIteration:
+    def _tree(self):
+        tree = BPlusTree(order=4)
+        for key in range(0, 100, 10):
+            tree.insert(key, key)
+        return tree
+
+    def test_full_range(self):
+        assert [k for k, _v in self._tree().range_items()] == list(range(0, 100, 10))
+
+    def test_bounded_range_inclusive(self):
+        keys = [k for k, _v in self._tree().range_items(25, 60)]
+        assert keys == [30, 40, 50, 60]
+
+    def test_bounded_range_exclusive_high(self):
+        keys = [k for k, _v in self._tree().range_items(25, 60, inclusive=False)]
+        assert keys == [30, 40, 50]
+
+    def test_open_low(self):
+        keys = [k for k, _v in self._tree().range_items(high=30)]
+        assert keys == [0, 10, 20, 30]
+
+
+class TestDelete:
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        assert tree.delete(1) is False
+
+    def test_delete_present(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "one")
+        assert tree.delete(1) is True
+        assert 1 not in tree
+        assert len(tree) == 0
+
+    def test_delitem_raises_on_missing(self):
+        tree = BPlusTree(order=4)
+        with pytest.raises(KeyError):
+            del tree[9]
+
+    def test_pop_returns_value(self):
+        tree = BPlusTree(order=4)
+        tree.insert(3, "three")
+        assert tree.pop(3) == "three"
+        assert tree.pop(3, "gone") == "gone"
+        with pytest.raises(KeyError):
+            tree.pop(3)
+
+    def test_delete_everything_both_directions(self):
+        for reverse in (False, True):
+            tree = BPlusTree(order=4)
+            keys = list(range(200))
+            for key in keys:
+                tree.insert(key)
+            for key in sorted(keys, reverse=reverse):
+                assert tree.delete(key)
+                tree.validate()
+            assert len(tree) == 0
+
+    def test_delete_triggers_merges_and_borrows(self):
+        # Interleaved pattern known to exercise both leaf borrow
+        # directions and internal merges at order 4.
+        tree = BPlusTree(order=4)
+        for key in range(64):
+            tree.insert(key)
+        for key in range(0, 64, 2):
+            assert tree.delete(key)
+            tree.validate()
+        assert list(tree.keys()) == list(range(1, 64, 2))
+
+    def test_reinsertion_after_delete(self):
+        tree = BPlusTree(order=4)
+        for key in range(32):
+            tree.insert(key, "first")
+        for key in range(32):
+            tree.delete(key)
+        for key in range(32):
+            tree.insert(key, "second")
+        assert all(tree[key] == "second" for key in range(32))
+        tree.validate()

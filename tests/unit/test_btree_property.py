@@ -1,0 +1,106 @@
+"""Property-based tests: the B+tree must behave like a sorted dict."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.btree import BPlusTree
+
+_keys = st.integers(-500, 500)
+_orders = st.sampled_from([3, 4, 5, 8, 16])
+
+
+@given(keys=st.lists(_keys), order=_orders)
+def test_inserts_match_set_model(keys, order):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key)
+    expected = sorted(set(keys))
+    assert list(tree.keys()) == expected
+    assert len(tree) == len(expected)
+    tree.validate()
+
+
+@given(keys=st.lists(_keys, min_size=1), order=_orders)
+def test_min_max_successor_match_model(keys, order):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key)
+    model = sorted(set(keys))
+    assert tree.min_key() == model[0]
+    assert tree.max_key() == model[-1]
+    for probe in (model[0] - 1, model[len(model) // 2], model[-1] - 1):
+        expected = next((k for k in model if k > probe), None)
+        if expected is None:
+            continue
+        assert tree.successor(probe) == expected
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), _keys), max_size=200
+    ),
+    order=_orders,
+)
+def test_mixed_operations_match_dict_model(operations, order):
+    tree = BPlusTree(order=order)
+    model: dict[int, int] = {}
+    for op, key in operations:
+        if op == "insert":
+            tree.insert(key, key * 2)
+            model[key] = key * 2
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert list(tree.items()) == sorted(model.items())
+    tree.validate()
+
+
+@given(
+    keys=st.lists(_keys, min_size=1, unique=True),
+    order=_orders,
+    low_offset=st.integers(-5, 5),
+    span=st.integers(0, 400),
+)
+def test_range_items_match_model(keys, order, low_offset, span):
+    tree = BPlusTree(order=order)
+    for key in keys:
+        tree.insert(key)
+    low = min(keys) + low_offset
+    high = low + span
+    expected = [k for k in sorted(keys) if low <= k <= high]
+    assert [k for k, _v in tree.range_items(low, high)] == expected
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    """Stateful fuzzing: arbitrary op interleavings preserve invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = BPlusTree(order=4)
+        self.model: dict[int, int] = {}
+
+    @rule(key=_keys, value=st.integers())
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=_keys)
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=_keys)
+    def lookup(self, key):
+        assert self.tree.get(key, "missing") == self.model.get(key, "missing")
+
+    @invariant()
+    def structure_is_valid(self):
+        self.tree.validate()
+        assert len(self.tree) == len(self.model)
+
+
+TestBTreeStateMachine = BTreeMachine.TestCase
+TestBTreeStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,59 @@
+"""Unit tests for :mod:`repro.lists.cost` (CostReport)."""
+
+import pytest
+
+from repro.lists.cost import CostReport
+from repro.types import AccessTally, CostModel, ScoredItem, TopKResult
+
+
+def _result(sorted=0, random=0, direct=0, algorithm="ta", stop=5):
+    return TopKResult(
+        items=(ScoredItem(item=0, score=1.0),),
+        tally=AccessTally(sorted=sorted, random=random, direct=direct),
+        rounds=stop,
+        stop_position=stop,
+        algorithm=algorithm,
+    )
+
+
+class TestCostReport:
+    def test_from_result(self):
+        model = CostModel(sorted_cost=1.0, random_cost=10.0)
+        report = CostReport.from_result(_result(sorted=4, random=3), model)
+        assert report.algorithm == "ta"
+        assert report.execution_cost == 4 + 30
+        assert report.accesses == 7
+        assert report.stop_position == 5
+
+    def test_tally_is_copied(self):
+        result = _result(sorted=1)
+        report = CostReport.from_result(result, CostModel())
+        report.tally.sorted = 99
+        assert result.tally.sorted == 1
+
+    def test_speedup_over(self):
+        model = CostModel()
+        cheap = CostReport.from_result(_result(sorted=10), model)
+        pricey = CostReport.from_result(_result(sorted=40), model)
+        assert cheap.speedup_over(pricey) == pytest.approx(4.0)
+        assert pricey.speedup_over(cheap) == pytest.approx(0.25)
+
+    def test_speedup_over_zero_cost(self):
+        model = CostModel()
+        free = CostReport.from_result(_result(), model)
+        pricey = CostReport.from_result(_result(sorted=5), model)
+        assert free.speedup_over(pricey) == float("inf")
+        assert free.speedup_over(free) == 1.0
+
+    def test_access_ratio_over(self):
+        model = CostModel()
+        few = CostReport.from_result(_result(direct=5), model)
+        many = CostReport.from_result(_result(sorted=10, random=10), model)
+        assert few.access_ratio_over(many) == pytest.approx(4.0)
+
+    def test_access_ratio_over_zero(self):
+        model = CostModel()
+        none = CostReport.from_result(_result(), model)
+        some = CostReport.from_result(_result(sorted=1), model)
+        assert none.access_ratio_over(some) == float("inf")
+        assert none.access_ratio_over(none) == 1.0

@@ -1,0 +1,83 @@
+"""Unit tests for :class:`repro.lists.database.Database`."""
+
+import pytest
+
+from repro.errors import InconsistentListsError
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+
+
+class TestValidation:
+    def test_requires_at_least_one_list(self):
+        with pytest.raises(InconsistentListsError):
+            Database([])
+
+    def test_rejects_diverging_item_sets(self):
+        list_a = SortedList([(0, 1.0), (1, 2.0)])
+        list_b = SortedList([(0, 1.0), (2, 2.0)])
+        with pytest.raises(InconsistentListsError):
+            Database([list_a, list_b])
+
+    def test_rejects_subset_lists(self):
+        list_a = SortedList([(0, 1.0), (1, 2.0)])
+        list_b = SortedList([(0, 1.0)])
+        with pytest.raises(InconsistentListsError):
+            Database([list_a, list_b])
+
+    def test_accepts_same_items_in_any_order(self):
+        list_a = SortedList([(0, 1.0), (1, 2.0)])
+        list_b = SortedList([(1, 9.0), (0, 3.0)])
+        database = Database([list_a, list_b])
+        assert database.m == 2
+        assert database.n == 2
+
+
+class TestConstructionHelpers:
+    def test_from_score_rows(self):
+        database = Database.from_score_rows([[1.0, 2.0], [5.0, 4.0]])
+        assert database.m == 2
+        assert database.n == 2
+        assert database.lists[0].items() == (1, 0)
+        assert database.lists[1].items() == (0, 1)
+
+    def test_from_score_rows_names_lists(self):
+        database = Database.from_score_rows([[1.0], [1.0], [1.0]])
+        assert [lst.name for lst in database.lists] == ["L1", "L2", "L3"]
+
+    def test_from_ranked_lists(self):
+        database = Database.from_ranked_lists(
+            [
+                [(7, 3.0), (8, 2.0)],
+                [(8, 9.0), (7, 1.0)],
+            ]
+        )
+        assert database.item_ids == frozenset({7, 8})
+        assert database.lists[1].item_at(1) == 8
+
+
+class TestIntrospection:
+    @pytest.fixture()
+    def database(self) -> Database:
+        return Database.from_score_rows(
+            [[3.0, 1.0, 2.0], [1.0, 2.0, 3.0]],
+            labels={0: "alpha", 1: "beta"},
+        )
+
+    def test_local_scores_in_list_order(self, database):
+        assert database.local_scores(0) == (3.0, 1.0)
+        assert database.local_scores(2) == (2.0, 3.0)
+
+    def test_positions_in_list_order(self, database):
+        assert database.positions(0) == (1, 3)
+        assert database.positions(2) == (2, 1)
+
+    def test_labels_with_fallback(self, database):
+        assert database.label(0) == "alpha"
+        assert database.label(2) == "item 2"
+
+    def test_iteration_and_indexing(self, database):
+        assert len(database) == 2
+        assert list(database)[0] is database[0]
+
+    def test_iter_items_sorted(self, database):
+        assert list(database.iter_items()) == [0, 1, 2]

@@ -1,0 +1,245 @@
+"""Unit tests for the synthetic database generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    CorrelatedGenerator,
+    GaussianCopulaGenerator,
+    GaussianGenerator,
+    GeneratorSpec,
+    UniformGenerator,
+    make_generator,
+    zipf_scores,
+)
+from repro.datagen.correlated import _FreeSlots
+from repro.datagen.zipf import zipf_frequencies
+from repro.errors import GenerationError
+
+
+def _assert_valid_database(database, n, m):
+    assert database.m == m
+    assert database.n == n
+    items = frozenset(range(n))
+    for lst in database.lists:
+        assert frozenset(lst.items()) == items
+        scores = lst.scores()
+        assert all(a >= b for a, b in zip(scores, scores[1:])), "not descending"
+
+
+class TestUniform:
+    def test_shape_and_validity(self):
+        database = UniformGenerator().generate(50, 4, seed=1)
+        _assert_valid_database(database, 50, 4)
+
+    def test_deterministic_per_seed(self):
+        a = UniformGenerator().generate(30, 3, seed=9)
+        b = UniformGenerator().generate(30, 3, seed=9)
+        assert [lst.items() for lst in a.lists] == [lst.items() for lst in b.lists]
+
+    def test_different_seeds_differ(self):
+        a = UniformGenerator().generate(100, 2, seed=1)
+        b = UniformGenerator().generate(100, 2, seed=2)
+        assert [lst.items() for lst in a.lists] != [lst.items() for lst in b.lists]
+
+    def test_scores_within_range(self):
+        database = UniformGenerator(low=2.0, high=3.0).generate(40, 2, seed=0)
+        for lst in database.lists:
+            assert all(2.0 <= s < 3.0 for s in lst.scores())
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(low=1.0, high=1.0)
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(GenerationError):
+            UniformGenerator().generate(0, 3)
+        with pytest.raises(GenerationError):
+            UniformGenerator().generate(3, 0)
+
+
+class TestGaussian:
+    def test_shape_and_validity(self):
+        database = GaussianGenerator().generate(50, 3, seed=1)
+        _assert_valid_database(database, 50, 3)
+
+    def test_paper_moments(self):
+        database = GaussianGenerator().generate(4000, 1, seed=5)
+        scores = np.array(database.lists[0].scores())
+        assert abs(scores.mean()) < 0.1
+        assert abs(scores.std() - 1.0) < 0.1
+
+    def test_shift_nonnegative(self):
+        database = GaussianGenerator(shift_nonnegative=True).generate(500, 2, seed=3)
+        for lst in database.lists:
+            assert min(lst.scores()) >= 0.0
+
+    def test_rejects_bad_std(self):
+        with pytest.raises(ValueError):
+            GaussianGenerator(std=0.0)
+
+
+class TestZipf:
+    def test_scores_follow_power_law(self):
+        scores = zipf_scores(100, theta=0.7)
+        assert scores[0] == 1.0
+        assert scores[9] == pytest.approx(10 ** -0.7)
+        assert all(a > b for a, b in zip(scores, scores[1:]))
+
+    def test_theta_zero_is_flat(self):
+        assert np.allclose(zipf_scores(10, theta=0.0), 1.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_scores(0)
+        with pytest.raises(ValueError):
+            zipf_scores(5, theta=-1.0)
+
+    def test_frequencies_are_positive_integers(self):
+        freqs = zipf_frequencies(50, total=10_000)
+        assert freqs.dtype.kind == "i"
+        assert (freqs >= 1).all()
+        assert freqs[0] == freqs.max()
+
+
+class TestCorrelated:
+    def test_shape_and_validity(self):
+        database = CorrelatedGenerator(alpha=0.05).generate(80, 4, seed=2)
+        _assert_valid_database(database, 80, 4)
+
+    def test_scores_are_zipf(self):
+        database = CorrelatedGenerator(alpha=0.05, theta=0.7).generate(60, 2, seed=2)
+        expected = zipf_scores(60, 0.7)
+        assert np.allclose(database.lists[0].scores(), expected)
+        assert np.allclose(database.lists[1].scores(), expected)
+
+    @staticmethod
+    def _rank_correlation(database) -> float:
+        """Mean Pearson correlation of positions between list 1 and the rest.
+
+        (Positions are ranks, so this is a Spearman correlation.)
+        """
+        n = database.n
+        base = np.empty(n)
+        for pos, item in enumerate(database.lists[0].items()):
+            base[item] = pos
+        correlations = []
+        for lst in database.lists[1:]:
+            other = np.empty(n)
+            for pos, item in enumerate(lst.items()):
+                other[item] = pos
+            correlations.append(float(np.corrcoef(base, other)[0, 1]))
+        return float(np.mean(correlations))
+
+    def test_small_alpha_gives_high_rank_correlation(self):
+        # Collision cascades mean individual displacements can exceed
+        # n*alpha (the paper's "closest free position" rule), so assert
+        # the aggregate: rankings stay strongly correlated.
+        database = CorrelatedGenerator(alpha=0.01).generate(500, 3, seed=4)
+        assert self._rank_correlation(database) > 0.99
+
+    def test_correlation_decreases_with_alpha(self):
+        tight = CorrelatedGenerator(alpha=0.01).generate(400, 3, seed=6)
+        loose = CorrelatedGenerator(alpha=0.5).generate(400, 3, seed=6)
+        assert self._rank_correlation(tight) > self._rank_correlation(loose)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            CorrelatedGenerator(alpha=1.5)
+        with pytest.raises(ValueError):
+            CorrelatedGenerator(alpha=-0.1)
+
+    def test_deterministic_per_seed(self):
+        a = CorrelatedGenerator(alpha=0.1).generate(50, 3, seed=7)
+        b = CorrelatedGenerator(alpha=0.1).generate(50, 3, seed=7)
+        assert [lst.items() for lst in a.lists] == [lst.items() for lst in b.lists]
+
+
+class TestFreeSlots:
+    def test_takes_exact_slot_when_free(self):
+        slots = _FreeSlots(10)
+        assert slots.take_nearest(4) == 4
+
+    def test_prefers_left_on_tie(self):
+        slots = _FreeSlots(10)
+        slots.take_nearest(4)
+        assert slots.take_nearest(4) in (3, 5)
+
+    def test_fills_everything_exactly_once(self):
+        n = 50
+        slots = _FreeSlots(n)
+        taken = [slots.take_nearest(7) for _ in range(n)]
+        assert sorted(taken) == list(range(n))
+
+    def test_raises_when_full(self):
+        slots = _FreeSlots(2)
+        slots.take_nearest(0)
+        slots.take_nearest(0)
+        with pytest.raises(GenerationError):
+            slots.take_nearest(0)
+
+    def test_clamps_out_of_range_targets(self):
+        slots = _FreeSlots(5)
+        assert slots.take_nearest(-10) == 0
+        assert slots.take_nearest(99) == 4
+
+
+class TestGaussianCopula:
+    def test_shape_and_validity(self):
+        database = GaussianCopulaGenerator(rho=0.5).generate(60, 3, seed=1)
+        _assert_valid_database(database, 60, 3)
+
+    def test_rho_zero_is_independent(self):
+        database = GaussianCopulaGenerator(rho=0.0).generate(2000, 2, seed=2)
+        scores = [np.empty(2000), np.empty(2000)]
+        for index, lst in enumerate(database.lists):
+            for item in range(2000):
+                scores[index][item] = lst.lookup(item)[0]
+        correlation = float(np.corrcoef(scores[0], scores[1])[0, 1])
+        assert abs(correlation) < 0.1
+
+    def test_rho_controls_pairwise_correlation(self):
+        rho = 0.8
+        database = GaussianCopulaGenerator(rho=rho).generate(3000, 2, seed=3)
+        scores = [np.empty(3000), np.empty(3000)]
+        for index, lst in enumerate(database.lists):
+            for item in range(3000):
+                scores[index][item] = lst.lookup(item)[0]
+        correlation = float(np.corrcoef(scores[0], scores[1])[0, 1])
+        assert correlation == pytest.approx(rho, abs=0.06)
+
+    def test_rho_one_identical_rankings(self):
+        database = GaussianCopulaGenerator(rho=1.0).generate(200, 3, seed=4)
+        first = database.lists[0].items()
+        for lst in database.lists[1:]:
+            assert lst.items() == first
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(ValueError):
+            GaussianCopulaGenerator(rho=1.5)
+        with pytest.raises(ValueError):
+            GaussianCopulaGenerator(rho=-0.2)
+
+    def test_deterministic(self):
+        a = GaussianCopulaGenerator(rho=0.4).generate(50, 2, seed=5)
+        b = GaussianCopulaGenerator(rho=0.4).generate(50, 2, seed=5)
+        assert [lst.items() for lst in a.lists] == [lst.items() for lst in b.lists]
+
+
+class TestSpecAndFactory:
+    def test_make_generator_kinds(self):
+        assert isinstance(make_generator("uniform"), UniformGenerator)
+        assert isinstance(make_generator("gaussian"), GaussianGenerator)
+        assert isinstance(make_generator("correlated", alpha=0.2), CorrelatedGenerator)
+        assert isinstance(make_generator("copula", rho=0.5), GaussianCopulaGenerator)
+
+    def test_make_generator_unknown(self):
+        with pytest.raises(GenerationError):
+            make_generator("lognormal")
+
+    def test_spec_builds_and_describes(self):
+        spec = GeneratorSpec("correlated", {"alpha": 0.01})
+        generator = spec.build()
+        assert isinstance(generator, CorrelatedGenerator)
+        assert "alpha=0.01" in spec.describe()
+        assert GeneratorSpec("uniform").describe() == "uniform"

@@ -1,0 +1,177 @@
+"""Tests for DynamicSortedList and DynamicDatabase."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import get_algorithm
+from repro.algorithms.naive import brute_force_topk
+from repro.dynamic import DynamicDatabase, DynamicSortedList
+from repro.errors import (
+    DuplicateItemError,
+    InconsistentListsError,
+    InvalidPositionError,
+    UnknownItemError,
+)
+from repro.lists.sorted_list import SortedList
+from repro.scoring import SUM
+
+
+class TestDynamicSortedList:
+    @pytest.fixture()
+    def lst(self) -> DynamicSortedList:
+        return DynamicSortedList(
+            [(10, 4.0), (20, 8.0), (30, 6.0), (40, 2.0)], name="dyn"
+        )
+
+    def test_matches_static_ordering(self, lst):
+        static = SortedList([(10, 4.0), (20, 8.0), (30, 6.0), (40, 2.0)])
+        assert lst.items() == static.items()
+        assert lst.scores() == static.scores()
+
+    def test_tie_break_matches_static(self):
+        pairs = [(3, 5.0), (1, 5.0), (2, 7.0)]
+        dynamic = DynamicSortedList(pairs)
+        static = SortedList(pairs)
+        assert dynamic.items() == static.items()
+
+    def test_entry_at_and_lookup(self, lst):
+        assert lst.entry_at(1).item == 20
+        assert lst.lookup(30) == (6.0, 2)
+        assert lst.position_of(40) == 4
+
+    def test_entry_at_out_of_range(self, lst):
+        with pytest.raises(InvalidPositionError):
+            lst.entry_at(5)
+
+    def test_lookup_unknown(self, lst):
+        with pytest.raises(UnknownItemError):
+            lst.lookup(99)
+
+    def test_insert_duplicate_rejected(self, lst):
+        with pytest.raises(DuplicateItemError):
+            lst.insert(10, 1.0)
+
+    def test_update_moves_item(self, lst):
+        lst.update(40, 9.0)
+        assert lst.position_of(40) == 1
+        assert lst.lookup(40) == (9.0, 1)
+
+    def test_update_to_same_score_is_noop(self, lst):
+        lst.update(20, 8.0)
+        assert lst.position_of(20) == 1
+
+    def test_update_unknown_raises(self, lst):
+        with pytest.raises(UnknownItemError):
+            lst.update(99, 1.0)
+
+    def test_remove(self, lst):
+        lst.remove(20)
+        assert len(lst) == 3
+        assert 20 not in lst
+        assert lst.entry_at(1).item == 30
+
+    def test_remove_unknown_raises(self, lst):
+        with pytest.raises(UnknownItemError):
+            lst.remove(99)
+
+    def test_apply_delta(self, lst):
+        lst.apply_delta(10, 5.0)  # 4 + 5 = 9 -> top
+        assert lst.position_of(10) == 1
+
+    def test_entries_iteration(self, lst):
+        entries = list(lst.entries())
+        assert [e.position for e in entries] == [1, 2, 3, 4]
+        assert [e.item for e in entries] == [20, 30, 10, 40]
+
+
+@given(
+    initial=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 100)),
+        min_size=1, max_size=30, unique_by=lambda pair: pair[0],
+    ),
+    updates=st.lists(
+        st.tuples(st.integers(0, 30), st.integers(0, 100)), max_size=30
+    ),
+)
+@settings(max_examples=50)
+def test_dynamic_list_matches_rebuilt_static(initial, updates):
+    dynamic = DynamicSortedList((item, float(s)) for item, s in initial)
+    model = {item: float(s) for item, s in initial}
+    for item, score in updates:
+        if item in model:
+            dynamic.update(item, float(score))
+            model[item] = float(score)
+    static = SortedList(model.items())
+    assert dynamic.items() == static.items()
+    assert dynamic.scores() == static.scores()
+    for item in model:
+        assert dynamic.lookup(item) == static.lookup(item)
+
+
+class TestDynamicDatabase:
+    @pytest.fixture()
+    def database(self) -> DynamicDatabase:
+        return DynamicDatabase.from_score_rows(
+            [
+                [9.0, 7.0, 5.0, 3.0],
+                [2.0, 9.0, 6.0, 4.0],
+            ]
+        )
+
+    def test_read_surface(self, database):
+        assert database.m == 2
+        assert database.n == 4
+        assert database.local_scores(1) == (7.0, 9.0)
+        assert database.item_ids == frozenset({0, 1, 2, 3})
+
+    def test_rejects_diverging_lists(self):
+        a = DynamicSortedList([(0, 1.0)])
+        b = DynamicSortedList([(1, 1.0)])
+        with pytest.raises(InconsistentListsError):
+            DynamicDatabase([a, b])
+
+    def test_algorithms_run_directly(self, database):
+        expected = [e.score for e in brute_force_topk(database, 2, SUM)]
+        for name in ("ta", "bpa", "bpa2"):
+            result = get_algorithm(name).run(database, 2, SUM)
+            assert list(result.scores) == pytest.approx(expected), name
+
+    def test_update_changes_answers(self, database):
+        before = get_algorithm("bpa2").run(database, 1, SUM)
+        assert before.items[0].item == 1  # 7 + 9 = 16
+        database.update_score(0, 3, 20.0)  # item 3: 20 + 4 = 24
+        after = get_algorithm("bpa2").run(database, 1, SUM)
+        assert after.items[0].item == 3
+
+    def test_insert_item_all_lists(self, database):
+        database.insert_item(9, [10.0, 10.0])
+        assert database.n == 5
+        result = get_algorithm("ta").run(database, 1, SUM)
+        assert result.items[0].item == 9
+
+    def test_insert_item_wrong_arity_rolls_back(self, database):
+        with pytest.raises(InconsistentListsError):
+            database.insert_item(9, [1.0])
+        assert database.n == 4
+
+    def test_insert_duplicate_rolls_back(self, database):
+        with pytest.raises(DuplicateItemError):
+            database.insert_item(0, [1.0, 1.0])
+        # Item 0 still has its original scores everywhere.
+        assert database.local_scores(0) == (9.0, 2.0)
+
+    def test_remove_item(self, database):
+        database.remove_item(1)
+        assert database.n == 3
+        assert database.item_ids == frozenset({0, 2, 3})
+
+    def test_continuous_agreement_under_updates(self, database):
+        rng_updates = [
+            (0, 2, 11.0), (1, 0, 8.0), (0, 0, 1.0), (1, 3, 9.5),
+        ]
+        for list_index, item, score in rng_updates:
+            database.update_score(list_index, item, score)
+            expected = [e.score for e in brute_force_topk(database, 2, SUM)]
+            result = get_algorithm("bpa").run(database, 2, SUM)
+            assert list(result.scores) == pytest.approx(expected)

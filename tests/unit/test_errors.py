@@ -1,0 +1,44 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.DatabaseError,
+    errors.InconsistentListsError,
+    errors.DuplicateItemError,
+    errors.UnknownItemError,
+    errors.InvalidPositionError,
+    errors.ExhaustedListError,
+    errors.ScoringError,
+    errors.NonMonotonicScoringError,
+    errors.InvalidQueryError,
+    errors.GenerationError,
+    errors.DistributedError,
+    errors.ProtocolError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_every_error_is_a_repro_error(error):
+    assert issubclass(error, errors.ReproError)
+
+
+def test_lookup_errors_are_also_stdlib_errors():
+    # Callers using KeyError/IndexError idioms keep working.
+    assert issubclass(errors.UnknownItemError, KeyError)
+    assert issubclass(errors.InvalidPositionError, IndexError)
+
+
+def test_specialization_chains():
+    assert issubclass(errors.DuplicateItemError, errors.DatabaseError)
+    assert issubclass(errors.NonMonotonicScoringError, errors.ScoringError)
+    assert issubclass(errors.ProtocolError, errors.DistributedError)
+
+
+def test_catching_base_catches_all():
+    for error in ALL_ERRORS:
+        with pytest.raises(errors.ReproError):
+            raise error("boom")

@@ -1,0 +1,150 @@
+"""Tests for the relational top-k layer."""
+
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.relational import Table
+from repro.relational.table import SchemaError
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table(
+        "restaurants",
+        {
+            "food": [4.0, 2.0, 5.0, 3.0],
+            "service": [3.0, 5.0, 4.0, 2.0],
+            "price": [30.0, 10.0, 50.0, 20.0],
+        },
+        labels={0: "Alpha", 1: "Beta", 2: "Gamma", 3: "Delta"},
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self, table):
+        assert table.name == "restaurants"
+        assert table.n_rows == 4
+        assert table.column_names == ("food", "service", "price")
+        assert len(table) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Table("empty", {})
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            Table("bad", {"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(SchemaError, match="not numeric"):
+            Table("bad", {"a": ["x", "y"]})
+
+    def test_from_rows(self):
+        table = Table.from_rows(
+            "t", [{"a": 1.0, "b": 2.0}, {"a": 3.0, "b": 4.0}]
+        )
+        assert table.n_rows == 2
+        assert table.column("a") == (1.0, 3.0)
+
+    def test_from_rows_rejects_schema_drift(self):
+        with pytest.raises(SchemaError, match="schema"):
+            Table.from_rows("t", [{"a": 1.0}, {"b": 2.0}])
+
+    def test_from_rows_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows("t", [])
+
+
+class TestRowAndColumnAccess:
+    def test_row(self, table):
+        assert table.row(2) == {"food": 5.0, "service": 4.0, "price": 50.0}
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(InvalidQueryError):
+            table.row(4)
+
+    def test_unknown_column(self, table):
+        with pytest.raises(SchemaError, match="no column"):
+            table.column("ambiance")
+
+    def test_labels(self, table):
+        assert table.label(0) == "Alpha"
+        Table("t", {"a": [1.0]}).label(0) == "row 0"
+
+
+class TestIndexes:
+    def test_index_is_cached(self, table):
+        first = table.index_for("food")
+        second = table.index_for("food")
+        assert first is second
+
+    def test_flipped_index_is_separate(self, table):
+        assert table.index_for("price") is not table.index_for(
+            "price", flipped=True
+        )
+
+    def test_flipped_index_ranks_small_values_first(self, table):
+        index = table.index_for("price", flipped=True)
+        assert index.item_at(1) == 1  # price 10 is best
+        assert index.item_at(4) == 2  # price 50 is worst
+
+
+class TestTopK:
+    def test_weighted_query(self, table):
+        result = table.topk(2, weights={"food": 1.0, "service": 1.0})
+        # food+service: Alpha 7, Beta 7, Gamma 9, Delta 5.
+        assert result.rows[0].id == 2
+        assert result.rows[0].score == 9.0
+        assert result.rows[0].label == "Gamma"
+        # Tie at 7 between rows 0 and 1 -> smaller id wins deterministically.
+        assert result.rows[1].id == 0
+
+    def test_values_projection(self, table):
+        result = table.topk(1, weights={"food": 1.0})
+        assert result.rows[0].values == {"food": 5.0}
+        assert result.columns == ("food",)
+
+    def test_minimize_price(self, table):
+        result = table.topk(1, weights={"price": 1.0}, minimize=("price",))
+        assert result.rows[0].id == 1  # cheapest
+
+    def test_minimize_must_be_weighted(self, table):
+        with pytest.raises(InvalidQueryError, match="minimize"):
+            table.topk(1, weights={"food": 1.0}, minimize=("price",))
+
+    def test_requires_weights(self, table):
+        with pytest.raises(InvalidQueryError):
+            table.topk(1, weights={})
+
+    @pytest.mark.parametrize("algorithm", ["ta", "bpa", "bpa2", "fa", "naive"])
+    def test_all_algorithms_agree(self, table, algorithm):
+        reference = table.topk(3, weights={"food": 2.0, "service": 1.0})
+        result = table.topk(
+            3, weights={"food": 2.0, "service": 1.0}, algorithm=algorithm
+        )
+        assert [r.score for r in result.rows] == pytest.approx(
+            [r.score for r in reference.rows]
+        )
+
+    def test_algorithm_options_forwarded(self, table):
+        result = table.topk(
+            1, weights={"food": 1.0}, algorithm="bpa", tracker="btree"
+        )
+        assert result.stats.algorithm == "bpa"
+
+    def test_stats_carry_tallies(self, table):
+        result = table.topk(2, weights={"food": 1.0, "service": 1.0})
+        assert result.stats.tally.total > 0
+        assert len(result) == 2
+        assert list(iter(result)) == list(result.rows)
+
+    def test_combined_maximize_minimize(self, table):
+        # High food, low price: Gamma has best food but worst price.
+        result = table.topk(
+            1,
+            weights={"food": 1.0, "price": 0.1},
+            minimize=("price",),
+        )
+        # scores: Alpha 4+2=6, Beta 2+4=6, Gamma 5+0=5, Delta 3+3=6.
+        assert result.rows[0].id == 0  # tie at 6 -> smallest id
+        assert result.rows[0].score == pytest.approx(6.0)

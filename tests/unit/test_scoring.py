@@ -1,0 +1,104 @@
+"""Unit tests for scoring functions and monotonicity checking."""
+
+import pytest
+
+from repro.errors import NonMonotonicScoringError, ScoringError
+from repro.scoring import (
+    AVERAGE,
+    MAX,
+    MIN,
+    SUM,
+    AverageScoring,
+    MaxScoring,
+    MinScoring,
+    ProductScoring,
+    SumScoring,
+    WeightedSumScoring,
+    check_monotonic,
+    ensure_monotonic,
+)
+
+
+class TestStockFunctions:
+    def test_sum(self):
+        assert SUM([1.0, 2.0, 3.0]) == 6.0
+
+    def test_min(self):
+        assert MIN([3.0, 1.0, 2.0]) == 1.0
+
+    def test_max(self):
+        assert MAX([3.0, 1.0, 2.0]) == 3.0
+
+    def test_average(self):
+        assert AVERAGE([1.0, 2.0, 3.0]) == 2.0
+
+    def test_product(self):
+        assert ProductScoring()([2.0, 3.0, 4.0]) == 24.0
+
+    def test_product_rejects_negative(self):
+        with pytest.raises(ScoringError):
+            ProductScoring()([2.0, -1.0])
+
+    def test_names(self):
+        assert SumScoring().name == "sum"
+        assert MinScoring().name == "min"
+        assert MaxScoring().name == "max"
+        assert AverageScoring().name == "avg"
+
+    def test_reprs_are_informative(self):
+        assert "Sum" in repr(SumScoring())
+        assert "weights" not in repr(MinScoring())
+
+
+class TestWeightedSum:
+    def test_applies_weights(self):
+        scoring = WeightedSumScoring([2.0, 0.5])
+        assert scoring([1.0, 4.0]) == 4.0
+
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ScoringError):
+            WeightedSumScoring([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ScoringError):
+            WeightedSumScoring([1.0, -0.1])
+
+    def test_rejects_arity_mismatch(self):
+        scoring = WeightedSumScoring([1.0, 1.0])
+        with pytest.raises(ScoringError):
+            scoring([1.0, 2.0, 3.0])
+
+    def test_weights_property_and_name(self):
+        scoring = WeightedSumScoring([1.0, 2.0])
+        assert scoring.weights == (1.0, 2.0)
+        assert "1" in scoring.name and "2" in scoring.name
+
+
+class _NonMonotonic:
+    name = "negsum"
+
+    def __call__(self, scores):
+        return -sum(scores)
+
+
+class TestMonotonicityChecking:
+    @pytest.mark.parametrize(
+        "function",
+        [SUM, MIN, MAX, AVERAGE, ProductScoring(), WeightedSumScoring([0.5, 2.0, 0.0])],
+        ids=lambda f: getattr(f, "name", "fn"),
+    )
+    def test_monotonic_functions_pass(self, function):
+        arity = 3
+        if isinstance(function, WeightedSumScoring):
+            arity = len(function.weights)
+        assert check_monotonic(function, arity)
+
+    def test_non_monotonic_function_fails(self):
+        assert not check_monotonic(_NonMonotonic(), 3)
+
+    def test_ensure_monotonic_raises_with_name(self):
+        with pytest.raises(NonMonotonicScoringError, match="negsum"):
+            ensure_monotonic(_NonMonotonic(), 2)
+
+    def test_ensure_monotonic_accepts_sum(self):
+        ensure_monotonic(SUM, 4)  # must not raise

@@ -1,0 +1,103 @@
+"""Unit tests for :class:`repro.lists.sorted_list.SortedList`."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateItemError,
+    InvalidPositionError,
+    UnknownItemError,
+)
+from repro.lists.sorted_list import SortedList
+
+
+@pytest.fixture(params=["dict", "btree"])
+def index_kind(request) -> str:
+    return request.param
+
+
+class TestConstruction:
+    def test_sorts_descending_by_score(self, index_kind):
+        lst = SortedList([(0, 1.0), (1, 3.0), (2, 2.0)], index_kind=index_kind)
+        assert lst.items() == (1, 2, 0)
+        assert lst.scores() == (3.0, 2.0, 1.0)
+
+    def test_ties_break_by_ascending_item_id(self, index_kind):
+        lst = SortedList([(3, 5.0), (1, 5.0), (2, 5.0)], index_kind=index_kind)
+        assert lst.items() == (1, 2, 3)
+
+    def test_duplicate_item_rejected(self):
+        with pytest.raises(DuplicateItemError):
+            SortedList([(1, 2.0), (1, 3.0)])
+
+    def test_from_scores_uses_index_as_item_id(self):
+        lst = SortedList.from_scores([5.0, 9.0, 7.0])
+        assert lst.items() == (1, 2, 0)
+
+    def test_unknown_index_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SortedList([(0, 1.0)], index_kind="hashmap")
+
+    def test_empty_list_is_allowed(self):
+        lst = SortedList([])
+        assert len(lst) == 0
+
+    def test_name_is_kept(self):
+        assert SortedList([(0, 1.0)], name="L7").name == "L7"
+
+
+class TestAccessPrimitives:
+    @pytest.fixture()
+    def lst(self, index_kind) -> SortedList:
+        return SortedList(
+            [(10, 4.0), (20, 8.0), (30, 6.0), (40, 2.0)], index_kind=index_kind
+        )
+
+    def test_entry_at_positions_are_one_based(self, lst):
+        assert lst.entry_at(1).item == 20
+        assert lst.entry_at(4).item == 40
+
+    def test_entry_at_returns_position_item_score(self, lst):
+        entry = lst.entry_at(2)
+        assert (entry.position, entry.item, entry.score) == (2, 30, 6.0)
+
+    @pytest.mark.parametrize("position", [0, -1, 5])
+    def test_entry_at_out_of_range(self, lst, position):
+        with pytest.raises(InvalidPositionError):
+            lst.entry_at(position)
+
+    def test_score_and_item_at(self, lst):
+        assert lst.score_at(3) == 4.0
+        assert lst.item_at(3) == 10
+
+    def test_position_of(self, lst):
+        assert lst.position_of(20) == 1
+        assert lst.position_of(40) == 4
+
+    def test_position_of_unknown_item(self, lst):
+        with pytest.raises(UnknownItemError):
+            lst.position_of(999)
+
+    def test_lookup_returns_score_and_position(self, lst):
+        assert lst.lookup(30) == (6.0, 2)
+
+    def test_contains(self, lst):
+        assert 10 in lst
+        assert 99 not in lst
+
+    def test_entries_iterates_in_rank_order(self, lst):
+        entries = list(lst.entries())
+        assert [e.position for e in entries] == [1, 2, 3, 4]
+        assert [e.item for e in entries] == [20, 30, 10, 40]
+        assert [e.score for e in entries] == [8.0, 6.0, 4.0, 2.0]
+
+
+class TestIndexKindsAgree:
+    def test_dict_and_btree_indexes_agree(self):
+        pairs = [(i * 3 % 41, float((i * 7) % 23)) for i in range(41)]
+        dict_list = SortedList(pairs, index_kind="dict")
+        btree_list = SortedList(pairs, index_kind="btree")
+        assert dict_list.items() == btree_list.items()
+        for item, _score in pairs:
+            assert dict_list.lookup(item) == btree_list.lookup(item)
+        assert dict_list.index_kind == "dict"
+        assert btree_list.index_kind == "btree"

@@ -1,0 +1,132 @@
+"""Tests for the on-disk list storage layer."""
+
+import struct
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.datagen import UniformGenerator
+from repro.errors import (
+    CorruptFileError,
+    InvalidPositionError,
+    StorageError,
+    UnknownItemError,
+)
+from repro.lists.database import Database
+from repro.scoring import SUM
+from repro.storage import open_database, save_database
+
+
+@pytest.fixture()
+def memory_db() -> Database:
+    return UniformGenerator().generate(60, 3, seed=21)
+
+
+@pytest.fixture()
+def db_path(memory_db, tmp_path):
+    path = tmp_path / "lists.bptk"
+    save_database(memory_db, path)
+    return path
+
+
+class TestRoundtrip:
+    def test_shape(self, db_path, memory_db):
+        with open_database(db_path) as disk:
+            assert disk.m == memory_db.m
+            assert disk.n == memory_db.n
+
+    def test_every_entry_matches(self, db_path, memory_db):
+        with open_database(db_path) as disk:
+            for mem_list, disk_list in zip(memory_db.lists, disk.lists):
+                for position in range(1, memory_db.n + 1):
+                    assert disk_list.entry_at(position) == mem_list.entry_at(position)
+
+    def test_lookup_matches(self, db_path, memory_db):
+        with open_database(db_path) as disk:
+            for item in sorted(memory_db.item_ids):
+                for mem_list, disk_list in zip(memory_db.lists, disk.lists):
+                    assert disk_list.lookup(item) == mem_list.lookup(item)
+
+    def test_items_and_scores(self, db_path, memory_db):
+        with open_database(db_path) as disk:
+            assert disk.lists[0].items() == memory_db.lists[0].items()
+            assert disk.lists[0].scores() == memory_db.lists[0].scores()
+            assert disk.item_ids == memory_db.item_ids
+
+    def test_contains(self, db_path):
+        with open_database(db_path) as disk:
+            assert 0 in disk.lists[0]
+            assert 999 not in disk.lists[0]
+
+    def test_save_a_disk_database(self, db_path, memory_db, tmp_path):
+        # save_database reads through the public API, so a DiskDatabase
+        # can itself be re-serialized losslessly.
+        copy_path = tmp_path / "copy.bptk"
+        with open_database(db_path) as disk:
+            save_database(disk, copy_path)
+        assert copy_path.read_bytes() == db_path.read_bytes()
+
+
+class TestAlgorithmsOnDisk:
+    @pytest.mark.parametrize("name", ("ta", "bpa", "bpa2", "fa", "naive"))
+    def test_same_answers_and_tallies_as_memory(self, db_path, memory_db, name):
+        algorithm = get_algorithm(name)
+        mem_result = algorithm.run(memory_db, 5, SUM)
+        with open_database(db_path) as disk:
+            disk_result = algorithm.run(disk, 5, SUM)
+        assert disk_result.same_scores(mem_result)
+        assert disk_result.tally == mem_result.tally
+        assert disk_result.stop_position == mem_result.stop_position
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            open_database(tmp_path / "nope.bptk")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bptk"
+        path.write_bytes(b"NOPE" + b"\x00" * 12)
+        with pytest.raises(CorruptFileError, match="magic"):
+            open_database(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bad.bptk"
+        path.write_bytes(struct.pack("<4sIII", b"BPTK", 99, 1, 1) + b"\x00" * 40)
+        with pytest.raises(CorruptFileError, match="version"):
+            open_database(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "tiny.bptk"
+        path.write_bytes(b"BP")
+        with pytest.raises(CorruptFileError, match="truncated"):
+            open_database(path)
+
+    def test_size_mismatch(self, db_path):
+        data = db_path.read_bytes()
+        db_path.write_bytes(data[:-8])
+        with pytest.raises(CorruptFileError, match="size"):
+            open_database(db_path)
+
+    def test_position_out_of_range(self, db_path):
+        with open_database(db_path) as disk:
+            with pytest.raises(InvalidPositionError):
+                disk.lists[0].entry_at(0)
+
+    def test_unknown_item(self, db_path):
+        with open_database(db_path) as disk:
+            with pytest.raises(UnknownItemError):
+                disk.lists[0].lookup(10_000)
+
+
+class TestLifecycle:
+    def test_context_manager_closes(self, db_path):
+        with open_database(db_path) as disk:
+            assert not disk.closed
+        assert disk.closed
+
+    def test_reads_after_close_fail(self, db_path):
+        disk = open_database(db_path)
+        disk.close()
+        with pytest.raises(ValueError):
+            disk.lists[0].entry_at(1)

@@ -1,0 +1,81 @@
+"""Unit tests for the running top-k set ``Y`` (TopKBuffer)."""
+
+import pytest
+
+from repro.algorithms.base import TopKBuffer
+from repro.errors import InvalidQueryError
+
+
+class TestBasics:
+    def test_rejects_k_below_one(self):
+        with pytest.raises(InvalidQueryError):
+            TopKBuffer(0)
+
+    def test_keeps_only_k_best(self):
+        buffer = TopKBuffer(2)
+        for item, score in [(1, 5.0), (2, 9.0), (3, 7.0), (4, 1.0)]:
+            buffer.add(item, score)
+        assert [e.item for e in buffer.ranked()] == [2, 3]
+
+    def test_ranked_is_score_descending(self):
+        buffer = TopKBuffer(3)
+        for item, score in [(1, 1.0), (2, 3.0), (3, 2.0)]:
+            buffer.add(item, score)
+        assert [e.score for e in buffer.ranked()] == [3.0, 2.0, 1.0]
+
+    def test_duplicate_adds_ignored(self):
+        buffer = TopKBuffer(2)
+        buffer.add(1, 5.0)
+        buffer.add(1, 5.0)
+        assert len(buffer) == 1
+
+    def test_contains(self):
+        buffer = TopKBuffer(1)
+        buffer.add(1, 5.0)
+        assert 1 in buffer
+        buffer.add(2, 9.0)
+        assert 1 not in buffer
+        assert 2 in buffer
+
+
+class TestTieBreaking:
+    def test_equal_scores_keep_smaller_item_id(self):
+        buffer = TopKBuffer(1)
+        buffer.add(9, 5.0)
+        buffer.add(3, 5.0)
+        assert buffer.ranked()[0].item == 3
+
+    def test_equal_scores_keep_smaller_id_regardless_of_order(self):
+        buffer = TopKBuffer(1)
+        buffer.add(3, 5.0)
+        buffer.add(9, 5.0)
+        assert buffer.ranked()[0].item == 3
+
+    def test_ranked_orders_ties_by_item_id(self):
+        buffer = TopKBuffer(3)
+        for item in (7, 2, 5):
+            buffer.add(item, 4.0)
+        assert [e.item for e in buffer.ranked()] == [2, 5, 7]
+
+
+class TestStopPredicates:
+    def test_kth_score_is_minus_inf_until_full(self):
+        buffer = TopKBuffer(3)
+        buffer.add(1, 10.0)
+        assert buffer.kth_score == float("-inf")
+        assert not buffer.is_full()
+
+    def test_kth_score_when_full(self):
+        buffer = TopKBuffer(2)
+        buffer.add(1, 10.0)
+        buffer.add(2, 4.0)
+        assert buffer.kth_score == 4.0
+        assert buffer.is_full()
+
+    def test_all_at_least(self):
+        buffer = TopKBuffer(2)
+        buffer.add(1, 10.0)
+        assert not buffer.all_at_least(1.0)  # not full yet
+        buffer.add(2, 4.0)
+        assert buffer.all_at_least(4.0)
+        assert not buffer.all_at_least(4.5)

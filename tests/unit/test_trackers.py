@@ -1,0 +1,130 @@
+"""Unit + property tests for the best-position trackers (paper §5.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.best_position import (
+    BitArrayTracker,
+    BPlusTreeTracker,
+    NaiveTracker,
+    make_tracker,
+)
+from repro.errors import InvalidPositionError
+
+ALL_KINDS = ("naive", "bitarray", "btree")
+
+
+@pytest.fixture(params=ALL_KINDS)
+def tracker_kind(request) -> str:
+    return request.param
+
+
+class TestBasics:
+    def test_starts_at_zero(self, tracker_kind):
+        tracker = make_tracker(tracker_kind, 10)
+        assert tracker.best_position == 0
+        assert tracker.seen_count == 0
+
+    def test_mark_position_one_advances(self, tracker_kind):
+        tracker = make_tracker(tracker_kind, 10)
+        tracker.mark(1)
+        assert tracker.best_position == 1
+
+    def test_gap_blocks_advance(self, tracker_kind):
+        tracker = make_tracker(tracker_kind, 10)
+        tracker.mark(1)
+        tracker.mark(3)
+        assert tracker.best_position == 1
+
+    def test_filling_gap_jumps_past_prefilled(self, tracker_kind):
+        tracker = make_tracker(tracker_kind, 10)
+        for position in (3, 4, 5, 1):
+            tracker.mark(position)
+        assert tracker.best_position == 1
+        tracker.mark(2)
+        assert tracker.best_position == 5
+
+    def test_duplicate_marks_are_noops(self, tracker_kind):
+        tracker = make_tracker(tracker_kind, 10)
+        tracker.mark(1)
+        tracker.mark(1)
+        assert tracker.seen_count == 1
+        assert tracker.best_position == 1
+
+    def test_is_seen(self, tracker_kind):
+        tracker = make_tracker(tracker_kind, 10)
+        tracker.mark(4)
+        assert tracker.is_seen(4)
+        assert not tracker.is_seen(5)
+
+    def test_full_coverage_reaches_n(self, tracker_kind):
+        n = 25
+        tracker = make_tracker(tracker_kind, n)
+        for position in range(n, 0, -1):
+            tracker.mark(position)
+        assert tracker.best_position == n
+        assert tracker.seen_count == n
+
+    @pytest.mark.parametrize("bad", [0, -3, 11])
+    def test_out_of_range_mark_rejected(self, tracker_kind, bad):
+        tracker = make_tracker(tracker_kind, 10)
+        with pytest.raises(InvalidPositionError):
+            tracker.mark(bad)
+
+    def test_paper_example3_positions(self, tracker_kind):
+        # P1 = {1, 4, 9} from Example 3 round 1: bp must be 1.
+        tracker = make_tracker(tracker_kind, 12)
+        for position in (1, 4, 9):
+            tracker.mark(position)
+        assert tracker.best_position == 1
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_tracker("naive", 5), NaiveTracker)
+        assert isinstance(make_tracker("bitarray", 5), BitArrayTracker)
+        assert isinstance(make_tracker("btree", 5), BPlusTreeTracker)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            make_tracker("bloom", 5)
+
+
+@given(
+    marks=st.lists(st.integers(1, 60), max_size=200),
+    n=st.just(60),
+)
+def test_all_trackers_agree_on_random_sequences(marks, n):
+    trackers = [make_tracker(kind, n) for kind in ALL_KINDS]
+    for position in marks:
+        for tracker in trackers:
+            tracker.mark(position)
+        best = {tracker.best_position for tracker in trackers}
+        assert len(best) == 1, f"trackers diverged: {best}"
+        counts = {tracker.seen_count for tracker in trackers}
+        assert len(counts) == 1
+
+
+@given(marks=st.lists(st.integers(1, 40), min_size=1, max_size=120))
+def test_best_position_matches_definition(marks):
+    """bp = largest p such that all of 1..p are marked (paper Section 4)."""
+    tracker = make_tracker("bitarray", 40)
+    seen: set[int] = set()
+    for position in marks:
+        tracker.mark(position)
+        seen.add(position)
+    expected = 0
+    while expected + 1 in seen:
+        expected += 1
+    assert tracker.best_position == expected
+
+
+@given(marks=st.lists(st.integers(1, 40), min_size=1, max_size=120))
+def test_best_position_is_monotone_nondecreasing(marks):
+    tracker = make_tracker("btree", 40)
+    previous = 0
+    for position in marks:
+        tracker.mark(position)
+        assert tracker.best_position >= previous
+        previous = tracker.best_position

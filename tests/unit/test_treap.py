@@ -1,0 +1,145 @@
+"""Unit + property tests for the order-statistic treap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dynamic.treap import OrderStatisticTreap
+
+_keys = st.integers(-300, 300)
+
+
+class TestBasics:
+    def test_empty(self):
+        treap = OrderStatisticTreap()
+        assert len(treap) == 0
+        assert not treap
+        assert 5 not in treap
+        assert list(treap) == []
+
+    def test_insert_and_contains(self):
+        treap = OrderStatisticTreap()
+        assert treap.insert(5)
+        assert 5 in treap
+        assert len(treap) == 1
+
+    def test_duplicate_insert_is_noop(self):
+        treap = OrderStatisticTreap()
+        treap.insert(5)
+        assert not treap.insert(5)
+        assert len(treap) == 1
+
+    def test_delete(self):
+        treap = OrderStatisticTreap()
+        treap.insert(5)
+        assert treap.delete(5)
+        assert 5 not in treap
+        assert not treap.delete(5)
+
+    def test_iteration_is_sorted(self):
+        treap = OrderStatisticTreap()
+        for key in (7, 1, 9, 3, 5):
+            treap.insert(key)
+        assert list(treap) == [1, 3, 5, 7, 9]
+
+    def test_tuple_keys(self):
+        treap = OrderStatisticTreap()
+        treap.insert((-2.0, 1))
+        treap.insert((-3.0, 0))
+        treap.insert((-2.0, 0))
+        assert list(treap) == [(-3.0, 0), (-2.0, 0), (-2.0, 1)]
+
+
+class TestRankSelect:
+    @pytest.fixture()
+    def treap(self) -> OrderStatisticTreap:
+        treap = OrderStatisticTreap()
+        for key in (10, 20, 30, 40, 50):
+            treap.insert(key)
+        return treap
+
+    def test_rank(self, treap):
+        assert treap.rank(10) == 1
+        assert treap.rank(30) == 3
+        assert treap.rank(50) == 5
+
+    def test_rank_of_missing_raises(self, treap):
+        with pytest.raises(KeyError):
+            treap.rank(35)
+
+    def test_select(self, treap):
+        assert treap.select(1) == 10
+        assert treap.select(5) == 50
+
+    @pytest.mark.parametrize("rank", [0, 6, -1])
+    def test_select_out_of_range(self, treap, rank):
+        with pytest.raises(IndexError):
+            treap.select(rank)
+
+    def test_rank_select_roundtrip(self, treap):
+        for rank in range(1, 6):
+            assert treap.rank(treap.select(rank)) == rank
+
+
+class TestDeterminism:
+    def test_same_inputs_build_same_tree(self):
+        a = OrderStatisticTreap()
+        b = OrderStatisticTreap()
+        for key in range(100):
+            a.insert(key)
+        for key in reversed(range(100)):
+            b.insert(key)
+        assert list(a) == list(b)
+        a.validate()
+        b.validate()
+
+    def test_reasonable_balance(self):
+        # With splitmix priorities, 4096 sequential inserts must not
+        # degenerate (validated indirectly: rank/select stay fast and
+        # validate() passes; depth itself is not part of the API).
+        treap = OrderStatisticTreap()
+        for key in range(4096):
+            treap.insert(key)
+        treap.validate()
+        assert treap.rank(4095) == 4096
+
+
+@given(keys=st.lists(_keys))
+def test_matches_sorted_set_model(keys):
+    treap = OrderStatisticTreap()
+    model: set[int] = set()
+    for key in keys:
+        assert treap.insert(key) == (key not in model)
+        model.add(key)
+    assert list(treap) == sorted(model)
+    treap.validate()
+
+
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), _keys), max_size=150
+    )
+)
+def test_mixed_operations_match_model(operations):
+    treap = OrderStatisticTreap()
+    model: set[int] = set()
+    for op, key in operations:
+        if op == "insert":
+            assert treap.insert(key) == (key not in model)
+            model.add(key)
+        else:
+            assert treap.delete(key) == (key in model)
+            model.discard(key)
+    assert list(treap) == sorted(model)
+    treap.validate()
+
+
+@given(keys=st.lists(_keys, min_size=1, unique=True))
+def test_rank_select_match_model(keys):
+    treap = OrderStatisticTreap()
+    for key in keys:
+        treap.insert(key)
+    ordered = sorted(keys)
+    for index, key in enumerate(ordered, start=1):
+        assert treap.rank(key) == index
+        assert treap.select(index) == key

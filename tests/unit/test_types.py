@@ -1,0 +1,120 @@
+"""Unit tests for the typed primitives in :mod:`repro.types`."""
+
+import math
+
+import pytest
+
+from repro.types import (
+    AccessTally,
+    CostModel,
+    ScoredItem,
+    TopKResult,
+    rank_items,
+)
+
+
+class TestAccessTally:
+    def test_defaults_are_zero(self):
+        tally = AccessTally()
+        assert tally.sorted == 0
+        assert tally.random == 0
+        assert tally.direct == 0
+        assert tally.total == 0
+
+    def test_total_sums_all_modes(self):
+        assert AccessTally(sorted=3, random=5, direct=7).total == 15
+
+    def test_addition_is_componentwise(self):
+        combined = AccessTally(1, 2, 3) + AccessTally(10, 20, 30)
+        assert combined == AccessTally(11, 22, 33)
+
+    def test_addition_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            AccessTally() + 5  # noqa: B018 - intentional misuse
+
+    def test_copy_is_independent(self):
+        original = AccessTally(1, 1, 1)
+        clone = original.copy()
+        clone.sorted = 99
+        assert original.sorted == 1
+
+
+class TestCostModel:
+    def test_paper_model_uses_log2_n(self):
+        model = CostModel.paper(1024)
+        assert model.sorted_cost == 1.0
+        assert model.random_cost == pytest.approx(10.0)
+
+    def test_paper_model_handles_n_1(self):
+        assert CostModel.paper(1).random_cost == 1.0
+
+    def test_paper_model_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            CostModel.paper(0)
+
+    def test_execution_cost_formula(self):
+        model = CostModel(sorted_cost=1.0, random_cost=4.0)
+        cost = model.execution_cost(AccessTally(sorted=10, random=5))
+        assert cost == 10 * 1.0 + 5 * 4.0
+
+    def test_direct_defaults_to_random_cost(self):
+        model = CostModel(sorted_cost=1.0, random_cost=4.0)
+        assert model.execution_cost(AccessTally(direct=3)) == 12.0
+
+    def test_direct_cost_override(self):
+        model = CostModel(sorted_cost=1.0, random_cost=4.0, direct_cost=2.0)
+        assert model.execution_cost(AccessTally(direct=3)) == 6.0
+
+
+def _result(scores, algorithm="x"):
+    items = tuple(ScoredItem(item=i, score=s) for i, s in enumerate(scores))
+    return TopKResult(
+        items=items,
+        tally=AccessTally(sorted=1),
+        rounds=1,
+        stop_position=1,
+        algorithm=algorithm,
+    )
+
+
+class TestTopKResult:
+    def test_accessors(self):
+        result = _result([9.0, 5.0])
+        assert result.k == 2
+        assert result.item_ids == (0, 1)
+        assert result.scores == (9.0, 5.0)
+
+    def test_same_scores_tolerates_float_noise(self):
+        assert _result([1.0, 2.0]).same_scores(_result([1.0 + 1e-12, 2.0]))
+
+    def test_same_scores_rejects_different_values(self):
+        assert not _result([1.0, 2.0]).same_scores(_result([1.0, 2.5]))
+
+    def test_same_scores_rejects_different_k(self):
+        assert not _result([1.0]).same_scores(_result([1.0, 2.0]))
+
+    def test_execution_cost_delegates_to_model(self):
+        model = CostModel(sorted_cost=7.0, random_cost=1.0)
+        assert _result([1.0]).execution_cost(model) == 7.0
+
+
+class TestScoredItem:
+    def test_unpacking(self):
+        item, score = ScoredItem(item=4, score=2.5)
+        assert item == 4
+        assert score == 2.5
+
+
+class TestRankItems:
+    def test_sorts_by_score_descending(self):
+        assert rank_items([1.0, 3.0, 2.0]) == [1, 2, 0]
+
+    def test_ties_break_by_item_id(self):
+        assert rank_items([5.0, 5.0, 7.0, 5.0]) == [2, 0, 1, 3]
+
+    def test_empty(self):
+        assert rank_items([]) == []
+
+    def test_nan_free_floats(self):
+        ranked = rank_items([math.pi, math.e, math.tau])
+        assert ranked == [2, 0, 1]
