@@ -1,0 +1,7 @@
+"""Figure benchmarks as a package.
+
+The ``__init__.py`` makes pytest import these modules as
+``benchmarks.test_*`` instead of top-level ``test_*``, so basenames can
+never collide with the tier-1 modules under ``tests/`` (both trees have a
+``test_quick_combine.py``).  Run standalone with ``pytest benchmarks``.
+"""

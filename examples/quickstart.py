@@ -5,6 +5,39 @@ one top-k query with each algorithm, and compares the three metrics the
 paper evaluates: execution cost, number of accesses, response time.
 
 Run:  python examples/quickstart.py
+
+The doctest below is the smallest end-to-end session; CI executes it on
+every push (``tests/integration/test_quickstart_doctest.py``), so this
+example cannot silently rot.  Everything is seeded, so the output is
+exact:
+
+>>> from repro import BestPositionAlgorithm, SUM, UniformGenerator
+>>> database = UniformGenerator().generate(n=200, m=3, seed=7)
+>>> result = BestPositionAlgorithm().run(database, k=3, scoring=SUM)
+>>> result.item_ids
+(16, 7, 134)
+>>> [round(score, 4) for score in result.scores]
+[2.6934, 2.585, 2.576]
+>>> result.stop_position <= 200 and result.tally.random == result.tally.sorted * 2
+True
+
+The same query through the NumPy columnar backend returns the identical
+answer with the identical access tally:
+
+>>> from repro import ColumnarDatabase, fast_bpa
+>>> result == fast_bpa(ColumnarDatabase.from_database(database), 3, SUM)
+True
+
+Batching many queries over one database amortizes the columnar
+precomputation (see ``repro-topk bench compare-backends``):
+
+>>> from repro import BatchRunner, QuerySpec
+>>> report = BatchRunner(database, backend="columnar").run(
+...     [QuerySpec("bpa2", k=k) for k in (1, 5, 10)])
+>>> report.queries, report.kernel_queries
+(3, 3)
+>>> report.results[0].item_ids
+(16,)
 """
 
 import time

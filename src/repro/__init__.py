@@ -34,10 +34,19 @@ from repro.core import (
     NaiveTracker,
     make_tracker,
 )
+from repro.bench.batch import BatchRunner, QuerySpec, compare_backends
+from repro.columnar import (
+    ColumnarDatabase,
+    ColumnarList,
+    fast_bpa,
+    fast_bpa2,
+    fast_ta,
+)
 from repro.datagen import (
     CorrelatedGenerator,
     GaussianGenerator,
     UniformGenerator,
+    ZipfGenerator,
     figure1_database,
     figure2_database,
 )
@@ -81,6 +90,8 @@ __all__ = [
     # data
     "Database",
     "SortedList",
+    "ColumnarDatabase",
+    "ColumnarList",
     "DynamicDatabase",
     "DynamicSortedList",
     "save_database",
@@ -88,8 +99,16 @@ __all__ = [
     "UniformGenerator",
     "GaussianGenerator",
     "CorrelatedGenerator",
+    "ZipfGenerator",
     "figure1_database",
     "figure2_database",
+    # vectorized kernels & batching
+    "fast_ta",
+    "fast_bpa",
+    "fast_bpa2",
+    "BatchRunner",
+    "QuerySpec",
+    "compare_backends",
     # scoring
     "SumScoring",
     "WeightedSumScoring",

@@ -144,6 +144,20 @@ class TopKAlgorithm(ABC):
     ) -> tuple[tuple[ScoredItem, ...], int, int, dict]:
         """Algorithm body: returns (items, rounds, stop_position, extras)."""
 
+    def fast_kernel(self) -> str | None:
+        """Name of the vectorized columnar kernel equivalent to this
+        instance's configuration, or ``None`` when no exact kernel exists
+        (non-default options, or no kernel written yet).
+
+        When non-None, :func:`repro.columnar.engine.get_kernel` returns a
+        callable producing results *identical* to :meth:`run` — same
+        ranked top-k, same access tallies, same extras — on a
+        :class:`repro.columnar.ColumnarDatabase`.  The batch runner
+        (:class:`repro.bench.batch.BatchRunner`) dispatches through this
+        hook; the equivalence is enforced by ``tests/differential/``.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

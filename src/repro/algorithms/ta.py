@@ -63,6 +63,12 @@ class ThresholdAlgorithm(TopKAlgorithm):
         """The theta-approximation factor (1.0 = exact)."""
         return self._theta
 
+    def fast_kernel(self) -> str | None:
+        """``"ta"`` for the exact paper configuration, else ``None``."""
+        if not self._memoize and self._theta == 1.0:
+            return "ta"
+        return None
+
     def _execute(self, accessor: DatabaseAccessor, k, scoring):
         m = accessor.m
         n = accessor.n

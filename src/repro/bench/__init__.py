@@ -12,6 +12,13 @@ Run from the command line::
     REPRO_SCALE=paper python -m repro figure fig3   # full paper scale
 """
 
+from repro.bench.batch import (
+    BatchReport,
+    BatchRunner,
+    QuerySpec,
+    compare_backends,
+    default_query_batch,
+)
 from repro.bench.config import PAPER_DEFAULTS, Scale, resolve_scale
 from repro.bench.harness import Experiment, ResultRow, ResultTable
 from repro.bench.experiments import get_figure, list_figures
@@ -25,4 +32,9 @@ __all__ = [
     "ResultTable",
     "get_figure",
     "list_figures",
+    "BatchRunner",
+    "BatchReport",
+    "QuerySpec",
+    "default_query_batch",
+    "compare_backends",
 ]

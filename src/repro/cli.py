@@ -8,6 +8,7 @@ Examples::
     repro-topk paper-examples
     repro-topk adversarial --m 6 --u 5
     repro-topk distributed --n 2000 --m 6 --k 10
+    repro-topk bench compare-backends --n 10000 --m 3 --queries 100
 
 (Equivalently ``python -m repro ...``.)
 """
@@ -37,7 +38,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="run one top-k query and report costs")
     query.add_argument("--generator", default="uniform",
-                       choices=("uniform", "gaussian", "correlated"))
+                       choices=("uniform", "gaussian", "correlated", "zipf"))
     query.add_argument("--alpha", type=float, default=0.01,
                        help="correlation parameter (correlated generator only)")
     query.add_argument("--n", type=int, default=10_000)
@@ -84,6 +85,29 @@ def _build_parser() -> argparse.ArgumentParser:
     distributed.add_argument("--generator", default="uniform",
                              choices=("uniform", "gaussian", "correlated"))
     distributed.add_argument("--alpha", type=float, default=0.01)
+
+    bench = sub.add_parser(
+        "bench", help="throughput benchmarks over the storage backends"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    compare = bench_sub.add_parser(
+        "compare-backends",
+        help="batch the same queries through the pure-Python and columnar "
+             "backends, verify identical results, report the speedup",
+    )
+    compare.add_argument("--n", type=int, default=10_000)
+    compare.add_argument("--m", type=int, default=3)
+    compare.add_argument("--k", type=int, default=20,
+                         help="queries cycle k over 1..K")
+    compare.add_argument("--queries", type=int, default=100)
+    compare.add_argument("--algorithm", default="bpa2")
+    compare.add_argument("--generator", default="uniform",
+                         choices=("uniform", "gaussian", "correlated", "zipf"))
+    compare.add_argument("--seed", type=int, default=42)
+    compare.add_argument("--repeats", type=int, default=3,
+                         help="time each backend this many times, keep the best")
+    compare.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the JSON report to FILE")
 
     return parser
 
@@ -230,6 +254,56 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.batch import compare_backends
+
+    if args.algorithm not in known_algorithms():
+        print(f"unknown algorithm {args.algorithm!r}; known: {known_algorithms()}",
+              file=sys.stderr)
+        return 2
+    if not 1 <= args.k <= args.n:
+        print(f"--k must be in 1..{args.n} (got {args.k})", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print(f"--queries must be >= 1 (got {args.queries})", file=sys.stderr)
+        return 2
+    report = compare_backends(
+        n=args.n,
+        m=args.m,
+        queries=args.queries,
+        k=args.k,
+        algorithm=args.algorithm,
+        generator=args.generator,
+        seed=args.seed,
+        repeats=args.repeats,
+    )
+    python_side = report["python_backend"]
+    columnar_side = report["columnar_backend"]
+    print(f"batch: {args.queries} x {args.algorithm} queries, "
+          f"{args.generator} n={args.n:,} m={args.m}, k cycling 1..{args.k}")
+    print(f"{'backend':>10} {'seconds':>10} {'queries/s':>12} {'kernel':>8}")
+    print(f"{'python':>10} {python_side['seconds']:>10.3f} "
+          f"{python_side['queries_per_second']:>12,.0f} {'-':>8}")
+    print(f"{'columnar':>10} {columnar_side['seconds']:>10.3f} "
+          f"{columnar_side['queries_per_second']:>12,.0f} "
+          f"{columnar_side['vectorized_kernel_queries']:>8}")
+    print(f"speedup: {report['speedup']:.2f}x  "
+          f"(results identical: {report['results_identical']})")
+    if not report["results_identical"]:
+        print("ERROR: backends disagree — this is a bug", file=sys.stderr)
+        return 1
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"report written to {out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -240,6 +314,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "adversarial": _cmd_adversarial,
         "trace": _cmd_trace,
         "distributed": _cmd_distributed,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,38 @@
+"""NumPy-backed columnar storage backend.
+
+Stores each sorted list as contiguous ``scores``/``items`` arrays plus
+an item→position index, behind the exact same access protocol as the
+pure-Python backend — every registered algorithm runs on either,
+unchanged, with identical results and identical metered access tallies
+(proven by ``tests/differential/``).  On top of the shared protocol:
+
+* :class:`ColumnarList` / :class:`ColumnarDatabase` — the storage, with
+  vectorized batched lookups, block prefetch and whole-database
+  score/position matrices;
+* :mod:`repro.columnar.engine` — kernels (:func:`fast_ta`,
+  :func:`fast_bpa`, :func:`fast_bpa2`) that replay the reference
+  algorithms' access sequences over precomputed columns, sharing one
+  :class:`QueryContext` across a batch of queries.
+"""
+
+from repro.columnar.columnar_list import ColumnarList
+from repro.columnar.database import ColumnarDatabase
+from repro.columnar.engine import (
+    KERNELS,
+    QueryContext,
+    fast_bpa,
+    fast_bpa2,
+    fast_ta,
+    get_kernel,
+)
+
+__all__ = [
+    "ColumnarList",
+    "ColumnarDatabase",
+    "QueryContext",
+    "fast_ta",
+    "fast_bpa",
+    "fast_bpa2",
+    "get_kernel",
+    "KERNELS",
+]

@@ -1,0 +1,283 @@
+"""One sorted list stored as contiguous NumPy columns.
+
+:class:`ColumnarList` is the columnar twin of
+:class:`repro.lists.sorted_list.SortedList`: the same canonical layout
+(score descending, ties broken by ascending item id), the same scalar
+access primitives (``entry_at`` / ``lookup`` / ``position_of``), and the
+same typed errors — so :class:`repro.lists.accessor.ListAccessor` and
+every algorithm built on it run unchanged.  On top of the scalar
+protocol it exposes vectorized fast paths over the raw arrays:
+
+* :meth:`lookup_many` — batched random access, one NumPy gather;
+* :meth:`block` — block sorted-access prefetch of a position range;
+* :attr:`scores_array` / :attr:`items_array` — zero-copy column views.
+
+Scalar accesses read from plain-list mirrors of the columns: algorithms
+doing per-entry Python loops pay list-indexing cost (same as the
+pure-Python backend) instead of NumPy scalar-boxing cost, keeping the
+generic path competitive while the array views feed the vectorized one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    DuplicateItemError,
+    InvalidPositionError,
+    UnknownItemError,
+)
+from repro.types import ItemId, ListEntry, Position, Score
+
+
+class ColumnarList:
+    """An immutable sorted list backed by ``items``/``scores`` arrays.
+
+    Args:
+        entries: `(item, score)` pairs in any order; sorted by
+            (score desc, item asc), exactly like ``SortedList``.
+        name: optional label used in reports (e.g. ``"L1"``).
+    """
+
+    __slots__ = (
+        "_items",
+        "_scores",
+        "_uids",
+        "_rank_by_row",
+        "_dense",
+        "_name",
+        "_items_list",
+        "_scores_list",
+    )
+
+    def __init__(
+        self,
+        entries: Iterable[tuple[ItemId, Score]],
+        *,
+        name: str = "",
+    ) -> None:
+        pairs = list(entries)
+        items = np.asarray([pair[0] for pair in pairs], dtype=np.int64)
+        scores = np.asarray([pair[1] for pair in pairs], dtype=np.float64)
+        self._init_from_arrays(items, scores, name)
+
+    def _init_from_arrays(
+        self, items: np.ndarray, scores: np.ndarray, name: str
+    ) -> None:
+        # Canonical layout: lexsort's last key is primary, so this sorts
+        # by score descending, then item id ascending — byte-identical to
+        # SortedList's ``sorted(..., key=lambda p: (-p[1], p[0]))``.
+        order = np.lexsort((items, -scores))
+        self._items = np.ascontiguousarray(items[order])
+        self._scores = np.ascontiguousarray(scores[order])
+        self._name = name
+        n = self._items.shape[0]
+        self._uids = np.sort(items)
+        if n and not (np.diff(self._uids) > 0).all():
+            duplicated = self._uids[:-1][np.diff(self._uids) == 0]
+            raise DuplicateItemError(
+                f"item {int(duplicated[0])} appears more than once "
+                f"in list {name or '?'}"
+            )
+        self._dense = bool(
+            n == 0 or (int(self._uids[0]) == 0 and int(self._uids[-1]) == n - 1)
+        )
+        # rank_by_row[row] = 0-based rank of the item with id uids[row].
+        rank_by_row = np.empty(n, dtype=np.int64)
+        rows_in_rank_order = (
+            self._items if self._dense
+            else np.searchsorted(self._uids, self._items)
+        )
+        rank_by_row[rows_in_rank_order] = np.arange(n, dtype=np.int64)
+        self._rank_by_row = rank_by_row
+        # Plain-list mirrors for the scalar access primitives.
+        self._items_list: list[int] = self._items.tolist()
+        self._scores_list: list[float] = self._scores.tolist()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_scores(cls, scores: Sequence[Score], *, name: str = "") -> "ColumnarList":
+        """Build a list from a dense score vector indexed by item id."""
+        vector = np.asarray(scores, dtype=np.float64)
+        instance = cls.__new__(cls)
+        instance._init_from_arrays(
+            np.arange(vector.shape[0], dtype=np.int64), vector, name
+        )
+        return instance
+
+    @classmethod
+    def from_sorted_list(cls, sorted_list) -> "ColumnarList":
+        """Convert a :class:`repro.lists.sorted_list.SortedList`."""
+        instance = cls.__new__(cls)
+        instance._init_from_arrays(
+            np.asarray(sorted_list.items(), dtype=np.int64),
+            np.asarray(sorted_list.scores(), dtype=np.float64),
+            sorted_list.name,
+        )
+        return instance
+
+    # ------------------------------------------------------------------
+    # Introspection (SortedList-compatible)
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable list label."""
+        return self._name
+
+    def __len__(self) -> int:
+        return len(self._items_list)
+
+    def __contains__(self, item: ItemId) -> bool:
+        return self._row_of(item) is not None
+
+    def items(self) -> tuple[ItemId, ...]:
+        """All item ids in rank order (best first)."""
+        return tuple(self._items_list)
+
+    def scores(self) -> tuple[Score, ...]:
+        """All local scores in rank order (descending)."""
+        return tuple(self._scores_list)
+
+    def entries(self) -> Iterator[ListEntry]:
+        """Iterate the whole list as :class:`ListEntry` records."""
+        for idx, (item, score) in enumerate(zip(self._items_list, self._scores_list)):
+            yield ListEntry(position=idx + 1, item=item, score=score)
+
+    # ------------------------------------------------------------------
+    # Scalar access primitives (SortedList-compatible)
+    # ------------------------------------------------------------------
+
+    def entry_at(self, position: Position) -> ListEntry:
+        """The entry at a 1-based position (direct access primitive)."""
+        if not 1 <= position <= len(self._items_list):
+            raise InvalidPositionError(
+                f"position {position} out of range 1..{len(self._items_list)}"
+            )
+        idx = position - 1
+        return ListEntry(
+            position=position,
+            item=self._items_list[idx],
+            score=self._scores_list[idx],
+        )
+
+    def score_at(self, position: Position) -> Score:
+        """Local score at a 1-based position."""
+        return self.entry_at(position).score
+
+    def item_at(self, position: Position) -> ItemId:
+        """Item id at a 1-based position."""
+        return self.entry_at(position).item
+
+    def position_of(self, item: ItemId) -> Position:
+        """1-based position of ``item`` (random access primitive)."""
+        row = self._row_of(item)
+        if row is None:
+            raise UnknownItemError(f"item {item} not in list {self._name or '?'}")
+        return int(self._rank_by_row[row]) + 1
+
+    def lookup(self, item: ItemId) -> tuple[Score, Position]:
+        """Local score and position of ``item`` (random access primitive)."""
+        position = self.position_of(item)
+        return self._scores_list[position - 1], position
+
+    def _row_of(self, item: ItemId) -> int | None:
+        n = len(self._items_list)
+        if self._dense:
+            # NumPy integers must work too (e.g. ids read back from
+            # uids_array), exactly as they do on the searchsorted path
+            # and on the dict-indexed python backend.
+            if isinstance(item, (int, np.integer)) and 0 <= item < n:
+                return int(item)
+            return None
+        row = int(np.searchsorted(self._uids, item))
+        if row < n and int(self._uids[row]) == item:
+            return row
+        return None
+
+    # ------------------------------------------------------------------
+    # Vectorized fast paths
+    # ------------------------------------------------------------------
+
+    @property
+    def scores_array(self) -> np.ndarray:
+        """Read-only float64 view of the scores in rank order."""
+        view = self._scores.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def items_array(self) -> np.ndarray:
+        """Read-only int64 view of the item ids in rank order."""
+        view = self._items.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def uids_array(self) -> np.ndarray:
+        """Read-only int64 view of the item ids in ascending id order."""
+        view = self._uids.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def rank_by_row(self) -> np.ndarray:
+        """0-based rank of each item, indexed by its row in ``uids_array``."""
+        view = self._rank_by_row.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def dense_ids(self) -> bool:
+        """Whether the item ids are exactly ``0..n-1``."""
+        return self._dense
+
+    def rows_of(self, items: np.ndarray) -> np.ndarray:
+        """Dense row index (into ``uids_array``) of each item id."""
+        items = np.asarray(items, dtype=np.int64)
+        n = len(self._items_list)
+        if self._dense:
+            if items.size and (int(items.min()) < 0 or int(items.max()) >= n):
+                bad = items[(items < 0) | (items >= n)]
+                raise UnknownItemError(
+                    f"item {int(bad[0])} not in list {self._name or '?'}"
+                )
+            return items
+        rows = np.searchsorted(self._uids, items)
+        ok = (rows < n) & (self._uids[np.minimum(rows, n - 1)] == items)
+        if not bool(ok.all()):
+            bad = items[~ok]
+            raise UnknownItemError(
+                f"item {int(bad[0])} not in list {self._name or '?'}"
+            )
+        return rows
+
+    def lookup_many(self, items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Batched random access: (scores, 1-based positions) per item."""
+        ranks = self._rank_by_row[self.rows_of(items)]
+        return self._scores[ranks], ranks + 1
+
+    def block(
+        self, start: Position, count: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Block sorted-access prefetch of positions ``start..start+count-1``.
+
+        Returns ``(positions, items, scores)`` arrays, clipped at the end
+        of the list.  ``start`` is 1-based like every position.
+        """
+        if start < 1:
+            raise InvalidPositionError(f"block start must be >= 1, got {start}")
+        if count < 0:
+            raise InvalidPositionError(f"block count must be >= 0, got {count}")
+        stop = min(start - 1 + count, len(self._items_list))
+        idx = np.arange(start - 1, stop, dtype=np.int64)
+        return idx + 1, self._items[idx], self._scores[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self._name or "ColumnarList"
+        return f"<{label} (columnar): {len(self._items_list)} items>"

@@ -1,0 +1,220 @@
+"""A columnar database: ``m`` :class:`ColumnarList` columns, one item set.
+
+Drop-in twin of :class:`repro.lists.database.Database` — the same
+validation, the same introspection API — so
+:class:`repro.lists.accessor.DatabaseAccessor` and every registered
+algorithm accept either backend interchangeably.  The columnar extras
+feed the vectorized engine:
+
+* :meth:`score_matrix` — the ``(m, n)`` local-score matrix, one column
+  per item (in ascending item-id order);
+* :meth:`position_matrix` — the ``(m, n)`` matrix of 0-based ranks;
+* :meth:`overall_scores` — per-item overall scores under a scoring
+  function, evaluated column-wise.
+
+Conversions: :meth:`from_database` / :meth:`to_database` move between
+the backends; both directions preserve the canonical (score desc, item
+asc) layout bit-for-bit, which the differential suite under
+``tests/differential/`` asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.columnar.columnar_list import ColumnarList
+from repro.errors import InconsistentListsError
+from repro.scoring import ScoringFunction
+from repro.types import ItemId, Score
+
+
+class ColumnarDatabase:
+    """An immutable collection of ``m`` columnar lists over ``n`` items.
+
+    Args:
+        lists: the columnar lists; all must contain exactly the same items.
+        labels: optional mapping from item id to a display label.
+    """
+
+    __slots__ = ("_lists", "_labels", "_item_ids", "_score_matrix", "_position_matrix")
+
+    def __init__(
+        self,
+        lists: Sequence[ColumnarList],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+    ) -> None:
+        if not lists:
+            raise InconsistentListsError("a database needs at least one list")
+        reference = lists[0].uids_array
+        for columnar_list in lists[1:]:
+            if not np.array_equal(columnar_list.uids_array, reference):
+                raise InconsistentListsError(
+                    "all lists of a database must contain the same items "
+                    f"(list {columnar_list.name or '?'} differs)"
+                )
+        self._lists: tuple[ColumnarList, ...] = tuple(lists)
+        self._labels = dict(labels) if labels else {}
+        self._item_ids: frozenset[ItemId] = frozenset(reference.tolist())
+        self._score_matrix: np.ndarray | None = None
+        self._position_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_score_rows(
+        cls,
+        score_rows: Sequence[Sequence[Score]],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+    ) -> "ColumnarDatabase":
+        """Build a database from ``m`` dense score vectors.
+
+        ``score_rows[i][d]`` is the local score of item ``d`` in list ``i``
+        — the same entry point as ``Database.from_score_rows``.
+        """
+        lists = [
+            ColumnarList.from_scores(row, name=f"L{i + 1}")
+            for i, row in enumerate(score_rows)
+        ]
+        return cls(lists, labels=labels)
+
+    @classmethod
+    def from_ranked_lists(
+        cls,
+        ranked: Sequence[Sequence[tuple[ItemId, Score]]],
+        *,
+        labels: Mapping[ItemId, str] | None = None,
+    ) -> "ColumnarDatabase":
+        """Build a database from explicit per-list rankings."""
+        lists = [
+            ColumnarList(entries, name=f"L{i + 1}")
+            for i, entries in enumerate(ranked)
+        ]
+        return cls(lists, labels=labels)
+
+    @classmethod
+    def from_database(cls, database) -> "ColumnarDatabase":
+        """Convert a row-oriented :class:`repro.lists.database.Database`."""
+        lists = [
+            ColumnarList.from_sorted_list(sorted_list)
+            for sorted_list in database.lists
+        ]
+        labels = {item: database.label(item) for item in database.item_ids}
+        defaults = {item: f"item {item}" for item in database.item_ids}
+        return cls(lists, labels=None if labels == defaults else labels)
+
+    def to_database(self):
+        """Convert back to the pure-Python backend."""
+        from repro.lists.database import Database
+        from repro.lists.sorted_list import SortedList
+
+        lists = [
+            SortedList(
+                zip(columnar_list.items(), columnar_list.scores()),
+                name=columnar_list.name,
+            )
+            for columnar_list in self._lists
+        ]
+        return Database(lists, labels=self._labels or None)
+
+    # ------------------------------------------------------------------
+    # Introspection (Database-compatible)
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of lists."""
+        return len(self._lists)
+
+    @property
+    def n(self) -> int:
+        """Number of items per list."""
+        return len(self._lists[0])
+
+    @property
+    def lists(self) -> tuple[ColumnarList, ...]:
+        """The underlying columnar lists."""
+        return self._lists
+
+    @property
+    def item_ids(self) -> frozenset[ItemId]:
+        """The shared item id set."""
+        return self._item_ids
+
+    def label(self, item: ItemId) -> str:
+        """Display label of ``item`` (falls back to ``"item <id>"``)."""
+        return self._labels.get(item, f"item {item}")
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __iter__(self) -> Iterator[ColumnarList]:
+        return iter(self._lists)
+
+    def __getitem__(self, index: int) -> ColumnarList:
+        return self._lists[index]
+
+    def local_scores(self, item: ItemId) -> tuple[Score, ...]:
+        """The item's local score in every list, in list order."""
+        return tuple(
+            columnar_list.lookup(item)[0] for columnar_list in self._lists
+        )
+
+    def positions(self, item: ItemId) -> tuple[int, ...]:
+        """The item's 1-based position in every list, in list order."""
+        return tuple(
+            columnar_list.lookup(item)[1] for columnar_list in self._lists
+        )
+
+    def iter_items(self) -> Iterable[ItemId]:
+        """All item ids in ascending order."""
+        return sorted(self._item_ids)
+
+    # ------------------------------------------------------------------
+    # Columnar extras: whole-database matrices for the vectorized engine
+    # ------------------------------------------------------------------
+
+    @property
+    def uids_array(self) -> np.ndarray:
+        """Item ids in ascending order; the matrices' column order."""
+        return self._lists[0].uids_array
+
+    def score_matrix(self) -> np.ndarray:
+        """``(m, n)`` float64 matrix: ``[i, row]`` = local score in list
+        ``i`` of the item with id ``uids_array[row]``.  Cached.
+        """
+        if self._score_matrix is None:
+            matrix = np.empty((self.m, self.n), dtype=np.float64)
+            for i, columnar_list in enumerate(self._lists):
+                matrix[i] = columnar_list.scores_array[columnar_list.rank_by_row]
+            matrix.flags.writeable = False
+            self._score_matrix = matrix
+        return self._score_matrix
+
+    def position_matrix(self) -> np.ndarray:
+        """``(m, n)`` int64 matrix of 0-based ranks per item row.  Cached."""
+        if self._position_matrix is None:
+            matrix = np.empty((self.m, self.n), dtype=np.int64)
+            for i, columnar_list in enumerate(self._lists):
+                matrix[i] = columnar_list.rank_by_row
+            matrix.flags.writeable = False
+            self._position_matrix = matrix
+        return self._position_matrix
+
+    def overall_scores(self, scoring: ScoringFunction) -> list[Score]:
+        """Overall score of every item (by ``uids_array`` row order).
+
+        Evaluated by applying ``scoring`` to each column of
+        :meth:`score_matrix` — the exact same callable, argument order
+        and float values the reference algorithms use, so the results
+        are bit-identical to per-item aggregation.
+        """
+        return [scoring(column) for column in self.score_matrix().T.tolist()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ColumnarDatabase m={self.m} n={self.n}>"

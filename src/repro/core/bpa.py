@@ -70,6 +70,16 @@ class BestPositionAlgorithm(TopKAlgorithm):
         """The theta-approximation factor (1.0 = exact)."""
         return self._theta
 
+    def fast_kernel(self) -> str | None:
+        """``"bpa"`` for the exact paper configuration, else ``None``.
+
+        The tracker choice only affects owner-side bookkeeping cost,
+        never results, so any tracker qualifies.
+        """
+        if not self._memoize and self._theta == 1.0:
+            return "bpa"
+        return None
+
     def _execute(self, accessor: DatabaseAccessor, k, scoring):
         m = accessor.m
         n = accessor.n

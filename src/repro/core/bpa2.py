@@ -111,6 +111,12 @@ class BestPositionAlgorithm2(TopKAlgorithm):
         """The theta-approximation factor (1.0 = exact)."""
         return self._theta
 
+    def fast_kernel(self) -> str | None:
+        """``"bpa2"`` for the exact paper configuration, else ``None``."""
+        if not self._check_every_access and self._theta == 1.0:
+            return "bpa2"
+        return None
+
     def _execute(self, accessor, k, scoring):
         m = accessor.m
         n = accessor.n

@@ -20,7 +20,7 @@ from repro.datagen.correlated import CorrelatedGenerator
 from repro.datagen.figures import figure1_database, figure2_database
 from repro.datagen.gaussian import GaussianGenerator
 from repro.datagen.uniform import UniformGenerator
-from repro.datagen.zipf import zipf_scores
+from repro.datagen.zipf import ZipfGenerator, zipf_scores
 
 __all__ = [
     "DatabaseGenerator",
@@ -30,6 +30,7 @@ __all__ = [
     "GaussianGenerator",
     "CorrelatedGenerator",
     "GaussianCopulaGenerator",
+    "ZipfGenerator",
     "figure1_database",
     "figure2_database",
     "zipf_scores",

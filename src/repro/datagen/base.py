@@ -69,12 +69,14 @@ def make_generator(kind: str, **params) -> DatabaseGenerator:
     from repro.datagen.correlated import CorrelatedGenerator
     from repro.datagen.gaussian import GaussianGenerator
     from repro.datagen.uniform import UniformGenerator
+    from repro.datagen.zipf import ZipfGenerator
 
     factories = {
         "uniform": UniformGenerator,
         "gaussian": GaussianGenerator,
         "correlated": CorrelatedGenerator,
         "copula": GaussianCopulaGenerator,
+        "zipf": ZipfGenerator,
     }
     if kind not in factories:
         raise GenerationError(

@@ -29,6 +29,42 @@ def zipf_scores(n: int, theta: float = PAPER_THETA, *, scale: float = 1.0) -> np
     return scale / np.power(ranks, theta)
 
 
+class ZipfGenerator:
+    """Databases whose list scores follow the (generalized) Zipf law.
+
+    Each list assigns the rank-``r`` score ``scale / r**theta`` to a
+    random permutation of the items, so local scores are heavy-headed
+    (few high scores, a long flat tail of near-ties) while positions
+    across lists stay independent — a regime the uniform and Gaussian
+    families never produce, and a classic stress for tie handling.
+    """
+
+    name = "zipf"
+
+    def __init__(self, theta: float = PAPER_THETA, *, scale: float = 1.0) -> None:
+        if theta < 0:
+            raise ValueError(f"theta must be non-negative, got {theta}")
+        self._theta = theta
+        self._scale = scale
+
+    def generate(self, n: int, m: int, *, seed: int = 0):
+        """An ``m``-list database of Zipf-law scores over ``n`` items."""
+        from repro.datagen.base import rng_from_seed, validate_shape
+        from repro.lists.database import Database
+
+        validate_shape(n, m)
+        rng = rng_from_seed(seed)
+        base = zipf_scores(n, self._theta, scale=self._scale)
+        rows = np.empty((m, n), dtype=np.float64)
+        for i in range(m):
+            # permutation[r] = the item holding rank r+1 in list i.
+            rows[i, rng.permutation(n)] = base
+        return Database.from_score_rows(rows.tolist())
+
+    def __repr__(self) -> str:
+        return f"ZipfGenerator(theta={self._theta}, scale={self._scale})"
+
+
 def zipf_frequencies(
     n: int, theta: float = 1.0, *, total: int = 1_000_000
 ) -> np.ndarray:

@@ -1,18 +1,73 @@
 """Counting wrappers around sorted lists.
 
-Algorithms never touch :class:`repro.lists.sorted_list.SortedList`
-directly; they go through a :class:`ListAccessor`, which meters every
-sorted/random/direct access.  This keeps the paper's cost metrics honest —
-the counts in a :class:`repro.types.TopKResult` are what the algorithm
-actually did, not an after-the-fact estimate.
+Algorithms never touch a list implementation directly; they go through a
+:class:`ListAccessor`, which meters every sorted/random/direct access.
+This keeps the paper's cost metrics honest — the counts in a
+:class:`repro.types.TopKResult` are what the algorithm actually did, not
+an after-the-fact estimate.
+
+The accessor is backend-agnostic: anything satisfying
+:class:`SortedListLike` works — the pure-Python
+:class:`repro.lists.sorted_list.SortedList` (hash/B+tree indexed) and
+the NumPy-backed :class:`repro.columnar.ColumnarList` are the two
+shipped backends.  The middleware framing is Fagin et al.'s: lists are
+abstract sources supporting sorted and random access, so storage can be
+swapped without touching algorithm semantics.
 """
 
 from __future__ import annotations
 
+from typing import Protocol, Sequence, runtime_checkable
+
 from repro.errors import ExhaustedListError
-from repro.lists.database import Database
-from repro.lists.sorted_list import SortedList
 from repro.types import AccessTally, ItemId, ListEntry, Position, Score
+
+
+@runtime_checkable
+class SortedListLike(Protocol):
+    """The source protocol every list backend implements.
+
+    Positions are 1-based; the layout is canonical (score descending,
+    ties broken by ascending item id) so both backends produce identical
+    access sequences — the invariant ``tests/differential/`` enforces.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable list label."""
+        ...
+
+    def __len__(self) -> int:
+        ...
+
+    def entry_at(self, position: Position) -> ListEntry:
+        """The entry at a 1-based position."""
+        ...
+
+    def score_at(self, position: Position) -> Score:
+        """Local score at a 1-based position."""
+        ...
+
+    def lookup(self, item: ItemId) -> tuple[Score, Position]:
+        """Local score and 1-based position of ``item``."""
+        ...
+
+
+@runtime_checkable
+class DatabaseLike(Protocol):
+    """The database protocol: ``m`` same-item-set sorted lists."""
+
+    @property
+    def m(self) -> int:
+        ...
+
+    @property
+    def n(self) -> int:
+        ...
+
+    @property
+    def lists(self) -> Sequence[SortedListLike]:
+        ...
 
 
 class ListAccessor:
@@ -24,13 +79,13 @@ class ListAccessor:
 
     __slots__ = ("_list", "tally", "_cursor")
 
-    def __init__(self, sorted_list: SortedList) -> None:
+    def __init__(self, sorted_list: SortedListLike) -> None:
         self._list = sorted_list
         self.tally = AccessTally()
         self._cursor = 0  # last position read under sorted access
 
     @property
-    def source(self) -> SortedList:
+    def source(self) -> SortedListLike:
         """The wrapped sorted list."""
         return self._list
 
@@ -71,6 +126,59 @@ class ListAccessor:
         self.tally.direct += 1
         return self._list.entry_at(position)
 
+    # ------------------------------------------------------------------
+    # Metered batch variants (vectorized on columnar sources)
+    # ------------------------------------------------------------------
+
+    def lookup_many(self, items: Sequence[ItemId]):
+        """Batched random access: ``(scores, positions)`` for ``items``.
+
+        Counts one random access per item — batching is an engineering
+        fast path, not an accounting discount.  Columnar sources answer
+        with a single NumPy gather; other backends fall back to a scalar
+        loop with identical results.
+        """
+        self.tally.random += len(items)
+        fast = getattr(self._list, "lookup_many", None)
+        if fast is not None:
+            return fast(items)
+        scores: list[Score] = []
+        positions: list[Position] = []
+        for item in items:
+            score, position = self._list.lookup(item)
+            scores.append(score)
+            positions.append(position)
+        return scores, positions
+
+    def sorted_block(self, count: int) -> list[ListEntry]:
+        """Block sorted access: read up to ``count`` next entries.
+
+        Advances the cursor and counts one sorted access per entry
+        actually read (the block may be truncated at the end of the
+        list).  Columnar sources prefetch the block as array slices.
+        """
+        if count < 0:
+            raise ValueError(f"block count must be >= 0, got {count}")
+        start = self._cursor + 1
+        actual = min(count, len(self._list) - self._cursor)
+        if actual <= 0:
+            return []
+        fast = getattr(self._list, "block", None)
+        if fast is not None:
+            positions, items, scores = fast(start, actual)
+            entries = [
+                ListEntry(position=int(p), item=int(i), score=float(s))
+                for p, i, s in zip(positions, items, scores)
+            ]
+        else:
+            entries = [
+                self._list.entry_at(position)
+                for position in range(start, start + actual)
+            ]
+        self._cursor += actual
+        self.tally.sorted += actual
+        return entries
+
     def reset(self) -> None:
         """Clear the tally and rewind the sorted-access cursor."""
         self.tally = AccessTally()
@@ -82,12 +190,12 @@ class DatabaseAccessor:
 
     __slots__ = ("_database", "accessors")
 
-    def __init__(self, database: Database) -> None:
+    def __init__(self, database: DatabaseLike) -> None:
         self._database = database
         self.accessors = tuple(ListAccessor(lst) for lst in database.lists)
 
     @property
-    def database(self) -> Database:
+    def database(self) -> DatabaseLike:
         """The wrapped database."""
         return self._database
 

@@ -8,8 +8,11 @@ internally.  This module packages them:
   oracle over a grid of generated databases;
 * :func:`assert_scoring_usable` — monotonicity probing plus an
   end-to-end agreement check under the given scoring function;
+* :func:`assert_backends_equivalent` — run algorithms on the pure-Python
+  *and* the columnar backend (plus any exact vectorized kernel) and
+  require identical ranked answers, access tallies and extras;
 * :func:`standard_test_databases` — the grid itself (small uniform,
-  Gaussian, correlated and tie-heavy databases).
+  Gaussian, correlated, Zipf and tie-heavy databases).
 
 Example::
 
@@ -20,15 +23,17 @@ Example::
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from repro.algorithms.base import TopKAlgorithm
+from repro.algorithms.base import TopKAlgorithm, get_algorithm, known_algorithms
 from repro.algorithms.naive import brute_force_topk
+from repro.columnar import ColumnarDatabase, get_kernel
 from repro.datagen import (
     CorrelatedGenerator,
     GaussianCopulaGenerator,
     GaussianGenerator,
     UniformGenerator,
+    ZipfGenerator,
 )
 from repro.datagen.figures import figure1_database, figure2_database
 from repro.lists.database import Database
@@ -44,6 +49,7 @@ def standard_test_databases(*, seed: int = 7) -> Iterable[tuple[str, Database]]:
     yield "gaussian", GaussianGenerator().generate(40, 3, seed=seed)
     yield "correlated", CorrelatedGenerator(alpha=0.05).generate(40, 4, seed=seed)
     yield "copula", GaussianCopulaGenerator(rho=0.8).generate(40, 3, seed=seed)
+    yield "zipf", ZipfGenerator().generate(40, 3, seed=seed)
     # Heavy ties: integer scores from a tiny domain.
     tie_rows = [
         [float((item * (list_index + 3)) % 4) for item in range(30)]
@@ -79,6 +85,74 @@ def assert_algorithm_correct(
             assert ok, (
                 f"{algorithm.name} wrong on {label} (k={k}): "
                 f"got {actual}, expected {expected}"
+            )
+
+
+def score_matrix_strategy(
+    max_items: int = 24,
+    max_lists: int = 5,
+    *,
+    min_items: int = 1,
+    min_lists: int = 1,
+    tie_heavy: bool = False,
+):
+    """Hypothesis strategy for ``(m, n)`` integer score matrices.
+
+    ``tie_heavy`` draws scores from a tiny domain so equal local scores
+    (and equal overall scores) are common — the regime where
+    tie-breaking bugs live.  Hypothesis is imported lazily so the
+    library stays usable without it; calling this without hypothesis
+    installed raises ``ImportError``.
+    """
+    from hypothesis import strategies as st
+
+    score = st.integers(0, 6) if tie_heavy else st.integers(0, 1000)
+
+    def rows(n: int):
+        return st.lists(
+            st.lists(score, min_size=n, max_size=n),
+            min_size=min_lists,
+            max_size=max_lists,
+        )
+
+    return st.integers(min_items, max_items).flatmap(rows)
+
+
+def assert_backends_equivalent(
+    database: Database,
+    k: int,
+    *,
+    scoring: ScoringFunction = SUM,
+    algorithms: Sequence[str] | None = None,
+) -> None:
+    """Require exact backend equivalence on one database and query.
+
+    For every algorithm named (default: all registered), runs the
+    reference implementation on the pure-Python backend, the same
+    implementation on the columnar backend through the generic metered
+    accessors, and — where the configuration has one — the vectorized
+    columnar kernel.  All runs must agree *exactly*: identical ranked
+    items and scores, identical per-mode access tallies, identical
+    rounds/stop positions and identical ``extras``.  Raises
+    ``AssertionError`` naming the first divergence.
+    """
+    columnar = ColumnarDatabase.from_database(database)
+    for name in algorithms or known_algorithms():
+        algorithm = get_algorithm(name)
+        reference = algorithm.run(database, k, scoring)
+        generic = algorithm.run(columnar, k, scoring)
+        assert reference == generic and reference.extras == generic.extras, (
+            f"{name}: columnar generic path diverges from reference "
+            f"(k={k}): {generic} vs {reference}"
+        )
+        kernel_name = algorithm.fast_kernel()
+        if kernel_name is not None:
+            vectorized = get_kernel(kernel_name)(columnar, k, scoring)
+            assert (
+                reference == vectorized and reference.extras == vectorized.extras
+            ), (
+                f"{name}: vectorized kernel diverges from reference "
+                f"(k={k}): {vectorized} vs {reference}"
             )
 
 

@@ -24,30 +24,9 @@ settings.load_profile("repro")
 # Database strategies
 # ---------------------------------------------------------------------------
 
-def score_matrices(
-    max_items: int = 24,
-    max_lists: int = 5,
-    *,
-    min_items: int = 1,
-    min_lists: int = 1,
-    tie_heavy: bool = False,
-):
-    """Strategy producing (m, n) integer score matrices as lists of rows.
-
-    ``tie_heavy`` draws scores from a tiny domain so equal local scores
-    (and equal overall scores) are common — the regime where tie-breaking
-    bugs live.
-    """
-    score = st.integers(0, 6) if tie_heavy else st.integers(0, 1000)
-
-    def rows(n: int):
-        return st.lists(
-            st.lists(score, min_size=n, max_size=n),
-            min_size=min_lists,
-            max_size=max_lists,
-        )
-
-    return st.integers(min_items, max_items).flatmap(rows)
+# Strategy producing (m, n) integer score matrices as lists of rows;
+# shared with downstream users through repro.testing.
+from repro.testing import score_matrix_strategy as score_matrices  # noqa: E402
 
 
 @st.composite

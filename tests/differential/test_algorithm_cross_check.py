@@ -1,0 +1,161 @@
+"""Cross-algorithm invariants, checked on *both* storage backends.
+
+Backend equivalence (test_backend_equivalence) says "same algorithm,
+same answers on either backend".  This module closes the triangle: on
+each backend, every algorithm must agree with the brute-force oracle,
+and the paper's comparative theorems must hold — so a backend bug that
+shifted *all* algorithms identically would still be caught here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.base import get_algorithm, known_algorithms
+from repro.algorithms.naive import brute_force_topk
+from repro.columnar import ColumnarDatabase
+from repro.lists.database import Database
+from repro.scoring import SUM
+from repro.testing import score_matrix_strategy as score_matrices
+
+#: Algorithms that return exact overall scores for the top-k (NRA proves
+#: membership through bounds and reports bound midpoints, so it is
+#: checked on item sets elsewhere, not on exact scores).
+EXACT_SCORE_ALGORITHMS = tuple(
+    name for name in known_algorithms() if name != "nra"
+)
+
+
+def _both_backends(matrix):
+    database = Database.from_score_rows(
+        [[float(s) for s in row] for row in matrix]
+    )
+    return database, ColumnarDatabase.from_database(database)
+
+
+class TestOracleAgreementOnBothBackends:
+    @given(
+        matrix=score_matrices(max_items=18, max_lists=4, tie_heavy=True),
+        data=st.data(),
+    )
+    def test_every_algorithm_matches_brute_force(self, matrix, data):
+        database, columnar = _both_backends(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        expected = brute_force_topk(database, k, SUM)
+        for name in EXACT_SCORE_ALGORITHMS:
+            for backend_label, backend in (
+                ("python", database),
+                ("columnar", columnar),
+            ):
+                result = get_algorithm(name).run(backend, k, SUM)
+                assert len(result.items) == len(expected), (name, backend_label)
+                for got, want in zip(result.items, expected):
+                    assert math.isclose(
+                        got.score, want.score, rel_tol=0.0, abs_tol=1e-9
+                    ), f"{name} on {backend_label}: {result.items} != {expected}"
+
+    @given(
+        matrix=score_matrices(max_items=18, max_lists=4, tie_heavy=True),
+        data=st.data(),
+    )
+    def test_exact_algorithms_agree_above_the_tie_boundary(self, matrix, data):
+        # Exact algorithms must return the oracle's exact score vector.
+        # Ids must also match everywhere *above* the k-th score's tie
+        # group: ties at the boundary are legitimately resolved by
+        # discovery order, which differs per algorithm (but never per
+        # backend — backend id-equality is asserted in
+        # test_backend_equivalence).
+        database, columnar = _both_backends(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        expected = brute_force_topk(database, k, SUM)
+        expected_scores = tuple(e.score for e in expected)
+        cutoff = expected_scores[-1]
+        prefix_ids = tuple(e.item for e in expected if e.score > cutoff)
+        for name in ("ta", "bpa", "bpa2", "naive", "fa"):
+            for backend in (database, columnar):
+                result = get_algorithm(name).run(backend, k, SUM)
+                assert result.scores == expected_scores, name
+                assert result.item_ids[: len(prefix_ids)] == prefix_ids, name
+
+
+class TestPaperTheoremsOnBothBackends:
+    @given(
+        matrix=score_matrices(max_items=20, max_lists=4),
+        data=st.data(),
+    )
+    def test_bpa_stops_no_later_than_ta(self, matrix, data):
+        """Lemma 1: BPA's stopping position never exceeds TA's."""
+        database, columnar = _both_backends(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        for backend in (database, columnar):
+            ta = get_algorithm("ta").run(backend, k, SUM)
+            bpa = get_algorithm("bpa").run(backend, k, SUM)
+            assert bpa.stop_position <= ta.stop_position
+
+    @given(
+        matrix=score_matrices(max_items=20, max_lists=4),
+        data=st.data(),
+    )
+    def test_bpa2_never_does_more_accesses_than_bpa(self, matrix, data):
+        """Theorem 7, on both backends."""
+        database, columnar = _both_backends(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        for backend in (database, columnar):
+            bpa = get_algorithm("bpa").run(backend, k, SUM)
+            bpa2 = get_algorithm("bpa2").run(backend, k, SUM)
+            assert bpa2.tally.total <= bpa.tally.total
+
+    @given(
+        matrix=score_matrices(max_items=20, max_lists=4, tie_heavy=True),
+        data=st.data(),
+    )
+    def test_bpa2_reads_no_position_twice(self, matrix, data):
+        """Theorem 5 on the columnar backend: per-list accesses equal
+        distinct seen positions."""
+        _database, columnar = _both_backends(matrix)
+        k = data.draw(st.integers(1, columnar.n), label="k")
+        result = get_algorithm("bpa2").run(columnar, k, SUM)
+        assert (
+            result.extras["per_list_accesses"]
+            == result.extras["per_list_distinct_positions"]
+        )
+
+
+class TestTallyShapesOnBothBackends:
+    @given(
+        matrix=score_matrices(max_items=16, max_lists=4),
+        data=st.data(),
+    )
+    def test_access_mode_profile_per_algorithm(self, matrix, data):
+        """TA/BPA use sorted+random, BPA2 direct+random, naive sorted-only
+        — on both backends, with the paper's exact random/sorted ratio."""
+        database, columnar = _both_backends(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        m = database.m
+        for backend in (database, columnar):
+            for name in ("ta", "bpa"):
+                tally = get_algorithm(name).run(backend, k, SUM).tally
+                assert tally.direct == 0
+                assert tally.random == tally.sorted * (m - 1)  # Lemma 2
+            bpa2 = get_algorithm("bpa2").run(backend, k, SUM).tally
+            assert bpa2.sorted == 0
+            naive = get_algorithm("naive").run(backend, k, SUM).tally
+            assert naive.sorted == m * database.n
+            assert naive.random == 0 and naive.direct == 0
+
+
+@pytest.mark.parametrize("index_kind", ["dict", "btree"])
+def test_python_index_kind_does_not_change_results(index_kind):
+    """The columnar backend must match either python index flavour."""
+    rows = [[float((i * 7 + j * 3) % 5) for i in range(25)] for j in range(3)]
+    database = Database.from_score_rows(rows, index_kind=index_kind)
+    columnar = ColumnarDatabase.from_score_rows(rows)
+    for name in ("ta", "bpa", "bpa2"):
+        reference = get_algorithm(name).run(database, 5, SUM)
+        result = get_algorithm(name).run(columnar, 5, SUM)
+        assert reference == result
+        assert reference.extras == result.extras

@@ -1,0 +1,162 @@
+"""Differential proof that the columnar backend is a pure optimization.
+
+Every registered algorithm runs on the pure-Python backend (the
+reference), on the columnar backend through the generic metered
+accessors, and — for configurations with an exact vectorized kernel —
+through :mod:`repro.columnar.engine`.  All three must agree *exactly*:
+identical ranked top-k (items and scores, after tie-breaking), identical
+per-mode access tallies, identical rounds/stop positions, identical
+extras.  Hypothesis drives the databases: every distribution family the
+repo ships (uniform, Gaussian, correlated, Zipf, copula, adversarial)
+plus tie-heavy and duplicate-score matrices where tie-breaking bugs
+live.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.base import get_algorithm, known_algorithms
+from repro.columnar import ColumnarDatabase, get_kernel
+from repro.datagen import make_generator
+from repro.datagen.adversarial import (
+    bpa2_favorable_database,
+    bpa_favorable_database,
+)
+from repro.lists.database import Database
+from repro.scoring import AVERAGE, MIN, SUM, WeightedSumScoring
+from repro.testing import assert_backends_equivalent, score_matrix_strategy as score_matrices
+
+#: Distribution families exercised by the generator-driven property.
+DISTRIBUTIONS = ("uniform", "gaussian", "correlated", "zipf", "copula")
+
+
+def _database_from_matrix(matrix) -> Database:
+    return Database.from_score_rows([[float(s) for s in row] for row in matrix])
+
+
+class TestAllAlgorithmsOnRandomMatrices:
+    """Every registered algorithm, both backends, arbitrary matrices."""
+
+    @given(matrix=score_matrices(max_items=20, max_lists=4), data=st.data())
+    def test_exact_equivalence(self, matrix, data):
+        database = _database_from_matrix(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        assert_backends_equivalent(database, k)
+
+    @given(
+        matrix=score_matrices(max_items=20, max_lists=4, tie_heavy=True),
+        data=st.data(),
+    )
+    def test_exact_equivalence_tie_heavy(self, matrix, data):
+        database = _database_from_matrix(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        assert_backends_equivalent(database, k)
+
+    @given(
+        matrix=score_matrices(max_items=16, max_lists=3, tie_heavy=True),
+        data=st.data(),
+    )
+    def test_equivalence_under_other_scorings(self, matrix, data):
+        database = _database_from_matrix(matrix)
+        k = data.draw(st.integers(1, database.n), label="k")
+        scoring = data.draw(
+            st.sampled_from(
+                [MIN, AVERAGE, WeightedSumScoring([2.0, 0.5, 1.0][: database.m])]
+            ),
+            label="scoring",
+        )
+        assert_backends_equivalent(
+            database, k, scoring=scoring, algorithms=("ta", "bpa", "bpa2")
+        )
+
+
+class TestDistributionFamilies:
+    """The paper's trio across every shipped distribution family."""
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @settings(max_examples=20)
+    @given(data=st.data())
+    def test_generated_databases(self, distribution, data):
+        n = data.draw(st.integers(5, 60), label="n")
+        m = data.draw(st.integers(1, 5), label="m")
+        seed = data.draw(st.integers(0, 2**16), label="seed")
+        k = data.draw(st.integers(1, n), label="k")
+        database = make_generator(distribution).generate(n, m, seed=seed)
+        assert_backends_equivalent(
+            database, k, algorithms=("ta", "bpa", "bpa2", "naive")
+        )
+
+    @settings(max_examples=15)
+    @given(data=st.data())
+    def test_adversarial_constructions(self, data):
+        m = data.draw(st.integers(3, 5), label="m")  # constructions need m >= 3
+        u = data.draw(st.integers(1, 5), label="u")
+        build = data.draw(
+            st.sampled_from([bpa_favorable_database, bpa2_favorable_database]),
+            label="construction",
+        )
+        database, info = build(m, u)
+        k = data.draw(st.integers(1, max(1, info.max_k)), label="k")
+        assert_backends_equivalent(database, k)
+
+
+class TestKernelDispatch:
+    """fast_kernel() gates exactly the configurations kernels replay."""
+
+    def test_default_configurations_have_kernels(self):
+        assert get_algorithm("ta").fast_kernel() == "ta"
+        assert get_algorithm("bpa").fast_kernel() == "bpa"
+        assert get_algorithm("bpa2").fast_kernel() == "bpa2"
+
+    def test_non_default_options_disable_the_kernel(self):
+        assert get_algorithm("ta", memoize=True).fast_kernel() is None
+        assert get_algorithm("ta", approximation=1.5).fast_kernel() is None
+        assert get_algorithm("bpa", memoize=True).fast_kernel() is None
+        assert get_algorithm("bpa2", check_every_access=True).fast_kernel() is None
+        assert get_algorithm("bpa2", approximation=2.0).fast_kernel() is None
+
+    def test_tracker_choice_keeps_the_kernel(self):
+        # Trackers change owner-side bookkeeping cost, never results.
+        assert get_algorithm("bpa", tracker="btree").fast_kernel() == "bpa"
+        assert get_algorithm("bpa2", tracker="naive").fast_kernel() == "bpa2"
+
+    def test_algorithms_without_kernels_return_none(self):
+        for name in known_algorithms():
+            if name in ("ta", "bpa", "bpa2"):
+                continue
+            assert get_algorithm(name).fast_kernel() is None, name
+
+    def test_unknown_kernel_name_raises(self):
+        with pytest.raises(KeyError, match="no vectorized kernel"):
+            get_kernel("nra")
+
+
+class TestKernelsShareContext:
+    """One QueryContext serves many queries with unchanged results."""
+
+    def test_context_reuse_matches_fresh_runs(self):
+        from repro.columnar import QueryContext, fast_bpa2
+
+        database = make_generator("uniform").generate(80, 3, seed=5)
+        columnar = ColumnarDatabase.from_database(database)
+        context = QueryContext(columnar, SUM)
+        for k in (1, 3, 8, 40, 80):
+            reference = get_algorithm("bpa2").run(database, k, SUM)
+            shared = fast_bpa2(context, k, SUM)
+            fresh = fast_bpa2(columnar, k, SUM)
+            assert reference == shared == fresh
+            assert reference.extras == shared.extras == fresh.extras
+
+    def test_context_rejects_mismatched_scoring(self):
+        from repro.columnar import QueryContext, fast_bpa2
+        from repro.errors import InvalidQueryError
+
+        columnar = ColumnarDatabase.from_database(
+            make_generator("uniform").generate(10, 2, seed=1)
+        )
+        context = QueryContext(columnar, SUM)
+        with pytest.raises(InvalidQueryError, match="different scoring"):
+            fast_bpa2(context, 2, MIN)

@@ -1,0 +1,136 @@
+"""BatchRunner, compare_backends and the `bench compare-backends` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.batch import (
+    BatchRunner,
+    QuerySpec,
+    compare_backends,
+    default_query_batch,
+)
+from repro.columnar import ColumnarDatabase
+from repro.datagen import UniformGenerator
+from repro.scoring import MIN, SUM
+
+
+@pytest.fixture(scope="module")
+def database():
+    return UniformGenerator().generate(400, 3, seed=13)
+
+
+class TestBatchRunner:
+    def test_backends_produce_identical_batches(self, database):
+        batch = default_query_batch(12, algorithm="bpa2", k_max=6)
+        python_report = BatchRunner(database, backend="python").run(batch)
+        columnar_report = BatchRunner(database, backend="columnar").run(batch)
+        assert python_report.queries == columnar_report.queries == 12
+        for a, b in zip(python_report.results, columnar_report.results):
+            assert a == b
+            assert a.extras == b.extras
+
+    def test_kernel_dispatch_is_reported(self, database):
+        batch = [
+            QuerySpec("bpa2", k=3),
+            QuerySpec("ta", k=3),
+            QuerySpec("bpa", k=3),
+            QuerySpec("naive", k=3),  # no kernel: generic columnar path
+            QuerySpec("ta", k=3, options={"memoize": True}),  # kernel gated off
+        ]
+        report = BatchRunner(database, backend="columnar").run(batch)
+        assert report.kernel_queries == 3
+        python_report = BatchRunner(database, backend="python").run(batch)
+        assert report.results == python_report.results
+
+    def test_python_backend_never_uses_kernels(self, database):
+        report = BatchRunner(database, backend="python").run(
+            default_query_batch(4)
+        )
+        assert report.kernel_queries == 0
+        assert report.queries_per_second > 0
+
+    def test_mixed_scorings_share_nothing_incorrectly(self, database):
+        batch = [
+            QuerySpec("bpa2", k=4, scoring=SUM),
+            QuerySpec("bpa2", k=4, scoring=MIN),
+            QuerySpec("bpa2", k=4, scoring=SUM),
+        ]
+        runner = BatchRunner(database, backend="columnar")
+        report = runner.run(batch)
+        from repro.algorithms.base import get_algorithm
+
+        for spec, result in zip(batch, report.results):
+            reference = get_algorithm("bpa2").run(database, spec.k, spec.scoring)
+            assert result == reference
+
+    def test_accepts_either_database_type(self, database):
+        columnar = ColumnarDatabase.from_database(database)
+        batch = default_query_batch(3)
+        from_python = BatchRunner(database, backend="columnar").run(batch)
+        from_columnar = BatchRunner(columnar, backend="columnar").run(batch)
+        assert from_python.results == from_columnar.results
+        back = BatchRunner(columnar, backend="python").run(batch)
+        assert back.results == from_columnar.results
+
+    def test_rejects_unknown_backend(self, database):
+        with pytest.raises(ValueError, match="unknown backend"):
+            BatchRunner(database, backend="gpu")
+
+
+class TestCompareBackends:
+    def test_report_shape_and_equivalence(self):
+        report = compare_backends(n=300, m=3, queries=10, k=5, repeats=1)
+        assert report["results_identical"] is True
+        assert report["columnar_backend"]["vectorized_kernel_queries"] == 10
+        assert report["python_backend"]["seconds"] > 0
+        assert report["speedup"] > 0
+        json.dumps(report)  # must be JSON-serializable as-is
+
+    def test_repeats_do_not_warm_the_context_cache(self, monkeypatch):
+        # Each timed repeat must pay the full cold-batch cost; a cached
+        # QueryContext carried across repeats inflates the speedup.
+        from repro.bench import batch as batch_module
+        from repro.columnar import engine
+
+        builds = []
+        original = engine.QueryContext.__init__
+
+        def counting_init(self, database, scoring):
+            builds.append(1)
+            original(self, database, scoring)
+
+        monkeypatch.setattr(engine.QueryContext, "__init__", counting_init)
+        compare_backends(n=60, m=2, queries=4, k=3, repeats=3)
+        assert len(builds) == 3  # one context build per columnar repeat
+
+    def test_cli_rejects_bad_k_and_queries(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "compare-backends", "--n", "50", "--k", "0"]) == 2
+        assert "--k must be in 1..50" in capsys.readouterr().err
+        assert main(["bench", "compare-backends", "--n", "50", "--k", "99"]) == 2
+        capsys.readouterr()
+        assert main(["bench", "compare-backends", "--queries", "0"]) == 2
+        assert "--queries must be >= 1" in capsys.readouterr().err
+
+    def test_cli_writes_the_json_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "speedup.json"
+        code = main(
+            [
+                "bench",
+                "compare-backends",
+                "--n", "200", "--m", "3", "--queries", "6", "--k", "3",
+                "--repeats", "1", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "speedup" in printed and "columnar" in printed
+        payload = json.loads(out.read_text())
+        assert payload["results_identical"] is True
+        assert payload["config"]["queries"] == 6

@@ -1,0 +1,29 @@
+"""The quickstart example's doctest session, run on every CI push.
+
+``examples/quickstart.py`` opens with a seeded, fully deterministic
+doctest; loading the module by path and executing its doctests here
+keeps the example honest without paying for the full ``main()`` demo
+(which stays covered by the slow example smoke tests).
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+from pathlib import Path
+
+QUICKSTART = Path(__file__).parents[2] / "examples" / "quickstart.py"
+
+
+def _load_quickstart():
+    spec = importlib.util.spec_from_file_location("quickstart", QUICKSTART)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_doctests_pass():
+    module = _load_quickstart()
+    results = doctest.testmod(module)
+    assert results.attempted >= 8, "quickstart lost its doctest session"
+    assert results.failed == 0

@@ -1,0 +1,104 @@
+"""Tie-breaking properties: the canonical (score desc, item asc) order
+must survive every round-trip through both storage backends, and
+:class:`TopKBuffer` must realize exactly that order under eviction."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.algorithms.base import TopKBuffer
+from repro.columnar import ColumnarDatabase, ColumnarList
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+from repro.testing import score_matrix_strategy as score_matrices
+from repro.types import rank_items
+
+#: (item, score) entry lists with distinct items and heavy score ties.
+_tied_entries = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(0, 5)),
+    min_size=1,
+    max_size=40,
+    unique_by=lambda pair: pair[0],
+).map(lambda pairs: [(item, float(score)) for item, score in pairs])
+
+
+class TestTopKBufferTieBreaking:
+    @given(entries=_tied_entries, k=st.integers(1, 45))
+    def test_ranked_is_canonical_topk(self, entries, k):
+        buffer = TopKBuffer(k)
+        for item, score in entries:
+            buffer.add(item, score)
+        expected = sorted(entries, key=lambda pair: (-pair[1], pair[0]))[:k]
+        assert [(e.item, e.score) for e in buffer.ranked()] == expected
+
+    @given(entries=_tied_entries, k=st.integers(1, 45))
+    def test_insertion_order_is_irrelevant(self, entries, k):
+        forward = TopKBuffer(k)
+        backward = TopKBuffer(k)
+        for item, score in entries:
+            forward.add(item, score)
+        for item, score in reversed(entries):
+            backward.add(item, score)
+        assert forward.ranked() == backward.ranked()
+
+    @given(entries=_tied_entries)
+    def test_kth_score_tracks_the_weakest_kept_item(self, entries):
+        k = max(1, len(entries) // 2)
+        buffer = TopKBuffer(k)
+        for item, score in entries:
+            buffer.add(item, score)
+        if len(entries) >= k:
+            assert buffer.kth_score == buffer.ranked()[-1].score
+        else:
+            assert buffer.kth_score == float("-inf")
+
+
+class TestDuplicateScoreLayouts:
+    @given(
+        scores=st.lists(st.integers(0, 3).map(float), min_size=1, max_size=50)
+    )
+    def test_both_backends_produce_the_canonical_layout(self, scores):
+        expected_items = tuple(rank_items(scores))
+        python_list = SortedList.from_scores(scores)
+        columnar_list = ColumnarList.from_scores(scores)
+        assert python_list.items() == expected_items
+        assert columnar_list.items() == expected_items
+        assert python_list.scores() == columnar_list.scores()
+
+    @given(entries=_tied_entries)
+    def test_sorted_list_round_trips_through_columnar(self, entries):
+        python_list = SortedList(entries, name="L1")
+        columnar_list = ColumnarList.from_sorted_list(python_list)
+        assert columnar_list.items() == python_list.items()
+        assert columnar_list.scores() == python_list.scores()
+        assert list(columnar_list.entries()) == list(python_list.entries())
+        # And back: rebuilding a SortedList from the columnar layout is
+        # the identity.
+        back = SortedList(zip(columnar_list.items(), columnar_list.scores()))
+        assert back.items() == python_list.items()
+        assert back.scores() == python_list.scores()
+
+    @given(matrix=score_matrices(max_items=20, max_lists=4, tie_heavy=True))
+    def test_database_round_trip_preserves_every_list(self, matrix):
+        rows = [[float(s) for s in row] for row in matrix]
+        database = Database.from_score_rows(rows)
+        columnar = ColumnarDatabase.from_score_rows(rows)
+        converted = ColumnarDatabase.from_database(database)
+        recovered = converted.to_database()
+        for direct, via_rows, back, original in zip(
+            converted.lists, columnar.lists, recovered.lists, database.lists
+        ):
+            assert direct.items() == via_rows.items() == original.items()
+            assert back.items() == original.items()
+            assert direct.scores() == via_rows.scores() == original.scores()
+            assert back.scores() == original.scores()
+
+    @given(matrix=score_matrices(max_items=15, max_lists=3, tie_heavy=True))
+    def test_positions_agree_between_backends(self, matrix):
+        rows = [[float(s) for s in row] for row in matrix]
+        database = Database.from_score_rows(rows)
+        columnar = ColumnarDatabase.from_score_rows(rows)
+        for item in database.iter_items():
+            assert database.positions(item) == columnar.positions(item)
+            assert database.local_scores(item) == columnar.local_scores(item)
