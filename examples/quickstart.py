@@ -38,6 +38,19 @@ precomputation (see ``repro-topk bench compare-backends``):
 (3, 3)
 >>> report.results[0].item_ids
 (16,)
+
+To *serve* query traffic, wrap the database in a ``QueryService``: the
+planner picks algorithm and kernel per query, execution fans out over
+shards with an exact merge, and repeated queries hit the result cache:
+
+>>> from repro import QueryService
+>>> service = QueryService(database, shards=2, pool="serial")
+>>> first, second = service.submit_many([QuerySpec("auto", k=3)] * 2)
+>>> first.item_ids == result.item_ids, first.stats.fanout
+(True, 2)
+>>> second.stats.cache_hit
+True
+>>> service.close()
 """
 
 import time

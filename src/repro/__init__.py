@@ -40,6 +40,7 @@ from repro.columnar import (
     ColumnarList,
     fast_bpa,
     fast_bpa2,
+    fast_nra,
     fast_ta,
 )
 from repro.datagen import (
@@ -53,6 +54,13 @@ from repro.datagen import (
 from repro.dynamic import DynamicDatabase, DynamicSortedList
 from repro.errors import ReproError
 from repro.lists import Database, SortedList
+from repro.service import (
+    QueryService,
+    ServicePolicy,
+    ServiceResult,
+    ServiceStats,
+    ShardExecutor,
+)
 from repro.storage import open_database, save_database
 from repro.scoring import (
     AVERAGE,
@@ -106,9 +114,16 @@ __all__ = [
     "fast_ta",
     "fast_bpa",
     "fast_bpa2",
+    "fast_nra",
     "BatchRunner",
     "QuerySpec",
     "compare_backends",
+    # query service
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+    "ServicePolicy",
+    "ShardExecutor",
     # scoring
     "SumScoring",
     "WeightedSumScoring",

@@ -28,6 +28,11 @@ class NoRandomAccess(TopKAlgorithm):
 
     name = "nra"
 
+    def fast_kernel(self) -> str | None:
+        """``"nra"`` — the algorithm has no options, so the columnar
+        kernel (:func:`repro.columnar.engine.fast_nra`) always applies."""
+        return "nra"
+
     def _execute(self, accessor: DatabaseAccessor, k, scoring):
         m = accessor.m
         n = accessor.n

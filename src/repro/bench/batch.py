@@ -65,7 +65,9 @@ class BatchReport:
 
     @property
     def queries_per_second(self) -> float:
-        """Batch throughput."""
+        """Batch throughput (0.0 for an empty batch, not 0/0)."""
+        if not self.results:
+            return 0.0
         return self.queries / self.seconds if self.seconds > 0 else float("inf")
 
 
@@ -120,14 +122,21 @@ class BatchRunner:
         return context
 
     def run_one(self, spec: QuerySpec) -> tuple[TopKResult, bool]:
-        """Execute one query; returns (result, used_vectorized_kernel)."""
+        """Execute one query; returns (result, used_vectorized_kernel).
+
+        A ``k`` larger than the database is clamped to ``n`` — a batch
+        driver serves whatever specs the workload hands it, and "all
+        items, ranked" is the only sensible answer to an over-ask.
+        ``k < 1`` still raises :class:`repro.errors.InvalidQueryError`.
+        """
+        k = min(spec.k, self._database.n)
         algorithm = get_algorithm(spec.algorithm, **dict(spec.options))
         if self._backend == "columnar":
             kernel_name = algorithm.fast_kernel()
             if kernel_name is not None:
                 kernel = get_kernel(kernel_name)
-                return kernel(self._context(spec.scoring), spec.k, spec.scoring), True
-        return algorithm.run(self._database, spec.k, spec.scoring), False
+                return kernel(self._context(spec.scoring), k, spec.scoring), True
+        return algorithm.run(self._database, k, spec.scoring), False
 
     def run(self, queries: Sequence[QuerySpec]) -> BatchReport:
         """Execute the batch and time it end to end.

@@ -9,6 +9,8 @@ Examples::
     repro-topk adversarial --m 6 --u 5
     repro-topk distributed --n 2000 --m 6 --k 10
     repro-topk bench compare-backends --n 10000 --m 3 --queries 100
+    repro-topk serve-workload --n 100000 --m 3 --shards 4 --queries 400
+    repro-topk serve-workload --speedup    # the service_speedup.json grid
 
 (Equivalently ``python -m repro ...``.)
 """
@@ -108,6 +110,44 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="time each backend this many times, keep the best")
     compare.add_argument("--out", default=None, metavar="FILE",
                          help="also write the JSON report to FILE")
+
+    serve = sub.add_parser(
+        "serve-workload",
+        help="replay a zipf-popular query workload through the sharded "
+             "QueryService and write a reports/service_*.json summary",
+    )
+    serve.add_argument("--generator", default="uniform",
+                       choices=("uniform", "gaussian", "correlated", "zipf"))
+    serve.add_argument("--alpha", type=float, default=None,
+                       help="correlation parameter (correlated generator only)")
+    serve.add_argument("--n", type=int, default=100_000)
+    serve.add_argument("--m", type=int, default=3)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument("--queries", type=int, default=400,
+                       help="replayed queries")
+    serve.add_argument("--distinct", type=int, default=40,
+                       help="distinct query shapes in the pool")
+    serve.add_argument("--k-max", type=int, default=20,
+                       help="per-query k is drawn from 1..K_MAX")
+    serve.add_argument("--zipf-theta", type=float, default=1.0,
+                       help="popularity skew over the query pool "
+                            "(0 = uniform traffic)")
+    serve.add_argument("--algorithm", default="auto",
+                       help="algorithm per query ('auto' lets the planner pick)")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--pool", default="auto",
+                       choices=("auto", "serial", "thread", "process"))
+    serve.add_argument("--cache-size", type=int, default=1024)
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.add_argument("--out", default=None, metavar="FILE",
+                       help="report path (default: reports/service_workload.json)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="tiny CI preset (n=2000, 60 queries, 2 shards, "
+                            "serial pool; writes reports/service_smoke.json)")
+    serve.add_argument("--speedup", action="store_true",
+                       help="run the unsharded-vs-sharded x cold-vs-warm grid "
+                            "benchmark (writes reports/service_speedup.json)")
 
     return parser
 
@@ -304,6 +344,113 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_workload(args: argparse.Namespace) -> int:
+    from repro.service.workload import (
+        WorkloadConfig,
+        run_workload,
+        speedup_benchmark,
+        write_report,
+    )
+
+    if args.algorithm != "auto" and args.algorithm not in known_algorithms():
+        print(f"unknown algorithm {args.algorithm!r}; known: "
+              f"{known_algorithms()} or 'auto'", file=sys.stderr)
+        return 2
+
+    if args.speedup:
+        report = speedup_benchmark(
+            n=args.n,
+            m=args.m,
+            queries=args.queries,
+            distinct=args.distinct,
+            k_max=args.k_max,
+            shards=args.shards,
+            generator=args.generator,
+            zipf_theta=args.zipf_theta,
+            seed=args.seed,
+            pool=args.pool,
+        )
+        out = write_report(report, args.out or "reports/service_speedup.json")
+        grid = report["grid"]
+        print(f"service speedup grid ({args.generator} n={args.n:,} "
+              f"m={args.m}, {args.queries} queries, cpu_count="
+              f"{report['cpu_count']}):")
+        print(f"{'configuration':>24} {'cache off':>12} {'cold cache':>12} "
+              f"{'warm cache':>12}   (queries/s)")
+        for label, cell in grid.items():
+            print(f"{label:>24} "
+                  f"{cell['cache_off']['queries_per_second']:>12,.0f} "
+                  f"{cell['cache_cold']['queries_per_second']:>12,.0f} "
+                  f"{cell['cache_warm']['queries_per_second']:>12,.0f}")
+        for name, value in report["speedups"].items():
+            print(f"  {name}: {value:.2f}x")
+        print(f"  cache hit rate (zipf replay): "
+              f"{report['cache_hit_rate_zipf_replay']:.1%}")
+        print(f"  results identical to cache-off: "
+              f"{report['results_identical_to_cache_off']}")
+        print(f"report written to {out}")
+        return 0 if report["results_identical_to_cache_off"] else 1
+
+    settings = dict(
+        generator=args.generator,
+        alpha=args.alpha,
+        n=args.n,
+        m=args.m,
+        seed=args.seed,
+        queries=args.queries,
+        distinct=args.distinct,
+        k_max=args.k_max,
+        zipf_theta=args.zipf_theta,
+        algorithm=args.algorithm,
+        shards=args.shards,
+        pool=args.pool,
+        cache_size=0 if args.no_cache else args.cache_size,
+    )
+    if args.smoke:
+        settings.update(
+            n=min(args.n, 2_000),
+            queries=min(args.queries, 60),
+            distinct=min(args.distinct, 10),
+            k_max=min(args.k_max, 10),
+            shards=min(args.shards, 2),
+            pool="serial",
+        )
+        default_out = "reports/service_smoke.json"
+    else:
+        default_out = "reports/service_workload.json"
+    config = WorkloadConfig(**settings)
+
+    report = run_workload(config)
+    out = write_report(report, args.out or default_out)
+    summary = report["service"]
+    print(f"workload: {summary['queries']} queries "
+          f"({config.distinct} distinct, zipf theta={config.zipf_theta}) over "
+          f"{config.generator} n={config.n:,} m={config.m}")
+    print(f"service:  shards={summary['shards']} "
+          f"pool={report['pool_resolved']} "
+          f"cache={'off' if config.cache_size == 0 else config.cache_size}")
+    print(f"{'':>10}{'queries/s':>12} {'hit rate':>9} {'p50 ms':>8} "
+          f"{'p95 ms':>8}")
+    print(f"{'service':>10}{summary['queries_per_second']:>12,.0f} "
+          f"{summary['cache_hit_rate']:>9.1%} "
+          f"{summary['latency_ms']['p50']:>8.2f} "
+          f"{summary['latency_ms']['p95']:>8.2f}")
+    baseline = report.get("baseline_unsharded_no_cache")
+    if baseline is not None:
+        print(f"{'baseline':>10}{baseline['queries_per_second']:>12,.0f} "
+              f"{'-':>9} {baseline['latency_ms']['p50']:>8.2f} "
+              f"{baseline['latency_ms']['p95']:>8.2f}")
+        print(f"speedup vs unsharded/no-cache baseline: "
+              f"{report['speedup_vs_baseline']:.2f}x  "
+              f"(results identical: {report['results_identical_to_baseline']})")
+        if not report["results_identical_to_baseline"]:
+            print("ERROR: service answers diverge from the baseline — "
+                  "this is a bug", file=sys.stderr)
+            return 1
+    print(f"report written to {out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -315,6 +462,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "distributed": _cmd_distributed,
         "bench": _cmd_bench,
+        "serve-workload": _cmd_serve_workload,
     }
     return handlers[args.command](args)
 

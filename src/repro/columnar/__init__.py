@@ -22,6 +22,7 @@ from repro.columnar.engine import (
     QueryContext,
     fast_bpa,
     fast_bpa2,
+    fast_nra,
     fast_ta,
     get_kernel,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "fast_ta",
     "fast_bpa",
     "fast_bpa2",
+    "fast_nra",
     "get_kernel",
     "KERNELS",
 ]

@@ -111,6 +111,28 @@ class ColumnarList:
         return instance
 
     @classmethod
+    def from_arrays(
+        cls,
+        items: np.ndarray,
+        scores: np.ndarray,
+        *,
+        name: str = "",
+    ) -> "ColumnarList":
+        """Build a list from parallel id/score arrays (any order).
+
+        The arrays are copied into the canonical layout; this is the
+        allocation-free twin of the pair-iterable constructor, used by
+        the shard builder to slice one database into many.
+        """
+        instance = cls.__new__(cls)
+        instance._init_from_arrays(
+            np.asarray(items, dtype=np.int64),
+            np.asarray(scores, dtype=np.float64),
+            name,
+        )
+        return instance
+
+    @classmethod
     def from_sorted_list(cls, sorted_list) -> "ColumnarList":
         """Convert a :class:`repro.lists.sorted_list.SortedList`."""
         instance = cls.__new__(cls)

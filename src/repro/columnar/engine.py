@@ -340,11 +340,111 @@ def fast_bpa2(
             )
 
 
+def fast_nra(
+    database: ColumnarDatabase | QueryContext,
+    k: int,
+    scoring: ScoringFunction = SUM,
+) -> TopKResult:
+    """Exact replay of :class:`NoRandomAccess` on columnar storage.
+
+    The reference recomputes every seen item's worst/best bounds from
+    scratch each round through dict-of-dict lookups.  The replay keeps
+    flat per-row score vectors instead and re-aggregates a bound only
+    when its inputs can have changed: the worst bound is refreshed when
+    the row gains a local score, and rows seen in every list reuse their
+    worst bound as their best bound (the two vectors are element-wise
+    identical, so the pure scoring function returns the same float).
+    Every scoring call that *is* made receives the exact vector the
+    reference would build, so bounds, stop round and the ranked answer
+    are bit-identical.
+    """
+    ctx = _as_context(database, scoring)
+    m, n = ctx.m, ctx.n
+    _require_valid_k(k, n)
+    rows_at, score_at, ids = ctx.rows_at, ctx.score_at, ctx.ids
+
+    #: row -> local scores seen so far, 0.0 where unknown (the reference's
+    #: ``worst_vector`` layout, kept in place between rounds).
+    local: list[list[float] | None] = [None] * n
+    have: list[int] = [0] * n  # row -> bitmask of lists already seen
+    missing: list[int] = [0] * n  # row -> lists still unknown
+    worst: list[float] = [0.0] * n  # row -> scoring(local[row]), kept fresh
+    known_rows: list[int] = []
+    last: list[Score] = [0.0] * m
+    position = 0
+
+    def check(force: bool) -> tuple[bool, tuple[ScoredItem, ...]]:
+        # Mirrors NoRandomAccess._check_stop on the flat columns.
+        if len(known_rows) < k and not force:
+            return False, ()
+        bounds: list[tuple[Score, Score, int]] = []  # (worst, best, item)
+        for row in known_rows:
+            w = worst[row]
+            if missing[row]:
+                vector = local[row]
+                bits = have[row]
+                best = scoring(
+                    [
+                        vector[i] if bits >> i & 1 else last[i]
+                        for i in range(m)
+                    ]
+                )
+            else:
+                best = w
+            bounds.append((w, best, ids[row]))
+        bounds.sort(key=lambda entry: (-entry[0], entry[2]))
+        top = bounds[:k]
+        rest = bounds[k:]
+        ranked = tuple(
+            ScoredItem(item=item, score=w) for w, _best, item in top
+        )
+        if force:
+            return True, ranked
+        kth_worst = top[-1][0]
+        best_unseen = scoring(list(last))
+        best_rest = max(
+            (best for _worst, best, _item in rest), default=float("-inf")
+        )
+        return kth_worst >= max(best_rest, best_unseen), ranked
+
+    while True:
+        position += 1
+        p = position - 1
+        for i in range(m):
+            row = rows_at[i][p]
+            score = score_at[i][p]
+            last[i] = score
+            vector = local[row]
+            if vector is None:
+                vector = [0.0] * m
+                local[row] = vector
+                missing[row] = m
+                known_rows.append(row)
+            vector[i] = score
+            have[row] |= 1 << i
+            missing[row] -= 1
+            worst[row] = scoring(vector)
+
+        stop, ranked = check(False)
+        if not stop and position >= n:
+            stop, ranked = check(True)
+        if stop:
+            return TopKResult(
+                items=ranked,
+                tally=AccessTally(sorted=position * m),
+                rounds=position,
+                stop_position=position,
+                algorithm="nra",
+                extras={},
+            )
+
+
 #: Kernel registry, keyed by the reference algorithm's registry name.
 KERNELS = {
     "ta": fast_ta,
     "bpa": fast_bpa,
     "bpa2": fast_bpa2,
+    "nra": fast_nra,
 }
 
 

@@ -17,8 +17,13 @@ substrate those applications need:
 See ``examples/continuous_monitoring.py`` for the end-to-end scenario.
 """
 
-from repro.dynamic.database import DynamicDatabase
+from repro.dynamic.database import DynamicDatabase, MutationEvent
 from repro.dynamic.dynamic_list import DynamicSortedList
 from repro.dynamic.treap import OrderStatisticTreap
 
-__all__ = ["OrderStatisticTreap", "DynamicSortedList", "DynamicDatabase"]
+__all__ = [
+    "OrderStatisticTreap",
+    "DynamicSortedList",
+    "DynamicDatabase",
+    "MutationEvent",
+]

@@ -13,17 +13,31 @@ static database does.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
 
 from repro.dynamic.dynamic_list import DynamicSortedList
 from repro.errors import InconsistentListsError
 from repro.types import ItemId, Score
 
 
+@dataclass(frozen=True, slots=True)
+class MutationEvent:
+    """One committed mutation, as delivered to subscribers.
+
+    ``kind`` is the mutating method's name (``"update_score"``,
+    ``"apply_delta"``, ``"insert_item"``, ``"remove_item"``); ``item``
+    is the affected item id.
+    """
+
+    kind: str
+    item: ItemId
+
+
 class DynamicDatabase:
     """``m`` updatable sorted lists over one evolving item set."""
 
-    __slots__ = ("_lists", "_labels")
+    __slots__ = ("_lists", "_labels", "_subscribers")
 
     def __init__(
         self,
@@ -42,6 +56,7 @@ class DynamicDatabase:
                 )
         self._lists = tuple(lists)
         self._labels = dict(labels) if labels else {}
+        self._subscribers: list[Callable[[MutationEvent], None]] = []
 
     @classmethod
     def from_score_rows(
@@ -106,16 +121,47 @@ class DynamicDatabase:
         return self._lists[index]
 
     # ------------------------------------------------------------------
+    # Mutation subscriptions (epoch wiring for caches/services)
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self, callback: Callable[[MutationEvent], None]
+    ) -> Callable[[], None]:
+        """Register a callback fired after every committed mutation.
+
+        Returns an unsubscribe function.  Callbacks run synchronously in
+        mutation order, *after* the database is consistent again —
+        :class:`repro.service.QueryService` uses this to bump its cache
+        epoch.  A failed (rolled-back) mutation never notifies.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass  # already unsubscribed; idempotent
+
+        return unsubscribe
+
+    def _notify(self, kind: str, item: ItemId) -> None:
+        event = MutationEvent(kind=kind, item=item)
+        for callback in tuple(self._subscribers):
+            callback(event)
+
+    # ------------------------------------------------------------------
     # Consistent mutations
     # ------------------------------------------------------------------
 
     def update_score(self, list_index: int, item: ItemId, score: Score) -> None:
         """Set the item's local score in one list."""
         self._lists[list_index].update(item, score)
+        self._notify("update_score", item)
 
     def apply_delta(self, list_index: int, item: ItemId, delta: Score) -> None:
         """Adjust the item's local score in one list by ``delta``."""
         self._lists[list_index].apply_delta(item, delta)
+        self._notify("apply_delta", item)
 
     def insert_item(self, item: ItemId, scores: Sequence[Score]) -> None:
         """Add a new item with one local score per list (all-or-nothing)."""
@@ -132,11 +178,13 @@ class DynamicDatabase:
             for lst in inserted:
                 lst.remove(item)
             raise
+        self._notify("insert_item", item)
 
     def remove_item(self, item: ItemId) -> None:
         """Delete an item from every list."""
         for lst in self._lists:
             lst.remove(item)
+        self._notify("remove_item", item)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<DynamicDatabase m={self.m} n={self.n}>"

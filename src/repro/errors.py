@@ -65,6 +65,20 @@ class ProtocolError(DistributedError):
     """A node received a message it cannot handle in its current state."""
 
 
+class ServiceError(ReproError):
+    """A failure inside the query-service layer."""
+
+
+class ShardMergeError(ServiceError):
+    """The shard-merge exactness certificate was violated.
+
+    A truncated shard's k'-th returned entry outranked the merged k-th
+    entry, which is impossible when every shard returned its exact
+    top-k' — this always indicates a shard under-returned (a bug), never
+    bad input, and the merge raises rather than serve a wrong answer.
+    """
+
+
 class StorageError(ReproError):
     """A failure in the on-disk list storage layer."""
 

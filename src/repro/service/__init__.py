@@ -1,0 +1,82 @@
+"""An embeddable sharded top-k query service.
+
+The paper's algorithms answer *one* query cheaply; this package serves
+*traffic*.  Four cooperating parts (see each module's docstring for the
+full story):
+
+* :mod:`repro.service.planner` — per-query planning: algorithm
+  (TA/BPA/BPA2/NRA), backend (vectorized kernel vs. reference), and
+  k-overfetch, driven by :mod:`repro.analysis.model` predictions over
+  *observed* list statistics;
+* :mod:`repro.service.sharding` — row-wise shard fan-out over a
+  serial/thread/process pool with a provably exact, certificate-checked
+  top-k merge;
+* :mod:`repro.service.cache` — an LRU result cache keyed by normalized
+  query specs, invalidated lazily through epochs so mutations stay O(1);
+* :mod:`repro.service.service` — :class:`QueryService`, the
+  ``submit()/submit_many()`` front-end producing per-query
+  :class:`ServiceStats`, wired to :class:`repro.dynamic.DynamicDatabase`
+  mutation streams for epoch bumps.
+
+:mod:`repro.service.workload` replays Zipf-popular workloads against a
+service (the ``repro-topk serve-workload`` CLI) and backs
+``reports/service_speedup.json``.
+"""
+
+from repro.service.cache import (
+    CacheStats,
+    ResultCache,
+    normalized_query_key,
+    scoring_key,
+)
+from repro.service.planner import (
+    ListStatistics,
+    PlanDecision,
+    QueryPlanner,
+    ServicePolicy,
+)
+from repro.service.service import (
+    QueryService,
+    ServiceCounters,
+    ServiceResult,
+    ServiceStats,
+)
+from repro.service.sharding import (
+    MERGE_EXACT_ALGORITHMS,
+    ShardExecutor,
+    merge_shard_results,
+    partition_database,
+)
+from repro.service.workload import (
+    WorkloadConfig,
+    build_workload,
+    replay,
+    run_workload,
+    speedup_benchmark,
+    write_report,
+)
+
+__all__ = [
+    "QueryService",
+    "ServiceResult",
+    "ServiceStats",
+    "ServiceCounters",
+    "ServicePolicy",
+    "QueryPlanner",
+    "PlanDecision",
+    "ListStatistics",
+    "ResultCache",
+    "CacheStats",
+    "normalized_query_key",
+    "scoring_key",
+    "ShardExecutor",
+    "MERGE_EXACT_ALGORITHMS",
+    "merge_shard_results",
+    "partition_database",
+    "WorkloadConfig",
+    "build_workload",
+    "replay",
+    "run_workload",
+    "speedup_benchmark",
+    "write_report",
+]

@@ -1,0 +1,170 @@
+"""Epoch-invalidated LRU result cache keyed by normalized query specs.
+
+Two queries should share a cache entry exactly when the engine would do
+identical work for them: same algorithm, same (over)fetched ``k``, same
+scoring semantics, same algorithm options.  :func:`normalized_query_key`
+canonicalizes those four dimensions; notably, scoring *instances* are
+keyed by ``(type, name, repr)`` so two ``SumScoring()`` objects share an
+entry while a user lambda (whose repr embeds its id) never falsely
+collides with another.
+
+Invalidation is epoch-based and lazy, the standard trick for serving
+over mutable data: the service bumps its epoch on every mutation of the
+underlying lists, and a cached entry is simply dropped the first time it
+is read under a newer epoch.  Nothing scans the cache on write — a
+mutation costs O(1) regardless of how many results are cached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence, Set
+
+from repro.scoring import ScoringFunction
+
+
+def scoring_key(scoring: ScoringFunction) -> tuple:
+    """A hashable identity for a scoring function's *semantics*.
+
+    Stock scorings have faithful reprs (``SumScoring()``,
+    ``WeightedSumScoring([2.0, 0.5])``) so equal-behaving instances map
+    to the same key.  A callable whose repr is the *default* one (it
+    embeds the object's address) gets the instance itself appended to
+    the key: comparing by the repr string alone would let CPython's
+    address reuse alias a dead scoring with a later, different one,
+    while pinning the instance makes the key identity-true (and keeps
+    the object alive exactly as long as anything caches under it).
+    """
+    rep = repr(scoring)
+    base = (
+        type(scoring).__qualname__,
+        str(getattr(scoring, "name", "")),
+        rep,
+    )
+    if f"at 0x{id(scoring):x}" in rep:
+        return base + (scoring,)
+    return base
+
+
+def freeze_value(value: Any) -> Hashable:
+    """Recursively convert an option value into something hashable."""
+    if isinstance(value, Mapping):
+        return tuple(
+            sorted((str(key), freeze_value(val)) for key, val in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(entry) for entry in value)
+    if isinstance(value, Set):
+        return tuple(sorted((repr(entry) for entry in value)))
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+def normalized_query_key(
+    algorithm: str,
+    k: int,
+    scoring: ScoringFunction,
+    options: Mapping[str, object] = (),
+) -> tuple:
+    """The canonical cache key for one planned query."""
+    return (
+        algorithm,
+        k,
+        scoring_key(scoring),
+        freeze_value(dict(options)),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters describing one cache's lifetime behavior."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """A bounded LRU cache whose entries expire when the epoch moves.
+
+    Args:
+        maxsize: maximum number of retained entries (>= 1).
+    """
+
+    __slots__ = ("_maxsize", "_entries", "stats")
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self._maxsize = maxsize
+        #: key -> (epoch, value); insertion order is recency order.
+        self._entries: OrderedDict[tuple, tuple[int, object]] = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def maxsize(self) -> int:
+        """Capacity in entries."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple, epoch: int):
+        """The cached value, or ``None`` on a miss or a stale epoch.
+
+        An entry written under an older epoch is dropped on sight — the
+        data it was computed from no longer exists.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry_epoch, value = entry
+        if entry_epoch != epoch:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: tuple, value: object, epoch: int) -> None:
+        """Insert (or refresh) an entry under the given epoch."""
+        self._entries[key] = (epoch, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are preserved)."""
+        self._entries.clear()
+
+    def keys(self) -> Sequence[tuple]:
+        """Current keys, least-recently used first (for introspection)."""
+        return tuple(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultCache {len(self._entries)}/{self._maxsize} entries, "
+            f"hit_rate={self.stats.hit_rate:.2f}>"
+        )

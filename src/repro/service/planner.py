@@ -1,0 +1,314 @@
+"""Cost-model query planning: algorithm, backend and k-overfetch.
+
+The planner answers three questions per query, before any list is
+touched:
+
+* **Which algorithm?**  For an ``"auto"`` query it predicts the paper's
+  execution cost (:class:`repro.types.CostModel`) of TA, BPA and BPA2
+  from *observed* list statistics — the actual overall-score
+  distribution and the actual per-position thresholds of this database,
+  not a distributional assumption — combined with the closed-form
+  best-position advance model of :mod:`repro.analysis.model`, and picks
+  the cheapest.  NRA (sorted access only) is selected when the policy
+  says random access is unavailable, the regime NRA exists for; its
+  quadratic bound-maintenance cost prices it out everywhere else.
+* **Which backend?**  The exact vectorized columnar kernel when the
+  configuration has one (``TopKAlgorithm.fast_kernel()``), the reference
+  implementation through the metered accessors otherwise.  Either way
+  the results are identical — the differential suite proves it — so this
+  is purely a throughput decision.
+* **How much to fetch?**  With caching enabled, ``k`` is rounded up to
+  the next power of two ("k-overfetch"): a top-8 answer serves every
+  ``k <= 8`` query of the same shape by truncation, so mixed-k workloads
+  share cache entries instead of fragmenting them.  Overfetch is cheap
+  — the stop depth grows sublinearly in ``k`` — and bounded by
+  ``ServicePolicy.max_overfetch``.
+
+Predicted stop positions use the observed data: TA stops at the first
+position ``p`` where the k-th best overall score reaches the threshold
+``scoring(last scores at p)``; both sides are precomputed once per
+(database, scoring) pair in :class:`ListStatistics`, so the estimate is
+a binary search, not a simulation.  (It is a lower bound — TA's running
+top-k can lag the true top-k — which is fine for *ranking* candidate
+algorithms that all share the bias.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.algorithms.base import get_algorithm
+from repro.analysis.model import expected_best_position_advance
+from repro.bench.batch import QuerySpec
+from repro.columnar import ColumnarDatabase
+from repro.errors import InvalidQueryError
+from repro.scoring import ScoringFunction
+from repro.service.cache import freeze_value, scoring_key
+from repro.types import AccessTally, CostModel
+
+#: Algorithms the auto-planner ranks by predicted cost.  NRA is excluded
+#: — it only wins when random access is impossible, which is a policy
+#: fact, not a cost estimate.
+AUTO_CANDIDATES = ("ta", "bpa", "bpa2")
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Knobs governing planning decisions.
+
+    Args:
+        allow_random: whether the sources support random access.  When
+            ``False`` every query is planned as NRA (the paper's
+            sorted-access-only regime, e.g. web sources streaming ranked
+            results).
+        overfetch: whether to round ``k`` up to a power-of-two bucket
+            when caching is enabled, so queries differing only in ``k``
+            share cache entries.
+        max_overfetch: upper bound on ``k_fetch / k`` (the power-of-two
+            bucketing never exceeds 2; the knob exists so a custom
+            bucketing cannot run away).
+    """
+
+    allow_random: bool = True
+    overfetch: bool = True
+    max_overfetch: int = 4
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's verdict for one query."""
+
+    algorithm: str  #: resolved algorithm registry name
+    backend: str  #: ``"kernel"`` or ``"reference"``
+    k_requested: int  #: k after clamping to the database size
+    k_fetch: int  #: k actually executed/cached (>= k_requested)
+    predicted_costs: Mapping[str, float] = field(default_factory=dict)
+    reason: str = ""
+
+    @property
+    def overfetched(self) -> bool:
+        """Whether the executed k exceeds the requested k."""
+        return self.k_fetch > self.k_requested
+
+
+class ListStatistics:
+    """Observed statistics of one (database, scoring) pair.
+
+    Holds the sorted overall-score distribution and exposes the
+    per-position sorted-access threshold, the two ingredients of the
+    data-driven TA stop estimate.  Built once per scoring function and
+    reused by every plan.
+    """
+
+    __slots__ = ("_scoring", "_n", "_m", "_totals_desc", "_score_arrays")
+
+    def __init__(
+        self, database: ColumnarDatabase, scoring: ScoringFunction
+    ) -> None:
+        self._scoring = scoring
+        self._n = database.n
+        self._m = database.m
+        totals = np.asarray(database.overall_scores(scoring), dtype=np.float64)
+        self._totals_desc = np.sort(totals)[::-1]
+        self._score_arrays = [lst.scores_array for lst in database.lists]
+
+    @property
+    def n(self) -> int:
+        """Number of items."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of lists."""
+        return self._m
+
+    def kth_total(self, k: int) -> float:
+        """The k-th best overall score in the database."""
+        if not 1 <= k <= self._n:
+            raise InvalidQueryError(f"k must be in 1..{self._n}, got {k}")
+        return float(self._totals_desc[k - 1])
+
+    def threshold_at(self, position: int) -> float:
+        """TA's threshold after ``position`` rounds of sorted access."""
+        if not 1 <= position <= self._n:
+            raise InvalidQueryError(
+                f"position must be in 1..{self._n}, got {position}"
+            )
+        return self._scoring(
+            [float(arr[position - 1]) for arr in self._score_arrays]
+        )
+
+    def ta_stop_estimate(self, k: int) -> int:
+        """Smallest position where the k-th overall score meets the
+        threshold (a data-driven lower bound on TA's stop position).
+
+        The threshold is non-increasing in the position (lists are score
+        descending), so binary search applies.
+        """
+        target = self.kth_total(k)
+        low, high = 1, self._n
+        if self.threshold_at(high) > target:
+            return self._n  # never met; TA runs to exhaustion
+        while low < high:
+            mid = (low + high) // 2
+            if self.threshold_at(mid) <= target:
+                high = mid
+            else:
+                low = mid + 1
+        return low
+
+
+class QueryPlanner:
+    """Plans queries for one database under one policy and cost model."""
+
+    def __init__(
+        self,
+        database: ColumnarDatabase,
+        *,
+        policy: ServicePolicy | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self._database = database
+        self._policy = policy or ServicePolicy()
+        self._model = cost_model or CostModel.paper(max(2, database.n))
+        self._statistics: dict[tuple, ListStatistics] = {}
+        #: Plans are deterministic per planner, so memoize by normalized
+        #: spec — a cache *hit* in the service must not re-pay the
+        #: stop-position estimation on its hot path.
+        self._plans: dict[tuple, PlanDecision] = {}
+
+    @property
+    def policy(self) -> ServicePolicy:
+        """The active planning policy."""
+        return self._policy
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model predictions are expressed in."""
+        return self._model
+
+    def statistics(self, scoring: ScoringFunction) -> ListStatistics:
+        """The (cached) observed statistics for a scoring function."""
+        key = scoring_key(scoring)
+        stats = self._statistics.get(key)
+        if stats is None:
+            stats = ListStatistics(self._database, scoring)
+            self._statistics[key] = stats
+        return stats
+
+    def bucketed_k(self, k: int, *, cache_enabled: bool) -> int:
+        """The k to execute: the next power of two, bounded by ``n`` and
+        the policy's overfetch cap; ``k`` itself when not caching."""
+        if not cache_enabled or not self._policy.overfetch:
+            return k
+        bucket = 1 << (k - 1).bit_length() if k > 0 else 1
+        bucket = min(bucket, k * self._policy.max_overfetch)
+        return min(bucket, self._database.n)
+
+    def predicted_costs(
+        self, k: int, scoring: ScoringFunction
+    ) -> dict[str, float]:
+        """Predicted execution cost per candidate algorithm for one k."""
+        n, m = self._database.n, self._database.m
+        stats = self.statistics(scoring)
+        p_ta = stats.ta_stop_estimate(k)
+        advance = expected_best_position_advance(n, m, p_ta)
+        if advance == float("inf"):
+            advance = float(n)
+        p_bpa = max(1, p_ta - int(round(advance)))
+        # Fraction of items seen after p_bpa rounds (rank <= p in >= 1 list).
+        seen_fraction = 1.0 - (1.0 - p_bpa / n) ** m
+        new_items = max(1, int(round(n * seen_fraction)))
+        model = self._model
+        costs = {
+            # Paper accounting: m sorted accesses per round, m-1 randoms each.
+            "ta": model.execution_cost(
+                AccessTally(sorted=m * p_ta, random=m * p_ta * (m - 1))
+            ),
+            "bpa": model.execution_cost(
+                AccessTally(sorted=m * p_bpa, random=m * p_bpa * (m - 1))
+            ),
+            # BPA2 pays direct accesses and completes each distinct item once.
+            "bpa2": model.execution_cost(
+                AccessTally(direct=m * p_bpa, random=(m - 1) * new_items)
+            ),
+            # NRA never leaves sorted access but re-derives bounds for every
+            # seen item each round — the min(m*p, n) term is that CPU cost
+            # expressed in sorted-access units, which prices NRA out unless
+            # random access is impossible.
+            "nra": model.execution_cost(
+                AccessTally(sorted=m * p_ta + p_ta * min(m * p_ta, n))
+            ),
+        }
+        return costs
+
+    def plan(self, spec: QuerySpec, *, cache_enabled: bool) -> PlanDecision:
+        """Resolve one query spec into an executable decision.
+
+        ``spec.algorithm`` may be a registry name (honored as-is, except
+        that a random-access algorithm under a no-random-access policy
+        raises :class:`InvalidQueryError`) or ``"auto"`` (cheapest
+        predicted candidate).  ``spec.k`` larger than the database is
+        clamped to ``n``.
+        """
+        n = self._database.n
+        if spec.k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {spec.k}")
+        k_requested = min(spec.k, n)
+        memo_key = (
+            spec.algorithm,
+            k_requested,
+            scoring_key(spec.scoring),
+            freeze_value(dict(spec.options)),
+            cache_enabled,
+        )
+        memoized = self._plans.get(memo_key)
+        if memoized is not None:
+            return memoized
+        k_fetch = self.bucketed_k(k_requested, cache_enabled=cache_enabled)
+        costs = self.predicted_costs(k_fetch, spec.scoring)
+
+        if not self._policy.allow_random:
+            if spec.algorithm not in ("auto", "nra"):
+                # The policy says the sources cannot answer random
+                # accesses, so an explicitly requested random-access
+                # algorithm is unsatisfiable — refuse rather than
+                # silently substitute one with different score semantics.
+                raise InvalidQueryError(
+                    f"algorithm {spec.algorithm!r} needs random access, "
+                    "which this service's policy disallows "
+                    "(use 'nra' or 'auto')"
+                )
+            algorithm = "nra"
+            reason = "policy forbids random access; NRA is the only option"
+        elif spec.algorithm != "auto":
+            algorithm = spec.algorithm
+            reason = "algorithm requested explicitly"
+        else:
+            algorithm = min(AUTO_CANDIDATES, key=lambda name: costs[name])
+            reason = (
+                f"min predicted cost among {'/'.join(AUTO_CANDIDATES)} "
+                f"({costs[algorithm]:,.0f})"
+            )
+
+        if algorithm == "nra":
+            # NRA ranks by lower-bound scores: only the full returned set
+            # is exact, so a k_fetch prefix is NOT the top-k_requested.
+            # Overfetch is unsound here — fetch exactly what was asked.
+            k_fetch = k_requested
+
+        instance = get_algorithm(algorithm, **dict(spec.options))
+        backend = "kernel" if instance.fast_kernel() is not None else "reference"
+        decision = PlanDecision(
+            algorithm=algorithm,
+            backend=backend,
+            k_requested=k_requested,
+            k_fetch=k_fetch,
+            predicted_costs=costs,
+            reason=reason,
+        )
+        self._plans[memo_key] = decision
+        return decision

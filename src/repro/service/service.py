@@ -1,0 +1,366 @@
+"""The embeddable query-service front-end.
+
+:class:`QueryService` glues the three mechanisms of this package into
+one submit path::
+
+    plan  -> cache lookup -> shard fan-out -> exact merge -> truncate
+    (planner)  (epoch-checked LRU)   (ShardExecutor)         (k-overfetch)
+
+Every answer comes with a :class:`ServiceStats` record: the plan that
+was chosen, whether the cache answered, the shard fan-out, the exact
+access tallies the execution performed, and the wall-clock latency.
+
+**Serving over mutable data.**  A service built from a
+:class:`repro.dynamic.DynamicDatabase` subscribes to its mutation
+stream: every update bumps the service *epoch*, which lazily invalidates
+cached results (see :mod:`repro.service.cache`), and the columnar
+snapshot plus shard partitions are rebuilt on the next query — mutations
+stay O(1), queries pay the refresh only when data actually changed.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.batch import QuerySpec
+from repro.columnar import ColumnarDatabase
+from repro.dynamic import DynamicDatabase
+from repro.lists.database import Database
+from repro.lists.sorted_list import SortedList
+from repro.service.cache import ResultCache, normalized_query_key
+from repro.service.planner import PlanDecision, QueryPlanner, ServicePolicy
+from repro.service.sharding import ShardExecutor
+from repro.types import AccessTally, CostModel, ItemId, Score, TopKResult
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Per-query service telemetry."""
+
+    plan: PlanDecision
+    cache_hit: bool
+    epoch: int
+    fanout: int  #: shards the execution fanned out to (1 on a cache hit)
+    tally: AccessTally  #: accesses performed (zero on a cache hit)
+    seconds: float  #: end-to-end latency of this submit
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """A served top-k answer plus its service telemetry."""
+
+    result: TopKResult
+    stats: ServiceStats
+
+    @property
+    def items(self):
+        """The served top-k entries, best first."""
+        return self.result.items
+
+    @property
+    def item_ids(self) -> tuple[ItemId, ...]:
+        """The served item ids, best first."""
+        return self.result.item_ids
+
+    @property
+    def scores(self) -> tuple[Score, ...]:
+        """The served overall scores, best first."""
+        return self.result.scores
+
+
+@dataclass
+class ServiceCounters:
+    """Aggregate counters over a service's lifetime."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    executions: int = 0
+    snapshot_refreshes: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submits answered from the cache."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+def _snapshot_dynamic(source: DynamicDatabase) -> ColumnarDatabase:
+    """A columnar snapshot of a dynamic database's current state."""
+    database = Database(
+        [
+            SortedList(zip(lst.items(), lst.scores()), name=lst.name)
+            for lst in source.lists
+        ]
+    )
+    return ColumnarDatabase.from_database(database)
+
+
+class QueryService:
+    """An embeddable sharded top-k query service.
+
+    Args:
+        database: the data to serve — a :class:`Database`, a
+            :class:`ColumnarDatabase`, or a :class:`DynamicDatabase`.
+            A dynamic database is snapshotted and *watched*: every
+            mutation bumps the service epoch (dropping stale cache
+            entries lazily) and the snapshot is rebuilt on the next
+            submit.
+        shards: shard fan-out (clamped to the item count).
+        pool: shard execution pool — ``"serial"`` / ``"thread"`` /
+            ``"process"`` / ``"auto"`` (see
+            :class:`repro.service.sharding.ShardExecutor`).
+        cache_size: LRU capacity; ``0`` disables the result cache.
+        policy: planning policy (:class:`ServicePolicy`).
+        cost_model: cost model for the planner's predictions (defaults
+            to the paper's ``cs=1, cr=log2 n``).
+    """
+
+    def __init__(
+        self,
+        database,
+        *,
+        shards: int = 1,
+        pool: str = "auto",
+        cache_size: int = 1024,
+        policy: ServicePolicy | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self._source: DynamicDatabase | None = None
+        self._unsubscribe = None
+        if isinstance(database, DynamicDatabase):
+            self._source = database
+            # Subscribe through a weakref so an un-closed service is not
+            # kept alive (pools and all) by the database's subscriber
+            # list; a dead service's callback is simply a no-op.
+            self_ref = weakref.ref(self)
+
+            def _forward(event, _ref=self_ref):
+                service = _ref()
+                if service is not None:
+                    service._on_mutation(event)
+
+            self._unsubscribe = database.subscribe(_forward)
+            database = _snapshot_dynamic(database)
+        self._shards_requested = shards
+        self._pool = pool
+        self._policy = policy
+        self._cost_model = cost_model
+        self._epoch = 0
+        self._dirty = False
+        self._cache = ResultCache(cache_size) if cache_size > 0 else None
+        self.counters = ServiceCounters()
+        self._executor: ShardExecutor | None = None
+        self._planner: QueryPlanner | None = None
+        self._closed = False
+        self._rebuild(database)
+
+    def _rebuild(self, database) -> None:
+        if self._executor is None:
+            self._executor = ShardExecutor(
+                database, shards=self._shards_requested, pool=self._pool
+            )
+        else:
+            # Keep pools (and their worker processes) warm across
+            # snapshots; only the shard data and contexts are replaced.
+            self._executor.reload(database)
+        self._planner = QueryPlanner(
+            self._executor.database,
+            policy=self._policy,
+            cost_model=self._cost_model,
+        )
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of served items (as of the current snapshot)."""
+        return self._executor.database.n
+
+    @property
+    def m(self) -> int:
+        """Number of lists."""
+        return self._executor.database.m
+
+    @property
+    def shards(self) -> int:
+        """Effective shard count."""
+        return self._executor.shards
+
+    @property
+    def pool_kind(self) -> str:
+        """The resolved execution pool kind."""
+        return self._executor.pool_kind
+
+    @property
+    def epoch(self) -> int:
+        """The current data epoch; mutations bump it."""
+        return self._epoch
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The result cache (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The active planner (rebuilt with each snapshot)."""
+        return self._planner
+
+    # ------------------------------------------------------------------
+    # Epoch management
+    # ------------------------------------------------------------------
+
+    def _on_mutation(self, _event) -> None:
+        self._epoch += 1
+        self._dirty = True
+
+    def invalidate(self) -> None:
+        """Manually bump the epoch: every cached result becomes stale.
+
+        Note this drops *results*, not data — a service over a static
+        database keeps serving the snapshot taken at construction (the
+        static backends are immutable, so there is nothing newer to
+        read).  To serve data that changes, build the service from a
+        :class:`DynamicDatabase`, whose mutations both bump the epoch
+        and mark the snapshot for rebuild.
+        """
+        self._epoch += 1
+        if self._source is not None:
+            self._dirty = True
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: QuerySpec) -> ServiceResult:
+        """Answer one query: plan, consult the cache, execute, merge."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        started = time.perf_counter()
+        if self._dirty and self._source is not None:
+            self._rebuild(_snapshot_dynamic(self._source))
+            self.counters.snapshot_refreshes += 1
+
+        if self.n == 0:
+            # Every item was removed from the source: "all items, ranked"
+            # is the empty answer, not a planning error (the caller's k
+            # was valid; the data is just gone for now).
+            return self._serve_empty(spec, started)
+
+        plan = self._planner.plan(spec, cache_enabled=self._cache is not None)
+        cache_hit = False
+        full: TopKResult | None = None
+        if self._cache is not None:
+            key = normalized_query_key(
+                plan.algorithm, plan.k_fetch, spec.scoring, spec.options
+            )
+            full = self._cache.get(key, self._epoch)
+            cache_hit = full is not None
+        if full is None:
+            full = self._executor.run(
+                plan.algorithm, spec.options, plan.k_fetch, spec.scoring
+            )
+            if self._cache is not None:
+                self._cache.put(key, full, self._epoch)
+
+        served = self._truncate(full, plan)
+        seconds = time.perf_counter() - started
+        stats = ServiceStats(
+            plan=plan,
+            cache_hit=cache_hit,
+            epoch=self._epoch,
+            fanout=1 if cache_hit else int(full.extras.get("shards", 1)),
+            tally=AccessTally() if cache_hit else full.tally.copy(),
+            seconds=seconds,
+        )
+        self.counters.queries += 1
+        self.counters.cache_hits += cache_hit
+        self.counters.executions += not cache_hit
+        return ServiceResult(result=served, stats=stats)
+
+    def submit_many(self, specs: Sequence[QuerySpec]) -> list[ServiceResult]:
+        """Answer a batch of queries in order (empty batch -> empty list)."""
+        return [self.submit(spec) for spec in specs]
+
+    def _serve_empty(self, spec: QuerySpec, started: float) -> ServiceResult:
+        from repro.errors import InvalidQueryError
+
+        if spec.k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {spec.k}")
+        plan = PlanDecision(
+            algorithm=spec.algorithm,
+            backend="none",
+            k_requested=0,
+            k_fetch=0,
+            reason="database is empty",
+        )
+        result = TopKResult(
+            items=(),
+            tally=AccessTally(),
+            rounds=0,
+            stop_position=0,
+            algorithm=spec.algorithm,
+            extras={"shards": 0},
+        )
+        stats = ServiceStats(
+            plan=plan,
+            cache_hit=False,
+            epoch=self._epoch,
+            fanout=0,
+            tally=AccessTally(),
+            seconds=time.perf_counter() - started,
+        )
+        self.counters.queries += 1
+        return ServiceResult(result=result, stats=stats)
+
+    @staticmethod
+    def _truncate(full: TopKResult, plan: PlanDecision) -> TopKResult:
+        """Serve the requested prefix of an overfetched answer.
+
+        A prefix of an exact ranked top-``k_fetch`` is the exact ranked
+        top-``k_requested`` under the same total order, so truncation
+        never changes correctness — only how much the cache can reuse.
+        """
+        if plan.k_fetch == plan.k_requested:
+            return full
+        return TopKResult(
+            items=full.items[: plan.k_requested],
+            tally=full.tally.copy(),
+            rounds=full.rounds,
+            stop_position=full.stop_position,
+            algorithm=full.algorithm,
+            extras={**full.extras, "k_fetched": plan.k_fetch},
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor pools and detach from the source."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        if self._executor is not None:
+            self._executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cache = self._cache.maxsize if self._cache is not None else "off"
+        return (
+            f"<QueryService n={self.n} m={self.m} shards={self.shards} "
+            f"pool={self.pool_kind} cache={cache} epoch={self._epoch}>"
+        )

@@ -1,0 +1,308 @@
+"""Datagen-driven workload replay and the service speedup benchmark.
+
+A *workload* is a sequence of queries drawn from a pool of distinct
+query shapes with Zipf-skewed popularity — the canonical model of
+production query traffic, where a few hot queries dominate.  Replaying
+one against a :class:`QueryService` exercises every part of the
+subsystem at once: the planner sees mixed ``k``, the shard executor sees
+every cache miss, and the cache sees the popularity skew it exists for.
+
+:func:`run_workload` replays one configuration and returns a JSON-ready
+summary (written under ``reports/service_*.json`` by the
+``serve-workload`` CLI).  :func:`speedup_benchmark` measures the
+unsharded-vs-sharded x cold-vs-warm grid behind
+``reports/service_speedup.json`` and cross-checks that every cached or
+sharded answer is identical to the cache-off replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.batch import QuerySpec
+from repro.datagen.base import make_generator
+from repro.service.service import QueryService, ServiceResult
+from repro.types import AccessTally
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """One serve-workload run, fully seeded and reproducible."""
+
+    generator: str = "uniform"  #: datagen family for the database
+    alpha: float | None = None  #: correlation parameter (correlated only)
+    n: int = 10_000
+    m: int = 3
+    seed: int = 42
+    queries: int = 200  #: total replayed queries
+    distinct: int = 30  #: size of the distinct query pool
+    k_max: int = 20  #: per-query k is drawn uniformly from 1..k_max
+    zipf_theta: float = 1.0  #: popularity skew over the query pool
+    algorithm: str = "auto"  #: algorithm per query ("auto" = planner)
+    shards: int = 1
+    pool: str = "auto"
+    cache_size: int = 1024  #: 0 disables the cache
+
+
+def build_database(config: WorkloadConfig):
+    """The (seeded) database a workload runs against."""
+    params = {}
+    if config.generator == "correlated" and config.alpha is not None:
+        params["alpha"] = config.alpha
+    generator = make_generator(config.generator, **params)
+    return generator.generate(config.n, config.m, seed=config.seed)
+
+
+def build_workload(config: WorkloadConfig) -> list[QuerySpec]:
+    """Draw the query sequence: a Zipf-popular replay over a spec pool.
+
+    The pool holds ``distinct`` specs with k drawn from ``1..k_max``;
+    each replayed query picks a pool entry with probability proportional
+    to ``1 / rank**zipf_theta``.  ``zipf_theta = 0`` gives a uniform
+    (cache-hostile) workload, larger values concentrate traffic on a
+    few hot queries.
+    """
+    rng = np.random.default_rng(config.seed + 1)
+    pool = [
+        QuerySpec(
+            algorithm=config.algorithm,
+            k=int(rng.integers(1, max(2, config.k_max + 1))),
+        )
+        for _ in range(max(1, config.distinct))
+    ]
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, max(0.0, config.zipf_theta))
+    weights /= weights.sum()
+    draws = rng.choice(len(pool), size=max(0, config.queries), p=weights)
+    return [pool[index] for index in draws]
+
+
+def replay(
+    service: QueryService, workload: Sequence[QuerySpec]
+) -> tuple[dict, list[ServiceResult]]:
+    """Replay a workload through a service; returns (summary, results)."""
+    started = time.perf_counter()
+    results = service.submit_many(list(workload))
+    seconds = time.perf_counter() - started
+
+    tally = AccessTally()
+    plan_mix: dict[str, int] = {}
+    backend_mix: dict[str, int] = {}
+    hits = 0
+    latencies = sorted(r.stats.seconds for r in results) or [0.0]
+    max_fanout = 1
+    for served in results:
+        stats = served.stats
+        tally = tally + stats.tally
+        hits += stats.cache_hit
+        plan_mix[stats.plan.algorithm] = plan_mix.get(stats.plan.algorithm, 0) + 1
+        backend_mix[stats.plan.backend] = (
+            backend_mix.get(stats.plan.backend, 0) + 1
+        )
+        max_fanout = max(max_fanout, stats.fanout)
+
+    def percentile(fraction: float) -> float:
+        index = min(len(latencies) - 1, int(fraction * len(latencies)))
+        return latencies[index]
+
+    summary = {
+        "queries": len(results),
+        "seconds": seconds,
+        "queries_per_second": len(results) / seconds if seconds > 0 else 0.0,
+        "cache_hits": hits,
+        "cache_hit_rate": hits / len(results) if results else 0.0,
+        "plan_mix": plan_mix,
+        "backend_mix": backend_mix,
+        "shards": service.shards,
+        "max_fanout": max_fanout,
+        "accesses": {
+            "sorted": tally.sorted,
+            "random": tally.random,
+            "direct": tally.direct,
+        },
+        "latency_ms": {
+            "p50": percentile(0.50) * 1e3,
+            "p95": percentile(0.95) * 1e3,
+            "max": latencies[-1] * 1e3,
+        },
+    }
+    return summary, results
+
+
+def _served_answers(results: Sequence[ServiceResult]) -> list[tuple]:
+    return [(r.item_ids, r.scores) for r in results]
+
+
+def run_workload(
+    config: WorkloadConfig, *, include_baseline: bool = True
+) -> dict:
+    """Replay one workload configuration; returns the JSON-ready report.
+
+    With ``include_baseline`` the same workload is also replayed
+    unsharded with the cache off (the repo's status-quo execution path)
+    and every answer is cross-checked for equality — a cache or merge
+    bug fails the run instead of polluting the numbers.
+    """
+    database = build_database(config)
+    workload = build_workload(config)
+
+    with QueryService(
+        database,
+        shards=config.shards,
+        pool=config.pool,
+        cache_size=config.cache_size,
+    ) as service:
+        summary, results = replay(service, workload)
+        cache = service.cache
+        summary["cache"] = (
+            {
+                "maxsize": cache.maxsize,
+                "entries": len(cache),
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "evictions": cache.stats.evictions,
+                "invalidations": cache.stats.invalidations,
+            }
+            if cache is not None
+            else None
+        )
+        pool_kind = service.pool_kind
+
+    report = {
+        "config": asdict(config),
+        "pool_resolved": pool_kind,
+        "cpu_count": os.cpu_count(),
+        "service": summary,
+    }
+
+    if include_baseline:
+        with QueryService(
+            database, shards=1, pool="serial", cache_size=0
+        ) as baseline:
+            baseline_summary, baseline_results = replay(baseline, workload)
+        report["baseline_unsharded_no_cache"] = baseline_summary
+        report["results_identical_to_baseline"] = _served_answers(
+            results
+        ) == _served_answers(baseline_results)
+        baseline_qps = baseline_summary["queries_per_second"]
+        report["speedup_vs_baseline"] = (
+            summary["queries_per_second"] / baseline_qps
+            if baseline_qps > 0
+            else float("inf")
+        )
+    return report
+
+
+def speedup_benchmark(
+    *,
+    n: int = 100_000,
+    m: int = 3,
+    queries: int = 400,
+    distinct: int = 40,
+    k_max: int = 20,
+    shards: int = 4,
+    generator: str = "uniform",
+    zipf_theta: float = 1.0,
+    seed: int = 42,
+    pool: str = "auto",
+) -> dict:
+    """The unsharded-vs-sharded x cold-vs-warm service benchmark.
+
+    For each shard count in {1, ``shards``} the same Zipf-popular
+    workload is replayed three ways: cache off (the status-quo
+    baseline), cache on starting cold (compulsory misses included), and
+    cache on warm (an identical second replay).  All answers are
+    cross-checked against the cache-off replay.  The headline
+    ``speedup_s{S}_service_vs_unsharded_baseline`` compares the service
+    as shipped (S shards, cache on, cold start) against replaying every
+    query unsharded with no cache.
+
+    Note: shard fan-out buys wall-clock time only where there are cores
+    to fan out to; ``cpu_count`` is recorded so single-core numbers read
+    as what they are.
+    """
+    config = WorkloadConfig(
+        generator=generator,
+        n=n,
+        m=m,
+        seed=seed,
+        queries=queries,
+        distinct=distinct,
+        k_max=k_max,
+        zipf_theta=zipf_theta,
+        shards=shards,
+        pool=pool,
+    )
+    database = build_database(config)
+    workload = build_workload(config)
+
+    grid: dict[str, dict] = {}
+    reference_answers: list[tuple] | None = None
+    identical = True
+    for shard_count in sorted({1, max(1, shards)}):
+        label = "unsharded" if shard_count == 1 else f"sharded_s{shard_count}"
+        cell: dict[str, object] = {"shards": shard_count}
+
+        with QueryService(
+            database, shards=shard_count, pool=pool, cache_size=0
+        ) as service:
+            off_summary, off_results = replay(service, workload)
+        cell["cache_off"] = off_summary
+        if reference_answers is None:
+            reference_answers = _served_answers(off_results)
+        else:
+            identical &= reference_answers == _served_answers(off_results)
+
+        with QueryService(
+            database, shards=shard_count, pool=pool, cache_size=1024
+        ) as service:
+            cold_summary, cold_results = replay(service, workload)
+            warm_summary, warm_results = replay(service, workload)
+        cell["cache_cold"] = cold_summary
+        cell["cache_warm"] = warm_summary
+        identical &= reference_answers == _served_answers(cold_results)
+        identical &= reference_answers == _served_answers(warm_results)
+        grid[label] = cell
+
+    sharded_label = f"sharded_s{shards}" if shards > 1 else "unsharded"
+    sharded = grid[sharded_label]
+    hit_rate = sharded["cache_cold"]["cache_hit_rate"]
+    baseline_qps = grid["unsharded"]["cache_off"]["queries_per_second"]
+    cold_qps = sharded["cache_cold"]["queries_per_second"]
+    warm_qps = sharded["cache_warm"]["queries_per_second"]
+    return {
+        "benchmark": "service_speedup",
+        "config": asdict(config),
+        "cpu_count": os.cpu_count(),
+        "grid": grid,
+        "speedups": {
+            f"speedup_s{shards}_service_vs_unsharded_baseline": (
+                cold_qps / baseline_qps if baseline_qps > 0 else float("inf")
+            ),
+            f"speedup_s{shards}_warm_vs_cold_cache": (
+                warm_qps / cold_qps if cold_qps > 0 else float("inf")
+            ),
+            f"speedup_s{shards}_vs_unsharded_cache_off": (
+                sharded["cache_off"]["queries_per_second"] / baseline_qps
+                if baseline_qps > 0
+                else float("inf")
+            ),
+        },
+        "cache_hit_rate_zipf_replay": hit_rate,
+        "results_identical_to_cache_off": identical,
+    }
+
+
+def write_report(report: dict, path) -> Path:
+    """Write a JSON report, creating parent directories as needed."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return out

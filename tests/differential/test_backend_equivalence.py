@@ -110,6 +110,7 @@ class TestKernelDispatch:
         assert get_algorithm("ta").fast_kernel() == "ta"
         assert get_algorithm("bpa").fast_kernel() == "bpa"
         assert get_algorithm("bpa2").fast_kernel() == "bpa2"
+        assert get_algorithm("nra").fast_kernel() == "nra"
 
     def test_non_default_options_disable_the_kernel(self):
         assert get_algorithm("ta", memoize=True).fast_kernel() is None
@@ -125,13 +126,13 @@ class TestKernelDispatch:
 
     def test_algorithms_without_kernels_return_none(self):
         for name in known_algorithms():
-            if name in ("ta", "bpa", "bpa2"):
+            if name in ("ta", "bpa", "bpa2", "nra"):
                 continue
             assert get_algorithm(name).fast_kernel() is None, name
 
     def test_unknown_kernel_name_raises(self):
         with pytest.raises(KeyError, match="no vectorized kernel"):
-            get_kernel("nra")
+            get_kernel("fa")
 
 
 class TestKernelsShareContext:

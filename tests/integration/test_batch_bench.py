@@ -80,6 +80,42 @@ class TestBatchRunner:
             BatchRunner(database, backend="gpu")
 
 
+class TestBatchEdgeCases:
+    """Empty batches and out-of-range k have well-defined outcomes."""
+
+    @pytest.mark.parametrize("backend", ("python", "columnar"))
+    def test_empty_batch_is_a_valid_empty_report(self, database, backend):
+        report = BatchRunner(database, backend=backend).run([])
+        assert report.results == []
+        assert report.queries == 0
+        assert report.kernel_queries == 0
+        assert report.seconds >= 0.0
+        assert report.queries_per_second == 0.0
+
+    @pytest.mark.parametrize("backend", ("python", "columnar"))
+    def test_k_beyond_n_is_clamped_to_the_full_ranking(self, database, backend):
+        runner = BatchRunner(database, backend=backend)
+        clamped, _ = runner.run_one(QuerySpec("bpa2", k=database.n + 50))
+        exact, _ = runner.run_one(QuerySpec("bpa2", k=database.n))
+        assert len(clamped.items) == database.n
+        assert clamped.items == exact.items
+
+    def test_clamping_is_identical_across_backends(self, database):
+        spec = QuerySpec("ta", k=10_000)
+        python_result, _ = BatchRunner(database, backend="python").run_one(spec)
+        columnar_result, _ = BatchRunner(
+            database, backend="columnar"
+        ).run_one(spec)
+        assert python_result == columnar_result
+
+    def test_k_below_one_still_raises(self, database):
+        from repro.errors import InvalidQueryError
+
+        runner = BatchRunner(database, backend="columnar")
+        with pytest.raises(InvalidQueryError):
+            runner.run_one(QuerySpec("bpa2", k=0))
+
+
 class TestCompareBackends:
     def test_report_shape_and_equivalence(self):
         report = compare_backends(n=300, m=3, queries=10, k=5, repeats=1)

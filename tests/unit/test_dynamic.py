@@ -175,3 +175,62 @@ class TestDynamicDatabase:
             expected = [e.score for e in brute_force_topk(database, 2, SUM)]
             result = get_algorithm("bpa").run(database, 2, SUM)
             assert list(result.scores) == pytest.approx(expected)
+
+
+class TestMutationSubscriptions:
+    """The mutation stream that drives service epoch invalidation."""
+
+    @pytest.fixture()
+    def database(self) -> DynamicDatabase:
+        return DynamicDatabase.from_score_rows(
+            [[9.0, 7.0, 5.0, 3.0], [2.0, 4.0, 6.0, 8.0]]
+        )
+
+    def test_every_mutation_kind_notifies_once(self, database):
+        events = []
+        database.subscribe(events.append)
+        database.update_score(0, 1, 20.0)
+        database.apply_delta(1, 2, 0.5)
+        database.insert_item(9, [1.0, 1.0])
+        database.remove_item(0)
+        assert [(e.kind, e.item) for e in events] == [
+            ("update_score", 1),
+            ("apply_delta", 2),
+            ("insert_item", 9),
+            ("remove_item", 0),
+        ]
+
+    def test_callbacks_fire_after_the_database_is_consistent(self, database):
+        observed = []
+        database.subscribe(
+            lambda event: observed.append(database.local_scores(event.item))
+        )
+        database.update_score(0, 1, 20.0)
+        assert observed == [(20.0, 4.0)]
+
+    def test_failed_mutations_do_not_notify(self, database):
+        events = []
+        database.subscribe(events.append)
+        with pytest.raises(InconsistentListsError):
+            database.insert_item(9, [1.0])  # wrong arity, rolled back
+        with pytest.raises(DuplicateItemError):
+            database.insert_item(0, [1.0, 1.0])  # rolled back
+        with pytest.raises(UnknownItemError):
+            database.update_score(0, 999, 1.0)
+        assert events == []
+
+    def test_unsubscribe_is_idempotent(self, database):
+        events = []
+        unsubscribe = database.subscribe(events.append)
+        database.update_score(0, 1, 20.0)
+        unsubscribe()
+        unsubscribe()  # second call is a no-op
+        database.update_score(0, 1, 30.0)
+        assert len(events) == 1
+
+    def test_multiple_subscribers_all_fire_in_order(self, database):
+        order = []
+        database.subscribe(lambda e: order.append("a"))
+        database.subscribe(lambda e: order.append("b"))
+        database.update_score(0, 1, 20.0)
+        assert order == ["a", "b"]

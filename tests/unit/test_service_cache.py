@@ -1,0 +1,115 @@
+"""ResultCache: LRU behavior, epoch invalidation, key normalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scoring import MIN, SUM, SumScoring, WeightedSumScoring
+from repro.service.cache import (
+    ResultCache,
+    freeze_value,
+    normalized_query_key,
+    scoring_key,
+)
+
+
+class TestKeyNormalization:
+    def test_equal_scoring_instances_share_a_key(self):
+        assert scoring_key(SumScoring()) == scoring_key(SumScoring())
+        assert scoring_key(SUM) == scoring_key(SumScoring())
+        assert scoring_key(WeightedSumScoring([2.0, 1.0])) == scoring_key(
+            WeightedSumScoring([2.0, 1.0])
+        )
+
+    def test_different_scorings_get_different_keys(self):
+        assert scoring_key(SUM) != scoring_key(MIN)
+        assert scoring_key(WeightedSumScoring([2.0, 1.0])) != scoring_key(
+            WeightedSumScoring([1.0, 2.0])
+        )
+
+    def test_lambdas_never_falsely_collide(self):
+        # Default reprs embed the object id, so two distinct callables
+        # cannot share an entry (false misses are safe, false hits not).
+        assert scoring_key(lambda s: sum(s)) != scoring_key(lambda s: sum(s))
+
+    def test_default_repr_scorings_are_identity_pinned(self):
+        # A key built from a default repr embeds the instance itself:
+        # comparing address-bearing strings alone would let CPython's
+        # id reuse alias a dead scoring with a different later one.
+        class Opaque:
+            def __call__(self, scores):
+                return sum(scores)
+
+        scoring = Opaque()
+        key = scoring_key(scoring)
+        assert key[-1] is scoring
+        assert scoring_key(SUM)[-1] == repr(SUM)  # faithful reprs stay unpinned
+
+    def test_option_order_is_irrelevant(self):
+        a = normalized_query_key("ta", 5, SUM, {"memoize": True, "x": 1})
+        b = normalized_query_key("ta", 5, SUM, {"x": 1, "memoize": True})
+        assert a == b
+
+    def test_key_distinguishes_algorithm_k_and_options(self):
+        base = normalized_query_key("ta", 5, SUM, {})
+        assert normalized_query_key("bpa", 5, SUM, {}) != base
+        assert normalized_query_key("ta", 6, SUM, {}) != base
+        assert normalized_query_key("ta", 5, SUM, {"memoize": True}) != base
+
+    def test_freeze_handles_nested_unhashables(self):
+        frozen = freeze_value({"a": [1, {2, 3}], "b": {"c": [4]}})
+        assert hash(frozen) == hash(freeze_value({"b": {"c": [4]}, "a": [1, {3, 2}]}))
+
+
+class TestResultCache:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            ResultCache(0)
+
+    def test_hit_and_miss_accounting(self):
+        cache = ResultCache(4)
+        key = normalized_query_key("ta", 5, SUM, {})
+        assert cache.get(key, epoch=0) is None
+        cache.put(key, "answer", epoch=0)
+        assert cache.get(key, epoch=0) == "answer"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.put(("a",), 1, epoch=0)
+        cache.put(("b",), 2, epoch=0)
+        assert cache.get(("a",), epoch=0) == 1  # refreshes 'a'
+        cache.put(("c",), 3, epoch=0)  # evicts 'b', the LRU entry
+        assert cache.get(("b",), epoch=0) is None
+        assert cache.get(("a",), epoch=0) == 1
+        assert cache.get(("c",), epoch=0) == 3
+        assert cache.stats.evictions == 1
+
+    def test_epoch_invalidation_is_lazy_and_counted(self):
+        cache = ResultCache(4)
+        cache.put(("a",), "stale", epoch=0)
+        assert len(cache) == 1
+        # The write epoch has passed: the entry is dropped on first read.
+        assert cache.get(("a",), epoch=1) is None
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        # A fresh write under the new epoch serves normally.
+        cache.put(("a",), "fresh", epoch=1)
+        assert cache.get(("a",), epoch=1) == "fresh"
+
+    def test_put_refreshes_epoch_and_value(self):
+        cache = ResultCache(4)
+        cache.put(("a",), "old", epoch=0)
+        cache.put(("a",), "new", epoch=3)
+        assert cache.get(("a",), epoch=3) == "new"
+        assert len(cache) == 1
+
+    def test_clear_preserves_stats(self):
+        cache = ResultCache(4)
+        cache.put(("a",), 1, epoch=0)
+        cache.get(("a",), epoch=0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1

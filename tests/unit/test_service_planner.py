@@ -1,0 +1,141 @@
+"""QueryPlanner: observed statistics, cost ranking, overfetch, policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.bench.batch import QuerySpec
+from repro.columnar import ColumnarDatabase
+from repro.datagen import UniformGenerator
+from repro.errors import InvalidQueryError
+from repro.scoring import MIN, SUM
+from repro.service.planner import (
+    AUTO_CANDIDATES,
+    ListStatistics,
+    QueryPlanner,
+    ServicePolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def columnar() -> ColumnarDatabase:
+    return ColumnarDatabase.from_database(
+        UniformGenerator().generate(300, 3, seed=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def planner(columnar) -> QueryPlanner:
+    return QueryPlanner(columnar)
+
+
+class TestListStatistics:
+    def test_stop_estimate_matches_definition(self, columnar):
+        stats = ListStatistics(columnar, SUM)
+        for k in (1, 5, 20):
+            p = stats.ta_stop_estimate(k)
+            assert 1 <= p <= columnar.n
+            # p is the *first* position where the k-th total meets the
+            # threshold: it qualifies, and p-1 (if any) does not.
+            assert stats.kth_total(k) >= stats.threshold_at(p)
+            if p > 1:
+                assert stats.kth_total(k) < stats.threshold_at(p - 1)
+
+    def test_stop_estimate_is_monotone_in_k(self, columnar):
+        stats = ListStatistics(columnar, SUM)
+        estimates = [stats.ta_stop_estimate(k) for k in (1, 3, 10, 40, 150)]
+        assert estimates == sorted(estimates)
+
+    def test_estimate_lower_bounds_the_real_stop_position(self, columnar):
+        stats = ListStatistics(columnar, SUM)
+        for k in (1, 5, 25):
+            measured = get_algorithm("ta").run(columnar, k, SUM).stop_position
+            assert stats.ta_stop_estimate(k) <= measured
+
+    def test_validates_arguments(self, columnar):
+        stats = ListStatistics(columnar, SUM)
+        with pytest.raises(InvalidQueryError):
+            stats.kth_total(0)
+        with pytest.raises(InvalidQueryError):
+            stats.threshold_at(columnar.n + 1)
+
+
+class TestPlanning:
+    def test_auto_resolves_to_a_candidate_with_min_cost(self, planner):
+        plan = planner.plan(QuerySpec("auto", k=10), cache_enabled=False)
+        assert plan.algorithm in AUTO_CANDIDATES
+        assert plan.predicted_costs[plan.algorithm] == min(
+            plan.predicted_costs[name] for name in AUTO_CANDIDATES
+        )
+
+    def test_explicit_algorithm_is_honored(self, planner):
+        plan = planner.plan(QuerySpec("bpa2", k=10), cache_enabled=False)
+        assert plan.algorithm == "bpa2"
+        assert plan.backend == "kernel"
+
+    def test_non_default_options_fall_back_to_reference(self, planner):
+        plan = planner.plan(
+            QuerySpec("ta", k=10, options={"memoize": True}),
+            cache_enabled=False,
+        )
+        assert plan.backend == "reference"
+
+    def test_no_random_access_policy_forces_nra(self, columnar):
+        planner = QueryPlanner(
+            columnar, policy=ServicePolicy(allow_random=False)
+        )
+        plan = planner.plan(QuerySpec("auto", k=5), cache_enabled=True)
+        assert plan.algorithm == "nra"
+        # An explicit NRA request is satisfiable; anything needing
+        # random access is refused, never silently substituted.
+        assert (
+            planner.plan(QuerySpec("nra", k=5), cache_enabled=True).algorithm
+            == "nra"
+        )
+        with pytest.raises(InvalidQueryError, match="random access"):
+            planner.plan(QuerySpec("bpa2", k=5), cache_enabled=True)
+
+    def test_k_is_clamped_to_the_database(self, planner, columnar):
+        plan = planner.plan(QuerySpec("auto", k=10_000), cache_enabled=False)
+        assert plan.k_requested == columnar.n
+        assert plan.k_fetch == columnar.n
+        with pytest.raises(InvalidQueryError):
+            planner.plan(QuerySpec("auto", k=0), cache_enabled=False)
+
+    def test_statistics_are_cached_per_scoring(self, planner):
+        assert planner.statistics(SUM) is planner.statistics(SUM)
+        assert planner.statistics(SUM) is not planner.statistics(MIN)
+
+    def test_plans_are_memoized_per_normalized_spec(self, planner):
+        first = planner.plan(QuerySpec("auto", k=4), cache_enabled=True)
+        # The service's cache-hit hot path must not re-pay estimation.
+        assert planner.plan(QuerySpec("auto", k=4), cache_enabled=True) is first
+        assert (
+            planner.plan(QuerySpec("auto", k=4), cache_enabled=False)
+            is not first
+        )
+
+
+class TestOverfetch:
+    def test_bucketing_rounds_up_to_powers_of_two(self, planner):
+        assert planner.bucketed_k(1, cache_enabled=True) == 1
+        assert planner.bucketed_k(5, cache_enabled=True) == 8
+        assert planner.bucketed_k(8, cache_enabled=True) == 8
+        assert planner.bucketed_k(9, cache_enabled=True) == 16
+
+    def test_bucketing_is_capped_by_n(self, columnar):
+        planner = QueryPlanner(columnar)
+        assert planner.bucketed_k(columnar.n, cache_enabled=True) == columnar.n
+
+    def test_no_overfetch_without_cache_or_when_disabled(self, columnar):
+        planner = QueryPlanner(columnar)
+        assert planner.bucketed_k(5, cache_enabled=False) == 5
+        frugal = QueryPlanner(columnar, policy=ServicePolicy(overfetch=False))
+        assert frugal.bucketed_k(5, cache_enabled=True) == 5
+
+    def test_plans_expose_the_overfetch(self, planner):
+        plan = planner.plan(QuerySpec("bpa2", k=5), cache_enabled=True)
+        assert plan.k_requested == 5
+        assert plan.k_fetch == 8
+        assert plan.overfetched
