@@ -51,6 +51,20 @@ shards with an exact merge, and repeated queries hit the result cache:
 >>> second.stats.cache_hit
 True
 >>> service.close()
+
+Under concurrency, submit through the async front-end: ``gather_many``
+runs shard fan-out on an asyncio event loop with bounded concurrency,
+and identical in-flight queries are *coalesced* into one execution:
+
+>>> import asyncio
+>>> service = QueryService(database, shards=2, pool="serial")
+>>> results = asyncio.run(
+...     service.gather_many([QuerySpec("auto", k=3)] * 4, concurrency=2))
+>>> all(r.item_ids == result.item_ids for r in results)
+True
+>>> service.counters.executions, service.counters.cache_hits
+(1, 3)
+>>> service.close()
 """
 
 import time

@@ -41,8 +41,10 @@ from repro.columnar import (
     fast_bpa,
     fast_bpa2,
     fast_nra,
+    fast_quick_combine,
     fast_ta,
 )
+from repro.exec import ExecutionBackend, LocalColumnarBackend
 from repro.datagen import (
     CorrelatedGenerator,
     GaussianGenerator,
@@ -115,11 +117,14 @@ __all__ = [
     "fast_bpa",
     "fast_bpa2",
     "fast_nra",
+    "fast_quick_combine",
     "BatchRunner",
     "QuerySpec",
     "compare_backends",
     # query service
     "QueryService",
+    "ExecutionBackend",
+    "LocalColumnarBackend",
     "ServiceResult",
     "ServiceStats",
     "ServicePolicy",

@@ -54,6 +54,12 @@ class QuickCombine(TopKAlgorithm):
         """The score-drop estimation window."""
         return self._lookahead
 
+    def fast_kernel(self) -> str | None:
+        """``"qc"`` for the default lookahead, else ``None``."""
+        if self._lookahead == 3:
+            return "qc"
+        return None
+
     def _execute(self, accessor, k, scoring):
         m = accessor.m
         n = accessor.n

@@ -10,7 +10,9 @@ Examples::
     repro-topk distributed --n 2000 --m 6 --k 10
     repro-topk bench compare-backends --n 10000 --m 3 --queries 100
     repro-topk serve-workload --n 100000 --m 3 --shards 4 --queries 400
+    repro-topk serve-workload --shards auto --async-mode --concurrency 8
     repro-topk serve-workload --speedup    # the service_speedup.json grid
+    repro-topk dist-bench                  # distributed_speedup.json
 
 (Equivalently ``python -m repro ...``.)
 """
@@ -134,12 +136,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 = uniform traffic)")
     serve.add_argument("--algorithm", default="auto",
                        help="algorithm per query ('auto' lets the planner pick)")
-    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--shards", default="4",
+                       help="shard count, or 'auto' to let the planner's "
+                            "cost model pick it (default: 4)")
     serve.add_argument("--pool", default="auto",
                        choices=("auto", "serial", "thread", "process"))
     serve.add_argument("--cache-size", type=int, default=1024)
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
+    serve.add_argument("--async-mode", action="store_true",
+                       help="replay through submit_async/gather_many "
+                            "instead of the serial submit_many")
+    serve.add_argument("--concurrency", type=int, default=8,
+                       help="bounded concurrency for --async-mode")
     serve.add_argument("--out", default=None, metavar="FILE",
                        help="report path (default: reports/service_workload.json)")
     serve.add_argument("--smoke", action="store_true",
@@ -148,6 +157,28 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--speedup", action="store_true",
                        help="run the unsharded-vs-sharded x cold-vs-warm grid "
                             "benchmark (writes reports/service_speedup.json)")
+
+    dist_bench = sub.add_parser(
+        "dist-bench",
+        help="measure the batched wire protocol's message/byte savings and "
+             "async-vs-serial service throughput "
+             "(writes reports/distributed_speedup.json)",
+    )
+    dist_bench.add_argument("--n", type=int, default=2_000)
+    dist_bench.add_argument("--m", type=int, default=5)
+    dist_bench.add_argument("--k", type=int, default=10)
+    dist_bench.add_argument("--generator", default="uniform",
+                            choices=("uniform", "gaussian", "correlated",
+                                     "zipf"))
+    dist_bench.add_argument("--seed", type=int, default=42)
+    dist_bench.add_argument("--queries", type=int, default=120,
+                            help="queries in the async-vs-serial replay")
+    dist_bench.add_argument("--concurrency", type=int, default=8)
+    dist_bench.add_argument("--smoke", action="store_true",
+                            help="tiny CI preset (n=600, m=3, 40 queries)")
+    dist_bench.add_argument("--out", default=None, metavar="FILE",
+                            help="report path "
+                                 "(default: reports/distributed_speedup.json)")
 
     return parser
 
@@ -356,8 +387,22 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         print(f"unknown algorithm {args.algorithm!r}; known: "
               f"{known_algorithms()} or 'auto'", file=sys.stderr)
         return 2
+    if args.shards == "auto":
+        shards = "auto"
+    else:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            print(f"--shards must be an integer or 'auto' (got {args.shards})",
+                  file=sys.stderr)
+            return 2
+    args.shards = shards
 
     if args.speedup:
+        if args.shards == "auto":
+            print("--speedup sweeps explicit shard counts; pass --shards N",
+                  file=sys.stderr)
+            return 2
         report = speedup_benchmark(
             n=args.n,
             m=args.m,
@@ -412,23 +457,36 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
             queries=min(args.queries, 60),
             distinct=min(args.distinct, 10),
             k_max=min(args.k_max, 10),
-            shards=min(args.shards, 2),
+            shards="auto" if args.shards == "auto" else min(args.shards, 2),
             pool="serial",
         )
-        default_out = "reports/service_smoke.json"
+        default_out = (
+            "reports/service_smoke_async.json"
+            if args.async_mode
+            else "reports/service_smoke.json"
+        )
     else:
         default_out = "reports/service_workload.json"
     config = WorkloadConfig(**settings)
 
-    report = run_workload(config)
+    report = run_workload(
+        config,
+        mode="async" if args.async_mode else "serial",
+        concurrency=args.concurrency,
+    )
     out = write_report(report, args.out or default_out)
     summary = report["service"]
     print(f"workload: {summary['queries']} queries "
           f"({config.distinct} distinct, zipf theta={config.zipf_theta}) over "
           f"{config.generator} n={config.n:,} m={config.m}")
+    mode_note = (
+        f" mode=async(x{args.concurrency}, {summary.get('coalesced', 0)} "
+        "coalesced)" if args.async_mode else ""
+    )
     print(f"service:  shards={summary['shards']} "
           f"pool={report['pool_resolved']} "
-          f"cache={'off' if config.cache_size == 0 else config.cache_size}")
+          f"cache={'off' if config.cache_size == 0 else config.cache_size}"
+          f"{mode_note}")
     print(f"{'':>10}{'queries/s':>12} {'hit rate':>9} {'p50 ms':>8} "
           f"{'p95 ms':>8}")
     print(f"{'service':>10}{summary['queries_per_second']:>12,.0f} "
@@ -451,6 +509,49 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dist_bench(args: argparse.Namespace) -> int:
+    from repro.distributed.bench import distributed_speedup_benchmark
+    from repro.service.workload import write_report
+
+    settings = dict(
+        n=args.n,
+        m=args.m,
+        k=args.k,
+        generator=args.generator,
+        seed=args.seed,
+        async_queries=args.queries,
+        concurrency=args.concurrency,
+    )
+    if args.smoke:
+        settings.update(n=min(args.n, 600), m=min(args.m, 3),
+                        async_queries=min(args.queries, 40))
+    report = distributed_speedup_benchmark(**settings)
+    out = write_report(report, args.out or "reports/distributed_speedup.json")
+
+    transport = report["transport"]
+    print(f"wire protocols ({transport['config']['generator']} "
+          f"n={transport['config']['n']:,} m={transport['config']['m']} "
+          f"k={transport['config']['k']}):")
+    print(f"{'driver':>8} {'accesses':>9} {'entry msgs':>11} {'batch msgs':>11} "
+          f"{'entry bytes':>12} {'batch bytes':>12} {'bytes saved':>12}")
+    for name, cell in transport["drivers"].items():
+        print(f"{name:>8} {cell['accesses']:>9,} "
+              f"{cell['entry']['messages']:>11,} "
+              f"{cell['batch']['messages']:>11,} "
+              f"{cell['entry']['bytes']:>12,} "
+              f"{cell['batch']['bytes']:>12,} "
+              f"{cell['bytes_reduction']:>11.1%}")
+    async_side = report["async_service"]
+    print(f"async service replay ({async_side['config']['queries']} queries, "
+          f"concurrency {async_side['config']['concurrency']}):")
+    print(f"  serial {async_side['serial']['queries_per_second']:,.0f} q/s  "
+          f"async {async_side['async']['queries_per_second']:,.0f} q/s  "
+          f"({async_side['async_vs_serial_speedup']:.2f}x, cache stats "
+          f"identical: {async_side['cache_stats_identical']})")
+    print(f"report written to {out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -463,6 +564,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "distributed": _cmd_distributed,
         "bench": _cmd_bench,
         "serve-workload": _cmd_serve_workload,
+        "dist-bench": _cmd_dist_bench,
     }
     return handlers[args.command](args)
 

@@ -23,6 +23,7 @@ from repro.columnar.engine import (
     fast_bpa,
     fast_bpa2,
     fast_nra,
+    fast_quick_combine,
     fast_ta,
     get_kernel,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "fast_bpa",
     "fast_bpa2",
     "fast_nra",
+    "fast_quick_combine",
     "get_kernel",
     "KERNELS",
 ]

@@ -439,12 +439,98 @@ def fast_nra(
             )
 
 
+def fast_quick_combine(
+    database: ColumnarDatabase | QueryContext,
+    k: int,
+    scoring: ScoringFunction = SUM,
+) -> TopKResult:
+    """Exact replay of :class:`QuickCombine` (default lookahead d = 3).
+
+    The reference's adaptive scheduling is a pure function of the scores
+    seen so far: the next sorted access goes to the list with the
+    largest recent score drop over the lookahead window, ties to the
+    lower list index.  Replaying that policy on the precomputed columns
+    — same priming rounds, same drop arithmetic on the same floats,
+    same per-new-item random-access completion — reproduces the
+    reference's access sequence, and therefore its ranked answer,
+    tallies and extras, bit for bit.
+    """
+    ctx = _as_context(database, scoring)
+    m, n = ctx.m, ctx.n
+    _require_valid_k(k, n)
+    rows_at, score_at, totals, ids = ctx.rows_at, ctx.score_at, ctx.totals, ctx.ids
+    lookahead = 3  # QuickCombine's default; other values gate the kernel off
+
+    buffer = TopKBuffer(k)
+    evaluated = bytearray(n)
+    cursor = [0] * m
+    history: list[list[float]] = [[] for _ in range(m)]
+    sorted_count = 0
+    new_items = 0
+
+    def consume(i: int) -> None:
+        nonlocal sorted_count, new_items
+        p = cursor[i]
+        cursor[i] = p + 1
+        sorted_count += 1
+        history[i].append(score_at[i][p])
+        row = rows_at[i][p]
+        if not evaluated[row]:
+            evaluated[row] = 1
+            new_items += 1  # costs m - 1 random accesses (once per item)
+            buffer.add(ids[row], totals[row])
+
+    def threshold() -> Score:
+        return scoring([h[-1] for h in history])
+
+    def drop(i: int) -> float:
+        h = history[i]
+        window = min(lookahead, len(h) - 1)
+        if window == 0:
+            return 0.0
+        return (h[-1 - window] - h[-1]) / window
+
+    def package(extras: dict) -> TopKResult:
+        depth = max(len(h) for h in history)
+        tally = AccessTally(sorted=sorted_count, random=new_items * (m - 1))
+        return TopKResult(
+            items=buffer.ranked(),
+            tally=tally,
+            rounds=depth,
+            stop_position=depth,
+            algorithm="qc",
+            extras=extras,
+        )
+
+    def depths() -> tuple[int, ...]:
+        return tuple(len(h) for h in history)
+
+    # Prime every list so drops are defined and the threshold exists.
+    for _ in range(min(lookahead + 1, n)):
+        for i in range(m):
+            consume(i)
+        if buffer.all_at_least(threshold()):
+            return package({"depths": depths()})
+
+    # Adaptive phase: one sorted access at a time.
+    while True:
+        if buffer.all_at_least(threshold()):
+            break
+        candidates = [i for i in range(m) if cursor[i] < n]
+        if not candidates:
+            break  # everything seen; Y is exact
+        consume(max(candidates, key=lambda i: (drop(i), -i)))
+
+    return package({"depths": depths(), "threshold": threshold()})
+
+
 #: Kernel registry, keyed by the reference algorithm's registry name.
 KERNELS = {
     "ta": fast_ta,
     "bpa": fast_bpa,
     "bpa2": fast_bpa2,
     "nra": fast_nra,
+    "qc": fast_quick_combine,
 }
 
 

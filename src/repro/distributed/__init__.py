@@ -10,9 +10,13 @@ those arguments measurable:
   counts messages and payload bytes;
 * :class:`ListOwnerNode` — one node per list, serving sorted / random /
   direct accesses and (for BPA2) managing its best position locally;
+* :class:`NetworkBackend` — the network as one
+  :class:`repro.exec.ExecutionBackend` transport (per-entry or batched
+  wire protocol) for the unified drivers in :mod:`repro.exec.drivers`;
 * coordinator-side drivers: :class:`DistributedTA`,
-  :class:`DistributedBPA`, :class:`DistributedBPA2` and the related-work
-  baseline :class:`DistributedTPUT` (Cao & Wang, PODC 2004).
+  :class:`DistributedBPA`, :class:`DistributedBPA2` (thin transport
+  wrappers over the unified core) and the related-work baseline
+  :class:`DistributedTPUT` (Cao & Wang, PODC 2004).
 
 All drivers return a :class:`repro.types.TopKResult` whose ``extras``
 carry a :class:`NetworkStats` snapshot.
@@ -20,6 +24,7 @@ carry a :class:`NetworkStats` snapshot.
 
 from repro.distributed.network import NetworkStats, SimulatedNetwork
 from repro.distributed.nodes import ListOwnerNode
+from repro.distributed.transport import NetworkBackend
 from repro.distributed.algorithms import (
     DistributedBPA,
     DistributedBPA2,
@@ -30,6 +35,7 @@ from repro.distributed.tput import DistributedTPUT
 __all__ = [
     "SimulatedNetwork",
     "NetworkStats",
+    "NetworkBackend",
     "ListOwnerNode",
     "DistributedTA",
     "DistributedBPA",

@@ -1,121 +1,113 @@
 """Coordinator-side drivers for distributed TA, BPA and BPA2.
 
-Each driver builds one :class:`ListOwnerNode` per list, wires them to a
-:class:`SimulatedNetwork`, and runs the query from the originator.  The
-returned :class:`TopKResult` carries the usual access tally (summed over
-the owners) plus ``extras["network"]`` with message/byte counters.
+Since the unified execution core (:mod:`repro.exec`) these classes are
+thin transport wrappers: the algorithm logic lives once in
+:mod:`repro.exec.drivers`, and each driver here chooses how the
+primitives are served —
 
-The communication patterns mirror the paper's discussion:
+* ``transport="simulated"`` (default): one :class:`ListOwnerNode` per
+  list behind a :class:`SimulatedNetwork`, with per-round message/byte
+  accounting in ``extras["network"]``.  ``protocol="entry"`` is the
+  paper's per-entry RPC (one round trip per access);
+  ``protocol="batch"`` coalesces a round's lookups per owner into
+  single messages (identical owner-side operations, fewer and smaller
+  messages — see :mod:`repro.distributed.bench` for the measured
+  saving);
+* ``transport="local"``: the same driver over
+  :class:`repro.exec.LocalColumnarBackend` — no network at all, flat
+  columnar arrays, which is how the differential suite proves the
+  drivers bit-identical to the reference single-node algorithms.
 
-* TA / BPA: every access is one request/response round trip; BPA
-  responses additionally carry positions (bigger messages — the overhead
-  BPA2 removes);
-* BPA2: same round-trip count per access, but positions never travel and
-  the owners piggyback best-position scores only when they change.
+The communication patterns mirror the paper's discussion: TA/BPA pay
+one round trip per access and BPA responses additionally carry
+positions (the overhead BPA2 removes); BPA2's owners keep the best
+positions and piggyback best-position scores only when they change.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-
-from repro.algorithms.base import TopKBuffer
-from repro.core.best_position import make_tracker
-from repro.distributed.network import SimulatedNetwork
-from repro.distributed.nodes import ListOwnerNode
+from repro.distributed.transport import NetworkBackend
 from repro.errors import InvalidQueryError
-from repro.lists.database import Database
+from repro.exec.backend import LocalColumnarBackend
+from repro.exec.drivers import DriverOutcome, run_bpa, run_bpa2, run_ta
+from repro.lists.accessor import DatabaseLike
 from repro.scoring import SUM, ScoringFunction
-from repro.types import AccessTally, ItemId, Score, TopKResult
+from repro.types import TopKResult
+
+TRANSPORTS = ("simulated", "local")
 
 
-class _DistributedDriver(ABC):
-    """Shared plumbing: node setup, result packaging."""
+class _DistributedDriver:
+    """Shared plumbing: backend setup, result packaging."""
 
     name: str = "distributed"
     include_position: bool = False
 
-    def __init__(self, *, tracker: str = "bitarray") -> None:
+    def __init__(
+        self,
+        *,
+        tracker: str = "bitarray",
+        protocol: str = "entry",
+        transport: str = "simulated",
+    ) -> None:
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+            )
         self._tracker_kind = tracker
+        self._protocol = protocol
+        self._transport = transport
 
     def run(
-        self, database: Database, k: int, scoring: ScoringFunction = SUM
+        self, database: DatabaseLike, k: int, scoring: ScoringFunction = SUM
     ) -> TopKResult:
-        """Execute the query over a fresh simulated deployment."""
+        """Execute the query over a fresh deployment of the transport."""
         if not 1 <= k <= database.n:
             raise InvalidQueryError(f"k must be in 1..{database.n}, got {k}")
-        network = SimulatedNetwork()
-        owners = [
-            ListOwnerNode(
-                sorted_list,
+        if self._transport == "local":
+            backend = LocalColumnarBackend(
+                database, include_position=self.include_position
+            )
+            extras = {}
+        else:
+            backend = NetworkBackend(
+                database,
                 tracker=self._tracker_kind,
                 include_position=self.include_position,
+                protocol=self._protocol,
             )
-            for sorted_list in database.lists
-        ]
-        for index, owner in enumerate(owners):
-            network.register(f"owner/{index}", owner)
-        items, rounds, stop_position = self._drive(network, owners, k, scoring)
-        tally = AccessTally()
-        for owner in owners:
-            tally = tally + owner.accessor.tally
+            extras = None  # filled after the run, once stats are final
+        outcome = self._drive(backend, k, scoring)
+        if extras is None:
+            extras = {
+                "network": backend.network.stats.snapshot(),
+                "protocol": self._protocol,
+            }
         return TopKResult(
-            items=items,
-            tally=tally,
-            rounds=rounds,
-            stop_position=stop_position,
+            items=outcome.items,
+            tally=backend.total_tally(),
+            rounds=outcome.rounds,
+            stop_position=outcome.stop_position,
             algorithm=self.name,
-            extras={"network": network.stats.snapshot()},
+            extras=extras,
         )
 
-    @abstractmethod
-    def _drive(self, network, owners, k, scoring):
-        """Run the coordinator logic; returns (items, rounds, stop_pos)."""
+    def _drive(self, backend, k, scoring) -> DriverOutcome:
+        raise NotImplementedError
 
 
 class DistributedTA(_DistributedDriver):
-    """TA over the network: one round trip per access."""
+    """TA over the chosen transport: one round trip per access."""
 
     name = "dist-ta"
     include_position = False
 
-    def _drive(self, network, owners, k, scoring):
-        m = len(owners)
-        n = len(owners[0].accessor)
-        buffer = TopKBuffer(k)
-        overall: dict[ItemId, Score] = {}
-        last_scores: list[Score] = [0.0] * m
-        position = 0
-        while True:
-            position += 1
-            for index in range(m):
-                response = network.request(f"owner/{index}", "sorted_next")
-                item = response["item"]
-                last_scores[index] = response["score"]
-                if item in overall:
-                    # Paper accounting: the probes repeat (Lemma 2).
-                    for other in range(m):
-                        if other != index:
-                            network.request(
-                                f"owner/{other}", "random_lookup", {"item": item}
-                            )
-                    continue
-                local = [0.0] * m
-                local[index] = response["score"]
-                for other in range(m):
-                    if other != index:
-                        reply = network.request(
-                            f"owner/{other}", "random_lookup", {"item": item}
-                        )
-                        local[other] = reply["score"]
-                total = scoring(local)
-                overall[item] = total
-                buffer.add(item, total)
-            if buffer.all_at_least(scoring(last_scores)) or position >= n:
-                return buffer.ranked(), position, position
+    def _drive(self, backend, k, scoring):
+        return run_ta(backend, k, scoring)
 
 
 class DistributedBPA(_DistributedDriver):
-    """BPA over the network: positions travel to the originator.
+    """BPA over the chosen transport: positions travel to the originator.
 
     The originator maintains the seen positions and their scores (the
     state BPA2 later pushes down to the owners).
@@ -124,54 +116,12 @@ class DistributedBPA(_DistributedDriver):
     name = "dist-bpa"
     include_position = True
 
-    def _drive(self, network, owners, k, scoring):
-        m = len(owners)
-        n = len(owners[0].accessor)
-        buffer = TopKBuffer(k)
-        overall: dict[ItemId, Score] = {}
-        trackers = [make_tracker(self._tracker_kind, n) for _ in range(m)]
-        seen_scores: list[dict[int, Score]] = [{} for _ in range(m)]
-        position = 0
-
-        def note(list_index: int, pos: int, score: Score) -> None:
-            trackers[list_index].mark(pos)
-            seen_scores[list_index][pos] = score
-
-        while True:
-            position += 1
-            for index in range(m):
-                response = network.request(f"owner/{index}", "sorted_next")
-                item = response["item"]
-                note(index, response["position"], response["score"])
-                if item in overall:
-                    for other in range(m):
-                        if other != index:
-                            reply = network.request(
-                                f"owner/{other}", "random_lookup", {"item": item}
-                            )
-                            note(other, reply["position"], reply["score"])
-                    continue
-                local = [0.0] * m
-                local[index] = response["score"]
-                for other in range(m):
-                    if other != index:
-                        reply = network.request(
-                            f"owner/{other}", "random_lookup", {"item": item}
-                        )
-                        local[other] = reply["score"]
-                        note(other, reply["position"], reply["score"])
-                total = scoring(local)
-                overall[item] = total
-                buffer.add(item, total)
-            lam = scoring(
-                [seen_scores[i][trackers[i].best_position] for i in range(m)]
-            )
-            if buffer.all_at_least(lam) or position >= n:
-                return buffer.ranked(), position, position
+    def _drive(self, backend, k, scoring):
+        return run_bpa(backend, k, scoring, tracker=self._tracker_kind)
 
 
 class DistributedBPA2(_DistributedDriver):
-    """BPA2 over the network: owners keep the best positions.
+    """BPA2 over the chosen transport: owners keep the best positions.
 
     The originator state is exactly what the paper allows it: the set
     ``Y`` and the ``m`` best-position local scores, refreshed from the
@@ -181,46 +131,5 @@ class DistributedBPA2(_DistributedDriver):
     name = "dist-bpa2"
     include_position = False
 
-    def _drive(self, network, owners, k, scoring):
-        m = len(owners)
-        buffer = TopKBuffer(k)
-        overall: dict[ItemId, Score] = {}
-        bp_scores: list[Score] = [float("inf")] * m
-        exhausted = [False] * m
-        rounds = 0
-
-        while True:
-            rounds += 1
-            progressed = False
-            for index in range(m):
-                if exhausted[index]:
-                    continue
-                response = network.request(f"owner/{index}", "direct_next")
-                if response.get("exhausted"):
-                    exhausted[index] = True
-                    continue
-                progressed = True
-                if "bp_score" in response:
-                    bp_scores[index] = response["bp_score"]
-                item = response["item"]
-                if item in overall:
-                    continue  # cannot happen (Theorem 5); kept for safety
-                local = [0.0] * m
-                local[index] = response["score"]
-                for other in range(m):
-                    if other != index:
-                        reply = network.request(
-                            f"owner/{other}", "random_lookup", {"item": item}
-                        )
-                        local[other] = reply["score"]
-                        if "bp_score" in reply:
-                            bp_scores[other] = reply["bp_score"]
-                total = scoring(local)
-                overall[item] = total
-                buffer.add(item, total)
-            if buffer.all_at_least(scoring(bp_scores)):
-                break
-            if not progressed:
-                break
-        stop_position = max(owner.best_position for owner in owners)
-        return buffer.ranked(), rounds, stop_position
+    def _drive(self, backend, k, scoring):
+        return run_bpa2(backend, k, scoring)

@@ -1,0 +1,189 @@
+"""The distributed-transport benchmark behind ``repro dist-bench``.
+
+Measures the two claims the unified execution core makes:
+
+* **Bytes/messages.**  For each of TA/BPA/BPA2, the same query runs over
+  the simulated network under the old per-entry protocol and under the
+  batched protocol, plus on the local columnar backend and the reference
+  single-node implementation.  All four answers (and their access
+  tallies) must be identical — the benchmark raises otherwise — and the
+  report records the message/byte reduction batch achieves over
+  per-entry, alongside the best-position traffic BPA ships and BPA2
+  avoids.
+* **Async throughput.**  A Zipf-popular workload replays through one
+  :class:`repro.service.QueryService` twice: serially via
+  ``submit_many`` and concurrently via ``gather_many``.  Answers and
+  cache-hit counts must match; the report records both throughputs.
+
+``write_report`` lands the JSON at ``reports/distributed_speedup.json``
+(the CI smoke artifact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.algorithms.base import get_algorithm
+from repro.columnar import ColumnarDatabase
+from repro.datagen.base import make_generator
+from repro.distributed.algorithms import (
+    DistributedBPA,
+    DistributedBPA2,
+    DistributedTA,
+)
+from repro.scoring import SUM
+
+_DRIVERS = (("ta", DistributedTA), ("bpa", DistributedBPA), ("bpa2", DistributedBPA2))
+
+
+def transport_benchmark(
+    *,
+    n: int = 2_000,
+    m: int = 5,
+    k: int = 10,
+    generator: str = "uniform",
+    seed: int = 42,
+) -> dict:
+    """Entry-vs-batch wire costs for the three drivers on one database."""
+    database = make_generator(generator).generate(n, m, seed=seed)
+    columnar = ColumnarDatabase.from_database(database)
+    per_driver: dict[str, dict] = {}
+    for name, cls in _DRIVERS:
+        reference = get_algorithm(name).run(database, k, SUM)
+        entry = cls(protocol="entry").run(columnar, k, SUM)
+        batch = cls(protocol="batch").run(columnar, k, SUM)
+        local = cls(transport="local").run(columnar, k, SUM)
+        for label, result in (("entry", entry), ("batch", batch), ("local", local)):
+            if result.items != reference.items or result.tally != reference.tally:
+                raise AssertionError(
+                    f"{name}/{label} diverges from the reference — this is a bug"
+                )
+        entry_net, batch_net = entry.extras["network"], batch.extras["network"]
+        per_driver[name] = {
+            "accesses": reference.tally.total,
+            "entry": {key: entry_net[key] for key in ("messages", "bytes", "rounds", "bp_messages", "bp_bytes")},
+            "batch": {key: batch_net[key] for key in ("messages", "bytes", "rounds", "bp_messages", "bp_bytes")},
+            "message_reduction": 1.0 - batch_net["messages"] / entry_net["messages"],
+            "bytes_reduction": 1.0 - batch_net["bytes"] / entry_net["bytes"],
+            "results_identical_to_reference": True,
+        }
+    return {
+        "config": {"n": n, "m": m, "k": k, "generator": generator, "seed": seed},
+        "drivers": per_driver,
+    }
+
+
+def async_benchmark(
+    *,
+    n: int = 5_000,
+    m: int = 3,
+    queries: int = 120,
+    distinct: int = 15,
+    k_max: int = 20,
+    concurrency: int = 8,
+    seed: int = 42,
+    generator: str = "uniform",
+) -> dict:
+    """Serial ``submit_many`` vs concurrent ``gather_many`` throughput."""
+    from repro.service.service import QueryService
+    from repro.service.workload import WorkloadConfig, build_database, build_workload
+
+    config = WorkloadConfig(
+        generator=generator,
+        n=n,
+        m=m,
+        seed=seed,
+        queries=queries,
+        distinct=distinct,
+        k_max=k_max,
+    )
+    database = build_database(config)
+    workload = build_workload(config)
+
+    with QueryService(database, shards=1, pool="serial") as service:
+        started = time.perf_counter()
+        serial_results = service.submit_many(workload)
+        serial_seconds = time.perf_counter() - started
+        serial_hits = service.counters.cache_hits
+        serial_executions = service.counters.executions
+
+    with QueryService(database, shards=1, pool="serial") as service:
+        started = time.perf_counter()
+        async_results = asyncio.run(
+            service.gather_many(workload, concurrency=concurrency)
+        )
+        async_seconds = time.perf_counter() - started
+        async_hits = service.counters.cache_hits
+        async_executions = service.counters.executions
+
+    identical = [
+        (r.item_ids, r.scores) for r in serial_results
+    ] == [(r.item_ids, r.scores) for r in async_results]
+    if not identical:
+        raise AssertionError("async replay diverges from serial — this is a bug")
+    serial_qps = len(workload) / serial_seconds if serial_seconds > 0 else 0.0
+    async_qps = len(workload) / async_seconds if async_seconds > 0 else 0.0
+    return {
+        "config": {
+            "n": n,
+            "m": m,
+            "queries": queries,
+            "distinct": distinct,
+            "k_max": k_max,
+            "concurrency": concurrency,
+            "generator": generator,
+            "seed": seed,
+        },
+        "serial": {
+            "seconds": serial_seconds,
+            "queries_per_second": serial_qps,
+            "cache_hits": serial_hits,
+            "executions": serial_executions,
+        },
+        "async": {
+            "seconds": async_seconds,
+            "queries_per_second": async_qps,
+            "cache_hits": async_hits,
+            "executions": async_executions,
+        },
+        "async_vs_serial_speedup": async_qps / serial_qps if serial_qps else 0.0,
+        "cache_stats_identical": (
+            serial_hits == async_hits and serial_executions == async_executions
+        ),
+        "results_identical": identical,
+    }
+
+
+def distributed_speedup_benchmark(
+    *,
+    n: int = 2_000,
+    m: int = 5,
+    k: int = 10,
+    generator: str = "uniform",
+    seed: int = 42,
+    async_queries: int = 120,
+    concurrency: int = 8,
+) -> dict:
+    """The full ``reports/distributed_speedup.json`` payload.
+
+    Both halves run against the same ``n``/``m``/``generator``
+    configuration, so the CLI's sizing flags (and the ``--smoke``
+    clamp) govern the async replay too.
+    """
+    return {
+        "benchmark": "distributed_speedup",
+        "cpu_count": os.cpu_count(),
+        "transport": transport_benchmark(
+            n=n, m=m, k=k, generator=generator, seed=seed
+        ),
+        "async_service": async_benchmark(
+            n=n,
+            m=m,
+            generator=generator,
+            queries=async_queries,
+            concurrency=concurrency,
+            seed=seed,
+        ),
+    }

@@ -6,25 +6,46 @@ how big they are, not their timing.  Every request and every response is
 one message; payload sizes are estimated with a fixed-width encoding
 (8 bytes per number, UTF-8 for strings), so "BPA ships positions, BPA2
 does not" shows up directly in the byte counters.
+
+Beyond the totals, :class:`NetworkStats` breaks the traffic down two
+ways the drivers need:
+
+* per *round* (:meth:`NetworkStats.begin_round`): the coordinator
+  announces each parallel access round, and message/byte counts are
+  accumulated per round so protocols can be compared round for round;
+* per *best-position exchange*: every response payload that carries
+  best-position state — BPA's shipped ``position``/``positions`` fields
+  or BPA2's piggybacked ``bp_score`` — is tallied separately
+  (``bp_messages``/``bp_bytes``), which makes "BPA2 removes the
+  position traffic" a measured number instead of a claim.
 """
 
 from __future__ import annotations
 
+import numbers
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Protocol
+
+import numpy as np
+
+#: Response fields that carry best-position state across the wire.
+_BP_FIELDS = ("bp_score", "position", "positions")
 
 
 def payload_size(value: Any) -> int:
     """Estimated wire size of a payload value, in bytes.
 
     Numbers cost 8 bytes, booleans/None 1, strings their UTF-8 length,
-    containers the sum of their elements (dict keys included).  This is a
-    stable, implementation-independent proxy for message size.
+    containers the sum of their elements (dict keys included).  NumPy
+    scalars count like their Python equivalents — the columnar backend
+    serves ``float64``/``int64`` values, and a transport must price
+    them, not crash on them.  This is a stable,
+    implementation-independent proxy for message size.
     """
-    if value is None or isinstance(value, bool):
+    if value is None or isinstance(value, (bool, np.bool_)):
         return 1
-    if isinstance(value, (int, float)):
+    if isinstance(value, numbers.Number):
         return 8
     if isinstance(value, str):
         return len(value.encode("utf-8"))
@@ -37,12 +58,30 @@ def payload_size(value: Any) -> int:
 
 @dataclass
 class NetworkStats:
-    """Message and byte counters, broken down by request kind."""
+    """Message and byte counters, broken down by request kind.
+
+    ``rounds`` counts coordinator-announced access rounds, and
+    ``messages_by_round`` / ``bytes_by_round`` accumulate per-round
+    traffic (index 0 holds anything sent before the first round).
+    ``bp_messages`` / ``bp_bytes`` tally responses carrying
+    best-position state and the wire size of exactly those fields.
+    """
 
     messages: int = 0
     bytes: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     bytes_by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    rounds: int = 0
+    messages_by_round: list[int] = field(default_factory=lambda: [0])
+    bytes_by_round: list[int] = field(default_factory=lambda: [0])
+    bp_messages: int = 0
+    bp_bytes: int = 0
+
+    def begin_round(self) -> None:
+        """Open a new accounting round (the coordinator calls this)."""
+        self.rounds += 1
+        self.messages_by_round.append(0)
+        self.bytes_by_round.append(0)
 
     def record(self, kind: str, request_bytes: int, response_bytes: int) -> None:
         """Account one request/response round trip (two messages)."""
@@ -50,6 +89,8 @@ class NetworkStats:
         self.bytes += request_bytes + response_bytes
         self.by_kind[kind] += 2
         self.bytes_by_kind[kind] += request_bytes + response_bytes
+        self.messages_by_round[-1] += 2
+        self.bytes_by_round[-1] += request_bytes + response_bytes
 
     def record_one_way(self, kind: str, size: int) -> None:
         """Account a single one-way message (e.g. a bulk phase response)."""
@@ -57,6 +98,25 @@ class NetworkStats:
         self.bytes += size
         self.by_kind[kind] += 1
         self.bytes_by_kind[kind] += size
+        self.messages_by_round[-1] += 1
+        self.bytes_by_round[-1] += size
+
+    def record_best_position_payload(self, response: dict) -> None:
+        """Tally the best-position fields of one response payload.
+
+        BPA's shipped positions and BPA2's piggybacked best-position
+        scores both travel inside ordinary responses; this counts the
+        messages that carry them and the bytes those fields add —
+        previously invisible in the per-kind totals.
+        """
+        size = sum(
+            payload_size(response[key]) + payload_size(key)
+            for key in _BP_FIELDS
+            if key in response
+        )
+        if size:
+            self.bp_messages += 1
+            self.bp_bytes += size
 
     def snapshot(self) -> dict[str, Any]:
         """A plain-dict copy for embedding into result extras."""
@@ -65,6 +125,11 @@ class NetworkStats:
             "bytes": self.bytes,
             "by_kind": dict(self.by_kind),
             "bytes_by_kind": dict(self.bytes_by_kind),
+            "rounds": self.rounds,
+            "messages_by_round": list(self.messages_by_round),
+            "bytes_by_round": list(self.bytes_by_round),
+            "bp_messages": self.bp_messages,
+            "bp_bytes": self.bp_bytes,
         }
 
 
@@ -100,6 +165,7 @@ class SimulatedNetwork:
             request_bytes=payload_size(kind) + payload_size(payload),
             response_bytes=payload_size(response),
         )
+        self.stats.record_best_position_payload(response)
         return response
 
     def reset_stats(self) -> None:

@@ -12,7 +12,12 @@ Supported request kinds:
 ``sorted_next``           next entry under sorted access
 ``random_lookup``         ``{"item": id}`` → local score (+ position when
                           ``include_position`` was enabled, as BPA needs)
+``random_lookup_many``    ``{"items": [ids]}`` → all their scores in one
+                          message (the batched transport's round lookup)
 ``direct_next``           entry at ``bp + 1`` (BPA2's direct access)
+``direct_step``           ``{"items": [ids]}`` → the pending lookups for
+                          ``items`` followed by one direct access, in one
+                          message (the batched transport's BPA2 step)
 ``get_scores_above``      ``{"threshold": t}`` → all entries scoring >= t
                           (TPUT phase 2 bulk fetch)
 ``top``                   ``{"count": c}`` → the first c entries (TPUT
@@ -31,8 +36,7 @@ from __future__ import annotations
 
 from repro.core.best_position import BestPositionTracker, make_tracker
 from repro.errors import ProtocolError
-from repro.lists.accessor import ListAccessor
-from repro.lists.sorted_list import SortedList
+from repro.lists.accessor import ListAccessor, SortedListLike
 from repro.types import Position, Score
 
 #: Session id used when a request does not specify one.
@@ -44,7 +48,7 @@ class _Session:
 
     __slots__ = ("accessor", "tracker")
 
-    def __init__(self, sorted_list: SortedList, tracker_kind: str) -> None:
+    def __init__(self, sorted_list: SortedListLike, tracker_kind: str) -> None:
         self.accessor = ListAccessor(sorted_list)
         self.tracker: BestPositionTracker = make_tracker(
             tracker_kind, len(sorted_list)
@@ -55,7 +59,9 @@ class ListOwnerNode:
     """One list owner in the simulated distributed system.
 
     Args:
-        sorted_list: the list this node owns.
+        sorted_list: the list this node owns (any backend
+            satisfying :class:`repro.lists.accessor.SortedListLike` —
+            plain :class:`~repro.lists.sorted_list.SortedList` or columnar).
         tracker: best-position structure kind (``"bitarray"`` default).
         include_position: ship item positions in ``random_lookup``
             responses (BPA needs them at the originator; BPA2 does not,
@@ -64,7 +70,7 @@ class ListOwnerNode:
 
     def __init__(
         self,
-        sorted_list: SortedList,
+        sorted_list: SortedListLike,
         *,
         tracker: str = "bitarray",
         include_position: bool = False,
@@ -132,8 +138,12 @@ class ListOwnerNode:
             return self._sorted_next(session)
         if kind == "random_lookup":
             return self._random_lookup(session, payload["item"])
+        if kind == "random_lookup_many":
+            return self._random_lookup_many(session, payload["items"])
         if kind == "direct_next":
             return self._direct_next(session)
+        if kind == "direct_step":
+            return self._direct_step(session, payload["items"])
         if kind == "top":
             return self._top(session, payload["count"])
         if kind == "get_scores_above":
@@ -171,6 +181,28 @@ class ListOwnerNode:
         self._piggyback(session, response, old_bp)
         return response
 
+    def _random_lookup_many(self, session: _Session, items: list[int]) -> dict:
+        """Batched random access: one message for a round's lookups.
+
+        Applies the exact per-item operations of ``random_lookup`` in
+        order (one metered access and one tracker mark each), but ships
+        a single response; the best-position score is piggybacked once
+        if the whole batch advanced it.
+        """
+        old_bp = session.tracker.best_position
+        scores: list[Score] = []
+        positions: list[Position] = []
+        for item in items:
+            score, position = session.accessor.random_lookup(item)
+            session.tracker.mark(position)
+            scores.append(score)
+            positions.append(position)
+        response: dict = {"scores": scores}
+        if self._include_position:
+            response["positions"] = positions
+        self._piggyback(session, response, old_bp)
+        return response
+
     def _direct_next(self, session: _Session) -> dict:
         position = session.tracker.best_position + 1
         if position > len(session.accessor):
@@ -179,6 +211,32 @@ class ListOwnerNode:
         old_bp = session.tracker.best_position
         session.tracker.mark(entry.position)
         response = {"item": entry.item, "score": entry.score}
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _direct_step(self, session: _Session, items: list[int]) -> dict:
+        """BPA2 round step: pending lookups, then one direct access.
+
+        The per-item operations (and hence this owner's best-position
+        walk, tally and piggyback points) are identical to receiving
+        ``len(items)`` ``random_lookup`` requests followed by one
+        ``direct_next`` — only the message count changes.
+        """
+        old_bp = session.tracker.best_position
+        scores: list[Score] = []
+        for item in items:
+            score, position = session.accessor.random_lookup(item)
+            session.tracker.mark(position)
+            scores.append(score)
+        response: dict = {"scores": scores}
+        position = session.tracker.best_position + 1
+        if position > len(session.accessor):
+            response["exhausted"] = True
+        else:
+            entry = session.accessor.direct_at(position)
+            session.tracker.mark(entry.position)
+            response["item"] = entry.item
+            response["score"] = entry.score
         self._piggyback(session, response, old_bp)
         return response
 

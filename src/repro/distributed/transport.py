@@ -1,0 +1,176 @@
+"""The simulated network as an :class:`repro.exec.ExecutionBackend`.
+
+This is the piece that makes the distributed stack "just another
+transport": the unified drivers in :mod:`repro.exec.drivers` call the
+backend primitives, and this module turns each primitive into messages
+against :class:`ListOwnerNode` owners over a :class:`SimulatedNetwork`.
+
+Two wire protocols are supported:
+
+* ``"entry"`` — the original per-entry RPC: every access is one
+  request/response round trip (``messages == 2 * accesses``), matching
+  the paper's message-count argument;
+* ``"batch"`` — a round's random lookups to one owner travel in a
+  single ``random_lookup_many`` message, and BPA2's per-list step
+  (pending lookups + direct access) is one ``direct_step`` message.
+  Owner-side *operations* are identical entry for entry — same metered
+  accesses, same best-position walks, same piggyback points — so
+  results and tallies are unchanged while messages and bytes drop;
+  ``repro.distributed.bench`` measures the saving.
+
+Best-position scores reach the originator only through the owners'
+piggybacked ``bp_score`` fields, exactly as the paper allows BPA2's
+coordinator to know them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.columnar import ColumnarDatabase
+from repro.distributed.network import SimulatedNetwork
+from repro.distributed.nodes import ListOwnerNode
+from repro.exec.backend import DirectStep, ExecutionBackend
+from repro.lists.accessor import DatabaseLike
+from repro.types import AccessTally, ItemId, Position, Score
+
+_INF = float("inf")
+
+PROTOCOLS = ("entry", "batch")
+
+
+class NetworkBackend(ExecutionBackend):
+    """Backend whose sources are list owners across a simulated network.
+
+    Args:
+        database: any :class:`~repro.lists.accessor.DatabaseLike`; each
+            list becomes one :class:`ListOwnerNode` (columnar lists are
+            served natively — the owners run the same vectorized
+            storage the service uses).
+        tracker: best-position structure kind at the owners.
+        include_position: ship positions in lookup responses (BPA).
+        protocol: ``"entry"`` or ``"batch"`` (see module docstring).
+        network: an existing fabric to attach to (a fresh one when
+            ``None``); owners register under ``owner/<index>``.
+    """
+
+    def __init__(
+        self,
+        database: DatabaseLike,
+        *,
+        tracker: str = "bitarray",
+        include_position: bool = False,
+        protocol: str = "entry",
+        network: SimulatedNetwork | None = None,
+    ) -> None:
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+            )
+        self.m = database.m
+        self.n = database.n
+        self.include_position = include_position
+        self.protocol = protocol
+        self.network = network or SimulatedNetwork()
+        self.owners = [
+            ListOwnerNode(
+                sorted_list, tracker=tracker, include_position=include_position
+            )
+            for sorted_list in database.lists
+        ]
+        self._addresses = [f"owner/{index}" for index in range(self.m)]
+        for address, owner in zip(self._addresses, self.owners):
+            self.network.register(address, owner)
+        self._bp_scores: list[Score] = [_INF] * self.m
+
+    @classmethod
+    def for_columnar(cls, database, **kwargs) -> "NetworkBackend":
+        """Owners over columnar lists (converting if necessary)."""
+        if not isinstance(database, ColumnarDatabase):
+            database = ColumnarDatabase.from_database(database)
+        return cls(database, **kwargs)
+
+    # ------------------------------------------------------------------
+    # ExecutionBackend primitives
+    # ------------------------------------------------------------------
+
+    def begin_round(self) -> None:
+        self.network.stats.begin_round()
+
+    def _absorb(self, list_index: int, response: dict) -> dict:
+        bp_score = response.get("bp_score")
+        if bp_score is not None:
+            self._bp_scores[list_index] = bp_score
+        return response
+
+    def sorted_next(self, i: int) -> tuple[ItemId, Score, Position]:
+        response = self._absorb(
+            i, self.network.request(self._addresses[i], "sorted_next")
+        )
+        # The sorted cursor equals the position even when the wire omits
+        # it (include_position=False); the owner's accessor tracks it.
+        position = response.get(
+            "position", self.owners[i].accessor.last_sorted_position
+        )
+        return response["item"], response["score"], position
+
+    def random_lookup_many(
+        self, i: int, items: Sequence[ItemId]
+    ) -> list[tuple[Score, Position]]:
+        if not items:
+            return []
+        address = self._addresses[i]
+        if self.protocol == "entry":
+            results: list[tuple[Score, Position]] = []
+            for item in items:
+                response = self._absorb(
+                    i,
+                    self.network.request(
+                        address, "random_lookup", {"item": item}
+                    ),
+                )
+                results.append(
+                    (response["score"], response.get("position", 0))
+                )
+            return results
+        response = self._absorb(
+            i,
+            self.network.request(
+                address, "random_lookup_many", {"items": list(items)}
+            ),
+        )
+        positions = response.get("positions", [0] * len(items))
+        return list(zip(response["scores"], positions))
+
+    def direct_step(self, i: int, items: Sequence[ItemId]) -> DirectStep:
+        address = self._addresses[i]
+        if self.protocol == "entry":
+            lookups = [
+                score for score, _pos in self.random_lookup_many(i, items)
+            ]
+            response = self._absorb(
+                i, self.network.request(address, "direct_next")
+            )
+            if response.get("exhausted"):
+                return lookups, None
+            return lookups, (response["item"], response["score"])
+        response = self._absorb(
+            i,
+            self.network.request(address, "direct_step", {"items": list(items)}),
+        )
+        lookups = list(response["scores"])
+        if response.get("exhausted"):
+            return lookups, None
+        return lookups, (response["item"], response["score"])
+
+    def best_position_scores(self) -> list[Score]:
+        return list(self._bp_scores)
+
+    def best_positions(self) -> list[Position]:
+        return [owner.best_position for owner in self.owners]
+
+    def total_tally(self) -> AccessTally:
+        tally = AccessTally()
+        for owner in self.owners:
+            tally = tally + owner.accessor.tally
+        return tally

@@ -1,0 +1,47 @@
+"""The unified execution core shared by every execution environment.
+
+The paper motivates BPA/BPA2 for middleware and distributed settings;
+this package is the repo's single implementation of their coordinator
+logic, reused by every stack that executes queries:
+
+* :class:`ExecutionBackend` — the source protocol (sorted / random /
+  best-position primitives, round-structured so transports can batch);
+* :class:`LocalColumnarBackend` — the protocol over flat columnar
+  arrays (single-node, kernel-path speed);
+* :mod:`repro.exec.drivers` — transport-agnostic TA/BPA/BPA2 drivers
+  (:func:`run_ta`, :func:`run_bpa`, :func:`run_bpa2`);
+* :func:`merge_shard_results` — the certificate-checked exact top-k
+  merge the shard executor fans in through;
+* :func:`execute_query` — kernel-or-reference execution of one query on
+  one database (the per-shard / per-thread work unit);
+* :mod:`repro.exec.keys` — canonical query/scoring identities shared by
+  the result cache, the planner and the context caches.
+
+``repro.service`` runs the core over local shard pools;
+``repro.distributed`` runs it over the simulated network.  The
+differential suites prove both produce results bit-identical to the
+reference single-node algorithms.
+"""
+
+from repro.exec.backend import DirectStep, ExecutionBackend, LocalColumnarBackend
+from repro.exec.drivers import DRIVERS, DriverOutcome, run_bpa, run_bpa2, run_ta
+from repro.exec.keys import freeze_value, normalized_query_key, scoring_key
+from repro.exec.merge import entry_key, merge_shard_results
+from repro.exec.run import execute_query
+
+__all__ = [
+    "ExecutionBackend",
+    "LocalColumnarBackend",
+    "DirectStep",
+    "DriverOutcome",
+    "DRIVERS",
+    "run_ta",
+    "run_bpa",
+    "run_bpa2",
+    "entry_key",
+    "merge_shard_results",
+    "execute_query",
+    "scoring_key",
+    "freeze_value",
+    "normalized_query_key",
+]

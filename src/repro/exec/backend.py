@@ -1,0 +1,188 @@
+"""The execution-backend protocol and its local columnar implementation.
+
+A backend owns the *sources* of one query — the ``m`` sorted lists —
+and serves the three access primitives of the TA/BPA family plus BPA2's
+best-position bookkeeping.  The drivers in :mod:`repro.exec.drivers`
+are written purely against this protocol, so the same driver code runs
+
+* single-node over flat columnar arrays (:class:`LocalColumnarBackend`),
+* over the simulated network
+  (:class:`repro.distributed.transport.NetworkBackend`), where each
+  primitive becomes one or more request/response messages.
+
+The protocol is round-structured to match the paper's algorithms: a
+driver announces each parallel round (:meth:`ExecutionBackend.begin_round`)
+and batches random accesses per source
+(:meth:`ExecutionBackend.random_lookup_many`), which lets a networked
+backend coalesce messages while a per-entry transport simply loops.
+Access *accounting* is the backend's job — one tally increment per
+semantic access, exactly as the metered accessors count — so driver
+results carry the same tallies as the reference algorithms.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.columnar import ColumnarDatabase
+from repro.types import AccessTally, ItemId, Position, Score
+
+_INF = float("inf")
+
+#: ``direct_step`` result: lookup scores for the bundled items, then the
+#: direct-access entry — ``None`` when the source is exhausted.
+DirectStep = tuple[list[Score], "tuple[ItemId, Score] | None"]
+
+
+class ExecutionBackend(ABC):
+    """Query-time access to ``m`` sorted sources with best positions."""
+
+    #: Number of lists and items (set by implementations).
+    m: int
+    n: int
+    #: Whether random lookups report positions (BPA needs them at the
+    #: originator; BPA2 pointedly does not — its communication saving).
+    include_position: bool
+
+    def begin_round(self) -> None:
+        """Announce one parallel access round (accounting hook)."""
+
+    @abstractmethod
+    def sorted_next(self, list_index: int) -> tuple[ItemId, Score, Position]:
+        """Sorted access: the next entry of one list."""
+
+    @abstractmethod
+    def random_lookup_many(
+        self, list_index: int, items: Sequence[ItemId]
+    ) -> list[tuple[Score, Position]]:
+        """Random-access ``items`` in one list, in order.
+
+        Counts one random access per item; positions are meaningful only
+        when :attr:`include_position` is set (they are what BPA ships).
+        """
+
+    @abstractmethod
+    def direct_step(
+        self, list_index: int, items: Sequence[ItemId]
+    ) -> DirectStep:
+        """BPA2's per-list round step.
+
+        Performs the pending random lookups for ``items`` (accesses that
+        precede this list's direct access in the round's sequential
+        order), then one direct access at ``best_position + 1``.  The
+        best position is managed source-side, as the paper prescribes
+        for BPA2.
+        """
+
+    @abstractmethod
+    def best_position_scores(self) -> list[Score]:
+        """Local score at each list's best position (``inf`` while 0).
+
+        These are the originator's inputs to BPA2's ``lambda``; a
+        networked backend learns them from piggybacked updates.
+        """
+
+    @abstractmethod
+    def best_positions(self) -> list[Position]:
+        """Each list's current best position (0 before any access)."""
+
+    @abstractmethod
+    def total_tally(self) -> AccessTally:
+        """Accesses performed so far, summed over the lists."""
+
+
+class LocalColumnarBackend(ExecutionBackend):
+    """Single-node backend over flat columnar arrays.
+
+    The same precomputed layout the vectorized kernels use (rows by
+    position, positions by row, plain-list score columns) serves the
+    driver primitives directly — no accessor objects, no per-entry
+    dataclasses — so the unified drivers run at kernel-path speed while
+    producing reference-identical results and tallies
+    (``tests/differential/test_distributed_unified.py``).
+    """
+
+    def __init__(self, database, *, include_position: bool = False) -> None:
+        if not isinstance(database, ColumnarDatabase):
+            database = ColumnarDatabase.from_database(database)
+        self.database = database
+        self.m = database.m
+        self.n = database.n
+        self.include_position = include_position
+        n = self.n
+        position_matrix = database.position_matrix()
+        #: per list: 0-based position -> row of the item ranked there.
+        self._rows_at = [
+            position_matrix[i].argsort().tolist() for i in range(self.m)
+        ]
+        #: per list: row -> 0-based position of that item.
+        self._pos_of = [position_matrix[i].tolist() for i in range(self.m)]
+        self._score_at = [lst.scores_array.tolist() for lst in database.lists]
+        self._ids: list[int] = database.uids_array.tolist()
+        self._row_of = {item: row for row, item in enumerate(self._ids)}
+        # Per-list query state: sorted cursor, seen positions (1-based
+        # with a sentinel so the best-position advance cannot overrun),
+        # best position, and the per-mode access counts.
+        self._cursor = [0] * self.m
+        self._seen = [bytearray(n + 2) for _ in range(self.m)]
+        self._bp = [0] * self.m
+        self._sorted = [0] * self.m
+        self._random = [0] * self.m
+        self._direct = [0] * self.m
+
+    def _mark(self, i: int, position: Position) -> None:
+        seen = self._seen[i]
+        if seen[position]:
+            return
+        seen[position] = 1
+        b = self._bp[i]
+        if position == b + 1:
+            b += 1
+            while seen[b + 1]:
+                b += 1
+            self._bp[i] = b
+
+    def sorted_next(self, i: int) -> tuple[ItemId, Score, Position]:
+        position = self._cursor[i] + 1
+        self._cursor[i] = position
+        self._sorted[i] += 1
+        self._mark(i, position)
+        row = self._rows_at[i][position - 1]
+        return self._ids[row], self._score_at[i][position - 1], position
+
+    def random_lookup_many(self, i, items):
+        self._random[i] += len(items)
+        pos_of, score_at = self._pos_of[i], self._score_at[i]
+        results: list[tuple[Score, Position]] = []
+        for item in items:
+            position = pos_of[self._row_of[item]] + 1
+            self._mark(i, position)
+            results.append((score_at[position - 1], position))
+        return results
+
+    def direct_step(self, i, items) -> DirectStep:
+        lookups = [score for score, _pos in self.random_lookup_many(i, items)]
+        position = self._bp[i] + 1
+        if position > self.n:
+            return lookups, None
+        self._direct[i] += 1
+        self._mark(i, position)
+        row = self._rows_at[i][position - 1]
+        return lookups, (self._ids[row], self._score_at[i][position - 1])
+
+    def best_position_scores(self) -> list[Score]:
+        return [
+            _INF if self._bp[i] == 0 else self._score_at[i][self._bp[i] - 1]
+            for i in range(self.m)
+        ]
+
+    def best_positions(self) -> list[Position]:
+        return list(self._bp)
+
+    def total_tally(self) -> AccessTally:
+        return AccessTally(
+            sorted=sum(self._sorted),
+            random=sum(self._random),
+            direct=sum(self._direct),
+        )

@@ -1,0 +1,221 @@
+"""Transport-agnostic drivers for TA, BPA and BPA2.
+
+One implementation of each algorithm's coordinator logic, written purely
+against :class:`repro.exec.backend.ExecutionBackend`.  The same driver
+runs single-node over columnar arrays and over the simulated network;
+``tests/differential/test_distributed_unified.py`` proves the results —
+ranked answers *and* per-mode access tallies — bit-identical to the
+reference single-node algorithms.
+
+The access sequences mirror the reference implementations exactly:
+
+* TA / BPA: ``m`` parallel sorted accesses per round, then ``m - 1``
+  random accesses per surfaced entry (repeated for already-seen items —
+  the paper's Lemma 2 accounting).  Random accesses are grouped per
+  source list, which lets a networked backend answer a round's lookups
+  for one list in a single message.
+* BPA2: per round, each non-exhausted list serves one direct access at
+  its (source-managed) best position + 1; every new item is completed
+  via ``m - 1`` random accesses.  The random accesses destined for a
+  list are delivered in two slices that preserve the reference's
+  per-source operation order: those from earlier lists of the round
+  ride with the list's own direct step, the rest follow in one batch at
+  the end of the round.  Source-side state (best positions, tallies,
+  piggyback points) is therefore identical to the per-entry protocol's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import TopKBuffer
+from repro.core.best_position import make_tracker
+from repro.exec.backend import ExecutionBackend
+from repro.scoring import ScoringFunction
+from repro.types import ItemId, Position, Score, ScoredItem
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True, slots=True)
+class DriverOutcome:
+    """What a driver hands back to its transport wrapper."""
+
+    items: tuple[ScoredItem, ...]
+    rounds: int
+    stop_position: int
+
+
+def run_ta(
+    backend: ExecutionBackend, k: int, scoring: ScoringFunction
+) -> DriverOutcome:
+    """TA's coordinator loop over any backend."""
+    m, n = backend.m, backend.n
+    buffer = TopKBuffer(k)
+    seen: set[ItemId] = set()
+    last: list[Score] = [0.0] * m
+    position = 0
+    while True:
+        backend.begin_round()
+        position += 1
+        round_items: list[ItemId] = []
+        for i in range(m):
+            item, score, _pos = backend.sorted_next(i)
+            last[i] = score
+            round_items.append(item)
+        # Lemma 2 accounting: every surfaced entry probes the other
+        # m - 1 lists, already-seen items included.
+        lookups = _round_lookups(backend, round_items)
+        for i in range(m):
+            item = round_items[i]
+            if item in seen:
+                continue
+            seen.add(item)
+            local = [0.0] * m
+            local[i] = last[i]
+            for j in range(m):
+                if j != i:
+                    local[j] = lookups[j][i - (1 if i > j else 0)][0]
+            buffer.add(item, scoring(local))
+        if buffer.all_at_least(scoring(last)) or position >= n:
+            return DriverOutcome(buffer.ranked(), position, position)
+
+
+def run_bpa(
+    backend: ExecutionBackend,
+    k: int,
+    scoring: ScoringFunction,
+    *,
+    tracker: str = "bitarray",
+) -> DriverOutcome:
+    """BPA's coordinator loop: seen positions travel to the originator."""
+    m, n = backend.m, backend.n
+    buffer = TopKBuffer(k)
+    seen: set[ItemId] = set()
+    trackers = [make_tracker(tracker, n) for _ in range(m)]
+    seen_scores: list[dict[Position, Score]] = [{} for _ in range(m)]
+    position = 0
+
+    def note(i: int, pos: Position, score: Score) -> None:
+        trackers[i].mark(pos)
+        seen_scores[i][pos] = score
+
+    while True:
+        backend.begin_round()
+        position += 1
+        round_items: list[ItemId] = []
+        round_scores: list[Score] = []
+        for i in range(m):
+            item, score, pos = backend.sorted_next(i)
+            note(i, pos, score)
+            round_items.append(item)
+            round_scores.append(score)
+        lookups = _round_lookups(backend, round_items)
+        for j in range(m):
+            for score, pos in lookups[j]:
+                note(j, pos, score)
+        for i in range(m):
+            item = round_items[i]
+            if item in seen:
+                continue
+            seen.add(item)
+            local = [0.0] * m
+            local[i] = round_scores[i]
+            for j in range(m):
+                if j != i:
+                    local[j] = lookups[j][i - (1 if i > j else 0)][0]
+            buffer.add(item, scoring(local))
+        lam = scoring(
+            [seen_scores[i][trackers[i].best_position] for i in range(m)]
+        )
+        if buffer.all_at_least(lam) or position >= n:
+            return DriverOutcome(buffer.ranked(), position, position)
+
+
+def run_bpa2(
+    backend: ExecutionBackend, k: int, scoring: ScoringFunction
+) -> DriverOutcome:
+    """BPA2's coordinator loop: best positions stay at the sources."""
+    m = backend.m
+    buffer = TopKBuffer(k)
+    seen: set[ItemId] = set()
+    exhausted = [False] * m
+    rounds = 0
+
+    while True:
+        backend.begin_round()
+        rounds += 1
+        progressed = False
+        # Random lookups bundled with each list's upcoming direct step
+        # (from earlier lists of this round) ...
+        pre: list[list[ItemId]] = [[] for _ in range(m)]
+        # ... and those delivered after it (or to lists with no step).
+        post: list[list[ItemId]] = [[] for _ in range(m)]
+        surfaced: list[tuple[int, ItemId, list[Score]]] = []
+        locals_of: dict[ItemId, list[Score]] = {}
+        for i in range(m):
+            if exhausted[i]:
+                continue
+            lookups, entry = backend.direct_step(i, pre[i])
+            for item, score in zip(pre[i], lookups):
+                locals_of[item][i] = score
+            if entry is None:
+                exhausted[i] = True
+                continue
+            progressed = True
+            item, score = entry
+            if item in seen:
+                continue  # cannot happen (Theorem 5); kept for safety
+            seen.add(item)
+            local = [0.0] * m
+            local[i] = score
+            locals_of[item] = local
+            surfaced.append((i, item, local))
+            for j in range(m):
+                if j == i:
+                    continue
+                if j > i and not exhausted[j]:
+                    pre[j].append(item)
+                else:
+                    post[j].append(item)
+        for j in range(m):
+            if not post[j]:
+                continue
+            for item, (score, _pos) in zip(
+                post[j], backend.random_lookup_many(j, post[j])
+            ):
+                locals_of[item][j] = score
+        for _i, item, local in surfaced:
+            buffer.add(item, scoring(local))
+        if buffer.all_at_least(scoring(backend.best_position_scores())):
+            break
+        if not progressed:
+            break
+    stop_position = max(backend.best_positions(), default=0)
+    return DriverOutcome(buffer.ranked(), rounds, stop_position)
+
+
+def _round_lookups(
+    backend: ExecutionBackend, round_items: list[ItemId]
+) -> list[list[tuple[Score, Position]]]:
+    """One round's random accesses, grouped per list.
+
+    List ``j`` looks up the round's entries from every other list, in
+    list order — ``need[j][slot]`` is the entry surfaced by list ``i``
+    where ``slot = i - (1 if i > j else 0)``.
+    """
+    m = len(round_items)
+    return [
+        backend.random_lookup_many(
+            j, [round_items[i] for i in range(m) if i != j]
+        )
+        for j in range(m)
+    ]
+
+
+#: Driver registry keyed by the reference algorithm's registry name.
+DRIVERS = {
+    "ta": run_ta,
+    "bpa": run_bpa,
+    "bpa2": run_bpa2,
+}

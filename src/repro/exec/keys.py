@@ -1,0 +1,70 @@
+"""Canonical hashable identities for queries and scoring functions.
+
+Both the service cache and the execution core need to answer "would the
+engine do identical work for these two queries?" — same algorithm, same
+(over)fetched ``k``, same scoring semantics, same algorithm options.
+These helpers canonicalize those dimensions; they live in the execution
+core (below :mod:`repro.service`) so shard workers, context caches and
+the result cache all share one notion of query identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping, Set
+
+from repro.scoring import ScoringFunction
+
+
+def scoring_key(scoring: ScoringFunction) -> tuple:
+    """A hashable identity for a scoring function's *semantics*.
+
+    Stock scorings have faithful reprs (``SumScoring()``,
+    ``WeightedSumScoring([2.0, 0.5])``) so equal-behaving instances map
+    to the same key.  A callable whose repr is the *default* one (it
+    embeds the object's address) gets the instance itself appended to
+    the key: comparing by the repr string alone would let CPython's
+    address reuse alias a dead scoring with a later, different one,
+    while pinning the instance makes the key identity-true (and keeps
+    the object alive exactly as long as anything caches under it).
+    """
+    rep = repr(scoring)
+    base = (
+        type(scoring).__qualname__,
+        str(getattr(scoring, "name", "")),
+        rep,
+    )
+    if f"at 0x{id(scoring):x}" in rep:
+        return base + (scoring,)
+    return base
+
+
+def freeze_value(value: Any) -> Hashable:
+    """Recursively convert an option value into something hashable."""
+    if isinstance(value, Mapping):
+        return tuple(
+            sorted((str(key), freeze_value(val)) for key, val in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(entry) for entry in value)
+    if isinstance(value, Set):
+        return tuple(sorted((repr(entry) for entry in value)))
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+def normalized_query_key(
+    algorithm: str,
+    k: int,
+    scoring: ScoringFunction,
+    options: Mapping[str, object] = (),
+) -> tuple:
+    """The canonical cache key for one planned query."""
+    return (
+        algorithm,
+        k,
+        scoring_key(scoring),
+        freeze_value(dict(options)),
+    )

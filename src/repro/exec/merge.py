@@ -1,0 +1,87 @@
+"""Exact, certificate-checked merge of per-shard top-k answers.
+
+**Why the merge is exact.**  Each shard answers top-``k'`` with
+``k' = min(k, n_s)``.  Suppose item ``x`` belongs to the true global
+top-k (under the library's total order: score descending, id
+ascending).  Fewer than ``k`` items in the whole database precede ``x``,
+hence fewer than ``k' <= k`` items in ``x``'s own shard precede it, so
+``x`` is in its shard's top-``k'``.  The union of the per-shard answers
+therefore contains the entire global top-k, and re-sorting the union
+under the same total order and keeping ``k`` reproduces it exactly —
+ties included, because per-shard answers and the merge use the identical
+ordering.  (Per-shard answers must carry exact overall scores, which is
+why NRA — whose reported scores are lower *bounds* — is executed
+unsharded; see :data:`repro.service.sharding.MERGE_EXACT_ALGORITHMS`.)
+
+**The threshold-style certificate.**  The argument above also yields a
+checkable bound, verified on every merge: any item a shard did *not*
+return is dominated by that shard's ``k'``-th returned entry, so the
+merged ``k``-th entry must dominate every truncated shard's ``k'``-th
+entry.  A violation would mean a shard under-returned; the merge raises
+instead of serving silently wrong answers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ShardMergeError
+from repro.types import AccessTally, ScoredItem, TopKResult
+
+
+def entry_key(entry: ScoredItem) -> tuple[float, int]:
+    """The library-wide total order: score descending, id ascending."""
+    return (-entry.score, entry.item)
+
+
+def merge_shard_results(
+    partials: Sequence[TopKResult],
+    shard_sizes: Sequence[int],
+    k: int,
+    algorithm: str,
+) -> TopKResult:
+    """Merge per-shard top-k' answers into the exact global top-k.
+
+    Verifies the threshold-style certificate described in the module
+    docstring and raises :class:`repro.errors.ShardMergeError` if any
+    truncated shard's bound beats the merged k-th entry (impossible for
+    exact per-shard answers; a failure means a shard under-returned).
+    """
+    pool: list[ScoredItem] = []
+    for partial in partials:
+        pool.extend(partial.items)
+    pool.sort(key=entry_key)
+    merged = tuple(pool[:k])
+
+    bounds_checked = 0
+    if merged and len(merged) == k:
+        kth = entry_key(merged[-1])
+        for partial, size in zip(partials, shard_sizes):
+            if len(partial.items) < size and partial.items:
+                # The shard was truncated: everything it held back is
+                # dominated by its last returned entry, which in turn
+                # must not beat the merged k-th entry.
+                if kth > entry_key(partial.items[-1]):
+                    raise ShardMergeError(
+                        f"shard merge bound violated for {algorithm}: "
+                        f"{partial.items[-1]} beats merged k-th {merged[-1]}"
+                    )
+                bounds_checked += 1
+
+    tally = AccessTally()
+    for partial in partials:
+        tally = tally + partial.tally
+    return TopKResult(
+        items=merged,
+        tally=tally,
+        rounds=max(partial.rounds for partial in partials),
+        stop_position=max(partial.stop_position for partial in partials),
+        algorithm=algorithm,
+        extras={
+            "shards": len(partials),
+            "merge_bounds_checked": bounds_checked,
+            "shard_stop_positions": tuple(
+                partial.stop_position for partial in partials
+            ),
+        },
+    )

@@ -14,9 +14,16 @@ full story):
 * :mod:`repro.service.cache` — an LRU result cache keyed by normalized
   query specs, invalidated lazily through epochs so mutations stay O(1);
 * :mod:`repro.service.service` — :class:`QueryService`, the
-  ``submit()/submit_many()`` front-end producing per-query
-  :class:`ServiceStats`, wired to :class:`repro.dynamic.DynamicDatabase`
-  mutation streams for epoch bumps.
+  ``submit()/submit_many()`` front-end — plus the async
+  ``submit_async()/gather_many()`` path with bounded concurrency and
+  single-flight coalescing — producing per-query :class:`ServiceStats`,
+  wired to :class:`repro.dynamic.DynamicDatabase` mutation streams for
+  epoch bumps.
+
+Execution itself (drivers, kernel dispatch, the exact merge) lives in
+the shared core, :mod:`repro.exec`; the planner can also route a query
+over the simulated network transport (:mod:`repro.distributed`) when
+its cost model's network extension says so.
 
 :mod:`repro.service.workload` replays Zipf-popular workloads against a
 service (the ``repro-topk serve-workload`` CLI) and backs
@@ -34,6 +41,7 @@ from repro.service.planner import (
     PlanDecision,
     QueryPlanner,
     ServicePolicy,
+    ShardDecision,
 )
 from repro.service.service import (
     QueryService,
@@ -51,6 +59,7 @@ from repro.service.workload import (
     WorkloadConfig,
     build_workload,
     replay,
+    replay_async,
     run_workload,
     speedup_benchmark,
     write_report,
@@ -64,6 +73,7 @@ __all__ = [
     "ServicePolicy",
     "QueryPlanner",
     "PlanDecision",
+    "ShardDecision",
     "ListStatistics",
     "ResultCache",
     "CacheStats",
@@ -76,6 +86,7 @@ __all__ = [
     "WorkloadConfig",
     "build_workload",
     "replay",
+    "replay_async",
     "run_workload",
     "speedup_benchmark",
     "write_report",

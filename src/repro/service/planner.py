@@ -35,6 +35,8 @@ algorithms that all share the bias.)
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -45,14 +47,22 @@ from repro.analysis.model import expected_best_position_advance
 from repro.bench.batch import QuerySpec
 from repro.columnar import ColumnarDatabase
 from repro.errors import InvalidQueryError
-from repro.scoring import ScoringFunction
-from repro.service.cache import freeze_value, scoring_key
+from repro.exec.keys import freeze_value, scoring_key
+from repro.scoring import SUM, ScoringFunction
 from repro.types import AccessTally, CostModel
 
 #: Algorithms the auto-planner ranks by predicted cost.  NRA is excluded
 #: — it only wins when random access is impossible, which is a policy
 #: fact, not a cost estimate.
 AUTO_CANDIDATES = ("ta", "bpa", "bpa2")
+
+#: Algorithms with a distributed driver over the simulated network.
+NETWORK_ALGORITHMS = frozenset({"ta", "bpa", "bpa2"})
+
+#: Rough per-message envelope overhead (kind string + framing) and
+#: per-access payload bytes used by the network-cost predictions.
+_MESSAGE_OVERHEAD_BYTES = 16.0
+_ACCESS_PAYLOAD_BYTES = 24.0
 
 
 @dataclass(frozen=True)
@@ -75,6 +85,7 @@ class ServicePolicy:
     allow_random: bool = True
     overfetch: bool = True
     max_overfetch: int = 4
+    transport: str = "auto"  #: ``"auto"`` | ``"local"`` | ``"network"``
 
 
 @dataclass(frozen=True)
@@ -87,6 +98,9 @@ class PlanDecision:
     k_fetch: int  #: k actually executed/cached (>= k_requested)
     predicted_costs: Mapping[str, float] = field(default_factory=dict)
     reason: str = ""
+    #: ``"local"`` (shard pool) or ``"network-entry"`` / ``"network-batch"``
+    #: (simulated network under the named wire protocol).
+    transport: str = "local"
 
     @property
     def overfetched(self) -> bool:
@@ -141,17 +155,16 @@ class ListStatistics:
             [float(arr[position - 1]) for arr in self._score_arrays]
         )
 
-    def ta_stop_estimate(self, k: int) -> int:
-        """Smallest position where the k-th overall score meets the
-        threshold (a data-driven lower bound on TA's stop position).
+    def stop_depth_for_target(self, target: float) -> int:
+        """Smallest position whose threshold has dropped to ``target``.
 
         The threshold is non-increasing in the position (lists are score
-        descending), so binary search applies.
+        descending), so binary search applies; returns ``n`` when the
+        threshold never reaches the target (run to exhaustion).
         """
-        target = self.kth_total(k)
         low, high = 1, self._n
         if self.threshold_at(high) > target:
-            return self._n  # never met; TA runs to exhaustion
+            return self._n
         while low < high:
             mid = (low + high) // 2
             if self.threshold_at(mid) <= target:
@@ -159,6 +172,30 @@ class ListStatistics:
             else:
                 low = mid + 1
         return low
+
+    def ta_stop_estimate(self, k: int) -> int:
+        """Smallest position where the k-th overall score meets the
+        threshold (a data-driven lower bound on TA's stop position).
+        """
+        return self.stop_depth_for_target(self.kth_total(k))
+
+
+@dataclass(frozen=True)
+class ShardDecision:
+    """The auto-tuner's verdict on how many shards to partition into."""
+
+    shards: int
+    pool: str  #: the resolved pool kind the prediction assumed
+    workers: int  #: parallel workers the prediction assumed
+    predicted_costs: Mapping[int, float] = field(default_factory=dict)
+    reason: str = ""
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 class QueryPlanner:
@@ -208,10 +245,10 @@ class QueryPlanner:
         bucket = min(bucket, k * self._policy.max_overfetch)
         return min(bucket, self._database.n)
 
-    def predicted_costs(
+    def predicted_tallies(
         self, k: int, scoring: ScoringFunction
-    ) -> dict[str, float]:
-        """Predicted execution cost per candidate algorithm for one k."""
+    ) -> dict[str, AccessTally]:
+        """Predicted access tallies per candidate algorithm for one k."""
         n, m = self._database.n, self._database.m
         stats = self.statistics(scoring)
         p_ta = stats.ta_stop_estimate(k)
@@ -222,28 +259,159 @@ class QueryPlanner:
         # Fraction of items seen after p_bpa rounds (rank <= p in >= 1 list).
         seen_fraction = 1.0 - (1.0 - p_bpa / n) ** m
         new_items = max(1, int(round(n * seen_fraction)))
-        model = self._model
-        costs = {
+        return {
             # Paper accounting: m sorted accesses per round, m-1 randoms each.
-            "ta": model.execution_cost(
-                AccessTally(sorted=m * p_ta, random=m * p_ta * (m - 1))
-            ),
-            "bpa": model.execution_cost(
-                AccessTally(sorted=m * p_bpa, random=m * p_bpa * (m - 1))
-            ),
+            "ta": AccessTally(sorted=m * p_ta, random=m * p_ta * (m - 1)),
+            "bpa": AccessTally(sorted=m * p_bpa, random=m * p_bpa * (m - 1)),
             # BPA2 pays direct accesses and completes each distinct item once.
-            "bpa2": model.execution_cost(
-                AccessTally(direct=m * p_bpa, random=(m - 1) * new_items)
-            ),
+            "bpa2": AccessTally(direct=m * p_bpa, random=(m - 1) * new_items),
             # NRA never leaves sorted access but re-derives bounds for every
             # seen item each round — the min(m*p, n) term is that CPU cost
             # expressed in sorted-access units, which prices NRA out unless
             # random access is impossible.
-            "nra": model.execution_cost(
-                AccessTally(sorted=m * p_ta + p_ta * min(m * p_ta, n))
-            ),
+            "nra": AccessTally(sorted=m * p_ta + p_ta * min(m * p_ta, n)),
         }
-        return costs
+
+    def predicted_costs(
+        self, k: int, scoring: ScoringFunction
+    ) -> dict[str, float]:
+        """Predicted execution cost per candidate algorithm for one k."""
+        return {
+            name: self._model.execution_cost(tally)
+            for name, tally in self.predicted_tallies(k, scoring).items()
+        }
+
+    def predicted_network(
+        self, algorithm: str, k: int, scoring: ScoringFunction
+    ) -> dict[str, dict[str, float]]:
+        """Predicted wire traffic per protocol for one networked query.
+
+        Per-entry RPC pays two messages per access; the batched protocol
+        coalesces a round's lookups per owner (four messages per list
+        per round).  Bytes are estimated from the access payloads plus a
+        per-message envelope — rough, but ranked the same way the
+        measured numbers come out (``repro dist-bench``).
+        """
+        if algorithm not in NETWORK_ALGORITHMS:
+            raise InvalidQueryError(
+                f"no distributed driver for {algorithm!r}; "
+                f"networked algorithms: {sorted(NETWORK_ALGORITHMS)}"
+            )
+        tally = self.predicted_tallies(k, scoring)[algorithm]
+        m = self._database.m
+        rounds = max(1, (tally.sorted + tally.direct) // max(1, m))
+        payload = tally.total * _ACCESS_PAYLOAD_BYTES
+        entry_messages = 2 * tally.total
+        batch_messages = 4 * m * rounds
+        return {
+            "entry": {
+                "messages": entry_messages,
+                "bytes": payload + entry_messages * _MESSAGE_OVERHEAD_BYTES,
+            },
+            "batch": {
+                "messages": batch_messages,
+                "bytes": payload + batch_messages * _MESSAGE_OVERHEAD_BYTES,
+            },
+        }
+
+    def choose_transport(
+        self, algorithm: str, k: int, scoring: ScoringFunction, local_cost: float
+    ) -> tuple[str, str]:
+        """Resolve the policy's transport setting for one query.
+
+        Returns ``(transport, reason)``.  Under ``"network"`` the wire
+        protocol is the one minimizing the cost model's network cost
+        (ties go to batch, which never ships more than per-entry);
+        under ``"auto"`` the network only wins when its predicted total
+        — execution plus :meth:`repro.types.CostModel.network_cost` —
+        beats local execution, which a non-negative network price never
+        does, so auto means local unless the data actually is remote.
+        """
+        setting = self._policy.transport
+        if setting == "local" or algorithm not in NETWORK_ALGORITHMS:
+            return "local", "transport: local shard pool"
+        wire = self.predicted_network(algorithm, k, scoring)
+        model = self._model
+        protocol = min(
+            ("batch", "entry"),
+            key=lambda name: model.network_cost(
+                wire[name]["messages"], wire[name]["bytes"]
+            ),
+        )
+        network_cost = local_cost + model.network_cost(
+            wire[protocol]["messages"], wire[protocol]["bytes"]
+        )
+        if setting == "network":
+            return (
+                f"network-{protocol}",
+                f"transport forced to network; {protocol} protocol predicts "
+                f"{wire[protocol]['messages']:,.0f} messages",
+            )
+        if setting == "auto":
+            if network_cost < local_cost:
+                return f"network-{protocol}", "network predicted cheaper"
+            return "local", "transport: local (no predicted network win)"
+        raise InvalidQueryError(
+            f"unknown transport policy {setting!r}; "
+            "expected 'auto', 'local' or 'network'"
+        )
+
+    def choose_shard_count(
+        self,
+        *,
+        pool: str,
+        cpus: int | None = None,
+        k: int = 16,
+        scoring: ScoringFunction = SUM,
+        max_shards: int | None = None,
+    ) -> ShardDecision:
+        """Pick the shard count minimizing predicted per-query cost.
+
+        The model follows the merge proof's geometry: a shard of
+        ``n / S`` items answers top-``k'``, and its ``k'``-th best local
+        total sits near the global ``k * S``-th best, so the shard's
+        stop depth is the full-list depth for that deeper target,
+        divided by ``S``.  Predicted wall cost is that per-shard cost
+        times the number of worker *waves* (``ceil(S / workers)`` — a
+        serial pool has one worker, so sharding there only adds total
+        work), plus a merge term linear in the ``S * k`` merged entries.
+        Candidates are powers of two; ties go to fewer shards.
+        """
+        n, m = self._database.n, self._database.m
+        if n == 0:
+            return ShardDecision(1, pool, 1, {}, "empty database")
+        if cpus is None:
+            cpus = _available_cpus()
+        workers = cpus if pool in ("thread", "process") else 1
+        k = min(max(1, k), n)
+        limit = min(max_shards or 2 * max(1, cpus), n)
+        candidates = [1]
+        while candidates[-1] * 2 <= limit:
+            candidates.append(candidates[-1] * 2)
+
+        stats = self.statistics(scoring)
+        model = self._model
+        costs: dict[int, float] = {}
+        for shards in candidates:
+            target = stats.kth_total(min(n, k * shards))
+            depth = math.ceil(stats.stop_depth_for_target(target) / shards)
+            per_shard = model.execution_cost(
+                AccessTally(sorted=m * depth, random=m * depth * (m - 1))
+            )
+            waves = math.ceil(shards / workers)
+            merge = shards * k * model.sorted_cost
+            costs[shards] = waves * per_shard + merge
+        best = min(candidates, key=lambda s: (costs[s], s))
+        return ShardDecision(
+            shards=best,
+            pool=pool,
+            workers=workers,
+            predicted_costs=costs,
+            reason=(
+                f"min predicted cost over S in {candidates} "
+                f"({workers} worker(s), k={k}): {costs[best]:,.0f}"
+            ),
+        )
 
     def plan(self, spec: QuerySpec, *, cache_enabled: bool) -> PlanDecision:
         """Resolve one query spec into an executable decision.
@@ -300,6 +468,18 @@ class QueryPlanner:
             # Overfetch is unsound here — fetch exactly what was asked.
             k_fetch = k_requested
 
+        transport = "local"
+        if (
+            algorithm in NETWORK_ALGORITHMS
+            and not spec.options  # distributed drivers run default configs
+            and self._policy.transport != "local"
+        ):
+            transport, transport_reason = self.choose_transport(
+                algorithm, k_fetch, spec.scoring, costs.get(algorithm, 0.0)
+            )
+            if transport != "local":
+                reason = f"{reason}; {transport_reason}"
+
         instance = get_algorithm(algorithm, **dict(spec.options))
         backend = "kernel" if instance.fast_kernel() is not None else "reference"
         decision = PlanDecision(
@@ -309,6 +489,7 @@ class QueryPlanner:
             k_fetch=k_fetch,
             predicted_costs=costs,
             reason=reason,
+            transport=transport,
         )
         self._plans[memo_key] = decision
         return decision

@@ -20,6 +20,7 @@ stay O(1), queries pay the refresh only when data actually changed.
 
 from __future__ import annotations
 
+import asyncio
 import time
 import weakref
 from dataclasses import dataclass, field
@@ -31,8 +32,13 @@ from repro.dynamic import DynamicDatabase
 from repro.lists.database import Database
 from repro.lists.sorted_list import SortedList
 from repro.service.cache import ResultCache, normalized_query_key
-from repro.service.planner import PlanDecision, QueryPlanner, ServicePolicy
-from repro.service.sharding import ShardExecutor
+from repro.service.planner import (
+    PlanDecision,
+    QueryPlanner,
+    ServicePolicy,
+    ShardDecision,
+)
+from repro.service.sharding import ShardExecutor, resolve_pool
 from repro.types import AccessTally, CostModel, ItemId, Score, TopKResult
 
 
@@ -46,6 +52,10 @@ class ServiceStats:
     fanout: int  #: shards the execution fanned out to (1 on a cache hit)
     tally: AccessTally  #: accesses performed (zero on a cache hit)
     seconds: float  #: end-to-end latency of this submit
+    planned_shards: int = 1  #: shard count the service executes with
+    #: the query reused a result another in-flight ``submit_async`` was
+    #: already computing (single-flight coalescing; counts as a hit)
+    coalesced: bool = False
 
 
 @dataclass(frozen=True)
@@ -76,9 +86,10 @@ class ServiceCounters:
     """Aggregate counters over a service's lifetime."""
 
     queries: int = 0
-    cache_hits: int = 0
+    cache_hits: int = 0  #: cache reads plus coalesced in-flight reuses
     executions: int = 0
     snapshot_refreshes: int = 0
+    coalesced: int = 0  #: async submits that joined an in-flight execution
 
     @property
     def cache_hit_rate(self) -> float:
@@ -107,7 +118,12 @@ class QueryService:
             mutation bumps the service epoch (dropping stale cache
             entries lazily) and the snapshot is rebuilt on the next
             submit.
-        shards: shard fan-out (clamped to the item count).
+        shards: shard fan-out (clamped to the item count), or
+            ``"auto"`` to let the planner pick the count minimizing its
+            predicted per-query cost for this host's pool and CPU
+            budget (re-decided on every snapshot rebuild; the decision
+            is exposed as :attr:`shard_decision` and in every
+            :class:`ServiceStats`).
         pool: shard execution pool — ``"serial"`` / ``"thread"`` /
             ``"process"`` / ``"auto"`` (see
             :class:`repro.service.sharding.ShardExecutor`).
@@ -121,12 +137,16 @@ class QueryService:
         self,
         database,
         *,
-        shards: int = 1,
+        shards: int | str = 1,
         pool: str = "auto",
         cache_size: int = 1024,
         policy: ServicePolicy | None = None,
         cost_model: CostModel | None = None,
     ) -> None:
+        if shards != "auto" and (not isinstance(shards, int) or shards < 1):
+            raise ValueError(
+                f"shards must be a positive int or 'auto', got {shards!r}"
+            )
         self._source: DynamicDatabase | None = None
         self._unsubscribe = None
         if isinstance(database, DynamicDatabase):
@@ -153,23 +173,39 @@ class QueryService:
         self.counters = ServiceCounters()
         self._executor: ShardExecutor | None = None
         self._planner: QueryPlanner | None = None
+        self._shard_decision: ShardDecision | None = None
+        #: normalized query key -> future of the in-flight execution
+        #: (submit_async single-flight coalescing; cache-enabled only).
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        #: every in-flight async execution, for snapshot quiescing.
+        self._running: set[asyncio.Future] = set()
         self._closed = False
         self._rebuild(database)
 
     def _rebuild(self, database) -> None:
+        if not isinstance(database, ColumnarDatabase):
+            database = ColumnarDatabase.from_database(database)
+        # The planner comes first: with ``shards="auto"`` its cost model
+        # decides how the executor partitions this snapshot.
+        self._planner = QueryPlanner(
+            database,
+            policy=self._policy,
+            cost_model=self._cost_model,
+        )
+        shards = self._shards_requested
+        if shards == "auto":
+            self._shard_decision = self._planner.choose_shard_count(
+                pool=resolve_pool(self._pool)
+            )
+            shards = self._shard_decision.shards
         if self._executor is None:
             self._executor = ShardExecutor(
-                database, shards=self._shards_requested, pool=self._pool
+                database, shards=shards, pool=self._pool
             )
         else:
             # Keep pools (and their worker processes) warm across
             # snapshots; only the shard data and contexts are replaced.
-            self._executor.reload(database)
-        self._planner = QueryPlanner(
-            self._executor.database,
-            policy=self._policy,
-            cost_model=self._cost_model,
-        )
+            self._executor.reload(database, shards=shards)
         self._dirty = False
 
     # ------------------------------------------------------------------
@@ -211,6 +247,11 @@ class QueryService:
         """The active planner (rebuilt with each snapshot)."""
         return self._planner
 
+    @property
+    def shard_decision(self) -> ShardDecision | None:
+        """The auto-tuner's verdict (``None`` when shards were fixed)."""
+        return self._shard_decision
+
     # ------------------------------------------------------------------
     # Epoch management
     # ------------------------------------------------------------------
@@ -237,6 +278,57 @@ class QueryService:
     # Query path
     # ------------------------------------------------------------------
 
+    def _execute_plan(self, plan: PlanDecision, spec: QuerySpec) -> TopKResult:
+        """Run one planned query on the chosen transport."""
+        if plan.transport.startswith("network-"):
+            # The simulated network as transport: the same unified
+            # drivers the shard path replays, over list-owner nodes.
+            from repro.distributed.algorithms import (
+                DistributedBPA,
+                DistributedBPA2,
+                DistributedTA,
+            )
+
+            driver_cls = {
+                "ta": DistributedTA,
+                "bpa": DistributedBPA,
+                "bpa2": DistributedBPA2,
+            }[plan.algorithm]
+            protocol = plan.transport.split("-", 1)[1]
+            return driver_cls(protocol=protocol).run(
+                self._executor.database, plan.k_fetch, spec.scoring
+            )
+        return self._executor.run(
+            plan.algorithm, spec.options, plan.k_fetch, spec.scoring
+        )
+
+    def _package(
+        self,
+        plan: PlanDecision,
+        full: TopKResult,
+        started: float,
+        *,
+        cache_hit: bool,
+        coalesced: bool = False,
+    ) -> ServiceResult:
+        served = self._truncate(full, plan)
+        reused = cache_hit or coalesced
+        stats = ServiceStats(
+            plan=plan,
+            cache_hit=reused,
+            epoch=self._epoch,
+            fanout=1 if reused else int(full.extras.get("shards", 1)),
+            tally=AccessTally() if reused else full.tally.copy(),
+            seconds=time.perf_counter() - started,
+            planned_shards=self.shards,
+            coalesced=coalesced,
+        )
+        self.counters.queries += 1
+        self.counters.cache_hits += reused
+        self.counters.executions += not reused
+        self.counters.coalesced += coalesced
+        return ServiceResult(result=served, stats=stats)
+
     def submit(self, spec: QuerySpec) -> ServiceResult:
         """Answer one query: plan, consult the cache, execute, merge."""
         if self._closed:
@@ -262,30 +354,113 @@ class QueryService:
             full = self._cache.get(key, self._epoch)
             cache_hit = full is not None
         if full is None:
-            full = self._executor.run(
-                plan.algorithm, spec.options, plan.k_fetch, spec.scoring
-            )
+            full = self._execute_plan(plan, spec)
             if self._cache is not None:
                 self._cache.put(key, full, self._epoch)
-
-        served = self._truncate(full, plan)
-        seconds = time.perf_counter() - started
-        stats = ServiceStats(
-            plan=plan,
-            cache_hit=cache_hit,
-            epoch=self._epoch,
-            fanout=1 if cache_hit else int(full.extras.get("shards", 1)),
-            tally=AccessTally() if cache_hit else full.tally.copy(),
-            seconds=seconds,
-        )
-        self.counters.queries += 1
-        self.counters.cache_hits += cache_hit
-        self.counters.executions += not cache_hit
-        return ServiceResult(result=served, stats=stats)
+        return self._package(plan, full, started, cache_hit=cache_hit)
 
     def submit_many(self, specs: Sequence[QuerySpec]) -> list[ServiceResult]:
         """Answer a batch of queries in order (empty batch -> empty list)."""
         return [self.submit(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Async query path
+    # ------------------------------------------------------------------
+
+    async def submit_async(
+        self, spec: QuerySpec, *, semaphore: asyncio.Semaphore | None = None
+    ) -> ServiceResult:
+        """Answer one query without blocking the event loop.
+
+        Planning and cache lookups run inline on the loop (they are
+        microseconds); execution is offloaded to a worker thread, gated
+        by ``semaphore`` when given (:meth:`gather_many` passes one to
+        bound concurrency).  With the result cache enabled, identical
+        queries in flight are *coalesced*: the first submit executes,
+        the rest await the same future and count as cache hits — so a
+        concurrent replay performs exactly the executions (and reports
+        the hit counts) of a serial one, which
+        ``tests/integration/test_service_async.py`` asserts.  With the
+        cache disabled every submit executes, matching the serial
+        cache-off path's accounting.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        started = time.perf_counter()
+        if self._dirty and self._source is not None:
+            # Quiesce in-flight executions before swapping the snapshot:
+            # the executor's pools cannot be reloaded mid-query.
+            while self._running:
+                await asyncio.gather(
+                    *(asyncio.shield(f) for f in list(self._running)),
+                    return_exceptions=True,
+                )
+            if self._dirty:
+                self._rebuild(_snapshot_dynamic(self._source))
+                self.counters.snapshot_refreshes += 1
+
+        if self.n == 0:
+            return self._serve_empty(spec, started)
+
+        caching = self._cache is not None
+        plan = self._planner.plan(spec, cache_enabled=caching)
+        key = normalized_query_key(
+            plan.algorithm, plan.k_fetch, spec.scoring, spec.options
+        )
+        if caching:
+            full = self._cache.get(key, self._epoch)
+            if full is not None:
+                return self._package(plan, full, started, cache_hit=True)
+            pending = self._inflight.get(key)
+            if pending is not None:
+                full = await asyncio.shield(pending)
+                return self._package(
+                    plan, full, started, cache_hit=False, coalesced=True
+                )
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if caching:
+            self._inflight[key] = future
+        self._running.add(future)
+        try:
+            if semaphore is None:
+                full = await asyncio.to_thread(self._execute_plan, plan, spec)
+            else:
+                async with semaphore:
+                    full = await asyncio.to_thread(self._execute_plan, plan, spec)
+        except BaseException as exc:
+            future.set_exception(exc)
+            future.exception()  # consume; waiters re-raise their own copy
+            raise
+        finally:
+            if caching:
+                self._inflight.pop(key, None)
+            self._running.discard(future)
+        future.set_result(full)
+        if caching:
+            self._cache.put(key, full, self._epoch)
+        return self._package(plan, full, started, cache_hit=False)
+
+    async def gather_many(
+        self, specs: Sequence[QuerySpec], *, concurrency: int = 8
+    ) -> list[ServiceResult]:
+        """Answer a batch concurrently; results come back in spec order.
+
+        At most ``concurrency`` executions run at once (cache hits and
+        coalesced waits are not throttled — they do no work).
+        """
+        semaphore = asyncio.Semaphore(max(1, concurrency))
+        return list(
+            await asyncio.gather(
+                *(self.submit_async(spec, semaphore=semaphore) for spec in specs)
+            )
+        )
+
+    def serve_concurrently(
+        self, specs: Sequence[QuerySpec], *, concurrency: int = 8
+    ) -> list[ServiceResult]:
+        """Synchronous convenience wrapper around :meth:`gather_many`."""
+        return asyncio.run(self.gather_many(specs, concurrency=concurrency))
 
     def _serve_empty(self, spec: QuerySpec, started: float) -> ServiceResult:
         from repro.errors import InvalidQueryError

@@ -6,26 +6,13 @@ id-ranges; each shard is a self-contained :class:`ColumnarDatabase`
 re-laid-out canonically).  Partitioning is by *item*, not by position,
 so every algorithm runs on a shard unchanged.
 
-**Why the merge is exact.**  Each shard answers top-``k'`` with
-``k' = min(k, n_s)``.  Suppose item ``x`` belongs to the true global
-top-k (under the library's total order: score descending, id
-ascending).  Fewer than ``k`` items in the whole database precede ``x``,
-hence fewer than ``k' <= k`` items in ``x``'s own shard precede it, so
-``x`` is in its shard's top-``k'``.  The union of the per-shard answers
-therefore contains the entire global top-k, and re-sorting the union
-under the same total order and keeping ``k`` reproduces it exactly —
-ties included, because per-shard answers and the merge use the identical
-ordering.  (Per-shard answers carry exact overall scores, which is why
-NRA — whose reported scores are lower *bounds* — is executed unsharded;
-see :data:`MERGE_EXACT_ALGORITHMS`.)
-
-**The threshold-style certificate.**  The argument above also yields a
-checkable bound, which :func:`merge_shard_results` verifies on every
-merge: any item a shard did *not* return is dominated by that shard's
-``k'``-th returned entry, so the merged ``k``-th entry must dominate
-every truncated shard's ``k'``-th entry.  A violation would mean a
-shard under-returned; the merge raises instead of serving silently
-wrong answers.
+**The merge.**  Fan-in goes through the execution core's
+certificate-checked exact merge — see :mod:`repro.exec.merge` for the
+exactness proof and the threshold-style certificate it verifies on
+every merge (:func:`merge_shard_results` is re-exported here).
+Per-shard answers must carry exact overall scores, which is why NRA —
+whose reported scores are lower *bounds* — is executed unsharded; see
+:data:`MERGE_EXACT_ALGORITHMS`.
 
 **Execution pools.**  ``serial`` runs shards inline (deterministic,
 zero overhead — the default for tests), ``thread`` uses one shared
@@ -40,24 +27,30 @@ single CPU, where fan-out cannot buy wall-clock time.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Mapping, Sequence
+from typing import Mapping
 
-import numpy as np
-
-from repro.algorithms.base import get_algorithm
-from repro.columnar import ColumnarDatabase, ColumnarList, QueryContext, get_kernel
-from repro.errors import InvalidQueryError, ShardMergeError
+from repro.columnar import ColumnarDatabase, ColumnarList
+from repro.errors import InvalidQueryError
+from repro.exec.merge import merge_shard_results
+from repro.exec.run import execute_query
 from repro.scoring import ScoringFunction
-from repro.service.cache import scoring_key
-from repro.types import AccessTally, ScoredItem, TopKResult
+from repro.types import TopKResult
 
 #: Algorithms whose results carry exact overall scores for every
 #: returned item — the precondition of the merge proof.  NRA reports
 #: lower bounds, so it bypasses sharding and runs on the full database.
-MERGE_EXACT_ALGORITHMS = frozenset(
-    {"ta", "bpa", "bpa2", "fa", "naive", "quick_combine"}
-)
+MERGE_EXACT_ALGORITHMS = frozenset({"ta", "bpa", "bpa2", "fa", "naive", "qc"})
+
+__all__ = [
+    "MERGE_EXACT_ALGORITHMS",
+    "POOL_KINDS",
+    "ShardExecutor",
+    "merge_shard_results",
+    "partition_database",
+    "resolve_pool",
+]
 
 POOL_KINDS = ("serial", "thread", "process", "auto")
 
@@ -108,92 +101,6 @@ def partition_database(
     return result
 
 
-def _entry_key(entry: ScoredItem) -> tuple[float, int]:
-    """The library-wide total order: score descending, id ascending."""
-    return (-entry.score, entry.item)
-
-
-def merge_shard_results(
-    partials: Sequence[TopKResult],
-    shard_sizes: Sequence[int],
-    k: int,
-    algorithm: str,
-) -> TopKResult:
-    """Merge per-shard top-k' answers into the exact global top-k.
-
-    Verifies the threshold-style certificate described in the module
-    docstring and raises :class:`repro.errors.ShardMergeError` if any
-    truncated shard's bound beats the merged k-th entry (impossible for
-    exact per-shard answers; a failure means a shard under-returned).
-    """
-    pool: list[ScoredItem] = []
-    for partial in partials:
-        pool.extend(partial.items)
-    pool.sort(key=_entry_key)
-    merged = tuple(pool[:k])
-
-    bounds_checked = 0
-    if merged and len(merged) == k:
-        kth = _entry_key(merged[-1])
-        for partial, size in zip(partials, shard_sizes):
-            if len(partial.items) < size and partial.items:
-                # The shard was truncated: everything it held back is
-                # dominated by its last returned entry, which in turn
-                # must not beat the merged k-th entry.
-                if kth > _entry_key(partial.items[-1]):
-                    raise ShardMergeError(
-                        f"shard merge bound violated for {algorithm}: "
-                        f"{partial.items[-1]} beats merged k-th {merged[-1]}"
-                    )
-                bounds_checked += 1
-
-    tally = AccessTally()
-    for partial in partials:
-        tally = tally + partial.tally
-    return TopKResult(
-        items=merged,
-        tally=tally,
-        rounds=max(partial.rounds for partial in partials),
-        stop_position=max(partial.stop_position for partial in partials),
-        algorithm=algorithm,
-        extras={
-            "shards": len(partials),
-            "merge_bounds_checked": bounds_checked,
-            "shard_stop_positions": tuple(
-                partial.stop_position for partial in partials
-            ),
-        },
-    )
-
-
-def _execute_on(
-    database: ColumnarDatabase,
-    contexts: dict,
-    algorithm: str,
-    options: Mapping[str, object],
-    k: int,
-    scoring: ScoringFunction,
-) -> TopKResult:
-    """Run one query on one database, through the kernel when one exists.
-
-    ``contexts`` caches one :class:`QueryContext` per scoring *semantics*
-    (see :func:`repro.service.cache.scoring_key`); the stored scoring
-    object is reused so the context's identity check holds even when the
-    caller's instance crossed a process boundary.
-    """
-    instance = get_algorithm(algorithm, **dict(options))
-    kernel_name = instance.fast_kernel()
-    if kernel_name is None:
-        return instance.run(database, k, scoring)
-    key = scoring_key(scoring)
-    cached = contexts.get(key)
-    if cached is None:
-        cached = (scoring, QueryContext(database, scoring))
-        contexts[key] = cached
-    stored_scoring, context = cached
-    return get_kernel(kernel_name)(context, k, stored_scoring)
-
-
 # ----------------------------------------------------------------------
 # Process-pool worker state: one shard database per dedicated worker.
 # ----------------------------------------------------------------------
@@ -215,7 +122,7 @@ def _worker_run(
     scoring: ScoringFunction,
 ) -> TopKResult:
     assert _WORKER_DATABASE is not None, "shard worker used before init"
-    return _execute_on(
+    return execute_query(
         _WORKER_DATABASE, _WORKER_CONTEXTS, algorithm, options, k, scoring
     )
 
@@ -244,6 +151,7 @@ class ShardExecutor:
         self._pool_kind = resolve_pool(pool)
         #: (shard index | -1 for the full database, scoring key) -> context
         self._contexts: dict[int, dict] = {}
+        self._context_lock = threading.Lock()
         self._thread_pool: ThreadPoolExecutor | None = None
         self._process_pools: list[ProcessPoolExecutor] | None = None
         self._closed = False
@@ -270,7 +178,7 @@ class ShardExecutor:
                 for pool, shard_db in zip(self._process_pools, self._shard_dbs):
                     pool.submit(_worker_init, shard_db).result()
 
-    def reload(self, database) -> None:
+    def reload(self, database, *, shards: int | None = None) -> None:
         """Swap in a new snapshot of the data, keeping pools warm.
 
         Re-partitions and clears the query-context caches.  When the
@@ -278,11 +186,14 @@ class ShardExecutor:
         are *re-initialized in place* (each single-worker pool runs
         ``_worker_init`` with its new shard) instead of being respawned,
         so a mutate-then-query cycle pays one IPC round-trip per shard,
-        not a process start.  A changed shard count falls back to a pool
-        restart.
+        not a process start.  A changed shard count (including a new
+        ``shards`` request, e.g. from the planner's auto-tuner) falls
+        back to a pool restart.
         """
         if self._closed:
             raise RuntimeError("executor is closed")
+        if shards is not None:
+            self._shards_requested = shards
         if not isinstance(database, ColumnarDatabase):
             database = ColumnarDatabase.from_database(database)
         new_shard_dbs = partition_database(database, self._shards_requested)
@@ -335,14 +246,17 @@ class ShardExecutor:
     # ------------------------------------------------------------------
 
     def _local_contexts(self, index: int) -> dict:
-        contexts = self._contexts.get(index)
-        if contexts is None:
-            contexts = {}
-            self._contexts[index] = contexts
+        # submit_async runs queries on worker threads; the lock keeps
+        # concurrent first-touches of one shard's context dict single.
+        with self._context_lock:
+            contexts = self._contexts.get(index)
+            if contexts is None:
+                contexts = {}
+                self._contexts[index] = contexts
         return contexts
 
     def _run_local(self, index, database, algorithm, options, k, scoring):
-        return _execute_on(
+        return execute_query(
             database,
             self._local_contexts(index),
             algorithm,

@@ -46,7 +46,7 @@ class WorkloadConfig:
     k_max: int = 20  #: per-query k is drawn uniformly from 1..k_max
     zipf_theta: float = 1.0  #: popularity skew over the query pool
     algorithm: str = "auto"  #: algorithm per query ("auto" = planner)
-    shards: int = 1
+    shards: int | str = 1  #: shard count, or "auto" for the planner's pick
     pool: str = "auto"
     cache_size: int = 1024  #: 0 disables the cache
 
@@ -91,7 +91,36 @@ def replay(
     started = time.perf_counter()
     results = service.submit_many(list(workload))
     seconds = time.perf_counter() - started
+    return _summarize(service, results, seconds), results
 
+
+def replay_async(
+    service: QueryService,
+    workload: Sequence[QuerySpec],
+    *,
+    concurrency: int = 8,
+) -> tuple[dict, list[ServiceResult]]:
+    """Replay a workload through ``gather_many`` on a fresh event loop.
+
+    Same summary shape as :func:`replay` plus the concurrency used and
+    the number of coalesced submits.  Answers are identical to the
+    serial replay's (single-flight coalescing keeps even the cache-hit
+    accounting the same) — ``run_workload`` cross-checks that.
+    """
+    started = time.perf_counter()
+    results = service.serve_concurrently(
+        list(workload), concurrency=concurrency
+    )
+    seconds = time.perf_counter() - started
+    summary = _summarize(service, results, seconds)
+    summary["concurrency"] = concurrency
+    summary["coalesced"] = sum(r.stats.coalesced for r in results)
+    return summary, results
+
+
+def _summarize(
+    service: QueryService, results: list[ServiceResult], seconds: float
+) -> dict:
     tally = AccessTally()
     plan_mix: dict[str, int] = {}
     backend_mix: dict[str, int] = {}
@@ -133,7 +162,7 @@ def replay(
             "max": latencies[-1] * 1e3,
         },
     }
-    return summary, results
+    return summary
 
 
 def _served_answers(results: Sequence[ServiceResult]) -> list[tuple]:
@@ -141,15 +170,24 @@ def _served_answers(results: Sequence[ServiceResult]) -> list[tuple]:
 
 
 def run_workload(
-    config: WorkloadConfig, *, include_baseline: bool = True
+    config: WorkloadConfig,
+    *,
+    include_baseline: bool = True,
+    mode: str = "serial",
+    concurrency: int = 8,
 ) -> dict:
     """Replay one workload configuration; returns the JSON-ready report.
 
+    ``mode="async"`` replays through ``submit_async``/``gather_many``
+    with the given concurrency instead of the serial ``submit_many``.
     With ``include_baseline`` the same workload is also replayed
-    unsharded with the cache off (the repo's status-quo execution path)
-    and every answer is cross-checked for equality — a cache or merge
-    bug fails the run instead of polluting the numbers.
+    serially, unsharded, with the cache off (the repo's status-quo
+    execution path) and every answer is cross-checked for equality — a
+    cache, merge or coalescing bug fails the run instead of polluting
+    the numbers.
     """
+    if mode not in ("serial", "async"):
+        raise ValueError(f"unknown mode {mode!r}; expected 'serial' or 'async'")
     database = build_database(config)
     workload = build_workload(config)
 
@@ -159,7 +197,12 @@ def run_workload(
         pool=config.pool,
         cache_size=config.cache_size,
     ) as service:
-        summary, results = replay(service, workload)
+        if mode == "async":
+            summary, results = replay_async(
+                service, workload, concurrency=concurrency
+            )
+        else:
+            summary, results = replay(service, workload)
         cache = service.cache
         summary["cache"] = (
             {
@@ -177,6 +220,7 @@ def run_workload(
 
     report = {
         "config": asdict(config),
+        "mode": mode,
         "pool_resolved": pool_kind,
         "cpu_count": os.cpu_count(),
         "service": summary,

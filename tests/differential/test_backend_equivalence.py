@@ -111,6 +111,7 @@ class TestKernelDispatch:
         assert get_algorithm("bpa").fast_kernel() == "bpa"
         assert get_algorithm("bpa2").fast_kernel() == "bpa2"
         assert get_algorithm("nra").fast_kernel() == "nra"
+        assert get_algorithm("qc").fast_kernel() == "qc"
 
     def test_non_default_options_disable_the_kernel(self):
         assert get_algorithm("ta", memoize=True).fast_kernel() is None
@@ -118,6 +119,7 @@ class TestKernelDispatch:
         assert get_algorithm("bpa", memoize=True).fast_kernel() is None
         assert get_algorithm("bpa2", check_every_access=True).fast_kernel() is None
         assert get_algorithm("bpa2", approximation=2.0).fast_kernel() is None
+        assert get_algorithm("qc", lookahead=5).fast_kernel() is None
 
     def test_tracker_choice_keeps_the_kernel(self):
         # Trackers change owner-side bookkeeping cost, never results.
@@ -126,7 +128,7 @@ class TestKernelDispatch:
 
     def test_algorithms_without_kernels_return_none(self):
         for name in known_algorithms():
-            if name in ("ta", "bpa", "bpa2", "nra"):
+            if name in ("ta", "bpa", "bpa2", "nra", "qc"):
                 continue
             assert get_algorithm(name).fast_kernel() is None, name
 

@@ -1,5 +1,7 @@
 """CLI integration tests (direct invocation, no subprocess)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -101,3 +103,46 @@ class TestTrace:
         assert main(["trace", "--n", "40", "--m", "3", "--k", "2"]) == 0
         out = capsys.readouterr().out
         assert "TA trace" in out and "BPA trace" in out
+
+
+class TestDistBenchCommand:
+    def test_smoke_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "distributed_speedup.json"
+        assert main(["dist-bench", "--smoke", "--queries", "30",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["benchmark"] == "distributed_speedup"
+        for name in ("ta", "bpa", "bpa2"):
+            cell = report["transport"]["drivers"][name]
+            assert cell["results_identical_to_reference"]
+            assert cell["bytes_reduction"] > 0
+            assert cell["message_reduction"] > 0
+        async_side = report["async_service"]
+        assert async_side["results_identical"]
+        assert async_side["cache_stats_identical"]
+        printed = capsys.readouterr().out
+        assert "wire protocols" in printed and "async service replay" in printed
+
+
+class TestServeWorkloadAsyncMode:
+    def test_smoke_async_replay(self, capsys, tmp_path):
+        out = tmp_path / "smoke_async.json"
+        assert main(["serve-workload", "--smoke", "--async-mode",
+                     "--concurrency", "4", "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["mode"] == "async"
+        assert report["service"]["concurrency"] == 4
+        assert report["results_identical_to_baseline"]
+        assert "mode=async" in capsys.readouterr().out
+
+    def test_auto_shards_accepted(self, capsys, tmp_path):
+        out = tmp_path / "auto.json"
+        assert main(["serve-workload", "--smoke", "--shards", "auto",
+                     "--out", str(out)]) == 0
+        assert json.loads(out.read_text())["config"]["shards"] == "auto"
+
+    def test_garbage_shards_rejected(self, capsys):
+        assert main(["serve-workload", "--smoke", "--shards", "many"]) == 2
+
+    def test_speedup_needs_explicit_shards(self, capsys):
+        assert main(["serve-workload", "--speedup", "--shards", "auto"]) == 2

@@ -1,0 +1,154 @@
+"""Integration tests for the async query front-end.
+
+The headline property (ISSUE 3's integration criterion): a Zipf-popular
+workload replayed through ``submit_async`` with bounded concurrency
+yields *identical* answers and *identical* cache-hit accounting to the
+serial ``submit_many`` replay — single-flight coalescing makes
+concurrent duplicates reuse one execution exactly like the serial
+replay reuses the cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.bench.batch import QuerySpec
+from repro.datagen import UniformGenerator
+from repro.dynamic import DynamicDatabase
+from repro.scoring import MIN
+from repro.service import QueryService
+from repro.service.workload import (
+    WorkloadConfig,
+    build_database,
+    build_workload,
+    replay_async,
+)
+
+ZIPF_CONFIG = WorkloadConfig(
+    generator="zipf",
+    n=800,
+    m=3,
+    seed=13,
+    queries=120,
+    distinct=15,
+    k_max=12,
+    zipf_theta=1.0,
+)
+
+
+class TestAsyncMatchesSerial:
+    @pytest.fixture(scope="class")
+    def zipf_setup(self):
+        return build_database(ZIPF_CONFIG), build_workload(ZIPF_CONFIG)
+
+    def test_zipf_replay_concurrency_8_identical_to_serial(self, zipf_setup):
+        database, workload = zipf_setup
+        with QueryService(database, shards=2, pool="serial") as serial:
+            serial_results = serial.submit_many(workload)
+            serial_counters = serial.counters
+        with QueryService(database, shards=2, pool="serial") as service:
+            async_results = asyncio.run(
+                service.gather_many(workload, concurrency=8)
+            )
+            async_counters = service.counters
+        assert [(r.item_ids, r.scores) for r in serial_results] == [
+            (r.item_ids, r.scores) for r in async_results
+        ]
+        assert async_counters.queries == serial_counters.queries
+        assert async_counters.cache_hits == serial_counters.cache_hits
+        assert async_counters.executions == serial_counters.executions
+
+    def test_results_come_back_in_spec_order(self, zipf_setup):
+        database, _ = zipf_setup
+        specs = [QuerySpec("bpa2", k=k) for k in (1, 7, 3, 7, 1, 5)]
+        with QueryService(database, pool="serial") as service:
+            results = asyncio.run(service.gather_many(specs, concurrency=4))
+        assert [r.stats.plan.k_requested for r in results] == [
+            spec.k for spec in specs
+        ]
+
+    def test_replay_async_summary_matches_serial_accounting(self, zipf_setup):
+        database, workload = zipf_setup
+        with QueryService(database, pool="serial") as service:
+            summary, results = replay_async(service, workload, concurrency=8)
+        assert summary["queries"] == len(workload)
+        assert summary["concurrency"] == 8
+        assert summary["cache_hits"] == sum(r.stats.cache_hit for r in results)
+        assert summary["coalesced"] == sum(r.stats.coalesced for r in results)
+
+
+class TestCoalescing:
+    @pytest.fixture()
+    def service(self):
+        database = UniformGenerator().generate(400, 3, seed=5)
+        with QueryService(database, pool="serial") as service:
+            yield service
+
+    def test_identical_concurrent_queries_execute_once(self, service):
+        results = asyncio.run(
+            service.gather_many([QuerySpec("auto", k=4)] * 6, concurrency=4)
+        )
+        assert service.counters.executions == 1
+        assert service.counters.cache_hits == 5
+        assert service.counters.coalesced == 5
+        assert all(r.item_ids == results[0].item_ids for r in results)
+        assert sum(r.stats.coalesced for r in results) == 5
+
+    def test_coalesced_stats_report_zero_accesses(self, service):
+        results = asyncio.run(
+            service.gather_many([QuerySpec("ta", k=3)] * 3, concurrency=3)
+        )
+        executed = [r for r in results if not r.stats.cache_hit]
+        reused = [r for r in results if r.stats.cache_hit]
+        assert len(executed) == 1 and len(reused) == 2
+        assert all(r.stats.tally.total == 0 for r in reused)
+        assert executed[0].stats.tally.total > 0
+
+    def test_submit_async_without_semaphore(self, service):
+        result = asyncio.run(service.submit_async(QuerySpec("bpa2", k=2)))
+        assert result.result.k == 2
+
+    def test_cache_off_disables_coalescing_like_the_serial_path(self):
+        database = UniformGenerator().generate(300, 3, seed=8)
+        specs = [QuerySpec("bpa2", k=4)] * 4
+        with QueryService(database, pool="serial", cache_size=0) as serial:
+            serial_results = serial.submit_many(specs)
+            assert serial.counters.executions == 4
+        with QueryService(database, pool="serial", cache_size=0) as service:
+            results = asyncio.run(service.gather_many(specs, concurrency=4))
+            assert service.counters.executions == 4
+            assert service.counters.cache_hits == 0
+            assert service.counters.coalesced == 0
+        assert all(not r.stats.cache_hit for r in results)
+        assert [(r.item_ids, r.scores) for r in results] == [
+            (r.item_ids, r.scores) for r in serial_results
+        ]
+
+    def test_distinct_scorings_do_not_coalesce(self, service):
+        specs = [QuerySpec("bpa2", k=3), QuerySpec("bpa2", k=3, scoring=MIN)]
+        asyncio.run(service.gather_many(specs, concurrency=2))
+        assert service.counters.executions == 2
+
+
+class TestAsyncOverMutableData:
+    def test_mutation_between_gathers_refreshes_snapshot(self):
+        source = DynamicDatabase.from_score_rows(
+            [[float(v) for v in range(10)], [float(10 - v) for v in range(10)]]
+        )
+        with QueryService(source, pool="serial") as service:
+            before = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            source.update_score(0, 9, 100.0)
+            source.update_score(1, 9, 100.0)
+            after = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+        assert before.item_ids != after.item_ids
+        assert after.item_ids == (9,)
+        assert service.counters.snapshot_refreshes == 1
+
+    def test_closed_service_rejects_async_submits(self):
+        database = UniformGenerator().generate(50, 2, seed=1)
+        service = QueryService(database, pool="serial")
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            asyncio.run(service.submit_async(QuerySpec("ta", k=1)))

@@ -1,0 +1,121 @@
+"""Unit tests for the network accounting fixes.
+
+Covers the two previously untallied dimensions: payloads produced by
+the columnar backend (NumPy scalars used to raise ``TypeError`` in
+``payload_size``) and best-position exchange traffic (BPA's shipped
+positions, BPA2's ``bp_score`` piggybacks), plus the per-round
+message/byte breakdown the batched protocol is judged by.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.network import (
+    NetworkStats,
+    SimulatedNetwork,
+    payload_size,
+)
+from repro.distributed.nodes import ListOwnerNode
+from repro.lists.sorted_list import SortedList
+
+
+class TestPayloadSizeNumpy:
+    def test_numpy_scalars_price_like_python_numbers(self):
+        assert payload_size(np.float64(1.5)) == payload_size(1.5) == 8
+        assert payload_size(np.int64(3)) == payload_size(3) == 8
+        assert payload_size(np.int32(3)) == 8
+
+    def test_numpy_bool_prices_like_bool(self):
+        assert payload_size(np.bool_(True)) == payload_size(True) == 1
+
+    def test_numpy_values_inside_containers(self):
+        payload = {"scores": [np.float64(0.25), np.float64(0.5)]}
+        assert payload_size(payload) == len("scores") + 16
+
+    def test_unknown_types_still_rejected(self):
+        with pytest.raises(TypeError):
+            payload_size(object())
+
+
+class TestBestPositionTallies:
+    def _network_with_owner(self, *, include_position: bool):
+        network = SimulatedNetwork()
+        owner = ListOwnerNode(
+            SortedList([(0, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)]),
+            include_position=include_position,
+        )
+        network.register("owner/0", owner)
+        return network
+
+    def test_piggybacked_bp_score_is_tallied(self):
+        network = self._network_with_owner(include_position=False)
+        # First sorted access advances bp 0 -> 1: response carries
+        # bp_score (8 bytes) under its key (8 bytes of "bp_score").
+        network.request("owner/0", "sorted_next")
+        assert network.stats.bp_messages == 1
+        assert network.stats.bp_bytes == len("bp_score") + 8
+
+    def test_response_without_bp_state_is_not_tallied(self):
+        network = self._network_with_owner(include_position=False)
+        network.request("owner/0", "sorted_next")  # bp 0 -> 1
+        before = network.stats.bp_messages
+        # Looking up the deepest item does not move bp: no piggyback.
+        network.request("owner/0", "random_lookup", {"item": 3})
+        assert network.stats.bp_messages == before
+
+    def test_shipped_positions_count_as_bp_traffic(self):
+        plain = self._network_with_owner(include_position=False)
+        shipped = self._network_with_owner(include_position=True)
+        for network in (plain, shipped):
+            network.request("owner/0", "random_lookup", {"item": 3})
+        assert shipped.stats.bp_bytes > plain.stats.bp_bytes
+
+    def test_batched_positions_count_as_bp_traffic(self):
+        network = self._network_with_owner(include_position=True)
+        network.request("owner/0", "random_lookup_many", {"items": [1, 3]})
+        assert network.stats.bp_messages == 1
+        # "positions" list (2 x 8 bytes) + its key + bp_score piggyback.
+        assert network.stats.bp_bytes >= len("positions") + 16
+
+
+class TestRoundAccounting:
+    def test_rounds_partition_the_totals(self):
+        stats = NetworkStats()
+        stats.record("a", 10, 5)  # before any round: bucket 0
+        stats.begin_round()
+        stats.record("b", 4, 4)
+        stats.record("b", 4, 4)
+        stats.begin_round()
+        stats.record_one_way("c", 7)
+        assert stats.rounds == 2
+        assert stats.messages_by_round == [2, 4, 1]
+        assert stats.bytes_by_round == [15, 16, 7]
+        assert sum(stats.messages_by_round) == stats.messages
+        assert sum(stats.bytes_by_round) == stats.bytes
+
+    def test_snapshot_carries_the_new_counters(self):
+        stats = NetworkStats()
+        stats.begin_round()
+        stats.record("x", 1, 2)
+        snapshot = stats.snapshot()
+        for key in (
+            "rounds",
+            "messages_by_round",
+            "bytes_by_round",
+            "bp_messages",
+            "bp_bytes",
+        ):
+            assert key in snapshot
+        assert snapshot["rounds"] == 1
+
+    def test_drivers_report_their_round_count(self):
+        from repro.datagen import UniformGenerator
+        from repro.distributed import DistributedBPA2
+
+        database = UniformGenerator().generate(200, 3, seed=9)
+        result = DistributedBPA2().run(database, 5)
+        net = result.extras["network"]
+        assert net["rounds"] == result.rounds
+        assert len(net["messages_by_round"]) == net["rounds"] + 1

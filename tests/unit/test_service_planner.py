@@ -139,3 +139,125 @@ class TestOverfetch:
         assert plan.k_requested == 5
         assert plan.k_fetch == 8
         assert plan.overfetched
+
+
+class TestShardAutoTuning:
+    def test_serial_pool_keeps_one_shard(self, planner):
+        decision = planner.choose_shard_count(pool="serial", cpus=1)
+        assert decision.shards == 1
+        assert decision.workers == 1
+        # Sharding on one worker only adds work: cost must not decrease.
+        assert decision.predicted_costs[1] == min(
+            decision.predicted_costs.values()
+        )
+
+    def test_parallel_pool_fans_out(self, planner):
+        decision = planner.choose_shard_count(pool="process", cpus=8)
+        assert decision.shards > 1
+        assert decision.workers == 8
+
+    def test_candidates_are_bounded_powers_of_two(self, planner):
+        decision = planner.choose_shard_count(
+            pool="process", cpus=4, max_shards=6
+        )
+        assert set(decision.predicted_costs) == {1, 2, 4}
+
+    def test_empty_database_decides_one_shard(self):
+        from repro.lists.database import Database
+
+        empty = ColumnarDatabase.from_database(Database.from_score_rows([[]]))
+        decision = QueryPlanner(empty).choose_shard_count(pool="process", cpus=4)
+        assert decision.shards == 1
+
+    def test_service_exposes_the_decision(self, columnar):
+        from repro.service import QueryService
+
+        with QueryService(columnar, shards="auto", pool="serial") as service:
+            assert service.shard_decision is not None
+            assert service.shards == service.shard_decision.shards == 1
+            served = service.submit(QuerySpec("bpa2", k=3))
+            assert served.stats.planned_shards == service.shards
+
+    def test_fixed_shards_skip_the_tuner(self, columnar):
+        from repro.service import QueryService
+
+        with QueryService(columnar, shards=2, pool="serial") as service:
+            assert service.shard_decision is None
+            assert service.shards == 2
+
+    def test_invalid_shard_request_rejected(self, columnar):
+        from repro.service import QueryService
+
+        with pytest.raises(ValueError, match="positive int or 'auto'"):
+            QueryService(columnar, shards=0)
+
+
+class TestTransportChoice:
+    def test_default_policy_plans_local(self, planner):
+        plan = planner.plan(QuerySpec("bpa2", k=5), cache_enabled=True)
+        assert plan.transport == "local"
+
+    def test_auto_never_pays_for_the_network(self, columnar):
+        from repro.types import CostModel
+
+        pricey = CostModel.paper(columnar.n)
+        pricey = CostModel(
+            sorted_cost=pricey.sorted_cost,
+            random_cost=pricey.random_cost,
+            message_cost=0.5,
+            byte_cost=0.01,
+        )
+        planner = QueryPlanner(columnar, cost_model=pricey)
+        plan = planner.plan(QuerySpec("ta", k=5), cache_enabled=True)
+        assert plan.transport == "local"
+
+    def test_forced_network_picks_the_cheaper_protocol(self, columnar):
+        from repro.types import CostModel
+
+        model = CostModel(message_cost=1.0, byte_cost=0.001)
+        planner = QueryPlanner(
+            columnar,
+            policy=ServicePolicy(transport="network"),
+            cost_model=model,
+        )
+        plan = planner.plan(QuerySpec("bpa2", k=5), cache_enabled=True)
+        # Batch never ships more messages or bytes than per-entry.
+        assert plan.transport == "network-batch"
+        assert "network" in plan.reason
+
+    def test_network_policy_keeps_local_for_undriven_algorithms(self, columnar):
+        planner = QueryPlanner(columnar, policy=ServicePolicy(transport="network"))
+        assert (
+            planner.plan(QuerySpec("naive", k=2), cache_enabled=True).transport
+            == "local"
+        )
+        # Non-default options have no distributed driver either.
+        assert (
+            planner.plan(
+                QuerySpec("ta", k=2, options={"memoize": True}),
+                cache_enabled=True,
+            ).transport
+            == "local"
+        )
+
+    def test_network_transport_serves_identical_answers(self, columnar):
+        from repro.service import QueryService
+
+        spec = QuerySpec("bpa", k=6)
+        with QueryService(columnar, pool="serial", cache_size=0) as local:
+            expected = local.submit(spec)
+        with QueryService(
+            columnar,
+            pool="serial",
+            cache_size=0,
+            policy=ServicePolicy(transport="network"),
+        ) as networked:
+            served = networked.submit(spec)
+        assert served.item_ids == expected.item_ids
+        assert served.scores == expected.scores
+        assert served.stats.plan.transport.startswith("network-")
+        assert "network" in served.result.extras
+
+    def test_predicted_network_rejects_undriven_algorithm(self, planner):
+        with pytest.raises(InvalidQueryError, match="no distributed driver"):
+            planner.predicted_network("naive", 5, SUM)
