@@ -20,6 +20,7 @@ asc) layout bit-for-bit, which the differential suite under
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -30,6 +31,47 @@ from repro.scoring import ScoringFunction
 from repro.types import ItemId, Score
 
 
+#: Guards lazy layout derivation (see :meth:`ColumnarDatabase.layout`).
+_LAYOUT_LOCK = threading.Lock()
+
+
+class DatabaseLayout:
+    """Scalar-indexable views of one database's canonical layout.
+
+    The plain-list translation of :meth:`ColumnarDatabase.position_matrix`
+    and the score columns (scalar indexing on lists is ~3x faster than
+    NumPy element access), derived once per database and shared — the
+    kernels' :class:`repro.columnar.QueryContext` and the unified
+    drivers' :class:`repro.exec.backend.LocalColumnarBackend` both read
+    it, so the layout cannot silently diverge between them.  Treat every
+    field as read-only: the lists are aliased across all consumers.
+    """
+
+    __slots__ = ("ids", "rows_at", "pos_of", "pos1_by_row", "score_at", "row_of")
+
+    def __init__(self, database: "ColumnarDatabase") -> None:
+        position_matrix = database.position_matrix()
+        #: row -> item id (ascending id order; "row" is the dense index).
+        self.ids: list[int] = database.uids_array.tolist()
+        #: per list: 0-based position -> row of the item ranked there.
+        self.rows_at: list[list[int]] = []
+        #: per list: row -> 0-based position of that item.
+        self.pos_of: list[list[int]] = []
+        #: per list: 0-based position -> local score (descending).
+        self.score_at: list[list[float]] = []
+        for i, columnar_list in enumerate(database.lists):
+            ranks = position_matrix[i]
+            self.rows_at.append(ranks.argsort().tolist())
+            self.pos_of.append(ranks.tolist())
+            self.score_at.append(columnar_list.scores_array.tolist())
+        #: row -> its 1-based position in every list (list order).
+        self.pos1_by_row: list[list[int]] = (position_matrix.T + 1).tolist()
+        #: item id -> row.
+        self.row_of: dict[int, int] = {
+            item: row for row, item in enumerate(self.ids)
+        }
+
+
 class ColumnarDatabase:
     """An immutable collection of ``m`` columnar lists over ``n`` items.
 
@@ -38,7 +80,14 @@ class ColumnarDatabase:
         labels: optional mapping from item id to a display label.
     """
 
-    __slots__ = ("_lists", "_labels", "_item_ids", "_score_matrix", "_position_matrix")
+    __slots__ = (
+        "_lists",
+        "_labels",
+        "_item_ids",
+        "_score_matrix",
+        "_position_matrix",
+        "_layout",
+    )
 
     def __init__(
         self,
@@ -60,6 +109,7 @@ class ColumnarDatabase:
         self._item_ids: frozenset[ItemId] = frozenset(reference.tolist())
         self._score_matrix: np.ndarray | None = None
         self._position_matrix: np.ndarray | None = None
+        self._layout: DatabaseLayout | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -205,6 +255,20 @@ class ColumnarDatabase:
             matrix.flags.writeable = False
             self._position_matrix = matrix
         return self._position_matrix
+
+    def layout(self) -> DatabaseLayout:
+        """The scalar-indexable :class:`DatabaseLayout`.  Cached.
+
+        Thread-safe: concurrent first queries (``submit_async`` worker
+        threads) derive the layout once and share one object.  The lock
+        is module-level, not an attribute, so databases stay picklable
+        for the process-pool shard workers.
+        """
+        if self._layout is None:
+            with _LAYOUT_LOCK:
+                if self._layout is None:
+                    self._layout = DatabaseLayout(self)
+        return self._layout
 
     def overall_scores(self, scoring: ScoringFunction) -> list[Score]:
         """Overall score of every item (by ``uids_array`` row order).

@@ -67,23 +67,19 @@ class QueryContext:
         self.scoring = scoring
         self.m = database.m
         self.n = database.n
+        # The scoring-independent layout is shared (and cached) on the
+        # database — see :class:`repro.columnar.database.DatabaseLayout`.
+        layout = database.layout()
         #: row -> item id (ascending id order; "row" is the dense index).
-        self.ids: list[int] = database.uids_array.tolist()
-        position_matrix = database.position_matrix()
+        self.ids: list[int] = layout.ids
         #: per list: 0-based position -> row of the item ranked there.
-        self.rows_at: list[list[int]] = []
+        self.rows_at: list[list[int]] = layout.rows_at
         #: per list: row -> 0-based position of that item.
-        self.pos_of: list[list[int]] = []
+        self.pos_of: list[list[int]] = layout.pos_of
         #: per list: 0-based position -> local score (descending).
-        self.score_at: list[list[float]] = []
-        for i, columnar_list in enumerate(database.lists):
-            ranks = position_matrix[i]
-            inverse = ranks.argsort()
-            self.rows_at.append(inverse.tolist())
-            self.pos_of.append(ranks.tolist())
-            self.score_at.append(columnar_list.scores_array.tolist())
+        self.score_at: list[list[float]] = layout.score_at
         #: row -> its 1-based position in every list (list order).
-        self.pos1_by_row: list[list[int]] = (position_matrix.T + 1).tolist()
+        self.pos1_by_row: list[list[int]] = layout.pos1_by_row
         #: row -> overall score under ``scoring`` (the exact callable).
         self.totals: list[float] = database.overall_scores(scoring)
         #: row -> the exact ``(score, -item)`` heap entry TopKBuffer would

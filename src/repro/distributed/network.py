@@ -118,16 +118,30 @@ class NetworkStats:
             self.bp_messages += 1
             self.bp_bytes += size
 
+    #: ``snapshot()`` ships at most this many per-round buckets: results
+    #: (and the service's cache entries holding them) stay bounded even
+    #: when TA runs a round per position on a large database.
+    SNAPSHOT_MAX_ROUNDS = 256
+
     def snapshot(self) -> dict[str, Any]:
-        """A plain-dict copy for embedding into result extras."""
+        """A plain-dict copy for embedding into result extras.
+
+        The per-round series are truncated to the first
+        :attr:`SNAPSHOT_MAX_ROUNDS` buckets; ``rounds_omitted`` reports
+        how many were dropped (0 in the common case).  The totals always
+        cover every round.
+        """
+        cap = self.SNAPSHOT_MAX_ROUNDS
+        omitted = max(0, len(self.messages_by_round) - cap)
         return {
             "messages": self.messages,
             "bytes": self.bytes,
             "by_kind": dict(self.by_kind),
             "bytes_by_kind": dict(self.bytes_by_kind),
             "rounds": self.rounds,
-            "messages_by_round": list(self.messages_by_round),
-            "bytes_by_round": list(self.bytes_by_round),
+            "messages_by_round": self.messages_by_round[:cap],
+            "bytes_by_round": self.bytes_by_round[:cap],
+            "rounds_omitted": omitted,
             "bp_messages": self.bp_messages,
             "bp_bytes": self.bp_bytes,
         }

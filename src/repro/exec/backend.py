@@ -41,8 +41,11 @@ class ExecutionBackend(ABC):
     #: Number of lists and items (set by implementations).
     m: int
     n: int
-    #: Whether random lookups report positions (BPA needs them at the
-    #: originator; BPA2 pointedly does not — its communication saving).
+    #: Whether random lookups report positions.  BPA needs them at the
+    #: originator — :func:`repro.exec.drivers.run_bpa` rejects a backend
+    #: without them, since lookups would otherwise report position 0 and
+    #: silently corrupt the best-position state.  BPA2 pointedly does
+    #: not ship them — its communication saving.
     include_position: bool
 
     def begin_round(self) -> None:
@@ -111,16 +114,14 @@ class LocalColumnarBackend(ExecutionBackend):
         self.n = database.n
         self.include_position = include_position
         n = self.n
-        position_matrix = database.position_matrix()
-        #: per list: 0-based position -> row of the item ranked there.
-        self._rows_at = [
-            position_matrix[i].argsort().tolist() for i in range(self.m)
-        ]
-        #: per list: row -> 0-based position of that item.
-        self._pos_of = [position_matrix[i].tolist() for i in range(self.m)]
-        self._score_at = [lst.scores_array.tolist() for lst in database.lists]
-        self._ids: list[int] = database.uids_array.tolist()
-        self._row_of = {item: row for row, item in enumerate(self._ids)}
+        # The same cached scalar layout the kernels' QueryContext reads
+        # (one derivation per database; every field is read-only).
+        layout = database.layout()
+        self._rows_at = layout.rows_at
+        self._pos_of = layout.pos_of
+        self._score_at = layout.score_at
+        self._ids = layout.ids
+        self._row_of = layout.row_of
         # Per-list query state: sorted cursor, seen positions (1-based
         # with a sentinel so the best-position advance cannot overrun),
         # best position, and the per-mode access counts.

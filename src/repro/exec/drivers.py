@@ -89,6 +89,11 @@ def run_bpa(
     tracker: str = "bitarray",
 ) -> DriverOutcome:
     """BPA's coordinator loop: seen positions travel to the originator."""
+    if not backend.include_position:
+        raise ValueError(
+            "run_bpa needs positions in random-lookup responses: "
+            "construct the backend with include_position=True"
+        )
     m, n = backend.m, backend.n
     buffer = TopKBuffer(k)
     seen: set[ItemId] = set()

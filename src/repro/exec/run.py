@@ -42,7 +42,11 @@ def execute_query(
     key = scoring_key(scoring)
     cached = contexts.get(key)
     if cached is None:
-        cached = (scoring, QueryContext(database, scoring))
-        contexts[key] = cached
+        # Concurrent submits can race to first-touch a scoring's context
+        # (``contexts`` is shared across worker threads); setdefault
+        # lets exactly one constructed pair win for everyone.
+        cached = contexts.setdefault(
+            key, (scoring, QueryContext(database, scoring))
+        )
     stored_scoring, context = cached
     return get_kernel(kernel_name)(context, k, stored_scoring)

@@ -36,7 +36,6 @@ algorithms that all share the bias.)
 from __future__ import annotations
 
 import math
-import os
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -49,6 +48,7 @@ from repro.columnar import ColumnarDatabase
 from repro.errors import InvalidQueryError
 from repro.exec.keys import freeze_value, scoring_key
 from repro.scoring import SUM, ScoringFunction
+from repro.service.sharding import available_cpus
 from repro.types import AccessTally, CostModel
 
 #: Algorithms the auto-planner ranks by predicted cost.  NRA is excluded
@@ -86,6 +86,16 @@ class ServicePolicy:
     overfetch: bool = True
     max_overfetch: int = 4
     transport: str = "auto"  #: ``"auto"`` | ``"local"`` | ``"network"``
+
+    def __post_init__(self) -> None:
+        # Validated here, not at first use: a typo'd transport would
+        # otherwise surface mid-workload (or never, when no query
+        # qualifies for a transport decision at all).
+        if self.transport not in ("auto", "local", "network"):
+            raise ValueError(
+                f"unknown transport policy {self.transport!r}; "
+                "expected 'auto', 'local' or 'network'"
+            )
 
 
 @dataclass(frozen=True)
@@ -189,13 +199,6 @@ class ShardDecision:
     workers: int  #: parallel workers the prediction assumed
     predicted_costs: Mapping[int, float] = field(default_factory=dict)
     reason: str = ""
-
-
-def _available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
 
 
 class QueryPlanner:
@@ -315,17 +318,20 @@ class QueryPlanner:
         }
 
     def choose_transport(
-        self, algorithm: str, k: int, scoring: ScoringFunction, local_cost: float
+        self, algorithm: str, k: int, scoring: ScoringFunction
     ) -> tuple[str, str]:
         """Resolve the policy's transport setting for one query.
 
         Returns ``(transport, reason)``.  Under ``"network"`` the wire
         protocol is the one minimizing the cost model's network cost
-        (ties go to batch, which never ships more than per-entry);
-        under ``"auto"`` the network only wins when its predicted total
-        — execution plus :meth:`repro.types.CostModel.network_cost` —
-        beats local execution, which a non-negative network price never
-        does, so auto means local unless the data actually is remote.
+        (ties go to batch, which never ships more than per-entry).
+        Under ``"auto"`` the decision is the sign of the wire
+        *surcharge*: the simulated network runs the same unified
+        drivers as local execution, so its total is the local cost plus
+        :meth:`repro.types.CostModel.network_cost` — network wins only
+        under a cost model that prices the wire negatively, i.e. one
+        modeling data that is already remote, where local access
+        carries the transfer penalty instead.
         """
         setting = self._policy.transport
         if setting == "local" or algorithm not in NETWORK_ALGORITHMS:
@@ -338,22 +344,20 @@ class QueryPlanner:
                 wire[name]["messages"], wire[name]["bytes"]
             ),
         )
-        network_cost = local_cost + model.network_cost(
-            wire[protocol]["messages"], wire[protocol]["bytes"]
-        )
         if setting == "network":
             return (
                 f"network-{protocol}",
                 f"transport forced to network; {protocol} protocol predicts "
                 f"{wire[protocol]['messages']:,.0f} messages",
             )
-        if setting == "auto":
-            if network_cost < local_cost:
-                return f"network-{protocol}", "network predicted cheaper"
-            return "local", "transport: local (no predicted network win)"
-        raise InvalidQueryError(
-            f"unknown transport policy {setting!r}; "
-            "expected 'auto', 'local' or 'network'"
+        surcharge = model.network_cost(
+            wire[protocol]["messages"], wire[protocol]["bytes"]
+        )
+        if surcharge < 0:
+            return f"network-{protocol}", "network predicted cheaper"
+        return (
+            "local",
+            f"transport: local (network adds {surcharge:,.0f} predicted cost)",
         )
 
     def choose_shard_count(
@@ -381,7 +385,7 @@ class QueryPlanner:
         if n == 0:
             return ShardDecision(1, pool, 1, {}, "empty database")
         if cpus is None:
-            cpus = _available_cpus()
+            cpus = available_cpus()
         workers = cpus if pool in ("thread", "process") else 1
         k = min(max(1, k), n)
         limit = min(max_shards or 2 * max(1, cpus), n)
@@ -471,14 +475,23 @@ class QueryPlanner:
         transport = "local"
         if (
             algorithm in NETWORK_ALGORITHMS
-            and not spec.options  # distributed drivers run default configs
             and self._policy.transport != "local"
         ):
-            transport, transport_reason = self.choose_transport(
-                algorithm, k_fetch, spec.scoring, costs.get(algorithm, 0.0)
-            )
-            if transport != "local":
-                reason = f"{reason}; {transport_reason}"
+            if spec.options:
+                # The distributed drivers run default configs only, so
+                # option-carrying queries stay on the shard pool — say
+                # so when the policy explicitly forced the network.
+                if self._policy.transport == "network":
+                    reason = (
+                        f"{reason}; transport: local (options pin the "
+                        "query to the shard pool)"
+                    )
+            else:
+                transport, transport_reason = self.choose_transport(
+                    algorithm, k_fetch, spec.scoring
+                )
+                if transport != "local":
+                    reason = f"{reason}; {transport_reason}"
 
         instance = get_algorithm(algorithm, **dict(spec.options))
         backend = "kernel" if instance.fast_kernel() is not None else "reference"

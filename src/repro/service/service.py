@@ -48,7 +48,7 @@ class ServiceStats:
 
     plan: PlanDecision
     cache_hit: bool
-    epoch: int
+    epoch: int  #: data epoch the answer was computed (or cached) under
     fanout: int  #: shards the execution fanned out to (1 on a cache hit)
     tally: AccessTally  #: accesses performed (zero on a cache hit)
     seconds: float  #: end-to-end latency of this submit
@@ -168,6 +168,9 @@ class QueryService:
         self._policy = policy
         self._cost_model = cost_model
         self._epoch = 0
+        #: the epoch the current snapshot was built at (== ``_epoch``
+        #: except while a rebuild is pending or deferred).
+        self._snapshot_epoch = 0
         self._dirty = False
         self._cache = ResultCache(cache_size) if cache_size > 0 else None
         self.counters = ServiceCounters()
@@ -206,6 +209,7 @@ class QueryService:
             # Keep pools (and their worker processes) warm across
             # snapshots; only the shard data and contexts are replaced.
             self._executor.reload(database, shards=shards)
+        self._snapshot_epoch = self._epoch
         self._dirty = False
 
     # ------------------------------------------------------------------
@@ -307,6 +311,7 @@ class QueryService:
         plan: PlanDecision,
         full: TopKResult,
         started: float,
+        epoch: int,
         *,
         cache_hit: bool,
         coalesced: bool = False,
@@ -316,7 +321,7 @@ class QueryService:
         stats = ServiceStats(
             plan=plan,
             cache_hit=reused,
-            epoch=self._epoch,
+            epoch=epoch,
             fanout=1 if reused else int(full.extras.get("shards", 1)),
             tally=AccessTally() if reused else full.tally.copy(),
             seconds=time.perf_counter() - started,
@@ -334,9 +339,18 @@ class QueryService:
         if self._closed:
             raise RuntimeError("service is closed")
         started = time.perf_counter()
+        deferred = False
         if self._dirty and self._source is not None:
-            self._rebuild(_snapshot_dynamic(self._source))
-            self.counters.snapshot_refreshes += 1
+            if self._running:
+                # In-flight ``submit_async`` executions pin the current
+                # snapshot (the executor's pools cannot be reloaded
+                # mid-query), so this query serves the pinned snapshot
+                # and leaves the rebuild to the next submit after the
+                # flights drain — the async path quiesces the same way.
+                deferred = True
+            else:
+                self._rebuild(_snapshot_dynamic(self._source))
+                self.counters.snapshot_refreshes += 1
 
         if self.n == 0:
             # Every item was removed from the source: "all items, ranked"
@@ -344,20 +358,29 @@ class QueryService:
             # was valid; the data is just gone for now).
             return self._serve_empty(spec, started)
 
-        plan = self._planner.plan(spec, cache_enabled=self._cache is not None)
+        # The epoch the execution reads from: a mutation landing while
+        # the query is in flight bumps ``self._epoch``, and caching the
+        # stale result under the *new* epoch would serve pre-mutation
+        # answers forever.  Captured here, the entry stays keyed to the
+        # snapshot it was computed from and is dropped on the next get.
+        # A deferred rebuild serves data whose epoch already passed, so
+        # the cache is bypassed entirely for that query.
+        epoch = self._snapshot_epoch if deferred else self._epoch
+        caching = self._cache is not None and not deferred
+        plan = self._planner.plan(spec, cache_enabled=caching)
         cache_hit = False
         full: TopKResult | None = None
-        if self._cache is not None:
+        if caching:
             key = normalized_query_key(
                 plan.algorithm, plan.k_fetch, spec.scoring, spec.options
             )
-            full = self._cache.get(key, self._epoch)
+            full = self._cache.get(key, epoch)
             cache_hit = full is not None
         if full is None:
             full = self._execute_plan(plan, spec)
-            if self._cache is not None:
-                self._cache.put(key, full, self._epoch)
-        return self._package(plan, full, started, cache_hit=cache_hit)
+            if caching:
+                self._cache.put(key, full, epoch)
+        return self._package(plan, full, started, epoch, cache_hit=cache_hit)
 
     def submit_many(self, specs: Sequence[QuerySpec]) -> list[ServiceResult]:
         """Answer a batch of queries in order (empty batch -> empty list)."""
@@ -407,15 +430,41 @@ class QueryService:
         key = normalized_query_key(
             plan.algorithm, plan.k_fetch, spec.scoring, spec.options
         )
+        # Capture the epoch the execution reads from *before* it starts:
+        # a mutation mid-flight bumps ``self._epoch``, and caching the
+        # stale result under the new epoch would serve pre-mutation
+        # answers as fresh hits indefinitely.  Keyed to this epoch, the
+        # entry is dropped on the first post-mutation lookup.
+        epoch = self._epoch
         if caching:
-            full = self._cache.get(key, self._epoch)
-            if full is not None:
-                return self._package(plan, full, started, cache_hit=True)
-            pending = self._inflight.get(key)
-            if pending is not None:
-                full = await asyncio.shield(pending)
+            while True:
+                full = self._cache.get(key, epoch)
+                if full is not None:
+                    return self._package(
+                        plan, full, started, epoch, cache_hit=True
+                    )
+                pending = self._inflight.get(key)
+                if pending is None:
+                    break
+                try:
+                    full = await asyncio.shield(pending)
+                except asyncio.CancelledError:
+                    if not pending.cancelled():
+                        raise  # our own cancellation, not the owner's
+                    # The executing owner was cancelled.  If this task
+                    # was cancelled too (e.g. the whole gather is being
+                    # torn down), honor that instead of retrying;
+                    # otherwise retry, possibly becoming the new owner.
+                    # (Task.cancelling is 3.11+; on 3.10 a simultaneous
+                    # cancel falls back to the retry.)
+                    cancelling = getattr(
+                        asyncio.current_task(), "cancelling", None
+                    )
+                    if cancelling is not None and cancelling() > 0:
+                        raise
+                    continue
                 return self._package(
-                    plan, full, started, cache_hit=False, coalesced=True
+                    plan, full, started, epoch, cache_hit=False, coalesced=True
                 )
 
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -428,6 +477,11 @@ class QueryService:
             else:
                 async with semaphore:
                     full = await asyncio.to_thread(self._execute_plan, plan, spec)
+        except asyncio.CancelledError:
+            # Cancel (don't poison) the shared future: coalesced waiters
+            # see a cancelled owner and re-execute themselves.
+            future.cancel()
+            raise
         except BaseException as exc:
             future.set_exception(exc)
             future.exception()  # consume; waiters re-raise their own copy
@@ -438,8 +492,8 @@ class QueryService:
             self._running.discard(future)
         future.set_result(full)
         if caching:
-            self._cache.put(key, full, self._epoch)
-        return self._package(plan, full, started, cache_hit=False)
+            self._cache.put(key, full, epoch)
+        return self._package(plan, full, started, epoch, cache_hit=False)
 
     async def gather_many(
         self, specs: Sequence[QuerySpec], *, concurrency: int = 8

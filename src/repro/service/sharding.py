@@ -55,17 +55,25 @@ __all__ = [
 POOL_KINDS = ("serial", "thread", "process", "auto")
 
 
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported).
+
+    The one source of host parallelism for both the pool resolver and
+    the planner's shard auto-tuner, so the two cannot disagree.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
 def resolve_pool(pool: str) -> str:
     """Resolve ``"auto"`` to a concrete pool kind for this host."""
     if pool not in POOL_KINDS:
         raise ValueError(f"unknown pool {pool!r}; expected one of {POOL_KINDS}")
     if pool != "auto":
         return pool
-    try:
-        cpus = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        cpus = os.cpu_count() or 1
-    return "process" if cpus > 1 else "serial"
+    return "process" if available_cpus() > 1 else "serial"
 
 
 def partition_database(

@@ -131,8 +131,148 @@ class TestCoalescing:
         asyncio.run(service.gather_many(specs, concurrency=2))
         assert service.counters.executions == 2
 
+    def test_cancelled_owner_does_not_fail_coalesced_waiters(self, service):
+        spec = QuerySpec("bpa2", k=4)
+
+        async def scenario():
+            # A zero-permit semaphore parks the owner before execution,
+            # so we can cancel it while a waiter is coalesced onto it.
+            gate = asyncio.Semaphore(0)
+            owner = asyncio.create_task(
+                service.submit_async(spec, semaphore=gate)
+            )
+            await asyncio.sleep(0)  # owner registers as in-flight
+            waiter = asyncio.create_task(service.submit_async(spec))
+            await asyncio.sleep(0)  # waiter attaches to the owner
+            owner.cancel()
+            result = await waiter
+            with pytest.raises(asyncio.CancelledError):
+                await owner
+            return result
+
+        result = asyncio.run(scenario())
+        # The waiter retried the execution itself instead of inheriting
+        # the owner's cancellation.
+        assert result.result.k == 4
+        assert service.counters.executions == 1
+
+    def test_cancelling_owner_and_waiter_cancels_the_waiter(self, service):
+        spec = QuerySpec("bpa2", k=4)
+
+        async def scenario():
+            gate = asyncio.Semaphore(0)
+            owner = asyncio.create_task(
+                service.submit_async(spec, semaphore=gate)
+            )
+            await asyncio.sleep(0)
+            waiter = asyncio.create_task(service.submit_async(spec))
+            await asyncio.sleep(0)
+            # A whole-batch teardown cancels both: the waiter must end
+            # cancelled, not silently retry the execution to completion.
+            owner.cancel()
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            with pytest.raises(asyncio.CancelledError):
+                await owner
+
+        asyncio.run(scenario())
+        assert service.counters.executions == 0
+
 
 class TestAsyncOverMutableData:
+    @staticmethod
+    def _mutable_service():
+        source = DynamicDatabase.from_score_rows(
+            [[float(v) for v in range(10)], [float(10 - v) for v in range(10)]]
+        )
+        return source, QueryService(source, pool="serial")
+
+    @staticmethod
+    def _race_mutation_into(service, source):
+        """Make ``_execute_plan`` mutate the source mid-flight, once.
+
+        Models a writer landing between the snapshot read and the cache
+        write: the epoch bumps while the execution is in progress, so
+        the computed result describes data that no longer exists.
+        """
+        real = service._execute_plan
+
+        def racing(plan, spec):
+            full = real(plan, spec)
+            service._execute_plan = real
+            source.update_score(0, 9, 100.0)
+            source.update_score(1, 9, 100.0)
+            return full
+
+        service._execute_plan = racing
+
+    def test_async_mutation_during_flight_does_not_poison_cache(self):
+        source, service = self._mutable_service()
+        with service:
+            self._race_mutation_into(service, source)
+            stale = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            fresh = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            again = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+        # The in-flight result is stale but must not be served as a
+        # fresh cache hit after the mutation's snapshot rebuild.
+        assert stale.item_ids != (9,)
+        assert not fresh.stats.cache_hit
+        assert fresh.item_ids == (9,)
+        assert again.stats.cache_hit
+        assert again.item_ids == (9,)
+        # Telemetry reports the epoch each answer was computed under,
+        # not whatever the epoch was when it finished.
+        assert stale.stats.epoch == 0
+        assert fresh.stats.epoch == again.stats.epoch == 2
+
+    def test_sync_mutation_during_flight_does_not_poison_cache(self):
+        source, service = self._mutable_service()
+        with service:
+            self._race_mutation_into(service, source)
+            stale = service.submit(QuerySpec("bpa2", k=1))
+            fresh = service.submit(QuerySpec("bpa2", k=1))
+            again = service.submit(QuerySpec("bpa2", k=1))
+        assert stale.item_ids != (9,)
+        assert not fresh.stats.cache_hit
+        assert fresh.item_ids == (9,)
+        assert again.stats.cache_hit
+        assert again.item_ids == (9,)
+        assert stale.stats.epoch == 0
+        assert fresh.stats.epoch == again.stats.epoch == 2
+
+    def test_sync_submit_defers_rebuild_while_async_in_flight(self):
+        source, service = self._mutable_service()
+        with service:
+
+            async def scenario():
+                gate = asyncio.Semaphore(0)
+                flight = asyncio.create_task(
+                    service.submit_async(QuerySpec("bpa2", k=1), semaphore=gate)
+                )
+                await asyncio.sleep(0)  # flight registers, parks on gate
+                source.update_score(0, 9, 100.0)
+                source.update_score(1, 9, 100.0)
+                # The sync submit cannot reload the executor under the
+                # parked flight: it serves the pinned snapshot instead.
+                during = service.submit(QuerySpec("bpa2", k=1))
+                refreshes_during = service.counters.snapshot_refreshes
+                gate.release()
+                await flight
+                after = await service.submit_async(QuerySpec("bpa2", k=1))
+                return during, refreshes_during, after
+
+            during, refreshes_during, after = asyncio.run(scenario())
+        assert refreshes_during == 0  # the rebuild was deferred
+        assert not during.stats.cache_hit
+        assert during.item_ids != (9,)  # the pinned (pre-mutation) snapshot
+        assert during.stats.epoch == 0  # ... and telemetry says so
+        assert after.item_ids == (9,)
+        assert after.stats.epoch == 2
+        assert service.counters.snapshot_refreshes == 1
+        # The deferred query must not have cached its stale answer.
+        assert after.stats.cache_hit is False
+
     def test_mutation_between_gathers_refreshes_snapshot(self):
         source = DynamicDatabase.from_score_rows(
             [[float(v) for v in range(10)], [float(10 - v) for v in range(10)]]

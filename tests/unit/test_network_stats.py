@@ -110,6 +110,21 @@ class TestRoundAccounting:
             assert key in snapshot
         assert snapshot["rounds"] == 1
 
+    def test_snapshot_caps_the_per_round_series(self):
+        stats = NetworkStats()
+        rounds = NetworkStats.SNAPSHOT_MAX_ROUNDS + 40
+        for _ in range(rounds):
+            stats.begin_round()
+            stats.record("x", 1, 1)
+        snapshot = stats.snapshot()
+        assert snapshot["rounds"] == rounds
+        assert len(snapshot["messages_by_round"]) == NetworkStats.SNAPSHOT_MAX_ROUNDS
+        assert len(snapshot["bytes_by_round"]) == NetworkStats.SNAPSHOT_MAX_ROUNDS
+        # +1 for the pre-round bucket the raw series always carries.
+        assert snapshot["rounds_omitted"] == rounds + 1 - NetworkStats.SNAPSHOT_MAX_ROUNDS
+        # Totals still cover every round, truncation or not.
+        assert snapshot["messages"] == 2 * rounds
+
     def test_drivers_report_their_round_count(self):
         from repro.datagen import UniformGenerator
         from repro.distributed import DistributedBPA2

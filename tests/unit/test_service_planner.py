@@ -261,3 +261,19 @@ class TestTransportChoice:
     def test_predicted_network_rejects_undriven_algorithm(self, planner):
         with pytest.raises(InvalidQueryError, match="no distributed driver"):
             planner.predicted_network("naive", 5, SUM)
+
+    def test_typod_transport_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown transport policy"):
+            ServicePolicy(transport="netwok")
+
+    def test_forced_network_with_options_annotates_the_pin(self, columnar):
+        planner = QueryPlanner(
+            columnar, policy=ServicePolicy(transport="network")
+        )
+        plan = planner.plan(
+            QuerySpec("ta", k=2, options={"memoize": True}), cache_enabled=True
+        )
+        # The forced network policy cannot apply (drivers run default
+        # configs); the override is dropped *visibly*, not silently.
+        assert plan.transport == "local"
+        assert "options pin the query to the shard pool" in plan.reason
