@@ -207,6 +207,7 @@ def get_algorithm(name: str, **kwargs) -> TopKAlgorithm:
     :mod:`repro.core` is imported; importing :mod:`repro` loads everything.
     """
     # Ensure all registrations ran.
+    import repro.algorithms.block  # noqa: F401
     import repro.algorithms.fa  # noqa: F401
     import repro.algorithms.naive  # noqa: F401
     import repro.algorithms.nra  # noqa: F401

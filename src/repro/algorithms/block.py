@@ -1,0 +1,224 @@
+"""Block-based TA / BPA / BPA2 — the reference single-node variants.
+
+The paper's middleware cost model charges per *access*, but every real
+source (disk page, columnar slice, network round trip) serves a block of
+entries for nearly the price of one.  These variants process ``width``
+positions per round:
+
+* one **sorted block** per list (``ta-block`` / ``bpa-block``) or one
+  **direct block** per non-exhausted list — up to ``width`` direct
+  accesses, each at the best position + 1, marks advancing the best
+  position between them (``bpa2-block``);
+* then **deduplicated** random probes: each distinct newly-surfaced item
+  is completed exactly once, in every list that did not surface it this
+  round (unlike classic TA's Lemma 2 accounting, which re-probes seen
+  items).
+
+Stop tests run once per block round with the round-end threshold, which
+is never larger than any intermediate one, so the returned top-k is the
+exact global top-k — bit-identical (items *and* scores) to the classic
+algorithms' answers; ``tests/differential/test_block_variants.py``
+proves it, and proves these reference implementations bit-identical
+(tallies and rounds included) to the unified round-plan engine over
+every transport.
+
+``width=1`` degenerates to a memoized per-entry algorithm — still exact,
+but with fewer random accesses than the paper's accounting, which is why
+these register under their own names instead of replacing TA/BPA/BPA2.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import TopKAlgorithm, TopKBuffer, register
+from repro.core.best_position import make_tracker
+from repro.errors import InvalidQueryError
+from repro.exec.plan import BlockRound
+from repro.lists.accessor import DatabaseAccessor
+from repro.scoring import ScoringFunction
+from repro.types import ItemId, Position, Score
+
+_INF = float("inf")
+
+
+class _BlockAlgorithm(TopKAlgorithm):
+    """Shared validation and probe plumbing for the block variants."""
+
+    def __init__(self, *, width: int = 8, tracker: str = "bitarray") -> None:
+        if width < 1:
+            raise InvalidQueryError(f"block width must be >= 1, got {width}")
+        self._width = width
+        self._tracker_kind = tracker
+
+    @property
+    def width(self) -> int:
+        """Positions processed per block round."""
+        return self._width
+
+    @staticmethod
+    def _probe(
+        accessor: DatabaseAccessor, needs: list[list[ItemId]]
+    ) -> tuple[dict[int, dict[ItemId, Score]], list[list[Position]]]:
+        """Batched probes per list; returns scores by item and positions."""
+        probes: dict[int, dict[ItemId, Score]] = {}
+        positions: list[list[Position]] = []
+        for j, items in enumerate(needs):
+            if items:
+                scores, pos = accessor[j].lookup_many(items)
+                probes[j] = {
+                    item: float(score) for item, score in zip(items, scores)
+                }
+                positions.append([int(p) for p in pos])
+            else:
+                probes[j] = {}
+                positions.append([])
+        return probes, positions
+
+
+@register
+class BlockTA(_BlockAlgorithm):
+    """TA with block sorted access and deduplicated completion."""
+
+    name = "ta-block"
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m, n = accessor.m, accessor.n
+        buffer = TopKBuffer(k)
+        seen: set[ItemId] = set()
+        last: list[Score] = [0.0] * m
+        position = 0
+        rounds = 0
+        while True:
+            rounds += 1
+            count = min(self._width, n - position)
+            block = BlockRound(m)
+            for i in range(m):
+                entries = accessor[i].sorted_block(count)
+                last[i] = entries[-1].score
+                for entry in entries:
+                    block.add(i, entry.item, entry.score)
+            position += count
+            new_items = block.new_items(seen)
+            seen.update(new_items)
+            needs = block.probe_needs(new_items)
+            probes, _positions = self._probe(accessor, needs)
+            for item in new_items:
+                buffer.add(item, scoring(block.local_scores(item, probes)))
+            threshold = scoring(last)
+            if buffer.all_at_least(threshold) or position >= n:
+                return buffer.ranked(), rounds, position, {
+                    "threshold": threshold,
+                    "block_width": self._width,
+                }
+
+
+@register
+class BlockBPA(_BlockAlgorithm):
+    """BPA with block sorted access; best positions at the originator."""
+
+    name = "bpa-block"
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m, n = accessor.m, accessor.n
+        buffer = TopKBuffer(k)
+        seen: set[ItemId] = set()
+        trackers = [make_tracker(self._tracker_kind, n) for _ in range(m)]
+        seen_scores: list[dict[Position, Score]] = [{} for _ in range(m)]
+        position = 0
+        rounds = 0
+
+        def note(i: int, pos: Position, score: Score) -> None:
+            trackers[i].mark(pos)
+            seen_scores[i][pos] = score
+
+        while True:
+            rounds += 1
+            count = min(self._width, n - position)
+            block = BlockRound(m)
+            for i in range(m):
+                for entry in accessor[i].sorted_block(count):
+                    note(i, entry.position, entry.score)
+                    block.add(i, entry.item, entry.score)
+            position += count
+            new_items = block.new_items(seen)
+            seen.update(new_items)
+            needs = block.probe_needs(new_items)
+            probes, probe_positions = self._probe(accessor, needs)
+            for j in range(m):
+                for item, pos in zip(needs[j], probe_positions[j]):
+                    note(j, pos, probes[j][item])
+            for item in new_items:
+                buffer.add(item, scoring(block.local_scores(item, probes)))
+            lam = scoring(
+                [seen_scores[i][trackers[i].best_position] for i in range(m)]
+            )
+            if buffer.all_at_least(lam) or position >= n:
+                return buffer.ranked(), rounds, position, {
+                    "lambda": lam,
+                    "block_width": self._width,
+                }
+
+
+@register
+class BlockBPA2(_BlockAlgorithm):
+    """BPA2 with block direct access; best positions at the sources.
+
+    Every list's direct block is independent of the others (probes land
+    only at the end of the round), so a distributed transport can
+    overlap all of them — the property the pipelined wire protocol
+    exploits.
+    """
+
+    name = "bpa2-block"
+
+    def _execute(self, accessor: DatabaseAccessor, k, scoring):
+        m, n = accessor.m, accessor.n
+        buffer = TopKBuffer(k)
+        seen: set[ItemId] = set()
+        trackers = [make_tracker(self._tracker_kind, n) for _ in range(m)]
+        exhausted = [False] * m
+        rounds = 0
+
+        while True:
+            rounds += 1
+            progressed = False
+            block = BlockRound(m)
+            for i in range(m):
+                if exhausted[i]:
+                    continue
+                for _ in range(self._width):
+                    pos = trackers[i].best_position + 1
+                    if pos > n:
+                        break
+                    entry = accessor[i].direct_at(pos)
+                    trackers[i].mark(pos)
+                    block.add(i, entry.item, entry.score)
+                    progressed = True
+                if trackers[i].best_position >= n:
+                    exhausted[i] = True
+            new_items = block.new_items(seen)
+            seen.update(new_items)
+            needs = block.probe_needs(new_items)
+            probes, probe_positions = self._probe(accessor, needs)
+            for j in range(m):
+                for pos in probe_positions[j]:
+                    trackers[j].mark(pos)
+            for item in new_items:
+                buffer.add(item, scoring(block.local_scores(item, probes)))
+            lam = scoring(
+                [
+                    _INF
+                    if trackers[i].best_position == 0
+                    else accessor[i].source.score_at(trackers[i].best_position)
+                    for i in range(m)
+                ]
+            )
+            if buffer.all_at_least(lam):
+                break
+            if not progressed:
+                break
+        stop_position = max(
+            (tracker.best_position for tracker in trackers), default=0
+        )
+        return buffer.ranked(), rounds, stop_position, {
+            "block_width": self._width,
+        }

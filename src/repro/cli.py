@@ -8,6 +8,8 @@ Examples::
     repro-topk paper-examples
     repro-topk adversarial --m 6 --u 5
     repro-topk distributed --n 2000 --m 6 --k 10
+    repro-topk distributed --transport socket --protocol pipelined \
+               --block-width 8 --verify
     repro-topk bench compare-backends --n 10000 --m 3 --queries 100
     repro-topk serve-workload --n 100000 --m 3 --shards 4 --queries 400
     repro-topk serve-workload --shards auto --async-mode --concurrency 8
@@ -89,6 +91,22 @@ def _build_parser() -> argparse.ArgumentParser:
     distributed.add_argument("--generator", default="uniform",
                              choices=("uniform", "gaussian", "correlated"))
     distributed.add_argument("--alpha", type=float, default=0.01)
+    distributed.add_argument("--transport", default="simulated",
+                             choices=("simulated", "local", "socket"),
+                             help="simulated in-process network, local "
+                                  "columnar arrays, or real multi-process "
+                                  "TCP owners")
+    distributed.add_argument("--protocol", default="entry",
+                             choices=("entry", "batch", "pipelined"),
+                             help="wire protocol (pipelined = batched "
+                                  "messages as overlapped waves)")
+    distributed.add_argument("--block-width", type=int, default=1,
+                             help="sorted/direct block width (>1 runs the "
+                                  "*-block round planners)")
+    distributed.add_argument("--verify", action="store_true",
+                             help="cross-check every answer against the "
+                                  "reference single-node algorithm and exit "
+                                  "non-zero on any mismatch")
 
     bench = sub.add_parser(
         "bench", help="throughput benchmarks over the storage backends"
@@ -174,6 +192,17 @@ def _build_parser() -> argparse.ArgumentParser:
     dist_bench.add_argument("--queries", type=int, default=120,
                             help="queries in the async-vs-serial replay")
     dist_bench.add_argument("--concurrency", type=int, default=8)
+    dist_bench.add_argument("--transport", default="all",
+                            choices=("simulated", "socket", "all"),
+                            help="which transports to measure (socket = "
+                                 "multi-process TCP owners, wall-clock rows)")
+    dist_bench.add_argument("--protocol", default="all",
+                            choices=("entry", "batch", "pipelined", "all"),
+                            help="which wire protocols to measure")
+    dist_bench.add_argument("--block-width", type=int, default=8,
+                            help="block width for the *-block socket rows")
+    dist_bench.add_argument("--socket-repeats", type=int, default=3,
+                            help="repeats per socket cell (best kept)")
     dist_bench.add_argument("--smoke", action="store_true",
                             help="tiny CI preset (n=600, m=3, 40 queries)")
     dist_bench.add_argument("--out", default=None, metavar="FILE",
@@ -314,14 +343,53 @@ def _cmd_distributed(args: argparse.Namespace) -> int:
     params = {"alpha": args.alpha} if args.generator == "correlated" else {}
     generator = make_generator(args.generator, **params)
     database = generator.generate(args.n, args.m, seed=args.seed)
-    print(f"database: {args.generator} n={args.n} m={args.m} k={args.k}")
-    print(f"{'driver':>10} {'messages':>10} {'bytes':>12} {'accesses':>10} {'stop':>7}")
-    for driver in (DistributedTA(), DistributedBPA(), DistributedBPA2(),
-                   DistributedTPUT()):
+    options = dict(
+        transport=args.transport,
+        protocol=args.protocol,
+        block_width=args.block_width,
+    )
+    default_wire = (
+        args.transport == "simulated"
+        and args.protocol == "entry"
+        and args.block_width == 1
+    )
+    print(f"database: {args.generator} n={args.n} m={args.m} k={args.k} "
+          f"transport={args.transport} protocol={args.protocol}"
+          + (f" block_width={args.block_width}" if args.block_width > 1 else ""))
+    print(f"{'driver':>10} {'messages':>10} {'bytes':>12} {'accesses':>10} "
+          f"{'stop':>7} {'ms':>8}" + ("  verified" if args.verify else ""))
+    failures = 0
+    drivers = [DistributedTA(**options), DistributedBPA(**options),
+               DistributedBPA2(**options)]
+    if default_wire:
+        # TPUT is a bulk-phase baseline outside the round-plan engine;
+        # it only speaks the original simulated per-entry wire.
+        drivers.append(DistributedTPUT())
+    for driver in drivers:
+        started = time.perf_counter()
         result = driver.run(database, args.k)
-        net = result.extras["network"]
-        print(f"{driver.name:>10} {net['messages']:>10,} {net['bytes']:>12,} "
-              f"{result.tally.total:>10,} {result.stop_position:>7}")
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        net = result.extras.get("network", {})
+        verified = ""
+        if args.verify and driver.name != "dist-tput":
+            base = driver.name.split("-", 1)[1]
+            if args.block_width > 1:
+                reference = get_algorithm(
+                    f"{base}-block", width=args.block_width
+                ).run(database, args.k)
+            else:
+                reference = get_algorithm(base).run(database, args.k)
+            ok = (result.items == reference.items
+                  and result.tally == reference.tally)
+            failures += not ok
+            verified = "  OK" if ok else "  MISMATCH"
+        print(f"{driver.name:>10} {net.get('messages', 0):>10,} "
+              f"{net.get('bytes', 0):>12,} {result.tally.total:>10,} "
+              f"{result.stop_position:>7} {elapsed_ms:>8.1f}{verified}")
+    if failures:
+        print(f"ERROR: {failures} driver(s) diverge from the reference — "
+              "this is a bug", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -513,6 +581,14 @@ def _cmd_dist_bench(args: argparse.Namespace) -> int:
     from repro.distributed.bench import distributed_speedup_benchmark
     from repro.service.workload import write_report
 
+    transports = (
+        ("simulated", "socket") if args.transport == "all"
+        else (args.transport,)
+    )
+    protocols = (
+        ("entry", "batch", "pipelined") if args.protocol == "all"
+        else (args.protocol,)
+    )
     settings = dict(
         n=args.n,
         m=args.m,
@@ -521,26 +597,71 @@ def _cmd_dist_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         async_queries=args.queries,
         concurrency=args.concurrency,
+        transports=transports,
+        protocols=protocols,
+        socket_repeats=args.socket_repeats,
+        block_width=args.block_width,
     )
     if args.smoke:
         settings.update(n=min(args.n, 600), m=min(args.m, 3),
-                        async_queries=min(args.queries, 40))
+                        async_queries=min(args.queries, 40),
+                        socket_repeats=min(args.socket_repeats, 2))
     report = distributed_speedup_benchmark(**settings)
     out = write_report(report, args.out or "reports/distributed_speedup.json")
 
-    transport = report["transport"]
-    print(f"wire protocols ({transport['config']['generator']} "
-          f"n={transport['config']['n']:,} m={transport['config']['m']} "
-          f"k={transport['config']['k']}):")
-    print(f"{'driver':>8} {'accesses':>9} {'entry msgs':>11} {'batch msgs':>11} "
-          f"{'entry bytes':>12} {'batch bytes':>12} {'bytes saved':>12}")
-    for name, cell in transport["drivers"].items():
-        print(f"{name:>8} {cell['accesses']:>9,} "
-              f"{cell['entry']['messages']:>11,} "
-              f"{cell['batch']['messages']:>11,} "
-              f"{cell['entry']['bytes']:>12,} "
-              f"{cell['batch']['bytes']:>12,} "
-              f"{cell['bytes_reduction']:>11.1%}")
+    if "socket" in transports and not any(
+        p in ("batch", "pipelined") for p in protocols
+    ):
+        print("note: socket rows need a batch-family protocol "
+              "(--protocol batch or pipelined); skipping the socket "
+              "section", file=sys.stderr)
+    transport = report.get("transport")
+    if transport is not None:
+        print(f"wire protocols ({transport['config']['generator']} "
+              f"n={transport['config']['n']:,} m={transport['config']['m']} "
+              f"k={transport['config']['k']}):")
+        measured = transport["protocols"]
+        if "entry" in measured and "batch" in measured:
+            print(f"{'driver':>8} {'accesses':>9} {'entry msgs':>11} "
+                  f"{'batch msgs':>11} {'entry bytes':>12} "
+                  f"{'batch bytes':>12} {'bytes saved':>12}")
+            for name, cell in transport["drivers"].items():
+                print(f"{name:>8} {cell['accesses']:>9,} "
+                      f"{cell['entry']['messages']:>11,} "
+                      f"{cell['batch']['messages']:>11,} "
+                      f"{cell['entry']['bytes']:>12,} "
+                      f"{cell['batch']['bytes']:>12,} "
+                      f"{cell['bytes_reduction']:>11.1%}")
+        else:
+            print(f"{'driver':>8} {'protocol':>10} {'accesses':>9} "
+                  f"{'messages':>10} {'bytes':>12}")
+            for name, cell in transport["drivers"].items():
+                for protocol in measured:
+                    print(f"{name:>8} {protocol:>10} {cell['accesses']:>9,} "
+                          f"{cell[protocol]['messages']:>10,} "
+                          f"{cell[protocol]['bytes']:>12,}")
+    socket_side = report.get("socket")
+    if socket_side is not None:
+        print(f"socket transport, wall-clock per query "
+              f"(multi-process owners over TCP, best of "
+              f"{socket_side['config']['repeats']}):")
+        print(f"{'driver':>14} {'messages':>9} {'batch ms':>9} "
+              f"{'pipelined ms':>13} {'speedup':>8} {'msgs equal':>11}")
+        for name, cell in socket_side["drivers"].items():
+            batch = cell.get("batch")
+            pipelined = cell.get("pipelined")
+            messages = (batch or pipelined or {}).get("messages", 0)
+            batch_ms = (f"{batch['seconds'] * 1e3:>9.1f}"
+                        if batch else f"{'-':>9}")
+            pipelined_ms = (f"{pipelined['seconds'] * 1e3:>13.1f}"
+                            if pipelined else f"{'-':>13}")
+            if batch and pipelined:
+                speedup = f"{cell['pipelined_wall_speedup']:>7.2f}x"
+                equal = f"{str(cell['messages_equal']):>11}"
+            else:
+                speedup, equal = f"{'-':>8}", f"{'-':>11}"
+            print(f"{name:>14} {messages:>9,} {batch_ms} {pipelined_ms} "
+                  f"{speedup} {equal}")
     async_side = report["async_service"]
     print(f"async service replay ({async_side['config']['queries']} queries, "
           f"concurrency {async_side['config']['concurrency']}):")

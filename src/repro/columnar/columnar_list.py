@@ -297,8 +297,14 @@ class ColumnarList:
         if count < 0:
             raise InvalidPositionError(f"block count must be >= 0, got {count}")
         stop = min(start - 1 + count, len(self._items_list))
-        idx = np.arange(start - 1, stop, dtype=np.int64)
-        return idx + 1, self._items[idx], self._scores[idx]
+        # Contiguous read-only views, no index gather: the round-plan
+        # engine's sorted waves read straight out of the canonical layout.
+        positions = np.arange(start, stop + 1, dtype=np.int64)
+        items = self._items[start - 1 : stop]
+        items.flags.writeable = False
+        scores = self._scores[start - 1 : stop]
+        scores.flags.writeable = False
+        return positions, items, scores
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         label = self._name or "ColumnarList"

@@ -11,8 +11,12 @@ those arguments measurable:
 * :class:`ListOwnerNode` — one node per list, serving sorted / random /
   direct accesses and (for BPA2) managing its best position locally;
 * :class:`NetworkBackend` — the network as one
-  :class:`repro.exec.ExecutionBackend` transport (per-entry or batched
-  wire protocol) for the unified drivers in :mod:`repro.exec.drivers`;
+  :class:`repro.exec.ExecutionBackend` transport (per-entry, batched or
+  pipelined wire protocol) for the round-plan drivers in
+  :mod:`repro.exec.drivers`;
+* :class:`SocketCluster` / :class:`SocketNetwork` — the same owner
+  protocol served by real OS processes over length-prefixed TCP framing
+  (:mod:`repro.distributed.socket_transport`);
 * coordinator-side drivers: :class:`DistributedTA`,
   :class:`DistributedBPA`, :class:`DistributedBPA2` (thin transport
   wrappers over the unified core) and the related-work baseline
@@ -25,6 +29,7 @@ carry a :class:`NetworkStats` snapshot.
 from repro.distributed.network import NetworkStats, SimulatedNetwork
 from repro.distributed.nodes import ListOwnerNode
 from repro.distributed.transport import NetworkBackend
+from repro.distributed.socket_transport import SocketCluster, SocketNetwork
 from repro.distributed.algorithms import (
     DistributedBPA,
     DistributedBPA2,
@@ -36,6 +41,8 @@ __all__ = [
     "SimulatedNetwork",
     "NetworkStats",
     "NetworkBackend",
+    "SocketCluster",
+    "SocketNetwork",
     "ListOwnerNode",
     "DistributedTA",
     "DistributedBPA",

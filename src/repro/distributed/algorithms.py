@@ -1,40 +1,54 @@
 """Coordinator-side drivers for distributed TA, BPA and BPA2.
 
 Since the unified execution core (:mod:`repro.exec`) these classes are
-thin transport wrappers: the algorithm logic lives once in
-:mod:`repro.exec.drivers`, and each driver here chooses how the
-primitives are served —
+thin transport wrappers: the algorithm logic lives once in the round
+planners of :mod:`repro.exec.drivers`, and each driver here chooses how
+the plans are served —
 
 * ``transport="simulated"`` (default): one :class:`ListOwnerNode` per
   list behind a :class:`SimulatedNetwork`, with per-round message/byte
   accounting in ``extras["network"]``.  ``protocol="entry"`` is the
   paper's per-entry RPC (one round trip per access);
   ``protocol="batch"`` coalesces a round's lookups per owner into
-  single messages (identical owner-side operations, fewer and smaller
-  messages — see :mod:`repro.distributed.bench` for the measured
-  saving);
+  single messages; ``protocol="pipelined"`` ships the batched messages
+  as overlapped waves (identical counts — see
+  :mod:`repro.distributed.transport`);
+* ``transport="socket"``: the same owners in **separate OS processes**
+  behind length-prefixed TCP framing
+  (:mod:`repro.distributed.socket_transport`); byte counters measure
+  real frames, and ``protocol="pipelined"`` genuinely overlaps the
+  round trips (``repro dist-bench`` reports the wall-clock saving);
 * ``transport="local"``: the same driver over
   :class:`repro.exec.LocalColumnarBackend` — no network at all, flat
   columnar arrays, which is how the differential suite proves the
   drivers bit-identical to the reference single-node algorithms.
 
-The communication patterns mirror the paper's discussion: TA/BPA pay
-one round trip per access and BPA responses additionally carry
-positions (the overhead BPA2 removes); BPA2's owners keep the best
-positions and piggyback best-position scores only when they change.
+``block_width > 1`` switches every transport to the block planners
+(``ta-block`` / ``bpa-block`` / ``bpa2-block``): one sorted or direct
+block of that width per list per round, deduplicated probes — the
+middleware cost profile of :mod:`repro.algorithms.block`, whose
+reference implementations the differential suite matches bit for bit.
 """
 
 from __future__ import annotations
 
-from repro.distributed.transport import NetworkBackend
+from repro.distributed.transport import PROTOCOLS, NetworkBackend
 from repro.errors import InvalidQueryError
 from repro.exec.backend import LocalColumnarBackend
-from repro.exec.drivers import DriverOutcome, run_bpa, run_bpa2, run_ta
+from repro.exec.drivers import (
+    DriverOutcome,
+    run_bpa,
+    run_bpa2,
+    run_bpa2_block,
+    run_bpa_block,
+    run_ta,
+    run_ta_block,
+)
 from repro.lists.accessor import DatabaseLike
 from repro.scoring import SUM, ScoringFunction
 from repro.types import TopKResult
 
-TRANSPORTS = ("simulated", "local")
+TRANSPORTS = ("simulated", "local", "socket")
 
 
 class _DistributedDriver:
@@ -49,14 +63,22 @@ class _DistributedDriver:
         tracker: str = "bitarray",
         protocol: str = "entry",
         transport: str = "simulated",
+        block_width: int = 1,
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
             )
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+            )
+        if block_width < 1:
+            raise ValueError(f"block_width must be >= 1, got {block_width}")
         self._tracker_kind = tracker
         self._protocol = protocol
         self._transport = transport
+        self._block_width = block_width
 
     def run(
         self, database: DatabaseLike, k: int, scoring: ScoringFunction = SUM
@@ -68,7 +90,31 @@ class _DistributedDriver:
             backend = LocalColumnarBackend(
                 database, include_position=self.include_position
             )
+            outcome = self._drive(backend, k, scoring)
+            tally = backend.total_tally()
             extras = {}
+        elif self._transport == "socket":
+            from repro.distributed.socket_transport import SocketCluster
+
+            with SocketCluster(
+                database,
+                tracker=self._tracker_kind,
+                include_position=self.include_position,
+            ) as cluster, cluster.connect() as fabric:
+                backend = NetworkBackend.remote(
+                    fabric,
+                    m=cluster.m,
+                    n=cluster.n,
+                    include_position=self.include_position,
+                    protocol=self._protocol,
+                )
+                outcome = self._drive(backend, k, scoring)
+                tally = backend.total_tally()
+                extras = {
+                    "network": fabric.stats.snapshot(),
+                    "protocol": self._protocol,
+                    "transport": "socket",
+                }
         else:
             backend = NetworkBackend(
                 database,
@@ -76,16 +122,17 @@ class _DistributedDriver:
                 include_position=self.include_position,
                 protocol=self._protocol,
             )
-            extras = None  # filled after the run, once stats are final
-        outcome = self._drive(backend, k, scoring)
-        if extras is None:
+            outcome = self._drive(backend, k, scoring)
+            tally = backend.total_tally()
             extras = {
                 "network": backend.network.stats.snapshot(),
                 "protocol": self._protocol,
             }
+        if self._block_width > 1:
+            extras["block_width"] = self._block_width
         return TopKResult(
             items=outcome.items,
-            tally=backend.total_tally(),
+            tally=tally,
             rounds=outcome.rounds,
             stop_position=outcome.stop_position,
             algorithm=self.name,
@@ -103,6 +150,8 @@ class DistributedTA(_DistributedDriver):
     include_position = False
 
     def _drive(self, backend, k, scoring):
+        if self._block_width > 1:
+            return run_ta_block(backend, k, scoring, width=self._block_width)
         return run_ta(backend, k, scoring)
 
 
@@ -117,6 +166,14 @@ class DistributedBPA(_DistributedDriver):
     include_position = True
 
     def _drive(self, backend, k, scoring):
+        if self._block_width > 1:
+            return run_bpa_block(
+                backend,
+                k,
+                scoring,
+                width=self._block_width,
+                tracker=self._tracker_kind,
+            )
         return run_bpa(backend, k, scoring, tracker=self._tracker_kind)
 
 
@@ -132,4 +189,6 @@ class DistributedBPA2(_DistributedDriver):
     include_position = False
 
     def _drive(self, backend, k, scoring):
+        if self._block_width > 1:
+            return run_bpa2_block(backend, k, scoring, width=self._block_width)
         return run_bpa2(backend, k, scoring)

@@ -182,6 +182,23 @@ class SimulatedNetwork:
         self.stats.record_best_position_payload(response)
         return response
 
+    def request_many(
+        self, requests: "list[tuple[str, str, dict | None]]"
+    ) -> list[dict]:
+        """Deliver a dependency-free batch of requests.
+
+        The simulation is synchronous, so the batch is served in order —
+        message and byte accounting are identical to one
+        :meth:`request` per element.  Concurrent transports (the socket
+        fabric) override this to put every request on the wire before
+        reading any response; the pipelined protocol's wall-clock win
+        lives entirely in that overlap.
+        """
+        return [
+            self.request(address, kind, payload)
+            for address, kind, payload in requests
+        ]
+
     def reset_stats(self) -> None:
         """Zero all counters (e.g. between queries)."""
         self.stats = NetworkStats()

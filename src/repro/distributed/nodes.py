@@ -14,10 +14,20 @@ Supported request kinds:
                           ``include_position`` was enabled, as BPA needs)
 ``random_lookup_many``    ``{"items": [ids]}`` → all their scores in one
                           message (the batched transport's round lookup)
+``sorted_block``          ``{"count": b}`` → the next up-to-``b`` entries
+                          under sorted access in one message (the block
+                          variants' sorted wave; clipped at the list end)
 ``direct_next``           entry at ``bp + 1`` (BPA2's direct access)
 ``direct_step``           ``{"items": [ids]}`` → the pending lookups for
                           ``items`` followed by one direct access, in one
                           message (the batched transport's BPA2 step)
+``direct_block``          ``{"items": [ids], "count": b}`` → the pending
+                          lookups, then up to ``b`` direct accesses, each
+                          at the (possibly advanced) best position + 1
+                          (the block BPA2 round step)
+``state``                 → the session's best position and access tally
+                          (remote transports read end-of-query state
+                          through this instead of peeking at objects)
 ``get_scores_above``      ``{"threshold": t}`` → all entries scoring >= t
                           (TPUT phase 2 bulk fetch)
 ``top``                   ``{"count": c}`` → the first c entries (TPUT
@@ -140,10 +150,18 @@ class ListOwnerNode:
             return self._random_lookup(session, payload["item"])
         if kind == "random_lookup_many":
             return self._random_lookup_many(session, payload["items"])
+        if kind == "sorted_block":
+            return self._sorted_block(session, payload["count"])
         if kind == "direct_next":
             return self._direct_next(session)
         if kind == "direct_step":
             return self._direct_step(session, payload["items"])
+        if kind == "direct_block":
+            return self._direct_block(
+                session, payload.get("items", []), payload["count"]
+            )
+        if kind == "state":
+            return self._state(session)
         if kind == "top":
             return self._top(session, payload["count"])
         if kind == "get_scores_above":
@@ -202,6 +220,67 @@ class ListOwnerNode:
             response["positions"] = positions
         self._piggyback(session, response, old_bp)
         return response
+
+    def _sorted_block(self, session: _Session, count: int) -> dict:
+        """Block sorted access: up to ``count`` entries in one message.
+
+        The per-entry operations (metered accesses and tracker marks)
+        are identical to ``count`` ``sorted_next`` requests; only the
+        message count changes.  The block is clipped at the list end.
+        """
+        old_bp = session.tracker.best_position
+        entries = session.accessor.sorted_block(count)
+        for entry in entries:
+            session.tracker.mark(entry.position)
+        response: dict = {
+            "items": [entry.item for entry in entries],
+            "scores": [entry.score for entry in entries],
+        }
+        if self._include_position:
+            response["positions"] = [entry.position for entry in entries]
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _direct_block(self, session: _Session, items: list[int], count: int) -> dict:
+        """Block BPA2 step: pending lookups, then up to ``count`` direct
+        accesses, each at the (possibly advanced) best position + 1.
+
+        ``exhausted`` reports whether the best position reached the list
+        end while serving, so the originator can stop planning steps for
+        this list without an extra probe message.
+        """
+        old_bp = session.tracker.best_position
+        scores: list[Score] = []
+        for item in items:
+            score, position = session.accessor.random_lookup(item)
+            session.tracker.mark(position)
+            scores.append(score)
+        entries: list[tuple[int, Score]] = []
+        for _ in range(count):
+            position = session.tracker.best_position + 1
+            if position > len(session.accessor):
+                break
+            entry = session.accessor.direct_at(position)
+            session.tracker.mark(entry.position)
+            entries.append((entry.item, entry.score))
+        response: dict = {
+            "scores": scores,
+            "entries": entries,
+            "exhausted": session.tracker.best_position
+            >= len(session.accessor),
+        }
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _state(self, session: _Session) -> dict:
+        """End-of-query state: best position plus the access tally."""
+        tally = session.accessor.tally
+        return {
+            "best_position": session.tracker.best_position,
+            "sorted": tally.sorted,
+            "random": tally.random,
+            "direct": tally.direct,
+        }
 
     def _direct_next(self, session: _Session) -> dict:
         position = session.tracker.best_position + 1

@@ -1,22 +1,32 @@
-"""The simulated network as an :class:`repro.exec.ExecutionBackend`.
+"""Networked fabrics as an :class:`repro.exec.ExecutionBackend`.
 
 This is the piece that makes the distributed stack "just another
-transport": the unified drivers in :mod:`repro.exec.drivers` call the
-backend primitives, and this module turns each primitive into messages
-against :class:`ListOwnerNode` owners over a :class:`SimulatedNetwork`.
+transport": the unified round-plan drivers in :mod:`repro.exec.drivers`
+emit plans, and this module turns each op into messages against
+:class:`ListOwnerNode` owners — in-process over a
+:class:`SimulatedNetwork`, or in separate OS processes over the framed
+TCP fabric of :mod:`repro.distributed.socket_transport` (both satisfy
+the same :class:`Fabric` interface).
 
-Two wire protocols are supported:
+Three wire protocols are supported:
 
 * ``"entry"`` — the original per-entry RPC: every access is one
   request/response round trip (``messages == 2 * accesses``), matching
   the paper's message-count argument;
 * ``"batch"`` — a round's random lookups to one owner travel in a
-  single ``random_lookup_many`` message, and BPA2's per-list step
-  (pending lookups + direct access) is one ``direct_step`` message.
+  single ``random_lookup_many`` message, a sorted block in one
+  ``sorted_block`` message, and BPA2's per-list step (pending lookups +
+  direct accesses) is one ``direct_step`` / ``direct_block`` message.
   Owner-side *operations* are identical entry for entry — same metered
   accesses, same best-position walks, same piggyback points — so
   results and tallies are unchanged while messages and bytes drop;
-  ``repro.distributed.bench`` measures the saving.
+* ``"pipelined"`` — the batched protocol's messages, dispatched as
+  overlapped waves: all of a round plan's requests go on the wire
+  before any response is read (plans are dependency-free by
+  construction, one op per list).  Message and byte counts are
+  *identical* to ``"batch"``; on a real socket fabric the sequential
+  round trips collapse into one, which ``repro dist-bench`` measures
+  as wall-clock per query.
 
 Best-position scores reach the originator only through the owners'
 piggybacked ``bp_score`` fields, exactly as the paper allows BPA2's
@@ -25,33 +35,63 @@ coordinator to know them.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.columnar import ColumnarDatabase
-from repro.distributed.network import SimulatedNetwork
+from repro.distributed.network import NetworkStats, SimulatedNetwork
 from repro.distributed.nodes import ListOwnerNode
 from repro.exec.backend import DirectStep, ExecutionBackend
+from repro.exec.plan import (
+    DirectBlock,
+    DirectResult,
+    Op,
+    OpResult,
+    ProbeBatch,
+    ProbeResult,
+    RoundPlan,
+    SortedFetch,
+    SortedResult,
+)
 from repro.lists.accessor import DatabaseLike
 from repro.types import AccessTally, ItemId, Position, Score
 
 _INF = float("inf")
 
-PROTOCOLS = ("entry", "batch")
+PROTOCOLS = ("entry", "batch", "pipelined")
+
+
+class Fabric(Protocol):
+    """What a network backend needs from a message fabric."""
+
+    stats: NetworkStats
+
+    def request(self, address: str, kind: str, payload: dict | None = None) -> dict:
+        """One blocking request/response round trip."""
+        ...
+
+    def request_many(
+        self, requests: Sequence[tuple[str, str, dict | None]]
+    ) -> list[dict]:
+        """A dependency-free batch (overlapped where the fabric can)."""
+        ...
 
 
 class NetworkBackend(ExecutionBackend):
-    """Backend whose sources are list owners across a simulated network.
+    """Backend whose sources are list owners across a network fabric.
 
     Args:
         database: any :class:`~repro.lists.accessor.DatabaseLike`; each
-            list becomes one :class:`ListOwnerNode` (columnar lists are
-            served natively — the owners run the same vectorized
-            storage the service uses).
+            list becomes one in-process :class:`ListOwnerNode` (columnar
+            lists are served natively — the owners run the same
+            vectorized storage the service uses).  For owners living in
+            other processes, use :meth:`remote` instead.
         tracker: best-position structure kind at the owners.
         include_position: ship positions in lookup responses (BPA).
-        protocol: ``"entry"`` or ``"batch"`` (see module docstring).
-        network: an existing fabric to attach to (a fresh one when
-            ``None``); owners register under ``owner/<index>``.
+        protocol: ``"entry"``, ``"batch"`` or ``"pipelined"`` (see
+            module docstring).
+        network: an existing fabric to attach to (a fresh
+            :class:`SimulatedNetwork` when ``None``); owners register
+            under ``owner/<index>``.
     """
 
     def __init__(
@@ -63,25 +103,61 @@ class NetworkBackend(ExecutionBackend):
         protocol: str = "entry",
         network: SimulatedNetwork | None = None,
     ) -> None:
-        if protocol not in PROTOCOLS:
-            raise ValueError(
-                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
-            )
-        self.m = database.m
-        self.n = database.n
-        self.include_position = include_position
-        self.protocol = protocol
-        self.network = network or SimulatedNetwork()
+        self._init_common(
+            m=database.m,
+            n=database.n,
+            include_position=include_position,
+            protocol=protocol,
+        )
+        self.network: Fabric = network or SimulatedNetwork()
         self.owners = [
             ListOwnerNode(
                 sorted_list, tracker=tracker, include_position=include_position
             )
             for sorted_list in database.lists
         ]
-        self._addresses = [f"owner/{index}" for index in range(self.m)]
         for address, owner in zip(self._addresses, self.owners):
             self.network.register(address, owner)
-        self._bp_scores: list[Score] = [_INF] * self.m
+
+    @classmethod
+    def remote(
+        cls,
+        fabric: Fabric,
+        *,
+        m: int,
+        n: int,
+        include_position: bool = False,
+        protocol: str = "batch",
+    ) -> "NetworkBackend":
+        """A backend over owners the fabric already reaches (e.g. the
+        socket cluster's processes); end-of-query state is read through
+        ``state`` requests instead of object peeks."""
+        backend = cls.__new__(cls)
+        backend._init_common(
+            m=m, n=n, include_position=include_position, protocol=protocol
+        )
+        backend.network = fabric
+        backend.owners = None
+        return backend
+
+    def _init_common(
+        self, *, m: int, n: int, include_position: bool, protocol: str
+    ) -> None:
+        if protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+            )
+        self.m = m
+        self.n = n
+        self.include_position = include_position
+        self.protocol = protocol
+        self.owners: list[ListOwnerNode] | None = None
+        self._addresses = [f"owner/{index}" for index in range(m)]
+        self._bp_scores: list[Score] = [_INF] * m
+        #: client-side sorted cursors (the sorted position is derivable
+        #: even when the wire omits it, include_position=False).
+        self._cursors = [0] * m
+        self._states: list[dict] | None = None
 
     @classmethod
     def for_columnar(cls, database, **kwargs) -> "NetworkBackend":
@@ -107,12 +183,31 @@ class NetworkBackend(ExecutionBackend):
         response = self._absorb(
             i, self.network.request(self._addresses[i], "sorted_next")
         )
+        self._cursors[i] += 1
         # The sorted cursor equals the position even when the wire omits
-        # it (include_position=False); the owner's accessor tracks it.
-        position = response.get(
-            "position", self.owners[i].accessor.last_sorted_position
-        )
+        # it (include_position=False).
+        position = response.get("position", self._cursors[i])
         return response["item"], response["score"], position
+
+    def sorted_block(self, i: int, count: int):
+        if self.protocol == "entry":
+            return [self.sorted_next(i) for _ in range(count)]
+        response = self._absorb(
+            i,
+            self.network.request(
+                self._addresses[i], "sorted_block", {"count": count}
+            ),
+        )
+        return self._sorted_block_entries(i, response)
+
+    def _sorted_block_entries(self, i: int, response: dict):
+        items, scores = response["items"], response["scores"]
+        start = self._cursors[i]
+        self._cursors[i] = start + len(items)
+        positions = response.get(
+            "positions", range(start + 1, start + len(items) + 1)
+        )
+        return list(zip(items, scores, positions))
 
     def random_lookup_many(
         self, i: int, items: Sequence[ItemId]
@@ -139,7 +234,11 @@ class NetworkBackend(ExecutionBackend):
                 address, "random_lookup_many", {"items": list(items)}
             ),
         )
-        positions = response.get("positions", [0] * len(items))
+        return self._lookup_pairs(response, len(items))
+
+    @staticmethod
+    def _lookup_pairs(response: dict, count: int):
+        positions = response.get("positions", [0] * count)
         return list(zip(response["scores"], positions))
 
     def direct_step(self, i: int, items: Sequence[ItemId]) -> DirectStep:
@@ -163,14 +262,133 @@ class NetworkBackend(ExecutionBackend):
             return lookups, None
         return lookups, (response["item"], response["score"])
 
+    def direct_block(
+        self, i: int, items: Sequence[ItemId], count: int
+    ) -> DirectResult:
+        if self.protocol == "entry":
+            # Per-entry RPC: each pending lookup and each direct access
+            # is its own round trip.  Exhaustion mid-block surfaces as a
+            # (free) ``exhausted`` response; after a full block it stays
+            # unknown until the next round's first step — the owner-side
+            # operations are identical either way.
+            return super().direct_block(i, items, count)
+        response = self._absorb(
+            i,
+            self.network.request(
+                self._addresses[i],
+                "direct_block",
+                {"items": list(items), "count": count},
+            ),
+        )
+        return self._direct_result_from_block(response)
+
+    @staticmethod
+    def _direct_result_from_step(response: dict) -> DirectResult:
+        """Parse a ``direct_step`` response (single direct access)."""
+        lookups = tuple(response["scores"])
+        if response.get("exhausted"):
+            return DirectResult(lookups, (), True)
+        return DirectResult(
+            lookups, ((response["item"], response["score"]),), False
+        )
+
+    @staticmethod
+    def _direct_result_from_block(response: dict) -> DirectResult:
+        """Parse a ``direct_block`` response (up to ``count`` accesses)."""
+        return DirectResult(
+            tuple(response["scores"]),
+            tuple((item, score) for item, score in response["entries"]),
+            bool(response.get("exhausted")),
+        )
+
+    # ------------------------------------------------------------------
+    # Round-plan execution (the pipelined protocol lives here)
+    # ------------------------------------------------------------------
+
+    def execute_plan(self, plan: RoundPlan) -> list[OpResult]:
+        if plan.new_round:
+            self.begin_round()
+        if self.protocol != "pipelined" or len(plan.ops) < 2:
+            return [self.execute_op(op) for op in plan.ops]
+        responses = self.network.request_many(
+            [self._op_request(op) for op in plan.ops]
+        )
+        return [
+            self._op_absorb(op, response)
+            for op, response in zip(plan.ops, responses)
+        ]
+
+    def _op_request(self, op: Op) -> tuple[str, str, dict | None]:
+        """The batched-protocol wire message for one op."""
+        address = self._addresses[op.list_index]
+        if isinstance(op, SortedFetch):
+            if op.count == 1:
+                return address, "sorted_next", None
+            return address, "sorted_block", {"count": op.count}
+        if isinstance(op, ProbeBatch):
+            return address, "random_lookup_many", {"items": list(op.items)}
+        if isinstance(op, DirectBlock):
+            if op.count == 1:
+                return address, "direct_step", {"items": list(op.items)}
+            return (
+                address,
+                "direct_block",
+                {"items": list(op.items), "count": op.count},
+            )
+        raise TypeError(f"unknown op type: {type(op).__name__}")
+
+    def _op_absorb(self, op: Op, response: dict) -> OpResult:
+        """Parse one op's response (mirrors the sequential paths)."""
+        i = op.list_index
+        self._absorb(i, response)
+        if isinstance(op, SortedFetch):
+            if op.count == 1:
+                self._cursors[i] += 1
+                position = response.get("position", self._cursors[i])
+                return SortedResult(
+                    ((response["item"], response["score"], position),)
+                )
+            return SortedResult(
+                tuple(self._sorted_block_entries(i, response))
+            )
+        if isinstance(op, ProbeBatch):
+            return ProbeResult(
+                tuple(self._lookup_pairs(response, len(op.items)))
+            )
+        if op.count == 1:
+            return self._direct_result_from_step(response)
+        return self._direct_result_from_block(response)
+
+    # ------------------------------------------------------------------
+    # End-of-query state
+    # ------------------------------------------------------------------
+
+    def _fetch_states(self) -> list[dict]:
+        if self._states is None:
+            self._states = self.network.request_many(
+                [(address, "state", None) for address in self._addresses]
+            )
+        return self._states
+
     def best_position_scores(self) -> list[Score]:
         return list(self._bp_scores)
 
     def best_positions(self) -> list[Position]:
-        return [owner.best_position for owner in self.owners]
+        if self.owners is not None:
+            return [owner.best_position for owner in self.owners]
+        return [state["best_position"] for state in self._fetch_states()]
 
     def total_tally(self) -> AccessTally:
+        if self.owners is not None:
+            tally = AccessTally()
+            for owner in self.owners:
+                tally = tally + owner.accessor.tally
+            return tally
         tally = AccessTally()
-        for owner in self.owners:
-            tally = tally + owner.accessor.tally
+        for state in self._fetch_states():
+            tally = tally + AccessTally(
+                sorted=state["sorted"],
+                random=state["random"],
+                direct=state["direct"],
+            )
         return tally

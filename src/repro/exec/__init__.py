@@ -8,8 +8,11 @@ logic, reused by every stack that executes queries:
   best-position primitives, round-structured so transports can batch);
 * :class:`LocalColumnarBackend` — the protocol over flat columnar
   arrays (single-node, kernel-path speed);
-* :mod:`repro.exec.drivers` — transport-agnostic TA/BPA/BPA2 drivers
-  (:func:`run_ta`, :func:`run_bpa`, :func:`run_bpa2`);
+* :mod:`repro.exec.plan` — declarative :class:`RoundPlan` ops and the
+  engine (:func:`drive`) that executes planners against any backend;
+* :mod:`repro.exec.drivers` — TA/BPA/BPA2 round planners, classic
+  (:func:`run_ta`, :func:`run_bpa`, :func:`run_bpa2`) and block
+  (:func:`run_ta_block`, :func:`run_bpa_block`, :func:`run_bpa2_block`);
 * :func:`merge_shard_results` — the certificate-checked exact top-k
   merge the shard executor fans in through;
 * :func:`execute_query` — kernel-or-reference execution of one query on
@@ -24,9 +27,29 @@ reference single-node algorithms.
 """
 
 from repro.exec.backend import DirectStep, ExecutionBackend, LocalColumnarBackend
-from repro.exec.drivers import DRIVERS, DriverOutcome, run_bpa, run_bpa2, run_ta
+from repro.exec.drivers import (
+    DRIVERS,
+    DriverOutcome,
+    run_bpa,
+    run_bpa2,
+    run_bpa2_block,
+    run_bpa_block,
+    run_ta,
+    run_ta_block,
+)
 from repro.exec.keys import freeze_value, normalized_query_key, scoring_key
 from repro.exec.merge import entry_key, merge_shard_results
+from repro.exec.plan import (
+    BlockRound,
+    DirectBlock,
+    DirectResult,
+    ProbeBatch,
+    ProbeResult,
+    RoundPlan,
+    SortedFetch,
+    SortedResult,
+    drive,
+)
 from repro.exec.run import execute_query
 
 __all__ = [
@@ -35,9 +58,21 @@ __all__ = [
     "DirectStep",
     "DriverOutcome",
     "DRIVERS",
+    "RoundPlan",
+    "SortedFetch",
+    "ProbeBatch",
+    "DirectBlock",
+    "SortedResult",
+    "ProbeResult",
+    "DirectResult",
+    "BlockRound",
+    "drive",
     "run_ta",
     "run_bpa",
     "run_bpa2",
+    "run_ta_block",
+    "run_bpa_block",
+    "run_bpa2_block",
     "entry_key",
     "merge_shard_results",
     "execute_query",

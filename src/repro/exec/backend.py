@@ -26,6 +26,17 @@ from abc import ABC, abstractmethod
 from typing import Sequence
 
 from repro.columnar import ColumnarDatabase
+from repro.exec.plan import (
+    DirectBlock,
+    DirectResult,
+    Op,
+    OpResult,
+    ProbeBatch,
+    ProbeResult,
+    RoundPlan,
+    SortedFetch,
+    SortedResult,
+)
 from repro.types import AccessTally, ItemId, Position, Score
 
 _INF = float("inf")
@@ -77,6 +88,82 @@ class ExecutionBackend(ABC):
         best position is managed source-side, as the paper prescribes
         for BPA2.
         """
+
+    def sorted_block(
+        self, list_index: int, count: int
+    ) -> list[tuple[ItemId, Score, Position]]:
+        """Block sorted access: the next ``count`` entries of one list.
+
+        Counts one sorted access per entry actually read — block fetches
+        are an engineering fast path, not an accounting discount.  The
+        caller clips ``count`` at the list end; the default simply loops
+        :meth:`sorted_next`.
+        """
+        return [self.sorted_next(list_index) for _ in range(count)]
+
+    def direct_block(
+        self, list_index: int, items: Sequence[ItemId], count: int
+    ) -> DirectResult:
+        """Block direct access: pending lookups, then up to ``count``
+        direct accesses, each at the source-managed best position + 1.
+
+        Marks from each served entry may advance the best position over
+        already-seen holes before the next one, exactly as ``count``
+        consecutive :meth:`direct_step` calls would.  Returns the
+        bundled lookup scores, the served entries (possibly fewer than
+        ``count``) and whether the list exhausted.
+        """
+        lookups: list[Score] = []
+        if items:
+            lookups = [
+                score for score, _pos in self.random_lookup_many(list_index, items)
+            ]
+        entries: list[tuple[ItemId, Score]] = []
+        exhausted = False
+        for _ in range(count):
+            _no_lookups, entry = self.direct_step(list_index, ())
+            if entry is None:
+                exhausted = True
+                break
+            entries.append(entry)
+        return DirectResult(tuple(lookups), tuple(entries), exhausted)
+
+    # ------------------------------------------------------------------
+    # Round-plan execution
+    # ------------------------------------------------------------------
+
+    def execute_plan(self, plan: RoundPlan) -> list[OpResult]:
+        """Execute one round plan, op by op.
+
+        The base implementation runs ops sequentially through the
+        primitives above; transports override this to coalesce or
+        pipeline a plan's messages (the ops of one plan are
+        dependency-free by construction).
+        """
+        if plan.new_round:
+            self.begin_round()
+        return [self.execute_op(op) for op in plan.ops]
+
+    def execute_op(self, op: Op) -> OpResult:
+        """Execute one op through the backend primitives."""
+        if isinstance(op, SortedFetch):
+            if op.count == 1:
+                return SortedResult((self.sorted_next(op.list_index),))
+            return SortedResult(tuple(self.sorted_block(op.list_index, op.count)))
+        if isinstance(op, ProbeBatch):
+            return ProbeResult(
+                tuple(self.random_lookup_many(op.list_index, op.items))
+            )
+        if isinstance(op, DirectBlock):
+            if op.count == 1:
+                lookups, entry = self.direct_step(op.list_index, op.items)
+                return DirectResult(
+                    tuple(lookups),
+                    () if entry is None else (entry,),
+                    entry is None,
+                )
+            return self.direct_block(op.list_index, op.items, op.count)
+        raise TypeError(f"unknown op type: {type(op).__name__}")
 
     @abstractmethod
     def best_position_scores(self) -> list[Score]:
@@ -171,6 +258,39 @@ class LocalColumnarBackend(ExecutionBackend):
         self._mark(i, position)
         row = self._rows_at[i][position - 1]
         return lookups, (self._ids[row], self._score_at[i][position - 1])
+
+    def sorted_block(self, i, count):
+        # One slice per column instead of ``count`` scalar reads; the
+        # seen-position marks stay per entry (they drive best positions).
+        start = self._cursor[i]
+        stop = min(start + count, self.n)
+        rows = self._rows_at[i][start:stop]
+        scores = self._score_at[i][start:stop]
+        ids = self._ids
+        self._cursor[i] = stop
+        self._sorted[i] += stop - start
+        entries = []
+        for offset, (row, score) in enumerate(zip(rows, scores)):
+            position = start + offset + 1
+            self._mark(i, position)
+            entries.append((ids[row], score, position))
+        return entries
+
+    def direct_block(self, i, items, count):
+        lookups = tuple(
+            score for score, _pos in self.random_lookup_many(i, items)
+        )
+        rows_at, score_at, ids = self._rows_at[i], self._score_at[i], self._ids
+        entries: list[tuple[ItemId, Score]] = []
+        for _ in range(count):
+            position = self._bp[i] + 1
+            if position > self.n:
+                break
+            self._direct[i] += 1
+            self._mark(i, position)
+            row = rows_at[position - 1]
+            entries.append((ids[row], score_at[position - 1]))
+        return DirectResult(lookups, tuple(entries), self._bp[i] >= self.n)
 
     def best_position_scores(self) -> list[Score]:
         return [

@@ -1,36 +1,57 @@
-"""Transport-agnostic drivers for TA, BPA and BPA2.
+"""Transport-agnostic drivers for TA, BPA and BPA2 — classic and block.
 
-One implementation of each algorithm's coordinator logic, written purely
-against :class:`repro.exec.backend.ExecutionBackend`.  The same driver
-runs single-node over columnar arrays and over the simulated network;
-``tests/differential/test_distributed_unified.py`` proves the results —
-ranked answers *and* per-mode access tallies — bit-identical to the
-reference single-node algorithms.
+Each algorithm is a *planner*: a generator that owns the coordinator
+logic (bookkeeping, stopping rules) and emits declarative
+:class:`repro.exec.plan.RoundPlan`s; the shared engine
+(:func:`repro.exec.plan.drive`) executes those plans against any
+:class:`repro.exec.backend.ExecutionBackend`.  The same planner runs
+vectorized over columnar arrays, as coalesced messages over the
+simulated network, and as length-prefixed frames over TCP sockets;
+``tests/differential/`` proves every combination bit-identical —
+ranked answers *and* per-mode access tallies — to the reference
+single-node algorithms.
 
-The access sequences mirror the reference implementations exactly:
+The **classic** planners mirror the reference implementations exactly:
 
 * TA / BPA: ``m`` parallel sorted accesses per round, then ``m - 1``
   random accesses per surfaced entry (repeated for already-seen items —
   the paper's Lemma 2 accounting).  Random accesses are grouped per
-  source list, which lets a networked backend answer a round's lookups
-  for one list in a single message.
+  source list, one :class:`~repro.exec.plan.ProbeBatch` each.
 * BPA2: per round, each non-exhausted list serves one direct access at
   its (source-managed) best position + 1; every new item is completed
   via ``m - 1`` random accesses.  The random accesses destined for a
   list are delivered in two slices that preserve the reference's
   per-source operation order: those from earlier lists of the round
   ride with the list's own direct step, the rest follow in one batch at
-  the end of the round.  Source-side state (best positions, tallies,
-  piggyback points) is therefore identical to the per-entry protocol's.
+  the end of the round.
+
+The **block** planners (paper-exact top-k, middleware-friendly cost
+profile) process ``width`` positions per round: one sorted (or direct)
+block per list, then *deduplicated* probes — each new item is completed
+exactly once, in every list that did not surface it this round.  Their
+reference twins live in :mod:`repro.algorithms.block`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from repro.algorithms.base import TopKBuffer
 from repro.core.best_position import make_tracker
 from repro.exec.backend import ExecutionBackend
+from repro.exec.plan import (
+    BlockRound,
+    DirectBlock,
+    DirectResult,
+    Planner,
+    ProbeBatch,
+    ProbeResult,
+    RoundPlan,
+    SortedFetch,
+    SortedResult,
+    drive,
+)
 from repro.scoring import ScoringFunction
 from repro.types import ItemId, Position, Score, ScoredItem
 
@@ -46,26 +67,64 @@ class DriverOutcome:
     stop_position: int
 
 
-def run_ta(
-    backend: ExecutionBackend, k: int, scoring: ScoringFunction
-) -> DriverOutcome:
-    """TA's coordinator loop over any backend."""
-    m, n = backend.m, backend.n
+# ----------------------------------------------------------------------
+# Classic planners (bit-identical to the reference algorithms)
+# ----------------------------------------------------------------------
+
+
+def _probe_plan(lookups: list[list[ItemId]]) -> RoundPlan:
+    """One round's probe batches (empty lists ship no message)."""
+    return RoundPlan(
+        ops=tuple(
+            ProbeBatch(j, tuple(items))
+            for j, items in enumerate(lookups)
+            if items
+        ),
+        new_round=False,
+    )
+
+
+def _probe_results(
+    lookups: list[list[ItemId]], results: list[ProbeResult]
+) -> list[list[tuple[Score, Position]]]:
+    """Re-align probe results with the per-list request layout."""
+    aligned: list[list[tuple[Score, Position]]] = []
+    iterator = iter(results)
+    for items in lookups:
+        aligned.append(list(next(iterator).pairs) if items else [])
+    return aligned
+
+
+def _round_lookups(m: int, round_items: list[ItemId]) -> list[list[ItemId]]:
+    """Lemma 2's probe layout: list ``j`` looks up the round's entries
+    from every other list, in list order — ``need[j][slot]`` is the
+    entry surfaced by list ``i`` where ``slot = i - (1 if i > j else 0)``.
+    """
+    return [
+        [round_items[i] for i in range(m) if i != j] for j in range(m)
+    ]
+
+
+def _plan_ta(m: int, n: int, k: int, scoring: ScoringFunction) -> Planner:
+    """TA's coordinator loop as a round planner."""
     buffer = TopKBuffer(k)
     seen: set[ItemId] = set()
     last: list[Score] = [0.0] * m
     position = 0
     while True:
-        backend.begin_round()
         position += 1
+        sorted_results: list[SortedResult] = yield RoundPlan(
+            ops=tuple(SortedFetch(i, 1) for i in range(m))
+        )
         round_items: list[ItemId] = []
         for i in range(m):
-            item, score, _pos = backend.sorted_next(i)
+            item, score, _pos = sorted_results[i].entries[0]
             last[i] = score
             round_items.append(item)
         # Lemma 2 accounting: every surfaced entry probes the other
         # m - 1 lists, already-seen items included.
-        lookups = _round_lookups(backend, round_items)
+        need = _round_lookups(m, round_items)
+        lookups = _probe_results(need, (yield _probe_plan(need)))
         for i in range(m):
             item = round_items[i]
             if item in seen:
@@ -81,20 +140,10 @@ def run_ta(
             return DriverOutcome(buffer.ranked(), position, position)
 
 
-def run_bpa(
-    backend: ExecutionBackend,
-    k: int,
-    scoring: ScoringFunction,
-    *,
-    tracker: str = "bitarray",
-) -> DriverOutcome:
+def _plan_bpa(
+    m: int, n: int, k: int, scoring: ScoringFunction, tracker: str
+) -> Planner:
     """BPA's coordinator loop: seen positions travel to the originator."""
-    if not backend.include_position:
-        raise ValueError(
-            "run_bpa needs positions in random-lookup responses: "
-            "construct the backend with include_position=True"
-        )
-    m, n = backend.m, backend.n
     buffer = TopKBuffer(k)
     seen: set[ItemId] = set()
     trackers = [make_tracker(tracker, n) for _ in range(m)]
@@ -106,16 +155,19 @@ def run_bpa(
         seen_scores[i][pos] = score
 
     while True:
-        backend.begin_round()
         position += 1
+        sorted_results: list[SortedResult] = yield RoundPlan(
+            ops=tuple(SortedFetch(i, 1) for i in range(m))
+        )
         round_items: list[ItemId] = []
         round_scores: list[Score] = []
         for i in range(m):
-            item, score, pos = backend.sorted_next(i)
+            item, score, pos = sorted_results[i].entries[0]
             note(i, pos, score)
             round_items.append(item)
             round_scores.append(score)
-        lookups = _round_lookups(backend, round_items)
+        need = _round_lookups(m, round_items)
+        lookups = _probe_results(need, (yield _probe_plan(need)))
         for j in range(m):
             for score, pos in lookups[j]:
                 note(j, pos, score)
@@ -137,10 +189,14 @@ def run_bpa(
             return DriverOutcome(buffer.ranked(), position, position)
 
 
-def run_bpa2(
+def _plan_bpa2(
     backend: ExecutionBackend, k: int, scoring: ScoringFunction
-) -> DriverOutcome:
-    """BPA2's coordinator loop: best positions stay at the sources."""
+) -> Planner:
+    """BPA2's coordinator loop: best positions stay at the sources.
+
+    ``backend`` is read only for its best-position state (piggybacked
+    by networked transports); every access flows through plans.
+    """
     m = backend.m
     buffer = TopKBuffer(k)
     seen: set[ItemId] = set()
@@ -148,9 +204,9 @@ def run_bpa2(
     rounds = 0
 
     while True:
-        backend.begin_round()
         rounds += 1
         progressed = False
+        opened = False
         # Random lookups bundled with each list's upcoming direct step
         # (from earlier lists of this round) ...
         pre: list[list[ItemId]] = [[] for _ in range(m)]
@@ -161,14 +217,18 @@ def run_bpa2(
         for i in range(m):
             if exhausted[i]:
                 continue
-            lookups, entry = backend.direct_step(i, pre[i])
-            for item, score in zip(pre[i], lookups):
+            step: list[DirectResult] = yield RoundPlan(
+                ops=(DirectBlock(i, tuple(pre[i]), 1),), new_round=not opened
+            )
+            opened = True
+            result = step[0]
+            for item, score in zip(pre[i], result.lookups):
                 locals_of[item][i] = score
-            if entry is None:
+            if not result.entries:
                 exhausted[i] = True
                 continue
             progressed = True
-            item, score = entry
+            item, score = result.entries[0]
             if item in seen:
                 continue  # cannot happen (Theorem 5); kept for safety
             seen.add(item)
@@ -183,13 +243,15 @@ def run_bpa2(
                     pre[j].append(item)
                 else:
                     post[j].append(item)
-        for j in range(m):
-            if not post[j]:
-                continue
-            for item, (score, _pos) in zip(
-                post[j], backend.random_lookup_many(j, post[j])
-            ):
-                locals_of[item][j] = score
+        if not opened:
+            # Every list exhausted: the round still opens (and counts)
+            # before the final stop test, as the reference loop does.
+            yield RoundPlan(ops=())
+        if any(post):
+            results = _probe_results(post, (yield _probe_plan(post)))
+            for j in range(m):
+                for item, (score, _pos) in zip(post[j], results[j]):
+                    locals_of[item][j] = score
         for _i, item, local in surfaced:
             buffer.add(item, scoring(local))
         if buffer.all_at_least(scoring(backend.best_position_scores())):
@@ -200,22 +262,232 @@ def run_bpa2(
     return DriverOutcome(buffer.ranked(), rounds, stop_position)
 
 
-def _round_lookups(
-    backend: ExecutionBackend, round_items: list[ItemId]
-) -> list[list[tuple[Score, Position]]]:
-    """One round's random accesses, grouped per list.
+# ----------------------------------------------------------------------
+# Block planners (width positions per round, deduplicated probes)
+# ----------------------------------------------------------------------
 
-    List ``j`` looks up the round's entries from every other list, in
-    list order — ``need[j][slot]`` is the entry surfaced by list ``i``
-    where ``slot = i - (1 if i > j else 0)``.
-    """
-    m = len(round_items)
-    return [
-        backend.random_lookup_many(
-            j, [round_items[i] for i in range(m) if i != j]
+
+def _require_width(width: int) -> None:
+    if width < 1:
+        raise ValueError(f"block width must be >= 1, got {width}")
+
+
+def _plan_ta_block(
+    m: int, n: int, k: int, scoring: ScoringFunction, width: int
+) -> Planner:
+    """Block TA: sorted blocks, then one completion per distinct item."""
+    buffer = TopKBuffer(k)
+    seen: set[ItemId] = set()
+    last: list[Score] = [0.0] * m
+    position = 0
+    rounds = 0
+    while True:
+        rounds += 1
+        count = min(width, n - position)
+        sorted_results: list[SortedResult] = yield RoundPlan(
+            ops=tuple(SortedFetch(i, count) for i in range(m))
         )
-        for j in range(m)
-    ]
+        position += count
+        block = BlockRound(m)
+        for i in range(m):
+            entries = sorted_results[i].entries
+            last[i] = entries[-1][1]
+            for item, score, _pos in entries:
+                block.add(i, item, score)
+        new_items = block.new_items(seen)
+        seen.update(new_items)
+        needs = block.probe_needs(new_items)
+        results = _probe_results(needs, (yield _probe_plan(needs)))
+        probes = {
+            j: {item: results[j][slot][0] for slot, item in enumerate(needs[j])}
+            for j in range(m)
+        }
+        for item in new_items:
+            buffer.add(item, scoring(block.local_scores(item, probes)))
+        if buffer.all_at_least(scoring(last)) or position >= n:
+            return DriverOutcome(buffer.ranked(), rounds, position)
+
+
+def _plan_bpa_block(
+    m: int,
+    n: int,
+    k: int,
+    scoring: ScoringFunction,
+    width: int,
+    tracker: str,
+) -> Planner:
+    """Block BPA: sorted blocks + originator-side best positions."""
+    buffer = TopKBuffer(k)
+    seen: set[ItemId] = set()
+    trackers = [make_tracker(tracker, n) for _ in range(m)]
+    seen_scores: list[dict[Position, Score]] = [{} for _ in range(m)]
+    position = 0
+    rounds = 0
+
+    def note(i: int, pos: Position, score: Score) -> None:
+        trackers[i].mark(pos)
+        seen_scores[i][pos] = score
+
+    while True:
+        rounds += 1
+        count = min(width, n - position)
+        sorted_results: list[SortedResult] = yield RoundPlan(
+            ops=tuple(SortedFetch(i, count) for i in range(m))
+        )
+        position += count
+        block = BlockRound(m)
+        for i in range(m):
+            for item, score, pos in sorted_results[i].entries:
+                note(i, pos, score)
+                block.add(i, item, score)
+        new_items = block.new_items(seen)
+        seen.update(new_items)
+        needs = block.probe_needs(new_items)
+        results = _probe_results(needs, (yield _probe_plan(needs)))
+        probes: dict[int, dict[ItemId, Score]] = {}
+        for j in range(m):
+            probes[j] = {}
+            for slot, item in enumerate(needs[j]):
+                score, pos = results[j][slot]
+                note(j, pos, score)
+                probes[j][item] = score
+        for item in new_items:
+            buffer.add(item, scoring(block.local_scores(item, probes)))
+        lam = scoring(
+            [seen_scores[i][trackers[i].best_position] for i in range(m)]
+        )
+        if buffer.all_at_least(lam) or position >= n:
+            return DriverOutcome(buffer.ranked(), rounds, position)
+
+
+def _plan_bpa2_block(
+    backend: ExecutionBackend, k: int, scoring: ScoringFunction, width: int
+) -> Planner:
+    """Block BPA2: parallel direct blocks, then deduplicated probes.
+
+    Unlike the classic round (a sequential per-list chain), every
+    list's direct block is independent — probes land only at the end of
+    the round — so a pipelined transport overlaps all of them.
+    """
+    m = backend.m
+    buffer = TopKBuffer(k)
+    seen: set[ItemId] = set()
+    exhausted = [False] * m
+    rounds = 0
+
+    while True:
+        rounds += 1
+        active = [i for i in range(m) if not exhausted[i]]
+        results: list[DirectResult] = yield RoundPlan(
+            ops=tuple(DirectBlock(i, (), width) for i in active)
+        )
+        progressed = False
+        block = BlockRound(m)
+        for i, result in zip(active, results):
+            if result.exhausted:
+                exhausted[i] = True
+            for item, score in result.entries:
+                progressed = True
+                block.add(i, item, score)
+        new_items = block.new_items(seen)
+        seen.update(new_items)
+        needs = block.probe_needs(new_items)
+        probe_results = _probe_results(needs, (yield _probe_plan(needs)))
+        probes = {
+            j: {
+                item: probe_results[j][slot][0]
+                for slot, item in enumerate(needs[j])
+            }
+            for j in range(m)
+        }
+        for item in new_items:
+            buffer.add(item, scoring(block.local_scores(item, probes)))
+        if buffer.all_at_least(scoring(backend.best_position_scores())):
+            break
+        if not progressed:
+            break
+    stop_position = max(backend.best_positions(), default=0)
+    return DriverOutcome(buffer.ranked(), rounds, stop_position)
+
+
+# ----------------------------------------------------------------------
+# Public drivers: planner + engine
+# ----------------------------------------------------------------------
+
+
+def run_ta(
+    backend: ExecutionBackend, k: int, scoring: ScoringFunction
+) -> DriverOutcome:
+    """TA's coordinator loop over any backend."""
+    return drive(_plan_ta(backend.m, backend.n, k, scoring), backend)
+
+
+def run_bpa(
+    backend: ExecutionBackend,
+    k: int,
+    scoring: ScoringFunction,
+    *,
+    tracker: str = "bitarray",
+) -> DriverOutcome:
+    """BPA over any backend; needs positions in lookup responses."""
+    _require_positions(backend)
+    return drive(_plan_bpa(backend.m, backend.n, k, scoring, tracker), backend)
+
+
+def run_bpa2(
+    backend: ExecutionBackend, k: int, scoring: ScoringFunction
+) -> DriverOutcome:
+    """BPA2's coordinator loop: best positions stay at the sources."""
+    return drive(_plan_bpa2(backend, k, scoring), backend)
+
+
+def run_ta_block(
+    backend: ExecutionBackend,
+    k: int,
+    scoring: ScoringFunction,
+    *,
+    width: int = 8,
+) -> DriverOutcome:
+    """Block TA over any backend (``width`` positions per round)."""
+    _require_width(width)
+    return drive(_plan_ta_block(backend.m, backend.n, k, scoring, width), backend)
+
+
+def run_bpa_block(
+    backend: ExecutionBackend,
+    k: int,
+    scoring: ScoringFunction,
+    *,
+    width: int = 8,
+    tracker: str = "bitarray",
+) -> DriverOutcome:
+    """Block BPA over any backend; needs positions in responses."""
+    _require_width(width)
+    _require_positions(backend)
+    return drive(
+        _plan_bpa_block(backend.m, backend.n, k, scoring, width, tracker),
+        backend,
+    )
+
+
+def run_bpa2_block(
+    backend: ExecutionBackend,
+    k: int,
+    scoring: ScoringFunction,
+    *,
+    width: int = 8,
+) -> DriverOutcome:
+    """Block BPA2 over any backend (``width`` direct accesses per round)."""
+    _require_width(width)
+    return drive(_plan_bpa2_block(backend, k, scoring, width), backend)
+
+
+def _require_positions(backend: ExecutionBackend) -> None:
+    if not backend.include_position:
+        raise ValueError(
+            "BPA-family drivers need positions in random-lookup responses: "
+            "construct the backend with include_position=True"
+        )
 
 
 #: Driver registry keyed by the reference algorithm's registry name.
@@ -223,4 +495,12 @@ DRIVERS = {
     "ta": run_ta,
     "bpa": run_bpa,
     "bpa2": run_bpa2,
+    "ta-block": run_ta_block,
+    "bpa-block": run_bpa_block,
+    "bpa2-block": run_bpa2_block,
 }
+
+
+def block_driver(name: str, width: int):
+    """A width-bound block driver for one of the block registry names."""
+    return partial(DRIVERS[name], width=width)

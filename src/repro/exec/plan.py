@@ -1,0 +1,221 @@
+"""Declarative round plans and the engine that executes them.
+
+The paper's TA/BPA/BPA2 cost model is *round*-structured: each round is
+a bundle of sorted (or direct) accesses across the ``m`` lists followed
+by the random probes those accesses triggered.  This module makes the
+round a first-class object:
+
+* an :class:`Op` describes one list's work in a round —
+  :class:`SortedFetch` (a sorted block of ``count`` entries),
+  :class:`ProbeBatch` (batched random lookups) or :class:`DirectBlock`
+  (BPA2's bundled lookups plus up to ``count`` direct accesses at the
+  source-managed best position);
+* a :class:`RoundPlan` is a set of ops with **no data dependencies
+  between them** (at most one op per list), so any transport may execute
+  them concurrently;
+* :func:`drive` runs a *planner* — a generator yielding plans and
+  receiving their results — against any
+  :class:`repro.exec.backend.ExecutionBackend`.
+
+Planners own the algorithm logic (stopping rules, bookkeeping); backends
+own the access semantics and accounting.  The same planner therefore
+runs vectorized over flat columnar arrays, as coalesced messages over
+the simulated network, or as length-prefixed frames over real TCP
+sockets — and the differential suites prove all of them bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator, Sequence, Union
+
+from repro.types import ItemId, Position, Score
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.exec.backend import ExecutionBackend
+    from repro.exec.drivers import DriverOutcome
+
+
+# ----------------------------------------------------------------------
+# Ops: one list's work inside a round
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SortedFetch:
+    """Fetch the next ``count`` entries of one list under sorted access."""
+
+    list_index: int
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeBatch:
+    """Random-access ``items`` in one list, in order."""
+
+    list_index: int
+    items: tuple[ItemId, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DirectBlock:
+    """BPA2's per-list step: pending lookups, then direct accesses.
+
+    Performs the random lookups for ``items`` first (accesses that the
+    round's sequential order places before this list's direct step),
+    then up to ``count`` direct accesses, each at the source-managed
+    best position + 1.
+    """
+
+    list_index: int
+    items: tuple[ItemId, ...]
+    count: int = 1
+
+
+Op = Union[SortedFetch, ProbeBatch, DirectBlock]
+
+
+# ----------------------------------------------------------------------
+# Results: what the backend hands back per op
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SortedResult:
+    """``(item, score, position)`` per fetched entry (may be clipped)."""
+
+    entries: tuple[tuple[ItemId, Score, Position], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """``(score, position)`` per probed item, in request order.
+
+    Positions are meaningful only on backends built with
+    ``include_position=True`` (they are what BPA ships home).
+    """
+
+    pairs: tuple[tuple[Score, Position], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class DirectResult:
+    """Bundled lookup scores, then the served direct-access entries.
+
+    ``exhausted`` reports whether the list's best position reached the
+    end while (or before) serving — ``entries`` may be shorter than the
+    requested count, or empty.
+    """
+
+    lookups: tuple[Score, ...]
+    entries: tuple[tuple[ItemId, Score], ...]
+    exhausted: bool
+
+
+OpResult = Union[SortedResult, ProbeResult, DirectResult]
+
+
+# ----------------------------------------------------------------------
+# The plan itself
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """One dependency-free bundle of ops.
+
+    Invariant (validated): at most one op per list, so a transport may
+    execute the ops concurrently without reordering any single source's
+    operation stream.  ``new_round`` announces a fresh coordinator round
+    to the backend's accounting (an algorithm round may span several
+    plans when later ops depend on earlier results, e.g. TA's probes
+    follow its sorted wave).
+    """
+
+    ops: tuple[Op, ...]
+    new_round: bool = True
+
+    def __post_init__(self) -> None:
+        lists = [op.list_index for op in self.ops]
+        if len(set(lists)) != len(lists):
+            raise ValueError(
+                f"a RoundPlan may hold at most one op per list, got {lists}"
+            )
+
+
+Planner = Generator[RoundPlan, "list[OpResult]", "DriverOutcome"]
+
+
+def drive(planner: Planner, backend: "ExecutionBackend") -> "DriverOutcome":
+    """Execute a planner's round plans against a backend.
+
+    The planner yields :class:`RoundPlan`s and receives the aligned
+    :class:`OpResult` list for each; its ``return`` value is the
+    driver outcome.  All transport knowledge lives in
+    :meth:`ExecutionBackend.execute_plan` — entry/batch protocols run
+    the ops sequentially, the pipelined protocol dispatches a plan's
+    messages concurrently.
+    """
+    results: list[OpResult] | None = None
+    while True:
+        try:
+            plan = planner.send(results) if results is not None else next(planner)
+        except StopIteration as stop:
+            return stop.value
+        results = backend.execute_plan(plan)
+        if results is None:  # a backend must always answer a plan
+            results = []
+
+
+# ----------------------------------------------------------------------
+# Shared block-round bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class BlockRound:
+    """Deduplicated bookkeeping for one block round.
+
+    Collects the entries every list surfaced this round (sorted blocks
+    or direct blocks), then derives, *in deterministic first-surfaced
+    order*, which not-yet-seen items need probes in which lists.  Both
+    the reference block algorithms and the engine planners build their
+    probe batches through this class, so their owner-side operation
+    sequences cannot drift apart.
+    """
+
+    m: int
+    #: item -> {list_index: local score} for this round's surfaced entries.
+    surfaced: dict[ItemId, dict[int, Score]] = field(default_factory=dict)
+    #: items in first-surfaced order (dict preserves insertion order).
+
+    def add(self, list_index: int, item: ItemId, score: Score) -> None:
+        """Record one surfaced entry."""
+        self.surfaced.setdefault(item, {})[list_index] = score
+
+    def new_items(self, seen: set[ItemId]) -> list[ItemId]:
+        """Surfaced items not seen in earlier rounds, first-surfaced order."""
+        return [item for item in self.surfaced if item not in seen]
+
+    def probe_needs(self, new_items: Sequence[ItemId]) -> list[list[ItemId]]:
+        """Per list: the new items whose local score is still unknown."""
+        return [
+            [item for item in new_items if j not in self.surfaced[item]]
+            for j in range(self.m)
+        ]
+
+    def local_scores(
+        self,
+        item: ItemId,
+        probes: dict[int, dict[ItemId, Score]],
+    ) -> list[Score]:
+        """Assemble one item's full local-score vector.
+
+        ``probes[j]`` maps probed items to their scores in list ``j``;
+        scores for lists that surfaced the item come from the round's
+        own entries.
+        """
+        known = self.surfaced[item]
+        return [
+            known[j] if j in known else probes[j][item] for j in range(self.m)
+        ]

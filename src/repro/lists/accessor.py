@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence, runtime_checkable
 
-from repro.errors import ExhaustedListError
+from repro.errors import ExhaustedListError, UnknownItemError
 from repro.types import AccessTally, ItemId, ListEntry, Position, Score
 
 
@@ -134,18 +134,30 @@ class ListAccessor:
         """Batched random access: ``(scores, positions)`` for ``items``.
 
         Counts one random access per item — batching is an engineering
-        fast path, not an accounting discount.  Columnar sources answer
-        with a single NumPy gather; other backends fall back to a scalar
-        loop with identical results.
+        fast path, not an accounting discount.  The tally after this
+        call is *identical* to the equivalent :meth:`random_lookup`
+        sequence, failure modes included: an unknown item mid-batch
+        leaves exactly the accesses up to and including the failing
+        lookup counted, as the per-entry loop would (the vectorized
+        path validates every item before counting, so it only serves
+        all-known batches; a bad batch replays through the scalar loop
+        to fail at the same item with the same partial tally).
+        Columnar sources answer with a single NumPy gather; other
+        backends fall back to a scalar loop with identical results.
         """
-        self.tally.random += len(items)
         fast = getattr(self._list, "lookup_many", None)
         if fast is not None:
-            return fast(items)
-        scores: list[Score] = []
-        positions: list[Position] = []
+            try:
+                scores, positions = fast(items)
+            except UnknownItemError:
+                pass  # replay per entry below for exact partial metering
+            else:
+                self.tally.random += len(items)
+                return scores, positions
+        scores = []
+        positions = []
         for item in items:
-            score, position = self._list.lookup(item)
+            score, position = self.random_lookup(item)
             scores.append(score)
             positions.append(position)
         return scores, positions
@@ -155,7 +167,9 @@ class ListAccessor:
 
         Advances the cursor and counts one sorted access per entry
         actually read (the block may be truncated at the end of the
-        list).  Columnar sources prefetch the block as array slices.
+        list), so the tally and cursor equal the per-entry
+        :meth:`sorted_next` sequence that stops at exhaustion.
+        Columnar sources prefetch the block as array slices.
         """
         if count < 0:
             raise ValueError(f"block count must be >= 0, got {count}")

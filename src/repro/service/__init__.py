@@ -44,6 +44,7 @@ from repro.service.planner import (
     ShardDecision,
 )
 from repro.service.service import (
+    AdaptiveConcurrency,
     QueryService,
     ServiceCounters,
     ServiceResult,
@@ -66,6 +67,7 @@ from repro.service.workload import (
 )
 
 __all__ = [
+    "AdaptiveConcurrency",
     "QueryService",
     "ServiceResult",
     "ServiceStats",

@@ -80,12 +80,24 @@ class ServicePolicy:
         max_overfetch: upper bound on ``k_fetch / k`` (the power-of-two
             bucketing never exceeds 2; the knob exists so a custom
             bucketing cannot run away).
+        wire_protocol: wire protocol for networked queries — ``"auto"``
+            picks the one minimizing the cost model's network cost
+            (ties to batch), or force ``"entry"`` / ``"batch"`` /
+            ``"pipelined"`` (pipelined ships exactly the batched
+            messages as overlapped waves, so the message/byte model
+            cannot distinguish them; forcing it trades nothing and wins
+            wall-clock on real fabrics).
+        block_width: sorted/direct block width for networked queries
+            (``1`` = the classic per-entry round structure; wider blocks
+            run the ``*-block`` round planners).
     """
 
     allow_random: bool = True
     overfetch: bool = True
     max_overfetch: int = 4
     transport: str = "auto"  #: ``"auto"`` | ``"local"`` | ``"network"``
+    wire_protocol: str = "auto"
+    block_width: int = 1
 
     def __post_init__(self) -> None:
         # Validated here, not at first use: a typo'd transport would
@@ -95,6 +107,15 @@ class ServicePolicy:
             raise ValueError(
                 f"unknown transport policy {self.transport!r}; "
                 "expected 'auto', 'local' or 'network'"
+            )
+        if self.wire_protocol not in ("auto", "entry", "batch", "pipelined"):
+            raise ValueError(
+                f"unknown wire protocol policy {self.wire_protocol!r}; "
+                "expected 'auto', 'entry', 'batch' or 'pipelined'"
+            )
+        if self.block_width < 1:
+            raise ValueError(
+                f"block_width must be >= 1, got {self.block_width}"
             )
 
 
@@ -303,18 +324,25 @@ class QueryPlanner:
         tally = self.predicted_tallies(k, scoring)[algorithm]
         m = self._database.m
         rounds = max(1, (tally.sorted + tally.direct) // max(1, m))
+        # Wider blocks coalesce whole rounds into each message wave.
+        block_rounds = max(1, rounds // max(1, self._policy.block_width))
         payload = tally.total * _ACCESS_PAYLOAD_BYTES
         entry_messages = 2 * tally.total
-        batch_messages = 4 * m * rounds
+        batch_messages = 4 * m * block_rounds
+        batched = {
+            "messages": batch_messages,
+            "bytes": payload + batch_messages * _MESSAGE_OVERHEAD_BYTES,
+        }
         return {
             "entry": {
                 "messages": entry_messages,
                 "bytes": payload + entry_messages * _MESSAGE_OVERHEAD_BYTES,
             },
-            "batch": {
-                "messages": batch_messages,
-                "bytes": payload + batch_messages * _MESSAGE_OVERHEAD_BYTES,
-            },
+            "batch": batched,
+            # Pipelining overlaps the batched waves: identical messages
+            # and bytes, lower wall-clock (which this byte-denominated
+            # model cannot see — the policy's wire_protocol selects it).
+            "pipelined": dict(batched),
         }
 
     def choose_transport(
@@ -338,12 +366,15 @@ class QueryPlanner:
             return "local", "transport: local shard pool"
         wire = self.predicted_network(algorithm, k, scoring)
         model = self._model
-        protocol = min(
-            ("batch", "entry"),
-            key=lambda name: model.network_cost(
-                wire[name]["messages"], wire[name]["bytes"]
-            ),
-        )
+        if self._policy.wire_protocol != "auto":
+            protocol = self._policy.wire_protocol
+        else:
+            protocol = min(
+                ("batch", "entry"),
+                key=lambda name: model.network_cost(
+                    wire[name]["messages"], wire[name]["bytes"]
+                ),
+            )
         if setting == "network":
             return (
                 f"network-{protocol}",

@@ -56,6 +56,124 @@ class ServiceStats:
     #: the query reused a result another in-flight ``submit_async`` was
     #: already computing (single-flight coalescing; counts as a hit)
     coalesced: bool = False
+    #: the AIMD controller's concurrency window when this query started
+    #: executing (0: not admitted through a controller — serial submits,
+    #: cache hits, coalesced waits and fixed-semaphore replays)
+    concurrency_window: int = 0
+
+
+class AdaptiveConcurrency:
+    """AIMD admission control for :meth:`QueryService.gather_many`.
+
+    Classic additive-increase / multiplicative-decrease, fed by the
+    observed per-query execution latency: every completion below
+    ``threshold`` times the exponentially-weighted latency baseline
+    grows the window by ``increase / window`` (``increase`` additive
+    steps per window's worth of acks); a completion above it multiplies
+    the window by ``backoff``.  The window starts at half the ceiling
+    (at least 2) and probes from there — the service finds its own
+    concurrency instead of trusting a caller's fixed semaphore — and is
+    always clamped to ``[min_window, max_window]``.
+
+    The controller is an asyncio admission gate: :meth:`acquire` parks
+    callers while ``in_flight >= window``; :meth:`release` records the
+    latency, adapts the window and wakes exactly as many waiters as the
+    new window admits.
+    """
+
+    def __init__(
+        self,
+        max_window: int,
+        *,
+        min_window: int = 1,
+        start: int | None = None,
+        increase: float = 2.0,
+        backoff: float = 0.5,
+        threshold: float = 2.0,
+        smoothing: float = 0.2,
+    ) -> None:
+        if max_window < 1:
+            raise ValueError(f"max_window must be >= 1, got {max_window}")
+        if not 1 <= min_window <= max_window:
+            raise ValueError(
+                f"min_window must be in 1..{max_window}, got {min_window}"
+            )
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        self._max = max_window
+        self._min = min_window
+        if start is None:
+            # Half the ceiling: short bursts are not starved by a cold
+            # start, while a latency spike still halves the window on
+            # the very first congested completion.
+            start = max(2, max_window // 2)
+        self._window = float(min(max_window, max(min_window, start)))
+        self._increase = increase
+        self._backoff = backoff
+        self._threshold = threshold
+        self._smoothing = smoothing
+        self._baseline: float | None = None  #: EWMA of observed latency
+        self._in_flight = 0
+        self._waiters: list[asyncio.Future] = []
+
+    @property
+    def window(self) -> int:
+        """The current admission window (whole queries)."""
+        return max(self._min, int(self._window))
+
+    @property
+    def in_flight(self) -> int:
+        """Executions currently admitted."""
+        return self._in_flight
+
+    @property
+    def baseline_seconds(self) -> float | None:
+        """The latency baseline (``None`` before the first completion)."""
+        return self._baseline
+
+    async def acquire(self) -> None:
+        """Wait for an admission slot."""
+        while self._in_flight >= self.window:
+            waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+                self._wake()  # pass the slot along instead of losing it
+                raise
+        self._in_flight += 1
+
+    def release(self, latency: float) -> None:
+        """Record one completion's latency and adapt the window."""
+        self._in_flight -= 1
+        if self._baseline is None:
+            self._baseline = latency
+        if latency > self._threshold * self._baseline:
+            # Congestion: this query ran far slower than the baseline —
+            # shrink multiplicatively and let the baseline drift up
+            # toward what the service actually sustains.
+            self._window = max(float(self._min), self._window * self._backoff)
+        else:
+            self._window = min(
+                float(self._max),
+                self._window + self._increase / max(1.0, self._window),
+            )
+        alpha = self._smoothing
+        self._baseline = (1.0 - alpha) * self._baseline + alpha * latency
+        self._wake()
+
+    def _wake(self) -> None:
+        # Woken tasks re-check the window before admitting themselves
+        # (their acquire loop), so waking a few too many under racing
+        # releases is safe — they simply park again.
+        available = self.window - self._in_flight
+        while self._waiters and available > 0:
+            waiter = self._waiters.pop(0)
+            if not waiter.done():
+                waiter.set_result(None)
+                available -= 1
 
 
 @dataclass(frozen=True)
@@ -299,9 +417,10 @@ class QueryService:
                 "bpa2": DistributedBPA2,
             }[plan.algorithm]
             protocol = plan.transport.split("-", 1)[1]
-            return driver_cls(protocol=protocol).run(
-                self._executor.database, plan.k_fetch, spec.scoring
-            )
+            return driver_cls(
+                protocol=protocol,
+                block_width=self._planner.policy.block_width,
+            ).run(self._executor.database, plan.k_fetch, spec.scoring)
         return self._executor.run(
             plan.algorithm, spec.options, plan.k_fetch, spec.scoring
         )
@@ -315,6 +434,7 @@ class QueryService:
         *,
         cache_hit: bool,
         coalesced: bool = False,
+        window: int = 0,
     ) -> ServiceResult:
         served = self._truncate(full, plan)
         reused = cache_hit or coalesced
@@ -327,6 +447,7 @@ class QueryService:
             seconds=time.perf_counter() - started,
             planned_shards=self.shards,
             coalesced=coalesced,
+            concurrency_window=window,
         )
         self.counters.queries += 1
         self.counters.cache_hits += reused
@@ -391,14 +512,22 @@ class QueryService:
     # ------------------------------------------------------------------
 
     async def submit_async(
-        self, spec: QuerySpec, *, semaphore: asyncio.Semaphore | None = None
+        self,
+        spec: QuerySpec,
+        *,
+        semaphore: asyncio.Semaphore | None = None,
+        limiter: AdaptiveConcurrency | None = None,
     ) -> ServiceResult:
         """Answer one query without blocking the event loop.
 
         Planning and cache lookups run inline on the loop (they are
         microseconds); execution is offloaded to a worker thread, gated
-        by ``semaphore`` when given (:meth:`gather_many` passes one to
-        bound concurrency).  With the result cache enabled, identical
+        by ``semaphore`` when given, or admitted through ``limiter`` —
+        the AIMD controller :meth:`gather_many` shares across a replay,
+        which also feeds it the observed execution latency and stamps
+        the admission window into
+        :attr:`ServiceStats.concurrency_window`.  With the result cache
+        enabled, identical
         queries in flight are *coalesced*: the first submit executes,
         the rest await the same future and count as cache hits — so a
         concurrent replay performs exactly the executions (and reports
@@ -471,8 +600,19 @@ class QueryService:
         if caching:
             self._inflight[key] = future
         self._running.add(future)
+        window = 0
         try:
-            if semaphore is None:
+            if limiter is not None:
+                await limiter.acquire()
+                window = limiter.window
+                admitted = time.perf_counter()
+                try:
+                    full = await asyncio.to_thread(
+                        self._execute_plan, plan, spec
+                    )
+                finally:
+                    limiter.release(time.perf_counter() - admitted)
+            elif semaphore is None:
                 full = await asyncio.to_thread(self._execute_plan, plan, spec)
             else:
                 async with semaphore:
@@ -493,16 +633,38 @@ class QueryService:
         future.set_result(full)
         if caching:
             self._cache.put(key, full, epoch)
-        return self._package(plan, full, started, epoch, cache_hit=False)
+        return self._package(
+            plan, full, started, epoch, cache_hit=False, window=window
+        )
 
     async def gather_many(
-        self, specs: Sequence[QuerySpec], *, concurrency: int = 8
+        self,
+        specs: Sequence[QuerySpec],
+        *,
+        concurrency: int = 8,
+        adaptive: bool = True,
     ) -> list[ServiceResult]:
         """Answer a batch concurrently; results come back in spec order.
 
-        At most ``concurrency`` executions run at once (cache hits and
-        coalesced waits are not throttled — they do no work).
+        Admission is adaptive by default: an :class:`AdaptiveConcurrency`
+        controller starts at half the ceiling and AIMD-tunes the window
+        from each execution's observed latency, with ``concurrency`` as
+        the ceiling; every executed query's :class:`ServiceStats` records
+        the window it was admitted under.  Pass ``adaptive=False`` for
+        the legacy fixed semaphore of exactly ``concurrency`` permits.
+        Cache hits and coalesced waits are never throttled — they do no
+        work.
         """
+        if adaptive:
+            limiter = AdaptiveConcurrency(max_window=max(1, concurrency))
+            return list(
+                await asyncio.gather(
+                    *(
+                        self.submit_async(spec, limiter=limiter)
+                        for spec in specs
+                    )
+                )
+            )
         semaphore = asyncio.Semaphore(max(1, concurrency))
         return list(
             await asyncio.gather(
@@ -511,10 +673,16 @@ class QueryService:
         )
 
     def serve_concurrently(
-        self, specs: Sequence[QuerySpec], *, concurrency: int = 8
+        self,
+        specs: Sequence[QuerySpec],
+        *,
+        concurrency: int = 8,
+        adaptive: bool = True,
     ) -> list[ServiceResult]:
         """Synchronous convenience wrapper around :meth:`gather_many`."""
-        return asyncio.run(self.gather_many(specs, concurrency=concurrency))
+        return asyncio.run(
+            self.gather_many(specs, concurrency=concurrency, adaptive=adaptive)
+        )
 
     def _serve_empty(self, spec: QuerySpec, started: float) -> ServiceResult:
         from repro.errors import InvalidQueryError

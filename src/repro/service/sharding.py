@@ -41,7 +41,10 @@ from repro.types import TopKResult
 #: Algorithms whose results carry exact overall scores for every
 #: returned item — the precondition of the merge proof.  NRA reports
 #: lower bounds, so it bypasses sharding and runs on the full database.
-MERGE_EXACT_ALGORITHMS = frozenset({"ta", "bpa", "bpa2", "fa", "naive", "qc"})
+MERGE_EXACT_ALGORITHMS = frozenset(
+    {"ta", "bpa", "bpa2", "fa", "naive", "qc",
+     "ta-block", "bpa-block", "bpa2-block"}
+)
 
 __all__ = [
     "MERGE_EXACT_ALGORITHMS",

@@ -1,0 +1,115 @@
+"""Differential proof that the real TCP transport is exact.
+
+One :class:`SocketCluster` spawns an OS process per list owner; the
+round-plan drivers talk to them through length-prefixed JSON frames.
+Every driver, under both batch-family protocols and for classic and
+block rounds, must reproduce the registered reference single-node
+algorithm bit for bit — identical ranked items, per-mode access tallies
+and round counts — and the pipelined protocol must ship exactly the
+batched protocol's messages and bytes (its saving is wall-clock only).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.base import get_algorithm
+from repro.columnar import ColumnarDatabase
+from repro.datagen import make_generator
+from repro.distributed import DistributedBPA, DistributedBPA2, DistributedTA
+from repro.distributed.socket_transport import SocketCluster
+from repro.distributed.transport import NetworkBackend
+from repro.exec.drivers import DRIVERS
+from repro.scoring import SUM
+
+DRIVER_CLASSES = (
+    ("ta", DistributedTA),
+    ("bpa", DistributedBPA),
+    ("bpa2", DistributedBPA2),
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return make_generator("zipf").generate(50, 3, seed=19)
+
+
+class TestSocketTransportExactness:
+    @pytest.mark.parametrize("name,cls", DRIVER_CLASSES)
+    @pytest.mark.parametrize("protocol", ["batch", "pipelined"])
+    def test_classic_drivers_bit_identical(self, database, name, cls, protocol):
+        reference = get_algorithm(name).run(database, 5, SUM)
+        result = cls(protocol=protocol, transport="socket").run(
+            database, 5, SUM
+        )
+        assert result.items == reference.items
+        assert result.tally == reference.tally
+        assert result.rounds == reference.rounds
+        assert result.extras["transport"] == "socket"
+
+    @pytest.mark.parametrize("name,cls", DRIVER_CLASSES)
+    def test_block_drivers_bit_identical(self, database, name, cls):
+        reference = get_algorithm(f"{name}-block", width=4).run(
+            database, 5, SUM
+        )
+        result = cls(
+            protocol="pipelined", transport="socket", block_width=4
+        ).run(database, 5, SUM)
+        assert result.items == reference.items
+        assert result.tally == reference.tally
+        assert result.rounds == reference.rounds
+
+    def test_pipelined_message_counts_equal_batch(self, database):
+        nets = {}
+        for protocol in ("batch", "pipelined"):
+            result = DistributedBPA2(
+                protocol=protocol, transport="socket", block_width=4
+            ).run(database, 5, SUM)
+            nets[protocol] = result.extras["network"]
+        assert nets["batch"]["messages"] == nets["pipelined"]["messages"]
+        assert nets["batch"]["bytes"] == nets["pipelined"]["bytes"]
+        assert nets["batch"]["rounds"] == nets["pipelined"]["rounds"]
+
+    def test_entry_protocol_over_sockets(self, database):
+        # Per-entry RPC also speaks TCP; same answers, more messages.
+        reference = get_algorithm("ta").run(database, 4, SUM)
+        entry = DistributedTA(protocol="entry", transport="socket").run(
+            database, 4, SUM
+        )
+        batch = DistributedTA(protocol="batch", transport="socket").run(
+            database, 4, SUM
+        )
+        assert entry.items == reference.items
+        assert entry.tally == reference.tally
+        assert entry.extras["network"]["messages"] > (
+            batch.extras["network"]["messages"]
+        )
+
+
+class TestWarmClusterSessions:
+    def test_reset_supports_many_queries_per_cluster(self, database):
+        """One cluster serves many queries; ``reset`` clears owner state."""
+        columnar = ColumnarDatabase.from_database(database)
+        reference = get_algorithm("bpa2").run(database, 5, SUM)
+        with SocketCluster(columnar) as cluster, cluster.connect() as fabric:
+            for _ in range(3):
+                for index in range(cluster.m):
+                    fabric.request(f"owner/{index}", "reset")
+                fabric.reset_stats()
+                backend = NetworkBackend.remote(
+                    fabric, m=cluster.m, n=cluster.n, protocol="pipelined"
+                )
+                outcome = DRIVERS["bpa2"](backend, 5, SUM)
+                assert outcome.items == reference.items
+                assert backend.total_tally() == reference.tally
+
+    def test_owner_errors_travel_as_protocol_errors(self, database):
+        from repro.errors import ProtocolError
+
+        columnar = ColumnarDatabase.from_database(database)
+        with SocketCluster(columnar) as cluster, cluster.connect() as fabric:
+            with pytest.raises(ProtocolError, match="no-such-kind"):
+                fabric.request("owner/0", "no-such-kind")
+            # The owner survives a bad request and keeps serving.
+            response = fabric.request("owner/0", "sorted_next")
+            assert "item" in response and "score" in response
