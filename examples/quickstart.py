@@ -52,6 +52,25 @@ shards with an exact merge, and repeated queries hit the result cache:
 True
 >>> service.close()
 
+Serving *changing* data, build the service over a ``DynamicDatabase``:
+mutations are recorded in a bounded ``MutationLog``, and a cached answer
+whose certificate (its k-th score under the library's total order)
+proves a mutation harmless is **revalidated** in place instead of
+recomputed — ``ServiceStats.cache_outcome`` says which of
+hit/revalidated/patched/miss served each answer:
+
+>>> from repro.dynamic import DynamicDatabase
+>>> source = DynamicDatabase.from_score_rows(
+...     [[9.0, 7.0, 5.0, 3.0, 1.0], [8.0, 6.0, 4.0, 2.0, 0.0]])
+>>> service = QueryService(source, pool="serial")
+>>> service.submit(QuerySpec("ta", k=2)).stats.cache_outcome
+'miss'
+>>> source.update_score(0, 4, 1.5)  # item 4 stays far below the top-2
+>>> served = service.submit(QuerySpec("ta", k=2))
+>>> served.stats.cache_outcome, served.item_ids
+('revalidated', (0, 1))
+>>> service.close()
+
 Under concurrency, submit through the async front-end: ``gather_many``
 runs shard fan-out on an asyncio event loop with bounded concurrency,
 and identical in-flight queries are *coalesced* into one execution:

@@ -167,6 +167,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "instead of the serial submit_many")
     serve.add_argument("--concurrency", type=int, default=8,
                        help="bounded concurrency for --async-mode")
+    serve.add_argument("--mutation-rate", type=float, default=0.0,
+                       metavar="R",
+                       help="serve a live DynamicDatabase and apply ~R random "
+                            "mutations (update/insert/remove) before each "
+                            "query — the delta-aware cache replay mode")
+    serve.add_argument("--verify", action="store_true",
+                       help="with --mutation-rate: cross-check every served "
+                            "answer against a brute-force ranking of the "
+                            "current data (bit-identical scores, honest "
+                            "aggregates); exit non-zero on any mismatch")
     serve.add_argument("--out", default=None, metavar="FILE",
                        help="report path (default: reports/service_workload.json)")
     serve.add_argument("--smoke", action="store_true",
@@ -501,8 +511,18 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
               f"{report['cache_hit_rate_zipf_replay']:.1%}")
         print(f"  results identical to cache-off: "
               f"{report['results_identical_to_cache_off']}")
+        mutation = report["mutation_workload"]
+        delta_rate, legacy_rate = mutation["reuse_rate_delta_vs_whole_epoch"]
+        verified = (
+            mutation["delta_cache"]["verified_identical"]
+            and mutation["whole_epoch_cache"]["verified_identical"]
+        )
+        print(f"  mutation-heavy replay reuse (delta vs whole-epoch): "
+              f"{delta_rate:.1%} vs {legacy_rate:.1%} "
+              f"(oracle-verified: {verified})")
         print(f"report written to {out}")
-        return 0 if report["results_identical_to_cache_off"] else 1
+        ok = report["results_identical_to_cache_off"] and verified
+        return 0 if ok else 1
 
     settings = dict(
         generator=args.generator,
@@ -535,15 +555,54 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         )
     else:
         default_out = "reports/service_workload.json"
+    if args.mutation_rate > 0:
+        if args.async_mode:
+            print("--mutation-rate replays serially (the per-query oracle "
+                  "needs a deterministic interleaving); drop --async-mode",
+                  file=sys.stderr)
+            return 2
+        default_out = (
+            "reports/service_mutation_smoke.json"
+            if args.smoke
+            else "reports/service_mutation_workload.json"
+        )
     config = WorkloadConfig(**settings)
 
     report = run_workload(
         config,
         mode="async" if args.async_mode else "serial",
         concurrency=args.concurrency,
+        mutation_rate=args.mutation_rate,
+        verify=args.verify,
     )
     out = write_report(report, args.out or default_out)
     summary = report["service"]
+
+    if args.mutation_rate > 0:
+        outcomes = summary["cache_outcomes"]
+        mutations = summary["mutations"]
+        print(f"mutation replay: {summary['queries']} queries over "
+              f"{config.generator} n={config.n:,} m={config.m}, "
+              f"~{args.mutation_rate:g} mutations/query "
+              f"({sum(mutations.values())} applied: "
+              f"{mutations['update_score']} updates, "
+              f"{mutations['insert_item']} inserts, "
+              f"{mutations['remove_item']} removes)")
+        print(f"cache outcomes: {outcomes['hit']} hit / "
+              f"{outcomes['revalidated']} revalidated / "
+              f"{outcomes['patched']} patched / {outcomes['miss']} miss "
+              f"-> reuse rate {summary['reuse_rate']:.1%}")
+        if args.verify:
+            verdict = summary["verified_identical"]
+            print(f"oracle verification: "
+                  f"{'all answers identical' if verdict else 'MISMATCH'} "
+                  f"({summary['verify_mismatches']} mismatches)")
+            if not verdict:
+                print("ERROR: a served answer diverged from the brute-force "
+                      "ranking of the current data", file=sys.stderr)
+                return 1
+        print(f"report written to {out}")
+        return 0
     print(f"workload: {summary['queries']} queries "
           f"({config.distinct} distinct, zipf theta={config.zipf_theta}) over "
           f"{config.generator} n={config.n:,} m={config.m}")

@@ -12,13 +12,17 @@ substrate those applications need:
   updates while exposing the same read API as
   :class:`repro.lists.sorted_list.SortedList` (``entry_at``, ``lookup``,
   ...), so TA/BPA/BPA2 run on it unchanged;
-* :class:`DynamicDatabase` — the matching database container.
+* :class:`DynamicDatabase` — the matching database container;
+* :class:`MutationLog` — a bounded, epoch-indexed record of committed
+  :class:`MutationEvent` objects, the substrate of the service cache's
+  delta-aware (partial) reuse across epochs.
 
 See ``examples/continuous_monitoring.py`` for the end-to-end scenario.
 """
 
 from repro.dynamic.database import DynamicDatabase, MutationEvent
 from repro.dynamic.dynamic_list import DynamicSortedList
+from repro.dynamic.mutation_log import MutationLog
 from repro.dynamic.treap import OrderStatisticTreap
 
 __all__ = [
@@ -26,4 +30,5 @@ __all__ = [
     "DynamicSortedList",
     "DynamicDatabase",
     "MutationEvent",
+    "MutationLog",
 ]

@@ -28,16 +28,36 @@ class MutationEvent:
     ``kind`` is the mutating method's name (``"update_score"``,
     ``"apply_delta"``, ``"insert_item"``, ``"remove_item"``); ``item``
     is the affected item id.
+
+    When the database has subscribers the event also carries the item's
+    full per-list local score vectors around the mutation — ``None`` on
+    the side where the item does not exist (``old_scores`` for an
+    insert, ``new_scores`` for a removal) — plus the index of the list a
+    score change touched.  The delta-aware cache
+    (:class:`repro.service.cache.ResultCache` through a
+    :class:`repro.dynamic.MutationLog`) folds the ``new_scores`` of a
+    window's events into each touched item's final state to prove a
+    cached top-k unaffected without re-reading any list;
+    ``old_scores``/``list_index`` complete the record for consumers
+    that need the reverse direction (audit trails, undo, diagnostics).
     """
 
     kind: str
     item: ItemId
+    #: index of the mutated list for ``update_score``/``apply_delta``
+    #: (``None`` for whole-item inserts/removals).
+    list_index: int | None = None
+    #: the item's local score in every list *before* the mutation.
+    old_scores: tuple[Score, ...] | None = None
+    #: the item's local score in every list *after* the mutation
+    #: (``None``: the item no longer exists).
+    new_scores: tuple[Score, ...] | None = None
 
 
 class DynamicDatabase:
     """``m`` updatable sorted lists over one evolving item set."""
 
-    __slots__ = ("_lists", "_labels", "_subscribers")
+    __slots__ = ("_lists", "_labels", "_subscribers", "_score_watchers")
 
     def __init__(
         self,
@@ -57,6 +77,9 @@ class DynamicDatabase:
         self._lists = tuple(lists)
         self._labels = dict(labels) if labels else {}
         self._subscribers: list[Callable[[MutationEvent], None]] = []
+        #: subscribers that asked for per-list score vectors; capture is
+        #: skipped entirely while this is zero.
+        self._score_watchers = 0
 
     @classmethod
     def from_score_rows(
@@ -125,7 +148,10 @@ class DynamicDatabase:
     # ------------------------------------------------------------------
 
     def subscribe(
-        self, callback: Callable[[MutationEvent], None]
+        self,
+        callback: Callable[[MutationEvent], None],
+        *,
+        with_scores: bool = True,
     ) -> Callable[[], None]:
         """Register a callback fired after every committed mutation.
 
@@ -133,19 +159,56 @@ class DynamicDatabase:
         mutation order, *after* the database is consistent again —
         :class:`repro.service.QueryService` uses this to bump its cache
         epoch.  A failed (rolled-back) mutation never notifies.
+
+        ``with_scores`` controls whether this subscriber needs the
+        event's per-list score vectors.  Capturing them costs O(m log n)
+        per mutation, so subscribers that only count or timestamp
+        mutations (e.g. a service whose delta log is disabled) should
+        pass ``False``; while *no* subscriber wants scores, events carry
+        ``None`` vectors and mutations keep their bare O(log n) cost.
         """
         self._subscribers.append(callback)
+        self._score_watchers += with_scores
 
         def unsubscribe() -> None:
             try:
                 self._subscribers.remove(callback)
             except ValueError:
-                pass  # already unsubscribed; idempotent
+                return  # already unsubscribed; idempotent
+            if with_scores:
+                self._score_watchers -= 1
 
         return unsubscribe
 
-    def _notify(self, kind: str, item: ItemId) -> None:
-        event = MutationEvent(kind=kind, item=item)
+    def _capture(self, item: ItemId) -> tuple[Score, ...] | None:
+        """The item's per-list scores, captured only when someone cares.
+
+        Score capture costs ``m`` treap lookups, so unless a subscriber
+        asked for score vectors (``subscribe(..., with_scores=True)``)
+        mutations keep their bare O(log n) cost.
+        """
+        if not self._score_watchers or item not in self._lists[0]:
+            return None
+        return self.local_scores(item)
+
+    def _notify(
+        self,
+        kind: str,
+        item: ItemId,
+        *,
+        list_index: int | None = None,
+        old_scores: tuple[Score, ...] | None = None,
+        new_scores: tuple[Score, ...] | None = None,
+    ) -> None:
+        if not self._subscribers:
+            return
+        event = MutationEvent(
+            kind=kind,
+            item=item,
+            list_index=list_index,
+            old_scores=old_scores,
+            new_scores=new_scores,
+        )
         for callback in tuple(self._subscribers):
             callback(event)
 
@@ -153,15 +216,55 @@ class DynamicDatabase:
     # Consistent mutations
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _replace_at(
+        scores: tuple[Score, ...] | None, index: int, value: Score
+    ) -> tuple[Score, ...] | None:
+        """``scores`` with position ``index`` swapped for ``value``.
+
+        A single-list mutation only moves one coordinate, so the
+        post-mutation vector is derived from the pre-mutation capture
+        instead of paying a second round of treap lookups.  ``value``
+        must be the exact float the list stores.
+        """
+        if scores is None:
+            return None
+        return scores[:index] + (value,) + scores[index + 1 :]
+
     def update_score(self, list_index: int, item: ItemId, score: Score) -> None:
         """Set the item's local score in one list."""
+        old_scores = self._capture(item)
         self._lists[list_index].update(item, score)
-        self._notify("update_score", item)
+        self._notify(
+            "update_score",
+            item,
+            list_index=list_index,
+            old_scores=old_scores,
+            new_scores=self._replace_at(old_scores, list_index, float(score)),
+        )
 
     def apply_delta(self, list_index: int, item: ItemId, delta: Score) -> None:
         """Adjust the item's local score in one list by ``delta``."""
+        old_scores = self._capture(item)
         self._lists[list_index].apply_delta(item, delta)
-        self._notify("apply_delta", item)
+        self._notify(
+            "apply_delta",
+            item,
+            list_index=list_index,
+            old_scores=old_scores,
+            new_scores=(
+                self._replace_at(
+                    old_scores,
+                    list_index,
+                    # The list stores float(current + delta); mirror the
+                    # identical float expression so the event's vector
+                    # is bit-equal to a fresh lookup.
+                    float(old_scores[list_index] + delta),
+                )
+                if old_scores is not None
+                else None
+            ),
+        )
 
     def insert_item(self, item: ItemId, scores: Sequence[Score]) -> None:
         """Add a new item with one local score per list (all-or-nothing)."""
@@ -178,13 +281,24 @@ class DynamicDatabase:
             for lst in inserted:
                 lst.remove(item)
             raise
-        self._notify("insert_item", item)
+        self._notify(
+            "insert_item",
+            item,
+            # The vectors are already in hand: each list stores exactly
+            # float(score), so no post-insert capture is needed.
+            new_scores=(
+                tuple(float(score) for score in scores)
+                if self._score_watchers
+                else None
+            ),
+        )
 
     def remove_item(self, item: ItemId) -> None:
         """Delete an item from every list."""
+        old_scores = self._capture(item)
         for lst in self._lists:
             lst.remove(item)
-        self._notify("remove_item", item)
+        self._notify("remove_item", item, old_scores=old_scores)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<DynamicDatabase m={self.m} n={self.n}>"

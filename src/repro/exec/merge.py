@@ -19,6 +19,14 @@ return is dominated by that shard's ``k'``-th returned entry, so the
 merged ``k``-th entry must dominate every truncated shard's ``k'``-th
 entry.  A violation would mean a shard under-returned; the merge raises
 instead of serving silently wrong answers.
+
+The merged ``k``-th entry doubles as a *reusable* certificate: every
+item outside the answer is dominated by it under :func:`entry_key`, so
+any later data change whose touched items still fall beyond that
+boundary provably cannot enter (or reorder into) the top-k.  The merge
+exposes it as ``extras["certificate_threshold"]`` — the invariant the
+delta-aware result cache (:mod:`repro.service.cache`) revalidates and
+patches against.
 """
 
 from __future__ import annotations
@@ -82,6 +90,12 @@ def merge_shard_results(
             "merge_bounds_checked": bounds_checked,
             "shard_stop_positions": tuple(
                 partial.stop_position for partial in partials
+            ),
+            # The k-th merged score: the boundary no returned-but-worse
+            # or never-returned item crosses (None when fewer than k
+            # items exist at all).  Delta-aware caching reuses it.
+            "certificate_threshold": (
+                merged[-1].score if merged and len(merged) == k else None
             ),
         },
     )

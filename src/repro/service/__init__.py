@@ -31,6 +31,8 @@ service (the ``repro-topk serve-workload`` CLI) and backs
 """
 
 from repro.service.cache import (
+    CACHE_OUTCOMES,
+    CacheLookup,
     CacheStats,
     ResultCache,
     normalized_query_key,
@@ -58,9 +60,15 @@ from repro.service.sharding import (
 )
 from repro.service.workload import (
     WorkloadConfig,
+    WorkloadMutator,
+    answers_match,
     build_workload,
+    dynamic_from,
+    fresh_topk,
+    mutation_contrast,
     replay,
     replay_async,
+    replay_with_mutations,
     run_workload,
     speedup_benchmark,
     write_report,
@@ -79,6 +87,8 @@ __all__ = [
     "ListStatistics",
     "ResultCache",
     "CacheStats",
+    "CacheLookup",
+    "CACHE_OUTCOMES",
     "normalized_query_key",
     "scoring_key",
     "ShardExecutor",
@@ -86,9 +96,15 @@ __all__ = [
     "merge_shard_results",
     "partition_database",
     "WorkloadConfig",
+    "WorkloadMutator",
+    "answers_match",
     "build_workload",
+    "dynamic_from",
+    "fresh_topk",
+    "mutation_contrast",
     "replay",
     "replay_async",
+    "replay_with_mutations",
     "run_workload",
     "speedup_benchmark",
     "write_report",

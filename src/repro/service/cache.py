@@ -1,4 +1,4 @@
-"""Epoch-invalidated LRU result cache keyed by normalized query specs.
+"""Delta-aware, epoch-indexed LRU result cache keyed by query specs.
 
 Two queries should share a cache entry exactly when the engine would do
 identical work for them: same algorithm, same (over)fetched ``k``, same
@@ -8,18 +8,50 @@ keyed by ``(type, name, repr)`` so two ``SumScoring()`` objects share an
 entry while a user lambda (whose repr embeds its id) never falsely
 collides with another.
 
-Invalidation is epoch-based and lazy, the standard trick for serving
-over mutable data: the service bumps its epoch on every mutation of the
-underlying lists, and a cached entry is simply dropped the first time it
-is read under a newer epoch.  Nothing scans the cache on write — a
-mutation costs O(1) regardless of how many results are cached.
+**Invalidation.**  The service bumps its *epoch* on every mutation of
+the underlying lists; nothing scans the cache on write, so a mutation
+stays O(1) regardless of how many results are cached.  A lookup under a
+newer epoch used to drop the entry unconditionally (whole-epoch
+invalidation).  With a :class:`repro.dynamic.MutationLog` attached, the
+cache instead *reasons* about the delta, yielding one of four outcomes
+(surfaced as :attr:`ServiceStats.cache_outcome <repro.service.ServiceStats>`):
+
+* ``hit`` — entry epoch equals the lookup epoch; nothing to prove.
+* ``revalidated`` — every logged mutation in the window is provably
+  harmless, so the entry is re-stamped to the current epoch *in place*.
+  The certificate is the cached k-th entry under the library's total
+  order (:func:`repro.exec.merge.entry_key` — the score the certified
+  merge exposes as ``extras["certificate_threshold"]``, paired with the
+  entry's id so exact ties stay decidable): a touched non-member whose
+  new ``(-score, id)`` key falls beyond it cannot enter the top-k, a
+  removed non-member cannot either, and a member whose aggregate is
+  unchanged cannot move.  An answer the merge marked as underfull
+  (``certificate_threshold`` present but ``None``: fewer than k items
+  existed) carries no boundary at all and always misses.
+* ``patched`` — at most ``patch_limit`` touched objects could affect
+  the answer, and the repair is provably exact: the touched objects are
+  re-scored against the current snapshot (``lookup_many``) and merged
+  back into the cached pool.  The patch is kept only if the pool's new
+  k-th key still dominates the old certificate — every *untouched*
+  outsider was beyond the old boundary, so it stays beyond the new one.
+* ``miss`` — a certificate-breaking delta (a cached member deleted, the
+  patched boundary weakening past the old one, too many touched
+  objects, or a log window the :class:`MutationLog` cannot prove it
+  covers).  The entry is dropped and the query recomputes.
+
+Entries are additionally indexed *by epoch*, so dropping everything
+below the log's retention floor (entries that could never revalidate
+again) costs O(dropped), not a scan of the table —
+:meth:`ResultCache.drop_expired`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.dynamic.mutation_log import MutationLog
 
 # Canonical query/scoring identities live in the execution core so the
 # shard workers, context caches and this result cache agree on them;
@@ -29,6 +61,32 @@ from repro.exec.keys import (  # noqa: F401
     normalized_query_key,
     scoring_key,
 )
+from repro.exec.merge import entry_key
+from repro.service.sharding import MERGE_EXACT_ALGORITHMS
+from repro.types import ItemId, Score, ScoredItem, TopKResult
+
+#: A lookup's classification, in decreasing order of luck.
+CACHE_OUTCOMES = ("hit", "revalidated", "patched", "miss")
+
+#: Algorithms whose returned scores are exact overall aggregates — the
+#: precondition of the delta certificate.  NRA reports lower *bounds*
+#: (and may order/score ties differently from the exact aggregates), so
+#: comparing logged exact aggregates against its cached scores — or
+#: re-merging them into its pool — would change the served answer, not
+#: just its latency; NRA entries therefore expire whole-epoch.  This is
+#: the same precondition as the shard merge's
+#: :data:`repro.service.sharding.MERGE_EXACT_ALGORITHMS` (derived from
+#: it, one source of truth), widened with the distributed drivers
+#: (which run the exact unified TA/BPA/BPA2).
+EXACT_SCORE_ALGORITHMS = MERGE_EXACT_ALGORITHMS | frozenset(
+    {"dist-ta", "dist-bpa", "dist-bpa2"}
+)
+
+#: ``rescore(items) -> {item: per-list local scores, or None if absent}``
+#: against the *current* snapshot — the patch path's data source.
+RescoreFn = Callable[
+    [Sequence[ItemId]], Mapping[ItemId, tuple[Score, ...] | None]
+]
 
 
 @dataclass
@@ -39,33 +97,88 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+    revalidated: int = 0  #: delta-proven harmless, entry re-stamped in place
+    patched: int = 0  #: repaired by re-scoring <= patch_limit touched items
+
+    @property
+    def reuses(self) -> int:
+        """Lookups answered without re-execution (any non-miss outcome)."""
+        return self.hits + self.revalidated + self.patched
 
     @property
     def lookups(self) -> int:
-        """Total number of ``get`` calls."""
-        return self.hits + self.misses
+        """Total number of ``get``/``lookup`` calls."""
+        return self.reuses + self.misses
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache (0.0 when idle)."""
-        return self.hits / self.lookups if self.lookups else 0.0
+        return self.reuses / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CacheLookup:
+    """One lookup's verdict: the served value (or ``None``) and how."""
+
+    value: object | None
+    outcome: str  #: one of :data:`CACHE_OUTCOMES`
 
 
 class ResultCache:
-    """A bounded LRU cache whose entries expire when the epoch moves.
+    """A bounded LRU cache with delta-aware epoch expiry.
 
     Args:
         maxsize: maximum number of retained entries (>= 1).
+        log: the service's :class:`repro.dynamic.MutationLog`; without
+            one every epoch change is a plain (whole-epoch) miss.
+        patch_limit: largest number of touched objects a patch may
+            re-score — bigger deltas fall through to recomputation.
+
+    **Delta-path precondition.**  A :class:`TopKResult` is only
+    delta-validated when its scores are exact aggregates of a *full*
+    top-k answer: the algorithm must be in
+    :data:`EXACT_SCORE_ALGORITHMS`, and an answer the certified merge
+    marked underfull (``extras["certificate_threshold"] is None``)
+    always misses.  Callers caching results that bypass the merge must
+    not cache underfull answers (:class:`repro.service.QueryService`
+    guards its ``put`` accordingly) — the delta path treats the last
+    cached entry as an exclusion boundary, which an underfull answer
+    does not have.
     """
 
-    __slots__ = ("_maxsize", "_entries", "stats")
+    __slots__ = (
+        "_maxsize",
+        "_entries",
+        "_by_epoch",
+        "_min_bucket",
+        "_log",
+        "_patch_limit",
+        "stats",
+    )
 
-    def __init__(self, maxsize: int = 1024) -> None:
+    def __init__(
+        self,
+        maxsize: int = 1024,
+        *,
+        log: MutationLog | None = None,
+        patch_limit: int = 8,
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        if patch_limit < 0:
+            raise ValueError(f"patch_limit must be >= 0, got {patch_limit}")
         self._maxsize = maxsize
         #: key -> (epoch, value); insertion order is recency order.
         self._entries: OrderedDict[tuple, tuple[int, object]] = OrderedDict()
+        #: epoch -> keys cached under it (kept exactly in sync with
+        #: ``_entries`` so expiry never scans the whole table).
+        self._by_epoch: dict[int, set[tuple]] = {}
+        #: conservative lower bound on the oldest bucket epoch (never
+        #: *above* the true minimum), letting :meth:`drop_expired`
+        #: answer its common no-op case in O(1).
+        self._min_bucket: int | None = None
+        self._log = log
+        self._patch_limit = patch_limit
         self.stats = CacheStats()
 
     @property
@@ -73,47 +186,275 @@ class ResultCache:
         """Capacity in entries."""
         return self._maxsize
 
+    @property
+    def log(self) -> MutationLog | None:
+        """The attached mutation log (``None`` = whole-epoch expiry)."""
+        return self._log
+
+    @property
+    def patch_limit(self) -> int:
+        """Largest touched-object count a patch may repair."""
+        return self._patch_limit
+
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
-    def get(self, key: tuple, epoch: int):
-        """The cached value, or ``None`` on a miss or a stale epoch.
+    # ------------------------------------------------------------------
+    # Epoch index bookkeeping
+    # ------------------------------------------------------------------
 
-        An entry written under an older epoch is dropped on sight — the
-        data it was computed from no longer exists.
+    def _index_add(self, key: tuple, epoch: int) -> None:
+        self._by_epoch.setdefault(epoch, set()).add(key)
+        if self._min_bucket is None or epoch < self._min_bucket:
+            self._min_bucket = epoch
+
+    def _index_discard(self, key: tuple, epoch: int) -> None:
+        bucket = self._by_epoch.get(epoch)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_epoch[epoch]
+
+    def _drop(self, key: tuple, epoch: int) -> None:
+        del self._entries[key]
+        self._index_discard(key, epoch)
+
+    def drop_expired(self, min_epoch: int) -> int:
+        """Drop every entry cached below ``min_epoch``; returns the count.
+
+        Entries below the mutation log's retention floor can never be
+        revalidated or patched again — the log cannot enumerate their
+        delta — so the service expires them eagerly whenever the floor
+        advances.  The no-op case (nothing old enough, i.e. every
+        mutation once the cache is warm) is O(1) via the ``_min_bucket``
+        bound; an actual purge costs O(dropped + live epoch buckets),
+        independent of how many entries the cache holds (the unit
+        benchmark guard in ``tests/unit/test_service_cache.py`` checks
+        that).
+        """
+        if self._min_bucket is None or self._min_bucket >= min_epoch:
+            return 0
+        stale = [epoch for epoch in self._by_epoch if epoch < min_epoch]
+        dropped = 0
+        for epoch in stale:
+            for key in self._by_epoch.pop(epoch):
+                del self._entries[key]
+                dropped += 1
+        # The bound is exact again after a purge; lookups/evictions may
+        # let it drift low afterwards, which only costs (at most) one
+        # redundant bucket scan on the next purge, never correctness.
+        self._min_bucket = min(self._by_epoch, default=None)
+        self.stats.invalidations += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple, epoch: int):
+        """The cached value, or ``None`` (legacy whole-epoch interface)."""
+        return self.lookup(key, epoch).value
+
+    def lookup(
+        self,
+        key: tuple,
+        epoch: int,
+        *,
+        scoring: Callable[[Sequence[Score]], Score] | None = None,
+        rescore: RescoreFn | None = None,
+    ) -> CacheLookup:
+        """Classify one lookup: hit, revalidated, patched, or miss.
+
+        ``scoring`` and ``rescore`` enable the delta path; without them
+        (or without an attached log) any epoch change is a miss, exactly
+        the pre-delta behavior.
         """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
-            return None
+            return CacheLookup(None, "miss")
         entry_epoch, value = entry
-        if entry_epoch != epoch:
-            del self._entries[key]
-            self.stats.invalidations += 1
+        if entry_epoch == epoch:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return CacheLookup(value, "hit")
+        if entry_epoch > epoch:
+            # A lookup from *behind* the entry (e.g. a deferred-snapshot
+            # query) cannot use it, but the entry itself is still the
+            # freshest answer — leave it alone.
             self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+            return CacheLookup(None, "miss")
+
+        outcome, served = self._delta_outcome(
+            value, entry_epoch, epoch, scoring, rescore
+        )
+        if outcome == "revalidated":
+            self._index_discard(key, entry_epoch)
+            self._index_add(key, epoch)
+            self._entries[key] = (epoch, value)
+            self._entries.move_to_end(key)
+            self.stats.revalidated += 1
+            return CacheLookup(value, "revalidated")
+        if outcome == "patched":
+            self._index_discard(key, entry_epoch)
+            self._index_add(key, epoch)
+            self._entries[key] = (epoch, served)
+            self._entries.move_to_end(key)
+            self.stats.patched += 1
+            return CacheLookup(served, "patched")
+        # The entry written under an older epoch could not be proven
+        # current — drop it on sight, as whole-epoch expiry always did.
+        self._drop(key, entry_epoch)
+        self.stats.invalidations += 1
+        self.stats.misses += 1
+        return CacheLookup(None, "miss")
 
     def put(self, key: tuple, value: object, epoch: int) -> None:
         """Insert (or refresh) an entry under the given epoch."""
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._index_discard(key, previous[0])
         self._entries[key] = (epoch, value)
         self._entries.move_to_end(key)
+        self._index_add(key, epoch)
         while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
+            evicted_key, (evicted_epoch, _) = self._entries.popitem(last=False)
+            self._index_discard(evicted_key, evicted_epoch)
             self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (stats are preserved)."""
         self._entries.clear()
+        self._by_epoch.clear()
+        self._min_bucket = None
 
     def keys(self) -> Sequence[tuple]:
         """Current keys, least-recently used first (for introspection)."""
         return tuple(self._entries)
+
+    def entry_epoch(self, key: tuple) -> int | None:
+        """The epoch a key is cached under (``None`` when absent)."""
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # The delta certificate
+    # ------------------------------------------------------------------
+
+    def _delta_outcome(
+        self,
+        value: object,
+        entry_epoch: int,
+        epoch: int,
+        scoring: Callable[[Sequence[Score]], Score] | None,
+        rescore: RescoreFn | None,
+    ) -> tuple[str, object | None]:
+        """Classify an out-of-epoch entry against the logged delta."""
+        if (
+            self._log is None
+            or scoring is None
+            or not isinstance(value, TopKResult)
+            or not value.items
+        ):
+            return "miss", None
+        if value.algorithm not in EXACT_SCORE_ALGORITHMS:
+            # The certificate compares logged exact aggregates against
+            # the cached scores, so it is only sound when those scores
+            # *are* exact aggregates — NRA's are lower bounds; unknown
+            # algorithms get the safe treatment (whole-epoch expiry).
+            return "miss", None
+        if value.extras.get("certificate_threshold", False) is None:
+            # The certified merge explicitly marked this answer as
+            # underfull (fewer than k items existed): its last entry is
+            # not an exclusion boundary, so nothing can be proven.
+            return "miss", None
+        events = self._log.events_between(entry_epoch, epoch)
+        if events is None:
+            # Truncated or poisoned window: the log cannot enumerate
+            # what changed, so the only safe answer is a recomputation.
+            return "miss", None
+
+        members = {item.item: item for item in value.items}
+        boundary = entry_key(value.items[-1])
+
+        # Fold the window to each touched item's *final* state — only
+        # the end state matters, the served answer must equal a fresh
+        # run against the current snapshot.
+        final: dict[ItemId, tuple[Score, ...] | None] = {}
+        for event in events:
+            final[event.item] = event.new_scores
+        to_rescore: list[ItemId] = []
+        for item, scores in final.items():
+            cached = members.get(item)
+            if scores is None:  # the item no longer exists
+                if cached is not None:
+                    # A deleted member leaves a hole the log cannot
+                    # fill: the replacement is some unlogged outsider.
+                    return "miss", None
+                continue  # a deleted non-member can hardly enter
+            aggregate = scoring(list(scores))
+            if cached is not None:
+                if aggregate == cached.score:
+                    continue  # unchanged member cannot move
+                to_rescore.append(item)
+            elif (-aggregate, item) > boundary:
+                continue  # beyond the certificate: cannot enter the top-k
+            else:
+                to_rescore.append(item)
+
+        if not to_rescore:
+            return "revalidated", value
+        if rescore is None or len(to_rescore) > self._patch_limit:
+            return "miss", None
+        patched = self._patch(value, to_rescore, boundary, scoring, rescore)
+        if patched is None:
+            return "miss", None
+        return "patched", patched
+
+    @staticmethod
+    def _patch(
+        value: TopKResult,
+        touched: Sequence[ItemId],
+        boundary: tuple[float, int],
+        scoring: Callable[[Sequence[Score]], Score],
+        rescore: RescoreFn,
+    ) -> TopKResult | None:
+        """Re-score the touched items and re-merge; ``None`` = unsafe."""
+        fresh = rescore(tuple(touched))
+        touched_set = set(touched)
+        pool: list[ScoredItem] = [
+            item for item in value.items if item.item not in touched_set
+        ]
+        for item in touched:
+            scores = fresh.get(item)
+            if scores is None:
+                # The snapshot disagrees with the folded log (the item
+                # vanished) — never serve a guess.
+                return None  # pragma: no cover - defensive, log-covered
+            pool.append(ScoredItem(item=item, score=scoring(list(scores))))
+        pool.sort(key=entry_key)
+        k_fetch = len(value.items)
+        if len(pool) < k_fetch:  # pragma: no cover - member removals miss earlier
+            return None
+        merged = tuple(pool[:k_fetch])
+        if entry_key(merged[-1]) > boundary:
+            # The pool weakened past the old certificate: an untouched,
+            # unlogged outsider between the two boundaries could now
+            # deserve a slot.  Recompute.
+            return None
+        return replace(
+            value,
+            items=merged,
+            extras={
+                **value.extras,
+                "certificate_threshold": merged[-1].score,
+                "patched_items": len(touched)
+                + value.extras.get("patched_items", 0),
+            },
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -90,6 +90,15 @@ class ServicePolicy:
         block_width: sorted/direct block width for networked queries
             (``1`` = the classic per-entry round structure; wider blocks
             run the ``*-block`` round planners).
+        delta_log_depth: how many mutations the service's
+            :class:`repro.dynamic.MutationLog` retains for delta-aware
+            cache reuse.  Cache entries older than the log's retention
+            window degrade to plain misses (never to stale serves);
+            ``0`` disables the log entirely — every epoch change is a
+            whole-epoch miss, the pre-delta behavior.
+        delta_patch_limit: largest number of touched objects the cache
+            may re-score (``lookup_many``) to *patch* an entry in
+            place; deltas touching more fall through to recomputation.
     """
 
     allow_random: bool = True
@@ -98,6 +107,8 @@ class ServicePolicy:
     transport: str = "auto"  #: ``"auto"`` | ``"local"`` | ``"network"``
     wire_protocol: str = "auto"
     block_width: int = 1
+    delta_log_depth: int = 256
+    delta_patch_limit: int = 8
 
     def __post_init__(self) -> None:
         # Validated here, not at first use: a typo'd transport would
@@ -116,6 +127,14 @@ class ServicePolicy:
         if self.block_width < 1:
             raise ValueError(
                 f"block_width must be >= 1, got {self.block_width}"
+            )
+        if self.delta_log_depth < 0:
+            raise ValueError(
+                f"delta_log_depth must be >= 0, got {self.delta_log_depth}"
+            )
+        if self.delta_patch_limit < 0:
+            raise ValueError(
+                f"delta_patch_limit must be >= 0, got {self.delta_patch_limit}"
             )
 
 

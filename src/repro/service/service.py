@@ -12,10 +12,17 @@ access tallies the execution performed, and the wall-clock latency.
 
 **Serving over mutable data.**  A service built from a
 :class:`repro.dynamic.DynamicDatabase` subscribes to its mutation
-stream: every update bumps the service *epoch*, which lazily invalidates
-cached results (see :mod:`repro.service.cache`), and the columnar
-snapshot plus shard partitions are rebuilt on the next query — mutations
-stay O(1), queries pay the refresh only when data actually changed.
+stream: every update bumps the service *epoch* and is recorded in a
+bounded :class:`repro.dynamic.MutationLog`, and the columnar snapshot
+plus shard partitions are rebuilt on the next query — a mutation costs
+one O(m log n) score capture (the post-state of a single-list change
+is derived from the pre-state) plus an O(1) log append, never a cache
+scan, and queries pay the snapshot refresh only when data actually
+changed.  Cached results are *not* dropped wholesale: on lookup the
+cache consults the log and serves entries whose certificate proves the
+delta harmless (``revalidated``) or repairable by re-scoring a handful
+of touched items (``patched``); see :mod:`repro.service.cache`.  Every
+answer's :class:`ServiceStats` names its ``cache_outcome``.
 """
 
 from __future__ import annotations
@@ -24,11 +31,13 @@ import asyncio
 import time
 import weakref
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.bench.batch import QuerySpec
 from repro.columnar import ColumnarDatabase
-from repro.dynamic import DynamicDatabase
+from repro.dynamic import DynamicDatabase, MutationLog
 from repro.lists.database import Database
 from repro.lists.sorted_list import SortedList
 from repro.service.cache import ResultCache, normalized_query_key
@@ -60,6 +69,11 @@ class ServiceStats:
     #: executing (0: not admitted through a controller — serial submits,
     #: cache hits, coalesced waits and fixed-semaphore replays)
     concurrency_window: int = 0
+    #: how the result cache answered: ``"hit"`` (same epoch),
+    #: ``"revalidated"`` (delta proven harmless), ``"patched"`` (touched
+    #: items re-scored and re-merged), or ``"miss"`` (executed fresh;
+    #: coalesced reuses of an in-flight execution also report ``"hit"``).
+    cache_outcome: str = "miss"
 
 
 class AdaptiveConcurrency:
@@ -204,10 +218,15 @@ class ServiceCounters:
     """Aggregate counters over a service's lifetime."""
 
     queries: int = 0
-    cache_hits: int = 0  #: cache reads plus coalesced in-flight reuses
+    cache_hits: int = 0  #: cache reuses of any kind plus coalesced reuses
     executions: int = 0
     snapshot_refreshes: int = 0
     coalesced: int = 0  #: async submits that joined an in-flight execution
+    revalidated: int = 0  #: cache entries delta-proven current in place
+    patched: int = 0  #: cache entries repaired by re-scoring touched items
+    #: queries answered with the canonical empty result because every
+    #: item had been removed — neither a cache reuse nor an execution.
+    empty_serves: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -265,13 +284,22 @@ class QueryService:
             raise ValueError(
                 f"shards must be a positive int or 'auto', got {shards!r}"
             )
+        knobs = policy if policy is not None else ServicePolicy()
         self._source: DynamicDatabase | None = None
         self._unsubscribe = None
+        #: per-epoch mutation record enabling partial cache reuse; only
+        #: a dynamic source produces deltas worth logging.
+        self._log: MutationLog | None = None
         if isinstance(database, DynamicDatabase):
             self._source = database
+            if cache_size > 0 and knobs.delta_log_depth > 0:
+                self._log = MutationLog(knobs.delta_log_depth)
             # Subscribe through a weakref so an un-closed service is not
             # kept alive (pools and all) by the database's subscriber
-            # list; a dead service's callback is simply a no-op.
+            # list; a dead service's callback is simply a no-op.  Score
+            # vectors are requested only when a delta log consumes them
+            # — a log-less service just counts epochs, and its mutations
+            # keep the bare O(log n) cost.
             self_ref = weakref.ref(self)
 
             def _forward(event, _ref=self_ref):
@@ -279,7 +307,9 @@ class QueryService:
                 if service is not None:
                     service._on_mutation(event)
 
-            self._unsubscribe = database.subscribe(_forward)
+            self._unsubscribe = database.subscribe(
+                _forward, with_scores=self._log is not None
+            )
             database = _snapshot_dynamic(database)
         self._shards_requested = shards
         self._pool = pool
@@ -287,10 +317,20 @@ class QueryService:
         self._cost_model = cost_model
         self._epoch = 0
         #: the epoch the current snapshot was built at (== ``_epoch``
-        #: except while a rebuild is pending or deferred).
+        #: except while a rebuild is pending or deferred).  Cache
+        #: entries are always keyed to it: it names the data an
+        #: execution actually read, even when ``_epoch`` moves mid-query.
         self._snapshot_epoch = 0
         self._dirty = False
-        self._cache = ResultCache(cache_size) if cache_size > 0 else None
+        self._cache = (
+            ResultCache(
+                cache_size,
+                log=self._log,
+                patch_limit=knobs.delta_patch_limit,
+            )
+            if cache_size > 0
+            else None
+        )
         self.counters = ServiceCounters()
         self._executor: ShardExecutor | None = None
         self._planner: QueryPlanner | None = None
@@ -365,6 +405,11 @@ class QueryService:
         return self._cache
 
     @property
+    def mutation_log(self) -> MutationLog | None:
+        """The delta log backing partial cache reuse (``None`` when off)."""
+        return self._log
+
+    @property
     def planner(self) -> QueryPlanner:
         """The active planner (rebuilt with each snapshot)."""
         return self._planner
@@ -378,12 +423,23 @@ class QueryService:
     # Epoch management
     # ------------------------------------------------------------------
 
-    def _on_mutation(self, _event) -> None:
+    def _on_mutation(self, event) -> None:
         self._epoch += 1
         self._dirty = True
+        if self._log is not None:
+            self._log.record(self._epoch, event)
+            if self._cache is not None:
+                # Entries that fell below the log's retention floor can
+                # never be delta-validated again — expire them eagerly
+                # (O(dropped), thanks to the cache's epoch index).
+                self._cache.drop_expired(self._log.floor)
 
     def invalidate(self) -> None:
         """Manually bump the epoch: every cached result becomes stale.
+
+        The bump carries no mutation record, so the delta log (when
+        present) is poisoned up to the new epoch — older entries *miss*
+        rather than revalidate against a window the log cannot prove.
 
         Note this drops *results*, not data — a service over a static
         database keeps serving the snapshot taken at construction (the
@@ -393,8 +449,19 @@ class QueryService:
         and mark the snapshot for rebuild.
         """
         self._epoch += 1
+        if self._log is not None:
+            self._log.poison(self._epoch)
+            if self._cache is not None:
+                # Everything below the poisoned floor is permanently
+                # dead (it can never revalidate); reclaim it now rather
+                # than pinning it until lookup or eviction.
+                self._cache.drop_expired(self._log.floor)
         if self._source is not None:
             self._dirty = True
+        else:
+            # Nothing to rebuild: the snapshot *is* current, and keying
+            # future results to the new epoch is what expires old ones.
+            self._snapshot_epoch = self._epoch
 
     # ------------------------------------------------------------------
     # Query path
@@ -425,6 +492,30 @@ class QueryService:
             plan.algorithm, spec.options, plan.k_fetch, spec.scoring
         )
 
+    def _rescore(
+        self, items: Sequence[ItemId]
+    ) -> Mapping[ItemId, tuple[Score, ...] | None]:
+        """Current per-list local scores of ``items`` (``None`` = absent).
+
+        Batched random access (``lookup_many``) against the live
+        snapshot — the cache's patch path re-scores the few touched
+        objects through this instead of re-running the query.
+        """
+        database = self._executor.database
+        known = database.item_ids
+        present = [item for item in items if item in known]
+        scores: dict[ItemId, tuple[Score, ...] | None] = {
+            item: None for item in items
+        }
+        if present:
+            wanted = np.asarray(present, dtype=np.int64)
+            columns = [lst.lookup_many(wanted)[0] for lst in database.lists]
+            for row, item in enumerate(present):
+                scores[item] = tuple(
+                    float(column[row]) for column in columns
+                )
+        return scores
+
     def _package(
         self,
         plan: PlanDecision,
@@ -432,12 +523,12 @@ class QueryService:
         started: float,
         epoch: int,
         *,
-        cache_hit: bool,
+        outcome: str,
         coalesced: bool = False,
         window: int = 0,
     ) -> ServiceResult:
         served = self._truncate(full, plan)
-        reused = cache_hit or coalesced
+        reused = outcome != "miss" or coalesced
         stats = ServiceStats(
             plan=plan,
             cache_hit=reused,
@@ -448,11 +539,14 @@ class QueryService:
             planned_shards=self.shards,
             coalesced=coalesced,
             concurrency_window=window,
+            cache_outcome="hit" if coalesced else outcome,
         )
         self.counters.queries += 1
         self.counters.cache_hits += reused
         self.counters.executions += not reused
         self.counters.coalesced += coalesced
+        self.counters.revalidated += outcome == "revalidated"
+        self.counters.patched += outcome == "patched"
         return ServiceResult(result=served, stats=stats)
 
     def submit(self, spec: QuerySpec) -> ServiceResult:
@@ -479,29 +573,35 @@ class QueryService:
             # was valid; the data is just gone for now).
             return self._serve_empty(spec, started)
 
-        # The epoch the execution reads from: a mutation landing while
-        # the query is in flight bumps ``self._epoch``, and caching the
-        # stale result under the *new* epoch would serve pre-mutation
-        # answers forever.  Captured here, the entry stays keyed to the
-        # snapshot it was computed from and is dropped on the next get.
-        # A deferred rebuild serves data whose epoch already passed, so
-        # the cache is bypassed entirely for that query.
-        epoch = self._snapshot_epoch if deferred else self._epoch
+        # Cache entries are keyed to the *snapshot* epoch — the data the
+        # execution actually reads.  A mutation landing mid-query bumps
+        # ``self._epoch`` but not the snapshot, so the entry stays
+        # honest: the next lookup sees the gap and delta-validates (or
+        # misses) through the mutation log instead of serving stale data
+        # as fresh.  A deferred rebuild serves data whose epoch already
+        # passed, so the cache is bypassed entirely for that query.
+        epoch = self._snapshot_epoch
         caching = self._cache is not None and not deferred
         plan = self._planner.plan(spec, cache_enabled=caching)
-        cache_hit = False
+        outcome = "miss"
         full: TopKResult | None = None
         if caching:
             key = normalized_query_key(
                 plan.algorithm, plan.k_fetch, spec.scoring, spec.options
             )
-            full = self._cache.get(key, epoch)
-            cache_hit = full is not None
+            looked = self._cache.lookup(
+                key, epoch, scoring=spec.scoring, rescore=self._rescore
+            )
+            full, outcome = looked.value, looked.outcome
         if full is None:
             full = self._execute_plan(plan, spec)
-            if caching:
+            # An underfull answer (fewer items than planned — impossible
+            # today, the planner clamps k to n, but cheap to guard) has
+            # no exclusion boundary for the delta certificate: never
+            # cache one.
+            if caching and len(full.items) == plan.k_fetch:
                 self._cache.put(key, full, epoch)
-        return self._package(plan, full, started, epoch, cache_hit=cache_hit)
+        return self._package(plan, full, started, epoch, outcome=outcome)
 
     def submit_many(self, specs: Sequence[QuerySpec]) -> list[ServiceResult]:
         """Answer a batch of queries in order (empty batch -> empty list)."""
@@ -559,18 +659,25 @@ class QueryService:
         key = normalized_query_key(
             plan.algorithm, plan.k_fetch, spec.scoring, spec.options
         )
-        # Capture the epoch the execution reads from *before* it starts:
-        # a mutation mid-flight bumps ``self._epoch``, and caching the
-        # stale result under the new epoch would serve pre-mutation
-        # answers as fresh hits indefinitely.  Keyed to this epoch, the
-        # entry is dropped on the first post-mutation lookup.
-        epoch = self._epoch
+        # The execution reads the current snapshot, so its result — and
+        # any cache entry holding it — is keyed to the *snapshot* epoch.
+        # A mutation landing mid-flight bumps ``self._epoch`` but not
+        # the snapshot; the entry stays keyed to the data it was
+        # computed from, and the next lookup delta-validates (or
+        # misses) across the gap through the mutation log.
+        epoch = self._snapshot_epoch
         if caching:
             while True:
-                full = self._cache.get(key, epoch)
-                if full is not None:
+                looked = self._cache.lookup(
+                    key, epoch, scoring=spec.scoring, rescore=self._rescore
+                )
+                if looked.value is not None:
                     return self._package(
-                        plan, full, started, epoch, cache_hit=True
+                        plan,
+                        looked.value,
+                        started,
+                        epoch,
+                        outcome=looked.outcome,
                     )
                 pending = self._inflight.get(key)
                 if pending is None:
@@ -593,7 +700,7 @@ class QueryService:
                         raise
                     continue
                 return self._package(
-                    plan, full, started, epoch, cache_hit=False, coalesced=True
+                    plan, full, started, epoch, outcome="miss", coalesced=True
                 )
 
         future: asyncio.Future = asyncio.get_running_loop().create_future()
@@ -631,10 +738,11 @@ class QueryService:
                 self._inflight.pop(key, None)
             self._running.discard(future)
         future.set_result(full)
-        if caching:
+        # Underfull answers carry no certificate boundary; see submit().
+        if caching and len(full.items) == plan.k_fetch:
             self._cache.put(key, full, epoch)
         return self._package(
-            plan, full, started, epoch, cache_hit=False, window=window
+            plan, full, started, epoch, outcome="miss", window=window
         )
 
     async def gather_many(
@@ -713,6 +821,7 @@ class QueryService:
             seconds=time.perf_counter() - started,
         )
         self.counters.queries += 1
+        self.counters.empty_serves += 1
         return ServiceResult(result=result, stats=stats)
 
     @staticmethod

@@ -13,6 +13,18 @@ summary (written under ``reports/service_*.json`` by the
 unsharded-vs-sharded x cold-vs-warm grid behind
 ``reports/service_speedup.json`` and cross-checks that every cached or
 sharded answer is identical to the cache-off replay.
+
+**Mutation replay** (``serve-workload --mutation-rate R``): the same
+Zipf-popular query stream interleaved with a seeded stream of random
+``update``/``insert``/``remove`` mutations against a live
+:class:`repro.dynamic.DynamicDatabase` — the workload the delta-aware
+result cache exists for.  ``--verify`` cross-checks every served answer
+(hit, revalidated, patched or fresh) against a brute-force ranking of
+the database's *current* state, bit for bit.
+:func:`mutation_contrast` replays the identical mutation-heavy stream
+under the delta-aware cache and under the legacy whole-epoch scheme
+(``delta_log_depth=0``) and backs the ``mutation_workload`` section of
+``reports/service_speedup.json``.
 """
 
 from __future__ import annotations
@@ -26,8 +38,12 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.algorithms.naive import brute_force_topk
 from repro.bench.batch import QuerySpec
 from repro.datagen.base import make_generator
+from repro.dynamic import DynamicDatabase, DynamicSortedList
+from repro.service.cache import CACHE_OUTCOMES
+from repro.service.planner import ServicePolicy
 from repro.service.service import QueryService, ServiceResult
 from repro.types import AccessTally
 
@@ -124,6 +140,7 @@ def _summarize(
     tally = AccessTally()
     plan_mix: dict[str, int] = {}
     backend_mix: dict[str, int] = {}
+    outcome_mix = {outcome: 0 for outcome in CACHE_OUTCOMES}
     hits = 0
     latencies = sorted(r.stats.seconds for r in results) or [0.0]
     max_fanout = 1
@@ -131,6 +148,7 @@ def _summarize(
         stats = served.stats
         tally = tally + stats.tally
         hits += stats.cache_hit
+        outcome_mix[stats.cache_outcome] += 1
         plan_mix[stats.plan.algorithm] = plan_mix.get(stats.plan.algorithm, 0) + 1
         backend_mix[stats.plan.backend] = (
             backend_mix.get(stats.plan.backend, 0) + 1
@@ -147,6 +165,7 @@ def _summarize(
         "queries_per_second": len(results) / seconds if seconds > 0 else 0.0,
         "cache_hits": hits,
         "cache_hit_rate": hits / len(results) if results else 0.0,
+        "cache_outcomes": outcome_mix,
         "plan_mix": plan_mix,
         "backend_mix": backend_mix,
         "shards": service.shards,
@@ -169,12 +188,259 @@ def _served_answers(results: Sequence[ServiceResult]) -> list[tuple]:
     return [(r.item_ids, r.scores) for r in results]
 
 
+# ----------------------------------------------------------------------
+# Mutation replay
+# ----------------------------------------------------------------------
+
+
+def dynamic_from(database) -> DynamicDatabase:
+    """A mutable copy of a static database (same items, same scores)."""
+    return DynamicDatabase(
+        [
+            DynamicSortedList(zip(lst.items(), lst.scores()), name=lst.name)
+            for lst in database.lists
+        ]
+    )
+
+
+def fresh_topk(
+    source: DynamicDatabase, k: int, scoring
+) -> tuple[tuple, tuple]:
+    """Brute-force oracle: the exact ranked top-k of the *current* state.
+
+    Delegates to the library's one true oracle
+    (:func:`repro.algorithms.naive.brute_force_topk`, which aggregates
+    with the very same scoring callable the engine uses), so a correct
+    serve matches bit for bit — items, scores, tie-breaks.
+    """
+    ranked = brute_force_topk(source, k, scoring)
+    return (
+        tuple(entry.item for entry in ranked),
+        tuple(entry.score for entry in ranked),
+    )
+
+
+def answers_match(
+    served_ids, served_scores, source: DynamicDatabase, k: int, scoring
+) -> bool:
+    """Whether a served answer is an exact ranked top-k of current data.
+
+    The served *score* sequence must be bit-identical to the oracle's
+    (same floats, same descending order), and every served item must
+    honestly carry its own current aggregate.  Item *identity* within
+    an equal-score tie group is deliberately not pinned: the library's
+    equivalence contract (see :meth:`repro.types.TopKResult.same_scores`)
+    lets algorithms resolve boundary ties differently — all correctly —
+    and which tied item an engine run includes can shift with unrelated
+    data changes, so a cache serving either tied answer is exact.
+    Wherever scores are untied this degenerates to ids being identical.
+    """
+    expected_ids, expected_scores = fresh_topk(source, k, scoring)
+    if tuple(served_scores) != expected_scores:
+        return False
+    if tuple(served_ids) == expected_ids:
+        return True
+    if len(set(served_ids)) != len(served_ids):
+        return False
+    for item, score in zip(served_ids, served_scores):
+        try:
+            local = source.local_scores(item)
+        except Exception:
+            return False  # served an item that no longer exists
+        if scoring(list(local)) != score:
+            return False
+    return True
+
+
+class WorkloadMutator:
+    """A seeded stream of random mutations against a dynamic database.
+
+    Kinds are drawn ~70% score updates, ~15% inserts, ~15% removals
+    (removals pause while the database is small so the workload's k
+    range stays meaningful); scores are drawn uniformly from the initial
+    data's observed score range.  The stream depends only on the seed,
+    so two services replaying the same workload see byte-identical
+    mutation sequences.
+    """
+
+    def __init__(self, source: DynamicDatabase, rng: np.random.Generator) -> None:
+        self._source = source
+        self._rng = rng
+        self._ids = sorted(source.item_ids)
+        self._next_id = (self._ids[-1] + 1) if self._ids else 0
+        scores = [s for lst in source.lists for s in lst.scores()]
+        self._low = min(scores, default=0.0)
+        self._high = max(scores, default=1.0)
+        self._floor = max(4, len(self._ids) // 2)
+        self.applied = {"update_score": 0, "insert_item": 0, "remove_item": 0}
+
+    def _draw_score(self) -> float:
+        return float(self._rng.uniform(self._low, self._high))
+
+    def apply_one(self) -> str:
+        """Apply one random mutation; returns its kind."""
+        roll = float(self._rng.random())
+        if roll < 0.15:
+            item = self._next_id
+            self._next_id += 1
+            self._source.insert_item(
+                item, [self._draw_score() for _ in range(self._source.m)]
+            )
+            self._ids.append(item)
+            kind = "insert_item"
+        elif roll < 0.30 and len(self._ids) > self._floor:
+            index = int(self._rng.integers(len(self._ids)))
+            item = self._ids.pop(index)
+            self._source.remove_item(item)
+            kind = "remove_item"
+        else:
+            index = int(self._rng.integers(len(self._ids)))
+            self._source.update_score(
+                int(self._rng.integers(self._source.m)),
+                self._ids[index],
+                self._draw_score(),
+            )
+            kind = "update_score"
+        self.applied[kind] += 1
+        return kind
+
+
+def replay_with_mutations(
+    service: QueryService,
+    workload: Sequence[QuerySpec],
+    source: DynamicDatabase,
+    *,
+    mutation_rate: float,
+    seed: int,
+    verify: bool = False,
+) -> tuple[dict, list[ServiceResult]]:
+    """Replay a workload with mutations interleaved between queries.
+
+    Before each query a mutation is applied with probability
+    ``mutation_rate`` (rates above 1 apply ``floor(rate)`` mutations
+    plus a fractional chance of one more).  With ``verify`` every served
+    answer — whatever its cache outcome — is checked for exactness
+    against the brute-force oracle on the database's current state
+    (:func:`answers_match`: bit-identical ranked scores, honest
+    per-item aggregates); the summary's ``verified_identical`` records
+    the verdict.  Verification runs outside the timed path.
+    """
+    if mutation_rate < 0:
+        raise ValueError(f"mutation rate must be >= 0, got {mutation_rate}")
+    rng = np.random.default_rng(seed + 2)
+    mutator = WorkloadMutator(source, rng)
+    results: list[ServiceResult] = []
+    seconds = 0.0
+    mismatches = 0
+    for spec in workload:
+        count = int(mutation_rate)
+        if float(rng.random()) < mutation_rate - count:
+            count += 1
+        for _ in range(count):
+            mutator.apply_one()
+        started = time.perf_counter()
+        served = service.submit(spec)
+        seconds += time.perf_counter() - started
+        results.append(served)
+        if verify:
+            if not answers_match(
+                served.item_ids, served.scores, source, spec.k, spec.scoring
+            ):
+                mismatches += 1
+    summary = _summarize(service, results, seconds)
+    outcomes = summary["cache_outcomes"]
+    reused = outcomes["hit"] + outcomes["revalidated"] + outcomes["patched"]
+    summary["mutation_rate"] = mutation_rate
+    summary["mutations"] = dict(mutator.applied)
+    summary["reuse_rate"] = reused / len(results) if results else 0.0
+    if verify:
+        summary["verified_identical"] = mismatches == 0
+        summary["verify_mismatches"] = mismatches
+    return summary, results
+
+
+def mutation_contrast(
+    *,
+    n: int = 5_000,
+    m: int = 3,
+    queries: int = 300,
+    distinct: int = 30,
+    k_max: int = 16,
+    zipf_theta: float = 1.0,
+    seed: int = 42,
+    mutation_rate: float = 1.0,
+    generator: str = "uniform",
+    verify: bool = True,
+) -> dict:
+    """Delta-aware vs whole-epoch caching under a mutation-heavy replay.
+
+    The identical query+mutation stream runs twice: once with the
+    default delta log and once with ``delta_log_depth=0`` (the legacy
+    whole-epoch scheme, where any mutation expires every entry).  Both
+    replays are oracle-verified when ``verify`` is set, so the contrast
+    is between two *correct* schemes — the delta cache just proves most
+    mutations harmless instead of recomputing.
+    """
+    config = WorkloadConfig(
+        generator=generator,
+        n=n,
+        m=m,
+        seed=seed,
+        queries=queries,
+        distinct=distinct,
+        k_max=k_max,
+        zipf_theta=zipf_theta,
+        shards=1,
+        pool="serial",
+    )
+    base = build_database(config)
+    workload = build_workload(config)
+    cells: dict[str, dict] = {}
+    for label, policy in (
+        ("delta_cache", None),
+        ("whole_epoch_cache", ServicePolicy(delta_log_depth=0)),
+    ):
+        source = dynamic_from(base)
+        with QueryService(
+            source, shards=1, pool="serial", policy=policy
+        ) as service:
+            summary, _ = replay_with_mutations(
+                service,
+                workload,
+                source,
+                mutation_rate=mutation_rate,
+                seed=seed,
+                verify=verify,
+            )
+            cache = service.cache
+            summary["cache"] = {
+                "revalidated": cache.stats.revalidated,
+                "patched": cache.stats.patched,
+                "invalidations": cache.stats.invalidations,
+                "log_truncations": (
+                    service.mutation_log.truncations
+                    if service.mutation_log is not None
+                    else None
+                ),
+            }
+        cells[label] = summary
+    delta_rate = cells["delta_cache"]["reuse_rate"]
+    legacy_rate = cells["whole_epoch_cache"]["reuse_rate"]
+    return {
+        "config": {**asdict(config), "mutation_rate": mutation_rate},
+        **cells,
+        "reuse_rate_delta_vs_whole_epoch": [delta_rate, legacy_rate],
+    }
+
+
 def run_workload(
     config: WorkloadConfig,
     *,
     include_baseline: bool = True,
     mode: str = "serial",
     concurrency: int = 8,
+    mutation_rate: float = 0.0,
+    verify: bool = False,
 ) -> dict:
     """Replay one workload configuration; returns the JSON-ready report.
 
@@ -185,11 +451,64 @@ def run_workload(
     execution path) and every answer is cross-checked for equality — a
     cache, merge or coalescing bug fails the run instead of polluting
     the numbers.
+
+    A positive ``mutation_rate`` switches to the mutation replay: the
+    database becomes a live :class:`repro.dynamic.DynamicDatabase`,
+    mutations interleave with the queries, and correctness is checked
+    per query against the brute-force oracle (``verify``) instead of
+    against a fixed baseline replay (the data a baseline would answer
+    over no longer exists by the time the replay ends).
     """
     if mode not in ("serial", "async"):
         raise ValueError(f"unknown mode {mode!r}; expected 'serial' or 'async'")
     database = build_database(config)
     workload = build_workload(config)
+
+    if mutation_rate > 0:
+        if mode != "serial":
+            raise ValueError(
+                "mutation replay is serial: interleaving a deterministic "
+                "mutation stream with concurrent submits would make the "
+                "per-query oracle ambiguous"
+            )
+        source = dynamic_from(database)
+        with QueryService(
+            source,
+            shards=config.shards,
+            pool=config.pool,
+            cache_size=config.cache_size,
+        ) as service:
+            summary, _ = replay_with_mutations(
+                service,
+                workload,
+                source,
+                mutation_rate=mutation_rate,
+                seed=config.seed,
+                verify=verify,
+            )
+            cache = service.cache
+            summary["cache"] = (
+                {
+                    "maxsize": cache.maxsize,
+                    "entries": len(cache),
+                    "hits": cache.stats.hits,
+                    "misses": cache.stats.misses,
+                    "evictions": cache.stats.evictions,
+                    "invalidations": cache.stats.invalidations,
+                    "revalidated": cache.stats.revalidated,
+                    "patched": cache.stats.patched,
+                }
+                if cache is not None
+                else None
+            )
+            pool_kind = service.pool_kind
+        return {
+            "config": asdict(config),
+            "mode": "serial+mutations",
+            "pool_resolved": pool_kind,
+            "cpu_count": os.cpu_count(),
+            "service": summary,
+        }
 
     with QueryService(
         database,
@@ -268,6 +587,11 @@ def speedup_benchmark(
     as shipped (S shards, cache on, cold start) against replaying every
     query unsharded with no cache.
 
+    The report also carries a ``mutation_workload`` section
+    (:func:`mutation_contrast`, at a reduced scale): the same replay
+    with a mutation before every query, served once by the delta-aware
+    cache and once by the whole-epoch scheme — both oracle-verified.
+
     Note: shard fan-out buys wall-clock time only where there are cores
     to fan out to; ``cpu_count`` is recorded so single-core numbers read
     as what they are.
@@ -321,11 +645,22 @@ def speedup_benchmark(
     baseline_qps = grid["unsharded"]["cache_off"]["queries_per_second"]
     cold_qps = sharded["cache_cold"]["queries_per_second"]
     warm_qps = sharded["cache_warm"]["queries_per_second"]
+    mutation = mutation_contrast(
+        n=min(n, 5_000),
+        m=m,
+        queries=min(queries, 300),
+        distinct=min(distinct, 30),
+        k_max=k_max,
+        zipf_theta=zipf_theta,
+        seed=seed,
+        generator=generator,
+    )
     return {
         "benchmark": "service_speedup",
         "config": asdict(config),
         "cpu_count": os.cpu_count(),
         "grid": grid,
+        "mutation_workload": mutation,
         "speedups": {
             f"speedup_s{shards}_service_vs_unsharded_baseline": (
                 cold_qps / baseline_qps if baseline_qps > 0 else float("inf")

@@ -138,7 +138,7 @@ class TestEpochInvalidation:
         ]
         return DynamicDatabase.from_score_rows(rows)
 
-    def test_mutation_bumps_epoch_and_drops_stale_results(self):
+    def test_mutation_bumps_epoch_and_patches_affected_results(self):
         source = self._dynamic()
         with QueryService(source, shards=2, pool="serial") as svc:
             before = svc.submit(QuerySpec("auto", k=3))
@@ -146,9 +146,50 @@ class TestEpochInvalidation:
             source.update_score(0, 11, 1_000.0)
             assert svc.epoch == 1
             after = svc.submit(QuerySpec("auto", k=3))
-            assert not after.stats.cache_hit
+            # The delta log proves the touched item is the only change:
+            # the cached answer is repaired in place, never served stale.
+            assert after.stats.cache_outcome == "patched"
             assert after.item_ids[0] == 11
             assert after.item_ids != before.item_ids
+
+    def test_nra_entries_expire_whole_epoch_and_match_fresh_runs(self):
+        # NRA reports lower-bound scores, so the delta certificate is
+        # unsound for it: after any mutation a cached NRA entry must
+        # recompute, and the recomputed serve must equal a fresh NRA
+        # run over the same data (order, scores, lower bounds and all).
+        rows = [
+            [float((7 * i) % 23) for i in range(23)],
+            [float((5 * i) % 23) for i in range(23)],
+        ]
+        source = DynamicDatabase.from_score_rows(rows)
+        fresh_source = DynamicDatabase.from_score_rows(rows)
+        with QueryService(source, shards=1, pool="serial") as svc, \
+                QueryService(
+                    fresh_source, shards=1, pool="serial", cache_size=0
+                ) as oracle:
+            svc.submit(QuerySpec("nra", k=4))
+            member = svc.submit(QuerySpec("nra", k=4)).item_ids[2]
+            for db in (source, fresh_source):
+                db.update_score(0, member, 40.0)
+            served = svc.submit(QuerySpec("nra", k=4))
+            fresh = oracle.submit(QuerySpec("nra", k=4))
+            assert served.stats.cache_outcome == "miss"
+            assert served.item_ids == fresh.item_ids
+            assert served.scores == fresh.scores
+
+    def test_whole_epoch_policy_drops_stale_results(self):
+        # delta_log_depth=0 restores the pre-delta behavior: any epoch
+        # change is a full miss and the query re-executes.
+        source = self._dynamic()
+        policy = ServicePolicy(delta_log_depth=0)
+        with QueryService(source, shards=2, pool="serial", policy=policy) as svc:
+            svc.submit(QuerySpec("auto", k=3))
+            source.update_score(0, 11, 1_000.0)
+            after = svc.submit(QuerySpec("auto", k=3))
+            assert not after.stats.cache_hit
+            assert after.stats.cache_outcome == "miss"
+            assert after.item_ids[0] == 11
+            assert svc.mutation_log is None
 
     def test_every_mutation_kind_invalidates(self):
         source = self._dynamic()
@@ -184,6 +225,20 @@ class TestEpochInvalidation:
             again = svc.submit(QuerySpec("auto", k=3))
             assert not again.stats.cache_hit
             assert svc.cache.stats.invalidations == 1
+
+    def test_manual_invalidate_reclaims_dead_entries_eagerly(self):
+        # With a delta log, invalidate() poisons the floor: every cached
+        # entry is permanently unprovable, so it is purged immediately
+        # instead of lingering until lookup or LRU eviction.
+        source = self._dynamic()
+        with QueryService(source, shards=1, pool="serial") as svc:
+            for k in (2, 3, 5):
+                svc.submit(QuerySpec("auto", k=k))
+            assert len(svc.cache) > 0
+            svc.invalidate()
+            assert len(svc.cache) == 0
+            after = svc.submit(QuerySpec("auto", k=3))
+            assert after.stats.cache_outcome == "miss"
 
 
 class TestPools:

@@ -17,8 +17,8 @@ import pytest
 from repro.bench.batch import QuerySpec
 from repro.datagen import UniformGenerator
 from repro.dynamic import DynamicDatabase
-from repro.scoring import MIN
-from repro.service import QueryService
+from repro.scoring import MIN, SUM
+from repro.service import QueryService, ServicePolicy, normalized_query_key
 from repro.service.workload import (
     WorkloadConfig,
     build_database,
@@ -214,12 +214,15 @@ class TestAsyncOverMutableData:
             stale = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
             fresh = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
             again = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
-        # The in-flight result is stale but must not be served as a
-        # fresh cache hit after the mutation's snapshot rebuild.
+        # The in-flight result is stale but must never be served as a
+        # same-epoch hit after the mutation's snapshot rebuild: the
+        # delta log sees the gap and *patches* the touched item against
+        # the rebuilt snapshot (the answer equals a fresh execution).
         assert stale.item_ids != (9,)
-        assert not fresh.stats.cache_hit
+        assert fresh.stats.cache_outcome == "patched"
         assert fresh.item_ids == (9,)
-        assert again.stats.cache_hit
+        assert fresh.scores == (200.0,)
+        assert again.stats.cache_outcome == "hit"
         assert again.item_ids == (9,)
         # Telemetry reports the epoch each answer was computed under,
         # not whatever the epoch was when it finished.
@@ -234,12 +237,29 @@ class TestAsyncOverMutableData:
             fresh = service.submit(QuerySpec("bpa2", k=1))
             again = service.submit(QuerySpec("bpa2", k=1))
         assert stale.item_ids != (9,)
-        assert not fresh.stats.cache_hit
+        assert fresh.stats.cache_outcome == "patched"
         assert fresh.item_ids == (9,)
-        assert again.stats.cache_hit
+        assert fresh.scores == (200.0,)
+        assert again.stats.cache_outcome == "hit"
         assert again.item_ids == (9,)
         assert stale.stats.epoch == 0
         assert fresh.stats.epoch == again.stats.epoch == 2
+
+    def test_mutation_during_flight_misses_under_whole_epoch_policy(self):
+        # With the delta log disabled the same race degrades to the
+        # legacy behavior: the stale entry is dropped, never patched.
+        source = DynamicDatabase.from_score_rows(
+            [[float(v) for v in range(10)], [float(10 - v) for v in range(10)]]
+        )
+        policy = ServicePolicy(delta_log_depth=0)
+        service = QueryService(source, pool="serial", policy=policy)
+        with service:
+            self._race_mutation_into(service, source)
+            stale = service.submit(QuerySpec("bpa2", k=1))
+            fresh = service.submit(QuerySpec("bpa2", k=1))
+        assert stale.item_ids != (9,)
+        assert fresh.stats.cache_outcome == "miss"
+        assert fresh.item_ids == (9,)
 
     def test_sync_submit_defers_rebuild_while_async_in_flight(self):
         source, service = self._mutable_service()
@@ -268,10 +288,13 @@ class TestAsyncOverMutableData:
         assert during.item_ids != (9,)  # the pinned (pre-mutation) snapshot
         assert during.stats.epoch == 0  # ... and telemetry says so
         assert after.item_ids == (9,)
+        assert after.scores == (200.0,)  # equals a fresh post-mutation run
         assert after.stats.epoch == 2
         assert service.counters.snapshot_refreshes == 1
-        # The deferred query must not have cached its stale answer.
-        assert after.stats.cache_hit is False
+        # The deferred query did not cache its pinned-snapshot answer;
+        # what the flight cached under epoch 0 is delta-patched, not
+        # served stale.
+        assert after.stats.cache_outcome == "patched"
 
     def test_mutation_between_gathers_refreshes_snapshot(self):
         source = DynamicDatabase.from_score_rows(
@@ -292,3 +315,118 @@ class TestAsyncOverMutableData:
         service.close()
         with pytest.raises(RuntimeError, match="closed"):
             asyncio.run(service.submit_async(QuerySpec("ta", k=1)))
+
+
+class TestDeltaEpochRaces:
+    """Mutations racing the async path must never mis-key a cache entry.
+
+    The discipline under test: entries are always keyed to the
+    *snapshot* epoch the execution read, and revalidation/patching only
+    ever advances an entry to the epoch of the lookup's own snapshot —
+    so a mutation landing between coalesced waiters (or mid-execution)
+    can never produce an entry stamped with an epoch whose data it
+    never saw.
+    """
+
+    _KEY = normalized_query_key("bpa2", 1, SUM, {})
+
+    @staticmethod
+    def _mutable_service():
+        source = DynamicDatabase.from_score_rows(
+            [[float(v) for v in range(10)], [float(10 - v) for v in range(10)]]
+        )
+        return source, QueryService(source, pool="serial")
+
+    def test_mutation_between_coalesced_waiters_keeps_snapshot_epoch(self):
+        source, service = self._mutable_service()
+        with service:
+
+            async def scenario():
+                gate = asyncio.Semaphore(0)
+                owner = asyncio.create_task(
+                    service.submit_async(QuerySpec("bpa2", k=1), semaphore=gate)
+                )
+                await asyncio.sleep(0)  # owner in flight under epoch 0
+                waiter = asyncio.create_task(
+                    service.submit_async(QuerySpec("bpa2", k=1))
+                )
+                await asyncio.sleep(0)  # waiter coalesces onto the owner
+                # The mutation lands between the coalesced waiters.
+                source.update_score(0, 9, 100.0)
+                source.update_score(1, 9, 100.0)
+                gate.release()
+                return await owner, await waiter
+
+            owner_res, waiter_res = asyncio.run(scenario())
+            # Both flights served (and cached) the epoch-0 snapshot; the
+            # entry must be keyed there, not at the live epoch (2).
+            assert owner_res.stats.epoch == waiter_res.stats.epoch == 0
+            assert waiter_res.stats.coalesced
+            assert service.cache.entry_epoch(self._KEY) == 0
+            assert service.epoch == 2
+
+            # The next lookup sees the two-epoch gap, patches the entry
+            # against the rebuilt snapshot, and re-keys it correctly.
+            after = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            assert after.stats.cache_outcome == "patched"
+            assert after.item_ids == (9,)
+            assert after.scores == (200.0,)
+            assert service.cache.entry_epoch(self._KEY) == 2
+
+    def test_patched_entry_serves_hits_under_its_new_epoch(self):
+        source, service = self._mutable_service()
+        with service:
+            asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            source.update_score(0, 9, 100.0)
+            source.update_score(1, 9, 100.0)
+            patched = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            again = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+        assert patched.stats.cache_outcome == "patched"
+        assert again.stats.cache_outcome == "hit"
+        assert again.item_ids == (9,)
+        assert service.counters.executions == 1  # only the first query ran
+
+    def test_revalidated_entry_is_restamped_not_requeried(self):
+        source, service = self._mutable_service()
+        with service:
+            first = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+            # Item 5's total drops from 10 to 8: still below item 0's 10
+            # under the id tie-break, so the cached top-1 cannot change.
+            source.update_score(0, 5, 3.0)
+            second = asyncio.run(service.submit_async(QuerySpec("bpa2", k=1)))
+        assert not first.stats.cache_hit
+        assert second.stats.cache_outcome == "revalidated"
+        assert second.item_ids == first.item_ids
+        assert second.stats.epoch == 1
+        assert service.cache.entry_epoch(self._KEY) == 1
+        assert service.counters.executions == 1
+
+    def test_deferred_sync_submit_cannot_advance_cache_entries(self):
+        source, service = self._mutable_service()
+        with service:
+
+            async def scenario():
+                await service.submit_async(QuerySpec("bpa2", k=1))
+                gate = asyncio.Semaphore(0)
+                flight = asyncio.create_task(
+                    service.submit_async(QuerySpec("ta", k=2), semaphore=gate)
+                )
+                await asyncio.sleep(0)  # flight pins the snapshot
+                source.update_score(0, 9, 100.0)
+                source.update_score(1, 9, 100.0)
+                # The deferred sync submit serves the pinned snapshot and
+                # must leave the epoch-0 entry untouched (no revalidation
+                # to an epoch whose data it cannot prove anything about).
+                during = service.submit(QuerySpec("bpa2", k=1))
+                entry_epoch_during = service.cache.entry_epoch(self._KEY)
+                gate.release()
+                await flight
+                return during, entry_epoch_during
+
+            during, entry_epoch_during = asyncio.run(scenario())
+            assert during.stats.epoch == 0
+            assert entry_epoch_during == 0
+            after = service.submit(QuerySpec("bpa2", k=1))
+            assert after.stats.cache_outcome == "patched"
+            assert after.item_ids == (9,)
+            assert service.cache.entry_epoch(self._KEY) == 2

@@ -208,6 +208,55 @@ class TestMutationSubscriptions:
         database.update_score(0, 1, 20.0)
         assert observed == [(20.0, 4.0)]
 
+    def test_score_capture_is_skipped_without_score_watchers(self, database):
+        # A subscriber that only counts mutations (with_scores=False)
+        # must not trigger the O(m log n) capture: events arrive with
+        # None vectors and the database never walks its treaps.
+        events = []
+        unsubscribe = database.subscribe(events.append, with_scores=False)
+        captures = []
+        original = DynamicDatabase.local_scores
+        DynamicDatabase.local_scores = lambda self, item: (
+            captures.append(item) or original(self, item)
+        )
+        try:
+            database.update_score(0, 1, 20.0)
+            database.remove_item(0)
+        finally:
+            DynamicDatabase.local_scores = original
+        assert captures == []
+        assert [e.new_scores for e in events] == [None, None]
+        assert [e.old_scores for e in events] == [None, None]
+        # Once a score watcher joins, capture resumes.
+        database.subscribe(lambda e: None, with_scores=True)
+        database.update_score(0, 1, 21.0)
+        assert events[-1].new_scores is not None
+        unsubscribe()
+        unsubscribe()  # idempotent; watcher accounting must not go negative
+        assert database._score_watchers == 1
+
+    def test_events_carry_exact_score_vectors(self, database):
+        # The delta cache folds event.new_scores as ground truth, so the
+        # derived post-state (single-coordinate swap, no second capture)
+        # must be bit-equal to what a fresh lookup reports.
+        events = []
+        database.subscribe(events.append)
+        database.update_score(0, 1, 20.0)
+        database.apply_delta(1, 2, 0.5)
+        database.insert_item(9, [1.0, 1.5])
+        database.remove_item(0)
+        update, delta, insert, remove = events
+        assert update.old_scores == (7.0, 4.0)
+        assert update.new_scores == (20.0, 4.0)
+        assert update.list_index == 0
+        assert delta.old_scores == (5.0, 6.0)
+        assert delta.new_scores == (5.0, 6.5)
+        assert delta.new_scores == database.local_scores(2)
+        assert insert.old_scores is None
+        assert insert.new_scores == (1.0, 1.5)
+        assert remove.old_scores == (9.0, 2.0)
+        assert remove.new_scores is None
+
     def test_failed_mutations_do_not_notify(self, database):
         events = []
         database.subscribe(events.append)

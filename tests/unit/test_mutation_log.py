@@ -1,0 +1,361 @@
+"""MutationLog coverage semantics and the cache's delta certificate.
+
+The load-bearing property: a log that cannot *prove* it saw the whole
+epoch window (truncated past its depth, or poisoned by a record-less
+epoch bump) must make the cache miss — recompute, never serve stale.
+The certificate edge cases (exact ties at the k-th score, deletes of
+cached members, k spanning the whole database) are pinned with
+fabricated entries so each rule is tested in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import MutationEvent, MutationLog
+from repro.scoring import SUM
+from repro.service.cache import ResultCache
+from repro.types import AccessTally, ScoredItem, TopKResult
+
+
+def topk(*pairs) -> TopKResult:
+    """A fabricated exact result: ``pairs`` are (item, score), best first."""
+    return TopKResult(
+        items=tuple(ScoredItem(item=i, score=s) for i, s in pairs),
+        tally=AccessTally(),
+        rounds=1,
+        stop_position=1,
+        algorithm="ta",
+    )
+
+
+def update(item, new_scores, old_scores=(1.0, 1.0)) -> MutationEvent:
+    return MutationEvent(
+        kind="update_score",
+        item=item,
+        list_index=0,
+        old_scores=tuple(old_scores),
+        new_scores=tuple(new_scores),
+    )
+
+
+def insert(item, new_scores) -> MutationEvent:
+    return MutationEvent(
+        kind="insert_item", item=item, new_scores=tuple(new_scores)
+    )
+
+
+def remove(item, old_scores=(1.0, 1.0)) -> MutationEvent:
+    return MutationEvent(
+        kind="remove_item", item=item, old_scores=tuple(old_scores)
+    )
+
+
+class TestMutationLog:
+    def test_rejects_degenerate_depth_and_out_of_order_epochs(self):
+        with pytest.raises(ValueError, match="depth"):
+            MutationLog(0)
+        log = MutationLog(4)
+        log.record(1, update(0, (2.0, 2.0)))
+        with pytest.raises(ValueError, match="increasing"):
+            log.record(1, update(0, (3.0, 3.0)))
+
+    def test_window_bounds(self):
+        log = MutationLog(8)
+        for epoch in range(1, 5):
+            log.record(epoch, update(epoch, (2.0, 2.0)))
+        assert [e.item for e in log.events_between(0, 4)] == [1, 2, 3, 4]
+        assert [e.item for e in log.events_between(2, 3)] == [3]
+        assert log.events_between(3, 3) == ()
+        # Reaching past the last recorded epoch is unprovable, not empty.
+        assert log.events_between(0, 5) is None
+
+    def test_truncation_advances_the_floor(self):
+        log = MutationLog(2)
+        for epoch in range(1, 5):
+            log.record(epoch, update(epoch, (2.0, 2.0)))
+        assert log.floor == 2
+        assert log.truncations == 2
+        assert log.events_between(0, 4) is None  # epoch 1..2 were dropped
+        assert log.events_between(1, 4) is None
+        assert [e.item for e in log.events_between(2, 4)] == [3, 4]
+
+    def test_poison_makes_the_window_unprovable(self):
+        log = MutationLog(8)
+        log.record(1, update(7, (2.0, 2.0)))
+        log.poison(2)
+        assert log.floor == 2 and log.top == 2
+        assert log.events_between(0, 2) is None
+        assert log.events_between(1, 2) is None
+        assert log.events_between(2, 2) == ()
+        log.record(3, update(8, (2.0, 2.0)))
+        assert [e.item for e in log.events_between(2, 3)] == [8]
+
+    @given(
+        depth=st.integers(min_value=1, max_value=6),
+        total=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_coverage_is_exact_or_refused(self, depth, total):
+        """events_between returns the precise window or None — never a
+        silently incomplete subset."""
+        log = MutationLog(depth)
+        for epoch in range(1, total + 1):
+            log.record(epoch, update(epoch, (2.0, 2.0)))
+        for after in range(0, total + 1):
+            for up_to in range(after, total + 1):
+                window = log.events_between(after, up_to)
+                if after < log.floor:
+                    assert window is None
+                else:
+                    assert [e.item for e in window] == list(
+                        range(after + 1, up_to + 1)
+                    )
+
+
+class TestTruncationDegradesSafely:
+    @given(
+        depth=st.integers(min_value=1, max_value=5),
+        mutations=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_overflowing_log_misses_instead_of_serving_stale(
+        self, depth, mutations
+    ):
+        """Within retention harmless deltas revalidate; past it, the only
+        answer is a miss — the property the whole design rests on."""
+        log = MutationLog(depth)
+        cache = ResultCache(8, log=log)
+        value = topk((0, 10.0), (1, 8.0))
+        cache.put(("q",), value, 0)
+        for epoch in range(1, mutations + 1):
+            # Every event is harmless: a far-away item scoring 1.5 total.
+            log.record(epoch, update(100 + epoch, (0.5, 1.0)))
+        looked = cache.lookup(
+            ("q",), mutations, scoring=SUM, rescore=lambda items: {}
+        )
+        if mutations <= depth:
+            assert looked.outcome == "revalidated"
+            assert looked.value is value
+        else:
+            assert looked.outcome == "miss"
+            assert looked.value is None
+            assert ("q",) not in cache  # dropped, not retained stale
+
+
+class TestDeltaCertificate:
+    """Each certificate rule in isolation, m=2 lists, SUM scoring."""
+
+    def _cache(self, log_events, *, patch_limit=8, current=None):
+        log = MutationLog(32)
+        cache = ResultCache(8, log=log, patch_limit=patch_limit)
+        for epoch, event in enumerate(log_events, start=1):
+            log.record(epoch, event)
+        snapshot = dict(current or {})
+
+        def rescore(items):
+            return {item: snapshot.get(item) for item in items}
+
+        return cache, len(log_events), rescore
+
+    def test_harmless_outsider_revalidates(self):
+        cache, epoch, rescore = self._cache([update(9, (3.0, 4.0))])
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "revalidated"
+        assert cache.entry_epoch(("q",)) == epoch
+
+    def test_exact_tie_with_larger_id_cannot_enter(self):
+        # New aggregate equals the k-th score but loses the id tie-break:
+        # the total order says it stays out, so the entry revalidates.
+        cache, epoch, rescore = self._cache([update(9, (4.0, 4.0))])
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "revalidated"
+
+    def test_exact_tie_with_smaller_id_patches_in(self):
+        # Same score, smaller id: the tie-break seats it above the cached
+        # k-th member — the patch must reproduce that exactly.
+        cache, epoch, rescore = self._cache(
+            [update(3, (4.0, 4.0))], current={3: (4.0, 4.0)}
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "patched"
+        assert looked.value.item_ids == (5, 3)
+        assert looked.value.scores == (10.0, 8.0)
+        assert looked.value.extras["certificate_threshold"] == 8.0
+        assert looked.value.extras["patched_items"] == 1
+
+    def test_delete_of_cached_member_is_a_miss(self):
+        # The replacement for a deleted member is some unlogged outsider
+        # the cache has never seen — only a recomputation can find it.
+        cache, epoch, rescore = self._cache([remove(7)])
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "miss"
+        assert ("q",) not in cache
+
+    def test_delete_of_outsider_revalidates(self):
+        cache, epoch, rescore = self._cache([remove(9)])
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        assert (
+            cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore).outcome
+            == "revalidated"
+        )
+
+    def test_member_upgrade_reorders_via_patch(self):
+        cache, epoch, rescore = self._cache(
+            [update(7, (12.0, 8.0))], current={7: (12.0, 8.0)}
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "patched"
+        assert looked.value.item_ids == (7, 5)
+        assert looked.value.scores == (20.0, 10.0)
+
+    def test_member_downgrade_below_boundary_is_a_miss(self):
+        # The weakened pool no longer dominates the unlogged outsiders
+        # between the old and new boundary: certificate broken.
+        cache, epoch, rescore = self._cache(
+            [update(5, (0.5, 0.5))], current={5: (0.5, 0.5)}
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "miss"
+
+    def test_member_downgrade_above_boundary_patches(self):
+        # Weakened but still at/above the old k-th key: every untouched
+        # outsider stays dominated, so the repair is provably exact.
+        cache, epoch, rescore = self._cache(
+            [update(5, (4.5, 4.5))], current={5: (4.5, 4.5)}
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "patched"
+        assert looked.value.item_ids == (5, 7)
+        assert looked.value.scores == (9.0, 8.0)
+
+    def test_insert_with_whole_database_cached(self):
+        # k spanned the whole database (k >= n clamps to n): an insert
+        # is just another candidate; the patched answer is the exact
+        # top-k_fetch of the grown database.
+        cache, epoch, rescore = self._cache(
+            [insert(9, (30.0, 30.0))], current={9: (30.0, 30.0)}
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "patched"
+        assert looked.value.item_ids == (9, 5)
+        assert looked.value.scores == (60.0, 10.0)
+
+    def test_insert_then_remove_nets_out_to_revalidation(self):
+        cache, epoch, rescore = self._cache(
+            [insert(9, (30.0, 30.0)), remove(9, (30.0, 30.0))]
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        assert (
+            cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore).outcome
+            == "revalidated"
+        )
+
+    def test_update_reverted_to_cached_aggregate_revalidates(self):
+        # A member whose aggregate ends where it started cannot move.
+        cache, epoch, rescore = self._cache(
+            [update(7, (6.0, 6.0)), update(7, (4.0, 4.0))]
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        assert (
+            cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore).outcome
+            == "revalidated"
+        )
+
+    def test_patch_limit_overflow_falls_back_to_miss(self):
+        events = [
+            update(item, (20.0, 20.0)) for item in (11, 12, 13)
+        ]
+        current = {item: (20.0, 20.0) for item in (11, 12, 13)}
+        cache, epoch, rescore = self._cache(
+            events, patch_limit=2, current=current
+        )
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "miss"
+
+    def test_no_rescore_hook_means_patchable_deltas_miss(self):
+        log = MutationLog(32)
+        cache = ResultCache(8, log=log)
+        log.record(1, update(3, (30.0, 30.0)))
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        looked = cache.lookup(("q",), 1, scoring=SUM, rescore=None)
+        assert looked.outcome == "miss"
+
+    def test_no_scoring_means_legacy_whole_epoch_miss(self):
+        log = MutationLog(32)
+        cache = ResultCache(8, log=log)
+        log.record(1, update(9, (0.5, 0.5)))
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 0)
+        assert cache.get(("q",), 1) is None
+        assert cache.stats.invalidations == 1
+
+    def test_lookup_behind_the_entry_misses_without_dropping(self):
+        cache, _, rescore = self._cache([])
+        cache.put(("q",), topk((5, 10.0), (7, 8.0)), 3)
+        looked = cache.lookup(("q",), 1, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "miss"
+        assert ("q",) in cache  # the fresher entry survives
+
+    def test_underfull_merge_marker_forces_a_miss(self):
+        # The certified merge marks answers with fewer than k items as
+        # certificate_threshold=None: their last entry is not an
+        # exclusion boundary, so even a harmless delta cannot be proven.
+        cache, epoch, rescore = self._cache([update(9, (0.5, 0.5))])
+        value = topk((5, 10.0), (7, 8.0))
+        value.extras["certificate_threshold"] = None
+        cache.put(("q",), value, 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "miss"
+
+    def test_merge_threshold_marker_does_not_block_full_answers(self):
+        cache, epoch, rescore = self._cache([update(9, (0.5, 0.5))])
+        value = topk((5, 10.0), (7, 8.0))
+        value.extras["certificate_threshold"] = 8.0  # as the merge sets it
+        cache.put(("q",), value, 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "revalidated"
+
+    def test_non_topk_values_never_delta_validate(self):
+        log = MutationLog(32)
+        cache = ResultCache(8, log=log)
+        log.record(1, update(9, (0.5, 0.5)))
+        cache.put(("q",), "opaque", 0)
+        looked = cache.lookup(
+            ("q",), 1, scoring=SUM, rescore=lambda items: {}
+        )
+        assert looked.outcome == "miss"
+
+    def test_lower_bound_scores_never_delta_validate(self):
+        # NRA's returned scores are lower bounds, not exact aggregates:
+        # the certificate's comparisons would be against the wrong
+        # numbers, so NRA entries expire whole-epoch — even for a
+        # delta that would be provably harmless under exact scores.
+        from dataclasses import replace
+
+        cache, epoch, rescore = self._cache([update(9, (0.5, 0.5))])
+        value = replace(topk((5, 10.0), (7, 8.0)), algorithm="nra")
+        cache.put(("q",), value, 0)
+        looked = cache.lookup(("q",), epoch, scoring=SUM, rescore=rescore)
+        assert looked.outcome == "miss"
+        assert ("q",) not in cache
+
+    def test_exact_score_gate_covers_every_merge_exact_algorithm(self):
+        # The gate must never lag the shard merge's own exactness list:
+        # a merge-exact algorithm that silently stopped delta-validating
+        # would be a (safe but unintended) regression.
+        from repro.service.cache import EXACT_SCORE_ALGORITHMS
+        from repro.service.sharding import MERGE_EXACT_ALGORITHMS
+
+        assert MERGE_EXACT_ALGORITHMS <= EXACT_SCORE_ALGORITHMS
+        assert "nra" not in EXACT_SCORE_ALGORITHMS
