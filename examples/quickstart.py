@@ -100,6 +100,31 @@ instead of single entries:
 True
 >>> remote.extras["transport"], remote.extras["network"]["messages"] > 0
 ('socket', True)
+
+A long-lived service survives restarts through epoch-stamped snapshot
+files: ``save_snapshot`` persists the served columnar snapshot (atomic,
+checksummed, compressed) and ``from_snapshot`` warm-starts a new
+process from it — no cold rebuild, identical answers, epoch clock
+resumed at the stamp:
+
+>>> import pathlib, tempfile
+>>> state = pathlib.Path(tempfile.mkdtemp()) / "state.bpsn"
+>>> source = DynamicDatabase.from_score_rows(
+...     [[9.0, 7.0, 5.0, 3.0, 1.0], [8.0, 6.0, 4.0, 2.0, 0.0]])
+>>> service = QueryService(source, pool="serial")
+>>> source.update_score(0, 2, 9.5)     # mutate, then persist
+>>> service.submit(QuerySpec("ta", k=2)).item_ids
+(0, 2)
+>>> service.save_snapshot(state)       # returns the stamped epoch
+1
+>>> service.close()
+>>> from repro.storage import verify_snapshot
+>>> verify_snapshot(state).ok          # offline integrity audit
+True
+>>> restarted = QueryService.from_snapshot(state, pool="serial")
+>>> restarted.submit(QuerySpec("ta", k=2)).item_ids
+(0, 2)
+>>> restarted.close()
 """
 
 import time

@@ -185,6 +185,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--speedup", action="store_true",
                        help="run the unsharded-vs-sharded x cold-vs-warm grid "
                             "benchmark (writes reports/service_speedup.json)")
+    serve.add_argument("--snapshot-in", default=None, metavar="FILE",
+                       help="warm-start the service from an epoch-stamped "
+                            ".bpsn snapshot instead of generating the "
+                            "database (with --mutation-rate the snapshot "
+                            "seeds the live DynamicDatabase)")
+    serve.add_argument("--snapshot-out", default=None, metavar="FILE",
+                       help="after the replay, atomically persist the "
+                            "service's snapshot (epoch-stamped, "
+                            "checksummed, compressed) to FILE")
+
+    verify_snap = sub.add_parser(
+        "verify-snapshot",
+        help="audit a .bpsn snapshot file: checksums, canonical sort "
+             "order, rank/index cross-validation; optionally repair",
+    )
+    verify_snap.add_argument("path", help="snapshot file to audit")
+    verify_snap.add_argument("--repair", action="store_true",
+                             help="rebuild damaged index sections from "
+                                  "intact rank sections and rewrite the "
+                                  "file atomically")
 
     dist_bench = sub.add_parser(
         "dist-bench",
@@ -453,6 +473,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_snapshot(args: argparse.Namespace) -> int:
+    from repro.errors import StorageError
+    from repro.storage import verify_snapshot
+
+    try:
+        report = verify_snapshot(args.path, repair=args.repair)
+    except StorageError as exc:
+        print(f"unrecoverable: {exc}", file=sys.stderr)
+        return 1
+    print(f"snapshot {report.path}: epoch {report.epoch}, "
+          f"m={report.m} n={report.n}, "
+          f"{'deflate' if report.compressed else 'raw'} payload, "
+          f"{report.checks} checks")
+    for fixed in report.repaired:
+        print(f"  repaired: {fixed}")
+    for issue in report.issues:
+        print(f"  ISSUE: {issue}")
+    if report.ok:
+        print("snapshot OK" + (" (after repair)" if report.repaired else ""))
+        return 0
+    print("snapshot FAILED verification"
+          + (" (rank-section damage is not repairable)" if args.repair else
+             " (try --repair to rebuild index sections)"),
+          file=sys.stderr)
+    return 1
+
+
 def _cmd_serve_workload(args: argparse.Namespace) -> int:
     from repro.service.workload import (
         WorkloadConfig,
@@ -520,8 +567,17 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         print(f"  mutation-heavy replay reuse (delta vs whole-epoch): "
               f"{delta_rate:.1%} vs {legacy_rate:.1%} "
               f"(oracle-verified: {verified})")
+        refresh = report["snapshot_refresh"]
+        print(f"  snapshot refresh (patched vs cold rebuild, "
+              f"{refresh['config']['epochs']} epochs): "
+              f"{refresh['speedup_patched_vs_rebuild']:.2f}x "
+              f"(snapshots identical: {refresh['snapshots_identical']})")
         print(f"report written to {out}")
-        ok = report["results_identical_to_cache_off"] and verified
+        ok = (
+            report["results_identical_to_cache_off"]
+            and verified
+            and refresh["snapshots_identical"]
+        )
         return 0 if ok else 1
 
     settings = dict(
@@ -574,9 +630,15 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         mutation_rate=args.mutation_rate,
         verify=args.verify,
+        snapshot_in=args.snapshot_in,
+        snapshot_out=args.snapshot_out,
     )
     out = write_report(report, args.out or default_out)
     summary = report["service"]
+
+    if "snapshot_restored_epoch" in report:
+        print(f"warm start: restored snapshot {args.snapshot_in} "
+              f"(epoch {report['snapshot_restored_epoch']})")
 
     if args.mutation_rate > 0:
         outcomes = summary["cache_outcomes"]
@@ -601,6 +663,10 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
                 print("ERROR: a served answer diverged from the brute-force "
                       "ranking of the current data", file=sys.stderr)
                 return 1
+        saved = report.get("snapshot_saved")
+        if saved is not None:
+            print(f"snapshot saved to {saved['path']} "
+                  f"(epoch {saved['epoch']})")
         print(f"report written to {out}")
         return 0
     print(f"workload: {summary['queries']} queries "
@@ -632,6 +698,9 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
             print("ERROR: service answers diverge from the baseline — "
                   "this is a bug", file=sys.stderr)
             return 1
+    saved = report.get("snapshot_saved")
+    if saved is not None:
+        print(f"snapshot saved to {saved['path']} (epoch {saved['epoch']})")
     print(f"report written to {out}")
     return 0
 
@@ -744,6 +813,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "distributed": _cmd_distributed,
         "bench": _cmd_bench,
         "serve-workload": _cmd_serve_workload,
+        "verify-snapshot": _cmd_verify_snapshot,
         "dist-bench": _cmd_dist_bench,
     }
     return handlers[args.command](args)

@@ -16,7 +16,8 @@ unchanged, with identical results and identical metered access tallies
 """
 
 from repro.columnar.columnar_list import ColumnarList
-from repro.columnar.database import ColumnarDatabase
+from repro.columnar.database import ColumnarDatabase, DatabaseLayout
+from repro.columnar.patch import patch_database
 from repro.columnar.engine import (
     KERNELS,
     QueryContext,
@@ -31,6 +32,8 @@ from repro.columnar.engine import (
 __all__ = [
     "ColumnarList",
     "ColumnarDatabase",
+    "DatabaseLayout",
+    "patch_database",
     "QueryContext",
     "fast_ta",
     "fast_bpa",

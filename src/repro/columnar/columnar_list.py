@@ -133,6 +133,38 @@ class ColumnarList:
         return instance
 
     @classmethod
+    def _from_canonical(
+        cls,
+        items: np.ndarray,
+        scores: np.ndarray,
+        uids: np.ndarray,
+        rank_by_row: np.ndarray,
+        dense: bool,
+        name: str,
+    ) -> "ColumnarList":
+        """Adopt arrays already in the canonical layout, unverified.
+
+        The snapshot patcher and loader hand over columns they have
+        *proven* canonical (rank order is (score desc, item asc), ``uids``
+        is the sorted id set, ``rank_by_row`` inverts the rank
+        permutation) — re-running ``_init_from_arrays``'s lexsort would
+        throw that work away.  Callers certify the invariants; nothing is
+        validated here.
+        """
+        instance = cls.__new__(cls)
+        instance._items = np.ascontiguousarray(items, dtype=np.int64)
+        instance._scores = np.ascontiguousarray(scores, dtype=np.float64)
+        instance._uids = np.ascontiguousarray(uids, dtype=np.int64)
+        instance._rank_by_row = np.ascontiguousarray(
+            rank_by_row, dtype=np.int64
+        )
+        instance._dense = bool(dense)
+        instance._name = name
+        instance._items_list = instance._items.tolist()
+        instance._scores_list = instance._scores.tolist()
+        return instance
+
+    @classmethod
     def from_sorted_list(cls, sorted_list) -> "ColumnarList":
         """Convert a :class:`repro.lists.sorted_list.SortedList`."""
         instance = cls.__new__(cls)

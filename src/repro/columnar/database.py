@@ -71,6 +71,37 @@ class DatabaseLayout:
             item: row for row, item in enumerate(self.ids)
         }
 
+    @classmethod
+    def patched(
+        cls,
+        previous: "DatabaseLayout",
+        database: "ColumnarDatabase",
+        touched: Sequence[int],
+    ) -> "DatabaseLayout":
+        """Carry a predecessor's layout forward across a snapshot patch.
+
+        Valid only when the patch changed no membership (``database`` has
+        exactly ``previous``'s item rows): the id-indexed structures
+        (``ids``, ``row_of``) are shared outright, untouched lists keep
+        their per-list structures by reference, and only the lists in
+        ``touched`` re-derive theirs.  ``pos1_by_row`` is cross-list and
+        rebuilt from the (cheap, array-reusing) position matrix.
+        """
+        layout = cls.__new__(cls)
+        layout.ids = previous.ids
+        layout.row_of = previous.row_of
+        layout.rows_at = list(previous.rows_at)
+        layout.pos_of = list(previous.pos_of)
+        layout.score_at = list(previous.score_at)
+        position_matrix = database.position_matrix()
+        for i in touched:
+            ranks = position_matrix[i]
+            layout.rows_at[i] = ranks.argsort().tolist()
+            layout.pos_of[i] = ranks.tolist()
+            layout.score_at[i] = database.lists[i].scores_array.tolist()
+        layout.pos1_by_row = (position_matrix.T + 1).tolist()
+        return layout
+
 
 class ColumnarDatabase:
     """An immutable collection of ``m`` columnar lists over ``n`` items.

@@ -294,10 +294,25 @@ class DynamicDatabase:
         )
 
     def remove_item(self, item: ItemId) -> None:
-        """Delete an item from every list."""
+        """Delete an item from every list (all-or-nothing).
+
+        Mirrors :meth:`insert_item`'s rollback: if any list's ``remove``
+        raises mid-loop, the entries already removed from earlier lists
+        are re-inserted with their captured scores, so the database is
+        never left with an item present in some lists but not others.
+        A failed removal does not notify.
+        """
         old_scores = self._capture(item)
-        for lst in self._lists:
-            lst.remove(item)
+        removed: list[tuple[DynamicSortedList, Score]] = []
+        try:
+            for lst in self._lists:
+                score, _position = lst.lookup(item)
+                lst.remove(item)
+                removed.append((lst, score))
+        except Exception:
+            for lst, score in reversed(removed):
+                lst.insert(item, score)
+            raise
         self._notify("remove_item", item, old_scores=old_scores)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

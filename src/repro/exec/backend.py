@@ -191,6 +191,17 @@ class LocalColumnarBackend(ExecutionBackend):
     dataclasses — so the unified drivers run at kernel-path speed while
     producing reference-identical results and tallies
     (``tests/differential/test_distributed_unified.py``).
+
+    Layout memoization tracks the snapshot, not the service: each
+    ``ColumnarDatabase`` — including the epoch-versioned successors
+    produced by :func:`repro.columnar.patch_database` — owns its own
+    cached :class:`~repro.columnar.database.DatabaseLayout`, so a
+    backend constructed over a freshly patched snapshot never reads a
+    predecessor epoch's coordinates.  When a patch leaves membership
+    unchanged, the successor arrives with its layout already derived
+    (only the touched lists' sections re-computed); otherwise
+    ``database.layout()`` derives it lazily here, exactly as for a
+    cold-built snapshot.
     """
 
     def __init__(self, database, *, include_position: bool = False) -> None:

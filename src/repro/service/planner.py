@@ -99,6 +99,13 @@ class ServicePolicy:
         delta_patch_limit: largest number of touched objects the cache
             may re-score (``lookup_many``) to *patch* an entry in
             place; deltas touching more fall through to recomputation.
+        snapshot_patch_budget: largest number of net-touched *items* a
+            snapshot refresh may apply as an in-place columnar patch
+            (:func:`repro.columnar.patch_database`); wider deltas — or
+            any window the mutation log cannot prove — fall back to a
+            cold rebuild from the dynamic source.  ``0`` disables
+            patching entirely (every refresh rebuilds, the pre-patch
+            behavior).
     """
 
     allow_random: bool = True
@@ -109,6 +116,7 @@ class ServicePolicy:
     block_width: int = 1
     delta_log_depth: int = 256
     delta_patch_limit: int = 8
+    snapshot_patch_budget: int = 64
 
     def __post_init__(self) -> None:
         # Validated here, not at first use: a typo'd transport would
@@ -135,6 +143,11 @@ class ServicePolicy:
         if self.delta_patch_limit < 0:
             raise ValueError(
                 f"delta_patch_limit must be >= 0, got {self.delta_patch_limit}"
+            )
+        if self.snapshot_patch_budget < 0:
+            raise ValueError(
+                "snapshot_patch_budget must be >= 0, "
+                f"got {self.snapshot_patch_budget}"
             )
 
 

@@ -36,7 +36,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.bench.batch import QuerySpec
-from repro.columnar import ColumnarDatabase
+from repro.columnar import ColumnarDatabase, patch_database
 from repro.dynamic import DynamicDatabase, MutationLog
 from repro.lists.database import Database
 from repro.lists.sorted_list import SortedList
@@ -221,6 +221,9 @@ class ServiceCounters:
     cache_hits: int = 0  #: cache reuses of any kind plus coalesced reuses
     executions: int = 0
     snapshot_refreshes: int = 0
+    #: refreshes served by delta-patching the previous snapshot in place
+    #: (a subset of ``snapshot_refreshes``; the rest cold-rebuilt).
+    snapshot_patches: int = 0
     coalesced: int = 0  #: async submits that joined an in-flight execution
     revalidated: int = 0  #: cache entries delta-proven current in place
     patched: int = 0  #: cache entries repaired by re-scoring touched items
@@ -268,6 +271,10 @@ class QueryService:
         policy: planning policy (:class:`ServicePolicy`).
         cost_model: cost model for the planner's predictions (defaults
             to the paper's ``cs=1, cr=log2 n``).
+        snapshot: a pre-built columnar snapshot of a *dynamic*
+            ``database``'s current state, standing in for the
+            construction-time cold build (the warm-restart path; see
+            :meth:`from_snapshot`).
     """
 
     def __init__(
@@ -279,20 +286,24 @@ class QueryService:
         cache_size: int = 1024,
         policy: ServicePolicy | None = None,
         cost_model: CostModel | None = None,
+        snapshot: ColumnarDatabase | None = None,
     ) -> None:
         if shards != "auto" and (not isinstance(shards, int) or shards < 1):
             raise ValueError(
                 f"shards must be a positive int or 'auto', got {shards!r}"
             )
         knobs = policy if policy is not None else ServicePolicy()
+        self._knobs = knobs
         self._source: DynamicDatabase | None = None
         self._unsubscribe = None
-        #: per-epoch mutation record enabling partial cache reuse; only
-        #: a dynamic source produces deltas worth logging.
+        #: per-epoch mutation record enabling partial cache reuse and
+        #: in-place snapshot patching; only a dynamic source produces
+        #: deltas worth logging.
         self._log: MutationLog | None = None
         if isinstance(database, DynamicDatabase):
             self._source = database
-            if cache_size > 0 and knobs.delta_log_depth > 0:
+            wants_log = cache_size > 0 or knobs.snapshot_patch_budget > 0
+            if wants_log and knobs.delta_log_depth > 0:
                 self._log = MutationLog(knobs.delta_log_depth)
             # Subscribe through a weakref so an un-closed service is not
             # kept alive (pools and all) by the database's subscriber
@@ -310,7 +321,17 @@ class QueryService:
             self._unsubscribe = database.subscribe(
                 _forward, with_scores=self._log is not None
             )
-            database = _snapshot_dynamic(database)
+            # A caller-provided snapshot (the warm-restart path) stands
+            # in for the cold build; the caller certifies it matches the
+            # source's current state.
+            database = (
+                snapshot if snapshot is not None
+                else _snapshot_dynamic(database)
+            )
+        elif snapshot is not None:
+            raise ValueError(
+                "snapshot= is only meaningful with a DynamicDatabase source"
+            )
         self._shards_requested = shards
         self._pool = pool
         self._policy = policy
@@ -369,6 +390,32 @@ class QueryService:
             self._executor.reload(database, shards=shards)
         self._snapshot_epoch = self._epoch
         self._dirty = False
+
+    def _refresh(self) -> None:
+        """Bring the snapshot to the current epoch: patch, else rebuild.
+
+        When the mutation log can prove exactly what happened since the
+        snapshot's epoch and the net delta fits the policy's patch
+        budget, the successor snapshot is derived in place from the
+        previous one (:func:`repro.columnar.patch_database`) — paying
+        per *touched* item instead of per epoch.  An unprovable window
+        (log truncated or poisoned), a too-wide delta, or a disabled
+        budget falls back to the cold rebuild from the dynamic source.
+        """
+        patched = None
+        budget = self._knobs.snapshot_patch_budget
+        if self._log is not None and budget > 0:
+            window = self._log.events_between(self._snapshot_epoch, self._epoch)
+            if window is not None:
+                patched = patch_database(
+                    self._executor.database, window, budget=budget
+                )
+        if patched is not None:
+            self._rebuild(patched)
+            self.counters.snapshot_patches += 1
+        else:
+            self._rebuild(_snapshot_dynamic(self._source))
+        self.counters.snapshot_refreshes += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -564,8 +611,7 @@ class QueryService:
                 # flights drain — the async path quiesces the same way.
                 deferred = True
             else:
-                self._rebuild(_snapshot_dynamic(self._source))
-                self.counters.snapshot_refreshes += 1
+                self._refresh()
 
         if self.n == 0:
             # Every item was removed from the source: "all items, ranked"
@@ -648,8 +694,7 @@ class QueryService:
                     return_exceptions=True,
                 )
             if self._dirty:
-                self._rebuild(_snapshot_dynamic(self._source))
-                self.counters.snapshot_refreshes += 1
+                self._refresh()
 
         if self.n == 0:
             return self._serve_empty(spec, started)
@@ -842,6 +887,62 @@ class QueryService:
             algorithm=full.algorithm,
             extras={**full.extras, "k_fetched": plan.k_fetch},
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot persistence (warm restarts)
+    # ------------------------------------------------------------------
+
+    def save_snapshot(self, path, *, compress: bool = True) -> int:
+        """Persist the served snapshot to ``path``; returns its epoch.
+
+        The snapshot is refreshed first if mutations are pending (so the
+        file captures the source's current state), unless in-flight
+        async executions pin the current one — then the pinned snapshot
+        is saved under the epoch it honestly carries.  The write is
+        atomic; a crash mid-save leaves any previous file intact.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        from repro.storage import write_snapshot
+
+        if self._dirty and self._source is not None and not self._running:
+            self._refresh()
+        write_snapshot(
+            self._executor.database,
+            path,
+            epoch=self._snapshot_epoch,
+            compress=compress,
+        )
+        return self._snapshot_epoch
+
+    @classmethod
+    def from_snapshot(
+        cls, path, *, source: DynamicDatabase | None = None, **kwargs
+    ) -> "QueryService":
+        """Warm-start a service from a snapshot file.
+
+        The snapshot is loaded (checksum-verified) and served directly —
+        no cold rebuild.  Pass ``source`` to keep serving a live
+        :class:`DynamicDatabase` whose current state the snapshot
+        captures: the service subscribes to its mutations as usual, and
+        its delta log is floored at the restored epoch so only
+        post-restart windows can ever be proven.  ``kwargs`` are
+        forwarded to the constructor (``shards``, ``pool``, ...).
+        """
+        from repro.storage import load_snapshot
+
+        database, epoch = load_snapshot(path)
+        if source is not None:
+            service = cls(source, snapshot=database, **kwargs)
+        else:
+            service = cls(database, **kwargs)
+        service._epoch = epoch
+        service._snapshot_epoch = epoch
+        if service._log is not None:
+            # Epochs below the restored stamp predate this process; the
+            # log must never claim to cover them.
+            service._log.poison(epoch)
+        return service
 
     # ------------------------------------------------------------------
     # Lifecycle

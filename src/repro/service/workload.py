@@ -433,6 +433,84 @@ def mutation_contrast(
     }
 
 
+def snapshot_refresh_benchmark(
+    *,
+    n: int = 5_000,
+    m: int = 3,
+    epochs: int = 120,
+    mutations_per_epoch: int = 4,
+    seed: int = 42,
+    generator: str = "uniform",
+) -> dict:
+    """Patched vs cold-rebuild snapshot refresh, same mutation stream.
+
+    Two services over identical dynamic databases replay the identical
+    seeded mutation stream; after every burst of ``mutations_per_epoch``
+    mutations each refreshes its columnar snapshot — one through the
+    default delta-patching path (:func:`repro.columnar.patch_database`),
+    one with ``snapshot_patch_budget=0`` (every refresh cold-rebuilds,
+    the pre-patch behavior).  Only the refresh itself is timed; query
+    execution is excluded.  Both final snapshots are cross-checked
+    byte-identical, and a final served answer is compared, so the
+    contrast is between two correct refresh strategies.
+    """
+    config = WorkloadConfig(generator=generator, n=n, m=m, seed=seed)
+    base = build_database(config)
+    spec = QuerySpec(algorithm="bpa2", k=10)
+    cells: dict[str, dict] = {}
+    answers: dict[str, tuple] = {}
+    snapshots: dict[str, object] = {}
+    for label, policy in (
+        ("patched", None),
+        ("rebuild", ServicePolicy(snapshot_patch_budget=0)),
+    ):
+        source = dynamic_from(base)
+        rng = np.random.default_rng(seed + 3)
+        with QueryService(
+            source, shards=1, pool="serial", cache_size=0, policy=policy
+        ) as service:
+            mutator = WorkloadMutator(source, rng)
+            seconds = 0.0
+            for _ in range(max(1, epochs)):
+                for _ in range(max(1, mutations_per_epoch)):
+                    mutator.apply_one()
+                started = time.perf_counter()
+                service._refresh()
+                seconds += time.perf_counter() - started
+            served = service.submit(spec)
+            snapshot = service._executor.database
+            cells[label] = {
+                "epochs": epochs,
+                "mutations_per_epoch": mutations_per_epoch,
+                "refresh_seconds_total": seconds,
+                "refresh_seconds_per_epoch": seconds / max(1, epochs),
+                "snapshot_refreshes": service.counters.snapshot_refreshes,
+                "snapshot_patches": service.counters.snapshot_patches,
+            }
+            answers[label] = (served.item_ids, served.scores)
+            snapshots[label] = snapshot
+    identical = answers["patched"] == answers["rebuild"] and all(
+        bool(np.array_equal(a.items_array, b.items_array))
+        and a.scores_array.tobytes() == b.scores_array.tobytes()
+        and bool(np.array_equal(a.rank_by_row, b.rank_by_row))
+        for a, b in zip(snapshots["patched"].lists, snapshots["rebuild"].lists)
+    )
+    rebuild_cost = cells["rebuild"]["refresh_seconds_per_epoch"]
+    patched_cost = cells["patched"]["refresh_seconds_per_epoch"]
+    return {
+        "config": {
+            **asdict(config),
+            "epochs": epochs,
+            "mutations_per_epoch": mutations_per_epoch,
+        },
+        **cells,
+        "speedup_patched_vs_rebuild": (
+            rebuild_cost / patched_cost if patched_cost > 0 else float("inf")
+        ),
+        "snapshots_identical": identical,
+    }
+
+
 def run_workload(
     config: WorkloadConfig,
     *,
@@ -441,6 +519,8 @@ def run_workload(
     concurrency: int = 8,
     mutation_rate: float = 0.0,
     verify: bool = False,
+    snapshot_in=None,
+    snapshot_out=None,
 ) -> dict:
     """Replay one workload configuration; returns the JSON-ready report.
 
@@ -458,10 +538,23 @@ def run_workload(
     per query against the brute-force oracle (``verify``) instead of
     against a fixed baseline replay (the data a baseline would answer
     over no longer exists by the time the replay ends).
+
+    ``snapshot_in`` warm-starts the replay from a ``.bpsn`` snapshot
+    file instead of regenerating the dataset (in the mutation replay
+    the service itself is restored via
+    :meth:`QueryService.from_snapshot`, so its epoch clock resumes at
+    the persisted epoch); ``snapshot_out`` persists the final snapshot
+    after the replay so the next process can pick up where this one
+    stopped.
     """
     if mode not in ("serial", "async"):
         raise ValueError(f"unknown mode {mode!r}; expected 'serial' or 'async'")
-    database = build_database(config)
+    if snapshot_in is not None:
+        from repro.storage import load_snapshot
+
+        database, restored_epoch = load_snapshot(snapshot_in)
+    else:
+        database, restored_epoch = build_database(config), None
     workload = build_workload(config)
 
     if mutation_rate > 0:
@@ -472,12 +565,22 @@ def run_workload(
                 "per-query oracle ambiguous"
             )
         source = dynamic_from(database)
-        with QueryService(
-            source,
-            shards=config.shards,
-            pool=config.pool,
-            cache_size=config.cache_size,
-        ) as service:
+        if snapshot_in is not None:
+            service_cm = QueryService.from_snapshot(
+                snapshot_in,
+                source=source,
+                shards=config.shards,
+                pool=config.pool,
+                cache_size=config.cache_size,
+            )
+        else:
+            service_cm = QueryService(
+                source,
+                shards=config.shards,
+                pool=config.pool,
+                cache_size=config.cache_size,
+            )
+        with service_cm as service:
             summary, _ = replay_with_mutations(
                 service,
                 workload,
@@ -502,13 +605,22 @@ def run_workload(
                 else None
             )
             pool_kind = service.pool_kind
-        return {
+            snapshot_info = None
+            if snapshot_out is not None:
+                saved_epoch = service.save_snapshot(snapshot_out)
+                snapshot_info = {"path": str(snapshot_out), "epoch": saved_epoch}
+        report = {
             "config": asdict(config),
             "mode": "serial+mutations",
             "pool_resolved": pool_kind,
             "cpu_count": os.cpu_count(),
             "service": summary,
         }
+        if restored_epoch is not None:
+            report["snapshot_restored_epoch"] = restored_epoch
+        if snapshot_info is not None:
+            report["snapshot_saved"] = snapshot_info
+        return report
 
     with QueryService(
         database,
@@ -536,6 +648,10 @@ def run_workload(
             else None
         )
         pool_kind = service.pool_kind
+        snapshot_info = None
+        if snapshot_out is not None:
+            saved_epoch = service.save_snapshot(snapshot_out)
+            snapshot_info = {"path": str(snapshot_out), "epoch": saved_epoch}
 
     report = {
         "config": asdict(config),
@@ -544,6 +660,10 @@ def run_workload(
         "cpu_count": os.cpu_count(),
         "service": summary,
     }
+    if restored_epoch is not None:
+        report["snapshot_restored_epoch"] = restored_epoch
+    if snapshot_info is not None:
+        report["snapshot_saved"] = snapshot_info
 
     if include_baseline:
         with QueryService(
@@ -655,12 +775,20 @@ def speedup_benchmark(
         seed=seed,
         generator=generator,
     )
+    refresh = snapshot_refresh_benchmark(
+        n=min(n, 5_000),
+        m=m,
+        epochs=min(queries, 120),
+        seed=seed,
+        generator=generator,
+    )
     return {
         "benchmark": "service_speedup",
         "config": asdict(config),
         "cpu_count": os.cpu_count(),
         "grid": grid,
         "mutation_workload": mutation,
+        "snapshot_refresh": refresh,
         "speedups": {
             f"speedup_s{shards}_service_vs_unsharded_baseline": (
                 cold_qps / baseline_qps if baseline_qps > 0 else float("inf")

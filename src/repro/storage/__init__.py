@@ -25,8 +25,25 @@ unchanged.
 from repro.storage.disk import (
     DiskDatabase,
     DiskSortedList,
+    atomic_writer,
     open_database,
     save_database,
 )
+from repro.storage.snapshot import (
+    SnapshotReport,
+    load_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
 
-__all__ = ["save_database", "open_database", "DiskDatabase", "DiskSortedList"]
+__all__ = [
+    "save_database",
+    "open_database",
+    "atomic_writer",
+    "DiskDatabase",
+    "DiskSortedList",
+    "write_snapshot",
+    "load_snapshot",
+    "verify_snapshot",
+    "SnapshotReport",
+]

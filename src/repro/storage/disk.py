@@ -16,7 +16,10 @@ seeks, which is precisely the paper's ``cr`` cost assumption.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import struct
+import tempfile
 from pathlib import Path
 from typing import BinaryIO, Iterator
 
@@ -47,28 +50,74 @@ def _index_section_offset(n: int, list_index: int) -> int:
     return _rank_section_offset(n, list_index) + n * _RANK_RECORD.size
 
 
+@contextlib.contextmanager
+def atomic_writer(path: str | Path):
+    """Yield a binary handle whose contents atomically replace ``path``.
+
+    Writes go to a same-directory temporary file; on clean exit the file
+    is flushed, fsynced and moved over ``path`` with :func:`os.replace`
+    (atomic on POSIX), then the directory entry is fsynced.  A crash or
+    exception mid-write leaves the target untouched — a concurrent
+    reader only ever sees the old complete file or the new complete
+    file, never a truncated hybrid.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            tmp.unlink()
+        raise
+
+
+def write_database(handle: BinaryIO, database) -> None:
+    """Serialize a database to an open binary handle (``.bptk`` layout)."""
+    handle.write(_HEADER.pack(_MAGIC, _VERSION, database.m, database.n))
+    for sorted_list in database.lists:
+        index_records = []
+        for entry in sorted_list.entries():
+            handle.write(_RANK_RECORD.pack(entry.item, entry.score))
+            index_records.append((entry.item, entry.position, entry.score))
+        index_records.sort()
+        for item, rank, score in index_records:
+            handle.write(_INDEX_RECORD.pack(item, rank, score))
+
+
 def save_database(database, path: str | Path) -> None:
     """Serialize a database (any object with ``lists``/``m``/``n``).
 
     Lists are read through their public API, so in-memory, dynamic and
-    even other disk databases can all be saved.
+    even other disk databases can all be saved.  The write is atomic
+    (:func:`atomic_writer`): a crash mid-write cannot leave a truncated
+    file at ``path``, which matters once snapshots are restart-critical.
     """
-    path = Path(path)
-    m, n = database.m, database.n
-    with open(path, "wb") as handle:
-        handle.write(_HEADER.pack(_MAGIC, _VERSION, m, n))
-        for sorted_list in database.lists:
-            index_records = []
-            for entry in sorted_list.entries():
-                handle.write(_RANK_RECORD.pack(entry.item, entry.score))
-                index_records.append((entry.item, entry.position, entry.score))
-            index_records.sort()
-            for item, rank, score in index_records:
-                handle.write(_INDEX_RECORD.pack(item, rank, score))
+    with atomic_writer(path) as handle:
+        write_database(handle, database)
 
 
 class DiskSortedList:
-    """One sorted list served from the file (no in-memory copy)."""
+    """One sorted list served from the file (no in-memory copy).
+
+    All reads are *positional* (:func:`os.pread`): the file offset is
+    part of every read call, so lists sharing one file descriptor —
+    every list of a :class:`DiskDatabase`, possibly across threads —
+    never race on a shared cursor.  A ``seek``-then-``read`` pair is not
+    atomic; under concurrency it returns records from whatever offset
+    the last interleaved seek left behind.
+    """
 
     __slots__ = ("_handle", "_n", "_rank_offset", "_index_offset", "_name")
 
@@ -81,6 +130,15 @@ class DiskSortedList:
         self._index_offset = _index_section_offset(n, list_index)
         self._name = name or f"L{list_index + 1}"
 
+    def _pread(self, offset: int, size: int) -> bytes:
+        payload = os.pread(self._handle.fileno(), size, offset)
+        if len(payload) != size:
+            raise CorruptFileError(
+                f"list {self._name}: short read of {len(payload)}/{size} "
+                f"bytes at offset {offset}"
+            )
+        return payload
+
     @property
     def name(self) -> str:
         """List label (``L1``, ``L2``, ...)."""
@@ -90,13 +148,17 @@ class DiskSortedList:
         return self._n
 
     def entry_at(self, position: Position) -> ListEntry:
-        """Read the entry at a 1-based position (one seek)."""
+        """Read the entry at a 1-based position (one positional read)."""
         if not 1 <= position <= self._n:
             raise InvalidPositionError(
                 f"position {position} out of range 1..{self._n}"
             )
-        self._handle.seek(self._rank_offset + (position - 1) * _RANK_RECORD.size)
-        item, score = _RANK_RECORD.unpack(self._handle.read(_RANK_RECORD.size))
+        item, score = _RANK_RECORD.unpack(
+            self._pread(
+                self._rank_offset + (position - 1) * _RANK_RECORD.size,
+                _RANK_RECORD.size,
+            )
+        )
         return ListEntry(position=position, item=item, score=score)
 
     def score_at(self, position: Position) -> Score:
@@ -108,8 +170,12 @@ class DiskSortedList:
         return self.entry_at(position).item
 
     def _read_index_record(self, slot: int) -> tuple[int, int, float]:
-        self._handle.seek(self._index_offset + slot * _INDEX_RECORD.size)
-        return _INDEX_RECORD.unpack(self._handle.read(_INDEX_RECORD.size))
+        return _INDEX_RECORD.unpack(
+            self._pread(
+                self._index_offset + slot * _INDEX_RECORD.size,
+                _INDEX_RECORD.size,
+            )
+        )
 
     def lookup(self, item: ItemId) -> tuple[Score, Position]:
         """Random access: binary search the item index (log2 n seeks)."""
@@ -138,8 +204,7 @@ class DiskSortedList:
 
     def entries(self) -> Iterator[ListEntry]:
         """Sequentially stream the whole rank section."""
-        self._handle.seek(self._rank_offset)
-        payload = self._handle.read(self._n * _RANK_RECORD.size)
+        payload = self._pread(self._rank_offset, self._n * _RANK_RECORD.size)
         for index, (item, score) in enumerate(_RANK_RECORD.iter_unpack(payload)):
             yield ListEntry(position=index + 1, item=item, score=score)
 

@@ -1,0 +1,398 @@
+"""Epoch-stamped, checksummed, compressed snapshot files.
+
+A snapshot is the restart-critical artifact of a long-lived
+:class:`repro.service.QueryService`: the columnar database it was
+serving, stamped with the epoch it was current at, wrapped so a new
+process can warm-start from disk instead of cold-rebuilding from the
+dynamic source.  The payload *is* the existing ``.bptk`` byte layout
+(:mod:`repro.storage.disk`), deflate-compressed, framed by a header
+that makes corruption detectable — and partially repairable — offline::
+
+    header:   magic "BPSN" | version u32 | flags u32 | epoch u64
+              | m u32 | n u32 | payload_len u64 | payload_crc u32
+    crc table: m pairs of (rank_crc u32, index_crc u32)
+    payload:  the .bptk bytes, zlib-deflated when flags bit 0 is set
+
+``payload_len``/``payload_crc`` cover the *uncompressed* payload.  The
+per-list pair checksums the rank section and the index section
+separately: the index section is pure derived data (the item-sorted
+binary-search index over the rank section), so :func:`verify_snapshot`
+can rebuild a damaged index from an intact rank section (``repair=True``)
+— but never the reverse, because the rank section is the ground truth.
+
+Writes go through :func:`repro.storage.disk.atomic_writer`; a crash
+mid-save leaves the previous snapshot intact.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.columnar import ColumnarDatabase, ColumnarList
+from repro.errors import CorruptFileError, StorageError
+from repro.storage.disk import (
+    _HEADER,
+    _INDEX_RECORD,
+    _MAGIC,
+    _RANK_RECORD,
+    _VERSION,
+    _index_section_offset,
+    _list_block_size,
+    _rank_section_offset,
+    atomic_writer,
+    write_database,
+)
+
+_SNAP_MAGIC = b"BPSN"
+_SNAP_VERSION = 1
+_SNAP_HEADER = struct.Struct("<4sIIQIIQI")
+_CRC_PAIR = struct.Struct("<II")
+_FLAG_DEFLATE = 1
+
+_RANK_DTYPE = np.dtype([("item", "<i8"), ("score", "<f8")])
+_INDEX_DTYPE = np.dtype([("item", "<i8"), ("rank", "<i8"), ("score", "<f8")])
+
+
+def _section_crcs(payload: bytes, m: int, n: int) -> list[tuple[int, int]]:
+    """Per-list (rank_crc, index_crc) over the uncompressed payload."""
+    pairs = []
+    for i in range(m):
+        rank_off = _rank_section_offset(n, i)
+        index_off = _index_section_offset(n, i)
+        rank_end = rank_off + n * _RANK_RECORD.size
+        index_end = index_off + n * _INDEX_RECORD.size
+        pairs.append(
+            (
+                zlib.crc32(payload[rank_off:rank_end]),
+                zlib.crc32(payload[index_off:index_end]),
+            )
+        )
+    return pairs
+
+
+def _frame(payload: bytes, m: int, n: int, epoch: int, compress: bool) -> bytes:
+    flags = _FLAG_DEFLATE if compress else 0
+    blob = zlib.compress(payload, 6) if compress else payload
+    header = _SNAP_HEADER.pack(
+        _SNAP_MAGIC,
+        _SNAP_VERSION,
+        flags,
+        epoch,
+        m,
+        n,
+        len(payload),
+        zlib.crc32(payload),
+    )
+    table = b"".join(
+        _CRC_PAIR.pack(rank_crc, index_crc)
+        for rank_crc, index_crc in _section_crcs(payload, m, n)
+    )
+    return header + table + blob
+
+
+def write_snapshot(
+    database,
+    path: str | Path,
+    *,
+    epoch: int = 0,
+    compress: bool = True,
+) -> None:
+    """Atomically save ``database`` as an epoch-stamped snapshot file.
+
+    ``database`` is anything :func:`repro.storage.disk.save_database`
+    accepts (it is serialized through the public list API).
+    """
+    if epoch < 0:
+        raise ValueError(f"epoch must be >= 0, got {epoch}")
+    buffer = io.BytesIO()
+    write_database(buffer, database)
+    payload = buffer.getvalue()
+    with atomic_writer(path) as handle:
+        handle.write(_frame(payload, database.m, database.n, epoch, compress))
+
+
+def _read_frame(path: Path) -> tuple[dict, bytes]:
+    """Parse the snapshot frame; returns (header fields, raw tail)."""
+    raw = path.read_bytes()
+    if len(raw) < _SNAP_HEADER.size:
+        raise CorruptFileError(f"{path}: truncated snapshot header")
+    magic, version, flags, epoch, m, n, payload_len, payload_crc = (
+        _SNAP_HEADER.unpack_from(raw)
+    )
+    if magic != _SNAP_MAGIC:
+        raise CorruptFileError(f"{path}: bad snapshot magic {magic!r}")
+    if version != _SNAP_VERSION:
+        raise CorruptFileError(f"{path}: unsupported snapshot version {version}")
+    table_end = _SNAP_HEADER.size + m * _CRC_PAIR.size
+    if len(raw) < table_end:
+        raise CorruptFileError(f"{path}: truncated checksum table")
+    pairs = [
+        _CRC_PAIR.unpack_from(raw, _SNAP_HEADER.size + i * _CRC_PAIR.size)
+        for i in range(m)
+    ]
+    fields = {
+        "flags": flags,
+        "epoch": epoch,
+        "m": m,
+        "n": n,
+        "payload_len": payload_len,
+        "payload_crc": payload_crc,
+        "pairs": pairs,
+    }
+    return fields, raw[table_end:]
+
+
+def _decompress(fields: dict, tail: bytes, path: Path) -> bytes:
+    if fields["flags"] & _FLAG_DEFLATE:
+        try:
+            payload = zlib.decompress(tail)
+        except zlib.error as exc:
+            raise CorruptFileError(
+                f"{path}: snapshot payload does not inflate ({exc})"
+            ) from exc
+    else:
+        payload = tail
+    if len(payload) != fields["payload_len"]:
+        raise CorruptFileError(
+            f"{path}: payload length {len(payload)} != "
+            f"stated {fields['payload_len']}"
+        )
+    return payload
+
+
+def _check_bptk_shape(fields: dict, payload: bytes, path: Path) -> None:
+    m, n = fields["m"], fields["n"]
+    expected = _HEADER.size + m * _list_block_size(n)
+    if len(payload) != expected:
+        raise CorruptFileError(
+            f"{path}: payload size {len(payload)} != expected {expected} "
+            f"for m={m} n={n}"
+        )
+    magic, version, pm, pn = _HEADER.unpack_from(payload)
+    if magic != _MAGIC or version != _VERSION or pm != m or pn != n:
+        raise CorruptFileError(
+            f"{path}: payload header {magic!r} v{version} m={pm} n={pn} "
+            f"disagrees with snapshot header m={m} n={n}"
+        )
+
+
+def load_snapshot(path: str | Path) -> tuple[ColumnarDatabase, int]:
+    """Load a snapshot into a :class:`ColumnarDatabase`; returns its epoch.
+
+    The whole-payload checksum is verified (bit rot surfaces as
+    :class:`repro.errors.CorruptFileError`, never as silently wrong
+    answers); the columnar arrays are then adopted directly from the
+    payload's sections — the rank section is already the canonical
+    order and the index section already the sorted-id permutation, so
+    no re-sort happens on the load path.  Use :func:`verify_snapshot`
+    for the deeper (and repair-capable) structural audit.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such snapshot file: {path}")
+    fields, tail = _read_frame(path)
+    payload = _decompress(fields, tail, path)
+    if zlib.crc32(payload) != fields["payload_crc"]:
+        raise CorruptFileError(f"{path}: snapshot payload checksum mismatch")
+    _check_bptk_shape(fields, payload, path)
+    m, n = fields["m"], fields["n"]
+    lists = []
+    for i in range(m):
+        rank = np.frombuffer(
+            payload, dtype=_RANK_DTYPE, count=n,
+            offset=_rank_section_offset(n, i),
+        )
+        index = np.frombuffer(
+            payload, dtype=_INDEX_DTYPE, count=n,
+            offset=_index_section_offset(n, i),
+        )
+        uids = index["item"].astype(np.int64)
+        dense = bool(
+            n == 0 or (int(uids[0]) == 0 and int(uids[-1]) == n - 1)
+        )
+        lists.append(
+            ColumnarList._from_canonical(
+                rank["item"].astype(np.int64),
+                rank["score"].astype(np.float64),
+                uids,
+                index["rank"].astype(np.int64) - 1,
+                dense,
+                f"L{i + 1}",
+            )
+        )
+    return ColumnarDatabase(lists), fields["epoch"]
+
+
+@dataclass
+class SnapshotReport:
+    """The outcome of one :func:`verify_snapshot` audit."""
+
+    path: Path
+    epoch: int = 0
+    m: int = 0
+    n: int = 0
+    compressed: bool = False
+    checks: int = 0  #: individual validations performed
+    issues: list[str] = field(default_factory=list)
+    repaired: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the snapshot is (now) fully consistent."""
+        return not self.issues
+
+
+def _audit_list(
+    report: SnapshotReport, payload: bytes, i: int, pair: tuple[int, int]
+) -> tuple[bool, bool]:
+    """Check one list's sections; returns (rank_ok, index_ok)."""
+    n = report.n
+    rank_off = _rank_section_offset(n, i)
+    index_off = _index_section_offset(n, i)
+    rank_bytes = payload[rank_off : rank_off + n * _RANK_RECORD.size]
+    index_bytes = payload[index_off : index_off + n * _INDEX_RECORD.size]
+    name = f"L{i + 1}"
+
+    rank_ok = True
+    report.checks += 1
+    if zlib.crc32(rank_bytes) != pair[0]:
+        report.issues.append(f"{name}: rank section checksum mismatch")
+        rank_ok = False
+    rank = np.frombuffer(rank_bytes, dtype=_RANK_DTYPE)
+    if rank_ok and n:
+        report.checks += 1
+        scores = rank["score"]
+        items = rank["item"]
+        descending = np.diff(scores) <= 0
+        tie_items_ascend = (np.diff(scores) < 0) | (np.diff(items) > 0)
+        if not bool(descending.all() and tie_items_ascend.all()):
+            report.issues.append(
+                f"{name}: rank section violates canonical "
+                "(score desc, item asc) order"
+            )
+            rank_ok = False
+
+    index_ok = True
+    report.checks += 1
+    if zlib.crc32(index_bytes) != pair[1]:
+        report.issues.append(f"{name}: index section checksum mismatch")
+        index_ok = False
+    index = np.frombuffer(index_bytes, dtype=_INDEX_DTYPE)
+    if index_ok and n:
+        report.checks += 1
+        if not bool((np.diff(index["item"]) > 0).all()):
+            report.issues.append(
+                f"{name}: index section not strictly item-sorted"
+            )
+            index_ok = False
+    if index_ok and rank_ok and n:
+        # Cross-validation: every index record must point at a rank
+        # record holding exactly its (item, score).
+        report.checks += 1
+        ranks = index["rank"]
+        in_range = (ranks >= 1) & (ranks <= n)
+        if not bool(in_range.all()):
+            report.issues.append(f"{name}: index ranks out of range 1..{n}")
+            index_ok = False
+        else:
+            pointed = rank[ranks - 1]
+            same_item = pointed["item"] == index["item"]
+            same_score = (
+                pointed["score"].tobytes() == index["score"].tobytes()
+            )
+            if not (bool(same_item.all()) and same_score):
+                report.issues.append(
+                    f"{name}: index records disagree with the rank section"
+                )
+                index_ok = False
+    return rank_ok, index_ok
+
+
+def _rebuilt_index_section(rank_bytes: bytes) -> bytes:
+    """Derive a list's index section from its (intact) rank section."""
+    rank = np.frombuffer(rank_bytes, dtype=_RANK_DTYPE)
+    rebuilt = np.empty(rank.shape[0], dtype=_INDEX_DTYPE)
+    order = np.argsort(rank["item"], kind="stable")
+    rebuilt["item"] = rank["item"][order]
+    rebuilt["rank"] = order + 1
+    rebuilt["score"] = rank["score"][order]
+    return rebuilt.tobytes()
+
+
+def verify_snapshot(path: str | Path, *, repair: bool = False) -> SnapshotReport:
+    """Audit a snapshot file's integrity; optionally repair its indexes.
+
+    Checks, per list: both section checksums, the rank section's
+    canonical order, the index section's sort invariant, and the
+    rank/index cross-validation.  With ``repair=True``, lists whose rank
+    section is intact but whose index section fails any check get their
+    index rebuilt from the rank section, and the file is rewritten
+    atomically (new checksums included).  Damage to a rank section is
+    never repairable — that data exists nowhere else.
+
+    Returns a :class:`SnapshotReport`; structural damage that prevents
+    the audit from even framing the file (bad magic, truncation, a
+    payload that will not inflate) raises
+    :class:`repro.errors.CorruptFileError` instead.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no such snapshot file: {path}")
+    fields, tail = _read_frame(path)
+    report = SnapshotReport(
+        path=path,
+        epoch=fields["epoch"],
+        m=fields["m"],
+        n=fields["n"],
+        compressed=bool(fields["flags"] & _FLAG_DEFLATE),
+    )
+    payload = _decompress(fields, tail, path)
+    _check_bptk_shape(fields, payload, path)
+    report.checks += 1
+    payload_crc_ok = zlib.crc32(payload) == fields["payload_crc"]
+    if not payload_crc_ok:
+        report.issues.append("whole-payload checksum mismatch")
+
+    repairable: list[int] = []
+    for i in range(report.m):
+        rank_ok, index_ok = _audit_list(report, payload, i, fields["pairs"][i])
+        if rank_ok and not index_ok:
+            repairable.append(i)
+
+    if repair and repairable:
+        n = report.n
+        patched = bytearray(payload)
+        for i in repairable:
+            rank_off = _rank_section_offset(n, i)
+            index_off = _index_section_offset(n, i)
+            patched[index_off : index_off + n * _INDEX_RECORD.size] = (
+                _rebuilt_index_section(
+                    payload[rank_off : rank_off + n * _RANK_RECORD.size]
+                )
+            )
+        with atomic_writer(path) as handle:
+            handle.write(
+                _frame(
+                    bytes(patched),
+                    report.m,
+                    n,
+                    report.epoch,
+                    report.compressed,
+                )
+            )
+        # Re-audit the rewritten file: surviving issues (e.g. a damaged
+        # rank section) stay issues; everything the rebuild cured moves
+        # to ``repaired``.
+        fresh = verify_snapshot(path, repair=False)
+        fresh.repaired = [
+            issue for issue in report.issues if issue not in fresh.issues
+        ]
+        fresh.checks += report.checks
+        return fresh
+    return report

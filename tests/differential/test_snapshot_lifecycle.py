@@ -1,0 +1,215 @@
+"""Stateful fuzz of the snapshot lifecycle: patch, rebuild, save, load.
+
+A rule-based machine drives one live :class:`DynamicDatabase` while
+maintaining a columnar snapshot of it through every mechanism the
+storage engine offers, in whatever order Hypothesis invents:
+
+* **patch** — fold the accumulated mutation window into the snapshot via
+  :func:`repro.columnar.patch_database` (generous budget: must succeed);
+* **starved patch** — the same with ``budget=1``, so multi-item windows
+  exercise the ``None`` → cold-rebuild fallback;
+* **cold rebuild** — throw the snapshot away and re-derive it;
+* **save/load round-trip** — push the snapshot through an epoch-stamped
+  ``.bpsn`` file (alternating compressed/raw) and adopt the *loaded*
+  database as the live snapshot, so later patches run on file-restored
+  arrays too;
+* **verify** — the on-disk audit must pass for every file we write.
+
+The invariant after every refresh rule: the maintained snapshot is
+**bit-identical** to a from-scratch cold rebuild of the source — same
+columns, same rank permutations, same uids.  However the snapshot got
+here (patched thrice, restored from disk, rebuilt), it must be *the*
+canonical columnar image of the current data.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.columnar import patch_database
+from repro.datagen.base import make_generator
+from repro.service.service import _snapshot_dynamic
+from repro.service.workload import dynamic_from
+from repro.storage import load_snapshot, verify_snapshot, write_snapshot
+
+FAMILIES = ("uniform", "gaussian", "correlated", "zipf", "copula")
+
+#: Tiny grid plus ordinary floats: aggregate ties are the nastiest
+#: ordering edge for a canonical (score desc, item asc) re-sort.
+scores = st.one_of(
+    st.integers(min_value=0, max_value=4).map(lambda v: v / 4),
+    st.floats(
+        min_value=0.0,
+        max_value=1.5,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    ).map(float),
+)
+
+
+class SnapshotLifecycleMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.source = None
+        self.snapshot = None
+        self.window = []
+        self.unsubscribe = None
+        self.next_id = 0
+        self.epoch = 0
+        self.saves = 0
+        self.tmpdir = Path(tempfile.mkdtemp(prefix="bpsn-fuzz-"))
+
+    def teardown(self):
+        shutil.rmtree(self.tmpdir, ignore_errors=True)
+
+    @initialize(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=4, max_value=24),
+        m=st.integers(min_value=2, max_value=3),
+    )
+    def setup(self, family, seed, n, m):
+        database = make_generator(family).generate(n, m, seed=seed)
+        self.source = dynamic_from(database)
+        self.snapshot = _snapshot_dynamic(self.source)
+        self.next_id = n + 1000
+        self.unsubscribe = self.source.subscribe(self._record)
+
+    def _record(self, event):
+        self.window.append(event)
+        self.epoch += 1
+
+    # ------------------------------------------------------------------
+    # Mutations (grow the pending window)
+    # ------------------------------------------------------------------
+
+    @rule(data=st.data())
+    def update_score(self, data):
+        ids = sorted(self.source.item_ids)
+        if not ids:
+            return
+        self.source.update_score(
+            data.draw(st.integers(0, self.source.m - 1), label="list"),
+            data.draw(st.sampled_from(ids), label="item"),
+            data.draw(scores, label="score"),
+        )
+
+    @rule(data=st.data())
+    def insert_item(self, data):
+        self.source.insert_item(
+            self.next_id,
+            [data.draw(scores, label="score")
+             for _ in range(self.source.m)],
+        )
+        self.next_id += 1
+
+    @rule(data=st.data())
+    def remove_item(self, data):
+        ids = sorted(self.source.item_ids)
+        if len(ids) <= 2:
+            return
+        self.source.remove_item(data.draw(st.sampled_from(ids), label="item"))
+
+    # ------------------------------------------------------------------
+    # Refresh mechanisms (consume the window)
+    # ------------------------------------------------------------------
+
+    def _assert_current(self):
+        rebuilt = _snapshot_dynamic(self.source)
+        assert self.snapshot.m == rebuilt.m
+        assert self.snapshot.n == rebuilt.n
+        for ours, theirs in zip(self.snapshot.lists, rebuilt.lists):
+            assert (
+                ours.items_array.tobytes() == theirs.items_array.tobytes()
+            )
+            assert (
+                ours.scores_array.tobytes() == theirs.scores_array.tobytes()
+            )
+            assert ours.uids_array.tobytes() == theirs.uids_array.tobytes()
+            assert ours.rank_by_row.tobytes() == theirs.rank_by_row.tobytes()
+
+    @rule()
+    def patch(self):
+        patched = patch_database(self.snapshot, self.window, budget=10**9)
+        assert patched is not None  # generous budget: must always patch
+        self.snapshot = patched
+        self.window = []
+        self._assert_current()
+
+    @rule()
+    def starved_patch(self):
+        """budget=1: wide windows must fall back, never mis-patch."""
+        patched = patch_database(self.snapshot, self.window, budget=1)
+        if patched is None:
+            patched = _snapshot_dynamic(self.source)
+        self.snapshot = patched
+        self.window = []
+        self._assert_current()
+
+    @rule()
+    def cold_rebuild(self):
+        self.snapshot = _snapshot_dynamic(self.source)
+        self.window = []
+        self._assert_current()
+
+    @rule()
+    def save_load_round_trip(self):
+        """Persist, audit, restore — the restored file becomes live."""
+        path = self.tmpdir / f"epoch-{self.saves}.bpsn"
+        self.saves += 1
+        snapshot_epoch = self.epoch - len(self.window)
+        write_snapshot(
+            self.snapshot,
+            path,
+            epoch=snapshot_epoch,
+            compress=bool(self.saves % 2),
+        )
+        assert verify_snapshot(path).ok
+        loaded, epoch = load_snapshot(path)
+        assert epoch == snapshot_epoch
+
+        # The loaded arrays must equal the in-memory snapshot's exactly;
+        # then adopt them so later patches run on file-restored arrays.
+        for ours, theirs in zip(self.snapshot.lists, loaded.lists):
+            assert (
+                ours.items_array.tobytes() == theirs.items_array.tobytes()
+            )
+            assert (
+                ours.scores_array.tobytes() == theirs.scores_array.tobytes()
+            )
+            assert ours.rank_by_row.tobytes() == theirs.rank_by_row.tobytes()
+        self.snapshot = loaded
+
+    @invariant()
+    def snapshot_is_internally_consistent(self):
+        if self.snapshot is None:
+            return
+        for lst in self.snapshot.lists:
+            items, ranks = lst.items_array, lst.rank_by_row
+            # rank_by_row is the inverse permutation of the rank order.
+            assert (ranks[lst.rows_of(items)] == range(len(items))).all()
+
+
+# The epoch bookkeeping in save_load_round_trip assumes the saved epoch
+# lags the live epoch by exactly the pending window; mutations bump both
+# in _record, refreshes drain the window without touching the epoch.
+SnapshotLifecycleMachine.TestCase.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+TestSnapshotLifecycle = SnapshotLifecycleMachine.TestCase

@@ -146,3 +146,91 @@ class TestServeWorkloadAsyncMode:
 
     def test_speedup_needs_explicit_shards(self, capsys):
         assert main(["serve-workload", "--speedup", "--shards", "auto"]) == 2
+
+
+class TestSnapshotCli:
+    """``--snapshot-out``/``--snapshot-in`` and ``verify-snapshot``."""
+
+    def _serve(self, extra, out):
+        return main(["serve-workload", "--smoke", "--mutation-rate", "1.0",
+                     "--verify", "--queries", "25", "--out", str(out),
+                     *extra])
+
+    def test_mutation_replay_round_trips_a_restart(self, capsys, tmp_path):
+        state = tmp_path / "state.bpsn"
+        assert self._serve(["--snapshot-out", str(state)],
+                           tmp_path / "r1.json") == 0
+        first = capsys.readouterr().out
+        assert "snapshot saved to" in first
+        report = json.loads((tmp_path / "r1.json").read_text())
+        saved = report["snapshot_saved"]
+        assert saved["path"] == str(state)
+        assert saved["epoch"] > 0
+
+        # "Restart": warm-start from the file, keep mutating, re-verify
+        # every served answer against the brute-force oracle.
+        assert self._serve(["--snapshot-in", str(state),
+                            "--snapshot-out", str(state)],
+                           tmp_path / "r2.json") == 0
+        second = capsys.readouterr().out
+        assert f"restored snapshot {state}" in second
+        report2 = json.loads((tmp_path / "r2.json").read_text())
+        assert report2["snapshot_restored_epoch"] == saved["epoch"]
+        assert report2["snapshot_saved"]["epoch"] > saved["epoch"]
+        assert report2["service"]["verified_identical"]
+
+    def test_static_replay_accepts_snapshot_in(self, capsys, tmp_path):
+        state = tmp_path / "state.bpsn"
+        assert main(["serve-workload", "--smoke",
+                     "--snapshot-out", str(state),
+                     "--out", str(tmp_path / "r1.json")]) == 0
+        capsys.readouterr()
+        assert main(["serve-workload", "--smoke",
+                     "--snapshot-in", str(state),
+                     "--out", str(tmp_path / "r2.json")]) == 0
+        out = capsys.readouterr().out
+        assert "warm start" in out
+        assert "results identical: True" in out
+
+    def test_verify_snapshot_ok_and_repair(self, capsys, tmp_path):
+        from repro.datagen.base import make_generator
+        from repro.storage import write_snapshot
+        from repro.storage.disk import _rank_section_offset
+        from repro.storage.snapshot import (
+            _CRC_PAIR,
+            _SNAP_HEADER,
+            _index_section_offset,
+        )
+
+        database = make_generator("uniform").generate(20, 2, seed=6)
+        state = tmp_path / "state.bpsn"
+        write_snapshot(database, state, epoch=9, compress=False)
+        assert main(["verify-snapshot", str(state)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch 9" in out and "snapshot OK" in out
+
+        # Corrupt one index byte: detected, then repaired in place.
+        base = _SNAP_HEADER.size + 2 * _CRC_PAIR.size
+        raw = bytearray(state.read_bytes())
+        raw[base + _index_section_offset(20, 1)] ^= 0xFF
+        state.write_bytes(bytes(raw))
+        assert main(["verify-snapshot", str(state)]) == 1
+        captured = capsys.readouterr()
+        assert "ISSUE" in captured.out
+        assert "--repair" in captured.err
+        assert main(["verify-snapshot", str(state), "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "repaired" in out
+        assert main(["verify-snapshot", str(state)]) == 0
+        capsys.readouterr()
+
+        # Rank-section damage is honestly unrecoverable.
+        raw = bytearray(state.read_bytes())
+        raw[base + _rank_section_offset(20, 0) + 3] ^= 0xFF
+        state.write_bytes(bytes(raw))
+        assert main(["verify-snapshot", str(state), "--repair"]) == 1
+        assert "not repairable" in capsys.readouterr().err
+
+    def test_verify_snapshot_missing_file(self, capsys, tmp_path):
+        assert main(["verify-snapshot", str(tmp_path / "absent.bpsn")]) == 1
+        assert "unrecoverable" in capsys.readouterr().err

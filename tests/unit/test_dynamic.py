@@ -283,3 +283,64 @@ class TestMutationSubscriptions:
         database.subscribe(lambda e: order.append("b"))
         database.update_score(0, 1, 20.0)
         assert order == ["a", "b"]
+
+
+class TestRemoveItemRollback:
+    """``remove_item`` must be all-or-nothing (mirrors ``insert_item``)."""
+
+    class _FaultyList(DynamicSortedList):
+        """A list whose ``remove`` can be armed to raise."""
+
+        fail_removal_of: object = None
+
+        def remove(self, item):
+            if item == self.fail_removal_of:
+                raise RuntimeError("injected removal fault")
+            super().remove(item)
+
+    @pytest.fixture()
+    def faulty_database(self):
+        healthy = DynamicSortedList([(0, 9.0), (1, 7.0), (2, 5.0)], name="L1")
+        faulty = self._FaultyList([(0, 2.0), (1, 9.0), (2, 6.0)], name="L2")
+        return DynamicDatabase([healthy, faulty]), faulty
+
+    def test_failed_removal_rolls_back_earlier_lists(self, faulty_database):
+        database, faulty = faulty_database
+        before = {item: database.local_scores(item) for item in (0, 1, 2)}
+        faulty.fail_removal_of = 1
+        with pytest.raises(RuntimeError, match="injected removal fault"):
+            database.remove_item(1)
+        # The database is unchanged: item 1 is back in *every* list with
+        # its original score (the pre-fix code left it dropped from L1).
+        assert database.item_ids == frozenset({0, 1, 2})
+        for item, scores in before.items():
+            assert database.local_scores(item) == scores
+        for lst in database.lists:
+            assert sorted(lst.items()) == [0, 1, 2]
+
+    def test_failed_removal_does_not_notify(self, faulty_database):
+        database, faulty = faulty_database
+        events = []
+        database.subscribe(events.append)
+        faulty.fail_removal_of = 1
+        with pytest.raises(RuntimeError):
+            database.remove_item(1)
+        assert events == []
+
+    def test_rolled_back_removal_keeps_list_order(self, faulty_database):
+        database, faulty = faulty_database
+        order_before = [lst.items() for lst in database.lists]
+        faulty.fail_removal_of = 2
+        with pytest.raises(RuntimeError):
+            database.remove_item(2)
+        assert [lst.items() for lst in database.lists] == order_before
+        # A later, healthy removal still works end to end.
+        faulty.fail_removal_of = None
+        database.remove_item(2)
+        assert database.item_ids == frozenset({0, 1})
+
+    def test_remove_unknown_item_changes_nothing(self, faulty_database):
+        database, _ = faulty_database
+        with pytest.raises(UnknownItemError):
+            database.remove_item(99)
+        assert database.item_ids == frozenset({0, 1, 2})

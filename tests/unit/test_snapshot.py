@@ -1,0 +1,259 @@
+"""Unit tests for the ``.bpsn`` snapshot format.
+
+Covers the full lifecycle: epoch-stamped save/load round-trips
+(compressed and raw), atomicity of the writer, the verifier's audit
+checks against targeted corruption of every section, and ``--repair``
+semantics — a damaged index section is rebuilt from the rank section,
+a damaged rank section is honestly reported as unrecoverable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.columnar import ColumnarDatabase
+from repro.datagen.base import make_generator
+from repro.errors import CorruptFileError, StorageError
+from repro.storage import (
+    load_snapshot,
+    verify_snapshot,
+    write_snapshot,
+)
+from repro.storage.disk import _rank_section_offset
+from repro.storage.snapshot import (
+    _CRC_PAIR,
+    _INDEX_DTYPE,
+    _SNAP_HEADER,
+    _index_section_offset,
+)
+
+
+@pytest.fixture()
+def database() -> ColumnarDatabase:
+    return ColumnarDatabase.from_database(
+        make_generator("uniform").generate(30, 3, seed=9)
+    )
+
+
+def assert_databases_identical(a: ColumnarDatabase, b: ColumnarDatabase):
+    assert a.m == b.m and a.n == b.n
+    for ours, theirs in zip(a.lists, b.lists):
+        assert ours.items_array.tobytes() == theirs.items_array.tobytes()
+        assert ours.scores_array.tobytes() == theirs.scores_array.tobytes()
+        assert ours.uids_array.tobytes() == theirs.uids_array.tobytes()
+        assert ours.rank_by_row.tobytes() == theirs.rank_by_row.tobytes()
+        assert ours.dense_ids == theirs.dense_ids
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("compress", (True, False))
+    def test_round_trip_bit_identical(self, tmp_path, database, compress):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, epoch=41, compress=compress)
+        loaded, epoch = load_snapshot(path)
+        assert epoch == 41
+        assert_databases_identical(loaded, database)
+
+    def test_compression_shrinks_but_preserves(self, tmp_path, database):
+        raw = tmp_path / "raw.bpsn"
+        packed = tmp_path / "packed.bpsn"
+        write_snapshot(database, raw, compress=False)
+        write_snapshot(database, packed, compress=True)
+        assert packed.stat().st_size < raw.stat().st_size
+        assert_databases_identical(
+            load_snapshot(raw)[0], load_snapshot(packed)[0]
+        )
+
+    def test_default_epoch_is_zero(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path)
+        assert load_snapshot(path)[1] == 0
+
+    def test_negative_epoch_rejected(self, tmp_path, database):
+        with pytest.raises(ValueError, match="epoch must be >= 0"):
+            write_snapshot(database, tmp_path / "x.bpsn", epoch=-1)
+
+    def test_missing_file_raises_storage_error(self, tmp_path):
+        with pytest.raises(StorageError, match="no such snapshot"):
+            load_snapshot(tmp_path / "absent.bpsn")
+        with pytest.raises(StorageError, match="no such snapshot"):
+            verify_snapshot(tmp_path / "absent.bpsn")
+
+    def test_sparse_ids_round_trip(self, tmp_path):
+        """Non-dense item ids keep their uids/rank permutation."""
+        base = ColumnarDatabase.from_database(
+            make_generator("uniform").generate(12, 2, seed=4)
+        )
+        # Relabelling items to a sparse id space via the public
+        # constructor path: rebuild from (item, score) pairs.
+        from repro.lists.database import Database
+        from repro.lists.sorted_list import SortedList
+
+        sparse = ColumnarDatabase.from_database(
+            Database(
+                [
+                    SortedList(
+                        [(item * 7 + 3, score) for item, score in
+                         zip(lst.items_array.tolist(),
+                             lst.scores_array.tolist())],
+                        name=lst.name,
+                    )
+                    for lst in base.lists
+                ]
+            )
+        )
+        path = tmp_path / "sparse.bpsn"
+        write_snapshot(sparse, path, epoch=7)
+        loaded, _ = load_snapshot(path)
+        assert not loaded.lists[0].dense_ids
+        assert_databases_identical(loaded, sparse)
+
+    def test_write_is_atomic_no_stray_tmp(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, epoch=1)
+        first = path.read_bytes()
+        write_snapshot(database, path, epoch=2)
+        assert load_snapshot(path)[1] == 2
+        assert path.read_bytes() != first
+        assert [p.name for p in tmp_path.iterdir()] == ["state.bpsn"]
+
+
+def _flip(path: Path, offset: int) -> None:
+    """Flip one byte of the file at ``offset`` in place."""
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+def _payload_offset(path: Path, *, section_offset: int) -> int:
+    """File offset of an uncompressed payload byte (raw snapshots)."""
+    fields = _SNAP_HEADER.unpack_from(path.read_bytes())
+    m = fields[4]
+    return _SNAP_HEADER.size + m * _CRC_PAIR.size + section_offset
+
+
+class TestVerify:
+    def test_clean_snapshot_passes(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, epoch=13)
+        report = verify_snapshot(path)
+        assert report.ok
+        assert report.epoch == 13
+        assert report.m == 3 and report.n == 30
+        assert report.compressed
+        assert report.checks >= 1 + 5 * report.m
+        assert report.repaired == []
+
+    def test_bad_magic_raises(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path)
+        _flip(path, 0)
+        with pytest.raises(CorruptFileError, match="bad snapshot magic"):
+            verify_snapshot(path)
+        with pytest.raises(CorruptFileError, match="bad snapshot magic"):
+            load_snapshot(path)
+
+    def test_truncated_header_raises(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path)
+        path.write_bytes(path.read_bytes()[: _SNAP_HEADER.size - 3])
+        with pytest.raises(CorruptFileError, match="truncated"):
+            verify_snapshot(path)
+
+    def test_garbled_deflate_raises(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, compress=True)
+        _flip(path, path.stat().st_size - 5)
+        with pytest.raises(CorruptFileError, match="does not inflate|checksum"):
+            load_snapshot(path)
+
+    def test_rank_section_corruption_detected(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, compress=False)
+        offset = _payload_offset(
+            path, section_offset=_rank_section_offset(database.n, 1) + 8
+        )
+        _flip(path, offset)
+        report = verify_snapshot(path)
+        assert not report.ok
+        assert any("L2: rank section checksum" in i for i in report.issues)
+        # The whole-payload crc catches it too.
+        assert any("whole-payload" in i for i in report.issues)
+        with pytest.raises(CorruptFileError, match="checksum mismatch"):
+            load_snapshot(path)
+
+    def test_index_section_corruption_detected(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, compress=False)
+        offset = _payload_offset(
+            path, section_offset=_index_section_offset(database.n, 0)
+        )
+        _flip(path, offset)
+        report = verify_snapshot(path)
+        assert not report.ok
+        assert any("L1: index section checksum" in i for i in report.issues)
+        assert not any("rank section" in i for i in report.issues)
+
+
+class TestRepair:
+    def _corrupt_index(self, path: Path, n: int, list_index: int) -> None:
+        offset = _payload_offset(
+            path,
+            section_offset=_index_section_offset(n, list_index)
+            + _INDEX_DTYPE.itemsize,
+        )
+        _flip(path, offset)
+
+    def test_repair_rebuilds_index_from_rank(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, epoch=5, compress=False)
+        pristine = path.read_bytes()
+        self._corrupt_index(path, database.n, 2)
+        assert not verify_snapshot(path).ok
+
+        report = verify_snapshot(path, repair=True)
+        assert report.ok
+        assert any("L3" in line for line in report.repaired)
+        # The repaired file round-trips identically to the original
+        # database and passes a fresh audit.
+        assert verify_snapshot(path).ok
+        loaded, epoch = load_snapshot(path)
+        assert epoch == 5
+        assert_databases_identical(loaded, database)
+        # Byte-identical payload to the pristine write (same sections,
+        # fresh checksums over identical bytes).
+        assert path.read_bytes() == pristine
+
+    def test_repair_works_on_compressed_snapshots(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, epoch=5, compress=True)
+        # Corrupting a compressed payload in place garbles the inflate;
+        # instead rewrite the file raw, corrupt, then repair and confirm
+        # the repaired file stays compressed=False-agnostic.
+        loaded, epoch = load_snapshot(path)
+        raw = tmp_path / "raw.bpsn"
+        write_snapshot(loaded, raw, epoch=epoch, compress=False)
+        self._corrupt_index(raw, database.n, 0)
+        report = verify_snapshot(raw, repair=True)
+        assert report.ok and report.repaired
+
+    def test_rank_damage_is_not_repairable(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, compress=False)
+        offset = _payload_offset(
+            path, section_offset=_rank_section_offset(database.n, 0) + 4
+        )
+        _flip(path, offset)
+        report = verify_snapshot(path, repair=True)
+        assert not report.ok
+        assert any("L1: rank section checksum" in i for i in report.issues)
+
+    def test_repair_is_noop_on_clean_file(self, tmp_path, database):
+        path = tmp_path / "state.bpsn"
+        write_snapshot(database, path, compress=False)
+        before = path.read_bytes()
+        report = verify_snapshot(path, repair=True)
+        assert report.ok and report.repaired == []
+        assert path.read_bytes() == before
