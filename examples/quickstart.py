@@ -71,6 +71,27 @@ hit/revalidated/patched/miss served each answer:
 ('revalidated', (0, 1))
 >>> service.close()
 
+A *standing* query subscribes once and is pushed changes instead of
+polling: every mutation is classified against the maintained answer
+through the same certificate, and a ``ResultDelta`` is delivered only
+when the visible top-k actually moves — the harmless mutation below
+pushes nothing, the overtake pushes exactly one delta:
+
+>>> source = DynamicDatabase.from_score_rows(
+...     [[9.0, 7.0, 5.0, 3.0, 1.0], [8.0, 6.0, 4.0, 2.0, 0.0]])
+>>> service = QueryService(source, pool="serial")
+>>> watching = service.watch(QuerySpec("ta", k=2))
+>>> watching.item_ids
+(0, 1)
+>>> source.update_score(0, 4, 1.5)   # harmless: certified, nothing pushed
+>>> source.update_score(0, 1, 12.0)  # item 1 overtakes item 0: one delta
+>>> (delta,) = watching.poll()
+>>> delta.cause, delta.seq, watching.item_ids
+('patched', 1, (1, 0))
+>>> (watching.stats.unchanged, watching.stats.patched, watching.stats.deltas)
+(1, 1, 1)
+>>> service.close()
+
 Under concurrency, submit through the async front-end: ``gather_many``
 runs shard fan-out on an asyncio event loop with bounded concurrency,
 and identical in-flight queries are *coalesced* into one execution:

@@ -194,6 +194,57 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="after the replay, atomically persist the "
                             "service's snapshot (epoch-stamped, "
                             "checksummed, compressed) to FILE")
+    serve.add_argument("--watch-port", type=int, default=None, metavar="PORT",
+                       help="with --mutation-rate: also serve standing "
+                            "subscriptions (watch/delta/unwatch push "
+                            "frames) on PORT while the replay mutates — "
+                            "tail them with 'repro-topk watch --port PORT' "
+                            "from another process")
+    serve.add_argument("--watch-wait", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="with --watch-port: wait up to SECONDS for the "
+                            "first subscription before starting the replay")
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a standing top-k subscription's pushed deltas from a "
+             "watch server, or benchmark push vs re-query (--speedup)",
+    )
+    watch.add_argument("--port", type=int, default=None,
+                       help="watch server port (see serve-workload "
+                            "--watch-port)")
+    watch.add_argument("--host", default="127.0.0.1")
+    watch.add_argument("--algorithm", default="auto",
+                       help="algorithm for the standing query "
+                            "('auto' lets the planner pick)")
+    watch.add_argument("--k", type=int, default=10)
+    watch.add_argument("--scoring", default="sum",
+                       choices=("sum", "min", "max", "average"))
+    watch.add_argument("--max-deltas", type=int, default=None, metavar="N",
+                       help="stop tailing after N deltas (default: until "
+                            "the server closes)")
+    watch.add_argument("--poll-timeout", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="poll granularity while tailing")
+    watch.add_argument("--speedup", action="store_true",
+                       help="run the push-vs-re-query benchmark (writes "
+                            "reports/watch_speedup.json; no server needed)")
+    watch.add_argument("--subscribers", type=int, default=4,
+                       help="--speedup: concurrent subscriptions")
+    watch.add_argument("--mutations", type=int, default=150,
+                       help="--speedup: mutations driven through the stream")
+    watch.add_argument("--n", type=int, default=400,
+                       help="--speedup: database size")
+    watch.add_argument("--m", type=int, default=3)
+    watch.add_argument("--generator", default="uniform",
+                       choices=("uniform", "gaussian", "correlated", "zipf"))
+    watch.add_argument("--seed", type=int, default=11)
+    watch.add_argument("--no-verify", action="store_true",
+                       help="--speedup: skip the per-mutation brute-force "
+                            "verification of every client mirror")
+    watch.add_argument("--out", default=None, metavar="FILE",
+                       help="--speedup report path "
+                            "(default: reports/watch_speedup.json)")
 
     verify_snap = sub.add_parser(
         "verify-snapshot",
@@ -611,6 +662,10 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         )
     else:
         default_out = "reports/service_workload.json"
+    if args.watch_port is not None and args.mutation_rate <= 0:
+        print("--watch-port needs --mutation-rate: standing queries over "
+              "static data never produce a delta", file=sys.stderr)
+        return 2
     if args.mutation_rate > 0:
         if args.async_mode:
             print("--mutation-rate replays serially (the per-query oracle "
@@ -624,6 +679,9 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         )
     config = WorkloadConfig(**settings)
 
+    if args.watch_port is not None:
+        print(f"watch server on 127.0.0.1:{args.watch_port} — tail with "
+              f"'repro-topk watch --port {args.watch_port}'")
     report = run_workload(
         config,
         mode="async" if args.async_mode else "serial",
@@ -632,6 +690,8 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         verify=args.verify,
         snapshot_in=args.snapshot_in,
         snapshot_out=args.snapshot_out,
+        watch_port=args.watch_port,
+        watch_wait=args.watch_wait,
     )
     out = write_report(report, args.out or default_out)
     summary = report["service"]
@@ -654,6 +714,13 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
               f"{outcomes['revalidated']} revalidated / "
               f"{outcomes['patched']} patched / {outcomes['miss']} miss "
               f"-> reuse rate {summary['reuse_rate']:.1%}")
+        watching = report.get("watch")
+        if watching is not None:
+            print(f"standing queries: {watching['subscriptions']} live at "
+                  f"shutdown; maintenance {watching['unchanged']} unchanged "
+                  f"/ {watching['patched']} patched / "
+                  f"{watching['recomputed']} recomputed -> "
+                  f"{watching['deltas']} deltas pushed")
         if args.verify:
             verdict = summary["verified_identical"]
             print(f"oracle verification: "
@@ -702,6 +769,100 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
     if saved is not None:
         print(f"snapshot saved to {saved['path']} (epoch {saved['epoch']})")
     print(f"report written to {out}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    if args.speedup:
+        from repro.service.workload import write_report
+        from repro.watch.bench import watch_speedup
+
+        report = watch_speedup(
+            generator=args.generator,
+            n=args.n,
+            m=args.m,
+            seed=args.seed,
+            subscribers=args.subscribers,
+            mutations=args.mutations,
+            k=args.k,
+            algorithm=args.algorithm,
+            scoring=args.scoring,
+            verify=not args.no_verify,
+        )
+        out = write_report(report, args.out or "reports/watch_speedup.json")
+        watch_side, naive = report["watch"], report["naive"]
+        speedup = report["speedup"]
+        print(f"watch speedup ({args.generator} n={args.n:,} m={args.m}, "
+              f"{args.subscribers} subscribers x {args.mutations} mutations, "
+              f"k={args.k}):")
+        print(f"{'mode':>8} {'messages':>10} {'bytes':>12} {'seconds':>9}")
+        print(f"{'watch':>8} {watch_side['messages']:>10,} "
+              f"{watch_side['bytes']:>12,} {watch_side['seconds']:>9.3f}")
+        print(f"{'naive':>8} {naive['messages']:>10,} "
+              f"{naive['bytes']:>12,} {naive['seconds']:>9.3f}")
+        print(f"push saves {speedup['messages']:.1f}x messages, "
+              f"{speedup['bytes']:.1f}x bytes, "
+              f"{speedup['wallclock']:.2f}x wall-clock")
+        outcomes = watch_side["outcomes"]
+        print(f"maintenance outcomes: {outcomes['unchanged']} unchanged / "
+              f"{outcomes['patched']} patched / "
+              f"{outcomes['recomputed']} recomputed")
+        if not args.no_verify:
+            verdict = report["verified"]
+            print(f"oracle verification: "
+                  f"{'every mirror identical' if verdict else 'MISMATCH'}")
+            if not verdict:
+                print("ERROR: a client mirror diverged from the brute-force "
+                      "ranking of the current data", file=sys.stderr)
+                return 1
+        print(f"report written to {out}")
+        return 0
+
+    if args.port is None:
+        print("watch needs --port (or --speedup); start a server with "
+              "'repro-topk serve-workload --mutation-rate R --watch-port P'",
+              file=sys.stderr)
+        return 2
+    from repro.watch.client import WatchClient
+
+    try:
+        client = WatchClient(args.port, host=args.host)
+    except OSError as exc:
+        print(f"cannot reach watch server at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    with client:
+        handle = client.watch(
+            algorithm=args.algorithm, k=args.k, scoring=args.scoring
+        )
+        print(f"subscription #{handle.id} (k={args.k}, {args.scoring}, "
+              f"epoch {handle.epoch}):")
+        for rank, entry in enumerate(handle.entries, start=1):
+            print(f"  {rank:>3}. item {entry.item}  score {entry.score:.6f}")
+        seen = 0
+        try:
+            while args.max_deltas is None or seen < args.max_deltas:
+                for delta in client.poll(timeout=args.poll_timeout):
+                    if not handle.apply(delta):
+                        continue
+                    seen += 1
+                    exits = ",".join(str(item) for item in delta.exits)
+                    moves = ", ".join(
+                        f"#{u.rank + 1} item {u.item} ({u.score:.6f})"
+                        for u in delta.upserts
+                    )
+                    print(f"delta seq={delta.seq} epoch={delta.epoch} "
+                          f"[{delta.cause}]"
+                          + (f" out: {exits}" if exits else "")
+                          + (f" in/move: {moves}" if moves else ""))
+                    if args.max_deltas is not None and seen >= args.max_deltas:
+                        break
+        except ConnectionError:
+            print("server closed the stream")
+        except KeyboardInterrupt:
+            pass
+    print(f"tailed {seen} deltas; final top-{args.k}: "
+          f"{list(handle.item_ids)}")
     return 0
 
 
@@ -813,6 +974,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "distributed": _cmd_distributed,
         "bench": _cmd_bench,
         "serve-workload": _cmd_serve_workload,
+        "watch": _cmd_watch,
         "verify-snapshot": _cmd_verify_snapshot,
         "dist-bench": _cmd_dist_bench,
     }

@@ -45,6 +45,15 @@ from repro.errors import ProtocolError
 
 _LENGTH = struct.Struct(">I")
 
+#: Largest frame body either side will send or accept.  The protocol's
+#: biggest legitimate payloads (a batched round of lookups, a pushed
+#: result delta) are a few kilobytes; anything near this limit is a
+#: corrupt length prefix or a hostile peer, and honouring it would make
+#: ``_recv_exact`` buffer unboundedly.  Oversized frames raise
+#: :class:`~repro.errors.ProtocolError` *before* any body byte is read,
+#: so the reader can drop the connection without desynchronising.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
 #: Request kind that asks an owner process to exit its serve loop.
 SHUTDOWN = "__shutdown__"
 
@@ -67,22 +76,48 @@ def _json_default(value):
     raise TypeError(f"unsupported wire type: {type(value).__name__}")
 
 
-def send_frame(sock: socket.socket, message: dict) -> int:
+def send_frame(
+    sock: socket.socket, message: dict, *, max_bytes: int = MAX_FRAME_BYTES
+) -> int:
     """Write one length-prefixed JSON frame; returns bytes on the wire."""
     body = json.dumps(message, default=_json_default).encode("utf-8")
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"refusing to send {len(body)}-byte frame (limit {max_bytes})"
+        )
     frame = _LENGTH.pack(len(body)) + body
     sock.sendall(frame)
     return len(frame)
 
 
-def recv_frame(sock: socket.socket) -> tuple[dict | None, int]:
-    """Read one frame; ``(None, 0)`` on a clean EOF before any byte."""
+def recv_frame(
+    sock: socket.socket, *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict | None, int]:
+    """Read one frame; ``(None, 0)`` on a clean EOF before any byte.
+
+    Raises :class:`~repro.errors.ProtocolError` on an oversized length
+    prefix or an undecodable body, and :class:`ConnectionError` on a
+    frame truncated mid-body — in either case the stream can no longer
+    be trusted to be frame-aligned and the caller must close it.
+    """
     header = _recv_exact(sock, _LENGTH.size, allow_eof=True)
     if header is None:
         return None, 0
     (length,) = _LENGTH.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"peer announced {length}-byte frame (limit {max_bytes})"
+        )
     body = _recv_exact(sock, length)
-    return json.loads(body.decode("utf-8")), _LENGTH.size + length
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}"
+        )
+    return message, _LENGTH.size + length
 
 
 def _recv_exact(
@@ -117,22 +152,29 @@ def _owner_server_main(sorted_list, tracker, include_position, channel) -> None:
             client, _addr = server.accept()
             client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with client:
-                while True:
-                    request, _size = recv_frame(client)
-                    if request is None:
-                        break  # client went away; await a reconnect
-                    if request.get("kind") == SHUTDOWN:
-                        send_frame(client, {})
-                        return
-                    try:
-                        response = node.handle(
-                            request["kind"], request.get("payload") or {}
-                        )
-                    except Exception as exc:  # ship, don't kill the owner
-                        response = {
-                            "__error__": f"{type(exc).__name__}: {exc}"
-                        }
-                    send_frame(client, response)
+                try:
+                    while True:
+                        request, _size = recv_frame(client)
+                        if request is None:
+                            break  # client went away; await a reconnect
+                        if request.get("kind") == SHUTDOWN:
+                            send_frame(client, {})
+                            return
+                        try:
+                            response = node.handle(
+                                request["kind"], request.get("payload") or {}
+                            )
+                        except Exception as exc:  # ship, don't kill owner
+                            response = {
+                                "__error__": f"{type(exc).__name__}: {exc}"
+                            }
+                        send_frame(client, response)
+                except (ProtocolError, ConnectionError, OSError):
+                    # Oversized/truncated/garbled frame: the stream is no
+                    # longer frame-aligned.  Drop this client and keep
+                    # serving — a hostile or crashed client must not take
+                    # the owner (and every other client's list) with it.
+                    continue
     finally:
         server.close()
 

@@ -180,6 +180,26 @@ class DynamicDatabase:
 
         return unsubscribe
 
+    def retain_scores(self) -> Callable[[], None]:
+        """Force per-event score capture on; returns a release function.
+
+        Some consumers need event score vectors without registering a
+        callback of their own — e.g. a service's subscription manager
+        riding an existing score-less subscription.  Each retain bumps
+        the watcher count exactly once; the returned release is
+        idempotent.
+        """
+        self._score_watchers += 1
+        released = False
+
+        def release() -> None:
+            nonlocal released
+            if not released:
+                released = True
+                self._score_watchers -= 1
+
+        return release
+
     def _capture(self, item: ItemId) -> tuple[Score, ...] | None:
         """The item's per-list scores, captured only when someone cares.
 

@@ -15,6 +15,10 @@ logic, reused by every stack that executes queries:
   (:func:`run_ta_block`, :func:`run_bpa_block`, :func:`run_bpa2_block`);
 * :func:`merge_shard_results` — the certificate-checked exact top-k
   merge the shard executor fans in through;
+* :mod:`repro.exec.certify` — the reusable k-th-entry certificate:
+  classify a mutation delta against a certified answer as unchanged /
+  patchable / recompute (shared by the delta-aware result cache and
+  standing :mod:`repro.watch` subscriptions);
 * :func:`execute_query` — kernel-or-reference execution of one query on
   one database (the per-shard / per-thread work unit);
 * :mod:`repro.exec.keys` — canonical query/scoring identities shared by

@@ -1,0 +1,186 @@
+"""Shared k-th-entry certificate classification over mutation deltas.
+
+An exact ranked top-k answer carries a reusable *certificate*: its k-th
+entry under the library total order (:func:`repro.exec.merge.entry_key`
+— score descending, id ascending).  Every item outside the answer is
+dominated by that boundary, so a later mutation whose touched items
+still fall beyond it provably cannot enter (or reorder into) the top-k.
+This module is the one place that reasons about such deltas; two
+consumers share it:
+
+* the delta-aware result cache (:mod:`repro.service.cache`), which
+  classifies a *stale cache entry* against the mutation-log window
+  separating its epoch from the lookup epoch; and
+* standing subscriptions (:mod:`repro.watch`), which maintain a live
+  result incrementally from the mutation stream, one event at a time.
+
+Both ask the same question — *given these events, is the answer
+provably unchanged, exactly repairable by re-scoring a few touched
+items, or does it need recomputation?* — and :func:`classify_delta`
+answers it.  :func:`patch_entries` then performs the repair, verifying
+that the patched boundary still dominates the old one (otherwise an
+untouched, unlogged outsider between the two boundaries could deserve a
+slot, and only a recomputation can find it).
+
+**Exhaustive mode.**  An answer holding fewer than ``k`` items is
+normally useless for delta reasoning (its last entry is no exclusion
+boundary — the cache always misses on such entries).  But a maintained
+subscription *knows more*: when the database itself holds fewer than
+``k`` items, the answer contains **every** item, so each mutation is
+fully decidable without any boundary — a member delete just vacates a
+slot, an insert always enters.  ``exhaustive=True`` enables that
+reasoning; it must only be passed when the entries provably cover the
+whole database.
+
+**Precondition.**  Entry scores must be *exact* overall aggregates
+(lower-bound algorithms like NRA break the comparison between logged
+aggregates and cached scores); callers gate on their own notion of
+exact-score algorithms before classifying.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.exec.merge import entry_key
+from repro.types import ItemId, Score, ScoredItem
+
+#: Classification verdicts, in decreasing order of luck.
+UNCHANGED = "unchanged"
+PATCH = "patch"
+RECOMPUTE = "recompute"
+
+#: ``rescore(items) -> {item: per-list local scores, or None if absent}``
+#: against the *current* state — the patch path's data source.  The
+#: cache reads the live snapshot (``lookup_many``); subscriptions answer
+#: from the folded event vectors (bit-equal to fresh lookups, and the
+#: snapshot is stale mid-mutation).
+RescoreFn = Callable[
+    [Sequence[ItemId]], Mapping[ItemId, tuple[Score, ...] | None]
+]
+
+
+def fold_events(events) -> dict[ItemId, tuple[Score, ...] | None]:
+    """Fold a window of events to each touched item's *final* state.
+
+    Only the end state matters: the maintained answer must equal a
+    fresh run against the current data, however many intermediate
+    states a touched item passed through.  ``None`` means the item no
+    longer exists.
+    """
+    final: dict[ItemId, tuple[Score, ...] | None] = {}
+    for event in events:
+        final[event.item] = event.new_scores
+    return final
+
+
+def classify_delta(
+    members: Mapping[ItemId, Score],
+    boundary: tuple[float, int] | None,
+    events,
+    scoring: Callable[[Sequence[Score]], Score],
+    *,
+    patch_limit: int,
+    exhaustive: bool = False,
+) -> tuple[str, tuple[ItemId, ...]]:
+    """Classify a window of mutations against a certified answer.
+
+    Args:
+        members: the answer's items mapped to their (exact) overall
+            scores.
+        boundary: the k-th entry's :func:`entry_key`, or ``None`` when
+            the answer carries no exclusion boundary (underfull).
+        events: the mutation window, oldest first (each event carries
+            the item's full post-mutation score vector, ``None`` once
+            removed).
+        patch_limit: largest number of touched items a patch may
+            re-score; wider deltas recompute.
+        exhaustive: the answer provably contains *every* item (see the
+            module docstring) — member deletes and boundary-less entry
+            become decidable.
+
+    Returns:
+        ``(verdict, touched)`` — verdict is :data:`UNCHANGED`,
+        :data:`PATCH` or :data:`RECOMPUTE`; ``touched`` lists the items
+        a patch must re-score (empty unless the verdict is PATCH).
+    """
+    touched: list[ItemId] = []
+    for item, scores in fold_events(events).items():
+        cached = members.get(item)
+        if scores is None:  # the item no longer exists
+            if cached is None:
+                continue  # a deleted non-member can hardly enter
+            if not exhaustive:
+                # A deleted member leaves a hole the delta cannot
+                # fill: the replacement is some unlogged outsider.
+                return RECOMPUTE, ()
+            touched.append(item)  # the pool covers everything: just drop
+            continue
+        # A score vector without the capture (no score watchers at
+        # mutation time) cannot be reasoned about; the event kinds that
+        # reach here always carry vectors when capture is on, so a
+        # missing vector is handled by the caller gating on it.
+        aggregate = scoring(list(scores))
+        if cached is not None:
+            if aggregate == cached:
+                continue  # unchanged member cannot move
+            touched.append(item)
+        elif boundary is not None and (-aggregate, item) > boundary:
+            continue  # beyond the certificate: cannot enter the top-k
+        elif boundary is None and not exhaustive:
+            # No boundary to exclude an outsider against.
+            return RECOMPUTE, ()
+        else:
+            touched.append(item)
+
+    if not touched:
+        return UNCHANGED, ()
+    if len(touched) > patch_limit:
+        return RECOMPUTE, ()
+    return PATCH, tuple(touched)
+
+
+def patch_entries(
+    entries: Sequence[ScoredItem],
+    touched: Sequence[ItemId],
+    boundary: tuple[float, int] | None,
+    scoring: Callable[[Sequence[Score]], Score],
+    rescore: RescoreFn,
+    *,
+    k: int,
+    exhaustive: bool = False,
+) -> tuple[ScoredItem, ...] | None:
+    """Re-score the touched items and re-merge; ``None`` = unsafe.
+
+    The repair is provably exact only if the patched pool's new k-th
+    key still dominates the old ``boundary`` — every *untouched*
+    outsider was beyond the old boundary, so it stays beyond the new
+    one.  In ``exhaustive`` mode there are no outsiders and the merge
+    is exact unconditionally.
+    """
+    fresh = rescore(tuple(touched))
+    touched_set = set(touched)
+    pool: list[ScoredItem] = [
+        entry for entry in entries if entry.item not in touched_set
+    ]
+    for item in touched:
+        scores = fresh.get(item)
+        if scores is None:
+            if exhaustive:
+                continue  # the pool covers everything: deletion = drop
+            # The current state disagrees with the folded delta (the
+            # item vanished) — never serve a guess.
+            return None
+        pool.append(ScoredItem(item=item, score=scoring(list(scores))))
+    pool.sort(key=entry_key)
+    if exhaustive:
+        return tuple(pool[:k])
+    if len(pool) < k:
+        return None
+    merged = tuple(pool[:k])
+    if boundary is not None and entry_key(merged[-1]) > boundary:
+        # The pool weakened past the old certificate: an untouched,
+        # unlogged outsider between the two boundaries could now
+        # deserve a slot.  Recompute.
+        return None
+    return merged

@@ -49,9 +49,17 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.dynamic.mutation_log import MutationLog
+
+# The k-th-entry certificate reasoning is shared with standing
+# subscriptions (:mod:`repro.watch`) through the execution core.
+from repro.exec import certify
+
+# The patch path's rescore signature is certify's; re-exported here for
+# backward compatibility.
+from repro.exec.certify import RescoreFn  # noqa: F401
 
 # Canonical query/scoring identities live in the execution core so the
 # shard workers, context caches and this result cache agree on them;
@@ -63,7 +71,7 @@ from repro.exec.keys import (  # noqa: F401
 )
 from repro.exec.merge import entry_key
 from repro.service.sharding import MERGE_EXACT_ALGORITHMS
-from repro.types import ItemId, Score, ScoredItem, TopKResult
+from repro.types import Score, TopKResult
 
 #: A lookup's classification, in decreasing order of luck.
 CACHE_OUTCOMES = ("hit", "revalidated", "patched", "miss")
@@ -81,12 +89,6 @@ CACHE_OUTCOMES = ("hit", "revalidated", "patched", "miss")
 EXACT_SCORE_ALGORITHMS = MERGE_EXACT_ALGORITHMS | frozenset(
     {"dist-ta", "dist-bpa", "dist-bpa2"}
 )
-
-#: ``rescore(items) -> {item: per-list local scores, or None if absent}``
-#: against the *current* snapshot — the patch path's data source.
-RescoreFn = Callable[
-    [Sequence[ItemId]], Mapping[ItemId, tuple[Score, ...] | None]
-]
 
 
 @dataclass
@@ -377,75 +379,34 @@ class ResultCache:
             # what changed, so the only safe answer is a recomputation.
             return "miss", None
 
-        members = {item.item: item for item in value.items}
+        # The shared certificate core (also driving standing
+        # subscriptions — see :mod:`repro.watch`) does the reasoning;
+        # this cache maps its verdicts onto cache outcomes:
+        # unchanged -> revalidated, patch -> patched, recompute -> miss.
+        members = {item.item: item.score for item in value.items}
         boundary = entry_key(value.items[-1])
-
-        # Fold the window to each touched item's *final* state — only
-        # the end state matters, the served answer must equal a fresh
-        # run against the current snapshot.
-        final: dict[ItemId, tuple[Score, ...] | None] = {}
-        for event in events:
-            final[event.item] = event.new_scores
-        to_rescore: list[ItemId] = []
-        for item, scores in final.items():
-            cached = members.get(item)
-            if scores is None:  # the item no longer exists
-                if cached is not None:
-                    # A deleted member leaves a hole the log cannot
-                    # fill: the replacement is some unlogged outsider.
-                    return "miss", None
-                continue  # a deleted non-member can hardly enter
-            aggregate = scoring(list(scores))
-            if cached is not None:
-                if aggregate == cached.score:
-                    continue  # unchanged member cannot move
-                to_rescore.append(item)
-            elif (-aggregate, item) > boundary:
-                continue  # beyond the certificate: cannot enter the top-k
-            else:
-                to_rescore.append(item)
-
-        if not to_rescore:
+        verdict, touched = certify.classify_delta(
+            members,
+            boundary,
+            events,
+            scoring,
+            patch_limit=self._patch_limit,
+        )
+        if verdict == certify.UNCHANGED:
             return "revalidated", value
-        if rescore is None or len(to_rescore) > self._patch_limit:
+        if verdict != certify.PATCH or rescore is None:
             return "miss", None
-        patched = self._patch(value, to_rescore, boundary, scoring, rescore)
-        if patched is None:
+        merged = certify.patch_entries(
+            value.items,
+            touched,
+            boundary,
+            scoring,
+            rescore,
+            k=len(value.items),
+        )
+        if merged is None:
             return "miss", None
-        return "patched", patched
-
-    @staticmethod
-    def _patch(
-        value: TopKResult,
-        touched: Sequence[ItemId],
-        boundary: tuple[float, int],
-        scoring: Callable[[Sequence[Score]], Score],
-        rescore: RescoreFn,
-    ) -> TopKResult | None:
-        """Re-score the touched items and re-merge; ``None`` = unsafe."""
-        fresh = rescore(tuple(touched))
-        touched_set = set(touched)
-        pool: list[ScoredItem] = [
-            item for item in value.items if item.item not in touched_set
-        ]
-        for item in touched:
-            scores = fresh.get(item)
-            if scores is None:
-                # The snapshot disagrees with the folded log (the item
-                # vanished) — never serve a guess.
-                return None  # pragma: no cover - defensive, log-covered
-            pool.append(ScoredItem(item=item, score=scoring(list(scores))))
-        pool.sort(key=entry_key)
-        k_fetch = len(value.items)
-        if len(pool) < k_fetch:  # pragma: no cover - member removals miss earlier
-            return None
-        merged = tuple(pool[:k_fetch])
-        if entry_key(merged[-1]) > boundary:
-            # The pool weakened past the old certificate: an untouched,
-            # unlogged outsider between the two boundaries could now
-            # deserve a slot.  Recompute.
-            return None
-        return replace(
+        patched = replace(
             value,
             items=merged,
             extras={
@@ -455,6 +416,7 @@ class ResultCache:
                 + value.extras.get("patched_items", 0),
             },
         )
+        return "patched", patched
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -106,6 +106,15 @@ class ServicePolicy:
             cold rebuild from the dynamic source.  ``0`` disables
             patching entirely (every refresh rebuilds, the pre-patch
             behavior).
+        max_subscriptions: most standing queries
+            (:meth:`repro.service.QueryService.watch`) concurrently
+            live; registration beyond it raises
+            :class:`~repro.errors.ServiceError` (every mutation is
+            classified against every live subscription, so the cap
+            bounds per-mutation maintenance work).
+        watch_patch_limit: largest number of touched items one
+            subscription maintenance step may re-score in place;
+            wider deltas recompute through the service.
     """
 
     allow_random: bool = True
@@ -117,6 +126,8 @@ class ServicePolicy:
     delta_log_depth: int = 256
     delta_patch_limit: int = 8
     snapshot_patch_budget: int = 64
+    max_subscriptions: int = 64
+    watch_patch_limit: int = 8
 
     def __post_init__(self) -> None:
         # Validated here, not at first use: a typo'd transport would
@@ -148,6 +159,14 @@ class ServicePolicy:
             raise ValueError(
                 "snapshot_patch_budget must be >= 0, "
                 f"got {self.snapshot_patch_budget}"
+            )
+        if self.max_subscriptions < 0:
+            raise ValueError(
+                f"max_subscriptions must be >= 0, got {self.max_subscriptions}"
+            )
+        if self.watch_patch_limit < 0:
+            raise ValueError(
+                f"watch_patch_limit must be >= 0, got {self.watch_patch_limit}"
             )
 
 

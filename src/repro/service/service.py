@@ -230,6 +230,12 @@ class ServiceCounters:
     #: queries answered with the canonical empty result because every
     #: item had been removed — neither a cache reuse nor an execution.
     empty_serves: int = 0
+    # Standing-query maintenance (per mutation x live subscription; see
+    # :meth:`QueryService.watch` and :mod:`repro.watch`):
+    watch_unchanged: int = 0  #: certificate proved the answer unaffected
+    watch_patched: int = 0  #: answers repaired in place from event scores
+    watch_recomputed: int = 0  #: answers re-planned through submit
+    watch_deltas: int = 0  #: deltas pushed (visible changes only)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -361,6 +367,11 @@ class QueryService:
         self._inflight: dict[tuple, asyncio.Future] = {}
         #: every in-flight async execution, for snapshot quiescing.
         self._running: set[asyncio.Future] = set()
+        #: standing-query manager (:meth:`watch`), created on first use.
+        self._watch = None
+        #: release function for a forced score-capture retain (set when
+        #: the first watch registers on a log-less service).
+        self._retain_scores = None
         self._closed = False
         self._rebuild(database)
 
@@ -480,6 +491,10 @@ class QueryService:
                 # never be delta-validated again — expire them eagerly
                 # (O(dropped), thanks to the cache's epoch index).
                 self._cache.drop_expired(self._log.floor)
+        if self._watch is not None:
+            # After the log record: a subscription forced to recompute
+            # re-enters submit, whose cache lookup must see this event.
+            self._watch.on_mutation(event, self._epoch)
 
     def invalidate(self) -> None:
         """Manually bump the epoch: every cached result becomes stale.
@@ -509,6 +524,10 @@ class QueryService:
             # Nothing to rebuild: the snapshot *is* current, and keying
             # future results to the new epoch is what expires old ones.
             self._snapshot_epoch = self._epoch
+        if self._watch is not None:
+            # No event record to classify against: every standing query
+            # recomputes (pushing only if its answer visibly moved).
+            self._watch.on_invalidate(self._epoch)
 
     # ------------------------------------------------------------------
     # Query path
@@ -837,6 +856,79 @@ class QueryService:
             self.gather_many(specs, concurrency=concurrency, adaptive=adaptive)
         )
 
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+
+    def watch(self, spec: QuerySpec, *, callback=None):
+        """Register a standing top-k query; returns a live subscription.
+
+        The initial answer is computed through the normal submit path;
+        from then on every committed mutation of the dynamic source is
+        classified against the maintained answer through the shared
+        k-th-entry certificate (:mod:`repro.exec.certify`) — provably
+        harmless mutations cost nothing, small deltas are repaired in
+        place from the event's own score vectors, and everything else
+        recomputes.  A :class:`repro.watch.ResultDelta` is delivered
+        (to ``callback``, or queued for ``poll()``) only when the
+        visible answer actually changes.  Maintenance runs
+        synchronously inside the mutation call, so after any mutation
+        returns, every subscription's ``entries`` is already current.
+
+        Requires a :class:`DynamicDatabase` source (a static snapshot
+        never changes, so there is nothing to watch).  Policy knobs:
+        ``max_subscriptions`` caps concurrently live subscriptions,
+        ``watch_patch_limit`` bounds the in-place repair width.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._source is None:
+            from repro.errors import ServiceError
+
+            raise ServiceError(
+                "standing queries need a DynamicDatabase source; a "
+                "static database never mutates, so there is nothing "
+                "to watch"
+            )
+        if self._watch is None:
+            from repro.service.cache import EXACT_SCORE_ALGORITHMS
+            from repro.watch.manager import SubscriptionManager
+
+            self._watch = SubscriptionManager(
+                submit=self.submit,
+                exact_algorithms=EXACT_SCORE_ALGORITHMS,
+                patch_limit=self._knobs.watch_patch_limit,
+                max_subscriptions=self._knobs.max_subscriptions,
+                counters=self.counters,
+            )
+            if self._log is None:
+                # The service subscribed score-less (no delta log);
+                # maintenance needs the event vectors, so force capture
+                # on for as long as the service lives.
+                self._retain_scores = self._source.retain_scores()
+        subscription = self._watch.watch(spec, callback=callback)
+        if subscription.epoch != self._epoch:
+            # In-flight async executions pinned an older snapshot, so
+            # the initial answer is honestly stale — but a standing
+            # query must start current (the events in the gap were
+            # never classified against it).
+            from repro.errors import ServiceError
+
+            subscription.cancel()
+            raise ServiceError(
+                "cannot register a standing query while in-flight "
+                "executions defer the snapshot rebuild; retry after "
+                "they drain"
+            )
+        return subscription
+
+    @property
+    def subscriptions(self) -> tuple:
+        """The live standing-query subscriptions (empty when none)."""
+        if self._watch is None:
+            return ()
+        return self._watch.subscriptions
+
     def _serve_empty(self, spec: QuerySpec, started: float) -> ServiceResult:
         from repro.errors import InvalidQueryError
 
@@ -953,6 +1045,12 @@ class QueryService:
         if self._closed:
             return
         self._closed = True
+        if self._watch is not None:
+            self._watch.cancel_all()
+            self._watch = None
+        if self._retain_scores is not None:
+            self._retain_scores()
+            self._retain_scores = None
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None

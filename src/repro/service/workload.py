@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Sequence
@@ -313,6 +314,7 @@ def replay_with_mutations(
     mutation_rate: float,
     seed: int,
     verify: bool = False,
+    lock=None,
 ) -> tuple[dict, list[ServiceResult]]:
     """Replay a workload with mutations interleaved between queries.
 
@@ -324,9 +326,15 @@ def replay_with_mutations(
     (:func:`answers_match`: bit-identical ranked scores, honest
     per-item aggregates); the summary's ``verified_identical`` records
     the verdict.  Verification runs outside the timed path.
+
+    ``lock`` (any context manager, e.g. a
+    :attr:`repro.watch.server.WatchServer.lock`) is held around every
+    service/database touch, so the replay can drive a service that
+    concurrently serves watch connections from other threads.
     """
     if mutation_rate < 0:
         raise ValueError(f"mutation rate must be >= 0, got {mutation_rate}")
+    guard = lock if lock is not None else nullcontext()
     rng = np.random.default_rng(seed + 2)
     mutator = WorkloadMutator(source, rng)
     results: list[ServiceResult] = []
@@ -337,15 +345,23 @@ def replay_with_mutations(
         if float(rng.random()) < mutation_rate - count:
             count += 1
         for _ in range(count):
-            mutator.apply_one()
+            with guard:
+                mutator.apply_one()
         started = time.perf_counter()
-        served = service.submit(spec)
+        with guard:
+            served = service.submit(spec)
         seconds += time.perf_counter() - started
         results.append(served)
         if verify:
-            if not answers_match(
-                served.item_ids, served.scores, source, spec.k, spec.scoring
-            ):
+            with guard:
+                matched = answers_match(
+                    served.item_ids,
+                    served.scores,
+                    source,
+                    spec.k,
+                    spec.scoring,
+                )
+            if not matched:
                 mismatches += 1
     summary = _summarize(service, results, seconds)
     outcomes = summary["cache_outcomes"]
@@ -521,6 +537,8 @@ def run_workload(
     verify: bool = False,
     snapshot_in=None,
     snapshot_out=None,
+    watch_port: int | None = None,
+    watch_wait: float = 0.0,
 ) -> dict:
     """Replay one workload configuration; returns the JSON-ready report.
 
@@ -546,9 +564,22 @@ def run_workload(
     the persisted epoch); ``snapshot_out`` persists the final snapshot
     after the replay so the next process can pick up where this one
     stopped.
+
+    ``watch_port`` (mutation replay only) additionally serves the live
+    service behind a :class:`repro.watch.server.WatchServer` on that
+    port for the duration of the replay, so external processes can hold
+    standing subscriptions against the mutating data (``repro watch``
+    tails their deltas); ``watch_wait`` blocks up to that many seconds
+    for at least one subscription to register before replaying, so a
+    tailing client observes the stream from the start.
     """
     if mode not in ("serial", "async"):
         raise ValueError(f"unknown mode {mode!r}; expected 'serial' or 'async'")
+    if watch_port is not None and mutation_rate <= 0:
+        raise ValueError(
+            "watch_port needs the mutation replay (mutation_rate > 0): "
+            "standing queries over static data never produce a delta"
+        )
     if snapshot_in is not None:
         from repro.storage import load_snapshot
 
@@ -580,35 +611,71 @@ def run_workload(
                 pool=config.pool,
                 cache_size=config.cache_size,
             )
-        with service_cm as service:
-            summary, _ = replay_with_mutations(
-                service,
-                workload,
-                source,
-                mutation_rate=mutation_rate,
-                seed=config.seed,
-                verify=verify,
-            )
-            cache = service.cache
-            summary["cache"] = (
-                {
-                    "maxsize": cache.maxsize,
-                    "entries": len(cache),
-                    "hits": cache.stats.hits,
-                    "misses": cache.stats.misses,
-                    "evictions": cache.stats.evictions,
-                    "invalidations": cache.stats.invalidations,
-                    "revalidated": cache.stats.revalidated,
-                    "patched": cache.stats.patched,
-                }
-                if cache is not None
-                else None
-            )
-            pool_kind = service.pool_kind
-            snapshot_info = None
-            if snapshot_out is not None:
-                saved_epoch = service.save_snapshot(snapshot_out)
-                snapshot_info = {"path": str(snapshot_out), "epoch": saved_epoch}
+        watch_server = None
+        if watch_port is not None:
+            from repro.watch.server import WatchServer
+
+            watch_server = WatchServer(service_cm, port=watch_port).start()
+            if watch_wait > 0:
+                deadline = time.monotonic() + watch_wait
+                while (
+                    not service_cm.subscriptions
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.05)
+        watch_summary = None
+        try:
+            with service_cm as service:
+                summary, _ = replay_with_mutations(
+                    service,
+                    workload,
+                    source,
+                    mutation_rate=mutation_rate,
+                    seed=config.seed,
+                    verify=verify,
+                    lock=watch_server.lock if watch_server else None,
+                )
+                cache = service.cache
+                summary["cache"] = (
+                    {
+                        "maxsize": cache.maxsize,
+                        "entries": len(cache),
+                        "hits": cache.stats.hits,
+                        "misses": cache.stats.misses,
+                        "evictions": cache.stats.evictions,
+                        "invalidations": cache.stats.invalidations,
+                        "revalidated": cache.stats.revalidated,
+                        "patched": cache.stats.patched,
+                    }
+                    if cache is not None
+                    else None
+                )
+                pool_kind = service.pool_kind
+                if watch_server is not None:
+                    with watch_server.lock:
+                        counters = service.counters
+                        watch_summary = {
+                            "port": watch_server.port,
+                            "subscriptions": len(service.subscriptions),
+                            "unchanged": counters.watch_unchanged,
+                            "patched": counters.watch_patched,
+                            "recomputed": counters.watch_recomputed,
+                            "deltas": counters.watch_deltas,
+                        }
+                snapshot_info = None
+                if snapshot_out is not None:
+                    guard = (
+                        watch_server.lock if watch_server else nullcontext()
+                    )
+                    with guard:
+                        saved_epoch = service.save_snapshot(snapshot_out)
+                    snapshot_info = {
+                        "path": str(snapshot_out),
+                        "epoch": saved_epoch,
+                    }
+        finally:
+            if watch_server is not None:
+                watch_server.close()
         report = {
             "config": asdict(config),
             "mode": "serial+mutations",
@@ -616,6 +683,8 @@ def run_workload(
             "cpu_count": os.cpu_count(),
             "service": summary,
         }
+        if watch_summary is not None:
+            report["watch"] = watch_summary
         if restored_epoch is not None:
             report["snapshot_restored_epoch"] = restored_epoch
         if snapshot_info is not None:

@@ -1,0 +1,199 @@
+"""Pushed-delta maintenance vs naive re-query-per-epoch, measured.
+
+The monitoring claim is about communication: a standing query's wire
+cost should track how often its *answer* moves, not how often the data
+does.  :func:`watch_speedup` measures both modes over the identical
+seeded mutation stream, through the real socket protocol:
+
+* **watch** — ``subscribers`` clients hold one subscription each; per
+  mutation the server pushes only boundary-crossing deltas.  Every
+  client mirror is verified bit-identical to the brute-force top-k of
+  the current state after every single mutation, and the delta stream
+  replay *is* the mirror — so verification covers reconstruction.
+* **naive** — the same clients instead re-query after every mutation
+  (one ``query`` request/response round trip each), the only mode the
+  pre-watch service offered.
+
+Both passes verify against the oracle outside the timed path.  The
+report (``reports/watch_speedup.json``) carries messages, bytes and
+wall-clock per mode plus their ratios; the watch pass's ``sync``
+barrier frames are measurement apparatus and accounted separately,
+never in the push totals.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import ExitStack
+
+import numpy as np
+
+from repro.datagen import make_generator
+from repro.service.service import QueryService
+from repro.service.workload import (
+    WorkloadMutator,
+    answers_match,
+    dynamic_from,
+)
+from repro.watch.client import WatchClient
+from repro.watch.server import WIRE_SCORINGS, WatchServer
+
+
+def _fresh_setup(generator: str, n: int, m: int, seed: int):
+    static = make_generator(generator).generate(n, m, seed=seed)
+    source = dynamic_from(static)
+    service = QueryService(source, shards=1, pool="serial")
+    return source, service
+
+
+def watch_speedup(
+    *,
+    generator: str = "uniform",
+    n: int = 400,
+    m: int = 3,
+    seed: int = 11,
+    subscribers: int = 4,
+    mutations: int = 150,
+    k: int = 10,
+    algorithm: str = "bpa2",
+    scoring: str = "sum",
+    verify: bool = True,
+) -> dict:
+    """Measure push-maintenance vs re-query over one mutation stream."""
+    if scoring not in WIRE_SCORINGS:
+        raise ValueError(
+            f"unknown scoring {scoring!r}; expected one of "
+            f"{sorted(WIRE_SCORINGS)}"
+        )
+    scoring_fn = WIRE_SCORINGS[scoring]
+
+    # ------------------------------------------------------------- watch
+    source, service = _fresh_setup(generator, n, m, seed)
+    watch_seconds = 0.0
+    watch_mismatches = 0
+    with service, WatchServer(service) as server, ExitStack() as stack:
+        clients = [
+            stack.enter_context(WatchClient(server.port))
+            for _ in range(subscribers)
+        ]
+        handles = [
+            client.watch(algorithm=algorithm, k=k, scoring=scoring)
+            for client in clients
+        ]
+        mutator = WorkloadMutator(source, np.random.default_rng(seed + 1))
+        for _step in range(mutations):
+            started = time.perf_counter()
+            with server.lock:
+                mutator.apply_one()
+            for client in clients:
+                client.sync()
+                client.drain()
+            watch_seconds += time.perf_counter() - started
+            if verify:
+                with server.lock:
+                    for handle in handles:
+                        if not answers_match(
+                            handle.item_ids,
+                            handle.scores,
+                            source,
+                            k,
+                            scoring_fn,
+                        ):
+                            watch_mismatches += 1
+        delta_messages = sum(client.pushed_deltas for client in clients)
+        delta_bytes = sum(client.pushed_bytes for client in clients)
+        # sync requests + replies: 2 frames per mutation per client.
+        barrier_messages = 2 * mutations * len(clients)
+        barrier_bytes = sum(
+            client.sent_bytes + client.received_bytes for client in clients
+        )
+        counters = service.counters
+        watch_report = {
+            "seconds": watch_seconds,
+            "messages": delta_messages,
+            "bytes": delta_bytes,
+            "deltas_applied": sum(h.deltas_applied for h in handles),
+            "barrier_messages": barrier_messages,
+            "barrier_bytes": barrier_bytes,
+            "outcomes": {
+                "unchanged": counters.watch_unchanged,
+                "patched": counters.watch_patched,
+                "recomputed": counters.watch_recomputed,
+                "deltas": counters.watch_deltas,
+            },
+            "verified": (watch_mismatches == 0) if verify else None,
+            "mismatches": watch_mismatches if verify else None,
+        }
+
+    # ------------------------------------------------------------- naive
+    source, service = _fresh_setup(generator, n, m, seed)
+    naive_seconds = 0.0
+    naive_mismatches = 0
+    with service, WatchServer(service) as server, ExitStack() as stack:
+        clients = [
+            stack.enter_context(WatchClient(server.port))
+            for _ in range(subscribers)
+        ]
+        mutator = WorkloadMutator(source, np.random.default_rng(seed + 1))
+        answers = [None] * len(clients)
+        for _step in range(mutations):
+            started = time.perf_counter()
+            with server.lock:
+                mutator.apply_one()
+            for index, client in enumerate(clients):
+                _epoch, answers[index] = client.query(
+                    algorithm=algorithm, k=k, scoring=scoring
+                )
+            naive_seconds += time.perf_counter() - started
+            if verify:
+                with server.lock:
+                    for entries in answers:
+                        if not answers_match(
+                            tuple(e.item for e in entries),
+                            tuple(e.score for e in entries),
+                            source,
+                            k,
+                            scoring_fn,
+                        ):
+                            naive_mismatches += 1
+        naive_report = {
+            "seconds": naive_seconds,
+            # one request + one response frame per query:
+            "messages": 2 * mutations * len(clients),
+            "bytes": sum(
+                client.sent_bytes + client.received_bytes
+                for client in clients
+            ),
+            "verified": (naive_mismatches == 0) if verify else None,
+            "mismatches": naive_mismatches if verify else None,
+        }
+
+    def _ratio(a: float, b: float) -> float:
+        return a / b if b > 0 else float("inf")
+
+    return {
+        "config": {
+            "generator": generator,
+            "n": n,
+            "m": m,
+            "seed": seed,
+            "subscribers": subscribers,
+            "mutations": mutations,
+            "k": k,
+            "algorithm": algorithm,
+            "scoring": scoring,
+            "mutation_rate_per_query": 1.0,  # naive re-queries per mutation
+        },
+        "watch": watch_report,
+        "naive": naive_report,
+        "speedup": {
+            "messages": _ratio(naive_report["messages"], delta_messages),
+            "bytes": _ratio(naive_report["bytes"], delta_bytes),
+            "wallclock": _ratio(naive_seconds, watch_seconds),
+        },
+        "verified": (
+            (watch_mismatches == 0 and naive_mismatches == 0)
+            if verify
+            else None
+        ),
+    }

@@ -1,0 +1,142 @@
+"""Result deltas: the unit a standing query pushes to its watchers.
+
+A :class:`ResultDelta` describes one visible change of a maintained
+top-k as the minimal edit from the previous answer: the items that
+*exit*, plus an *upsert* ``(rank, item, score)`` for every item whose
+final rank or score differs — entries, re-ranks and re-scores are all
+upserts, distinguished only by whether the item was already present.
+Deltas carry a per-subscription sequence number and the data epoch they
+advance to, so a client can detect gaps and replay the stream from the
+initial answer to reconstruct the current result bit for bit
+(:func:`apply_delta`; the differential suite proves the round trip).
+
+:func:`diff_results` is the inverse — it computes the minimal delta
+between two ranked answers, and returns an *empty* edit when nothing
+visibly changed (the manager then pushes nothing at all: an unchanged
+answer costs zero wire bytes, the monitoring win this subsystem is
+for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ProtocolError
+from repro.types import ItemId, Score, ScoredItem
+
+#: What forced the re-evaluation that produced a delta — mirrors the
+#: cache's outcome vocabulary (``patched``/``miss``): ``patched`` means
+#: the touched items were re-scored and re-merged in place,
+#: ``recomputed`` means the query re-planned through the service.
+DELTA_CAUSES = ("initial", "patched", "recomputed")
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaEntry:
+    """One upsert: ``item`` now sits at ``rank`` (0-based) with ``score``."""
+
+    rank: int
+    item: ItemId
+    score: Score
+
+
+@dataclass(frozen=True, slots=True)
+class ResultDelta:
+    """One visible change of a maintained top-k answer.
+
+    ``seq`` numbers the subscription's deltas from 1 (the initial answer
+    is seq 0); ``epoch`` is the service data epoch the answer now
+    reflects.  ``exits`` lists items leaving the answer; ``upserts``
+    carry the final ``(rank, item, score)`` of every entering or moving
+    item, in ascending rank order.
+    """
+
+    subscription: int
+    seq: int
+    epoch: int
+    cause: str
+    exits: tuple[ItemId, ...]
+    upserts: tuple[DeltaEntry, ...]
+
+    def to_wire(self) -> dict:
+        """The push frame body (see the socket transport's wire format)."""
+        return {
+            "kind": "delta",
+            "subscription": self.subscription,
+            "seq": self.seq,
+            "epoch": self.epoch,
+            "cause": self.cause,
+            "exits": list(self.exits),
+            "upserts": [[u.rank, u.item, u.score] for u in self.upserts],
+        }
+
+    @classmethod
+    def from_wire(cls, message: dict) -> "ResultDelta":
+        """Decode a push frame; raises :class:`ProtocolError` if malformed."""
+        try:
+            return cls(
+                subscription=int(message["subscription"]),
+                seq=int(message["seq"]),
+                epoch=int(message["epoch"]),
+                cause=str(message["cause"]),
+                exits=tuple(int(item) for item in message["exits"]),
+                upserts=tuple(
+                    DeltaEntry(rank=int(rank), item=int(item), score=score)
+                    for rank, item, score in message["upserts"]
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed delta frame: {exc}") from exc
+
+
+def diff_results(
+    old: Sequence[ScoredItem], new: Sequence[ScoredItem]
+) -> tuple[tuple[ItemId, ...], tuple[DeltaEntry, ...]]:
+    """The minimal edit turning ranked answer ``old`` into ``new``.
+
+    Scores compare bitwise — the maintained answer's floats are exact
+    aggregates, so a changed float *is* a changed answer.  Both outputs
+    empty means the answers are identical and no delta need be pushed.
+    """
+    new_items = {entry.item for entry in new}
+    old_index = {
+        entry.item: (rank, entry.score) for rank, entry in enumerate(old)
+    }
+    exits = tuple(
+        entry.item for entry in old if entry.item not in new_items
+    )
+    upserts = tuple(
+        DeltaEntry(rank=rank, item=entry.item, score=entry.score)
+        for rank, entry in enumerate(new)
+        if old_index.get(entry.item) != (rank, entry.score)
+    )
+    return exits, upserts
+
+
+def apply_delta(
+    entries: Sequence[ScoredItem], delta: ResultDelta
+) -> tuple[ScoredItem, ...]:
+    """Replay one delta onto a ranked answer.
+
+    Kept items (neither exiting nor upserted) preserve their relative
+    order; each upsert is then inserted at its final rank, ascending.
+    Every insertion's target rank is within bounds by construction —
+    before the ``i``-th insertion the list holds ``kept + i - 1``
+    entries, and a valid delta's ``i``-th upsert rank never exceeds
+    that — so replaying a manager-produced stream reconstructs the
+    maintained answer exactly.
+    """
+    dropped = set(delta.exits)
+    dropped.update(upsert.item for upsert in delta.upserts)
+    result = [entry for entry in entries if entry.item not in dropped]
+    for upsert in sorted(delta.upserts, key=lambda u: u.rank):
+        if upsert.rank > len(result):
+            raise ProtocolError(
+                f"delta seq {delta.seq} upserts rank {upsert.rank} "
+                f"into a {len(result)}-entry answer"
+            )
+        result.insert(
+            upsert.rank, ScoredItem(item=upsert.item, score=upsert.score)
+        )
+    return tuple(result)

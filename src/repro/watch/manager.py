@@ -1,0 +1,221 @@
+"""Incremental maintenance of standing top-k queries.
+
+The :class:`SubscriptionManager` sits on the service's mutation hook:
+every committed :class:`~repro.dynamic.database.MutationEvent` is
+classified against each live subscription's maintained answer through
+the shared k-th-entry certificate (:mod:`repro.exec.certify`), giving
+one of three outcomes per subscription:
+
+* **unchanged** — the touched item provably cannot enter, exit or move
+  the answer.  No work, no push.
+* **patched** — at most ``patch_limit`` touched items are re-scored
+  *from the event's own score vectors* and re-merged in place.  The
+  event's vectors are the item's exact post-mutation state — the
+  service's columnar snapshot is stale between mutations and must not
+  be consulted here.
+* **recomputed** — a certificate-breaking delta (member removed while
+  full, the patched boundary weakening, non-exact scores): the spec is
+  re-planned through the normal service submit path, which also
+  refreshes the snapshot.
+
+Either way the subscription only *pushes* when the visible answer
+actually changed: the new answer is diffed against the old
+(:func:`repro.watch.frames.diff_results`) and an empty edit pushes
+nothing — the communication-competitive monitoring behavior the paper
+setting motivates (a standing query's cost is proportional to how often
+its answer moves, not to how often the data does).
+
+**Underfull answers are exhaustive.**  A maintained answer holding
+fewer than ``k`` items contains *every* item in the database, so the
+manager reasons about it in certify's exhaustive mode: member removals
+and fresh inserts stay fully decidable with no boundary at all — unlike
+the result cache, which must miss on underfull entries because a cached
+answer cannot prove it still covers the whole item set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet
+
+from repro.errors import ServiceError
+from repro.exec import certify
+from repro.exec.merge import entry_key
+from repro.watch.frames import ResultDelta, diff_results
+from repro.watch.subscription import Subscription
+
+
+class SubscriptionManager:
+    """Owns every live subscription of one service.
+
+    Args:
+        submit: the service's submit path (``spec -> ServiceResult``) —
+            the recompute fallback and the initial answer source.
+        exact_algorithms: algorithm names whose result scores are exact
+            overall aggregates (the certificate's precondition); a
+            subscription whose answer came from any other algorithm is
+            recomputed on every mutation instead of certified.
+        patch_limit: most touched items one in-place repair may
+            re-score.
+        max_subscriptions: hard cap on concurrently live subscriptions
+            (:meth:`watch` raises :class:`ServiceError` beyond it).
+        counters: optional object with ``watch_unchanged`` /
+            ``watch_patched`` / ``watch_recomputed`` / ``watch_deltas``
+            attributes (the service's lifetime counters).
+    """
+
+    def __init__(
+        self,
+        *,
+        submit: Callable,
+        exact_algorithms: FrozenSet[str],
+        patch_limit: int = 8,
+        max_subscriptions: int = 64,
+        counters=None,
+    ) -> None:
+        self._submit = submit
+        self._exact = frozenset(exact_algorithms)
+        self._patch_limit = patch_limit
+        self._max = max_subscriptions
+        self._counters = counters
+        self._subscriptions: dict[int, Subscription] = {}
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    @property
+    def subscriptions(self) -> tuple[Subscription, ...]:
+        """The live subscriptions, in registration order."""
+        return tuple(self._subscriptions.values())
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def watch(self, spec, *, callback=None) -> Subscription:
+        """Register a standing query; the initial answer is computed now."""
+        if len(self._subscriptions) >= self._max:
+            raise ServiceError(
+                f"subscription limit reached ({self._max}); cancel one "
+                "or raise ServicePolicy.max_subscriptions"
+            )
+        served = self._submit(spec)
+        subscription = Subscription(
+            self._next_id,
+            spec,
+            entries=served.result.items,
+            epoch=served.stats.epoch,
+            exact=self._exact_answer(served.result),
+            callback=callback,
+            on_cancel=self._unregister,
+        )
+        self._next_id += 1
+        self._subscriptions[subscription.id] = subscription
+        return subscription
+
+    def _unregister(self, subscription: Subscription) -> None:
+        self._subscriptions.pop(subscription.id, None)
+
+    def cancel_all(self) -> None:
+        """Cancel every live subscription (service shutdown)."""
+        for subscription in self.subscriptions:
+            subscription.cancel()
+
+    def _exact_answer(self, result) -> bool:
+        # An empty answer has no scores to be inexact about; certify's
+        # exhaustive mode maintains it regardless of the algorithm, and
+        # exactness is re-derived at the next recompute.
+        return result.algorithm in self._exact or not result.items
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def on_mutation(self, event, epoch: int) -> None:
+        """Maintain every live subscription through one committed event."""
+        for subscription in self.subscriptions:
+            if subscription.active:
+                self._maintain(subscription, event, epoch)
+
+    def on_invalidate(self, epoch: int) -> None:
+        """An epoch bump with no event record: recompute everything."""
+        for subscription in self.subscriptions:
+            if subscription.active:
+                self._recompute(subscription, epoch)
+
+    def _maintain(self, subscription: Subscription, event, epoch: int) -> None:
+        vectors_ok = (
+            event.new_scores is not None or event.kind == "remove_item"
+        )
+        if not subscription._exact or not vectors_ok:
+            self._recompute(subscription, epoch)
+            return
+        spec = subscription.spec
+        entries = subscription.entries
+        exhaustive = len(entries) < spec.k
+        boundary = entry_key(entries[-1]) if not exhaustive else None
+        members = {entry.item: entry.score for entry in entries}
+        verdict, touched = certify.classify_delta(
+            members,
+            boundary,
+            (event,),
+            spec.scoring,
+            patch_limit=self._patch_limit,
+            exhaustive=exhaustive,
+        )
+        if verdict == certify.UNCHANGED:
+            subscription.stats.unchanged += 1
+            self._count("watch_unchanged")
+            subscription._advance(epoch)
+            return
+        if verdict == certify.PATCH:
+            # Re-score from the event's own vectors: they are the exact
+            # post-mutation state, while the service snapshot is stale
+            # until the next submit refreshes it.
+            folded = {event.item: event.new_scores}
+            merged = certify.patch_entries(
+                entries,
+                touched,
+                boundary,
+                spec.scoring,
+                lambda _items: folded,
+                k=spec.k,
+                exhaustive=exhaustive,
+            )
+            if merged is not None:
+                subscription.stats.patched += 1
+                self._count("watch_patched")
+                self._commit(subscription, merged, epoch, cause="patched")
+                return
+        self._recompute(subscription, epoch)
+
+    def _recompute(self, subscription: Subscription, epoch: int) -> None:
+        served = self._submit(subscription.spec)
+        subscription._exact = self._exact_answer(served.result)
+        subscription.stats.recomputed += 1
+        self._count("watch_recomputed")
+        self._commit(
+            subscription, served.result.items, epoch, cause="recomputed"
+        )
+
+    def _commit(
+        self, subscription: Subscription, entries: tuple, epoch: int, *, cause: str
+    ) -> None:
+        exits, upserts = diff_results(subscription.entries, entries)
+        if not exits and not upserts:
+            subscription._advance(epoch)
+            return
+        delta = ResultDelta(
+            subscription=subscription.id,
+            seq=subscription.seq + 1,
+            epoch=epoch,
+            cause=cause,
+            exits=exits,
+            upserts=upserts,
+        )
+        self._count("watch_deltas")
+        subscription._apply(delta, entries)
+
+    def _count(self, name: str) -> None:
+        if self._counters is not None:
+            setattr(self._counters, name, getattr(self._counters, name) + 1)

@@ -1,0 +1,147 @@
+"""One standing query's client-side handle and maintained state.
+
+A :class:`Subscription` is what :meth:`QueryService.watch
+<repro.service.QueryService.watch>` returns: the live ranked answer
+(:attr:`entries`), the delta stream (delivered synchronously to a
+``callback``, or queued for :meth:`poll`), per-outcome maintenance
+counters, and :meth:`cancel`.  The
+:class:`~repro.watch.manager.SubscriptionManager` owns the maintenance
+logic; the subscription is deliberately dumb state so the manager's
+classification per mutation stays the single source of truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.watch.frames import ResultDelta
+
+#: Per-mutation maintenance outcomes, in decreasing order of luck —
+#: the standing-query mirror of the cache's lookup outcomes
+#: (``hit``/``revalidated`` collapse to ``unchanged``: a mutation the
+#: certificate proves harmless costs no work and no push).
+WATCH_OUTCOMES = ("unchanged", "patched", "recomputed")
+
+
+@dataclass
+class WatchStats:
+    """Counters over one subscription's lifetime."""
+
+    unchanged: int = 0  #: mutations proven harmless — no work, no push
+    patched: int = 0  #: answers repaired in place from the event's scores
+    recomputed: int = 0  #: answers re-planned through the service
+    deltas: int = 0  #: deltas actually pushed (visible changes only)
+
+    @property
+    def mutations(self) -> int:
+        """Mutations this subscription was maintained through."""
+        return self.unchanged + self.patched + self.recomputed
+
+
+class Subscription:
+    """A standing top-k query's handle.
+
+    Deltas are delivered synchronously, in mutation order: to
+    ``callback`` when one was given (exceptions propagate to the
+    mutator — a push failure there typically means the peer is gone and
+    the manager cancels the subscription), otherwise onto an internal
+    queue drained by :meth:`poll`.
+    """
+
+    def __init__(
+        self,
+        subscription_id: int,
+        spec,
+        *,
+        entries: Sequence,
+        epoch: int,
+        exact: bool,
+        callback: Callable[[ResultDelta], None] | None,
+        on_cancel: Callable[["Subscription"], None],
+    ) -> None:
+        self.id = subscription_id
+        self.spec = spec
+        self.stats = WatchStats()
+        self._entries = tuple(entries)
+        self._epoch = epoch
+        self._seq = 0
+        self._exact = exact
+        self._callback = callback
+        self._on_cancel = on_cancel
+        self._pending: deque[ResultDelta] = deque()
+        self._active = True
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    @property
+    def entries(self) -> tuple:
+        """The maintained ranked answer, best first."""
+        return self._entries
+
+    @property
+    def item_ids(self) -> tuple:
+        """The maintained item ids, best first."""
+        return tuple(entry.item for entry in self._entries)
+
+    @property
+    def scores(self) -> tuple:
+        """The maintained overall scores, best first."""
+        return tuple(entry.score for entry in self._entries)
+
+    @property
+    def epoch(self) -> int:
+        """The data epoch the answer currently reflects."""
+        return self._epoch
+
+    @property
+    def seq(self) -> int:
+        """Sequence number of the last delta (0: initial answer)."""
+        return self._seq
+
+    @property
+    def active(self) -> bool:
+        """Whether the subscription is still maintained."""
+        return self._active
+
+    def poll(self) -> list[ResultDelta]:
+        """Drain queued deltas (empty unless no callback was given)."""
+        drained = list(self._pending)
+        self._pending.clear()
+        return drained
+
+    def cancel(self) -> None:
+        """Stop maintenance and release the manager slot (idempotent)."""
+        if not self._active:
+            return
+        self._active = False
+        self._on_cancel(self)
+
+    # ------------------------------------------------------------------
+    # Manager surface
+    # ------------------------------------------------------------------
+
+    def _advance(self, epoch: int) -> None:
+        """Re-stamp the answer to ``epoch`` without a visible change."""
+        self._epoch = epoch
+
+    def _apply(self, delta: ResultDelta, entries: tuple) -> None:
+        """Commit a visible change and deliver its delta."""
+        self._entries = entries
+        self._seq = delta.seq
+        self._epoch = delta.epoch
+        self.stats.deltas += 1
+        if self._callback is not None:
+            self._callback(delta)
+        else:
+            self._pending.append(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self._active else "cancelled"
+        return (
+            f"<Subscription #{self.id} {state} k={self.spec.k} "
+            f"seq={self._seq} epoch={self._epoch}>"
+        )

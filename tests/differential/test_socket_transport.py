@@ -113,3 +113,104 @@ class TestWarmClusterSessions:
             # The owner survives a bad request and keeps serving.
             response = fabric.request("owner/0", "sorted_next")
             assert "item" in response and "score" in response
+
+
+class TestFrameHardening:
+    """The frame reader must reject, not buffer, hostile streams."""
+
+    @staticmethod
+    def _pair():
+        import socket
+
+        return socket.socketpair()
+
+    def test_oversized_length_prefix_rejected_before_body(self):
+        import struct
+
+        from repro.distributed.socket_transport import recv_frame
+        from repro.errors import ProtocolError
+
+        left, right = self._pair()
+        with left, right:
+            # A 2 GiB announcement with no body behind it: the reader
+            # must refuse up front rather than block buffering forever.
+            left.sendall(struct.pack(">I", 2**31))
+            with pytest.raises(ProtocolError, match="limit"):
+                recv_frame(right)
+
+    def test_small_max_bytes_is_enforced(self):
+        from repro.distributed.socket_transport import recv_frame, send_frame
+        from repro.errors import ProtocolError
+
+        left, right = self._pair()
+        with left, right:
+            send_frame(left, {"pad": "x" * 256})
+            with pytest.raises(ProtocolError, match="limit"):
+                recv_frame(right, max_bytes=64)
+
+    def test_truncated_body_raises_connection_error(self):
+        import struct
+
+        from repro.distributed.socket_transport import recv_frame
+
+        left, right = self._pair()
+        with right:
+            left.sendall(struct.pack(">I", 100) + b"only ten b")
+            left.close()  # EOF mid-body
+            with pytest.raises(ConnectionError, match="mid-frame"):
+                recv_frame(right)
+
+    def test_garbled_body_raises_protocol_error(self):
+        import struct
+
+        from repro.distributed.socket_transport import recv_frame
+        from repro.errors import ProtocolError
+
+        left, right = self._pair()
+        with left, right:
+            body = b"\xff\xfe not json"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_frame(right)
+
+    def test_non_object_body_raises_protocol_error(self):
+        import struct
+
+        from repro.distributed.socket_transport import recv_frame
+        from repro.errors import ProtocolError
+
+        left, right = self._pair()
+        with left, right:
+            body = b"[1, 2, 3]"
+            left.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="JSON object"):
+                recv_frame(right)
+
+    def test_send_frame_refuses_oversized_message(self):
+        from repro.distributed.socket_transport import send_frame
+        from repro.errors import ProtocolError
+
+        left, right = self._pair()
+        with left, right:
+            with pytest.raises(ProtocolError, match="refusing to send"):
+                send_frame(left, {"pad": "x" * 1024}, max_bytes=128)
+
+    def test_owner_survives_malicious_client(self, database):
+        """A hostile frame drops that client, not the owner process."""
+        import socket
+        import struct
+
+        columnar = ColumnarDatabase.from_database(database)
+        with SocketCluster(columnar) as cluster:
+            port = cluster.ports[0]
+            # 1: oversized announcement.
+            with socket.create_connection(("127.0.0.1", port)) as bad:
+                bad.sendall(struct.pack(">I", 2**31))
+                assert bad.recv(1) == b""  # owner closes on us
+            # 2: truncated frame (claims 64 bytes, ships 3, hangs up).
+            with socket.create_connection(("127.0.0.1", port)) as bad:
+                bad.sendall(struct.pack(">I", 64) + b"abc")
+            # The owner still serves well-formed clients afterwards.
+            with cluster.connect() as fabric:
+                response = fabric.request("owner/0", "sorted_next")
+                assert "item" in response and "score" in response

@@ -1,0 +1,247 @@
+"""Unit coverage of the shared k-th-entry certificate (exec.certify).
+
+The cache suite exercises classify/patch end-to-end through a live
+service; these tests pin the primitive's contract directly — every
+verdict branch, the fold semantics, and the exhaustive mode standing
+subscriptions rely on (the cache never passes it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dynamic.database import MutationEvent
+from repro.exec import certify
+from repro.exec.merge import entry_key
+from repro.scoring import SUM
+from repro.types import ScoredItem
+
+
+def event(item, new_scores, kind="update_score"):
+    return MutationEvent(kind=kind, item=item, new_scores=new_scores)
+
+
+def entries_of(*pairs):
+    return tuple(ScoredItem(item=i, score=s) for i, s in pairs)
+
+
+def members_of(entries):
+    return {e.item: e.score for e in entries}
+
+
+#: A full top-3 answer over sum scoring: 1 > 2 > 3, boundary at item 3.
+TOP = entries_of((1, 3.0), (2, 2.0), (3, 1.0))
+BOUNDARY = entry_key(TOP[-1])
+
+
+# ---------------------------------------------------------------------------
+# fold_events
+# ---------------------------------------------------------------------------
+
+
+class TestFoldEvents:
+    def test_empty_window_folds_to_nothing(self):
+        assert certify.fold_events(()) == {}
+
+    def test_last_state_wins(self):
+        window = (
+            event(7, (0.1, 0.1)),
+            event(7, (0.9, 0.9)),
+            event(8, (0.5, 0.5)),
+        )
+        assert certify.fold_events(window) == {
+            7: (0.9, 0.9),
+            8: (0.5, 0.5),
+        }
+
+    def test_insert_then_remove_folds_to_absent(self):
+        window = (
+            event(7, (0.9, 0.9), kind="insert_item"),
+            event(7, None, kind="remove_item"),
+        )
+        assert certify.fold_events(window) == {7: None}
+
+
+# ---------------------------------------------------------------------------
+# classify_delta
+# ---------------------------------------------------------------------------
+
+
+class TestClassifyDelta:
+    def classify(self, events, *, boundary=BOUNDARY, members=None,
+                 patch_limit=8, exhaustive=False):
+        return certify.classify_delta(
+            members if members is not None else members_of(TOP),
+            boundary,
+            events,
+            SUM,
+            patch_limit=patch_limit,
+            exhaustive=exhaustive,
+        )
+
+    def test_empty_window_is_unchanged(self):
+        assert self.classify(()) == (certify.UNCHANGED, ())
+
+    def test_outsider_beyond_boundary_is_unchanged(self):
+        # aggregate 0.4 < boundary score 1.0: provably cannot enter.
+        assert self.classify((event(9, (0.2, 0.2)),)) == (
+            certify.UNCHANGED,
+            (),
+        )
+
+    def test_outsider_tied_with_boundary_loses_on_id(self):
+        # aggregate exactly 1.0, id 9 > boundary id 3: still excluded.
+        verdict, touched = self.classify((event(9, (0.5, 0.5)),))
+        assert verdict == certify.UNCHANGED
+        assert touched == ()
+
+    def test_outsider_tied_with_boundary_wins_on_id(self):
+        # aggregate 1.0, id 0 < 3: enters by the tie-break, so PATCH.
+        verdict, touched = self.classify((event(0, (0.5, 0.5)),))
+        assert verdict == certify.PATCH
+        assert touched == (0,)
+
+    def test_outsider_inside_boundary_is_patchable(self):
+        verdict, touched = self.classify((event(9, (1.0, 1.0)),))
+        assert verdict == certify.PATCH
+        assert touched == (9,)
+
+    def test_member_with_unchanged_aggregate_is_unchanged(self):
+        # Local scores moved but the SUM aggregate is bit-equal.
+        assert self.classify((event(2, (1.5, 0.5)),)) == (
+            certify.UNCHANGED,
+            (),
+        )
+
+    def test_member_with_changed_aggregate_is_patchable(self):
+        verdict, touched = self.classify((event(2, (2.0, 1.5)),))
+        assert verdict == certify.PATCH
+        assert touched == (2,)
+
+    def test_deleted_non_member_is_unchanged(self):
+        assert self.classify((event(9, None, kind="remove_item"),)) == (
+            certify.UNCHANGED,
+            (),
+        )
+
+    def test_deleted_member_recomputes_without_exhaustive(self):
+        # The vacated slot's heir is some unlogged outsider.
+        assert self.classify((event(2, None, kind="remove_item"),)) == (
+            certify.RECOMPUTE,
+            (),
+        )
+
+    def test_deleted_member_patches_in_exhaustive_mode(self):
+        verdict, touched = self.classify(
+            (event(2, None, kind="remove_item"),), exhaustive=True
+        )
+        assert verdict == certify.PATCH
+        assert touched == (2,)
+
+    def test_no_boundary_recomputes_on_any_outsider(self):
+        # An underfull cache entry has no exclusion boundary.
+        assert self.classify(
+            (event(9, (0.0, 0.0)),), boundary=None
+        ) == (certify.RECOMPUTE, ())
+
+    def test_no_boundary_is_fine_in_exhaustive_mode(self):
+        # The answer holds *every* item: an insert always just enters.
+        verdict, touched = self.classify(
+            (event(9, (0.0, 0.0)),), boundary=None, exhaustive=True
+        )
+        assert verdict == certify.PATCH
+        assert touched == (9,)
+
+    def test_patch_limit_overflow_recomputes(self):
+        window = tuple(event(100 + i, (1.0, 1.0)) for i in range(3))
+        verdict, touched = self.classify(window, patch_limit=2)
+        assert verdict == certify.RECOMPUTE
+        assert touched == ()
+        # One fewer touched item and the same window patches.
+        verdict, touched = self.classify(window[:2], patch_limit=2)
+        assert verdict == certify.PATCH
+
+    def test_fold_neutralizes_roundtrip_mutations(self):
+        # A member wanders and comes home: the folded final state is
+        # bit-equal to the cached aggregate, so nothing was touched.
+        window = (event(2, (9.0, 9.0)), event(2, (1.0, 1.0)))
+        assert self.classify(window) == (certify.UNCHANGED, ())
+
+
+# ---------------------------------------------------------------------------
+# patch_entries
+# ---------------------------------------------------------------------------
+
+
+class TestPatchEntries:
+    def patch(self, touched, fresh, *, entries=TOP, boundary=BOUNDARY,
+              k=3, exhaustive=False):
+        calls = []
+
+        def rescore(items):
+            calls.append(tuple(items))
+            return fresh
+
+        merged = certify.patch_entries(
+            entries, touched, boundary, SUM, rescore,
+            k=k, exhaustive=exhaustive,
+        )
+        assert calls == [tuple(touched)]
+        return merged
+
+    def test_member_rescore_keeps_order(self):
+        merged = self.patch((2,), {2: (1.2, 1.0)})
+        assert merged == entries_of((1, 3.0), (2, 2.2), (3, 1.0))
+
+    def test_member_rescore_reorders(self):
+        merged = self.patch((2,), {2: (2.0, 2.0)})
+        assert merged == entries_of((2, 4.0), (1, 3.0), (3, 1.0))
+
+    def test_outsider_enters_and_boundary_strengthens(self):
+        merged = self.patch((9,), {9: (1.0, 0.5)})
+        # item 9 at 1.5 displaces item 3; new boundary (1.5) dominates.
+        assert merged == entries_of((1, 3.0), (2, 2.0), (9, 1.5))
+
+    def test_weakened_boundary_is_rejected(self):
+        # The boundary member drops to 0.5: every untouched outsider
+        # between 0.5 and 1.0 could now deserve its slot.
+        assert self.patch((3,), {3: (0.25, 0.25)}) is None
+
+    def test_boundary_tie_by_id_is_kept(self):
+        # Item 2 drops into a score tie with the boundary member; ids
+        # break the tie (2 before 3), the k-th key is *equal* to the
+        # old boundary — not weaker — so the patch is kept.
+        merged = self.patch((2,), {2: (0.5, 0.5)})
+        assert merged == entries_of((1, 3.0), (2, 1.0), (3, 1.0))
+
+    def test_vanished_touched_item_is_unsafe(self):
+        # rescore says the item no longer exists: state raced the
+        # delta, never serve a guess.
+        assert self.patch((2,), {2: None}) is None
+        assert self.patch((2,), {}) is None
+
+    def test_vanished_touched_item_drops_in_exhaustive_mode(self):
+        merged = self.patch(
+            (2,), {2: None}, boundary=None, exhaustive=True
+        )
+        assert merged == entries_of((1, 3.0), (3, 1.0))
+
+    def test_underfull_pool_is_unsafe(self):
+        # k=4 but only 3 live entries: the missing slot's occupant is
+        # unknown to the delta.
+        assert self.patch((2,), {2: (1.0, 1.0)}, k=4) is None
+
+    def test_exhaustive_pool_truncates_to_k(self):
+        # Exhaustive answers may exceed k mid-patch (an insert while
+        # underfull); the merge keeps the best k with no boundary check.
+        entries = entries_of((1, 3.0), (2, 2.0))
+        merged = self.patch(
+            (9,), {9: (2.5, 2.5)},
+            entries=entries, boundary=None, k=2, exhaustive=True,
+        )
+        assert merged == entries_of((9, 5.0), (1, 3.0))
+
+    def test_patch_limit_validation_lives_in_classify(self):
+        # patch_entries trusts its caller: classify_delta is the gate.
+        with pytest.raises(TypeError):
+            certify.patch_entries(TOP, (2,), BOUNDARY, SUM)  # missing k
