@@ -122,6 +122,31 @@ True
 >>> remote.extras["transport"], remote.extras["network"]["messages"] > 0
 ('socket', True)
 
+Owners are **multi-tenant**: ``owners=2`` co-locates the three lists on
+two daemon processes (contiguous placement: lists 0,1 together) and the
+transport coalesces each round's ops into one frame per owner —
+identical answers, fewer frames.  Each daemon also serves a
+``/metrics``-style stats endpoint (per-kind op counts, reservoir-
+sampled latency quantiles):
+
+>>> clustered = DistributedBPA2(transport="socket", protocol="pipelined",
+...                             owners=2).run(database, 3, SUM)
+>>> clustered.item_ids == result.item_ids, clustered.extras["owners"]
+(True, 2)
+>>> from repro import ColumnarDatabase
+>>> from repro.distributed import SocketCluster
+>>> with SocketCluster(ColumnarDatabase.from_database(database),
+...                    owners=2) as cluster:
+...     with cluster.connect() as fabric:
+...         _ = fabric.request("owner/0", "sorted_next", {"list": 0})
+...         metrics = fabric.request("owner/0", "state", {"metrics": True})
+>>> cluster.placement.groups
+((0, 1), (2,))
+>>> metrics["lists"], metrics["ops"]["sorted_next"]
+([0, 1], 1)
+>>> metrics["latency"]["count"] == 1 and metrics["latency"]["p50_us"] > 0
+True
+
 A long-lived service survives restarts through epoch-stamped snapshot
 files: ``save_snapshot`` persists the served columnar snapshot (atomic,
 checksummed, compressed) and ``from_snapshot`` warm-starts a new

@@ -15,6 +15,10 @@ Examples::
     repro-topk serve-workload --shards auto --async-mode --concurrency 8
     repro-topk serve-workload --speedup    # the service_speedup.json grid
     repro-topk dist-bench                  # distributed_speedup.json
+    repro-topk cluster serve --snapshot db.bpsn --owners 2 --spec-out spec.json
+    repro-topk serve-workload --cluster-spec spec.json --verify
+    repro-topk cluster stats --spec spec.json
+    repro-topk cluster bench               # cluster_speedup.json
 
 (Equivalently ``python -m repro ...``.)
 """
@@ -204,6 +208,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="with --watch-port: wait up to SECONDS for the "
                             "first subscription before starting the replay")
+    serve.add_argument("--cluster-spec", default=None, metavar="FILE",
+                       help="hammer a running owner-daemon cluster (spec "
+                            "from 'cluster serve --spec-out') instead of "
+                            "building a service; with --verify every "
+                            "answer (items and access tallies) is checked "
+                            "against the snapshot's reference ranking")
 
     watch = sub.add_parser(
         "watch",
@@ -289,6 +299,77 @@ def _build_parser() -> argparse.ArgumentParser:
     dist_bench.add_argument("--out", default=None, metavar="FILE",
                             help="report path "
                                  "(default: reports/distributed_speedup.json)")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-tenant owner daemons: serve lists from a snapshot, "
+             "read owner metrics, benchmark per-owner frame coalescing",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cl_serve = cluster_sub.add_parser(
+        "serve",
+        help="spawn owner daemons from a .bpsn snapshot and publish a "
+             "spec file other processes connect with (see serve-workload "
+             "--cluster-spec)",
+    )
+    cl_serve.add_argument("--snapshot", required=True, metavar="FILE",
+                          help="epoch-stamped .bpsn snapshot; each owner "
+                               "process warm-starts its own lists from it")
+    cl_serve.add_argument("--owners", type=int, default=0,
+                          help="owner processes (0 = one per list)")
+    cl_serve.add_argument("--placement", default="contiguous",
+                          choices=("contiguous", "striped"),
+                          help="list-to-owner assignment strategy")
+    cl_serve.add_argument("--columnar", default="auto",
+                          choices=("auto", "entry", "columnar"),
+                          help="owner serving path (auto = vectorized when "
+                               "the lists support it)")
+    cl_serve.add_argument("--include-position", action="store_true",
+                          help="ship positions in lookup responses "
+                               "(BPA-family clients)")
+    cl_serve.add_argument("--latency-sample-k", type=int, default=64,
+                          help="per-owner latency reservoir size")
+    cl_serve.add_argument("--spec-out", default=None, metavar="FILE",
+                          help="atomically write the cluster spec JSON "
+                               "(ports, placement) to FILE once the owners "
+                               "are up")
+    cl_serve.add_argument("--serve-for", type=float, default=None,
+                          metavar="SECONDS",
+                          help="exit after SECONDS (default: serve until "
+                               "interrupted)")
+    cl_stats = cluster_sub.add_parser(
+        "stats",
+        help="read every owner's metrics endpoint (op counts, latency "
+             "quantiles) from a running cluster",
+    )
+    cl_stats.add_argument("--spec", required=True, metavar="FILE",
+                          help="spec file written by 'cluster serve "
+                               "--spec-out'")
+    cl_bench = cluster_sub.add_parser(
+        "bench",
+        help="measure per-owner frame coalescing and the columnar serving "
+             "path (writes reports/cluster_speedup.json)",
+    )
+    cl_bench.add_argument("--n", type=int, default=2_000)
+    cl_bench.add_argument("--m", type=int, default=4)
+    cl_bench.add_argument("--k", type=int, default=10)
+    cl_bench.add_argument("--generator", default="uniform",
+                          choices=("uniform", "gaussian", "correlated",
+                                   "zipf"))
+    cl_bench.add_argument("--seed", type=int, default=42)
+    cl_bench.add_argument("--repeats", type=int, default=3,
+                          help="repeats per socket cell (best kept)")
+    cl_bench.add_argument("--block-width", type=int, default=8,
+                          help="block width for the *-block rows")
+    cl_bench.add_argument("--micro-n", type=int, default=20_000,
+                          help="list length for the columnar sorted_block "
+                               "microbenchmark")
+    cl_bench.add_argument("--smoke", action="store_true",
+                          help="tiny CI preset (n=400, 2 repeats, "
+                               "micro-n=5000)")
+    cl_bench.add_argument("--out", default=None, metavar="FILE",
+                          help="report path "
+                               "(default: reports/cluster_speedup.json)")
 
     return parser
 
@@ -559,6 +640,8 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    if args.cluster_spec is not None:
+        return _cmd_hammer_cluster(args)
     if args.algorithm != "auto" and args.algorithm not in known_algorithms():
         print(f"unknown algorithm {args.algorithm!r}; known: "
               f"{known_algorithms()} or 'auto'", file=sys.stderr)
@@ -866,6 +949,178 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hammer_cluster(args: argparse.Namespace) -> int:
+    """``serve-workload --cluster-spec``: hammer a cluster we did not spawn."""
+    import json
+
+    from repro.distributed.cluster_bench import hammer_cluster
+    from repro.service.workload import write_report
+
+    with open(args.cluster_spec, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    ks = tuple(sorted({max(1, args.k_max // 4), max(1, args.k_max // 2),
+                       max(1, args.k_max)}))
+    report = hammer_cluster(spec, ks=ks, verify=args.verify)
+    print(f"cluster workload: {report['queries']} queries over "
+          f"{report['owners']} owners ({report['protocol']} protocol)")
+    print(f"{'algorithm':>10} {'k':>4} {'messages':>9} {'bytes':>10} "
+          f"{'ms':>8} {'verified':>9}")
+    for row in report["rows"]:
+        verified = str(row.get("verified", "-"))
+        print(f"{row['algorithm']:>10} {row['k']:>4} {row['messages']:>9,} "
+              f"{row['bytes']:>10,} {row['seconds'] * 1e3:>8.1f} "
+              f"{verified:>9}")
+    out = write_report(report, args.out or "reports/cluster_workload.json")
+    print(f"report written to {out}")
+    if args.verify and report["failures"]:
+        print(f"{report['failures']} queries diverged from the reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    handlers = {
+        "serve": _cmd_cluster_serve,
+        "stats": _cmd_cluster_stats,
+        "bench": _cmd_cluster_bench,
+    }
+    return handlers[args.cluster_command](args)
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.distributed.socket_transport import SocketCluster
+    from repro.storage import atomic_writer
+
+    cluster = SocketCluster.from_snapshot(
+        args.snapshot,
+        owners=args.owners or None,
+        placement=args.placement,
+        columnar=args.columnar,
+        include_position=args.include_position,
+        latency_sample_k=args.latency_sample_k,
+    )
+    try:
+        spec = {
+            "ports": cluster.ports,
+            "placement": cluster.placement.to_dict(),
+            "m": cluster.m,
+            "n": cluster.n,
+            "epoch": cluster.epoch,
+            "include_position": cluster.include_position,
+            "snapshot": args.snapshot,
+        }
+        body = json.dumps(spec, indent=2) + "\n"
+        if args.spec_out:
+            # Atomic so a poll-for-the-file client never reads a torn spec.
+            with atomic_writer(args.spec_out) as handle:
+                handle.write(body.encode("utf-8"))
+        print(f"cluster up: {cluster.placement.owners} owners hosting "
+              f"{cluster.m} lists (n={cluster.n:,}, epoch {cluster.epoch}, "
+              f"{cluster.placement.strategy} placement)")
+        for owner, (group, port) in enumerate(
+            zip(cluster.placement.groups, cluster.ports)
+        ):
+            print(f"  owner/{owner}: lists {list(group)} on port {port}")
+        if args.spec_out:
+            print(f"spec written to {args.spec_out}")
+        else:
+            print(body, end="")
+        try:
+            if args.serve_for is not None:
+                time.sleep(args.serve_for)
+            else:
+                while True:
+                    time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+    finally:
+        cluster.close()
+    print("cluster shut down")
+    return 0
+
+
+def _cmd_cluster_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.distributed.socket_transport import connect_ports
+
+    with open(args.spec, encoding="utf-8") as handle:
+        spec = json.load(handle)
+    with connect_ports(spec["ports"]) as fabric:
+        for owner in range(len(spec["ports"])):
+            metrics = fabric.request(f"owner/{owner}", "state",
+                                     {"metrics": True})
+            latency = metrics["latency"]
+            ops = ", ".join(f"{kind}={count:,}" for kind, count
+                            in sorted(metrics["ops"].items())) or "none"
+            print(f"owner/{owner}: lists {metrics['lists']}")
+            print(f"  ops: {ops}")
+            if latency.get("count"):
+                print(f"  latency ({latency['count']:,} ops, "
+                      f"{latency['samples']} sampled): "
+                      f"p50 {latency['p50_us']}us  "
+                      f"p90 {latency['p90_us']}us  "
+                      f"p99 {latency['p99_us']}us  "
+                      f"max {latency['max_us']}us")
+            else:
+                print("  latency: no ops served yet")
+    return 0
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.distributed.cluster_bench import cluster_speedup_benchmark
+    from repro.service.workload import write_report
+
+    settings = dict(
+        n=args.n,
+        m=args.m,
+        k=args.k,
+        generator=args.generator,
+        seed=args.seed,
+        repeats=args.repeats,
+        block_width=args.block_width,
+        micro_n=args.micro_n,
+    )
+    if args.smoke:
+        settings.update(n=min(args.n, 400), repeats=min(args.repeats, 2),
+                        micro_n=min(args.micro_n, 5_000))
+    report = cluster_speedup_benchmark(**settings)
+    out = write_report(report, args.out or "reports/cluster_speedup.json")
+    config = report["socket"]["config"]
+    print(f"cluster coalescing ({config['generator']} n={config['n']:,} "
+          f"m={config['m']}, best of {config['repeats']}, socket "
+          f"transport):")
+    print(f"{'driver':>14} {'frames m-own':>13} {'frames 2-own':>13} "
+          f"{'reduction':>10} {'wall speedup':>13}")
+    m_label = str(config["m"])
+    for label, row in report["socket"]["drivers"].items():
+        base = row["owners"].get(m_label, {}).get("batch")
+        two = row["owners"].get("2", {}).get("batch")
+        if not base or not two:
+            continue
+        reduction = row.get("frames_reduction_batch_2_owners", 0.0)
+        speedup = row.get("wall_speedup_batch_2_owners", 0.0)
+        marker = "" if row["full_fanout_rounds"] else "  (probe waves only)"
+        print(f"{label:>14} {base['messages']:>13,} {two['messages']:>13,} "
+              f"{reduction:>9.2f}x {speedup:>12.2f}x{marker}")
+    micro = report["columnar_sorted_block"]
+    print(f"columnar sorted_block serving: {micro['speedup']:.2f}x over "
+          f"per-entry (n={micro['config']['n']:,}, "
+          f"block {micro['config']['block']})")
+    summary = report["summary"]
+    print(f"  meets 2x frame reduction at 2 owners: "
+          f"{summary['meets_2x_frames']}")
+    print(f"  wall-clock faster at 2 owners: {summary['wall_clock_faster']}")
+    print(f"  columnar faster than per-entry: {summary['columnar_faster']}")
+    print(f"report written to {out}")
+    ok = (summary["meets_2x_frames"] and summary["wall_clock_faster"]
+          and summary["columnar_faster"])
+    return 0 if ok else 1
+
+
 def _cmd_dist_bench(args: argparse.Namespace) -> int:
     from repro.distributed.bench import distributed_speedup_benchmark
     from repro.service.workload import write_report
@@ -977,6 +1232,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "watch": _cmd_watch,
         "verify-snapshot": _cmd_verify_snapshot,
         "dist-bench": _cmd_dist_bench,
+        "cluster": _cmd_cluster,
     }
     return handlers[args.command](args)
 

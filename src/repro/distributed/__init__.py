@@ -16,7 +16,11 @@ those arguments measurable:
   :mod:`repro.exec.drivers`;
 * :class:`SocketCluster` / :class:`SocketNetwork` — the same owner
   protocol served by real OS processes over length-prefixed TCP framing
-  (:mod:`repro.distributed.socket_transport`);
+  (:mod:`repro.distributed.socket_transport`), multi-tenant since
+  :class:`ClusterPlacement` assigns lists to a configurable number of
+  :class:`OwnerDaemon` processes (per-owner frame coalescing, a
+  :class:`ColumnarOwnerNode` vectorized serving path, ``.bpsn``
+  warm starts and a ``state``-frame metrics endpoint);
 * coordinator-side drivers: :class:`DistributedTA`,
   :class:`DistributedBPA`, :class:`DistributedBPA2` (thin transport
   wrappers over the unified core) and the related-work baseline
@@ -26,10 +30,16 @@ All drivers return a :class:`repro.types.TopKResult` whose ``extras``
 carry a :class:`NetworkStats` snapshot.
 """
 
+from repro.distributed.daemon import LatencyReservoir, OwnerDaemon
 from repro.distributed.network import NetworkStats, SimulatedNetwork
-from repro.distributed.nodes import ListOwnerNode
+from repro.distributed.nodes import ColumnarOwnerNode, ListOwnerNode
+from repro.distributed.placement import ClusterPlacement
 from repro.distributed.transport import NetworkBackend
-from repro.distributed.socket_transport import SocketCluster, SocketNetwork
+from repro.distributed.socket_transport import (
+    SocketCluster,
+    SocketNetwork,
+    connect_ports,
+)
 from repro.distributed.algorithms import (
     DistributedBPA,
     DistributedBPA2,
@@ -43,7 +53,12 @@ __all__ = [
     "NetworkBackend",
     "SocketCluster",
     "SocketNetwork",
+    "connect_ports",
+    "ClusterPlacement",
+    "OwnerDaemon",
+    "LatencyReservoir",
     "ListOwnerNode",
+    "ColumnarOwnerNode",
     "DistributedTA",
     "DistributedBPA",
     "DistributedBPA2",

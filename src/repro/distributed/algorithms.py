@@ -32,6 +32,10 @@ reference implementations the differential suite matches bit for bit.
 
 from __future__ import annotations
 
+from repro.distributed.placement import (
+    STRATEGIES as PLACEMENT_STRATEGIES,
+    ClusterPlacement,
+)
 from repro.distributed.transport import PROTOCOLS, NetworkBackend
 from repro.errors import InvalidQueryError
 from repro.exec.backend import LocalColumnarBackend
@@ -64,6 +68,9 @@ class _DistributedDriver:
         protocol: str = "entry",
         transport: str = "simulated",
         block_width: int = 1,
+        owners: int | None = None,
+        placement: str = "contiguous",
+        columnar: str = "auto",
     ) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(
@@ -75,10 +82,20 @@ class _DistributedDriver:
             )
         if block_width < 1:
             raise ValueError(f"block_width must be >= 1, got {block_width}")
+        if placement not in PLACEMENT_STRATEGIES:
+            raise ValueError(
+                f"unknown placement {placement!r}; "
+                f"expected one of {PLACEMENT_STRATEGIES}"
+            )
+        if owners is not None and owners < 0:
+            raise ValueError(f"owners must be >= 0, got {owners}")
         self._tracker_kind = tracker
         self._protocol = protocol
         self._transport = transport
         self._block_width = block_width
+        self._owners = owners
+        self._placement = placement
+        self._columnar = columnar
 
     def run(
         self, database: DatabaseLike, k: int, scoring: ScoringFunction = SUM
@@ -98,8 +115,11 @@ class _DistributedDriver:
 
             with SocketCluster(
                 database,
+                owners=self._owners,
+                placement=self._placement,
                 tracker=self._tracker_kind,
                 include_position=self.include_position,
+                columnar=self._columnar,
             ) as cluster, cluster.connect() as fabric:
                 backend = NetworkBackend.remote(
                     fabric,
@@ -107,6 +127,7 @@ class _DistributedDriver:
                     n=cluster.n,
                     include_position=self.include_position,
                     protocol=self._protocol,
+                    placement=cluster.placement,
                 )
                 outcome = self._drive(backend, k, scoring)
                 tally = backend.total_tally()
@@ -114,13 +135,21 @@ class _DistributedDriver:
                     "network": fabric.stats.snapshot(),
                     "protocol": self._protocol,
                     "transport": "socket",
+                    "owners": cluster.placement.owners,
                 }
         else:
+            sim_placement = None
+            if self._owners is not None:
+                sim_placement = ClusterPlacement.build(
+                    database.m, owners=self._owners, strategy=self._placement
+                )
             backend = NetworkBackend(
                 database,
                 tracker=self._tracker_kind,
                 include_position=self.include_position,
                 protocol=self._protocol,
+                placement=sim_placement,
+                columnar=self._columnar,
             )
             outcome = self._drive(backend, k, scoring)
             tally = backend.total_tally()
@@ -128,6 +157,8 @@ class _DistributedDriver:
                 "network": backend.network.stats.snapshot(),
                 "protocol": self._protocol,
             }
+            if sim_placement is not None:
+                extras["owners"] = sim_placement.owners
         if self._block_width > 1:
             extras["block_width"] = self._block_width
         return TopKResult(

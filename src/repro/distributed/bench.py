@@ -110,8 +110,8 @@ def _run_over_socket(cluster, fabric, name, protocol, k, *, block_width=1):
     drives the engine directly (no per-query process spawn), so the
     measured wall-clock is the query, not cluster setup.
     """
-    for index in range(cluster.m):
-        fabric.request(f"owner/{index}", "reset")
+    for owner in range(cluster.placement.owners):
+        fabric.request(f"owner/{owner}", "reset")
     fabric.reset_stats()
     backend = NetworkBackend.remote(
         fabric,
@@ -119,6 +119,7 @@ def _run_over_socket(cluster, fabric, name, protocol, k, *, block_width=1):
         n=cluster.n,
         include_position=cluster.include_position,
         protocol=protocol,
+        placement=cluster.placement,
     )
     driver = _ENGINE_DRIVERS[name if block_width == 1 else f"{name}-block"]
     kwargs = {} if block_width == 1 else {"width": block_width}

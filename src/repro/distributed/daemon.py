@@ -1,0 +1,220 @@
+"""Multi-list owner daemons: routing, coalesced frames, observability.
+
+One :class:`OwnerDaemon` hosts every list that
+:class:`~repro.distributed.placement.ClusterPlacement` assigned to its
+owner process.  It speaks the :class:`~repro.distributed.nodes.ListOwnerNode`
+request protocol with two extensions:
+
+``"list"`` routing field
+    Any per-list request may carry ``{"list": i}`` naming the hosted
+    global list index.  A daemon hosting exactly one list defaults to
+    it, so single-tenant daemons stay wire-compatible with the legacy
+    one-process-per-list cluster.
+
+``multi`` frames
+    ``{"ops": [{"kind": ..., "payload": {..., "list": i}}, ...]}``
+    executes the sub-ops in order and answers
+    ``{"results": [...]}`` — one frame per owner per round wave
+    instead of one per list (the transport's per-owner coalescing).
+    A round plan never carries two ops for one list, so in-order
+    execution preserves every per-list access stream exactly.
+
+Observability (the ``/metrics`` idiom)
+    The daemon counts served ops per kind and reservoir-samples per-op
+    service latency (Algorithm R, ``latency_sample_k`` samples).  A
+    ``state`` request with ``{"metrics": true}`` returns them with
+    p50/p90/p99/max quantiles — read it with ``repro-topk cluster
+    stats``.  Metrics frames are control-plane and never counted in
+    wire stats.
+
+Each hosted list is served by a :class:`ColumnarOwnerNode` when the
+source exposes vectorized ``lookup_many``/``block`` (the columnar fast
+path) and a plain :class:`ListOwnerNode` otherwise; ``columnar="entry"``
+forces the per-entry path (the benchmark baseline), ``"columnar"``
+requires the fast path.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from typing import Sequence
+
+from repro.distributed.nodes import (
+    DEFAULT_SESSION,
+    ColumnarOwnerNode,
+    ListOwnerNode,
+)
+from repro.errors import ProtocolError
+
+COLUMNAR_MODES = ("auto", "entry", "columnar")
+
+#: Default latency reservoir size (adaptive-hashmap-studio's
+#: ``--latency-sample-k`` default neighbourhood).
+DEFAULT_LATENCY_SAMPLE_K = 64
+
+
+class LatencyReservoir:
+    """Algorithm-R reservoir of per-op service times (seconds).
+
+    Bounded memory however many ops the daemon serves; every op has an
+    equal chance of being in the sample, so the quantiles estimate the
+    full service-time distribution, not a recent window.
+    """
+
+    def __init__(self, k: int = DEFAULT_LATENCY_SAMPLE_K, *, seed: int = 0x5EED) -> None:
+        if k < 1:
+            raise ValueError(f"latency sample size must be >= 1, got {k}")
+        self._k = k
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Offer one observation to the reservoir."""
+        self.count += 1
+        if len(self._samples) < self._k:
+            self._samples.append(seconds)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self._k:
+            self._samples[slot] = seconds
+
+    def quantiles(self) -> dict:
+        """Summary of the sampled distribution, in microseconds."""
+        if not self._samples:
+            return {"count": 0, "samples": 0}
+        ordered = sorted(self._samples)
+
+        def at(fraction: float) -> float:
+            index = min(len(ordered) - 1, int(fraction * len(ordered)))
+            return round(ordered[index] * 1e6, 3)
+
+        return {
+            "count": self.count,
+            "samples": len(ordered),
+            "p50_us": at(0.50),
+            "p90_us": at(0.90),
+            "p99_us": at(0.99),
+            "max_us": round(ordered[-1] * 1e6, 3),
+        }
+
+
+def make_owner_node(sorted_list, *, tracker, include_position, columnar="auto"):
+    """Build the right node class for one hosted list."""
+    if columnar not in COLUMNAR_MODES:
+        raise ValueError(
+            f"unknown columnar mode {columnar!r}; pick from {COLUMNAR_MODES}"
+        )
+    vectorized = hasattr(sorted_list, "lookup_many") and hasattr(
+        sorted_list, "block"
+    )
+    if columnar == "columnar" and not vectorized:
+        raise ValueError(
+            f"columnar owner requested but {type(sorted_list).__name__} "
+            "has no vectorized lookup_many/block"
+        )
+    cls = ColumnarOwnerNode if vectorized and columnar != "entry" else ListOwnerNode
+    return cls(sorted_list, tracker=tracker, include_position=include_position)
+
+
+class OwnerDaemon:
+    """One owner process's brain: its hosted lists behind one protocol.
+
+    Args:
+        lists: the sorted lists this owner hosts, aligned with
+            ``list_indices`` (their global indices in the database).
+        tracker / include_position: forwarded to every hosted node.
+        columnar: node selection mode (see :func:`make_owner_node`).
+        latency_sample_k: reservoir size for the latency quantiles.
+    """
+
+    def __init__(
+        self,
+        lists: Sequence,
+        *,
+        list_indices: Sequence[int],
+        tracker: str = "bitarray",
+        include_position: bool = False,
+        columnar: str = "auto",
+        latency_sample_k: int = DEFAULT_LATENCY_SAMPLE_K,
+    ) -> None:
+        if len(lists) != len(list_indices) or not lists:
+            raise ValueError("lists and list_indices must align and be non-empty")
+        self._nodes: dict[int, ListOwnerNode] = {
+            index: make_owner_node(
+                sorted_list,
+                tracker=tracker,
+                include_position=include_position,
+                columnar=columnar,
+            )
+            for index, sorted_list in zip(list_indices, lists)
+        }
+        self._sole = list_indices[0] if len(list_indices) == 1 else None
+        self.op_counts: Counter = Counter()
+        self.latency = LatencyReservoir(latency_sample_k)
+
+    @property
+    def hosted(self) -> tuple[int, ...]:
+        """Global indices of the hosted lists, ascending."""
+        return tuple(sorted(self._nodes))
+
+    def node_for(self, index: int) -> ListOwnerNode:
+        """The node serving global list ``index``."""
+        node = self._nodes.get(index)
+        if node is None:
+            raise ProtocolError(
+                f"list {index} is not hosted here (hosted: {self.hosted})"
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, kind: str, payload: dict) -> dict:
+        """Serve one frame (single op, ``multi``, metrics, or reset)."""
+        payload = payload or {}
+        if kind == "multi":
+            self.op_counts["multi"] += 1
+            return {
+                "results": [
+                    self._dispatch(op.get("kind"), op.get("payload") or {})
+                    for op in payload["ops"]
+                ]
+            }
+        return self._dispatch(kind, payload)
+
+    def _dispatch(self, kind: str, payload: dict) -> dict:
+        if kind == "state" and payload.get("metrics"):
+            return self.metrics()
+        if kind == "reset" and "list" not in payload:
+            for node in self._nodes.values():
+                node.reset(payload.get("session", DEFAULT_SESSION))
+            self.op_counts["reset"] += 1
+            return {}
+        node = self._route(payload)
+        started = time.perf_counter()
+        response = node.handle(kind, payload)
+        self.latency.record(time.perf_counter() - started)
+        self.op_counts[kind] += 1
+        return response
+
+    def _route(self, payload: dict) -> ListOwnerNode:
+        # Read, don't pop: payloads are sized for byte accounting after
+        # dispatch, and nodes ignore the routing field.
+        index = payload.get("list", self._sole)
+        if index is None:
+            raise ProtocolError(
+                f"multi-list owner needs a 'list' field (hosted: {self.hosted})"
+            )
+        return self.node_for(index)
+
+    def metrics(self) -> dict:
+        """The stats endpoint: per-kind op counts + latency quantiles."""
+        return {
+            "lists": list(self.hosted),
+            "ops": dict(self.op_counts),
+            "latency": self.latency.quantiles(),
+        }

@@ -107,16 +107,28 @@ class NetworkStats:
         BPA's shipped positions and BPA2's piggybacked best-position
         scores both travel inside ordinary responses; this counts the
         messages that carry them and the bytes those fields add —
-        previously invisible in the per-kind totals.
+        previously invisible in the per-kind totals.  Coalesced
+        ``multi`` frames nest one sub-response per op under
+        ``"results"``; their best-position fields are tallied into the
+        same counters (one ``bp_message`` per carrying *frame*), so
+        per-owner coalescing stays comparable with the per-list rows.
         """
+        size = self._bp_field_size(response)
+        if size:
+            self.bp_messages += 1
+            self.bp_bytes += size
+
+    @classmethod
+    def _bp_field_size(cls, response: dict) -> int:
         size = sum(
             payload_size(response[key]) + payload_size(key)
             for key in _BP_FIELDS
             if key in response
         )
-        if size:
-            self.bp_messages += 1
-            self.bp_bytes += size
+        for sub in response.get("results", ()):
+            if isinstance(sub, dict):
+                size += cls._bp_field_size(sub)
+        return size
 
     #: ``snapshot()`` ships at most this many per-round buckets: results
     #: (and the service's cache entries holding them) stay bounded even

@@ -45,7 +45,7 @@ the default session, preserving the single-query API.
 from __future__ import annotations
 
 from repro.core.best_position import BestPositionTracker, make_tracker
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, UnknownItemError
 from repro.lists.accessor import ListAccessor, SortedListLike
 from repro.types import Position, Score
 
@@ -347,3 +347,117 @@ class ListOwnerNode:
         new_bp = session.tracker.best_position
         if new_bp != old_bp:
             response["bp_score"] = self._list.score_at(new_bp)
+
+
+class ColumnarOwnerNode(ListOwnerNode):
+    """A list owner serving batched ops straight from columnar arrays.
+
+    Drop-in for :class:`ListOwnerNode` over a source with vectorized
+    ``lookup_many``/``block`` (a :class:`~repro.columnar.ColumnarList`):
+    ``sorted_block`` responses come from array slices via one
+    ``tolist`` instead of per-entry :class:`ListEntry` boxing, and the
+    lookup halves of ``random_lookup_many``/``direct_step``/
+    ``direct_block`` become one NumPy gather each.  Responses, tallies,
+    tracker walks and piggyback points are bit-identical to the
+    per-entry path — ``tests/unit/test_owner_daemon.py`` drives both
+    node classes through identical op sequences to prove it.  A batch
+    containing an unknown item replays through the scalar handler so
+    the partial tally and marks fail at the same point.
+    """
+
+    def __init__(
+        self,
+        sorted_list: SortedListLike,
+        *,
+        tracker: str = "bitarray",
+        include_position: bool = False,
+    ) -> None:
+        for attr in ("lookup_many", "block"):
+            if not hasattr(sorted_list, attr):
+                raise TypeError(
+                    f"{type(sorted_list).__name__} has no vectorized "
+                    f"{attr!r}; use ListOwnerNode for per-entry sources"
+                )
+        super().__init__(
+            sorted_list, tracker=tracker, include_position=include_position
+        )
+
+    def _gather(self, session: _Session, items: list[int]):
+        """One vectorized lookup batch, metered like the scalar loop.
+
+        Returns ``(scores, positions)`` as plain lists and marks every
+        position, or ``None`` if any item is unknown (the caller then
+        replays through the scalar handler for exact partial metering).
+        """
+        try:
+            scores, positions = self._list.lookup_many(items)
+        except UnknownItemError:
+            return None
+        session.accessor.tally.random += len(items)
+        scores = scores.tolist()
+        positions = positions.tolist()
+        for position in positions:
+            session.tracker.mark(position)
+        return scores, positions
+
+    def _random_lookup_many(self, session: _Session, items: list[int]) -> dict:
+        old_bp = session.tracker.best_position
+        gathered = self._gather(session, items)
+        if gathered is None:
+            return super()._random_lookup_many(session, items)
+        scores, positions = gathered
+        response: dict = {"scores": scores}
+        if self._include_position:
+            response["positions"] = positions
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _sorted_block(self, session: _Session, count: int) -> dict:
+        old_bp = session.tracker.best_position
+        positions, items, scores = session.accessor.sorted_block_raw(count)
+        for position in positions:
+            session.tracker.mark(position)
+        response: dict = {"items": items, "scores": scores}
+        if self._include_position:
+            response["positions"] = positions
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _direct_step(self, session: _Session, items: list[int]) -> dict:
+        old_bp = session.tracker.best_position
+        gathered = self._gather(session, items) if items else ([], [])
+        if gathered is None:
+            return super()._direct_step(session, items)
+        response: dict = {"scores": gathered[0]}
+        position = session.tracker.best_position + 1
+        if position > len(session.accessor):
+            response["exhausted"] = True
+        else:
+            entry = session.accessor.direct_at(position)
+            session.tracker.mark(entry.position)
+            response["item"] = entry.item
+            response["score"] = entry.score
+        self._piggyback(session, response, old_bp)
+        return response
+
+    def _direct_block(self, session: _Session, items: list[int], count: int) -> dict:
+        old_bp = session.tracker.best_position
+        gathered = self._gather(session, items) if items else ([], [])
+        if gathered is None:
+            return super()._direct_block(session, items, count)
+        entries: list[tuple[int, Score]] = []
+        for _ in range(count):
+            position = session.tracker.best_position + 1
+            if position > len(session.accessor):
+                break
+            entry = session.accessor.direct_at(position)
+            session.tracker.mark(entry.position)
+            entries.append((entry.item, entry.score))
+        response: dict = {
+            "scores": gathered[0],
+            "entries": entries,
+            "exhausted": session.tracker.best_position
+            >= len(session.accessor),
+        }
+        self._piggyback(session, response, old_bp)
+        return response

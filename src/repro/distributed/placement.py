@@ -1,0 +1,128 @@
+"""List-to-owner placement for multi-tenant clusters.
+
+The socket transport originally spawned one owner process per list, so
+every round paid ``m`` frame round trips even though a round plan never
+carries two ops for the same list.  :class:`ClusterPlacement` assigns
+the ``m`` lists to a configurable number of owner processes; the
+transport then coalesces each round's ops into **one frame per owner**
+(see :meth:`NetworkBackend.execute_plan`), an m-fold frame reduction
+when all lists share one owner.
+
+Placement strategies
+--------------------
+``contiguous`` (default)
+    Balanced adjacent chunks: lists ``0..m-1`` are split into ``owners``
+    runs of near-equal length.  Round plans fan out over *all* lists
+    simultaneously (TA/BPA sorted waves and probe waves touch every
+    list), so any balanced partition coalesces equally well; contiguous
+    runs additionally keep neighbouring list ids — which generators and
+    snapshots lay out adjacently — in one process.
+``striped``
+    Round-robin: list ``i`` goes to owner ``i % owners``.  Useful when
+    list sizes or temperatures correlate with position so adjacent runs
+    would concentrate load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+STRATEGIES = ("contiguous", "striped")
+
+
+@dataclass(frozen=True)
+class ClusterPlacement:
+    """An assignment of ``m`` lists onto owner processes.
+
+    ``groups[o]`` is the tuple of global list indices hosted by owner
+    ``o``; together the groups partition ``range(m)``.  Build one with
+    :meth:`build` rather than the constructor unless reloading a
+    serialized placement.
+    """
+
+    m: int
+    groups: tuple[tuple[int, ...], ...]
+    strategy: str = "contiguous"
+
+    def __post_init__(self) -> None:
+        flat = sorted(index for group in self.groups for index in group)
+        if flat != list(range(self.m)):
+            raise ValueError(
+                f"groups {self.groups} do not partition range({self.m})"
+            )
+        if any(not group for group in self.groups):
+            raise ValueError("placement has an owner with no lists")
+
+    @classmethod
+    def build(
+        cls,
+        m: int,
+        *,
+        owners: int | None = None,
+        strategy: str = "contiguous",
+    ) -> "ClusterPlacement":
+        """Place ``m`` lists on ``owners`` processes (default: one each).
+
+        ``owners`` of ``None`` or ``0`` keeps the legacy one-process-
+        per-list layout; larger than ``m`` is clamped to ``m``.
+        """
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown placement strategy {strategy!r}; pick from {STRATEGIES}"
+            )
+        if not owners:
+            owners = m
+        if owners < 0:
+            raise ValueError(f"owners must be >= 0, got {owners}")
+        owners = min(owners, m)
+        if strategy == "striped":
+            groups = tuple(
+                tuple(range(o, m, owners)) for o in range(owners)
+            )
+        else:
+            base, extra = divmod(m, owners)
+            groups, start = [], 0
+            for o in range(owners):
+                size = base + (1 if o < extra else 0)
+                groups.append(tuple(range(start, start + size)))
+                start += size
+            groups = tuple(groups)
+        return cls(m=m, groups=groups, strategy=strategy)
+
+    @property
+    def owners(self) -> int:
+        """Number of owner processes."""
+        return len(self.groups)
+
+    @cached_property
+    def owner_of(self) -> tuple[int, ...]:
+        """``owner_of[i]`` is the owner hosting list ``i``."""
+        mapping = [0] * self.m
+        for owner, group in enumerate(self.groups):
+            for index in group:
+                mapping[index] = owner
+        return tuple(mapping)
+
+    @property
+    def max_group(self) -> int:
+        """Largest number of co-located lists on any owner."""
+        return max(len(group) for group in self.groups)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (cluster spec files)."""
+        return {
+            "m": self.m,
+            "strategy": self.strategy,
+            "groups": [list(group) for group in self.groups],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClusterPlacement":
+        return cls(
+            m=int(data["m"]),
+            groups=tuple(tuple(int(i) for i in group) for group in data["groups"]),
+            strategy=str(data.get("strategy", "contiguous")),
+        )

@@ -1,10 +1,13 @@
-"""A real TCP transport: multi-process list owners behind framed sockets.
+"""A real TCP transport: multi-tenant owner daemons behind framed sockets.
 
-This is the simulated network made physical.  Each list owner runs in
-its **own OS process**, serving the exact :class:`ListOwnerNode` request
-protocol over a length-prefixed TCP connection; the originator talks to
-the owners through :class:`SocketNetwork`, which satisfies the same
-fabric interface as :class:`~repro.distributed.network.SimulatedNetwork`
+This is the simulated network made physical.  A
+:class:`~repro.distributed.placement.ClusterPlacement` assigns the
+database's lists to a configurable number of **owner processes** (one
+per list by default); each process runs an
+:class:`~repro.distributed.daemon.OwnerDaemon` serving its hosted lists
+over a length-prefixed TCP connection.  The originator talks to the
+owners through :class:`SocketNetwork`, which satisfies the same fabric
+interface as :class:`~repro.distributed.network.SimulatedNetwork`
 (``request`` / ``request_many`` / ``stats``), so
 :class:`~repro.distributed.transport.NetworkBackend` — and therefore the
 unified round-plan drivers, ``QueryService`` and ``dist-bench`` — run
@@ -18,6 +21,11 @@ responses are the owner's response dict verbatim (owner-side errors
 travel as ``{"__error__": "..."}`` and re-raise client-side as
 :class:`~repro.errors.ProtocolError`).  Byte accounting in
 :class:`NetworkStats` uses the *actual* frame sizes, prefix included.
+Requests to an owner hosting several lists carry a ``"list"`` routing
+field, and a round's ops for co-hosted lists coalesce into one
+``multi`` frame per owner (see ``NetworkBackend._execute_coalesced``) —
+at ``owners < m`` that is the transport's frame reduction, measured by
+``repro-topk cluster bench`` into ``reports/cluster_speedup.json``.
 
 Pipelining
 ----------
@@ -27,6 +35,13 @@ for the same list, so responses match requests by order — the batched
 protocol's sequential round trips collapse into one overlapped wave,
 which is where the pipelined protocol's wall-clock win comes from
 (``repro dist-bench`` measures it at identical message counts).
+
+Warm starts
+-----------
+:meth:`SocketCluster.from_snapshot` spawns owners that load their lists
+from a ``.bpsn`` snapshot file themselves — the parent reads only the
+fixed header, no list payload crosses the process boundary, and the
+canonical sort is adopted from the file instead of recomputed.
 """
 
 from __future__ import annotations
@@ -39,8 +54,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.distributed.daemon import DEFAULT_LATENCY_SAMPLE_K, OwnerDaemon
 from repro.distributed.network import NetworkStats
-from repro.distributed.nodes import ListOwnerNode
+from repro.distributed.placement import ClusterPlacement
 from repro.errors import ProtocolError
 
 _LENGTH = struct.Struct(">I")
@@ -136,11 +152,33 @@ def _recv_exact(
     return b"".join(chunks)
 
 
-def _owner_server_main(sorted_list, tracker, include_position, channel) -> None:
-    """One owner process: serve the list protocol until shut down."""
-    node = ListOwnerNode(
-        sorted_list, tracker=tracker, include_position=include_position
+def _build_daemon(spec: dict) -> OwnerDaemon:
+    """Materialize one owner process's daemon from its spawn spec.
+
+    The spec carries either the pickled lists themselves or a snapshot
+    path to load them from (warm start: the canonical sort is adopted
+    from the file, never recomputed).
+    """
+    indices = list(spec["indices"])
+    lists = spec.get("lists")
+    if lists is None:
+        from repro.storage.snapshot import load_snapshot
+
+        database, _epoch = load_snapshot(spec["snapshot"])
+        lists = [database.lists[index] for index in indices]
+    return OwnerDaemon(
+        lists,
+        list_indices=indices,
+        tracker=spec["tracker"],
+        include_position=spec["include_position"],
+        columnar=spec["columnar"],
+        latency_sample_k=spec["latency_sample_k"],
     )
+
+
+def _owner_server_main(spec: dict, channel) -> None:
+    """One owner process: serve its hosted lists until shut down."""
+    daemon = _build_daemon(spec)
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     server.bind(("127.0.0.1", 0))
@@ -161,7 +199,7 @@ def _owner_server_main(sorted_list, tracker, include_position, channel) -> None:
                             send_frame(client, {})
                             return
                         try:
-                            response = node.handle(
+                            response = daemon.handle(
                                 request["kind"], request.get("payload") or {}
                             )
                         except Exception as exc:  # ship, don't kill owner
@@ -173,21 +211,56 @@ def _owner_server_main(sorted_list, tracker, include_position, channel) -> None:
                     # Oversized/truncated/garbled frame: the stream is no
                     # longer frame-aligned.  Drop this client and keep
                     # serving — a hostile or crashed client must not take
-                    # the owner (and every other client's list) with it.
+                    # the owner (and every other client's lists) with it.
                     continue
     finally:
         server.close()
 
 
+def connect_ports(
+    ports: Sequence[int], *, timeout: float = 10.0
+) -> "SocketNetwork":
+    """Open one TCP connection per owner port and return the fabric.
+
+    Addresses are ``owner/<index>`` in port order.  ``timeout`` bounds
+    the *connect* only; established connections block indefinitely (a
+    slow owner-side op must not desynchronize the length-prefixed
+    framing mid-frame).  Works from any process that knows the ports —
+    ``repro-topk cluster serve`` publishes them in its spec file so
+    ``serve-workload --cluster-spec`` can hammer a cluster it did not
+    spawn.
+    """
+    sockets: dict[str, socket.socket] = {}
+    try:
+        for index, port in enumerate(ports):
+            sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sockets[f"owner/{index}"] = sock
+    except BaseException:
+        for sock in sockets.values():
+            sock.close()
+        raise
+    return SocketNetwork(sockets)
+
+
 class SocketCluster:
-    """Spawns one owner process per list and hands out connections.
+    """Spawns owner daemon processes and hands out connections.
 
     Args:
         database: any :class:`~repro.lists.accessor.DatabaseLike`; each
-            list ships (pickled) to its own owner process, which binds
-            an ephemeral loopback port and reports it back.
+            owner group's lists ship (pickled) to one owner process,
+            which binds an ephemeral loopback port and reports it back.
+        owners: number of owner processes (``None``/``0`` keeps the
+            legacy one per list); lists are assigned by ``placement``.
+        placement: a strategy name (``"contiguous"``/``"striped"``) or a
+            prebuilt :class:`ClusterPlacement`.
         tracker: best-position structure kind at the owners.
         include_position: ship positions in lookup responses (BPA).
+        columnar: owner node selection — ``"auto"`` serves vectorized
+            sources through the columnar fast path, ``"entry"`` forces
+            the per-entry reference path.
+        latency_sample_k: size of each daemon's latency reservoir.
         start_method: multiprocessing start method; ``None`` keeps the
             platform default (``fork`` is unsafe with threads or under
             macOS frameworks — opt into it knowingly).
@@ -201,23 +274,125 @@ class SocketCluster:
         self,
         database,
         *,
+        owners: int | None = None,
+        placement: str | ClusterPlacement = "contiguous",
         tracker: str = "bitarray",
         include_position: bool = False,
+        columnar: str = "auto",
+        latency_sample_k: int = DEFAULT_LATENCY_SAMPLE_K,
         start_method: str | None = None,
     ) -> None:
-        self.m = database.m
-        self.n = database.n
+        self._setup(
+            m=database.m,
+            n=database.n,
+            owners=owners,
+            placement=placement,
+            include_position=include_position,
+        )
+        specs = [
+            self._spec(
+                group,
+                tracker=tracker,
+                include_position=include_position,
+                columnar=columnar,
+                latency_sample_k=latency_sample_k,
+                lists=[database.lists[index] for index in group],
+            )
+            for group in self.placement.groups
+        ]
+        self._spawn(specs, start_method)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path,
+        *,
+        owners: int | None = None,
+        placement: str | ClusterPlacement = "contiguous",
+        tracker: str = "bitarray",
+        include_position: bool = False,
+        columnar: str = "auto",
+        latency_sample_k: int = DEFAULT_LATENCY_SAMPLE_K,
+        start_method: str | None = None,
+    ) -> "SocketCluster":
+        """Warm-start a cluster from a ``.bpsn`` snapshot file.
+
+        The parent reads only the snapshot's fixed header (for ``m``,
+        ``n`` and the epoch stamp); every owner process loads its own
+        lists from the file, adopting the persisted canonical order —
+        a cluster restart skips the sort and ships no list payloads
+        over the spawn pipe.
+        """
+        from repro.storage.snapshot import read_snapshot_header
+
+        m, n, epoch = read_snapshot_header(path)
+        cluster = cls.__new__(cls)
+        cluster._setup(
+            m=m,
+            n=n,
+            owners=owners,
+            placement=placement,
+            include_position=include_position,
+        )
+        cluster.epoch = epoch
+        specs = [
+            cluster._spec(
+                group,
+                tracker=tracker,
+                include_position=include_position,
+                columnar=columnar,
+                latency_sample_k=latency_sample_k,
+                snapshot=str(path),
+            )
+            for group in cluster.placement.groups
+        ]
+        cluster._spawn(specs, start_method)
+        return cluster
+
+    def _setup(
+        self,
+        *,
+        m: int,
+        n: int,
+        owners: int | None,
+        placement: str | ClusterPlacement,
+        include_position: bool,
+    ) -> None:
+        self.m = m
+        self.n = n
         self.include_position = include_position
-        context = multiprocessing.get_context(start_method)
+        self.epoch: int | None = None
+        if isinstance(placement, ClusterPlacement):
+            if placement.m != m:
+                raise ValueError(
+                    f"placement covers {placement.m} lists, database has {m}"
+                )
+            self.placement = placement
+        else:
+            self.placement = ClusterPlacement.build(
+                m, owners=owners, strategy=placement
+            )
         self.ports: list[int] = []
-        self._processes = []
+        self._processes: list = []
+
+    @staticmethod
+    def _spec(group, *, tracker, include_position, columnar, latency_sample_k, **source):
+        return {
+            "indices": list(group),
+            "tracker": tracker,
+            "include_position": include_position,
+            "columnar": columnar,
+            "latency_sample_k": latency_sample_k,
+            **source,
+        }
+
+    def _spawn(self, specs: list[dict], start_method: str | None) -> None:
+        context = multiprocessing.get_context(start_method)
         try:
-            for sorted_list in database.lists:
+            for spec in specs:
                 parent, child = context.Pipe()
                 process = context.Process(
-                    target=_owner_server_main,
-                    args=(sorted_list, tracker, include_position, child),
-                    daemon=True,
+                    target=_owner_server_main, args=(spec, child), daemon=True
                 )
                 process.start()
                 child.close()
@@ -229,30 +404,21 @@ class SocketCluster:
             raise
 
     def connect(self, *, timeout: float = 10.0) -> "SocketNetwork":
-        """Open one TCP connection per owner and return the fabric.
+        """Open one TCP connection per owner and return the fabric."""
+        return connect_ports(self.ports, timeout=timeout)
 
-        ``timeout`` bounds the *connect* only; established connections
-        block indefinitely (a slow owner-side op must not desynchronize
-        the length-prefixed framing mid-frame).
+    def close(self, *, timeout: float = 5.0) -> None:
+        """Shut down every owner process (idempotent).
+
+        Escalates politely: a shutdown frame first (owners finish the
+        frame they are serving and exit their loop), then
+        ``join(timeout)``, then ``terminate()`` for stragglers, and
+        ``kill()`` only as the last resort — so a healthy cluster never
+        sees a signal and a wedged owner still cannot outlive us.
         """
-        sockets: dict[str, socket.socket] = {}
-        try:
-            for index, port in enumerate(self.ports):
-                sock = socket.create_connection(
-                    ("127.0.0.1", port), timeout=timeout
-                )
-                sock.settimeout(None)
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                sockets[f"owner/{index}"] = sock
-        except BaseException:
-            for sock in sockets.values():
-                sock.close()
-            raise
-        return SocketNetwork(sockets)
-
-    def close(self) -> None:
-        """Shut down every owner process (idempotent)."""
         processes, self._processes = self._processes, []
+        if not processes:
+            return
         for process, port in zip(processes, self.ports):
             if not process.is_alive():
                 continue
@@ -263,12 +429,17 @@ class SocketCluster:
                     send_frame(sock, {"kind": SHUTDOWN})
                     recv_frame(sock)
             except OSError:
-                process.terminate()
+                pass  # unreachable owner: the escalation below reaps it
         for process in processes:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - last resort
+            process.join(timeout=timeout)
+        stragglers = [p for p in processes if p.is_alive()]
+        for process in stragglers:  # pragma: no cover - unhealthy owners
+            process.terminate()
+        for process in stragglers:  # pragma: no cover - unhealthy owners
+            process.join(timeout=timeout)
+            if process.is_alive():
                 process.kill()
-                process.join(timeout=5.0)
+                process.join(timeout=timeout)
 
     def __enter__(self) -> "SocketCluster":
         return self

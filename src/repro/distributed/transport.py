@@ -38,8 +38,10 @@ from __future__ import annotations
 from typing import Protocol, Sequence
 
 from repro.columnar import ColumnarDatabase
+from repro.distributed.daemon import OwnerDaemon
 from repro.distributed.network import NetworkStats, SimulatedNetwork
 from repro.distributed.nodes import ListOwnerNode
+from repro.distributed.placement import ClusterPlacement
 from repro.exec.backend import DirectStep, ExecutionBackend
 from repro.exec.plan import (
     DirectBlock,
@@ -51,6 +53,7 @@ from repro.exec.plan import (
     RoundPlan,
     SortedFetch,
     SortedResult,
+    group_ops_by_owner,
 )
 from repro.lists.accessor import DatabaseLike
 from repro.types import AccessTally, ItemId, Position, Score
@@ -92,6 +95,16 @@ class NetworkBackend(ExecutionBackend):
         network: an existing fabric to attach to (a fresh
             :class:`SimulatedNetwork` when ``None``); owners register
             under ``owner/<index>``.
+        placement: a :class:`ClusterPlacement` assigning lists to owner
+            processes.  ``None`` keeps the legacy one-node-per-list
+            layout; with a placement, each owner group is hosted by one
+            :class:`OwnerDaemon` registered under ``owner/<owner>``,
+            requests to multi-list owners carry a ``"list"`` routing
+            field, and batch/pipelined round waves coalesce into one
+            frame per owner (see :meth:`execute_plan`).
+        columnar: owner node selection with a placement — ``"auto"``
+            (vectorized when the source supports it), ``"entry"`` or
+            ``"columnar"``.
     """
 
     def __init__(
@@ -102,22 +115,44 @@ class NetworkBackend(ExecutionBackend):
         include_position: bool = False,
         protocol: str = "entry",
         network: SimulatedNetwork | None = None,
+        placement: ClusterPlacement | None = None,
+        columnar: str = "auto",
     ) -> None:
         self._init_common(
             m=database.m,
             n=database.n,
             include_position=include_position,
             protocol=protocol,
+            placement=placement,
         )
         self.network: Fabric = network or SimulatedNetwork()
-        self.owners = [
-            ListOwnerNode(
-                sorted_list, tracker=tracker, include_position=include_position
+        if placement is None:
+            self.owners = [
+                ListOwnerNode(
+                    sorted_list,
+                    tracker=tracker,
+                    include_position=include_position,
+                )
+                for sorted_list in database.lists
+            ]
+            for address, owner in zip(self._addresses, self.owners):
+                self.network.register(address, owner)
+            return
+        nodes_by_list: dict[int, ListOwnerNode] = {}
+        self.daemons: list[OwnerDaemon] = []
+        for owner, group in enumerate(placement.groups):
+            daemon = OwnerDaemon(
+                [database.lists[index] for index in group],
+                list_indices=group,
+                tracker=tracker,
+                include_position=include_position,
+                columnar=columnar,
             )
-            for sorted_list in database.lists
-        ]
-        for address, owner in zip(self._addresses, self.owners):
-            self.network.register(address, owner)
+            self.network.register(f"owner/{owner}", daemon)
+            self.daemons.append(daemon)
+            for index in group:
+                nodes_by_list[index] = daemon.node_for(index)
+        self.owners = [nodes_by_list[index] for index in range(self.m)]
 
     @classmethod
     def remote(
@@ -128,36 +163,75 @@ class NetworkBackend(ExecutionBackend):
         n: int,
         include_position: bool = False,
         protocol: str = "batch",
+        placement: ClusterPlacement | None = None,
     ) -> "NetworkBackend":
         """A backend over owners the fabric already reaches (e.g. the
         socket cluster's processes); end-of-query state is read through
-        ``state`` requests instead of object peeks."""
+        ``state`` requests instead of object peeks.  Pass the cluster's
+        placement so requests route to the owner hosting each list."""
         backend = cls.__new__(cls)
         backend._init_common(
-            m=m, n=n, include_position=include_position, protocol=protocol
+            m=m,
+            n=n,
+            include_position=include_position,
+            protocol=protocol,
+            placement=placement,
         )
         backend.network = fabric
         backend.owners = None
         return backend
 
     def _init_common(
-        self, *, m: int, n: int, include_position: bool, protocol: str
+        self,
+        *,
+        m: int,
+        n: int,
+        include_position: bool,
+        protocol: str,
+        placement: ClusterPlacement | None = None,
     ) -> None:
         if protocol not in PROTOCOLS:
             raise ValueError(
                 f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
             )
+        if placement is not None and placement.m != m:
+            raise ValueError(
+                f"placement covers {placement.m} lists, database has {m}"
+            )
         self.m = m
         self.n = n
         self.include_position = include_position
         self.protocol = protocol
+        self.placement = placement
         self.owners: list[ListOwnerNode] | None = None
-        self._addresses = [f"owner/{index}" for index in range(m)]
+        if placement is None:
+            self._addresses = [f"owner/{index}" for index in range(m)]
+            # No routing fields, no coalescing: one owner per list.
+            self._needs_list = [False] * m
+            self._coalesce = False
+        else:
+            self._addresses = [
+                f"owner/{placement.owner_of[index]}" for index in range(m)
+            ]
+            sizes = [len(group) for group in placement.groups]
+            # Single-list owners default the routing; omitting the field
+            # keeps their frames byte-identical to the legacy cluster.
+            self._needs_list = [
+                sizes[placement.owner_of[index]] > 1 for index in range(m)
+            ]
+            self._coalesce = placement.max_group > 1
         self._bp_scores: list[Score] = [_INF] * m
         #: client-side sorted cursors (the sorted position is derivable
         #: even when the wire omits it, include_position=False).
         self._cursors = [0] * m
         self._states: list[dict] | None = None
+
+    def _routed(self, i: int, payload: dict | None = None) -> dict | None:
+        """Attach the ``"list"`` routing field for multi-list owners."""
+        if self._needs_list[i]:
+            payload = dict(payload or {})
+            payload["list"] = i
+        return payload
 
     @classmethod
     def for_columnar(cls, database, **kwargs) -> "NetworkBackend":
@@ -181,7 +255,10 @@ class NetworkBackend(ExecutionBackend):
 
     def sorted_next(self, i: int) -> tuple[ItemId, Score, Position]:
         response = self._absorb(
-            i, self.network.request(self._addresses[i], "sorted_next")
+            i,
+            self.network.request(
+                self._addresses[i], "sorted_next", self._routed(i)
+            ),
         )
         self._cursors[i] += 1
         # The sorted cursor equals the position even when the wire omits
@@ -195,7 +272,9 @@ class NetworkBackend(ExecutionBackend):
         response = self._absorb(
             i,
             self.network.request(
-                self._addresses[i], "sorted_block", {"count": count}
+                self._addresses[i],
+                "sorted_block",
+                self._routed(i, {"count": count}),
             ),
         )
         return self._sorted_block_entries(i, response)
@@ -221,7 +300,7 @@ class NetworkBackend(ExecutionBackend):
                 response = self._absorb(
                     i,
                     self.network.request(
-                        address, "random_lookup", {"item": item}
+                        address, "random_lookup", self._routed(i, {"item": item})
                     ),
                 )
                 results.append(
@@ -231,7 +310,9 @@ class NetworkBackend(ExecutionBackend):
         response = self._absorb(
             i,
             self.network.request(
-                address, "random_lookup_many", {"items": list(items)}
+                address,
+                "random_lookup_many",
+                self._routed(i, {"items": list(items)}),
             ),
         )
         return self._lookup_pairs(response, len(items))
@@ -248,14 +329,16 @@ class NetworkBackend(ExecutionBackend):
                 score for score, _pos in self.random_lookup_many(i, items)
             ]
             response = self._absorb(
-                i, self.network.request(address, "direct_next")
+                i, self.network.request(address, "direct_next", self._routed(i))
             )
             if response.get("exhausted"):
                 return lookups, None
             return lookups, (response["item"], response["score"])
         response = self._absorb(
             i,
-            self.network.request(address, "direct_step", {"items": list(items)}),
+            self.network.request(
+                address, "direct_step", self._routed(i, {"items": list(items)})
+            ),
         )
         lookups = list(response["scores"])
         if response.get("exhausted"):
@@ -277,7 +360,7 @@ class NetworkBackend(ExecutionBackend):
             self.network.request(
                 self._addresses[i],
                 "direct_block",
-                {"items": list(items), "count": count},
+                self._routed(i, {"items": list(items), "count": count}),
             ),
         )
         return self._direct_result_from_block(response)
@@ -308,6 +391,8 @@ class NetworkBackend(ExecutionBackend):
     def execute_plan(self, plan: RoundPlan) -> list[OpResult]:
         if plan.new_round:
             self.begin_round()
+        if self._coalesce and self.protocol != "entry" and len(plan.ops) >= 2:
+            return self._execute_coalesced(plan)
         if self.protocol != "pipelined" or len(plan.ops) < 2:
             return [self.execute_op(op) for op in plan.ops]
         responses = self.network.request_many(
@@ -318,22 +403,67 @@ class NetworkBackend(ExecutionBackend):
             for op, response in zip(plan.ops, responses)
         ]
 
+    def _execute_coalesced(self, plan: RoundPlan) -> list[OpResult]:
+        """One frame per *owner*: a wave's ops for co-hosted lists travel
+        together as a ``multi`` frame (owners with a single op of the
+        wave get the plain op frame, keeping per-kind accounting stable).
+        Batch sends the owner frames as sequential round trips, pipelined
+        as one overlapped wave — either way the frame count per wave is
+        the owner count, not the list count.
+        """
+        groups = group_ops_by_owner(plan.ops, self.placement.owner_of)
+        requests: list[tuple[list[Op], tuple[str, str, dict | None]]] = []
+        for owner, ops in groups.items():
+            if len(ops) == 1:
+                requests.append((ops, self._op_request(ops[0])))
+                continue
+            sub_ops = []
+            for op in ops:
+                _address, kind, payload = self._op_request(op)
+                sub_ops.append({"kind": kind, "payload": payload or {}})
+            requests.append((ops, (f"owner/{owner}", "multi", {"ops": sub_ops})))
+        if self.protocol == "pipelined" and len(requests) >= 2:
+            responses = self.network.request_many(
+                [request for _ops, request in requests]
+            )
+        else:
+            responses = [
+                self.network.request(*request) for _ops, request in requests
+            ]
+        by_list: dict[int, OpResult] = {}
+        for (ops, _request), response in zip(requests, responses):
+            if len(ops) == 1:
+                by_list[ops[0].list_index] = self._op_absorb(ops[0], response)
+            else:
+                for op, sub_response in zip(ops, response["results"]):
+                    by_list[op.list_index] = self._op_absorb(op, sub_response)
+        return [by_list[op.list_index] for op in plan.ops]
+
     def _op_request(self, op: Op) -> tuple[str, str, dict | None]:
         """The batched-protocol wire message for one op."""
-        address = self._addresses[op.list_index]
+        i = op.list_index
+        address = self._addresses[i]
         if isinstance(op, SortedFetch):
             if op.count == 1:
-                return address, "sorted_next", None
-            return address, "sorted_block", {"count": op.count}
+                return address, "sorted_next", self._routed(i)
+            return address, "sorted_block", self._routed(i, {"count": op.count})
         if isinstance(op, ProbeBatch):
-            return address, "random_lookup_many", {"items": list(op.items)}
+            return (
+                address,
+                "random_lookup_many",
+                self._routed(i, {"items": list(op.items)}),
+            )
         if isinstance(op, DirectBlock):
             if op.count == 1:
-                return address, "direct_step", {"items": list(op.items)}
+                return (
+                    address,
+                    "direct_step",
+                    self._routed(i, {"items": list(op.items)}),
+                )
             return (
                 address,
                 "direct_block",
-                {"items": list(op.items), "count": op.count},
+                self._routed(i, {"items": list(op.items), "count": op.count}),
             )
         raise TypeError(f"unknown op type: {type(op).__name__}")
 
@@ -366,7 +496,10 @@ class NetworkBackend(ExecutionBackend):
     def _fetch_states(self) -> list[dict]:
         if self._states is None:
             self._states = self.network.request_many(
-                [(address, "state", None) for address in self._addresses]
+                [
+                    (self._addresses[i], "state", self._routed(i))
+                    for i in range(self.m)
+                ]
             )
         return self._states
 

@@ -219,3 +219,22 @@ class BlockRound:
         return [
             known[j] if j in known else probes[j][item] for j in range(self.m)
         ]
+
+
+def group_ops_by_owner(
+    ops: Sequence[Op], owner_of: Sequence[int]
+) -> dict[int, list[Op]]:
+    """Group one round plan's ops by the owner hosting each list.
+
+    ``owner_of[i]`` names the owner process hosting list ``i`` (see
+    :class:`repro.distributed.placement.ClusterPlacement`).  Returns
+    ``{owner: ops}`` with owners in ascending order and each owner's
+    ops in plan order — a round plan never carries two ops for the
+    same list, so a transport may ship each group as **one frame** and
+    the owner may execute its ops in any order without reordering any
+    per-list access stream.
+    """
+    groups: dict[int, list[Op]] = {}
+    for op in ops:
+        groups.setdefault(owner_of[op.list_index], []).append(op)
+    return {owner: groups[owner] for owner in sorted(groups)}

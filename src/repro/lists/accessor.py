@@ -193,6 +193,43 @@ class ListAccessor:
         self.tally.sorted += actual
         return entries
 
+    def sorted_block_raw(
+        self, count: int
+    ) -> tuple[list[Position], list[ItemId], list[Score]]:
+        """Block sorted access without entry boxing.
+
+        Semantics (cursor advance, per-entry metering, end-of-list
+        clipping) are exactly :meth:`sorted_block`; the return value is
+        ``(positions, items, scores)`` as plain lists instead of
+        :class:`ListEntry` objects.  Columnar sources answer straight
+        from array slices via ``ndarray.tolist`` — this is the owner
+        daemons' wire fast path, where per-entry dataclass construction
+        dominates block serving time.
+        """
+        if count < 0:
+            raise ValueError(f"block count must be >= 0, got {count}")
+        start = self._cursor + 1
+        actual = min(count, len(self._list) - self._cursor)
+        if actual <= 0:
+            return [], [], []
+        fast = getattr(self._list, "block", None)
+        if fast is not None:
+            positions, items, scores = fast(start, actual)
+            positions = positions.tolist()
+            items = items.tolist()
+            scores = scores.tolist()
+        else:
+            entries = [
+                self._list.entry_at(position)
+                for position in range(start, start + actual)
+            ]
+            positions = [entry.position for entry in entries]
+            items = [entry.item for entry in entries]
+            scores = [entry.score for entry in entries]
+        self._cursor += actual
+        self.tally.sorted += actual
+        return positions, items, scores
+
     def reset(self) -> None:
         """Clear the tally and rewind the sorted-access cursor."""
         self.tally = AccessTally()

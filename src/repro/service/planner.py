@@ -90,6 +90,15 @@ class ServicePolicy:
         block_width: sorted/direct block width for networked queries
             (``1`` = the classic per-entry round structure; wider blocks
             run the ``*-block`` round planners).
+        owners: owner-process count for networked queries (``0`` keeps
+            one owner per list).  With fewer owners than lists the
+            transport co-locates lists per
+            :class:`repro.distributed.placement.ClusterPlacement` and
+            coalesces each round wave into one frame per owner — the
+            planner's message model scales with the owner count
+            accordingly.
+        placement: list-to-owner assignment strategy when ``owners`` is
+            set (``"contiguous"`` or ``"striped"``).
         delta_log_depth: how many mutations the service's
             :class:`repro.dynamic.MutationLog` retains for delta-aware
             cache reuse.  Cache entries older than the log's retention
@@ -123,6 +132,8 @@ class ServicePolicy:
     transport: str = "auto"  #: ``"auto"`` | ``"local"`` | ``"network"``
     wire_protocol: str = "auto"
     block_width: int = 1
+    owners: int = 0
+    placement: str = "contiguous"
     delta_log_depth: int = 256
     delta_patch_limit: int = 8
     snapshot_patch_budget: int = 64
@@ -146,6 +157,13 @@ class ServicePolicy:
         if self.block_width < 1:
             raise ValueError(
                 f"block_width must be >= 1, got {self.block_width}"
+            )
+        if self.owners < 0:
+            raise ValueError(f"owners must be >= 0, got {self.owners}")
+        if self.placement not in ("contiguous", "striped"):
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                "expected 'contiguous' or 'striped'"
             )
         if self.delta_log_depth < 0:
             raise ValueError(
@@ -362,10 +380,13 @@ class QueryPlanner:
         """Predicted wire traffic per protocol for one networked query.
 
         Per-entry RPC pays two messages per access; the batched protocol
-        coalesces a round's lookups per owner (four messages per list
-        per round).  Bytes are estimated from the access payloads plus a
-        per-message envelope — rough, but ranked the same way the
-        measured numbers come out (``repro dist-bench``).
+        coalesces a round's lookups per owner (four messages per owner
+        per round — one owner per list unless the policy's ``owners``
+        knob co-locates lists, in which case each wave is one frame per
+        owner *process* and the message model scales with the owner
+        count, not the list count).  Bytes are estimated from the access
+        payloads plus a per-message envelope — rough, but ranked the
+        same way the measured numbers come out (``repro dist-bench``).
         """
         if algorithm not in NETWORK_ALGORITHMS:
             raise InvalidQueryError(
@@ -374,12 +395,13 @@ class QueryPlanner:
             )
         tally = self.predicted_tallies(k, scoring)[algorithm]
         m = self._database.m
+        owners = m if self._policy.owners <= 0 else min(m, self._policy.owners)
         rounds = max(1, (tally.sorted + tally.direct) // max(1, m))
         # Wider blocks coalesce whole rounds into each message wave.
         block_rounds = max(1, rounds // max(1, self._policy.block_width))
         payload = tally.total * _ACCESS_PAYLOAD_BYTES
         entry_messages = 2 * tally.total
-        batch_messages = 4 * m * block_rounds
+        batch_messages = 4 * owners * block_rounds
         batched = {
             "messages": batch_messages,
             "bytes": payload + batch_messages * _MESSAGE_OVERHEAD_BYTES,

@@ -550,9 +550,12 @@ class QueryService:
                 "bpa2": DistributedBPA2,
             }[plan.algorithm]
             protocol = plan.transport.split("-", 1)[1]
+            policy = self._planner.policy
             return driver_cls(
                 protocol=protocol,
-                block_width=self._planner.policy.block_width,
+                block_width=policy.block_width,
+                owners=policy.owners if policy.owners > 0 else None,
+                placement=policy.placement,
             ).run(self._executor.database, plan.k_fetch, spec.scoring)
         return self._executor.run(
             plan.algorithm, spec.options, plan.k_fetch, spec.scoring

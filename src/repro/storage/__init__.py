@@ -32,6 +32,7 @@ from repro.storage.disk import (
 from repro.storage.snapshot import (
     SnapshotReport,
     load_snapshot,
+    read_snapshot_header,
     verify_snapshot,
     write_snapshot,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "DiskSortedList",
     "write_snapshot",
     "load_snapshot",
+    "read_snapshot_header",
     "verify_snapshot",
     "SnapshotReport",
 ]

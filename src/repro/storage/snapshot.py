@@ -117,6 +117,28 @@ def write_snapshot(
         handle.write(_frame(payload, database.m, database.n, epoch, compress))
 
 
+def read_snapshot_header(path: str | Path) -> tuple[int, int, int]:
+    """``(m, n, epoch)`` from a snapshot's fixed header, payload unread.
+
+    Lets a cluster parent size placements and report epochs without
+    loading (or even reading) the list payload — the owner processes
+    each :func:`load_snapshot` their own copy.
+    """
+    path = Path(path)
+    with path.open("rb") as handle:
+        raw = handle.read(_SNAP_HEADER.size)
+    if len(raw) < _SNAP_HEADER.size:
+        raise CorruptFileError(f"{path}: truncated snapshot header")
+    magic, version, _flags, epoch, m, n, _payload_len, _payload_crc = (
+        _SNAP_HEADER.unpack(raw)
+    )
+    if magic != _SNAP_MAGIC:
+        raise CorruptFileError(f"{path}: bad snapshot magic {magic!r}")
+    if version != _SNAP_VERSION:
+        raise CorruptFileError(f"{path}: unsupported snapshot version {version}")
+    return int(m), int(n), int(epoch)
+
+
 def _read_frame(path: Path) -> tuple[dict, bytes]:
     """Parse the snapshot frame; returns (header fields, raw tail)."""
     raw = path.read_bytes()

@@ -1,0 +1,238 @@
+"""Unit tests for the multi-list owner daemon and its serving paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnar import ColumnarDatabase
+from repro.datagen import make_generator
+from repro.distributed.daemon import (
+    DEFAULT_LATENCY_SAMPLE_K,
+    LatencyReservoir,
+    OwnerDaemon,
+    make_owner_node,
+)
+from repro.distributed.nodes import ColumnarOwnerNode, ListOwnerNode
+from repro.errors import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def columnar():
+    database = make_generator("zipf").generate(40, 3, seed=5)
+    return ColumnarDatabase.from_database(database)
+
+
+def _daemon(columnar, indices=(0, 1), **kwargs):
+    return OwnerDaemon(
+        [columnar.lists[i] for i in indices], list_indices=list(indices),
+        **kwargs,
+    )
+
+
+class TestRouting:
+    def test_multi_list_daemon_routes_by_list_field(self, columnar):
+        daemon = _daemon(columnar, include_position=True)
+        first = daemon.handle("sorted_next", {"list": 0})
+        second = daemon.handle("sorted_next", {"list": 1})
+        assert first["position"] == second["position"] == 1
+        assert daemon.hosted == (0, 1)
+
+    def test_sole_list_is_the_default_route(self, columnar):
+        daemon = _daemon(columnar, indices=(2,), include_position=True)
+        response = daemon.handle("sorted_next", {})
+        assert response["position"] == 1
+
+    def test_multi_list_daemon_requires_routing(self, columnar):
+        daemon = _daemon(columnar)
+        with pytest.raises(ProtocolError, match="'list' field"):
+            daemon.handle("sorted_next", {})
+
+    def test_unhosted_list_rejected(self, columnar):
+        daemon = _daemon(columnar)
+        with pytest.raises(ProtocolError, match="not hosted"):
+            daemon.handle("sorted_next", {"list": 2})
+
+    def test_routing_field_is_not_popped(self, columnar):
+        # Payloads are byte-accounted after dispatch; mutating them
+        # would silently undercount request sizes.
+        daemon = _daemon(columnar)
+        payload = {"list": 1}
+        daemon.handle("sorted_next", payload)
+        assert payload == {"list": 1}
+
+
+class TestMultiFrames:
+    def test_multi_executes_sub_ops_in_order(self, columnar):
+        daemon = _daemon(columnar, include_position=True)
+        response = daemon.handle("multi", {"ops": [
+            {"kind": "sorted_next", "payload": {"list": 0}},
+            {"kind": "sorted_next", "payload": {"list": 1}},
+            {"kind": "sorted_next", "payload": {"list": 0}},
+        ]})
+        results = response["results"]
+        assert [r["position"] for r in results] == [1, 1, 2]
+
+    def test_multi_matches_sequential_singles(self, columnar):
+        ops = [
+            {"kind": "sorted_next", "payload": {"list": index}}
+            for index in (0, 1, 0, 1)
+        ]
+        coalesced = _daemon(columnar).handle("multi", {"ops": list(ops)})
+        sequential = _daemon(columnar)
+        singles = [sequential.handle(op["kind"], op["payload"]) for op in ops]
+        assert coalesced["results"] == singles
+
+    def test_reset_without_list_clears_every_node(self, columnar):
+        daemon = _daemon(columnar, include_position=True)
+        daemon.handle("sorted_next", {"list": 0})
+        daemon.handle("sorted_next", {"list": 1})
+        daemon.handle("reset", {})
+        assert daemon.handle("sorted_next", {"list": 0})["position"] == 1
+        assert daemon.handle("sorted_next", {"list": 1})["position"] == 1
+
+
+class TestMetrics:
+    def test_op_counts_per_kind(self, columnar):
+        daemon = _daemon(columnar)
+        daemon.handle("sorted_next", {"list": 0})
+        daemon.handle("multi", {"ops": [
+            {"kind": "sorted_next", "payload": {"list": 0}},
+            {"kind": "sorted_next", "payload": {"list": 1}},
+        ]})
+        metrics = daemon.handle("state", {"metrics": True})
+        assert metrics["lists"] == [0, 1]
+        assert metrics["ops"]["sorted_next"] == 3
+        assert metrics["ops"]["multi"] == 1
+
+    def test_latency_quantiles_shape(self, columnar):
+        daemon = _daemon(columnar, latency_sample_k=8)
+        for _ in range(20):
+            daemon.handle("sorted_next", {"list": 0})
+        latency = daemon.handle("state", {"metrics": True})["latency"]
+        assert latency["count"] == 20
+        assert latency["samples"] == 8
+        assert 0 < latency["p50_us"] <= latency["p99_us"] <= latency["max_us"]
+
+    def test_metrics_frame_is_not_a_data_op(self, columnar):
+        daemon = _daemon(columnar)
+        before = dict(daemon.op_counts)
+        daemon.handle("state", {"metrics": True})
+        assert dict(daemon.op_counts) == before
+
+
+class TestLatencyReservoir:
+    def test_bounded_memory(self):
+        reservoir = LatencyReservoir(4)
+        for value in range(100):
+            reservoir.record(value / 1e6)
+        quantiles = reservoir.quantiles()
+        assert quantiles["count"] == 100
+        assert quantiles["samples"] == 4
+
+    def test_empty_reservoir(self):
+        assert LatencyReservoir().quantiles() == {"count": 0, "samples": 0}
+
+    def test_small_counts_keep_everything(self):
+        reservoir = LatencyReservoir(DEFAULT_LATENCY_SAMPLE_K)
+        reservoir.record(5e-6)
+        quantiles = reservoir.quantiles()
+        assert quantiles == {
+            "count": 1,
+            "samples": 1,
+            "p50_us": 5.0,
+            "p90_us": 5.0,
+            "p99_us": 5.0,
+            "max_us": 5.0,
+        }
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            LatencyReservoir(0)
+
+
+class TestNodeSelection:
+    def test_auto_picks_columnar_for_vectorized_lists(self, columnar):
+        node = make_owner_node(
+            columnar.lists[0], tracker="bitarray", include_position=False
+        )
+        assert isinstance(node, ColumnarOwnerNode)
+
+    def test_entry_mode_forces_reference_path(self, columnar):
+        node = make_owner_node(
+            columnar.lists[0],
+            tracker="bitarray",
+            include_position=False,
+            columnar="entry",
+        )
+        assert type(node) is ListOwnerNode
+
+    def test_columnar_mode_rejects_scalar_lists(self):
+        database = make_generator("uniform").generate(10, 1, seed=1)
+        with pytest.raises(ValueError, match="vectorized"):
+            make_owner_node(
+                database.lists[0],
+                tracker="bitarray",
+                include_position=False,
+                columnar="columnar",
+            )
+
+    def test_unknown_mode_rejected(self, columnar):
+        with pytest.raises(ValueError, match="columnar mode"):
+            make_owner_node(
+                columnar.lists[0],
+                tracker="bitarray",
+                include_position=False,
+                columnar="nope",
+            )
+
+
+class TestColumnarNodeEquivalence:
+    """The vectorized serving path must mirror the per-entry reference."""
+
+    OPS = (
+        ("sorted_block", {"count": 5}),
+        ("random_lookup_many", {"items": [3, 7, 11]}),
+        ("sorted_next", {}),
+        ("direct_step", {"items": [15]}),
+        ("direct_block", {"items": [], "count": 4}),
+        ("sorted_block", {"count": 100}),
+        ("state", {}),
+    )
+
+    @pytest.mark.parametrize("include_position", [False, True])
+    def test_identical_over_mixed_op_sequence(self, columnar, include_position):
+        responses = {}
+        for mode in ("entry", "columnar"):
+            node = make_owner_node(
+                columnar.lists[0],
+                tracker="bitarray",
+                include_position=include_position,
+                columnar=mode,
+            )
+            responses[mode] = [
+                node.handle(kind, dict(payload)) for kind, payload in self.OPS
+            ]
+        assert responses["entry"] == responses["columnar"]
+
+    def test_unknown_item_failure_is_identical(self, columnar):
+        known = columnar.lists[0].entry_at(1).item
+        for mode in ("entry", "columnar"):
+            node = make_owner_node(
+                columnar.lists[0],
+                tracker="bitarray",
+                include_position=False,
+                columnar=mode,
+            )
+            with pytest.raises(Exception) as excinfo:
+                node.handle(
+                    "random_lookup_many",
+                    {"items": [known, 10**9]},
+                )
+            assert "10" in str(excinfo.value) or "unknown" in str(
+                excinfo.value
+            ).lower()
+            # The partial tally up to the failure point must match the
+            # scalar reference, which charges each access before the
+            # lookup: the known item and the failed one both metered.
+            state = node.handle("state", {})
+            assert state["random"] == 2

@@ -1,0 +1,83 @@
+"""Unit tests for list-to-owner placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.placement import STRATEGIES, ClusterPlacement
+
+
+class TestBuild:
+    def test_default_is_one_owner_per_list(self):
+        placement = ClusterPlacement.build(4)
+        assert placement.owners == 4
+        assert placement.groups == ((0,), (1,), (2,), (3,))
+        assert placement.max_group == 1
+
+    @pytest.mark.parametrize("owners", [None, 0])
+    def test_none_and_zero_mean_legacy(self, owners):
+        assert ClusterPlacement.build(3, owners=owners).owners == 3
+
+    def test_contiguous_balances_adjacent_chunks(self):
+        placement = ClusterPlacement.build(5, owners=2)
+        assert placement.groups == ((0, 1, 2), (3, 4))
+        assert placement.max_group == 3
+
+    def test_striped_round_robins(self):
+        placement = ClusterPlacement.build(5, owners=2, strategy="striped")
+        assert placement.groups == ((0, 2, 4), (1, 3))
+
+    def test_owners_clamped_to_m(self):
+        placement = ClusterPlacement.build(3, owners=10)
+        assert placement.owners == 3
+
+    def test_single_owner_hosts_everything(self):
+        placement = ClusterPlacement.build(4, owners=1)
+        assert placement.groups == ((0, 1, 2, 3),)
+        assert placement.owner_of == (0, 0, 0, 0)
+
+    def test_owner_of_inverts_groups(self):
+        placement = ClusterPlacement.build(6, owners=4, strategy="striped")
+        for index in range(6):
+            assert index in placement.groups[placement.owner_of[index]]
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError, match="m must be"):
+            ClusterPlacement.build(0, owners=1)
+
+    def test_rejects_negative_owners(self):
+        with pytest.raises(ValueError, match="owners must be"):
+            ClusterPlacement.build(3, owners=-1)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError, match="strategy"):
+            ClusterPlacement.build(3, owners=2, strategy="random")
+
+    def test_strategies_tuple_is_exported(self):
+        assert STRATEGIES == ("contiguous", "striped")
+
+
+class TestValidation:
+    def test_groups_must_partition_range_m(self):
+        with pytest.raises(ValueError, match="partition"):
+            ClusterPlacement(m=3, groups=((0, 1),))
+        with pytest.raises(ValueError, match="partition"):
+            ClusterPlacement(m=3, groups=((0, 1), (1, 2)))
+
+    def test_no_empty_owners(self):
+        with pytest.raises(ValueError, match="no lists"):
+            ClusterPlacement(m=2, groups=((0, 1), ()))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_dict_roundtrip(self, strategy):
+        placement = ClusterPlacement.build(5, owners=2, strategy=strategy)
+        assert ClusterPlacement.from_dict(placement.to_dict()) == placement
+
+    def test_to_dict_is_json_plain(self):
+        import json
+
+        placement = ClusterPlacement.build(4, owners=3)
+        data = json.loads(json.dumps(placement.to_dict()))
+        assert ClusterPlacement.from_dict(data) == placement
