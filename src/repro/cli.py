@@ -158,6 +158,26 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(0 = uniform traffic)")
     serve.add_argument("--algorithm", default="auto",
                        help="algorithm per query ('auto' lets the planner pick)")
+    serve.add_argument("--key-skew", type=float, default=None, metavar="THETA",
+                       help="phased workloads: per-phase Zipf theta over a "
+                            "fresh query pool (default: --zipf-theta)")
+    serve.add_argument("--adversarial-ratio", type=float, default=0.0,
+                       metavar="P",
+                       help="replace each query with probability P by a "
+                            "deep-k outlier (k in K_MAX+1..4*K_MAX; the "
+                            "planner clamps k to n, answers stay exact)")
+    serve.add_argument("--phase-shift", type=int, default=0, metavar="N",
+                       help="shift the workload's shape N times mid-replay "
+                            "(alternating narrow-k and deep-k phases over "
+                            "fresh pools) to exercise drift re-tuning")
+    serve.add_argument("--adaptive", action="store_true",
+                       help="serve with ServicePolicy(adaptive=True): "
+                            "feedback-calibrated planning, online block-"
+                            "width tuning, drift-aware re-tuning")
+    serve.add_argument("--adaptive-speedup", action="store_true",
+                       help="run the adaptive-vs-static-width grid on a "
+                            "phase-shifting workload (oracle-verified; "
+                            "writes reports/adaptive_speedup.json)")
     serve.add_argument("--shards", default="4",
                        help="shard count, or 'auto' to let the planner's "
                             "cost model pick it (default: 4)")
@@ -177,10 +197,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mutations (update/insert/remove) before each "
                             "query — the delta-aware cache replay mode")
     serve.add_argument("--verify", action="store_true",
-                       help="with --mutation-rate: cross-check every served "
-                            "answer against a brute-force ranking of the "
-                            "current data (bit-identical scores, honest "
-                            "aggregates); exit non-zero on any mismatch")
+                       help="cross-check every served answer against a "
+                            "brute-force ranking of the current data "
+                            "(bit-identical scores, honest aggregates); "
+                            "exit non-zero on any mismatch")
     serve.add_argument("--out", default=None, metavar="FILE",
                        help="report path (default: reports/service_workload.json)")
     serve.add_argument("--smoke", action="store_true",
@@ -345,6 +365,11 @@ def _build_parser() -> argparse.ArgumentParser:
     cl_stats.add_argument("--spec", required=True, metavar="FILE",
                           help="spec file written by 'cluster serve "
                                "--spec-out'")
+    cl_stats.add_argument("--suggest-placement", action="store_true",
+                          help="fold the owners' per-list latency mass "
+                               "through the LPT rebalancer and print the "
+                               "suggested owner/list layout when it beats "
+                               "the current imbalance")
     cl_bench = cluster_sub.add_parser(
         "bench",
         help="measure per-owner frame coalescing and the columnar serving "
@@ -714,6 +739,9 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         )
         return 0 if ok else 1
 
+    if args.adaptive_speedup:
+        return _cmd_adaptive_speedup(args)
+
     settings = dict(
         generator=args.generator,
         alpha=args.alpha,
@@ -728,6 +756,10 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         shards=args.shards,
         pool=args.pool,
         cache_size=0 if args.no_cache else args.cache_size,
+        key_skew=args.key_skew,
+        adversarial_ratio=args.adversarial_ratio,
+        phase_shift=args.phase_shift,
+        adaptive=args.adaptive,
     )
     if args.smoke:
         settings.update(
@@ -848,11 +880,95 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
             print("ERROR: service answers diverge from the baseline — "
                   "this is a bug", file=sys.stderr)
             return 1
+    adaptive = summary.get("adaptive")
+    if adaptive is not None:
+        widths = ", ".join(
+            f"w{width}:{count}"
+            for width, count in sorted(
+                adaptive["width_histogram"].items(),
+                key=lambda pair: int(pair[0]),
+            )
+        ) or "untuned"
+        print(f"adaptive: {adaptive['drift_epochs']} drift epochs, "
+              f"{adaptive['replans']} re-plans over {adaptive['arms']} arms "
+              f"(plan generation {adaptive['plan_generation']})")
+        print(f"  block widths served: {widths} "
+              f"({adaptive['width_adjustments']} adjustments)")
+    if args.verify:
+        verdict = summary.get("verified_identical")
+        print(f"oracle verification: "
+              f"{'all answers identical' if verdict else 'MISMATCH'} "
+              f"({summary.get('verify_mismatches', 0)} mismatches)")
+        if not verdict:
+            print("ERROR: a served answer diverged from the brute-force "
+                  "ranking", file=sys.stderr)
+            return 1
     saved = report.get("snapshot_saved")
     if saved is not None:
         print(f"snapshot saved to {saved['path']} (epoch {saved['epoch']})")
     print(f"report written to {out}")
     return 0
+
+
+def _cmd_adaptive_speedup(args: argparse.Namespace) -> int:
+    """``serve-workload --adaptive-speedup``: the closed-loop grid.
+
+    Ignores the generic workload sizing flags in favor of the
+    benchmark's tuned defaults (correlated data makes the stop depth
+    track k, so the static widths genuinely disagree across phases);
+    only the phase knobs, the seed, and --smoke are honored.  The exit
+    code gates on *correctness* (every cell oracle-verified and all
+    cells answer-identical); the performance verdicts are printed and
+    land in the report for the reader.
+    """
+    from repro.service.workload import adaptive_contrast, write_report
+
+    settings: dict = {"seed": args.seed}
+    if args.phase_shift:
+        settings["phase_shift"] = args.phase_shift
+    if args.adversarial_ratio:
+        settings["adversarial_ratio"] = args.adversarial_ratio
+    if args.key_skew is not None:
+        settings["key_skew"] = args.key_skew
+    if args.smoke:
+        settings.update(n=1_500, queries=120, distinct=8)
+    report = adaptive_contrast(**settings)
+    out = write_report(report, args.out or "reports/adaptive_speedup.json")
+    config = report["config"]
+    print(f"adaptive planning grid ({config['generator']} "
+          f"n={config['n']:,} m={config['m']}, {config['queries']} queries, "
+          f"{config['phase_shift']} phase shifts, "
+          f"{config['adversarial_ratio']:.0%} adversarial):")
+    print(f"{'cell':>12} {'seconds':>9} {'queries/s':>10} {'messages':>10} "
+          f"{'net cost':>12}")
+    for grid_label in ("phase_shifting", "stationary"):
+        grid = report[grid_label]
+        print(f"  [{grid_label}]")
+        for label, cell in grid["cells"].items():
+            print(f"{label:>12} {cell['seconds']:>9.3f} "
+                  f"{cell['queries_per_second']:>10,.0f} "
+                  f"{cell['messages']:>10,} {cell['network_cost']:>12,}")
+        print(f"    adaptive vs best static: "
+              f"{grid['adaptive_wall_vs_best_static']:.3f}x wall, "
+              f"{grid['adaptive_network_cost_vs_best_static']:.3f}x "
+              f"network cost")
+    drift = report["phase_shifting"]["cells"]["adaptive"]["adaptive"]
+    print(f"drift epochs under phase shifts: {drift['drift_epochs']} "
+          f"({drift['replans']} re-plans)")
+    summary = report["summary"]
+    print(f"  adaptive beats best static (wall or network cost): "
+          f"{summary['adaptive_beats_best_static']}")
+    print(f"  stationary within {config['stationary_tolerance']:.2f}x "
+          f"of best static: "
+          f"{summary['adaptive_ties_stationary_within_tolerance']}")
+    identical = (
+        report["phase_shifting"]["answers_identical_across_cells"]
+        and report["stationary"]["answers_identical_across_cells"]
+    )
+    print(f"  all cells oracle-verified: {summary['all_verified']} "
+          f"(answers identical across cells: {identical})")
+    print(f"report written to {out}")
+    return 0 if (summary["all_verified"] and identical) else 1
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -1049,16 +1165,21 @@ def _cmd_cluster_stats(args: argparse.Namespace) -> int:
 
     with open(args.spec, encoding="utf-8") as handle:
         spec = json.load(handle)
+    documents = []
     with connect_ports(spec["ports"]) as fabric:
         for owner in range(len(spec["ports"])):
             metrics = fabric.request(f"owner/{owner}", "state",
                                      {"metrics": True})
-            latency = metrics["latency"]
+            documents.append(metrics)
+            # A fresh daemon reports only zero counts (no quantile
+            # keys, possibly no latency section at all over older
+            # protocols) — render "no data", don't crash.
+            latency = metrics.get("latency") or {}
             ops = ", ".join(f"{kind}={count:,}" for kind, count
                             in sorted(metrics["ops"].items())) or "none"
             print(f"owner/{owner}: lists {metrics['lists']}")
             print(f"  ops: {ops}")
-            if latency.get("count"):
+            if latency.get("count") and "p50_us" in latency:
                 print(f"  latency ({latency['count']:,} ops, "
                       f"{latency['samples']} sampled): "
                       f"p50 {latency['p50_us']}us  "
@@ -1067,6 +1188,34 @@ def _cmd_cluster_stats(args: argparse.Namespace) -> int:
                       f"max {latency['max_us']}us")
             else:
                 print("  latency: no ops served yet")
+    if args.suggest_placement:
+        from repro.distributed.placement import (
+            ClusterPlacement,
+            list_masses,
+            placement_balance,
+            rebalance_placement,
+        )
+
+        current = ClusterPlacement.from_dict(spec["placement"])
+        masses = list_masses(documents)
+        proposal = rebalance_placement(documents)
+        before = placement_balance(current, masses)
+        after = placement_balance(proposal, masses)
+        print(f"placement: {current.strategy}, imbalance "
+              f"{before['imbalance']:.3f} (max/mean observed latency "
+              f"mass; 1.0 is perfect)")
+        if before["total_mass"] <= 0:
+            print("  no observed load yet — serve some queries before "
+                  "rebalancing")
+        elif after["imbalance"] < before["imbalance"]:
+            print(f"  suggested rebalance -> imbalance "
+                  f"{after['imbalance']:.3f}:")
+            for owner, group in enumerate(proposal.groups):
+                print(f"    owner/{owner}: lists {list(group)} "
+                      f"(mass {after['per_owner_mass'][owner]:.6f})")
+        else:
+            print("  current placement is already balanced — "
+                  "no move suggested")
     return 0
 
 
@@ -1110,14 +1259,23 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     print(f"columnar sorted_block serving: {micro['speedup']:.2f}x over "
           f"per-entry (n={micro['config']['n']:,}, "
           f"block {micro['config']['block']})")
+    rebalance = report["placement_rebalance"]
+    print(f"placement rebalance (skewed {rebalance['config']['m']}-list "
+          f"layout): imbalance {rebalance['imbalance_before']:.3f} -> "
+          f"{rebalance['imbalance_after']:.3f} measured "
+          f"({rebalance['imbalance_predicted']:.3f} predicted), "
+          f"groups {rebalance['proposed_groups']}")
     summary = report["summary"]
     print(f"  meets 2x frame reduction at 2 owners: "
           f"{summary['meets_2x_frames']}")
     print(f"  wall-clock faster at 2 owners: {summary['wall_clock_faster']}")
     print(f"  columnar faster than per-entry: {summary['columnar_faster']}")
+    print(f"  rebalance improves balance: "
+          f"{summary['rebalance_improves_balance']}")
     print(f"report written to {out}")
     ok = (summary["meets_2x_frames"] and summary["wall_clock_faster"]
-          and summary["columnar_faster"])
+          and summary["columnar_faster"]
+          and summary["rebalance_improves_balance"])
     return 0 if ok else 1
 
 

@@ -32,6 +32,8 @@ reference implementations the differential suite matches bit for bit.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.distributed.placement import (
     STRATEGIES as PLACEMENT_STRATEGIES,
     ClusterPlacement,
@@ -67,7 +69,7 @@ class _DistributedDriver:
         tracker: str = "bitarray",
         protocol: str = "entry",
         transport: str = "simulated",
-        block_width: int = 1,
+        block_width: "int | Callable[[], int]" = 1,
         owners: int | None = None,
         placement: str = "contiguous",
         columnar: str = "auto",
@@ -80,7 +82,9 @@ class _DistributedDriver:
             raise ValueError(
                 f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
             )
-        if block_width < 1:
+        # A callable width is a per-round provider (the adaptive
+        # controller); it is validated at each resolution instead.
+        if not callable(block_width) and block_width < 1:
             raise ValueError(f"block_width must be >= 1, got {block_width}")
         if placement not in PLACEMENT_STRATEGIES:
             raise ValueError(
@@ -159,7 +163,7 @@ class _DistributedDriver:
             }
             if sim_placement is not None:
                 extras["owners"] = sim_placement.owners
-        if self._block_width > 1:
+        if not callable(self._block_width) and self._block_width > 1:
             extras["block_width"] = self._block_width
         return TopKResult(
             items=outcome.items,
@@ -173,6 +177,11 @@ class _DistributedDriver:
     def _drive(self, backend, k, scoring) -> DriverOutcome:
         raise NotImplementedError
 
+    @property
+    def _blocked(self) -> bool:
+        """Whether to run the block planners (any provider, or width > 1)."""
+        return callable(self._block_width) or self._block_width > 1
+
 
 class DistributedTA(_DistributedDriver):
     """TA over the chosen transport: one round trip per access."""
@@ -181,7 +190,7 @@ class DistributedTA(_DistributedDriver):
     include_position = False
 
     def _drive(self, backend, k, scoring):
-        if self._block_width > 1:
+        if self._blocked:
             return run_ta_block(backend, k, scoring, width=self._block_width)
         return run_ta(backend, k, scoring)
 
@@ -197,7 +206,7 @@ class DistributedBPA(_DistributedDriver):
     include_position = True
 
     def _drive(self, backend, k, scoring):
-        if self._block_width > 1:
+        if self._blocked:
             return run_bpa_block(
                 backend,
                 k,
@@ -220,6 +229,6 @@ class DistributedBPA2(_DistributedDriver):
     include_position = False
 
     def _drive(self, backend, k, scoring):
-        if self._block_width > 1:
+        if self._blocked:
             return run_bpa2_block(backend, k, scoring, width=self._block_width)
         return run_bpa2(backend, k, scoring)

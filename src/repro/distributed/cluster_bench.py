@@ -319,6 +319,102 @@ def columnar_microbenchmark(
     }
 
 
+def placement_rebalance_benchmark(
+    *,
+    n: int = 2_000,
+    m: int = 6,
+    k: int = 10,
+    queries: int = 30,
+    generator: str = "uniform",
+    seed: int = 42,
+    protocol: str = "batch",
+) -> dict:
+    """Feedback-driven placement: observed load mass vs a skewed layout.
+
+    A deliberately skewed placement (one owner hosting ``m - 2`` lists,
+    two owners one list each) serves a verified query mix; the per-owner
+    daemons' ``per_list`` metrics are then fed to
+    :func:`rebalance_placement`, and the proposal is measured under the
+    same mix.  The gate is deterministic: the proposal's imbalance under
+    the *observed* masses must not exceed the skewed layout's (strictly
+    better whenever the skew showed up in the signal at all) — wall
+    seconds are reported for color, not gated, since both layouts
+    answer identically.
+    """
+    if m < 4:
+        raise ValueError(f"rebalance benchmark needs m >= 4, got {m}")
+    from repro.distributed.placement import (
+        list_masses,
+        placement_balance,
+        rebalance_placement,
+    )
+
+    database = make_generator(generator).generate(n, m, seed=seed)
+    columnar = ColumnarDatabase.from_database(database)
+    reference = {
+        kk: get_algorithm("ta").run(database, kk, SUM)
+        for kk in dict.fromkeys((max(1, k // 2), k, min(n, 2 * k)))
+    }
+    ks = list(reference)
+
+    def run_phase(placement: ClusterPlacement) -> tuple[dict, list[dict]]:
+        backend = NetworkBackend(
+            columnar, protocol=protocol, placement=placement
+        )
+        seconds = 0.0
+        for query in range(max(1, queries)):
+            kk = ks[query % len(ks)]
+            for owner in range(placement.owners):
+                backend.network.request(f"owner/{owner}", "reset")
+            started = time.perf_counter()
+            outcome = _ENGINE_DRIVERS["ta"](backend, kk, SUM)
+            seconds += time.perf_counter() - started
+            if outcome.items != reference[kk].items:
+                raise AssertionError(
+                    f"rebalance benchmark diverges from the reference at "
+                    f"k={kk} — this is a bug"
+                )
+        documents = [daemon.metrics() for daemon in backend.daemons]
+        return {
+            "placement": placement.to_dict(),
+            "seconds": seconds,
+        }, documents
+
+    skewed = ClusterPlacement(
+        m=m,
+        groups=(tuple(range(m - 2)), (m - 2,), (m - 1,)),
+        strategy="skewed",
+    )
+    before, before_docs = run_phase(skewed)
+    masses = list_masses(before_docs)
+    proposal = rebalance_placement(before_docs)
+    before["balance"] = placement_balance(skewed, masses)
+    predicted = placement_balance(proposal, masses)
+    after, after_docs = run_phase(proposal)
+    after["balance"] = placement_balance(proposal, list_masses(after_docs))
+    return {
+        "config": {
+            "n": n,
+            "m": m,
+            "ks": ks,
+            "queries": queries,
+            "generator": generator,
+            "seed": seed,
+            "protocol": protocol,
+        },
+        "skewed": before,
+        "rebalanced": after,
+        "proposed_groups": [list(group) for group in proposal.groups],
+        "imbalance_before": before["balance"]["imbalance"],
+        "imbalance_predicted": predicted["imbalance"],
+        "imbalance_after": after["balance"]["imbalance"],
+        "rebalance_improves_balance": (
+            predicted["imbalance"] <= before["balance"]["imbalance"]
+        ),
+        "results_identical_to_reference": True,
+    }
+
+
 def cluster_speedup_benchmark(
     *,
     n: int = 2_000,
@@ -356,6 +452,9 @@ def cluster_speedup_benchmark(
     report["columnar_sorted_block"] = columnar_microbenchmark(
         n=micro_n, seed=seed, generator=generator
     )
+    report["placement_rebalance"] = placement_rebalance_benchmark(
+        n=n, m=max(4, m), k=k, generator=generator, seed=seed
+    )
     fanout_rows = {
         label: row
         for label, row in report["socket"]["drivers"].items()
@@ -384,6 +483,9 @@ def cluster_speedup_benchmark(
         and all(value > 1.0 for value in wall_speedups.values()),
         "columnar_speedup": micro["speedup"],
         "columnar_faster": micro["speedup"] > 1.0,
+        "rebalance_improves_balance": report["placement_rebalance"][
+            "rebalance_improves_balance"
+        ],
         "note": (
             "gates cover the full-fan-out rows (ta/bpa and block "
             "variants); classic bpa2 coalesces only its probe waves"

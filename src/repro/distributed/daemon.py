@@ -81,8 +81,29 @@ class LatencyReservoir:
         if slot < self._k:
             self._samples[slot] = seconds
 
+    def quantile(self, fraction: float) -> float | None:
+        """The sampled ``fraction`` quantile in seconds.
+
+        Pinned edge behavior: ``None`` on an empty reservoir (there is
+        no distribution to query — callers must render "no data", not
+        crash), and the sample itself on a single-sample reservoir
+        (every quantile of a point distribution is that point).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
     def quantiles(self) -> dict:
-        """Summary of the sampled distribution, in microseconds."""
+        """Summary of the sampled distribution, in microseconds.
+
+        An empty reservoir reports only zero counts — no quantile keys
+        — so renderers must tolerate their absence (a fresh daemon has
+        served nothing).
+        """
         if not self._samples:
             return {"count": 0, "samples": 0}
         ordered = sorted(self._samples)
@@ -154,6 +175,12 @@ class OwnerDaemon:
         self._sole = list_indices[0] if len(list_indices) == 1 else None
         self.op_counts: Counter = Counter()
         self.latency = LatencyReservoir(latency_sample_k)
+        # Per hosted list: op count and summed service seconds — the
+        # latency *mass* feedback-driven placement rebalancing needs.
+        self.list_ops: Counter = Counter()
+        self.list_seconds: dict[int, float] = {
+            index: 0.0 for index in list_indices
+        }
 
     @property
     def hosted(self) -> tuple[int, ...]:
@@ -194,14 +221,17 @@ class OwnerDaemon:
                 node.reset(payload.get("session", DEFAULT_SESSION))
             self.op_counts["reset"] += 1
             return {}
-        node = self._route(payload)
+        index, node = self._route(payload)
         started = time.perf_counter()
         response = node.handle(kind, payload)
-        self.latency.record(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.latency.record(elapsed)
         self.op_counts[kind] += 1
+        self.list_ops[index] += 1
+        self.list_seconds[index] = self.list_seconds.get(index, 0.0) + elapsed
         return response
 
-    def _route(self, payload: dict) -> ListOwnerNode:
+    def _route(self, payload: dict) -> tuple[int, ListOwnerNode]:
         # Read, don't pop: payloads are sized for byte accounting after
         # dispatch, and nodes ignore the routing field.
         index = payload.get("list", self._sole)
@@ -209,12 +239,26 @@ class OwnerDaemon:
             raise ProtocolError(
                 f"multi-list owner needs a 'list' field (hosted: {self.hosted})"
             )
-        return self.node_for(index)
+        return index, self.node_for(index)
 
     def metrics(self) -> dict:
-        """The stats endpoint: per-kind op counts + latency quantiles."""
+        """The stats endpoint: per-kind op counts + latency quantiles.
+
+        ``per_list`` reports every hosted list (zero-op lists included,
+        so a rebalancer sees the whole hosted set, not just the hot
+        part): op count and summed service seconds — the observed
+        latency mass :func:`repro.distributed.placement.rebalance_placement`
+        balances across owners.
+        """
         return {
             "lists": list(self.hosted),
             "ops": dict(self.op_counts),
             "latency": self.latency.quantiles(),
+            "per_list": {
+                str(index): {
+                    "ops": int(self.list_ops.get(index, 0)),
+                    "seconds": float(self.list_seconds.get(index, 0.0)),
+                }
+                for index in self.hosted
+            },
         }

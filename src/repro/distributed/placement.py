@@ -21,12 +21,18 @@ Placement strategies
     Round-robin: list ``i`` goes to owner ``i % owners``.  Useful when
     list sizes or temperatures correlate with position so adjacent runs
     would concentrate load.
+``rebalanced``
+    Produced by :func:`rebalance_placement` from *observed* per-list
+    latency mass (the per-owner metrics endpoint's ``per_list``
+    section): LPT greedy packing that balances measured service
+    seconds — not list count — across owners.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
+from typing import Iterable, Mapping
 
 STRATEGIES = ("contiguous", "striped")
 
@@ -126,3 +132,108 @@ class ClusterPlacement:
             groups=tuple(tuple(int(i) for i in group) for group in data["groups"]),
             strategy=str(data.get("strategy", "contiguous")),
         )
+
+
+def list_masses(metrics: Iterable[Mapping]) -> dict[int, float]:
+    """Fold per-owner metrics documents into per-list latency mass.
+
+    ``metrics`` is an iterable of :meth:`OwnerDaemon.metrics` payloads
+    (one per owner).  Lists that served no ops contribute mass ``0.0``
+    but stay in the result, so the rebalancer places the whole hosted
+    set.  Falls back to op *counts* as the mass when a document carries
+    no timing (an owner that never measured).
+    """
+    masses: dict[int, float] = {}
+    for document in metrics:
+        per_list = document.get("per_list") or {}
+        for key, cell in per_list.items():
+            index = int(key)
+            seconds = float(cell.get("seconds", 0.0))
+            if seconds <= 0.0 and cell.get("ops"):
+                # Timing-free documents: weight by op count instead
+                # (scaled down so real seconds always dominate).
+                seconds = float(cell["ops"]) * 1e-9
+            masses[index] = masses.get(index, 0.0) + seconds
+        for index in document.get("lists") or ():
+            masses.setdefault(int(index), 0.0)
+    return masses
+
+
+def rebalance_placement(
+    stats: Mapping[int, float] | Iterable[Mapping],
+    *,
+    owners: int | None = None,
+) -> ClusterPlacement:
+    """Propose a placement balancing *observed* latency mass per owner.
+
+    ``stats`` is either a ``{list_index: mass}`` mapping (seconds of
+    observed service time per list) or an iterable of per-owner
+    :meth:`OwnerDaemon.metrics` documents, in which case ``owners``
+    defaults to the number of documents.  Pure function: no transport
+    is touched — callers decide whether to apply the proposal.
+
+    LPT greedy: lists in descending mass order, each onto the owner
+    with the least accumulated mass (ties broken by fewest assigned
+    lists, then owner index), so a zero-signal input degrades to plain
+    count-balanced assignment and no owner is ever left empty while
+    ``owners <= m``.
+    """
+    if isinstance(stats, Mapping):
+        masses = {int(index): float(mass) for index, mass in stats.items()}
+        if owners is None:
+            raise ValueError(
+                "owners is required when stats is a plain mass mapping"
+            )
+    else:
+        documents = list(stats)
+        masses = list_masses(documents)
+        if owners is None:
+            owners = len(documents)
+    if not masses:
+        raise ValueError("no per-list statistics to rebalance from")
+    indices = sorted(masses)
+    m = len(indices)
+    if indices != list(range(m)):
+        raise ValueError(
+            f"per-list statistics must cover every list 0..{m - 1}, "
+            f"got {indices}"
+        )
+    if owners < 1:
+        raise ValueError(f"owners must be >= 1, got {owners}")
+    owners = min(owners, m)
+    loads = [0.0] * owners
+    counts = [0] * owners
+    groups: list[list[int]] = [[] for _ in range(owners)]
+    for index in sorted(indices, key=lambda i: (-masses[i], i)):
+        target = min(
+            range(owners), key=lambda o: (loads[o], counts[o], o)
+        )
+        groups[target].append(index)
+        loads[target] += masses[index]
+        counts[target] += 1
+    return ClusterPlacement(
+        m=m,
+        groups=tuple(tuple(sorted(group)) for group in groups),
+        strategy="rebalanced",
+    )
+
+
+def placement_balance(
+    placement: ClusterPlacement, masses: Mapping[int, float]
+) -> dict:
+    """How evenly a placement spreads the observed latency mass.
+
+    Returns per-owner masses plus the max/mean imbalance ratio (1.0 is
+    perfect; ``inf`` collapses to 0-mass mean gracefully).
+    """
+    per_owner = [
+        sum(float(masses.get(index, 0.0)) for index in group)
+        for group in placement.groups
+    ]
+    total = sum(per_owner)
+    mean = total / len(per_owner) if per_owner else 0.0
+    return {
+        "per_owner_mass": per_owner,
+        "total_mass": total,
+        "imbalance": (max(per_owner) / mean) if mean > 0 else 1.0,
+    }

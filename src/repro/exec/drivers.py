@@ -36,6 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
+from typing import Callable, Union
 
 from repro.algorithms.base import TopKBuffer
 from repro.core.best_position import make_tracker
@@ -267,13 +268,32 @@ def _plan_bpa2(
 # ----------------------------------------------------------------------
 
 
-def _require_width(width: int) -> None:
-    if width < 1:
+#: A block width: a constant, or a zero-argument provider re-read at
+#: the top of every round (the adaptive controller's hook — a constant
+#: provider is proven bit-identical to the plain constant).
+WidthSpec = Union[int, Callable[[], int]]
+
+
+def _require_width(width: WidthSpec) -> None:
+    if not callable(width) and width < 1:
         raise ValueError(f"block width must be >= 1, got {width}")
 
 
+def _resolve_width(width: WidthSpec) -> int:
+    """The width to use for the round starting now.
+
+    Providers are consulted exactly once per round, so a mid-round
+    adjustment never tears a round's access pattern; each resolution is
+    validated because a provider can misbehave at any time.
+    """
+    value = width() if callable(width) else width
+    if value < 1:
+        raise ValueError(f"block width must be >= 1, got {value}")
+    return int(value)
+
+
 def _plan_ta_block(
-    m: int, n: int, k: int, scoring: ScoringFunction, width: int
+    m: int, n: int, k: int, scoring: ScoringFunction, width: WidthSpec
 ) -> Planner:
     """Block TA: sorted blocks, then one completion per distinct item."""
     buffer = TopKBuffer(k)
@@ -283,7 +303,7 @@ def _plan_ta_block(
     rounds = 0
     while True:
         rounds += 1
-        count = min(width, n - position)
+        count = min(_resolve_width(width), n - position)
         sorted_results: list[SortedResult] = yield RoundPlan(
             ops=tuple(SortedFetch(i, count) for i in range(m))
         )
@@ -313,7 +333,7 @@ def _plan_bpa_block(
     n: int,
     k: int,
     scoring: ScoringFunction,
-    width: int,
+    width: WidthSpec,
     tracker: str,
 ) -> Planner:
     """Block BPA: sorted blocks + originator-side best positions."""
@@ -330,7 +350,7 @@ def _plan_bpa_block(
 
     while True:
         rounds += 1
-        count = min(width, n - position)
+        count = min(_resolve_width(width), n - position)
         sorted_results: list[SortedResult] = yield RoundPlan(
             ops=tuple(SortedFetch(i, count) for i in range(m))
         )
@@ -361,7 +381,7 @@ def _plan_bpa_block(
 
 
 def _plan_bpa2_block(
-    backend: ExecutionBackend, k: int, scoring: ScoringFunction, width: int
+    backend: ExecutionBackend, k: int, scoring: ScoringFunction, width: WidthSpec
 ) -> Planner:
     """Block BPA2: parallel direct blocks, then deduplicated probes.
 
@@ -377,9 +397,10 @@ def _plan_bpa2_block(
 
     while True:
         rounds += 1
+        count = _resolve_width(width)
         active = [i for i in range(m) if not exhausted[i]]
         results: list[DirectResult] = yield RoundPlan(
-            ops=tuple(DirectBlock(i, (), width) for i in active)
+            ops=tuple(DirectBlock(i, (), count) for i in active)
         )
         progressed = False
         block = BlockRound(m)
@@ -446,7 +467,7 @@ def run_ta_block(
     k: int,
     scoring: ScoringFunction,
     *,
-    width: int = 8,
+    width: WidthSpec = 8,
 ) -> DriverOutcome:
     """Block TA over any backend (``width`` positions per round)."""
     _require_width(width)
@@ -458,7 +479,7 @@ def run_bpa_block(
     k: int,
     scoring: ScoringFunction,
     *,
-    width: int = 8,
+    width: WidthSpec = 8,
     tracker: str = "bitarray",
 ) -> DriverOutcome:
     """Block BPA over any backend; needs positions in responses."""
@@ -475,7 +496,7 @@ def run_bpa2_block(
     k: int,
     scoring: ScoringFunction,
     *,
-    width: int = 8,
+    width: WidthSpec = 8,
 ) -> DriverOutcome:
     """Block BPA2 over any backend (``width`` direct accesses per round)."""
     _require_width(width)

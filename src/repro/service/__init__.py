@@ -28,6 +28,14 @@ its cost model's network extension says so.
 :mod:`repro.service.workload` replays Zipf-popular workloads against a
 service (the ``repro-topk serve-workload`` CLI) and backs
 ``reports/service_speedup.json``.
+
+:mod:`repro.service.feedback` closes the control loop: a
+:class:`PlanFeedback` store calibrates the planner's cost predictions
+against observed latencies, an AIMD :class:`BlockWidthController` tunes
+the networked block width online, and a :class:`DriftDetector` fires
+re-tuning epochs when the workload's shape moves
+(``ServicePolicy(adaptive=True)``; benchmarked by
+:func:`adaptive_contrast` behind ``reports/adaptive_speedup.json``).
 """
 
 from repro.service.cache import (
@@ -37,6 +45,16 @@ from repro.service.cache import (
     ResultCache,
     normalized_query_key,
     scoring_key,
+)
+from repro.service.feedback import (
+    WIDTH_LATTICE,
+    AdaptiveState,
+    BlockWidthController,
+    DriftDetector,
+    PlanFeedback,
+    WidthProbe,
+    plan_signature,
+    total_variation,
 )
 from repro.service.planner import (
     ListStatistics,
@@ -61,6 +79,7 @@ from repro.service.sharding import (
 from repro.service.workload import (
     WorkloadConfig,
     WorkloadMutator,
+    adaptive_contrast,
     answers_match,
     build_workload,
     dynamic_from,
@@ -95,8 +114,17 @@ __all__ = [
     "MERGE_EXACT_ALGORITHMS",
     "merge_shard_results",
     "partition_database",
+    "PlanFeedback",
+    "BlockWidthController",
+    "DriftDetector",
+    "AdaptiveState",
+    "WidthProbe",
+    "WIDTH_LATTICE",
+    "plan_signature",
+    "total_variation",
     "WorkloadConfig",
     "WorkloadMutator",
+    "adaptive_contrast",
     "answers_match",
     "build_workload",
     "dynamic_from",

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
@@ -50,6 +50,9 @@ from repro.exec.keys import freeze_value, scoring_key
 from repro.scoring import SUM, ScoringFunction
 from repro.service.sharding import available_cpus
 from repro.types import AccessTally, CostModel
+
+if TYPE_CHECKING:
+    from repro.service.feedback import PlanFeedback
 
 #: Algorithms the auto-planner ranks by predicted cost.  NRA is excluded
 #: — it only wins when random access is impossible, which is a policy
@@ -124,6 +127,23 @@ class ServicePolicy:
         watch_patch_limit: largest number of touched items one
             subscription maintenance step may re-score in place;
             wider deltas recompute through the service.
+        adaptive: close the control loop
+            (:mod:`repro.service.feedback`): calibrate predicted costs
+            with observed latencies, tune ``block_width`` online per
+            transport, and watch the workload for drift.  Answers are
+            bit-identical either way — adaptation only moves which
+            exact plan runs.
+        feedback_blend: weight of the observation when blending with
+            the static prediction (``CostModel.calibrate``).
+        feedback_min_samples: observations an arm needs before it
+            participates in calibrated selection.
+        feedback_tolerance: hysteresis band — a challenger must beat
+            the incumbent's calibrated cost by this fraction to take
+            over, and an observation must diverge from its prediction
+            by more than it to invalidate memoized plans.
+        drift_window: queries per drift-detection window.
+        drift_threshold: total-variation distance between consecutive
+            windows that declares a drift epoch.
     """
 
     allow_random: bool = True
@@ -139,6 +159,12 @@ class ServicePolicy:
     snapshot_patch_budget: int = 64
     max_subscriptions: int = 64
     watch_patch_limit: int = 8
+    adaptive: bool = False
+    feedback_blend: float = 0.5
+    feedback_min_samples: int = 5
+    feedback_tolerance: float = 0.25
+    drift_window: int = 32
+    drift_threshold: float = 0.6
 
     def __post_init__(self) -> None:
         # Validated here, not at first use: a typo'd transport would
@@ -185,6 +211,29 @@ class ServicePolicy:
         if self.watch_patch_limit < 0:
             raise ValueError(
                 f"watch_patch_limit must be >= 0, got {self.watch_patch_limit}"
+            )
+        if not 0.0 <= self.feedback_blend <= 1.0:
+            raise ValueError(
+                f"feedback_blend must be in [0, 1], got {self.feedback_blend}"
+            )
+        if self.feedback_min_samples < 1:
+            raise ValueError(
+                "feedback_min_samples must be >= 1, "
+                f"got {self.feedback_min_samples}"
+            )
+        if self.feedback_tolerance < 0.0:
+            raise ValueError(
+                "feedback_tolerance must be >= 0, "
+                f"got {self.feedback_tolerance}"
+            )
+        if self.drift_window < 2:
+            raise ValueError(
+                f"drift_window must be >= 2, got {self.drift_window}"
+            )
+        if not 0.0 < self.drift_threshold <= 1.0:
+            raise ValueError(
+                "drift_threshold must be in (0, 1], "
+                f"got {self.drift_threshold}"
             )
 
 
@@ -300,15 +349,20 @@ class QueryPlanner:
         *,
         policy: ServicePolicy | None = None,
         cost_model: CostModel | None = None,
+        feedback: "PlanFeedback | None" = None,
     ) -> None:
         self._database = database
         self._policy = policy or ServicePolicy()
         self._model = cost_model or CostModel.paper(max(2, database.n))
+        self._feedback = feedback
+        self._overfetch_override: bool | None = None
         self._statistics: dict[tuple, ListStatistics] = {}
         #: Plans are deterministic per planner, so memoize by normalized
         #: spec — a cache *hit* in the service must not re-pay the
-        #: stop-position estimation on its hot path.
-        self._plans: dict[tuple, PlanDecision] = {}
+        #: stop-position estimation on its hot path.  With feedback
+        #: attached, each memo entry carries the feedback generation it
+        #: was computed under and is recomputed once evidence moves.
+        self._plans: dict[tuple, tuple[PlanDecision, int]] = {}
 
     @property
     def policy(self) -> ServicePolicy:
@@ -319,6 +373,26 @@ class QueryPlanner:
     def cost_model(self) -> CostModel:
         """The cost model predictions are expressed in."""
         return self._model
+
+    @property
+    def feedback(self) -> "PlanFeedback | None":
+        """The runtime feedback store, when adaptive planning is on."""
+        return self._feedback
+
+    @property
+    def overfetch_override(self) -> bool | None:
+        """Drift-tuned overfetch override (``None`` = policy default)."""
+        return self._overfetch_override
+
+    def set_overfetch_override(self, value: bool | None) -> None:
+        """Override the policy's overfetch knob online (drift re-tune).
+
+        Clears the plan memo — the bucketed ``k`` feeding every memoized
+        decision just changed.
+        """
+        if value != self._overfetch_override:
+            self._overfetch_override = value
+            self._plans.clear()
 
     def statistics(self, scoring: ScoringFunction) -> ListStatistics:
         """The (cached) observed statistics for a scoring function."""
@@ -332,7 +406,12 @@ class QueryPlanner:
     def bucketed_k(self, k: int, *, cache_enabled: bool) -> int:
         """The k to execute: the next power of two, bounded by ``n`` and
         the policy's overfetch cap; ``k`` itself when not caching."""
-        if not cache_enabled or not self._policy.overfetch:
+        overfetch = (
+            self._policy.overfetch
+            if self._overfetch_override is None
+            else self._overfetch_override
+        )
+        if not cache_enabled or not overfetch:
             return k
         bucket = 1 << (k - 1).bit_length() if k > 0 else 1
         bucket = min(bucket, k * self._policy.max_overfetch)
@@ -397,8 +476,11 @@ class QueryPlanner:
         m = self._database.m
         owners = m if self._policy.owners <= 0 else min(m, self._policy.owners)
         rounds = max(1, (tally.sorted + tally.direct) // max(1, m))
-        # Wider blocks coalesce whole rounds into each message wave.
-        block_rounds = max(1, rounds // max(1, self._policy.block_width))
+        # Wider blocks coalesce whole rounds into each message wave; a
+        # partial final block still costs one wave, hence the ceiling.
+        block_rounds = max(
+            1, math.ceil(rounds / max(1, self._policy.block_width))
+        )
         payload = tally.total * _ACCESS_PAYLOAD_BYTES
         entry_messages = 2 * tally.total
         batch_messages = 4 * owners * block_rounds
@@ -541,9 +623,12 @@ class QueryPlanner:
             freeze_value(dict(spec.options)),
             cache_enabled,
         )
+        generation = (
+            self._feedback.generation if self._feedback is not None else 0
+        )
         memoized = self._plans.get(memo_key)
-        if memoized is not None:
-            return memoized
+        if memoized is not None and memoized[1] == generation:
+            return memoized[0]
         k_fetch = self.bucketed_k(k_requested, cache_enabled=cache_enabled)
         costs = self.predicted_costs(k_fetch, spec.scoring)
 
@@ -563,6 +648,32 @@ class QueryPlanner:
         elif spec.algorithm != "auto":
             algorithm = spec.algorithm
             reason = "algorithm requested explicitly"
+        elif self._feedback is not None:
+            from repro.service.feedback import plan_signature
+
+            signature = plan_signature(spec.scoring, k_fetch)
+            explore = self._feedback.explore_candidate(
+                AUTO_CANDIDATES, signature=signature
+            )
+            if explore is not None:
+                algorithm = explore
+                reason = (
+                    f"exploring {explore} (arm below "
+                    f"{self._feedback.min_samples} samples)"
+                )
+            else:
+                calibrated = self._feedback.calibrated_costs(
+                    {name: costs[name] for name in AUTO_CANDIDATES},
+                    signature=signature,
+                    model=self._model,
+                )
+                algorithm, _replanned, why = self._feedback.select(
+                    AUTO_CANDIDATES, calibrated, signature=signature
+                )
+                reason = (
+                    f"calibrated cost {calibrated[algorithm]:,.0f} "
+                    f"({why})"
+                )
         else:
             algorithm = min(AUTO_CANDIDATES, key=lambda name: costs[name])
             reason = (
@@ -608,5 +719,5 @@ class QueryPlanner:
             reason=reason,
             transport=transport,
         )
-        self._plans[memo_key] = decision
+        self._plans[memo_key] = (decision, generation)
         return decision

@@ -74,6 +74,10 @@ class ServiceStats:
     #: items re-scored and re-merged), or ``"miss"`` (executed fresh;
     #: coalesced reuses of an in-flight execution also report ``"hit"``).
     cache_outcome: str = "miss"
+    #: the block width the networked execution actually used (the
+    #: adaptive controller's current width, or the policy's static one);
+    #: 0 when the query did not execute over a network transport.
+    effective_block_width: int = 0
 
 
 class AdaptiveConcurrency:
@@ -236,6 +240,9 @@ class ServiceCounters:
     watch_patched: int = 0  #: answers repaired in place from event scores
     watch_recomputed: int = 0  #: answers re-planned through submit
     watch_deltas: int = 0  #: deltas pushed (visible changes only)
+    # Adaptive planning (populated only with ``ServicePolicy.adaptive``):
+    drift_epochs: int = 0  #: workload-drift epochs declared
+    replans: int = 0  #: calibrated selections that changed the incumbent
 
     @property
     def cache_hit_rate(self) -> float:
@@ -342,6 +349,13 @@ class QueryService:
         self._pool = pool
         self._policy = policy
         self._cost_model = cost_model
+        #: the adaptive control loop's state (feedback store, width
+        #: controllers, drift detector); survives snapshot rebuilds.
+        self._adaptive = None
+        if knobs.adaptive:
+            from repro.service.feedback import AdaptiveState
+
+            self._adaptive = AdaptiveState.from_policy(knobs)
         self._epoch = 0
         #: the epoch the current snapshot was built at (== ``_epoch``
         #: except while a rebuild is pending or deferred).  Cache
@@ -379,12 +393,24 @@ class QueryService:
         if not isinstance(database, ColumnarDatabase):
             database = ColumnarDatabase.from_database(database)
         # The planner comes first: with ``shards="auto"`` its cost model
-        # decides how the executor partitions this snapshot.
+        # decides how the executor partitions this snapshot.  The
+        # feedback store outlives planners: a snapshot refresh must not
+        # forget what the service has learned.
         self._planner = QueryPlanner(
             database,
             policy=self._policy,
             cost_model=self._cost_model,
+            feedback=(
+                self._adaptive.feedback if self._adaptive is not None else None
+            ),
         )
+        if (
+            self._adaptive is not None
+            and self._adaptive.overfetch_override is not None
+        ):
+            self._planner.set_overfetch_override(
+                self._adaptive.overfetch_override
+            )
         shards = self._shards_requested
         if shards == "auto":
             self._shard_decision = self._planner.choose_shard_count(
@@ -477,6 +503,11 @@ class QueryService:
         """The auto-tuner's verdict (``None`` when shards were fixed)."""
         return self._shard_decision
 
+    @property
+    def adaptive_state(self):
+        """The control loop's state (``None`` unless policy.adaptive)."""
+        return self._adaptive
+
     # ------------------------------------------------------------------
     # Epoch management
     # ------------------------------------------------------------------
@@ -534,7 +565,16 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _execute_plan(self, plan: PlanDecision, spec: QuerySpec) -> TopKResult:
-        """Run one planned query on the chosen transport."""
+        """Run one planned query on the chosen transport.
+
+        With adaptive mode on, every execution (this thread or a
+        ``submit_async`` worker) is timed and fed back: the plan's arm
+        in the feedback store, and — for networked runs — the
+        transport's width controller, whose :class:`WidthProbe` the
+        drivers consult at every round.
+        """
+        adaptive = self._adaptive
+        started = time.perf_counter()
         if plan.transport.startswith("network-"):
             # The simulated network as transport: the same unified
             # drivers the shard path replays, over list-owner nodes.
@@ -543,6 +583,7 @@ class QueryService:
                 DistributedBPA2,
                 DistributedTA,
             )
+            from repro.service.feedback import WidthProbe, plan_signature
 
             driver_cls = {
                 "ta": DistributedTA,
@@ -551,15 +592,113 @@ class QueryService:
             }[plan.algorithm]
             protocol = plan.transport.split("-", 1)[1]
             policy = self._planner.policy
-            return driver_cls(
+            width: object = policy.block_width
+            controller = None
+            if adaptive is not None:
+                controller = adaptive.controller_for(
+                    plan.transport,
+                    plan_signature(spec.scoring, plan.k_fetch),
+                )
+                width = WidthProbe(controller)
+            result = driver_cls(
                 protocol=protocol,
-                block_width=policy.block_width,
+                block_width=width,
                 owners=policy.owners if policy.owners > 0 else None,
                 placement=policy.placement,
             ).run(self._executor.database, plan.k_fetch, spec.scoring)
-        return self._executor.run(
+            if adaptive is not None:
+                seconds = time.perf_counter() - started
+                result.extras["block_width"] = width.last
+                controller.record(
+                    seconds=seconds,
+                    rounds=result.rounds,
+                    fetched_positions=width.total,
+                    stop_position=max(1, result.stop_position),
+                    k=plan.k_fetch,
+                )
+                network = result.extras.get("network") or {}
+                self._record_feedback(
+                    plan,
+                    spec,
+                    seconds,
+                    rounds=result.rounds,
+                    messages=int(network.get("messages", 0)),
+                )
+            return result
+        result = self._executor.run(
             plan.algorithm, spec.options, plan.k_fetch, spec.scoring
         )
+        if adaptive is not None:
+            self._record_feedback(
+                plan,
+                spec,
+                time.perf_counter() - started,
+                rounds=result.rounds,
+                messages=0,
+            )
+        return result
+
+    def _record_feedback(
+        self,
+        plan: PlanDecision,
+        spec: QuerySpec,
+        seconds: float,
+        *,
+        rounds: int,
+        messages: int,
+    ) -> None:
+        """Fold one completed execution into the feedback store."""
+        from repro.service.feedback import plan_signature
+
+        feedback = self._adaptive.feedback
+        feedback.record(
+            algorithm=plan.algorithm,
+            transport=plan.transport,
+            signature=plan_signature(spec.scoring, plan.k_fetch),
+            predicted_cost=float(
+                plan.predicted_costs.get(plan.algorithm, 0.0)
+            ),
+            seconds=seconds,
+            rounds=rounds,
+            messages=messages,
+        )
+        self.counters.replans = feedback.replans
+
+    def _observe_drift(self, spec: QuerySpec, plan: PlanDecision) -> None:
+        """Stream one query into the drift detector; re-tune on an epoch.
+
+        Keys use the *requested* shape (``spec.algorithm``, which stays
+        ``"auto"`` across exploration) so adaptation's own algorithm
+        churn never reads as workload drift.  On a drift epoch: plans
+        are invalidated, cache overfetch is re-tuned to the window's
+        key-repetition profile, and — with ``shards="auto"`` and no
+        in-flight executions pinning the pools — the shard count is
+        re-chosen for the new regime's median ``k``.
+        """
+        adaptive = self._adaptive
+        drift = adaptive.drift
+        key = drift.bucket(spec.algorithm, plan.k_requested, spec.scoring)
+        if not drift.observe(key, k=plan.k_requested):
+            return
+        self.counters.drift_epochs += 1
+        adaptive.feedback.invalidate()
+        # A narrow repeating window hits the cache on exact keys anyway
+        # — overfetch only inflates its cold fetches, so turn it off;
+        # diverse windows keep the policy default (shared pow2 buckets).
+        override = False if drift.distinct_ratio <= 0.5 else None
+        adaptive.overfetch_override = override
+        self._planner.set_overfetch_override(override)
+        if self._shards_requested == "auto" and not self._running:
+            ks = sorted(drift.recent_k) or [plan.k_requested]
+            median_k = ks[len(ks) // 2]
+            decision = self._planner.choose_shard_count(
+                pool=resolve_pool(self._pool), k=median_k
+            )
+            if decision.shards != self._executor.shards:
+                self._shard_decision = decision
+                self._executor.reload(
+                    self._executor.database, shards=decision.shards
+                )
 
     def _rescore(
         self, items: Sequence[ItemId]
@@ -598,6 +737,9 @@ class QueryService:
     ) -> ServiceResult:
         served = self._truncate(full, plan)
         reused = outcome != "miss" or coalesced
+        executed_networked = (
+            not reused and plan.transport.startswith("network-")
+        )
         stats = ServiceStats(
             plan=plan,
             cache_hit=reused,
@@ -609,6 +751,11 @@ class QueryService:
             coalesced=coalesced,
             concurrency_window=window,
             cache_outcome="hit" if coalesced else outcome,
+            effective_block_width=(
+                int(full.extras.get("block_width", 1))
+                if executed_networked
+                else 0
+            ),
         )
         self.counters.queries += 1
         self.counters.cache_hits += reused
@@ -651,6 +798,8 @@ class QueryService:
         epoch = self._snapshot_epoch
         caching = self._cache is not None and not deferred
         plan = self._planner.plan(spec, cache_enabled=caching)
+        if self._adaptive is not None:
+            self._observe_drift(spec, plan)
         outcome = "miss"
         full: TopKResult | None = None
         if caching:
@@ -723,6 +872,8 @@ class QueryService:
 
         caching = self._cache is not None
         plan = self._planner.plan(spec, cache_enabled=caching)
+        if self._adaptive is not None:
+            self._observe_drift(spec, plan)
         key = normalized_query_key(
             plan.algorithm, plan.k_fetch, spec.scoring, spec.options
         )

@@ -131,6 +131,21 @@ class CostModel:
             messages, payload_bytes
         )
 
+    def calibrate(
+        self, predicted: float, observed: float, *, blend: float = 0.5
+    ) -> float:
+        """Blend a model prediction with an observed cost.
+
+        ``blend`` is the weight given to the observation: ``0`` trusts
+        the static model entirely, ``1`` trusts the measurement.  The
+        feedback loop (:mod:`repro.service.feedback`) uses this to pull
+        predicted costs toward EWMA-smoothed runtime observations
+        without ever letting one noisy sample own the decision.
+        """
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError(f"blend must be in [0, 1], got {blend}")
+        return (1.0 - blend) * predicted + blend * observed
+
 
 @dataclass(frozen=True, slots=True)
 class TopKResult:

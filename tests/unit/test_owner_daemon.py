@@ -236,3 +236,69 @@ class TestColumnarNodeEquivalence:
             # lookup: the known item and the failed one both metered.
             state = node.handle("state", {})
             assert state["random"] == 2
+
+
+class TestQuantilePinnedEdges:
+    def test_empty_reservoir_returns_none_not_crash(self):
+        reservoir = LatencyReservoir()
+        assert reservoir.quantile(0.5) is None
+        assert reservoir.quantile(0.0) is None
+        assert reservoir.quantile(1.0) is None
+
+    def test_single_sample_is_every_quantile(self):
+        reservoir = LatencyReservoir()
+        reservoir.record(7e-6)
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert reservoir.quantile(fraction) == 7e-6
+
+    def test_quantile_orders_the_sample(self):
+        reservoir = LatencyReservoir(8)
+        for value in (4e-6, 1e-6, 3e-6, 2e-6):
+            reservoir.record(value)
+        assert reservoir.quantile(0.0) == 1e-6
+        assert reservoir.quantile(1.0) == 4e-6
+        assert reservoir.quantile(0.5) == 3e-6
+
+    def test_rejects_out_of_range_fraction(self):
+        reservoir = LatencyReservoir()
+        reservoir.record(1e-6)
+        with pytest.raises(ValueError, match="fraction"):
+            reservoir.quantile(1.5)
+        with pytest.raises(ValueError, match="fraction"):
+            reservoir.quantile(-0.1)
+
+
+class TestPerListMetrics:
+    def test_routed_ops_accumulate_per_list(self, columnar):
+        daemon = _daemon(columnar)
+        daemon.handle("sorted_next", {"list": 0})
+        daemon.handle("sorted_next", {"list": 0})
+        daemon.handle("sorted_next", {"list": 1})
+        per_list = daemon.metrics()["per_list"]
+        assert per_list["0"]["ops"] == 2
+        assert per_list["1"]["ops"] == 1
+        assert per_list["0"]["seconds"] >= 0.0
+
+    def test_zero_op_lists_still_reported(self, columnar):
+        daemon = _daemon(columnar)
+        daemon.handle("sorted_next", {"list": 0})
+        per_list = daemon.metrics()["per_list"]
+        assert per_list["1"] == {"ops": 0, "seconds": 0.0}
+
+    def test_reset_keeps_the_accumulated_mass(self, columnar):
+        # A rebalancer reads load across sessions; "reset" is a data-
+        # state op, not a metrics wipe.
+        daemon = _daemon(columnar)
+        daemon.handle("sorted_next", {"list": 0})
+        daemon.handle("reset", {})
+        assert daemon.metrics()["per_list"]["0"]["ops"] == 1
+
+    def test_multi_frames_attribute_inner_ops(self, columnar):
+        daemon = _daemon(columnar)
+        daemon.handle("multi", {"ops": [
+            {"kind": "sorted_next", "payload": {"list": 0}},
+            {"kind": "sorted_next", "payload": {"list": 1}},
+        ]})
+        per_list = daemon.metrics()["per_list"]
+        assert per_list["0"]["ops"] == 1
+        assert per_list["1"]["ops"] == 1

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.distributed.placement import STRATEGIES, ClusterPlacement
+from repro.distributed.placement import (
+    STRATEGIES,
+    ClusterPlacement,
+    list_masses,
+    placement_balance,
+    rebalance_placement,
+)
 
 
 class TestBuild:
@@ -81,3 +87,104 @@ class TestSerialization:
         placement = ClusterPlacement.build(4, owners=3)
         data = json.loads(json.dumps(placement.to_dict()))
         assert ClusterPlacement.from_dict(data) == placement
+
+
+class TestListMasses:
+    def test_folds_per_list_seconds_across_documents(self):
+        documents = [
+            {"lists": [0, 1], "per_list": {
+                "0": {"ops": 10, "seconds": 0.5},
+                "1": {"ops": 5, "seconds": 0.1},
+            }},
+            {"lists": [2], "per_list": {"2": {"ops": 3, "seconds": 0.2}}},
+        ]
+        assert list_masses(documents) == {0: 0.5, 1: 0.1, 2: 0.2}
+
+    def test_zero_op_lists_stay_with_zero_mass(self):
+        documents = [{"lists": [0, 1], "per_list": {
+            "0": {"ops": 4, "seconds": 0.3},
+            "1": {"ops": 0, "seconds": 0.0},
+        }}]
+        assert list_masses(documents) == {0: 0.3, 1: 0.0}
+
+    def test_timing_free_documents_fall_back_to_op_counts(self):
+        documents = [{"lists": [0, 1], "per_list": {
+            "0": {"ops": 100, "seconds": 0.0},
+            "1": {"ops": 300, "seconds": 0.0},
+        }}]
+        masses = list_masses(documents)
+        assert masses[1] == pytest.approx(3 * masses[0])
+        assert masses[0] > 0
+
+    def test_legacy_documents_without_per_list_keep_hosted_set(self):
+        assert list_masses([{"lists": [0, 1]}]) == {0: 0.0, 1: 0.0}
+
+
+class TestRebalancePlacement:
+    def test_lpt_splits_hot_lists_apart(self):
+        masses = {0: 1.0, 1: 0.9, 2: 0.1, 3: 0.05}
+        placement = rebalance_placement(masses, owners=2)
+        assert placement.strategy == "rebalanced"
+        owner_of = placement.owner_of
+        assert owner_of[0] != owner_of[1]  # the two hot lists separate
+
+    def test_document_input_defaults_owners_to_document_count(self):
+        documents = [
+            {"lists": [0, 1, 2], "per_list": {
+                "0": {"ops": 9, "seconds": 0.9},
+                "1": {"ops": 1, "seconds": 0.1},
+                "2": {"ops": 1, "seconds": 0.1},
+            }},
+            {"lists": [3], "per_list": {"3": {"ops": 1, "seconds": 0.1}}},
+        ]
+        placement = rebalance_placement(documents)
+        assert placement.owners == 2
+        assert placement.m == 4
+
+    def test_zero_signal_degrades_to_count_balanced(self):
+        placement = rebalance_placement(
+            {index: 0.0 for index in range(6)}, owners=3
+        )
+        assert [len(group) for group in placement.groups] == [2, 2, 2]
+
+    def test_mass_mapping_requires_explicit_owners(self):
+        with pytest.raises(ValueError, match="owners is required"):
+            rebalance_placement({0: 1.0, 1: 1.0})
+
+    def test_rejects_gaps_in_list_coverage(self):
+        with pytest.raises(ValueError, match="every list"):
+            rebalance_placement({0: 1.0, 2: 1.0}, owners=2)
+
+    def test_rejects_empty_stats(self):
+        with pytest.raises(ValueError, match="no per-list"):
+            rebalance_placement([])
+
+    def test_improves_balance_of_a_skewed_layout(self):
+        masses = {0: 0.4, 1: 0.3, 2: 0.2, 3: 0.1, 4: 0.05, 5: 0.05}
+        skewed = ClusterPlacement(
+            m=6, groups=((0, 1, 2, 3), (4,), (5,)), strategy="contiguous"
+        )
+        proposal = rebalance_placement(masses, owners=3)
+        before = placement_balance(skewed, masses)["imbalance"]
+        after = placement_balance(proposal, masses)["imbalance"]
+        assert after < before
+
+
+class TestPlacementBalance:
+    def test_perfect_balance_reports_one(self):
+        placement = ClusterPlacement.build(4, owners=2)
+        balance = placement_balance(placement, {i: 1.0 for i in range(4)})
+        assert balance["imbalance"] == 1.0
+        assert balance["per_owner_mass"] == [2.0, 2.0]
+        assert balance["total_mass"] == 4.0
+
+    def test_zero_mass_collapses_to_one_not_nan(self):
+        placement = ClusterPlacement.build(4, owners=2)
+        assert placement_balance(placement, {})["imbalance"] == 1.0
+
+    def test_imbalance_is_max_over_mean(self):
+        placement = ClusterPlacement.build(4, owners=2)
+        balance = placement_balance(
+            placement, {0: 3.0, 1: 0.0, 2: 0.5, 3: 0.5}
+        )
+        assert balance["imbalance"] == pytest.approx(3.0 / 2.0)

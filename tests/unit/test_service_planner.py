@@ -277,3 +277,92 @@ class TestTransportChoice:
         # configs); the override is dropped *visibly*, not silently.
         assert plan.transport == "local"
         assert "options pin the query to the shard pool" in plan.reason
+
+
+class TestBlockRoundArithmetic:
+    def test_partial_final_block_still_costs_a_wave(self, columnar):
+        # 3 predicted rounds at width 2 need ceil(3/2) = 2 waves — the
+        # old floor division under-billed the partial final block,
+        # making wide blocks look free exactly when they waste the most.
+        import math
+
+        def batch_messages(width):
+            planner = QueryPlanner(
+                columnar, policy=ServicePolicy(block_width=width)
+            )
+            return planner.predicted_network("ta", 5, SUM)["batch"]["messages"]
+
+        tally = QueryPlanner(columnar).predicted_tallies(5, SUM)["ta"]
+        rounds = max(1, (tally.sorted + tally.direct) // columnar.m)
+        for width in (1, 2, 3, 4, 7, 8, 16):
+            waves = max(1, math.ceil(rounds / width))
+            assert batch_messages(width) == 4 * columnar.m * waves
+
+    def test_wider_blocks_never_predict_more_messages(self, columnar):
+        previous = None
+        for width in (1, 2, 4, 8, 16):
+            planner = QueryPlanner(
+                columnar, policy=ServicePolicy(block_width=width)
+            )
+            messages = planner.predicted_network("ta", 5, SUM)["batch"][
+                "messages"
+            ]
+            if previous is not None:
+                assert messages <= previous
+            previous = messages
+
+
+class TestFeedbackDrivenPlanning:
+    def _feedback_planner(self, columnar, **kwargs):
+        from repro.service.feedback import PlanFeedback
+
+        feedback = PlanFeedback(**kwargs)
+        planner = QueryPlanner(columnar, feedback=feedback)
+        return planner, feedback
+
+    def test_exploration_covers_every_candidate(self, columnar):
+        planner, feedback = self._feedback_planner(
+            columnar, min_samples=1, reelect_every=0
+        )
+        from repro.service.feedback import plan_signature
+
+        seen = set()
+        for _ in range(len(AUTO_CANDIDATES)):
+            plan = planner.plan(QuerySpec("auto", k=10), cache_enabled=True)
+            seen.add(plan.algorithm)
+            feedback.record(
+                algorithm=plan.algorithm,
+                transport=plan.transport,
+                signature=plan_signature(SUM, plan.k_fetch),
+                predicted_cost=plan.predicted_costs[plan.algorithm],
+                seconds=0.001,
+            )
+        assert seen == set(AUTO_CANDIDATES)
+
+    def test_memo_survives_until_generation_moves(self, columnar):
+        planner, feedback = self._feedback_planner(columnar, min_samples=1)
+        spec = QuerySpec("ta", k=10)
+        first = planner.plan(spec, cache_enabled=True)
+        assert planner.plan(spec, cache_enabled=True) is first
+        feedback.invalidate()
+        assert planner.plan(spec, cache_enabled=True) is not first
+
+    def test_overfetch_override_rebuckets_k(self, columnar):
+        planner = QueryPlanner(columnar)
+        assert planner.bucketed_k(5, cache_enabled=True) == 8
+        planner.set_overfetch_override(False)
+        assert planner.bucketed_k(5, cache_enabled=True) == 5
+        planner.set_overfetch_override(None)
+        assert planner.bucketed_k(5, cache_enabled=True) == 8
+
+    def test_adaptive_knob_validation(self):
+        with pytest.raises(ValueError, match="feedback_blend"):
+            ServicePolicy(feedback_blend=2.0)
+        with pytest.raises(ValueError, match="feedback_min_samples"):
+            ServicePolicy(feedback_min_samples=0)
+        with pytest.raises(ValueError, match="feedback_tolerance"):
+            ServicePolicy(feedback_tolerance=-1.0)
+        with pytest.raises(ValueError, match="drift_window"):
+            ServicePolicy(drift_window=1)
+        with pytest.raises(ValueError, match="drift_threshold"):
+            ServicePolicy(drift_threshold=1.5)
