@@ -92,6 +92,29 @@ pushes nothing, the overtake pushes exactly one delta:
 (1, 1, 1)
 >>> service.close()
 
+The *reverse* top-k question — which registered users rank a given
+item inside their personal top-k? — runs over the same service.
+Register per-user weight vectors, then ``submit_reverse``: vectorized
+score bounds decide most users without running a single query, and the
+undecided rest fall back to their exact (cached, incrementally
+maintained) top-k boundary:
+
+>>> source = DynamicDatabase.from_score_rows(
+...     [[9.0, 7.0, 5.0, 3.0, 1.0], [8.0, 6.0, 4.0, 2.0, 0.0]])
+>>> service = QueryService(source, pool="serial")
+>>> registry = service.reverse_registry
+>>> _ = registry.add("alice", [1.0, 0.0])  # only list 0 matters to alice
+>>> _ = registry.add("bob", [0.0, 1.0])
+>>> _ = registry.add("cara", [1.0, 1.0])
+>>> service.submit_reverse(0, k=2).users   # item 0 leads both lists
+('alice', 'bob', 'cara')
+>>> service.submit_reverse(2, k=2).users   # item 2 is mid-pack for all
+()
+>>> source.update_score(0, 2, 20.0)        # item 2 now tops list 0
+>>> service.submit_reverse(2, k=2).users   # bob only watches list 1
+('alice', 'cara')
+>>> service.close()
+
 Under concurrency, submit through the async front-end: ``gather_many``
 runs shard fan-out on an asyncio event loop with bounded concurrency,
 and identical in-flight queries are *coalesced* into one execution:

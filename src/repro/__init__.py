@@ -56,6 +56,12 @@ from repro.datagen import (
 from repro.dynamic import DynamicDatabase, DynamicSortedList
 from repro.errors import ReproError
 from repro.lists import Database, SortedList
+from repro.reverse import (
+    ReverseResult,
+    ReverseTopkEngine,
+    UserWeightRegistry,
+    brute_force_reverse_topk,
+)
 from repro.service import (
     QueryService,
     ServicePolicy,
@@ -129,6 +135,11 @@ __all__ = [
     "ServiceStats",
     "ServicePolicy",
     "ShardExecutor",
+    # reverse top-k
+    "UserWeightRegistry",
+    "ReverseTopkEngine",
+    "ReverseResult",
+    "brute_force_reverse_topk",
     # scoring
     "SumScoring",
     "WeightedSumScoring",

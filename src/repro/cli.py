@@ -196,6 +196,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="serve a live DynamicDatabase and apply ~R random "
                             "mutations (update/insert/remove) before each "
                             "query — the delta-aware cache replay mode")
+    serve.add_argument("--reverse-rate", type=float, default=0.0,
+                       metavar="R",
+                       help="also issue a reverse top-k query (which "
+                            "registered users rank a random item in their "
+                            "top k?) after each forward query with "
+                            "probability R; implies the live-database "
+                            "replay path")
+    serve.add_argument("--reverse-users", type=int, default=32,
+                       help="seeded weight vectors registered for "
+                            "--reverse-rate (default: 32)")
+    serve.add_argument("--reverse-k", type=int, default=10,
+                       help="k for the interleaved reverse queries "
+                            "(default: 10)")
     serve.add_argument("--verify", action="store_true",
                        help="cross-check every served answer against a "
                             "brute-force ranking of the current data "
@@ -275,6 +288,39 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--out", default=None, metavar="FILE",
                        help="--speedup report path "
                             "(default: reports/watch_speedup.json)")
+
+    reverse = sub.add_parser(
+        "reverse",
+        help="reverse top-k demo over seeded user weight vectors (which "
+             "users rank an item in their top k?), or benchmark pruned "
+             "vs naive per-user evaluation (--speedup)",
+    )
+    reverse.add_argument("--n", type=int, default=1_500,
+                         help="database size")
+    reverse.add_argument("--m", type=int, default=4)
+    reverse.add_argument("--k", type=int, default=10)
+    reverse.add_argument("--users", type=int, default=48,
+                         help="seeded weight vectors to register")
+    reverse.add_argument("--queries", type=int, default=20,
+                         help="reverse queries over random items")
+    reverse.add_argument("--generator", default="uniform",
+                         choices=("uniform", "gaussian", "correlated",
+                                  "zipf"))
+    reverse.add_argument("--seed", type=int, default=13)
+    reverse.add_argument("--item", type=int, default=None,
+                         help="query this one item id instead of random "
+                              "items and list every matching user")
+    reverse.add_argument("--no-verify", action="store_true",
+                         help="skip the per-query brute-force oracle check")
+    reverse.add_argument("--speedup", action="store_true",
+                         help="run the pruned-vs-naive benchmark with an "
+                              "interleaved mutation phase (writes "
+                              "reports/reverse_speedup.json)")
+    reverse.add_argument("--mutations", type=int, default=60,
+                         help="--speedup: mutations in the mutating phase")
+    reverse.add_argument("--out", default=None, metavar="FILE",
+                         help="--speedup report path "
+                              "(default: reports/reverse_speedup.json)")
 
     verify_snap = sub.add_parser(
         "verify-snapshot",
@@ -781,10 +827,11 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         print("--watch-port needs --mutation-rate: standing queries over "
               "static data never produce a delta", file=sys.stderr)
         return 2
-    if args.mutation_rate > 0:
+    if args.mutation_rate > 0 or args.reverse_rate > 0:
         if args.async_mode:
-            print("--mutation-rate replays serially (the per-query oracle "
-                  "needs a deterministic interleaving); drop --async-mode",
+            print("--mutation-rate/--reverse-rate replay serially (the "
+                  "per-query oracle needs a deterministic interleaving); "
+                  "drop --async-mode",
                   file=sys.stderr)
             return 2
         default_out = (
@@ -807,6 +854,9 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         snapshot_out=args.snapshot_out,
         watch_port=args.watch_port,
         watch_wait=args.watch_wait,
+        reverse_rate=args.reverse_rate,
+        reverse_users=args.reverse_users,
+        reverse_k=args.reverse_k,
     )
     out = write_report(report, args.out or default_out)
     summary = report["service"]
@@ -815,7 +865,7 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
         print(f"warm start: restored snapshot {args.snapshot_in} "
               f"(epoch {report['snapshot_restored_epoch']})")
 
-    if args.mutation_rate > 0:
+    if args.mutation_rate > 0 or args.reverse_rate > 0:
         outcomes = summary["cache_outcomes"]
         mutations = summary["mutations"]
         print(f"mutation replay: {summary['queries']} queries over "
@@ -836,6 +886,20 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
                   f"/ {watching['patched']} patched / "
                   f"{watching['recomputed']} recomputed -> "
                   f"{watching['deltas']} deltas pushed")
+        reverse = summary.get("reverse")
+        if reverse is not None:
+            decisions = (reverse["bound_in"] + reverse["bound_out"]
+                         + reverse["boundary_hits"] + reverse["fallbacks"])
+            pruned = reverse["bound_in"] + reverse["bound_out"]
+            upkeep = reverse["maintenance"]
+            print(f"reverse top-k: {reverse['queries']} queries "
+                  f"(k={reverse['k']}, {reverse['users']} users) — "
+                  f"{pruned}/{decisions} user decisions bound-pruned, "
+                  f"{reverse['boundary_hits']} boundary hits, "
+                  f"{reverse['fallbacks']} fallbacks")
+            print(f"  boundary maintenance: {upkeep['unchanged']} unchanged "
+                  f"/ {upkeep['patched']} patched / {upkeep['dropped']} "
+                  f"dropped / {upkeep['flushes']} flushes")
         if args.verify:
             verdict = summary["verified_identical"]
             print(f"oracle verification: "
@@ -844,6 +908,10 @@ def _cmd_serve_workload(args: argparse.Namespace) -> int:
             if not verdict:
                 print("ERROR: a served answer diverged from the brute-force "
                       "ranking of the current data", file=sys.stderr)
+                return 1
+            if reverse is not None and not reverse["verified_identical"]:
+                print("ERROR: a reverse top-k answer diverged from the "
+                      "per-user brute-force oracle", file=sys.stderr)
                 return 1
         saved = report.get("snapshot_saved")
         if saved is not None:
@@ -1065,6 +1133,114 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reverse(args: argparse.Namespace) -> int:
+    if args.speedup:
+        from repro.reverse.bench import reverse_speedup_benchmark
+        from repro.service.workload import write_report
+
+        report = reverse_speedup_benchmark(
+            generator=args.generator,
+            n=args.n,
+            m=args.m,
+            seed=args.seed,
+            users=args.users,
+            queries=args.queries,
+            mutations=args.mutations,
+            k=args.k,
+            verify=not args.no_verify,
+        )
+        out = write_report(report, args.out or "reports/reverse_speedup.json")
+        pruned, naive = report["pruned"], report["naive"]
+        speedup = report["speedup"]
+        print(f"reverse top-k speedup ({args.generator} n={args.n:,} "
+              f"m={args.m}, {args.users} users, {args.queries} queries + "
+              f"{args.mutations} mutating, k={args.k}):")
+        print(f"{'mode':>8} {'static s':>10} {'mutating s':>11}")
+        print(f"{'pruned':>8} {pruned['seconds_static']:>10.3f} "
+              f"{pruned['seconds_mutating']:>11.3f}")
+        print(f"{'naive':>8} {naive['seconds_static']:>10.3f} "
+              f"{naive['seconds_mutating']:>11.3f}")
+        print(f"speedup: {speedup['static']:.1f}x static, "
+              f"{speedup['mutating']:.1f}x mutating, "
+              f"{speedup['overall']:.1f}x overall "
+              f"({pruned['pruned_fraction']:.0%} of user decisions "
+              f"bound-pruned)")
+        upkeep = pruned["maintenance"]
+        print(f"maintenance: {upkeep['unchanged']} unchanged / "
+              f"{upkeep['patched']} patched / {upkeep['dropped']} dropped")
+        if report["verified"] is not None:
+            print(f"oracle verification: "
+                  f"{'all answers identical' if report['verified'] else 'MISMATCH'} "
+                  f"({report['mismatches']} mismatches)")
+        print(f"report written to {out}")
+        return 0 if report["verified"] in (True, None) else 1
+
+    import numpy as np
+
+    from repro.datagen import make_generator
+    from repro.reverse import brute_force_reverse_topk
+    from repro.service.service import QueryService
+    from repro.service.workload import dynamic_from
+
+    static = make_generator(args.generator).generate(
+        args.n, args.m, seed=args.seed
+    )
+    source = dynamic_from(static)
+    rng = np.random.default_rng(args.seed + 1)
+    mismatches = 0
+    with QueryService(source, shards=1, pool="serial") as service:
+        registry = service.reverse_registry
+        registry.seed_users(args.users, args.m, seed=args.seed + 2)
+        ids = sorted(source.item_ids)
+        if args.item is not None:
+            if args.item not in source.item_ids:
+                print(f"item {args.item} is not in the database "
+                      f"(ids 0..{max(ids)})", file=sys.stderr)
+                return 2
+            items = [args.item]
+        else:
+            items = [
+                ids[int(rng.integers(len(ids)))]
+                for _ in range(args.queries)
+            ]
+        print(f"reverse top-{args.k} over {args.generator} "
+              f"n={args.n:,} m={args.m}, {args.users} registered users:")
+        for item in items:
+            result = service.submit_reverse(item, args.k)
+            stats = result.stats
+            verdict = ""
+            if not args.no_verify:
+                expected = brute_force_reverse_topk(
+                    source, registry, item, args.k
+                )
+                if result.users != expected:
+                    mismatches += 1
+                    verdict = "  MISMATCH vs oracle"
+            print(f"  item {item}: {len(result)} users "
+                  f"(bounds {stats.bound_in}+{stats.bound_out}, "
+                  f"cached {stats.boundary_hits}, "
+                  f"fallback {stats.fallbacks}, "
+                  f"{stats.seconds * 1e3:.2f} ms){verdict}")
+            if args.item is not None and result.users:
+                for user in result.users:
+                    weights = registry.get(user).weights
+                    rendered = ", ".join(f"{w:.3f}" for w in weights)
+                    print(f"    {user}  weights [{rendered}]")
+        counters = service.reverse_engine.counters
+        decided = counters.bound_in + counters.bound_out
+        total = decided + counters.boundary_hits + counters.fallbacks
+        print(f"decisions: {decided}/{total} bound-pruned, "
+              f"{counters.boundary_hits} boundary hits, "
+              f"{counters.fallbacks} fallbacks")
+    if not args.no_verify:
+        print(f"oracle verification: "
+              f"{'all answers identical' if mismatches == 0 else 'MISMATCH'} "
+              f"({mismatches} mismatches)")
+        if mismatches:
+            return 1
+    return 0
+
+
 def _cmd_hammer_cluster(args: argparse.Namespace) -> int:
     """``serve-workload --cluster-spec``: hammer a cluster we did not spawn."""
     import json
@@ -1196,26 +1372,34 @@ def _cmd_cluster_stats(args: argparse.Namespace) -> int:
             rebalance_placement,
         )
 
+        # Decide the edge cases from the *observed* mass before ever
+        # invoking the rebalancer: a fresh cluster may report no
+        # per-list statistics at all (rebalance_placement would raise),
+        # and a single-owner cluster has no move worth proposing.
         current = ClusterPlacement.from_dict(spec["placement"])
         masses = list_masses(documents)
-        proposal = rebalance_placement(documents)
         before = placement_balance(current, masses)
-        after = placement_balance(proposal, masses)
         print(f"placement: {current.strategy}, imbalance "
               f"{before['imbalance']:.3f} (max/mean observed latency "
               f"mass; 1.0 is perfect)")
         if before["total_mass"] <= 0:
             print("  no observed load yet — serve some queries before "
                   "rebalancing")
-        elif after["imbalance"] < before["imbalance"]:
-            print(f"  suggested rebalance -> imbalance "
-                  f"{after['imbalance']:.3f}:")
-            for owner, group in enumerate(proposal.groups):
-                print(f"    owner/{owner}: lists {list(group)} "
-                      f"(mass {after['per_owner_mass'][owner]:.6f})")
+        elif current.owners <= 1:
+            print("  single owner hosts every list — nothing to "
+                  "rebalance")
         else:
-            print("  current placement is already balanced — "
-                  "no move suggested")
+            proposal = rebalance_placement(documents)
+            after = placement_balance(proposal, masses)
+            if after["imbalance"] < before["imbalance"]:
+                print(f"  suggested rebalance -> imbalance "
+                      f"{after['imbalance']:.3f}:")
+                for owner, group in enumerate(proposal.groups):
+                    print(f"    owner/{owner}: lists {list(group)} "
+                          f"(mass {after['per_owner_mass'][owner]:.6f})")
+            else:
+                print("  current placement is already balanced — "
+                      "no move suggested")
     return 0
 
 
@@ -1388,6 +1572,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _cmd_bench,
         "serve-workload": _cmd_serve_workload,
         "watch": _cmd_watch,
+        "reverse": _cmd_reverse,
         "verify-snapshot": _cmd_verify_snapshot,
         "dist-bench": _cmd_dist_bench,
         "cluster": _cmd_cluster,

@@ -223,8 +223,12 @@ def placement_balance(
 ) -> dict:
     """How evenly a placement spreads the observed latency mass.
 
-    Returns per-owner masses plus the max/mean imbalance ratio (1.0 is
-    perfect; ``inf`` collapses to 0-mass mean gracefully).
+    Returns per-owner masses plus the max/mean imbalance ratio, where
+    1.0 is perfect.  A zero-mass mean (nothing observed yet) reports
+    imbalance 1.0 — vacuously balanced, never a division by zero — and
+    a single-owner placement is 1.0 by construction; callers gate
+    rebalancing proposals on ``total_mass`` and owner count rather
+    than on this ratio alone.
     """
     per_owner = [
         sum(float(masses.get(index, 0.0)) for index in group)

@@ -1,0 +1,48 @@
+"""Reverse top-k queries over the unified execution core.
+
+A *reverse top-k* query inverts the service's usual question: instead
+of "which items rank highest for this user's weights", it asks **"which
+users' weight vectors rank this item inside their top-k"** (the
+monochromatic reverse top-k of Vlachou et al. / Chester et al.).  For a
+personalization service this is the influence question — whose front
+page does this item reach? — and on a database already organized for
+BPA-style sorted/random access it can be answered exactly without
+running one top-k per user:
+
+* :class:`UserWeightRegistry` holds the per-user
+  :class:`~repro.scoring.WeightedSumScoring` vectors (add / update /
+  remove, versioned so cached per-user state can never alias a changed
+  vector);
+* :class:`RTopkIndex` derives, per snapshot, monotone lower/upper
+  bounds on every user's k-th-best overall score from three per-list
+  order statistics, deciding most users IN or OUT with two vectorized
+  comparisons;
+* :class:`ReverseTopkEngine` glues them to an execution runner: the
+  users the bounds leave undecided fall back to a per-user certified
+  top-k, whose answer (and k-th-entry certificate) is cached and then
+  maintained incrementally under :class:`~repro.dynamic.MutationEvent`
+  streams through the shared :mod:`repro.exec.certify` reasoning.
+
+:meth:`repro.service.QueryService.submit_reverse` is the serving
+entry point; :func:`brute_force_reverse_topk` is the oracle the
+differential suite holds it to, bit-exact membership included.
+"""
+
+from repro.reverse.engine import (
+    ReverseCounters,
+    ReverseResult,
+    ReverseTopkEngine,
+)
+from repro.reverse.index import RTopkIndex
+from repro.reverse.oracle import brute_force_reverse_topk
+from repro.reverse.registry import RegisteredUser, UserWeightRegistry
+
+__all__ = [
+    "RTopkIndex",
+    "RegisteredUser",
+    "ReverseCounters",
+    "ReverseResult",
+    "ReverseTopkEngine",
+    "UserWeightRegistry",
+    "brute_force_reverse_topk",
+]

@@ -1,0 +1,149 @@
+"""Pruned reverse top-k vs naive per-user evaluation, measured.
+
+The reverse engine's claim is about work per query: with ``U``
+registered users, the naive answer runs ``U`` full top-k evaluations
+per reverse query, while the engine settles most users with two
+vectorized bound comparisons and runs (or reuses) an exact top-k only
+for the undecided few — and under mutations, maintains those cached
+boundaries incrementally instead of recomputing them.
+
+:func:`reverse_speedup_benchmark` measures both modes over identical
+seeded query/mutation streams:
+
+* **pruned** — queries go through :meth:`QueryService.submit_reverse`
+  (bounds, boundary cache, certified maintenance);
+* **naive** — the same queries run :func:`brute_force_reverse_topk`
+  (one brute-force top-k per registered user, no reuse).
+
+Both phases — a static warm-up and a mutating stream — verify the
+pruned answers bit-exactly against the naive oracle outside the timed
+path.  The report (``reports/reverse_speedup.json``) carries wall
+clock, per-user decision tallies and maintenance outcomes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datagen import make_generator
+from repro.reverse.oracle import brute_force_reverse_topk
+from repro.service.service import QueryService
+from repro.service.workload import WorkloadMutator, dynamic_from
+
+
+def reverse_speedup_benchmark(
+    *,
+    generator: str = "uniform",
+    n: int = 1500,
+    m: int = 4,
+    seed: int = 13,
+    users: int = 48,
+    queries: int = 40,
+    mutations: int = 60,
+    k: int = 10,
+    verify: bool = True,
+) -> dict:
+    """Measure pruned vs naive reverse top-k over one seeded stream."""
+    static = make_generator(generator).generate(n, m, seed=seed)
+    source = dynamic_from(static)
+    service = QueryService(source, shards=1, pool="serial")
+    rng = np.random.default_rng(seed + 1)
+    with service:
+        registry = service.reverse_registry
+        registry.seed_users(users, m, seed=seed + 2)
+        mutator = WorkloadMutator(source, rng)
+
+        def draw_item():
+            ids = mutator.ids
+            return ids[int(rng.integers(len(ids)))]
+
+        # ------------------------------------------------------ static
+        static_items = [draw_item() for _ in range(queries)]
+        pruned_static = 0.0
+        answers = []
+        for item in static_items:
+            started = time.perf_counter()
+            answers.append(service.submit_reverse(item, k))
+            pruned_static += time.perf_counter() - started
+        naive_static = 0.0
+        static_mismatches = 0
+        for item, result in zip(static_items, answers):
+            started = time.perf_counter()
+            expected = brute_force_reverse_topk(source, registry, item, k)
+            naive_static += time.perf_counter() - started
+            if verify and result.users != expected:
+                static_mismatches += 1
+
+        # ---------------------------------------------------- mutating
+        pruned_mutating = naive_mutating = 0.0
+        mutating_mismatches = 0
+        for _step in range(mutations):
+            mutator.apply_one()
+            item = draw_item()
+            started = time.perf_counter()
+            result = service.submit_reverse(item, k)
+            pruned_mutating += time.perf_counter() - started
+            started = time.perf_counter()
+            expected = brute_force_reverse_topk(source, registry, item, k)
+            naive_mutating += time.perf_counter() - started
+            if verify and result.users != expected:
+                mutating_mismatches += 1
+
+        counters = service.reverse_engine.counters
+
+    def _ratio(a: float, b: float) -> float:
+        return a / b if b > 0 else float("inf")
+
+    decisions = counters.bound_in + counters.bound_out
+    decisions += counters.boundary_hits + counters.fallbacks
+    mismatches = static_mismatches + mutating_mismatches
+    return {
+        "config": {
+            "generator": generator,
+            "n": n,
+            "m": m,
+            "seed": seed,
+            "users": users,
+            "queries": queries,
+            "mutations": mutations,
+            "k": k,
+        },
+        "pruned": {
+            "seconds_static": pruned_static,
+            "seconds_mutating": pruned_mutating,
+            "decisions": {
+                "bound_in": counters.bound_in,
+                "bound_out": counters.bound_out,
+                "boundary_hits": counters.boundary_hits,
+                "fallbacks": counters.fallbacks,
+            },
+            "pruned_fraction": (
+                (counters.bound_in + counters.bound_out) / decisions
+                if decisions
+                else 0.0
+            ),
+            "maintenance": {
+                "unchanged": counters.maintenance_unchanged,
+                "patched": counters.maintenance_patched,
+                "dropped": counters.maintenance_dropped,
+                "flushes": counters.flushes,
+            },
+        },
+        "naive": {
+            "seconds_static": naive_static,
+            "seconds_mutating": naive_mutating,
+            "topk_runs": users * (queries + mutations),
+        },
+        "speedup": {
+            "static": _ratio(naive_static, pruned_static),
+            "mutating": _ratio(naive_mutating, pruned_mutating),
+            "overall": _ratio(
+                naive_static + naive_mutating,
+                pruned_static + pruned_mutating,
+            ),
+        },
+        "verified": (mismatches == 0) if verify else None,
+        "mismatches": mismatches if verify else None,
+    }

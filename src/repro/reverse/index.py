@@ -1,0 +1,157 @@
+"""Per-snapshot monotone score bounds for reverse top-k pruning.
+
+For one user with non-negative weights ``w`` the reverse membership
+question — *is item q inside this user's top-k?* — reduces to comparing
+``f_w(q)`` against the user's k-th-best overall score ``B_k(w)`` (the
+score half of the k-th-entry certificate the certified merge exposes as
+``extras["certificate_threshold"]``).  Computing ``B_k(w)`` exactly
+costs a top-k run per user; this index instead brackets it from three
+per-list order statistics of the columnar snapshot, all O(1) reads off
+the rank-sorted score columns:
+
+``top1[j]``  the best local score in list ``j``,
+``kth[j]``   the k-th best local score in list ``j``,
+``mins[j]``  the worst local score in list ``j``.
+
+**Lower bound.**  The ``k`` items heading list ``j`` each have overall
+score at least ``w_j * kth[j] + sum_{i != j} w_i * mins[i]`` (their
+list-``j`` score is at least ``kth[j]``; every other coordinate is at
+least that list's minimum).  ``k`` items reach that value, so::
+
+    B_k(w) >= L(w) = (w . mins) + max_j w_j * (kth[j] - mins[j])
+
+**Upper bound.**  Among any ``k`` distinct items at most ``k - 1`` can
+exceed list ``j``'s k-th local score, so some true top-k member x has
+``x_j <= kth[j]`` and therefore ``f_w(x) <= w_j * kth[j] +
+sum_{i != j} w_i * top1[i]``.  The k-th best is at most that member::
+
+    B_k(w) <= U(w) = (w . top1) + min_j w_j * (kth[j] - top1[j])
+
+Both derivations hold in real arithmetic for any non-negative ``w``
+(scores may be negative).  The float computation — NumPy dot products
+here, compensated ``math.fsum`` aggregates in the engine and the oracle
+— perturbs each side by at most a few ulps of the user's score scale
+``S(w) = sum_i w_i * max(|top1[i]|, |mins[i]|)``, and two real values
+within one ulp can still round to equal ``fsum`` aggregates (an exact
+tie under the library's ``(-score, id)`` order).  The per-user ``slack
+= 8 * (m + 4) * eps * S(w)`` strictly dominates both effects, so the
+engine's decisions are sound::
+
+    f_w(q) > U(w) + slack  =>  q is IN  every valid top-k answer
+    f_w(q) < L(w) - slack  =>  q is OUT of every valid top-k answer
+
+and everything in between falls back to the user's exact certified
+top-k.  ``tests/unit/test_reverse.py`` asserts the bracket against the
+brute-force ``B_k(w)`` across every datagen family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar import ColumnarDatabase
+
+#: Multiplier on ``(m + 4) * eps * scale`` — see the module docstring.
+_SLACK_FACTOR = 8.0
+
+
+class RTopkIndex:
+    """Snapshot-bound order statistics and the derived per-user bounds.
+
+    One index serves one immutable :class:`ColumnarDatabase`; the
+    engine rebuilds it when the service swaps snapshots.  Per-``k``
+    list statistics and per-``(W, k)`` user bounds are cached — the
+    registry's weight matrix is itself cached per registry version, so
+    steady-state reverse queries reuse both.
+    """
+
+    __slots__ = ("_database", "_top1", "_mins", "_kth", "_user_bounds")
+
+    def __init__(self, database: ColumnarDatabase) -> None:
+        self._database = database
+        n = database.n
+        self._top1 = np.array(
+            [lst.scores_array[0] for lst in database.lists], dtype=np.float64
+        )
+        self._mins = np.array(
+            [lst.scores_array[n - 1] for lst in database.lists],
+            dtype=np.float64,
+        )
+        self._kth: dict[int, np.ndarray] = {}
+        #: ``(id(W), k) -> (W, lower, upper, slack)`` — ``W`` is pinned
+        #: so CPython id reuse can never alias a dead matrix.
+        self._user_bounds: dict[tuple[int, int], tuple] = {}
+
+    @property
+    def database(self) -> ColumnarDatabase:
+        return self._database
+
+    def list_kth(self, k: int) -> np.ndarray:
+        """``kth[j]`` = the k-th best local score of list ``j``."""
+        if not 1 <= k <= self._database.n:
+            raise ValueError(
+                f"k must be in 1..{self._database.n}, got {k}"
+            )
+        cached = self._kth.get(k)
+        if cached is None:
+            cached = np.array(
+                [lst.scores_array[k - 1] for lst in self._database.lists],
+                dtype=np.float64,
+            )
+            self._kth[k] = cached
+        return cached
+
+    def user_bounds(
+        self, weights: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(lower, upper, slack)`` per user row of ``weights``.
+
+        ``lower - slack <= B_k(w) <= upper + slack`` for every row
+        ``w`` (see the module docstring for the derivation and the
+        float-error budget the slack absorbs).
+        """
+        key = (id(weights), k)
+        cached = self._user_bounds.get(key)
+        if cached is not None and cached[0] is weights:
+            return cached[1], cached[2], cached[3]
+        kth = self.list_kth(k)
+        m = self._database.m
+        lower = weights @ self._mins + np.max(
+            weights * (kth - self._mins)[np.newaxis, :], axis=1
+        )
+        upper = weights @ self._top1 + np.min(
+            weights * (kth - self._top1)[np.newaxis, :], axis=1
+        )
+        scale = weights @ np.maximum(np.abs(self._top1), np.abs(self._mins))
+        slack = _SLACK_FACTOR * (m + 4) * np.finfo(np.float64).eps * scale
+        if len(self._user_bounds) >= 32:
+            # A churning registry mints a fresh matrix per version; the
+            # pin keeps each alive, so bound the memo instead of
+            # scanning for dead ones.
+            self._user_bounds.clear()
+        self._user_bounds[key] = (weights, lower, upper, slack)
+        return lower, upper, slack
+
+    def decide(
+        self, weights: np.ndarray, item_scores: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Classify every user: ``(in_mask, out_mask, aggregates)``.
+
+        ``in_mask[u]`` — the item provably sits inside user ``u``'s
+        top-k; ``out_mask[u]`` — provably outside; neither — undecided,
+        the caller must consult that user's exact boundary.  With
+        ``k >= n`` every existing item is in everyone's top-k and both
+        masks short-circuit accordingly.
+        """
+        users = weights.shape[0]
+        aggregates = weights @ item_scores
+        if k >= self._database.n:
+            return (
+                np.ones(users, dtype=bool),
+                np.zeros(users, dtype=bool),
+                aggregates,
+            )
+        lower, upper, slack = self.user_bounds(weights, k)
+        in_mask = aggregates > upper + slack
+        out_mask = aggregates < lower - slack
+        return in_mask, out_mask, aggregates

@@ -1,0 +1,40 @@
+"""The reverse top-k correctness oracle.
+
+Reverse membership is defined against the library's one true oracle
+(:func:`repro.algorithms.naive.brute_force_topk`, compensated ``fsum``
+aggregates, ``(-score, id)`` tie order): a user matches exactly when
+the item appears in their brute-forced top-k.  Every engine answer in
+the differential suite is held to this, bit-exact membership included —
+ties at the k-th slot resolve by ascending id, never by which tied item
+an engine happened to keep.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.naive import brute_force_topk
+from repro.errors import UnknownItemError
+from repro.reverse.registry import UserWeightRegistry
+from repro.types import ItemId
+
+
+def brute_force_reverse_topk(
+    database, registry: UserWeightRegistry, item: ItemId, k: int
+) -> tuple[str, ...]:
+    """Every registered user whose exact top-k contains ``item``.
+
+    ``database`` is anything :func:`brute_force_topk` scans (a static
+    :class:`~repro.lists.Database` or a live
+    :class:`~repro.dynamic.DynamicDatabase`); one full top-k runs per
+    registered user, so this is strictly a test/benchmark oracle.
+    Returns user ids ascending.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if item not in database.item_ids:
+        raise UnknownItemError(f"item {item} is not in the database")
+    matched = []
+    for entry in registry.entries():
+        ranked = brute_force_topk(database, k, entry.scoring)
+        if any(scored.item == item for scored in ranked):
+            matched.append(entry.user)
+    return tuple(matched)

@@ -1,0 +1,177 @@
+"""Per-user weight vectors, versioned for safe downstream caching.
+
+The registry is deliberately dumb storage: it owns no database and no
+query state, just the ``user -> WeightedSumScoring`` mapping plus a
+monotone version clock.  Every change (add, update, remove) bumps the
+clock and stamps the touched user with it, so anything cached per user
+— the reverse engine's boundary entries, the aligned weight matrix —
+keys on ``(user, version)`` and can never alias a changed vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ScoringError
+from repro.scoring import WeightedSumScoring
+
+
+@dataclass(frozen=True)
+class RegisteredUser:
+    """One user's weight vector and the registry clock that stamped it."""
+
+    user: str
+    scoring: WeightedSumScoring
+    version: int
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        return self.scoring.weights
+
+
+class UserWeightRegistry:
+    """A versioned ``user -> WeightedSumScoring`` mapping.
+
+    Weight vectors are validated by ``WeightedSumScoring`` itself
+    (non-negative, at least one strictly positive weight); the registry
+    additionally rejects duplicate adds and updates/removes of unknown
+    users, so callers cannot silently clobber one another's vectors.
+    """
+
+    __slots__ = ("_users", "_clock", "_matrix_cache")
+
+    def __init__(self) -> None:
+        self._users: dict[str, RegisteredUser] = {}
+        self._clock = 0
+        #: ``(clock, m) -> (users, versions, scorings, weight matrix)``
+        self._matrix_cache: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # Mutation (every path bumps the clock)
+    # ------------------------------------------------------------------
+
+    def _coerce(self, weights) -> WeightedSumScoring:
+        if isinstance(weights, WeightedSumScoring):
+            return weights
+        return WeightedSumScoring(weights)
+
+    def add(self, user: str, weights) -> RegisteredUser:
+        """Register a new user; adding an existing one is an error."""
+        if user in self._users:
+            raise ValueError(f"user {user!r} is already registered")
+        self._clock += 1
+        entry = RegisteredUser(
+            user=str(user), scoring=self._coerce(weights), version=self._clock
+        )
+        self._users[entry.user] = entry
+        self._matrix_cache = None
+        return entry
+
+    def update(self, user: str, weights) -> RegisteredUser:
+        """Replace an existing user's vector; unknown users are an error."""
+        if user not in self._users:
+            raise KeyError(f"user {user!r} is not registered")
+        self._clock += 1
+        entry = RegisteredUser(
+            user=str(user), scoring=self._coerce(weights), version=self._clock
+        )
+        self._users[entry.user] = entry
+        self._matrix_cache = None
+        return entry
+
+    def remove(self, user: str) -> None:
+        """Drop a user; unknown users are an error."""
+        if user not in self._users:
+            raise KeyError(f"user {user!r} is not registered")
+        self._clock += 1
+        del self._users[user]
+        self._matrix_cache = None
+
+    def seed_users(
+        self, count: int, m: int, *, seed: int = 0, prefix: str = "user-"
+    ) -> tuple[str, ...]:
+        """Register ``count`` users with seeded random weight vectors.
+
+        Weights are drawn uniformly from ``(0, 1]`` (never all-zero),
+        deterministically from ``seed`` — the CLI demo, the workload
+        replay and the benchmark all build their populations this way
+        so two runs see byte-identical registries.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = np.random.default_rng(seed)
+        width = max(3, len(str(max(count - 1, 0))))
+        names = []
+        for index in range(count):
+            weights = (1.0 - rng.random(m)).tolist()  # uniform over (0, 1]
+            names.append(self.add(f"{prefix}{index:0{width}d}", weights))
+        return tuple(entry.user for entry in names)
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """The registry clock: bumped by every add/update/remove."""
+        return self._clock
+
+    def get(self, user: str) -> RegisteredUser:
+        entry = self._users.get(user)
+        if entry is None:
+            raise KeyError(f"user {user!r} is not registered")
+        return entry
+
+    def __contains__(self, user: str) -> bool:
+        return user in self._users
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[RegisteredUser]:
+        return iter(self.entries())
+
+    def users(self) -> tuple[str, ...]:
+        """Registered user ids, ascending."""
+        return tuple(sorted(self._users))
+
+    def entries(self) -> tuple[RegisteredUser, ...]:
+        """All registered users, ordered by user id."""
+        return tuple(self._users[user] for user in sorted(self._users))
+
+    def aligned(
+        self, m: int
+    ) -> tuple[tuple[RegisteredUser, ...], np.ndarray]:
+        """Every user plus the ``(len(users), m)`` weight matrix.
+
+        Rows follow :meth:`entries` order.  A user whose vector length
+        disagrees with the database's ``m`` is a caller error (their
+        aggregates would be undefined), reported eagerly here rather
+        than as a shape crash deep in a kernel.  Cached per registry
+        version — the matrix is rebuilt only after a registry change.
+        """
+        cached = self._matrix_cache
+        if cached is not None and cached[0] == (self._clock, m):
+            return cached[1], cached[2]
+        entries = self.entries()
+        for entry in entries:
+            if len(entry.weights) != m:
+                raise ScoringError(
+                    f"user {entry.user!r} has {len(entry.weights)} weights "
+                    f"but the database has m={m} lists"
+                )
+        matrix = np.array(
+            [entry.weights for entry in entries], dtype=np.float64
+        ).reshape(len(entries), m)
+        matrix.flags.writeable = False
+        self._matrix_cache = ((self._clock, m), entries, matrix)
+        return entries, matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<UserWeightRegistry {len(self._users)} users "
+            f"v{self._clock}>"
+        )

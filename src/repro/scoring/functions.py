@@ -41,7 +41,21 @@ class WeightedSumScoring:
                 "weighted sum weights must be non-negative to stay monotonic"
             )
         self._weights = tuple(float(w) for w in weights)
-        self.name = f"wsum[{','.join(f'{w:g}' for w in self._weights)}]"
+        if not any(w > 0 for w in self._weights):
+            # All-zero vectors score every item 0.0, collapsing the
+            # total order to id-only ties — a degenerate "top-k" that no
+            # caller ever means.  (This also rejects all-NaN vectors,
+            # which would poison every aggregate.)
+            raise ScoringError(
+                "weighted sum needs at least one strictly positive weight"
+            )
+        # The name is an identity: it feeds the normalized query cache
+        # key (repro.exec.keys.scoring_key), so it must distinguish any
+        # two weight vectors that rank differently.  Python float reprs
+        # are shortest-exact (repr round-trips, so distinct floats never
+        # share one) — a lossy format such as ``{w:g}`` (6 significant
+        # digits) would collide e.g. 0.3 with 0.30000004.
+        self.name = f"wsum[{','.join(repr(w) for w in self._weights)}]"
 
     @property
     def weights(self) -> tuple[float, ...]:

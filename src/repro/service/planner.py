@@ -127,6 +127,12 @@ class ServicePolicy:
         watch_patch_limit: largest number of touched items one
             subscription maintenance step may re-score in place;
             wider deltas recompute through the service.
+        reverse_boundary_limit: most per-user boundary entries the
+            reverse top-k engine
+            (:meth:`repro.service.QueryService.submit_reverse`) caches
+            and maintains under the mutation stream; beyond it the
+            least-recently consulted users re-run their certified
+            top-k on next touch.  ``0`` disables the boundary cache.
         adaptive: close the control loop
             (:mod:`repro.service.feedback`): calibrate predicted costs
             with observed latencies, tune ``block_width`` online per
@@ -159,6 +165,7 @@ class ServicePolicy:
     snapshot_patch_budget: int = 64
     max_subscriptions: int = 64
     watch_patch_limit: int = 8
+    reverse_boundary_limit: int = 1024
     adaptive: bool = False
     feedback_blend: float = 0.5
     feedback_min_samples: int = 5
@@ -211,6 +218,11 @@ class ServicePolicy:
         if self.watch_patch_limit < 0:
             raise ValueError(
                 f"watch_patch_limit must be >= 0, got {self.watch_patch_limit}"
+            )
+        if self.reverse_boundary_limit < 0:
+            raise ValueError(
+                "reverse_boundary_limit must be >= 0, "
+                f"got {self.reverse_boundary_limit}"
             )
         if not 0.0 <= self.feedback_blend <= 1.0:
             raise ValueError(

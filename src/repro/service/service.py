@@ -386,6 +386,12 @@ class QueryService:
         #: release function for a forced score-capture retain (set when
         #: the first watch registers on a log-less service).
         self._retain_scores = None
+        #: reverse top-k state (:meth:`submit_reverse`), created on
+        #: first use: the user weight registry, the pruning engine and
+        #: — on a log-less dynamic source — its score-capture retain.
+        self._reverse_registry = None
+        self._reverse = None
+        self._reverse_retain = None
         self._closed = False
         self._rebuild(database)
 
@@ -526,6 +532,11 @@ class QueryService:
             # After the log record: a subscription forced to recompute
             # re-enters submit, whose cache lookup must see this event.
             self._watch.on_mutation(event, self._epoch)
+        if self._reverse is not None:
+            # Per-user boundary entries are maintained eagerly from the
+            # event's score vectors (the shared certify reasoning), so
+            # most mutations re-decide only the users they touch.
+            self._reverse.on_mutation(event)
 
     def invalidate(self) -> None:
         """Manually bump the epoch: every cached result becomes stale.
@@ -559,6 +570,10 @@ class QueryService:
             # No event record to classify against: every standing query
             # recomputes (pushing only if its answer visibly moved).
             self._watch.on_invalidate(self._epoch)
+        if self._reverse is not None:
+            # Same reasoning: no event to classify, so every cached
+            # per-user boundary is unprovable — drop them all.
+            self._reverse.flush()
 
     # ------------------------------------------------------------------
     # Query path
@@ -1083,6 +1098,96 @@ class QueryService:
             return ()
         return self._watch.subscriptions
 
+    # ------------------------------------------------------------------
+    # Reverse top-k
+    # ------------------------------------------------------------------
+
+    @property
+    def reverse_registry(self):
+        """The reverse top-k user registry (created on first access).
+
+        Register per-user weight vectors here
+        (:class:`repro.reverse.UserWeightRegistry`), then ask
+        :meth:`submit_reverse` which of them rank a given item in
+        their top-k.
+        """
+        if self._reverse_registry is None:
+            from repro.reverse import UserWeightRegistry
+
+            self._reverse_registry = UserWeightRegistry()
+        return self._reverse_registry
+
+    def _ensure_reverse(self):
+        if self._reverse is None:
+            from repro.reverse import ReverseTopkEngine
+
+            self._reverse = ReverseTopkEngine(
+                self.reverse_registry,
+                runner=self._reverse_execute,
+                patch_limit=self._knobs.delta_patch_limit,
+                boundary_limit=self._knobs.reverse_boundary_limit,
+            )
+            if self._source is not None and self._log is None:
+                # The service subscribed score-less (no delta log);
+                # boundary maintenance needs the event vectors, so
+                # force capture on for as long as the service lives.
+                self._reverse_retain = self._source.retain_scores()
+        return self._reverse
+
+    def _reverse_execute(self, scoring, k: int):
+        """One exact certified top-k for the reverse engine's fallback.
+
+        Runs through the planner and the normal execution transports —
+        but **never** through the result cache: a cached entry may be a
+        tie-shifted sibling of the canonical answer (the cache's
+        ``answers_match`` contract), while reverse membership is defined
+        bit-exactly against the ``(-score, id)`` order.  Fresh merges
+        are canonical, so the returned entries decide membership by
+        plain lookup.
+        """
+        spec = QuerySpec(algorithm="bpa2", k=k, scoring=scoring)
+        plan = self._planner.plan(spec, cache_enabled=False)
+        full = self._execute_plan(plan, spec)
+        return self._truncate(full, plan).items
+
+    def submit_reverse(self, item: ItemId, k: int):
+        """Which registered users rank ``item`` inside their top-``k``?
+
+        The exact monochromatic reverse top-k over the current
+        snapshot: a user matches iff ``item`` appears in their
+        brute-force top-``k`` (ties at the boundary resolve by
+        ascending id).  Most users are decided by two vectorized bound
+        comparisons against per-list order statistics; the undecided
+        few run (or reuse) one certified top-k each, whose cached
+        boundary is then maintained incrementally under the mutation
+        stream.  Returns a :class:`repro.reverse.ReverseResult`.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        deferred = False
+        if self._dirty and self._source is not None:
+            if self._running:
+                # In-flight async executions pin the snapshot (see
+                # submit()); serve the pinned one, bypassing the
+                # boundary cache below — its entries are maintained to
+                # the *live* epoch, not this stale snapshot's.
+                deferred = True
+            else:
+                self._refresh()
+        engine = self._ensure_reverse()
+        return engine.query(
+            item,
+            k,
+            database=self._executor.database,
+            token=self._snapshot_epoch,
+            cacheable=not deferred and self._snapshot_epoch == self._epoch,
+        )
+
+    @property
+    def reverse_engine(self):
+        """The reverse top-k engine (``None`` before the first query)."""
+        return self._reverse
+
     def _serve_empty(self, spec: QuerySpec, started: float) -> ServiceResult:
         from repro.errors import InvalidQueryError
 
@@ -1205,6 +1310,10 @@ class QueryService:
         if self._retain_scores is not None:
             self._retain_scores()
             self._retain_scores = None
+        if self._reverse_retain is not None:
+            self._reverse_retain()
+            self._reverse_retain = None
+        self._reverse = None
         if self._unsubscribe is not None:
             self._unsubscribe()
             self._unsubscribe = None

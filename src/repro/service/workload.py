@@ -43,6 +43,7 @@ from repro.algorithms.naive import brute_force_topk
 from repro.bench.batch import QuerySpec
 from repro.datagen.base import make_generator
 from repro.dynamic import DynamicDatabase, DynamicSortedList
+from repro.reverse import brute_force_reverse_topk
 from repro.service.cache import CACHE_OUTCOMES, scoring_key
 from repro.service.planner import ServicePolicy
 from repro.service.service import QueryService, ServiceResult
@@ -384,6 +385,11 @@ class WorkloadMutator:
     def _draw_score(self) -> float:
         return float(self._rng.uniform(self._low, self._high))
 
+    @property
+    def ids(self) -> tuple:
+        """The live item ids (insertion order) — for picking query targets."""
+        return tuple(self._ids)
+
     def apply_one(self) -> str:
         """Apply one random mutation; returns its kind."""
         roll = float(self._rng.random())
@@ -421,6 +427,8 @@ def replay_with_mutations(
     seed: int,
     verify: bool = False,
     lock=None,
+    reverse_rate: float = 0.0,
+    reverse_k: int = 10,
 ) -> tuple[dict, list[ServiceResult]]:
     """Replay a workload with mutations interleaved between queries.
 
@@ -433,6 +441,14 @@ def replay_with_mutations(
     per-item aggregates); the summary's ``verified_identical`` records
     the verdict.  Verification runs outside the timed path.
 
+    A positive ``reverse_rate`` additionally issues a reverse top-k
+    query (:meth:`QueryService.submit_reverse`, ``k=reverse_k``) on a
+    random live item after each forward query with that probability,
+    against whatever users the service's ``reverse_registry`` holds;
+    with ``verify`` each reverse answer is checked bit-exactly against
+    :func:`repro.reverse.brute_force_reverse_topk` and the summary
+    gains a ``"reverse"`` section.
+
     ``lock`` (any context manager, e.g. a
     :attr:`repro.watch.server.WatchServer.lock`) is held around every
     service/database touch, so the replay can drive a service that
@@ -440,12 +456,16 @@ def replay_with_mutations(
     """
     if mutation_rate < 0:
         raise ValueError(f"mutation rate must be >= 0, got {mutation_rate}")
+    if reverse_rate < 0:
+        raise ValueError(f"reverse rate must be >= 0, got {reverse_rate}")
     guard = lock if lock is not None else nullcontext()
     rng = np.random.default_rng(seed + 2)
     mutator = WorkloadMutator(source, rng)
     results: list[ServiceResult] = []
     seconds = 0.0
     mismatches = 0
+    reverse_seconds = 0.0
+    reverse_queries = reverse_matches = reverse_mismatches = 0
     for spec in workload:
         count = int(mutation_rate)
         if float(rng.random()) < mutation_rate - count:
@@ -469,7 +489,46 @@ def replay_with_mutations(
                 )
             if not matched:
                 mismatches += 1
+        if reverse_rate > 0 and float(rng.random()) < reverse_rate:
+            ids = mutator.ids
+            item = ids[int(rng.integers(len(ids)))]
+            started = time.perf_counter()
+            with guard:
+                reverse_result = service.submit_reverse(item, reverse_k)
+            reverse_seconds += time.perf_counter() - started
+            reverse_queries += 1
+            reverse_matches += len(reverse_result)
+            if verify:
+                with guard:
+                    expected = brute_force_reverse_topk(
+                        source, service.reverse_registry, item, reverse_k
+                    )
+                if reverse_result.users != expected:
+                    reverse_mismatches += 1
     summary = _summarize(service, results, seconds)
+    if reverse_queries:
+        engine = service.reverse_engine
+        counters = engine.counters
+        summary["reverse"] = {
+            "queries": reverse_queries,
+            "k": reverse_k,
+            "users": len(service.reverse_registry),
+            "matched_users": reverse_matches,
+            "seconds": reverse_seconds,
+            "bound_in": counters.bound_in,
+            "bound_out": counters.bound_out,
+            "boundary_hits": counters.boundary_hits,
+            "fallbacks": counters.fallbacks,
+            "maintenance": {
+                "unchanged": counters.maintenance_unchanged,
+                "patched": counters.maintenance_patched,
+                "dropped": counters.maintenance_dropped,
+                "flushes": counters.flushes,
+            },
+        }
+        if verify:
+            summary["reverse"]["verified_identical"] = reverse_mismatches == 0
+            summary["reverse"]["verify_mismatches"] = reverse_mismatches
     outcomes = summary["cache_outcomes"]
     reused = outcomes["hit"] + outcomes["revalidated"] + outcomes["patched"]
     summary["mutation_rate"] = mutation_rate
@@ -645,6 +704,9 @@ def run_workload(
     snapshot_out=None,
     watch_port: int | None = None,
     watch_wait: float = 0.0,
+    reverse_rate: float = 0.0,
+    reverse_users: int = 32,
+    reverse_k: int = 10,
 ) -> dict:
     """Replay one workload configuration; returns the JSON-ready report.
 
@@ -678,6 +740,13 @@ def run_workload(
     tails their deltas); ``watch_wait`` blocks up to that many seconds
     for at least one subscription to register before replaying, so a
     tailing client observes the stream from the start.
+
+    A positive ``reverse_rate`` seeds ``reverse_users`` weight vectors
+    into the service's reverse registry and interleaves reverse top-k
+    queries (``k=reverse_k``) into the replay (see
+    :func:`replay_with_mutations`); it rides the same live-database
+    path as the mutation replay and composes with any
+    ``mutation_rate`` (including zero).
     """
     if mode not in ("serial", "async"):
         raise ValueError(f"unknown mode {mode!r}; expected 'serial' or 'async'")
@@ -685,6 +754,11 @@ def run_workload(
         raise ValueError(
             "watch_port needs the mutation replay (mutation_rate > 0): "
             "standing queries over static data never produce a delta"
+        )
+    if reverse_rate > 0 and reverse_users < 1:
+        raise ValueError(
+            f"reverse_users must be >= 1 with reverse_rate > 0, "
+            f"got {reverse_users}"
         )
     if snapshot_in is not None:
         from repro.storage import load_snapshot
@@ -695,7 +769,7 @@ def run_workload(
     workload = build_workload(config)
     policy = ServicePolicy(adaptive=True) if config.adaptive else None
 
-    if mutation_rate > 0:
+    if mutation_rate > 0 or reverse_rate > 0:
         if mode != "serial":
             raise ValueError(
                 "mutation replay is serial: interleaving a deterministic "
@@ -735,6 +809,10 @@ def run_workload(
         watch_summary = None
         try:
             with service_cm as service:
+                if reverse_rate > 0:
+                    service.reverse_registry.seed_users(
+                        reverse_users, source.m, seed=config.seed + 7
+                    )
                 summary, _ = replay_with_mutations(
                     service,
                     workload,
@@ -743,6 +821,8 @@ def run_workload(
                     seed=config.seed,
                     verify=verify,
                     lock=watch_server.lock if watch_server else None,
+                    reverse_rate=reverse_rate,
+                    reverse_k=reverse_k,
                 )
                 cache = service.cache
                 summary["cache"] = (

@@ -1,0 +1,217 @@
+"""Differential proof that reverse top-k equals the per-user oracle.
+
+Two layers of evidence, both against
+:func:`repro.reverse.brute_force_reverse_topk` (one brute-force top-k
+per registered user, membership under the library's ``(-score, id)``
+tie order):
+
+* an exhaustive sweep — every datagen family in
+  :func:`repro.testing.standard_test_databases`, several ``k`` and
+  every item, through a real :class:`QueryService` (bounds pruning,
+  boundary cache and the planned execution path all engaged);
+* a stateful fuzz — a rule-based machine interleaves score updates,
+  inserts, removals, record-less invalidations and registry churn
+  (add / re-weight / remove users) with reverse queries, checking every
+  answer bit-for-bit against the oracle on the *current* database
+  state.  This is the reverse sibling of :mod:`test_watch_maintenance`:
+  it exercises the engine's incremental maintenance (certificate
+  classification, in-place patches, drops, flushes) rather than the
+  cold query path.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    precondition,
+    rule,
+)
+
+from repro.reverse import brute_force_reverse_topk
+from repro.service import QueryService
+from repro.service.workload import dynamic_from
+from repro.datagen.base import make_generator
+from repro.testing import standard_test_databases
+
+FAMILIES = ("uniform", "gaussian", "correlated", "zipf", "copula")
+
+#: Same grid-plus-floats mix as the other mutation fuzzes: forced
+#: aggregate ties are the nastiest boundary edge.
+scores = st.one_of(
+    st.integers(min_value=0, max_value=4).map(lambda v: v / 4),
+    st.floats(
+        min_value=0.0,
+        max_value=1.5,
+        allow_nan=False,
+        allow_infinity=False,
+        width=32,
+    ).map(float),
+)
+
+#: Non-negative weights with at least one strictly positive entry —
+#: exactly the vectors ``WeightedSumScoring`` accepts.
+def weight_vectors(m: int):
+    weight = st.one_of(
+        st.just(0.0),
+        st.floats(
+            min_value=0.015625,
+            max_value=4.0,
+            allow_nan=False,
+            allow_infinity=False,
+            width=32,
+        ).map(float),
+    )
+    return st.lists(weight, min_size=m, max_size=m).filter(
+        lambda ws: any(w > 0 for w in ws)
+    )
+
+
+class TestExhaustiveSweep:
+    """Every family x k x item: service answer == per-user oracle."""
+
+    @pytest.mark.parametrize(
+        "label,database",
+        list(standard_test_databases()),
+        ids=[label for label, _ in standard_test_databases()],
+    )
+    def test_every_item_matches_the_oracle(self, label, database):
+        source = dynamic_from(database)
+        with QueryService(source, shards=1, pool="serial") as service:
+            service.reverse_registry.seed_users(10, source.m, seed=11)
+            registry = service.reverse_registry
+            for k in (1, 2, 5, source.n, source.n + 3):
+                for item in sorted(source.item_ids):
+                    result = service.submit_reverse(item, k)
+                    expected = brute_force_reverse_topk(
+                        source, registry, item, k
+                    )
+                    assert result.users == expected, (label, item, k)
+
+
+class ReverseDifferentialMachine(RuleBasedStateMachine):
+    """Mutations + registry churn + reverse queries, oracle-checked."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.service: QueryService | None = None
+        self.source = None
+        self.next_id = 0
+        self.next_user = 0
+        self.m = 0
+
+    @initialize(
+        family=st.sampled_from(FAMILIES),
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.integers(min_value=3, max_value=20),
+        m=st.integers(min_value=2, max_value=3),
+        users=st.integers(min_value=1, max_value=6),
+    )
+    def setup(self, family, seed, n, m, users):
+        database = make_generator(family).generate(n, m, seed=seed)
+        self.source = dynamic_from(database)
+        self.next_id = n + 1000
+        self.m = m
+        self.service = QueryService(self.source, shards=1, pool="serial")
+        self.service.reverse_registry.seed_users(users, m, seed=seed)
+        self.next_user = users
+
+    def teardown(self):
+        if self.service is not None:
+            self.service.close()
+
+    # ------------------------------------------------------------------
+    # Database mutations
+    # ------------------------------------------------------------------
+
+    @rule(data=st.data())
+    def update_score(self, data):
+        ids = sorted(self.source.item_ids)
+        if not ids:
+            return
+        self.source.update_score(
+            data.draw(st.integers(0, self.m - 1), label="list"),
+            data.draw(st.sampled_from(ids), label="item"),
+            data.draw(scores, label="score"),
+        )
+
+    @rule(data=st.data())
+    def insert_item(self, data):
+        self.source.insert_item(
+            self.next_id,
+            [data.draw(scores, label="score") for _ in range(self.m)],
+        )
+        self.next_id += 1
+
+    @rule(data=st.data())
+    def remove_item(self, data):
+        ids = sorted(self.source.item_ids)
+        if not ids:
+            return
+        self.source.remove_item(data.draw(st.sampled_from(ids), label="item"))
+
+    @rule(roll=st.integers(min_value=0, max_value=7))
+    def manual_invalidate(self, roll):
+        # A record-less epoch bump: the reverse engine must flush its
+        # boundary cache (there is no event to classify).
+        if roll == 0:
+            self.service.invalidate()
+
+    # ------------------------------------------------------------------
+    # Registry churn
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: len(self.service.reverse_registry) < 8)
+    @rule(data=st.data())
+    def add_user(self, data):
+        weights = data.draw(weight_vectors(self.m), label="weights")
+        self.service.reverse_registry.add(f"fuzz-{self.next_user}", weights)
+        self.next_user += 1
+
+    @precondition(lambda self: len(self.service.reverse_registry) > 1)
+    @rule(data=st.data())
+    def reweight_user(self, data):
+        registry = self.service.reverse_registry
+        user = data.draw(st.sampled_from(registry.users()), label="user")
+        registry.update(
+            user, data.draw(weight_vectors(self.m), label="weights")
+        )
+
+    @precondition(lambda self: len(self.service.reverse_registry) > 1)
+    @rule(data=st.data())
+    def remove_user(self, data):
+        registry = self.service.reverse_registry
+        registry.remove(
+            data.draw(st.sampled_from(registry.users()), label="user")
+        )
+
+    # ------------------------------------------------------------------
+    # The oracle check
+    # ------------------------------------------------------------------
+
+    @rule(data=st.data(), k=st.integers(min_value=1, max_value=8))
+    def reverse_query(self, data, k):
+        ids = sorted(self.source.item_ids)
+        if not ids:
+            return
+        item = data.draw(st.sampled_from(ids), label="item")
+        result = self.service.submit_reverse(item, k)
+        expected = brute_force_reverse_topk(
+            self.source, self.service.reverse_registry, item, k
+        )
+        assert result.users == expected, (
+            f"reverse_topk({item}, {k}) = {result.users} but the "
+            f"oracle says {expected} (stats: {result.stats})"
+        )
+
+
+TestReverseDifferential = ReverseDifferentialMachine.TestCase
+TestReverseDifferential.settings = settings(
+    max_examples=150,
+    stateful_step_count=14,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)

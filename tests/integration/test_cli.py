@@ -234,3 +234,67 @@ class TestSnapshotCli:
     def test_verify_snapshot_missing_file(self, capsys, tmp_path):
         assert main(["verify-snapshot", str(tmp_path / "absent.bpsn")]) == 1
         assert "unrecoverable" in capsys.readouterr().err
+
+
+class TestReverseCli:
+    """``repro reverse`` (demo + --speedup) and serve-workload's
+    ``--reverse-rate`` path, every answer oracle-checked."""
+
+    DEMO = ["reverse", "--n", "150", "--m", "3", "--users", "8",
+            "--k", "5", "--seed", "3"]
+
+    def test_demo_verifies_against_the_oracle(self, capsys):
+        assert main([*self.DEMO, "--queries", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "reverse top-5" in out
+        assert "8 registered users" in out
+        assert "MISMATCH" not in out
+
+    def test_single_item_mode_lists_matching_weights(self, capsys):
+        assert main([*self.DEMO, "--item", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "item 0:" in out
+
+    def test_unknown_item_is_a_usage_error(self, capsys):
+        assert main([*self.DEMO, "--item", "999999"]) == 2
+        assert "not in the database" in capsys.readouterr().err
+
+    def test_speedup_writes_a_verified_report(self, capsys, tmp_path):
+        out_file = tmp_path / "reverse_speedup.json"
+        assert main(["reverse", "--speedup", "--n", "300", "--m", "3",
+                     "--users", "10", "--queries", "5", "--mutations", "8",
+                     "--k", "5", "--out", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        assert report["verified"] is True
+        assert report["mismatches"] == 0
+        assert report["speedup"]["overall"] > 0
+        decisions = report["pruned"]["decisions"]
+        total = sum(decisions.values())
+        assert total == report["config"]["users"] * (
+            report["config"]["queries"] + report["config"]["mutations"]
+        )
+        out = capsys.readouterr().out
+        assert "all answers identical" in out
+
+    def test_serve_workload_reverse_rate_verifies(self, capsys, tmp_path):
+        out_file = tmp_path / "replay.json"
+        assert main(["serve-workload", "--smoke", "--queries", "30",
+                     "--mutation-rate", "0.5", "--reverse-rate", "0.5",
+                     "--reverse-users", "6", "--reverse-k", "5",
+                     "--verify", "--out", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        reverse = report["service"]["reverse"]
+        assert reverse["queries"] > 0
+        assert reverse["users"] == 6
+        assert reverse["verified_identical"] is True
+        out = capsys.readouterr().out
+        assert "reverse top-k:" in out
+        assert "boundary maintenance:" in out
+
+    def test_reverse_rate_without_mutations_is_legal(self, capsys, tmp_path):
+        out_file = tmp_path / "static.json"
+        assert main(["serve-workload", "--smoke", "--queries", "20",
+                     "--reverse-rate", "1.0", "--reverse-users", "4",
+                     "--verify", "--out", str(out_file)]) == 0
+        report = json.loads(out_file.read_text())
+        assert report["service"]["reverse"]["queries"] > 0

@@ -101,6 +101,24 @@ class TestCachingAndStats:
             assert svc.counters.executions == 1
             assert svc.counters.cache_hit_rate == pytest.approx(0.8)
 
+    def test_nearby_weight_vectors_never_share_a_cache_entry(self, database):
+        # Regression: WeightedSumScoring's 6-significant-digit name
+        # rendered 0.3 and 0.30000004 identically, and the name feeds
+        # the cache key — caching under one vector must never serve
+        # the other's (different) ranking.
+        from repro.algorithms.naive import brute_force_topk
+        from repro.scoring import WeightedSumScoring
+
+        close = WeightedSumScoring([0.3, 1.0, 0.5])
+        closer = WeightedSumScoring([0.30000004, 1.0, 0.5])
+        with QueryService(database, shards=1, pool="serial") as svc:
+            cached = svc.submit(QuerySpec("bpa2", k=12, scoring=close))
+            other = svc.submit(QuerySpec("bpa2", k=12, scoring=closer))
+            assert not other.stats.cache_hit
+            for served, scoring in ((cached, close), (other, closer)):
+                oracle = brute_force_topk(database, 12, scoring)
+                assert served.scores == tuple(e.score for e in oracle)
+
     def test_nra_bypasses_the_shard_fanout(self, service):
         served = service.submit(QuerySpec("nra", k=4))
         assert served.stats.fanout == 1

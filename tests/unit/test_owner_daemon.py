@@ -302,3 +302,28 @@ class TestPerListMetrics:
         per_list = daemon.metrics()["per_list"]
         assert per_list["0"]["ops"] == 1
         assert per_list["1"]["ops"] == 1
+
+
+class TestFreshDaemonRebalanceSignal:
+    """A never-served daemon must yield a zero-mass, guard-friendly
+    signal — the input ``cluster stats --suggest-placement`` gates on."""
+
+    def test_fresh_metrics_fold_to_zero_mass_without_crashing(self, columnar):
+        from repro.distributed.placement import (
+            ClusterPlacement,
+            list_masses,
+            placement_balance,
+        )
+
+        documents = [
+            _daemon(columnar, indices=(0, 1)).metrics(),
+            _daemon(columnar, indices=(2,)).metrics(),
+        ]
+        masses = list_masses(documents)
+        assert set(masses) == {0, 1, 2}
+        assert all(mass == 0.0 for mass in masses.values())
+        balance = placement_balance(
+            ClusterPlacement.build(3, owners=2), masses
+        )
+        assert balance["total_mass"] == 0.0
+        assert balance["imbalance"] == 1.0  # vacuously balanced, never NaN

@@ -188,3 +188,45 @@ class TestPlacementBalance:
             placement, {0: 3.0, 1: 0.0, 2: 0.5, 3: 0.5}
         )
         assert balance["imbalance"] == pytest.approx(3.0 / 2.0)
+
+    def test_all_zero_masses_report_one_not_nan(self):
+        # Regression: a fresh cluster reports every hosted list with
+        # mass 0.0 (not a missing mapping) — the ratio must still pin
+        # to 1.0 instead of dividing by the zero mean.
+        placement = ClusterPlacement.build(4, owners=2)
+        balance = placement_balance(placement, {i: 0.0 for i in range(4)})
+        assert balance["imbalance"] == 1.0
+        assert balance["total_mass"] == 0.0
+
+    def test_single_owner_is_balanced_by_construction(self):
+        placement = ClusterPlacement.build(4, owners=1)
+        balance = placement_balance(placement, {0: 9.0, 1: 0.0, 2: 1.0})
+        assert balance["imbalance"] == 1.0
+        assert balance["per_owner_mass"] == [10.0]
+
+
+class TestFreshClusterGuards:
+    """The edge cases ``cluster stats --suggest-placement`` gates on."""
+
+    FRESH_DOCUMENTS = [
+        {"per_list": {"0": {"ops": 0, "seconds": 0.0},
+                      "1": {"ops": 0, "seconds": 0.0}}},
+        {"per_list": {"2": {"ops": 0, "seconds": 0.0},
+                      "3": {"ops": 0, "seconds": 0.0}}},
+    ]
+
+    def test_fresh_documents_fold_to_zero_total_mass(self):
+        # The CLI's "no observed load yet" guard keys off this total:
+        # it must come out exactly 0.0, not NaN and not a crash.
+        masses = list_masses(self.FRESH_DOCUMENTS)
+        assert masses == {0: 0.0, 1: 0.0, 2: 0.0, 3: 0.0}
+        current = ClusterPlacement.build(4, owners=2)
+        assert placement_balance(current, masses)["total_mass"] == 0.0
+
+    def test_zero_mass_rebalance_degrades_to_count_balance(self):
+        # Were the guard bypassed, the LPT fallback still must not
+        # strand an owner without lists or propose asymmetric counts.
+        proposal = rebalance_placement(self.FRESH_DOCUMENTS)
+        assert proposal.owners == 2
+        assert sorted(len(group) for group in proposal.groups) == [2, 2]
+        assert sorted(i for g in proposal.groups for i in g) == [0, 1, 2, 3]

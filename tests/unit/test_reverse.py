@@ -1,0 +1,359 @@
+"""Unit coverage of the reverse top-k package (registry, index, engine).
+
+The differential suite drives ``submit_reverse`` end to end against
+the per-user brute-force oracle; these tests pin each layer's own
+contract — registry versioning, the soundness of the pruning bounds
+across every datagen family, and the engine's boundary-cache and
+maintenance behavior against synthetic mutation events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.naive import brute_force_topk
+from repro.columnar import ColumnarDatabase
+from repro.dynamic.database import MutationEvent
+from repro.errors import ScoringError, UnknownItemError
+from repro.reverse import (
+    ReverseTopkEngine,
+    UserWeightRegistry,
+    brute_force_reverse_topk,
+)
+from repro.reverse.index import RTopkIndex
+from repro.scoring import WeightedSumScoring
+from repro.testing import standard_test_databases
+
+
+class TestRegistry:
+    def test_add_get_and_contains(self):
+        registry = UserWeightRegistry()
+        entry = registry.add("alice", [1.0, 2.0])
+        assert "alice" in registry
+        assert registry.get("alice") is entry
+        assert entry.weights == (1.0, 2.0)
+        assert len(registry) == 1
+
+    def test_duplicate_add_is_an_error(self):
+        registry = UserWeightRegistry()
+        registry.add("alice", [1.0])
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("alice", [2.0])
+
+    def test_update_replaces_and_bumps_version(self):
+        registry = UserWeightRegistry()
+        first = registry.add("alice", [1.0])
+        second = registry.update("alice", [2.0])
+        assert second.version > first.version
+        assert registry.get("alice").weights == (2.0,)
+
+    def test_update_and_remove_of_unknown_users_raise(self):
+        registry = UserWeightRegistry()
+        with pytest.raises(KeyError):
+            registry.update("ghost", [1.0])
+        with pytest.raises(KeyError):
+            registry.remove("ghost")
+
+    def test_remove_drops_the_user(self):
+        registry = UserWeightRegistry()
+        registry.add("alice", [1.0])
+        registry.remove("alice")
+        assert "alice" not in registry
+        assert len(registry) == 0
+
+    def test_every_mutation_bumps_the_clock(self):
+        registry = UserWeightRegistry()
+        versions = [registry.version]
+        registry.add("a", [1.0])
+        versions.append(registry.version)
+        registry.update("a", [2.0])
+        versions.append(registry.version)
+        registry.remove("a")
+        versions.append(registry.version)
+        assert versions == sorted(set(versions))
+
+    def test_weights_are_validated_by_scoring(self):
+        registry = UserWeightRegistry()
+        with pytest.raises(ScoringError):
+            registry.add("zero", [0.0, 0.0])
+        with pytest.raises(ScoringError):
+            registry.add("negative", [1.0, -0.5])
+
+    def test_entries_and_users_are_sorted(self):
+        registry = UserWeightRegistry()
+        for user in ("cara", "alice", "bob"):
+            registry.add(user, [1.0])
+        assert registry.users() == ("alice", "bob", "cara")
+        assert [e.user for e in registry.entries()] == [
+            "alice", "bob", "cara",
+        ]
+        assert [e.user for e in registry] == ["alice", "bob", "cara"]
+
+    def test_seed_users_is_deterministic_and_valid(self):
+        a, b = UserWeightRegistry(), UserWeightRegistry()
+        names_a = a.seed_users(5, 3, seed=9)
+        names_b = b.seed_users(5, 3, seed=9)
+        assert names_a == names_b == a.users()
+        for user in names_a:
+            weights = a.get(user).weights
+            assert weights == b.get(user).weights
+            assert len(weights) == 3
+            assert all(0.0 < w <= 1.0 for w in weights)
+
+    def test_aligned_matrix_matches_entries(self):
+        registry = UserWeightRegistry()
+        registry.add("b", [3.0, 4.0])
+        registry.add("a", [1.0, 2.0])
+        entries, matrix = registry.aligned(2)
+        assert matrix.shape == (2, 2)
+        assert matrix.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+        assert not matrix.flags.writeable
+        # Cached until the registry changes.
+        assert registry.aligned(2)[1] is matrix
+        registry.add("c", [5.0, 6.0])
+        assert registry.aligned(2)[1] is not matrix
+
+    def test_aligned_rejects_arity_mismatch(self):
+        registry = UserWeightRegistry()
+        registry.add("alice", [1.0, 2.0])
+        with pytest.raises(ScoringError, match="m=3"):
+            registry.aligned(3)
+
+
+def _columnar(database) -> ColumnarDatabase:
+    if isinstance(database, ColumnarDatabase):
+        return database
+    return ColumnarDatabase.from_database(database)
+
+
+class TestIndexBounds:
+    def test_bounds_bracket_the_kth_score_on_every_family(self):
+        rng = np.random.default_rng(31)
+        for label, database in standard_test_databases():
+            columnar = _columnar(database)
+            index = RTopkIndex(columnar)
+            m, n = columnar.m, columnar.n
+            vectors = [
+                tuple(float(w) for w in 1.0 - rng.random(m))
+                for _ in range(4)
+            ]
+            for k in (1, 3, min(10, n)):
+                if k > n:
+                    continue
+                weights = np.array(vectors, dtype=np.float64)
+                lower, upper, slack = index.user_bounds(weights, k)
+                for row, vector in enumerate(vectors):
+                    scoring = WeightedSumScoring(vector)
+                    kth = brute_force_topk(database, k, scoring)[-1].score
+                    assert lower[row] - slack[row] <= kth, (label, k, vector)
+                    assert kth <= upper[row] + slack[row], (label, k, vector)
+
+    def test_decisions_are_sound_on_every_family(self):
+        rng = np.random.default_rng(47)
+        for label, database in standard_test_databases():
+            columnar = _columnar(database)
+            index = RTopkIndex(columnar)
+            m, n = columnar.m, columnar.n
+            weights = np.array(
+                [1.0 - rng.random(m) for _ in range(6)], dtype=np.float64
+            )
+            k = min(5, n)
+            memberships = []
+            for row in range(weights.shape[0]):
+                scoring = WeightedSumScoring(
+                    tuple(float(w) for w in weights[row])
+                )
+                ranked = brute_force_topk(database, k, scoring)
+                memberships.append({entry.item for entry in ranked})
+            for item in list(columnar.item_ids)[:8]:
+                scores = np.asarray(
+                    columnar.local_scores(item), dtype=np.float64
+                )
+                in_mask, out_mask, _ = index.decide(weights, scores, k)
+                for row in range(weights.shape[0]):
+                    member = item in memberships[row]
+                    if in_mask[row]:
+                        assert member, (label, item, row)
+                    if out_mask[row]:
+                        assert not member, (label, item, row)
+
+    def test_k_at_least_n_decides_everyone_in(self):
+        _, database = next(iter(standard_test_databases()))
+        columnar = _columnar(database)
+        index = RTopkIndex(columnar)
+        weights = np.array([[1.0] * columnar.m], dtype=np.float64)
+        scores = np.asarray(
+            columnar.local_scores(next(iter(columnar.item_ids))),
+            dtype=np.float64,
+        )
+        in_mask, out_mask, _ = index.decide(weights, scores, columnar.n)
+        assert in_mask.all() and not out_mask.any()
+
+    def test_list_kth_validates_k(self):
+        _, database = next(iter(standard_test_databases()))
+        index = RTopkIndex(_columnar(database))
+        with pytest.raises(ValueError):
+            index.list_kth(0)
+        with pytest.raises(ValueError):
+            index.list_kth(database.n + 1)
+
+
+def _engine_over(database, **kwargs):
+    columnar = _columnar(database)
+    registry = UserWeightRegistry()
+
+    def runner(scoring, k):
+        return brute_force_topk(columnar, k, scoring)
+
+    engine = ReverseTopkEngine(registry, runner=runner, **kwargs)
+    return columnar, registry, engine
+
+
+class TestEngineQueries:
+    def test_matches_the_oracle_on_every_family(self):
+        for label, database in standard_test_databases():
+            columnar, registry, engine = _engine_over(database)
+            registry.seed_users(8, columnar.m, seed=3)
+            k = min(4, columnar.n)
+            for item in list(columnar.item_ids)[:6]:
+                result = engine.query(
+                    item, k, database=columnar, token="t0"
+                )
+                expected = brute_force_reverse_topk(
+                    columnar, registry, item, k
+                )
+                assert result.users == expected, (label, item)
+
+    def test_unknown_item_and_bad_k_raise(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1]
+        )
+        registry.seed_users(2, columnar.m, seed=1)
+        with pytest.raises(UnknownItemError):
+            engine.query(10_000, 3, database=columnar, token="t0")
+        with pytest.raises(ValueError):
+            engine.query(
+                next(iter(columnar.item_ids)),
+                0,
+                database=columnar,
+                token="t0",
+            )
+
+    def test_empty_registry_answers_empty(self):
+        columnar, _registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1]
+        )
+        result = engine.query(
+            next(iter(columnar.item_ids)), 3, database=columnar, token="t0"
+        )
+        assert result.users == () and len(result) == 0
+
+    def test_repeat_queries_reuse_cached_boundaries(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1]
+        )
+        registry.seed_users(6, columnar.m, seed=5)
+        item = next(iter(columnar.item_ids))
+        first = engine.query(item, 3, database=columnar, token="t0")
+        again = engine.query(item, 3, database=columnar, token="t0")
+        assert first.stats.fallbacks > 0  # the item is genuinely undecided
+        assert first.stats.boundary_hits == 0
+        assert again.stats.fallbacks == 0
+        assert again.stats.boundary_hits == first.stats.fallbacks
+
+    def test_boundary_limit_zero_disables_the_cache(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1], boundary_limit=0
+        )
+        registry.seed_users(6, columnar.m, seed=5)
+        item = next(iter(columnar.item_ids))
+        engine.query(item, 3, database=columnar, token="t0")
+        assert engine.cached_boundaries == 0
+        again = engine.query(item, 3, database=columnar, token="t0")
+        assert again.stats.boundary_hits == 0
+
+    def test_boundary_cache_is_lru_bounded(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1], boundary_limit=2
+        )
+        registry.seed_users(6, columnar.m, seed=5)
+        item = next(iter(columnar.item_ids))
+        engine.query(item, 3, database=columnar, token="t0")
+        assert engine.cached_boundaries <= 2
+
+    def test_uncacheable_queries_neither_read_nor_seed(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1]
+        )
+        registry.seed_users(4, columnar.m, seed=5)
+        item = next(iter(columnar.item_ids))
+        stale = engine.query(
+            item, 3, database=columnar, token="t0", cacheable=False
+        )
+        assert engine.cached_boundaries == 0
+        assert stale.stats.boundary_hits == 0
+        # A later cacheable query starts cold.
+        fresh = engine.query(item, 3, database=columnar, token="t0")
+        assert fresh.stats.boundary_hits == 0
+
+
+class TestEngineMaintenance:
+    def _warm(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1]
+        )
+        registry.seed_users(4, columnar.m, seed=5)
+        item = next(iter(columnar.item_ids))
+        engine.query(item, 3, database=columnar, token="t0")
+        assert engine.cached_boundaries > 0
+        return columnar, engine
+
+    def test_harmless_update_keeps_every_entry(self):
+        columnar, engine = self._warm()
+        cached = engine.cached_boundaries
+        low = [min(lst.scores_array) - 100.0 for lst in columnar.lists]
+        engine.on_mutation(
+            MutationEvent(
+                kind="update_score", item=-1, new_scores=tuple(low)
+            )
+        )
+        assert engine.cached_boundaries == cached
+        assert engine.counters.maintenance_unchanged == cached
+
+    def test_boundary_breaking_update_drops_or_patches(self):
+        columnar, engine = self._warm()
+        high = [max(lst.scores_array) + 100.0 for lst in columnar.lists]
+        engine.on_mutation(
+            MutationEvent(
+                kind="update_score", item=-1, new_scores=tuple(high)
+            )
+        )
+        counters = engine.counters
+        assert counters.maintenance_patched + counters.maintenance_dropped > 0
+
+    def test_capture_less_event_flushes_everything(self):
+        _columnar_db, engine = self._warm()
+        engine.on_mutation(
+            MutationEvent(kind="update_score", item=0, new_scores=None)
+        )
+        assert engine.cached_boundaries == 0
+        assert engine.counters.flushes == 1
+
+    def test_removal_event_with_no_scores_is_classified(self):
+        _columnar_db, engine = self._warm()
+        # new_scores is None *means* removed for remove_item events —
+        # not "capture off" — so this must classify, not flush.
+        engine.on_mutation(
+            MutationEvent(kind="remove_item", item=-1, new_scores=None)
+        )
+        assert engine.counters.flushes == 0
+
+    def test_flush_on_empty_cache_is_cheap_noop_for_events(self):
+        columnar, registry, engine = _engine_over(
+            next(iter(standard_test_databases()))[1]
+        )
+        engine.on_mutation(
+            MutationEvent(kind="update_score", item=0, new_scores=None)
+        )
+        assert engine.counters.flushes == 0  # nothing cached, nothing done

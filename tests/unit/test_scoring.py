@@ -73,6 +73,29 @@ class TestWeightedSum:
         assert scoring.weights == (1.0, 2.0)
         assert "1" in scoring.name and "2" in scoring.name
 
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ScoringError):
+            WeightedSumScoring([0.0, 0.0])
+
+    def test_zero_weight_is_legal_beside_a_positive_one(self):
+        scoring = WeightedSumScoring([0.0, 1.0])
+        assert scoring([5.0, 3.0]) == 3.0
+
+    def test_name_distinguishes_nearby_weight_vectors(self):
+        # Regression: the name used to render weights with ``{w:g}``
+        # (6 significant digits), so 0.3 and 0.30000004 — distinct
+        # floats that rank items differently — shared one name, and
+        # the name feeds the normalized query cache key.
+        close = WeightedSumScoring([0.3])
+        closer = WeightedSumScoring([0.30000004])
+        assert close.name != closer.name
+
+    def test_name_round_trips_every_weight_exactly(self):
+        weights = [0.1, 1e-17, 0.30000000000000004, 123456.789012345]
+        scoring = WeightedSumScoring(weights)
+        inner = scoring.name[len("wsum["):-1]
+        assert [float(w) for w in inner.split(",")] == weights
+
 
 class _NonMonotonic:
     name = "negsum"

@@ -47,6 +47,54 @@ class TestKeyNormalization:
         assert key[-1] is scoring
         assert scoring_key(SUM)[-1] == repr(SUM)  # faithful reprs stay unpinned
 
+    def test_nearby_weight_vectors_never_share_a_key(self):
+        # Regression: WeightedSumScoring.name used to format weights
+        # with 6 significant digits, so 0.3 and 0.30000004 — distinct
+        # floats whose rankings differ — collided in the *name*
+        # component of this key (the repr component saved the day only
+        # by accident of tuple comparison order never being reached;
+        # the name is documented as an identity and must be exact).
+        close = WeightedSumScoring([0.3])
+        closer = WeightedSumScoring([0.30000004])
+        assert close.name != closer.name
+        assert scoring_key(close) != scoring_key(closer)
+        assert normalized_query_key("bpa2", 5, close, {}) != (
+            normalized_query_key("bpa2", 5, closer, {})
+        )
+
+    def test_distinct_weight_vectors_get_distinct_keys_property(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        st = pytest.importorskip("hypothesis.strategies")
+
+        weight = st.floats(
+            min_value=0.0,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        )
+        vectors = st.lists(weight, min_size=1, max_size=4).filter(
+            lambda ws: any(w > 0 for w in ws)
+        )
+
+        @hypothesis.given(first=vectors, second=vectors)
+        def check(first, second):
+            a = WeightedSumScoring(first)
+            b = WeightedSumScoring(second)
+            # Any two scorings that compare unequal on some score
+            # vector must produce distinct cache keys — here the
+            # weight tuples themselves are the witness: unequal
+            # tuples always admit a separating score vector.
+            if tuple(map(float, first)) != tuple(map(float, second)):
+                assert scoring_key(a) != scoring_key(b)
+            elif [repr(float(w)) for w in first] == [
+                repr(float(w)) for w in second
+            ]:
+                # Bit-identical vectors share a key; -0.0 vs 0.0 may
+                # key apart (a false miss, which is always safe).
+                assert scoring_key(a) == scoring_key(b)
+
+        check()
+
     def test_option_order_is_irrelevant(self):
         a = normalized_query_key("ta", 5, SUM, {"memoize": True, "x": 1})
         b = normalized_query_key("ta", 5, SUM, {"x": 1, "memoize": True})
